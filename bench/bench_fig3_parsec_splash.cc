@@ -1,0 +1,64 @@
+// Figure 3: normalized execution time of the PARSEC 2.1 and SPLASH-2x suites under
+// GHUMVEE-only monitoring and under ReMon with IP-MON at NONSOCKET_RW_LEVEL
+// (2 replicas, 4 worker threads), versus the paper's bars.
+
+#include <cstdio>
+
+#include "src/harness/runner.h"
+#include "src/harness/table.h"
+
+namespace remon {
+namespace {
+
+void RunSuite(const char* title, const std::vector<WorkloadSpec>& suite) {
+  std::printf("== Figure 3: %s (2 replicas, 4 worker threads) ==\n", title);
+  Table table({"benchmark", "no IP-MON", "paper", "IP-MON/NSRW", "paper", "syscalls/s"});
+  std::vector<double> cp_values;
+  std::vector<double> ip_values;
+  std::vector<double> paper_cp;
+  std::vector<double> paper_ip;
+
+  for (const WorkloadSpec& spec : suite) {
+    RunConfig cp;
+    cp.mode = MveeMode::kGhumveeOnly;
+    cp.replicas = 2;
+    RunConfig ip;
+    ip.mode = MveeMode::kRemon;
+    ip.replicas = 2;
+    ip.level = PolicyLevel::kNonsocketRw;
+
+    double cp_norm = NormalizedSuiteTime(spec, cp);
+    double ip_norm = NormalizedSuiteTime(spec, ip);
+    RunConfig native;
+    native.mode = MveeMode::kNative;
+    SuiteResult base = RunSuiteWorkload(spec, native);
+    double rate = base.seconds > 0
+                      ? static_cast<double>(base.stats.syscalls_total) / base.seconds
+                      : 0;
+
+    table.AddRow({spec.name, Table::Num(cp_norm), Table::Num(spec.paper_ghumvee),
+                  Table::Num(ip_norm), Table::Num(spec.paper_remon),
+                  Table::Num(rate, 0)});
+    if (cp_norm > 0) {
+      cp_values.push_back(cp_norm);
+      paper_cp.push_back(spec.paper_ghumvee);
+    }
+    if (ip_norm > 0) {
+      ip_values.push_back(ip_norm);
+      paper_ip.push_back(spec.paper_remon);
+    }
+  }
+  table.AddRow({"GEOMEAN", Table::Num(GeoMean(cp_values)), Table::Num(GeoMean(paper_cp)),
+                Table::Num(GeoMean(ip_values)), Table::Num(GeoMean(paper_ip)), ""});
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace remon
+
+int main() {
+  remon::RunSuite("PARSEC 2.1", remon::ParsecSuite());
+  remon::RunSuite("SPLASH-2x", remon::SplashSuite());
+  return 0;
+}

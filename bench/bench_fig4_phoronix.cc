@@ -1,0 +1,93 @@
+// Figure 4: the Phoronix suite under all five spatial relaxation policies plus the
+// no-IP-MON baseline (2 replicas), including the nginx server column, versus the
+// paper's bars.
+
+#include <cstdio>
+
+#include "src/harness/runner.h"
+#include "src/harness/table.h"
+
+namespace remon {
+namespace {
+
+constexpr PolicyLevel kLevels[] = {
+    PolicyLevel::kBase, PolicyLevel::kNonsocketRo, PolicyLevel::kNonsocketRw,
+    PolicyLevel::kSocketRo, PolicyLevel::kSocketRw,
+};
+
+void Run() {
+  std::printf("== Figure 4: Phoronix, spatial relaxation policies (2 replicas) ==\n");
+  Table table({"benchmark", "no IP-MON", "BASE", "NS_RO", "NS_RW", "S_RO", "S_RW"});
+
+  std::vector<std::vector<double>> columns(6);
+  for (const WorkloadSpec& spec : PhoronixSuite()) {
+    std::vector<std::string> row{spec.name};
+    RunConfig cp;
+    cp.mode = MveeMode::kGhumveeOnly;
+    cp.replicas = 2;
+    double v = NormalizedSuiteTime(spec, cp);
+    row.push_back(Table::Num(v));
+    columns[0].push_back(v);
+    int col = 1;
+    for (PolicyLevel level : kLevels) {
+      RunConfig ip;
+      ip.mode = MveeMode::kRemon;
+      ip.replicas = 2;
+      ip.level = level;
+      v = NormalizedSuiteTime(spec, ip);
+      row.push_back(Table::Num(v));
+      columns[static_cast<size_t>(col++)].push_back(v);
+    }
+    table.AddRow(std::move(row));
+  }
+
+  // The nginx column: a real server benchmark driven by a wrk-style client over the
+  // low-latency gigabit link.
+  {
+    ServerSpec nginx = ServerByName("nginx");
+    ClientSpec client;
+    client.connections = 48;  // wrk saturates the server.
+    client.total_requests = 600;
+    client.request_bytes = 512;  // Small pages: the server, not the link, limits.
+    LinkParams link{60 * kMicrosecond, 0.125};
+    std::vector<std::string> row{"nginx (wrk)"};
+    RunConfig cp;
+    cp.mode = MveeMode::kGhumveeOnly;
+    cp.replicas = 2;
+    double v = NormalizedServerTime(nginx, client, cp, link);
+    row.push_back(Table::Num(v));
+    columns[0].push_back(v);
+    int col = 1;
+    for (PolicyLevel level : kLevels) {
+      RunConfig ip;
+      ip.mode = MveeMode::kRemon;
+      ip.replicas = 2;
+      ip.level = level;
+      v = NormalizedServerTime(nginx, client, ip, link);
+      row.push_back(Table::Num(v));
+      columns[static_cast<size_t>(col++)].push_back(v);
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::vector<std::string> geo{"GEOMEAN"};
+  for (auto& col : columns) {
+    geo.push_back(Table::Num(GeoMean(col)));
+  }
+  table.AddRow(std::move(geo));
+  table.Print();
+
+  std::printf(
+      "\npaper (fig. 4): gzip 1.11/1.11/1.04/1.04/1.04/1.05, flac 1.17/1.17/1.08/1.02x3,\n"
+      "  ogg 1.09/1.10/1.06/1.01x3, mencoder 1.05/1.04/1.01/1.00x3, phpbench\n"
+      "  2.48/1.90/1.90/1.13x3, unpack-linux 1.47/1.48/1.44/1.22/1.17/1.17,\n"
+      "  network-loopback 25.46/25.36/24.89/17.03/9.18/3.00, nginx 9.77/7.76/7.74/7.58/6.65/3.71\n");
+}
+
+}  // namespace
+}  // namespace remon
+
+int main() {
+  remon::Run();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) of the hot in-library operations: replication
+// buffer appends, argument-signature serialization, policy classification, token
+// issue/verify, event queue throughput, and guest memory access.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/broker.h"
+#include "src/core/file_map.h"
+#include "src/core/policy.h"
+#include "src/core/replication_buffer.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/syscall_meta.h"
+#include "src/mem/address_space.h"
+#include "src/mem/shm.h"
+#include "src/net/network.h"
+#include "src/sim/event_queue.h"
+#include "src/vfs/fs.h"
+
+namespace remon {
+namespace {
+
+// A tiny world providing a process with mapped memory for RB/signature benches.
+struct MicroWorld {
+  MicroWorld() : sim(1), net(&sim), kernel(&sim, &fs, &net, &shm) {
+    Rng rng(7);
+    LayoutPlanner planner(&rng);
+    process = kernel.CreateProcess("micro", 0, planner.PlanFor(0));
+    rb_base = 0x7000'0000'0000ULL;
+    process->mem().MapFixed(rb_base, 1 << 20, kProtRead | kProtWrite, true, "rb");
+    view = RbView(process, rb_base, 1 << 20, 4);
+  }
+  Simulator sim;
+  Filesystem fs;
+  Network net;
+  ShmRegistry shm;
+  Kernel kernel;
+  Process* process;
+  GuestAddr rb_base;
+  RbView view;
+};
+
+void BM_RbCommitArgs(benchmark::State& state) {
+  MicroWorld w;
+  std::vector<uint8_t> sig(static_cast<size_t>(state.range(0)), 0xab);
+  uint64_t off = w.view.RankDataStart(0);
+  for (auto _ : state) {
+    RbEntryOps::CommitArgs(w.view, off, Sys::kRead, kRbFlagMasterCall, 1, 512, sig);
+    benchmark::DoNotOptimize(w.view);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RbCommitArgs)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_RbCommitResults(benchmark::State& state) {
+  MicroWorld w;
+  std::vector<uint8_t> sig(64, 0xab);
+  std::vector<uint8_t> payload(static_cast<size_t>(state.range(0)), 0xcd);
+  uint64_t off = w.view.RankDataStart(0);
+  RbEntryOps::CommitArgs(w.view, off, Sys::kRead, kRbFlagMasterCall, 1, 512, sig);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RbEntryOps::CommitResults(w.view, off, 42, payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RbCommitResults)->Arg(64)->Arg(4096);
+
+void BM_SerializeCallSignature(benchmark::State& state) {
+  MicroWorld w;
+  GuestAddr buf = w.rb_base + 4096;
+  SyscallRequest req{Sys::kWrite, {3, buf, static_cast<uint64_t>(state.range(0)), 0, 0, 0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerializeCallSignature(w.process, req));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerializeCallSignature)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_CollectOutRegions(benchmark::State& state) {
+  MicroWorld w;
+  GuestAddr buf = w.rb_base + 4096;
+  SyscallRequest req{Sys::kRead, {3, buf, 4096, 0, 0, 0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CollectOutRegions(w.process, req, 4096));
+  }
+}
+BENCHMARK(BM_CollectOutRegions);
+
+void BM_PolicyClassify(benchmark::State& state) {
+  RelaxationPolicy policy(PolicyLevel::kSocketRw);
+  uint32_t i = 1;
+  for (auto _ : state) {
+    Sys nr = static_cast<Sys>(1 + (i++ % (kNumSyscalls - 1)));
+    benchmark::DoNotOptimize(policy.AllowsUnmonitored(nr, FdType::kSocket));
+  }
+}
+BENCHMARK(BM_PolicyClassify);
+
+void BM_TokenIssueVerify(benchmark::State& state) {
+  MicroWorld w;
+  IkBroker broker(&w.kernel, RelaxationPolicy(PolicyLevel::kSocketRw));
+  Thread* t = w.kernel.SpawnThread(w.process, [](Guest& g) -> GuestTask<void> { co_return; });
+  t->cur_req.nr = Sys::kRead;
+  for (auto _ : state) {
+    uint64_t token = broker.IssueToken(t);
+    benchmark::DoNotOptimize(broker.VerifyToken(t, token, Sys::kRead));
+  }
+}
+BENCHMARK(BM_TokenIssueVerify);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  EventQueue q;
+  for (auto _ : state) {
+    q.ScheduleAfter(1, [] {});
+    q.RunOne();
+  }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_AddressSpaceWrite(benchmark::State& state) {
+  AddressSpace as;
+  as.MapFixed(0x10000, 1 << 20, kProtRead | kProtWrite, false, "bench");
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(as.Write(0x10000, data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AddressSpaceWrite)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_FileMapLookup(benchmark::State& state) {
+  FileMap fm;
+  for (int fd = 0; fd < 64; ++fd) {
+    fm.Set(fd, FdType::kSocket, false);
+  }
+  int fd = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fm.TypeOf(fd++ % 64));
+  }
+}
+BENCHMARK(BM_FileMapLookup);
+
+}  // namespace
+}  // namespace remon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// The IP-MON file map (paper §3.6).
+//
+// GHUMVEE arbitrates every FD-creating/modifying/destroying call, so it maintains
+// authoritative metadata: one byte per descriptor — the FD's type (regular / pipe /
+// socket / epoll / special / ...) and whether it is in non-blocking mode. Replicas map
+// a read-only copy; IP-MON consults it to apply conditional relaxation policies
+// ("is this read on a socket?") and to predict whether an unmonitored call may block
+// (choosing futex sleeps over spin waits for the slaves, §3.7).
+
+#ifndef SRC_CORE_FILE_MAP_H_
+#define SRC_CORE_FILE_MAP_H_
+
+#include <cstdint>
+
+#include "src/mem/page.h"
+#include "src/sim/check.h"
+#include "src/vfs/file.h"
+
+namespace remon {
+
+class FileMap {
+ public:
+  // One byte per FD; a single page covers every descriptor a replica can hold.
+  static constexpr int kMaxFds = static_cast<int>(kPageSize);
+
+  static constexpr uint8_t kValidBit = 0x80;
+  static constexpr uint8_t kNonblockBit = 0x40;
+  static constexpr uint8_t kTypeMask = 0x0f;
+
+  FileMap() : page_(NewPage()) {}
+
+  // The backing frame, mapped read-only into every replica.
+  const PageRef& page() const { return page_; }
+
+  void Set(int fd, FdType type, bool nonblocking) {
+    if (!InRange(fd)) {
+      return;
+    }
+    uint8_t byte = kValidBit | (static_cast<uint8_t>(type) & kTypeMask);
+    if (nonblocking) {
+      byte |= kNonblockBit;
+    }
+    page_->bytes[static_cast<size_t>(fd)] = byte;
+  }
+
+  void SetNonblocking(int fd, bool nonblocking) {
+    if (!InRange(fd) || !IsValid(fd)) {
+      return;
+    }
+    uint8_t& byte = page_->bytes[static_cast<size_t>(fd)];
+    byte = nonblocking ? (byte | kNonblockBit) : (byte & ~kNonblockBit);
+  }
+
+  void Clear(int fd) {
+    if (InRange(fd)) {
+      page_->bytes[static_cast<size_t>(fd)] = 0;
+    }
+  }
+
+  bool IsValid(int fd) const {
+    return InRange(fd) && (page_->bytes[static_cast<size_t>(fd)] & kValidBit) != 0;
+  }
+
+  FdType TypeOf(int fd) const {
+    if (!IsValid(fd)) {
+      return FdType::kFree;
+    }
+    return static_cast<FdType>(page_->bytes[static_cast<size_t>(fd)] & kTypeMask);
+  }
+
+  bool IsNonblocking(int fd) const {
+    return IsValid(fd) && (page_->bytes[static_cast<size_t>(fd)] & kNonblockBit) != 0;
+  }
+
+ private:
+  static bool InRange(int fd) { return fd >= 0 && fd < kMaxFds; }
+
+  PageRef page_;
+};
+
+}  // namespace remon
+
+#endif  // SRC_CORE_FILE_MAP_H_

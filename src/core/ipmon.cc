@@ -1,0 +1,730 @@
+#include "src/core/ipmon.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "src/core/await.h"
+#include "src/core/broker.h"
+#include "src/sim/check.h"
+
+namespace remon {
+
+namespace {
+
+// VaranLike flush barrier fields inside the rank header.
+constexpr uint64_t kRankOffResetDone = 0;
+constexpr uint64_t kRankOffBarrierGen = 8;  // + 8 * replica_index.
+
+void AppendU64To(std::vector<uint8_t>* out, uint64_t v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + 8);
+}
+
+uint64_t TakeU64(const std::vector<uint8_t>& in, size_t* pos) {
+  uint64_t v = 0;
+  if (*pos + 8 <= in.size()) {
+    std::memcpy(&v, in.data() + *pos, 8);
+  }
+  *pos += 8;
+  return v;
+}
+
+}  // namespace
+
+IpMon::IpMon(Kernel* kernel, IkBroker* broker, RelaxationPolicy policy, FileMap* file_map,
+             Config config)
+    : kernel_(kernel),
+      broker_(broker),
+      policy_(policy),
+      file_map_(file_map),
+      config_(config) {}
+
+GuestTask<void> IpMon::Initialize(Guest& g) {
+  process_ = g.process();
+  // Create or attach the RB segment through the normal (monitored, GHUMVEE-
+  // arbitrated) System V path, then map it at a replica-specific address.
+  int64_t shmid = co_await g.Shmget(kRbShmKey, config_.rb_size, kIpcCreat);
+  REMON_CHECK_MSG(shmid >= 0, "IP-MON: RB shmget failed");
+  int64_t rb_addr = co_await g.Shmat(static_cast<int>(shmid));
+  REMON_CHECK_MSG(rb_addr > 0, "IP-MON: RB shmat failed");
+  rb_ = RbView(process_, static_cast<GuestAddr>(rb_addr), config_.rb_size, config_.max_ranks);
+
+  cursor_.assign(static_cast<size_t>(config_.max_ranks), 0);
+  seq_.assign(static_cast<size_t>(config_.max_ranks), 0);
+  varan_flush_gen_.assign(static_cast<size_t>(config_.max_ranks), 0);
+  for (int r = 0; r < config_.max_ranks; ++r) {
+    cursor_[static_cast<size_t>(r)] = rb_.RankDataStart(r);
+  }
+
+  // Map the (GHUMVEE-maintained) file map read-only.
+  GuestAddr fm_addr =
+      process_->mem().FindFreeRange(process_->layout.mmap_hint, kPageSize);
+  REMON_CHECK(fm_addr != 0);
+  REMON_CHECK(process_->mem().MapFixedBacked(fm_addr, kPageSize, kProtRead, true,
+                                             "ipmon-filemap", {file_map_->page()}));
+
+  // Register with the kernel (paper §3.5): the set of calls IP-MON may handle, the
+  // RB pointer, and the entry-point cookie. The call is always monitored, so GHUMVEE
+  // arbitrates (and could veto) the registration.
+  std::vector<bool> mask = policy_.RegistrationMask();
+  if (config_.mode == IpmonMode::kVaranLike) {
+    mask.assign(kNumSyscalls, true);
+  }
+  GuestAddr mask_addr = g.Alloc(kNumSyscalls);
+  std::vector<uint8_t> bytes(kNumSyscalls);
+  for (uint32_t i = 0; i < kNumSyscalls; ++i) {
+    bytes[i] = mask[i] ? 1 : 0;
+  }
+  g.Poke(mask_addr, bytes.data(), bytes.size());
+  int64_t rc = co_await g.Syscall(Sys::kRemonIpmonRegister, mask_addr,
+                                  static_cast<uint64_t>(rb_addr), config_.entry_cookie);
+  REMON_CHECK_MSG(rc == 0, "IP-MON registration rejected");
+}
+
+WaitQueue* IpMon::StateWordQueue(uint64_t entry_off) {
+  uint64_t off_in_page = 0;
+  Page* frame =
+      process_->mem().ResolveFrame(rb_.AddrOf(entry_off + kRbOffState), &off_in_page);
+  REMON_CHECK(frame != nullptr);
+  return &kernel_->futex().QueueFor(frame, off_in_page);
+}
+
+FdType IpMon::EffectiveFdType(Thread* t, const SyscallRequest& req) const {
+  AddressSpace& mem = process_->mem();
+  // poll/select watch many FDs: conditional exemption needs the "most sensitive" one.
+  if (req.nr == Sys::kPoll) {
+    uint64_t nfds = req.arg(1);
+    FdType worst = FdType::kRegular;
+    for (uint64_t i = 0; i < std::min<uint64_t>(nfds, 1024); ++i) {
+      GuestPollfd pf;
+      if (!mem.Read(req.arg(0) + i * sizeof(GuestPollfd), &pf, sizeof(pf)).ok) {
+        return FdType::kSpecial;
+      }
+      FdType ft = file_map_->TypeOf(pf.fd);
+      if (ft == FdType::kSocket) {
+        worst = FdType::kSocket;
+      } else if (ft == FdType::kSpecial) {
+        return FdType::kSpecial;
+      }
+    }
+    return worst;
+  }
+  if (req.nr == Sys::kSelect) {
+    int nfds = static_cast<int>(req.arg(0));
+    FdType worst = FdType::kRegular;
+    for (int set = 1; set <= 2; ++set) {
+      GuestAddr set_addr = req.arg(set);
+      if (set_addr == 0) {
+        continue;
+      }
+      for (int fd = 0; fd < nfds; ++fd) {
+        uint64_t word = 0;
+        if (!mem.Read(set_addr + static_cast<uint64_t>(fd / 64) * 8, &word, 8).ok) {
+          return FdType::kSpecial;
+        }
+        if (((word >> (fd % 64)) & 1) == 0) {
+          continue;
+        }
+        FdType ft = file_map_->TypeOf(fd);
+        if (ft == FdType::kSocket) {
+          worst = FdType::kSocket;
+        } else if (ft == FdType::kSpecial) {
+          return FdType::kSpecial;
+        }
+      }
+    }
+    return worst;
+  }
+  const SyscallDesc& d = DescOf(req.nr);
+  if (d.fd_arg >= 0) {
+    int fd = static_cast<int>(req.arg(d.fd_arg));
+    if (!file_map_->IsValid(fd)) {
+      // Unknown descriptor: be conservative, force CP monitoring.
+      return FdType::kSpecial;
+    }
+    return file_map_->TypeOf(fd);
+  }
+  return FdType::kFree;
+}
+
+bool IpMon::NeedsGhumvee(Thread* t, const SyscallRequest& req) const {
+  // Mode-changing fcntl/ioctl must reach GHUMVEE: it owns the FD metadata behind the
+  // file map (§3.6), and a silent O_NONBLOCK flip would desynchronize the blocking
+  // prediction. Pure queries (F_GETFL and friends) stay on the fast path.
+  if (req.nr == Sys::kFcntl) {
+    int cmd = static_cast<int>(req.arg(1));
+    if (cmd == kF_SETFL || cmd == kF_DUPFD) {
+      return true;
+    }
+  }
+  if (req.nr == Sys::kIoctl && req.arg(1) == 0x5421 /* FIONBIO */) {
+    return true;
+  }
+  return !policy_.AllowsUnmonitored(req.nr, EffectiveFdType(t, req));
+}
+
+bool IpMon::PredictBlocking(const SyscallRequest& req) const {
+  const SyscallDesc& d = DescOf(req.nr);
+  if (!d.may_block) {
+    return false;
+  }
+  switch (req.nr) {
+    case Sys::kNanosleep:
+      return true;
+    case Sys::kPoll:
+      return static_cast<int64_t>(req.arg(2)) != 0;
+    case Sys::kEpollWait:
+      return static_cast<int64_t>(req.arg(3)) != 0;
+    case Sys::kSelect:
+      return true;
+    default:
+      break;
+  }
+  if (d.fd_arg >= 0) {
+    int fd = static_cast<int>(req.arg(d.fd_arg));
+    return !file_map_->IsNonblocking(fd);
+  }
+  return true;
+}
+
+void IpMon::RecordEpollShadow(Thread* t, const SyscallRequest& req) {
+  if (req.nr != Sys::kEpollCtl) {
+    return;
+  }
+  GuestEpollEvent ev;
+  if (static_cast<int>(req.arg(1)) != kEpollCtlDel &&
+      !process_->mem().Read(req.arg(3), &ev, sizeof(ev)).ok) {
+    return;
+  }
+  RecordEpollShadowDirect(static_cast<int>(req.arg(0)), static_cast<int>(req.arg(1)),
+                          static_cast<int>(req.arg(2)), ev.data);
+}
+
+bool IpMon::LookupEpollFd(int epfd, uint64_t data, int* fd_out) const {
+  auto it = epoll_rev_.find({epfd, data});
+  if (it == epoll_rev_.end()) {
+    return false;
+  }
+  *fd_out = it->second;
+  return true;
+}
+
+bool IpMon::LookupEpollData(int epfd, int fd, uint64_t* data_out) const {
+  auto it = epoll_data_.find({epfd, fd});
+  if (it == epoll_data_.end()) {
+    return false;
+  }
+  *data_out = it->second;
+  return true;
+}
+
+void IpMon::RecordEpollShadowDirect(int epfd, int op, int fd, uint64_t data) {
+  if (op == kEpollCtlDel) {
+    auto it = epoll_data_.find({epfd, fd});
+    if (it != epoll_data_.end()) {
+      epoll_rev_.erase({epfd, it->second});
+      epoll_data_.erase(it);
+    }
+    return;
+  }
+  auto old = epoll_data_.find({epfd, fd});
+  if (old != epoll_data_.end()) {
+    epoll_rev_.erase({epfd, old->second});
+  }
+  epoll_data_[{epfd, fd}] = data;
+  epoll_rev_[{epfd, data}] = fd;
+}
+
+std::vector<uint8_t> IpMon::BuildResultPayload(Thread* t, const SyscallRequest& req,
+                                               int64_t ret) {
+  std::vector<OutRegion> regions = CollectOutRegions(process_, req, ret);
+  std::vector<uint8_t> payload;
+  AppendU64To(&payload, regions.size());
+  for (const OutRegion& r : regions) {
+    std::vector<uint8_t> data(r.len);
+    if (!process_->mem().ReadUnchecked(r.addr, data.data(), r.len).ok) {
+      data.assign(r.len, 0);
+    }
+    if (r.is_epoll_events) {
+      // §3.9: replace this replica's opaque data values with FDs so slaves can map
+      // them back onto their own values.
+      int epfd = static_cast<int>(req.arg(0));
+      for (int i = 0; i < r.event_count; ++i) {
+        GuestEpollEvent ev;
+        std::memcpy(&ev, data.data() + static_cast<size_t>(i) * sizeof(ev), sizeof(ev));
+        auto it = epoll_rev_.find({epfd, ev.data});
+        ev.data = it != epoll_rev_.end() ? static_cast<uint64_t>(it->second) : ev.data;
+        std::memcpy(data.data() + static_cast<size_t>(i) * sizeof(ev), &ev, sizeof(ev));
+      }
+    }
+    AppendU64To(&payload, r.len);
+    payload.insert(payload.end(), data.begin(), data.end());
+  }
+  return payload;
+}
+
+void IpMon::ApplyResultPayload(Thread* t, const SyscallRequest& req, int64_t ret,
+                               const std::vector<uint8_t>& payload) {
+  std::vector<OutRegion> regions = CollectOutRegions(process_, req, ret);
+  size_t pos = 0;
+  uint64_t count = TakeU64(payload, &pos);
+  for (uint64_t i = 0; i < count && i < regions.size(); ++i) {
+    uint64_t len = TakeU64(payload, &pos);
+    if (pos + len > payload.size()) {
+      break;
+    }
+    const OutRegion& r = regions[i];
+    std::vector<uint8_t> data(payload.begin() + static_cast<long>(pos),
+                              payload.begin() + static_cast<long>(pos + len));
+    pos += len;
+    if (r.is_epoll_events) {
+      int epfd = static_cast<int>(req.arg(0));
+      for (int e = 0; e < r.event_count; ++e) {
+        GuestEpollEvent ev;
+        std::memcpy(&ev, data.data() + static_cast<size_t>(e) * sizeof(ev), sizeof(ev));
+        auto it = epoll_data_.find({epfd, static_cast<int>(ev.data)});
+        if (it != epoll_data_.end()) {
+          ev.data = it->second;
+        }
+        std::memcpy(data.data() + static_cast<size_t>(e) * sizeof(ev), &ev, sizeof(ev));
+      }
+    }
+    uint64_t n = std::min<uint64_t>(len, r.len);
+    // A write fault here means this replica's buffer pointer differs in validity
+    // from the master's — a divergence GHUMVEE-style monitors would also hit; the
+    // region is skipped and the next consistency check will catch it.
+    process_->mem().Write(r.addr, data.data(), n);
+  }
+}
+
+void IpMon::IntentionalCrash(Thread* t, const SyscallRequest& req, uint64_t seq) {
+  // The paper's IP-MON triggers a deliberate crash so the ptrace machinery informs
+  // GHUMVEE, which then shuts the MVEE down.
+  ++kernel_->stats().divergences_detected;
+  t->sig_pending |= 1ULL << (kSIGABRT - 1);
+  kernel_->MaybeDeliverSignals(t, [] {});
+}
+
+GuestTask<void> IpMon::HandleCall(Thread* t, SyscallRequest req, uint64_t token,
+                                  bool temporal_exempt) {
+  const CostModel& costs = kernel_->sim()->costs();
+  t->in_ipmon = true;
+  ++t->ipmon_invocations;
+  co_await ThreadCost{t, costs.ipmon_entry_ns};
+
+  if (config_.mode == IpmonMode::kVaranLike) {
+    co_await VaranPath(t, req);
+    t->in_ipmon = false;
+    co_return;
+  }
+
+  // Process-local calls (futex, nanosleep, ...): every replica executes its own,
+  // using its one-time token; nothing to replicate.
+  if (RelaxationPolicy::IsLocalCall(req.nr)) {
+    int64_t r;
+    if (broker_->VerifyToken(t, token, req.nr)) {
+      r = co_await ExecDirect{t, req};
+    } else {
+      r = co_await ExecTraced{t, req};
+    }
+    ++kernel_->stats().syscalls_unmonitored;
+    kernel_->CompleteSyscall(t, r);
+    t->in_ipmon = false;
+    co_return;
+  }
+
+  // MAYBE_CHECKED: conditional relaxation policies (paper listing 1).
+  if (!temporal_exempt && NeedsGhumvee(t, req)) {
+    forward_reason_ = "maybe_checked";
+    co_await ForwardToGhumvee(t, req);
+    t->in_ipmon = false;
+    co_return;
+  }
+
+  if (is_master()) {
+    co_await MasterPath(t, req, token);
+  } else {
+    co_await SlavePath(t, req, token);
+  }
+  t->in_ipmon = false;
+}
+
+GuestTask<void> IpMon::ForwardToGhumvee(Thread* t, SyscallRequest req) {
+  // Fig. 2, 4': destroy the token and restart; IK-B routes the restarted call to
+  // GHUMVEE, which handles it like a regular CP-MVEE call.
+  broker_->RevokeToken(t);
+  int64_t r = co_await ExecTraced{t, req};
+  kernel_->CompleteSyscall(t, r);
+}
+
+GuestTask<void> IpMon::MasterPath(Thread* t, SyscallRequest req, uint64_t token) {
+  const CostModel& costs = kernel_->sim()->costs();
+  SimStats& stats = kernel_->stats();
+  int rank = t->rank();
+  REMON_CHECK(rank < config_.max_ranks);
+
+  // CALCSIZE: compute the entry footprint; both the signature and the out-capacity
+  // derive from argument values that are identical across replicas, so every replica
+  // computes the same size and the cursors stay in lockstep.
+  std::vector<uint8_t> sig = SerializeCallSignature(process_, req);
+  uint64_t out_cap = EstimateDataSize(process_, req);
+  uint64_t entry_size = RbEntryOps::EntrySize(sig.size(), out_cap + 16);
+  co_await ThreadCost{t, costs.RbCopyCost(sig.size())};
+
+  uint64_t sub_cap = rb_.RankDataEnd(rank) - rb_.RankDataStart(rank);
+  if (entry_size > sub_cap) {
+    co_await ForwardToGhumvee(t, req);
+    co_return;
+  }
+  while (cursor_[static_cast<size_t>(rank)] + entry_size > rb_.RankDataEnd(rank)) {
+    // Linear RB exhausted: GHUMVEE arbitrates the reset (paper §3.2). The reset trip
+    // consumes the authorization; IK-B grants a fresh token on re-entry.
+    broker_->RevokeToken(t);
+    co_await ExecTraced{t, SyscallRequest{Sys::kRemonRbFlush,
+                                          {static_cast<uint64_t>(rank), 0, 0, 0, 0, 0}}};
+    // The flush trip consumed the authorization and overwrote the thread's current
+    // request; re-enter through IK-B: fresh token, original call restored.
+    t->cur_req = req;
+    token = broker_->IssueToken(t);
+  }
+  uint64_t entry_off = cursor_[static_cast<size_t>(rank)];
+  cursor_[static_cast<size_t>(rank)] += entry_size;
+  uint64_t my_seq = seq_[static_cast<size_t>(rank)]++;
+
+  RecordEpollShadow(t, req);
+
+  bool signals_pending = rb_.SignalsPending();
+  uint32_t flags = kRbFlagMasterCall;
+  if (PredictBlocking(req)) {
+    flags |= kRbFlagMaybeBlocking;
+  }
+  if (signals_pending) {
+    flags |= kRbFlagForwarded;
+  }
+
+  // PRECALL: log arguments + metadata; flip the entry to args-ready and make the
+  // write visible to waiting slaves.
+  RbEntryOps::CommitArgs(rb_, entry_off, req.nr, flags, my_seq, entry_size, sig);
+  co_await ThreadCost{t, costs.rb_entry_ns};
+  StateWordQueue(entry_off)->Wake();
+  ++stats.rb_entries;
+  stats.rb_bytes += entry_size;
+
+  if (signals_pending) {
+    // §3.8: GHUMVEE deferred a signal; restart this call as a *monitored* call so the
+    // monitor gets its synchronization point. The forwarded stub keeps slaves in step.
+    RbEntryOps::CommitResults(rb_, entry_off, 0, {});
+    StateWordQueue(entry_off)->Wake();
+    forward_reason_ = "signals_pending";
+    co_await ForwardToGhumvee(t, req);
+    co_return;
+  }
+
+  // Execute: restart the call with the token intact; the IK-B verifier admits it
+  // without reporting to GHUMVEE (fig. 2, steps 3-4).
+  if (!broker_->VerifyToken(t, token, req.nr)) {
+    // Token invalid (revoked / forged / wrong call): forced CP execution. Publish a
+    // forwarded stub so the slaves follow to GHUMVEE instead of waiting on the RB.
+    uint32_t f = rb_.ReadU32(entry_off + kRbOffFlags) | kRbFlagForwarded;
+    rb_.WriteU32(entry_off + kRbOffFlags, f);
+    RbEntryOps::CommitResults(rb_, entry_off, 0, {});
+    StateWordQueue(entry_off)->Wake();
+    forward_reason_ = "token_invalid";
+    co_await ForwardToGhumvee(t, req);
+    co_return;
+  }
+  co_await ThreadCost{t, costs.token_check_ns};
+  int64_t r = co_await ExecDirect{t, req};
+
+  if (r == -kEINTR && rb_.SignalsPending()) {
+    // §3.8: the blocking call was aborted for signal delivery. Mark the entry
+    // forwarded (slaves will follow us to GHUMVEE) and restart monitored.
+    uint32_t f = rb_.ReadU32(entry_off + kRbOffFlags) | kRbFlagForwarded;
+    rb_.WriteU32(entry_off + kRbOffFlags, f);
+    RbEntryOps::CommitResults(rb_, entry_off, 0, {});
+    StateWordQueue(entry_off)->Wake();
+    forward_reason_ = "eintr_restart";
+    co_await ForwardToGhumvee(t, req);
+    co_return;
+  }
+
+  // POSTCALL: replicate results.
+  std::vector<uint8_t> payload = BuildResultPayload(t, req, r);
+  co_await ThreadCost{t, costs.RbCopyCost(payload.size() + 16)};
+  uint32_t waiters = RbEntryOps::CommitResults(rb_, entry_off, r, payload);
+  StateWordQueue(entry_off)->Wake();  // Memory visibility (free in real hardware).
+  if (waiters > 0) {
+    co_await ThreadCost{t, costs.futex_wake_ns};  // FUTEX_WAKE needed.
+  } else {
+    ++stats.rb_futex_wakes_elided;
+  }
+  ++stats.syscalls_unmonitored;
+  ++stats.syscalls_mastercall;
+  kernel_->CompleteSyscall(t, r);
+}
+
+GuestTask<void> IpMon::SlavePath(Thread* t, SyscallRequest req, uint64_t token) {
+  const CostModel& costs = kernel_->sim()->costs();
+  SimStats& stats = kernel_->stats();
+  int rank = t->rank();
+  REMON_CHECK(rank < config_.max_ranks);
+
+  // Same CALCSIZE as the master: identical entry size, identical overflow decision.
+  std::vector<uint8_t> sig = SerializeCallSignature(process_, req);
+  uint64_t out_cap = EstimateDataSize(process_, req);
+  uint64_t entry_size = RbEntryOps::EntrySize(sig.size(), out_cap + 16);
+  co_await ThreadCost{t, costs.RbCopyCost(sig.size())};
+
+  uint64_t sub_cap = rb_.RankDataEnd(rank) - rb_.RankDataStart(rank);
+  if (entry_size > sub_cap) {
+    co_await ForwardToGhumvee(t, req);
+    co_return;
+  }
+  while (cursor_[static_cast<size_t>(rank)] + entry_size > rb_.RankDataEnd(rank)) {
+    broker_->RevokeToken(t);
+    co_await ExecTraced{t, SyscallRequest{Sys::kRemonRbFlush,
+                                          {static_cast<uint64_t>(rank), 0, 0, 0, 0, 0}}};
+    t->cur_req = req;
+    token = broker_->IssueToken(t);
+  }
+  uint64_t entry_off = cursor_[static_cast<size_t>(rank)];
+  cursor_[static_cast<size_t>(rank)] += entry_size;
+  uint64_t my_seq = seq_[static_cast<size_t>(rank)]++;
+
+  RecordEpollShadow(t, req);
+
+  // Wait for the master's PRECALL commit.
+  while (rb_.ReadU32(entry_off + kRbOffState) < kRbArgsReady) {
+    RbEntryOps::AddWaiter(rb_, entry_off);
+    ++stats.rb_futex_waits;
+    co_await WaitOn{t, StateWordQueue(entry_off)};
+    RbEntryOps::RemoveWaiter(rb_, entry_off);
+    co_await ThreadCost{t, costs.futex_wait_ns};
+  }
+
+  // Sanity check: compare our deep-copied arguments against the master's (paper §3:
+  // "minimizes opportunities for asymmetrical attacks").
+  std::vector<uint8_t> master_sig = RbEntryOps::ReadSignature(rb_, entry_off);
+  co_await ThreadCost{t, costs.CompareCost(sig.size())};
+  if (master_sig != sig) {
+    IntentionalCrash(t, req, my_seq);
+    co_return;  // The syscall never completes; GHUMVEE shuts the MVEE down.
+  }
+
+  // Wait for results: per-invocation condition variable (futex) when the call was
+  // predicted to block, spin-read otherwise (paper §3.7).
+  RbEntryHeader hdr = RbEntryOps::ReadHeader(rb_, entry_off);
+  bool use_futex = (hdr.flags & kRbFlagMaybeBlocking) != 0;
+  if (config_.wait_mode != IpmonWaitMode::kAuto) {
+    use_futex = config_.wait_mode == IpmonWaitMode::kFutex;
+  }
+  while (rb_.ReadU32(entry_off + kRbOffState) < kRbResultsReady) {
+    if (use_futex) {
+      RbEntryOps::AddWaiter(rb_, entry_off);
+      ++stats.rb_futex_waits;
+      co_await WaitOn{t, StateWordQueue(entry_off)};
+      RbEntryOps::RemoveWaiter(rb_, entry_off);
+      co_await ThreadCost{t, costs.futex_wait_ns};
+    } else {
+      ++stats.rb_spin_waits;
+      co_await WaitOn{t, StateWordQueue(entry_off)};
+      co_await ThreadCost{t, costs.spin_iteration_ns};
+    }
+  }
+
+  hdr = RbEntryOps::ReadHeader(rb_, entry_off);
+  if ((hdr.flags & kRbFlagForwarded) != 0) {
+    // The master routed this invocation to GHUMVEE (signals pending / aborted
+    // blocking call); follow it so the monitor sees all replicas in lockstep.
+    forward_reason_ = "follow_master_stub";
+    co_await ForwardToGhumvee(t, req);
+    co_return;
+  }
+
+  std::vector<uint8_t> payload = RbEntryOps::ReadPayload(rb_, entry_off);
+  co_await ThreadCost{t, costs.RbCopyCost(payload.size())};
+  ApplyResultPayload(t, req, hdr.result, payload);
+  broker_->RevokeToken(t);
+  ++stats.syscalls_unmonitored;
+  kernel_->CompleteSyscall(t, hdr.result);
+}
+
+void IpMon::OnRbReset(int rank) {
+  ++rb_resets_;
+  if (is_master()) {
+    ++kernel_->stats().rb_resets;
+    // Zero the data area once (shared frames: visible to every replica).
+    rb_.Zero(rb_.RankDataStart(rank), rb_.RankDataEnd(rank) - rb_.RankDataStart(rank));
+  }
+  cursor_[static_cast<size_t>(rank)] = rb_.RankDataStart(rank);
+}
+
+GuestAddr IpMon::MigrateRb() {
+  if (!rb_.valid()) {
+    return 0;
+  }
+  AddressSpace& mem = process_->mem();
+  std::vector<PageRef> frames = mem.FramesFor(rb_.base(), rb_.size());
+  if (frames.empty()) {
+    return 0;
+  }
+  // Fresh randomized location in this replica's mmap window (same entropy as the
+  // original placement).
+  GuestAddr hint = process_->layout.mmap_hint -
+                   (kernel_->sim()->rng().NextBelow(1ULL << 24)) * kPageSize;
+  GuestAddr fresh = mem.FindFreeRange(hint, rb_.size());
+  if (fresh == 0) {
+    return 0;
+  }
+  if (!mem.MapFixedBacked(fresh, rb_.size(), kProtRead | kProtWrite, true, "sysv-shm",
+                          frames)) {
+    return 0;
+  }
+  mem.Unmap(rb_.base(), rb_.size());
+  rb_ = RbView(process_, fresh, rb_.size(), config_.max_ranks);
+  // Cursors are offsets, not addresses: they survive the move unchanged.
+  ++rb_migrations_;
+  return fresh;
+}
+
+WaitQueue* IpMon::RankHeaderQueue(int rank) {
+  uint64_t off_in_page = 0;
+  Page* frame = process_->mem().ResolveFrame(rb_.AddrOf(rb_.RankStart(rank)), &off_in_page);
+  REMON_CHECK(frame != nullptr);
+  return &kernel_->futex().QueueFor(frame, off_in_page);
+}
+
+GuestTask<void> IpMon::VaranFlushBarrier(Thread* t, int rank) {
+  // Every replica computes the same overflow decision at the same invocation index,
+  // so all of them enter the barrier with the same generation. The buffer resets once
+  // all replicas arrive — this bounds how far the master can run ahead (VARAN bounds
+  // it with its ring size; the window-vs-security discussion is paper §6).
+  uint64_t gen = ++varan_flush_gen_[static_cast<size_t>(rank)];
+  uint64_t hdr = rb_.RankStart(rank);
+  rb_.WriteU64(hdr + 8 + 8 * static_cast<uint64_t>(config_.replica_index), gen);
+  RankHeaderQueue(rank)->Wake();
+  auto all_arrived = [this, hdr, gen] {
+    for (int i = 0; i < config_.num_replicas; ++i) {
+      if (rb_.ReadU64(hdr + 8 + 8 * static_cast<uint64_t>(i)) < gen) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (!all_arrived()) {
+    co_await WaitOn{t, RankHeaderQueue(rank)};
+  }
+  if (is_master()) {
+    rb_.Zero(rb_.RankDataStart(rank), rb_.RankDataEnd(rank) - rb_.RankDataStart(rank));
+    rb_.WriteU64(hdr + 0, gen);  // reset_done
+    RankHeaderQueue(rank)->Wake();
+    ++kernel_->stats().rb_resets;
+  } else {
+    while (rb_.ReadU64(hdr + 0) < gen) {
+      co_await WaitOn{t, RankHeaderQueue(rank)};
+    }
+  }
+  cursor_[static_cast<size_t>(rank)] = rb_.RankDataStart(rank);
+  ++rb_resets_;
+}
+
+GuestTask<void> IpMon::VaranPath(Thread* t, SyscallRequest req) {
+  const CostModel& costs = kernel_->sim()->costs();
+  SimStats& stats = kernel_->stats();
+
+  // Local-resource calls (memory management, threads, signals, futexes) execute in
+  // every replica; nothing to replicate.
+  if (RelaxationPolicy::IsLocalCall(req.nr) || RelaxationPolicy::ForcedCpCall(req.nr)) {
+    int64_t r = co_await ExecDirect{t, req};
+    ++stats.syscalls_unmonitored;
+    kernel_->CompleteSyscall(t, r);
+    co_return;
+  }
+
+  int rank = t->rank();
+  REMON_CHECK(rank < config_.max_ranks);
+  std::vector<uint8_t> sig = SerializeCallSignature(process_, req);
+  uint64_t out_cap = EstimateDataSize(process_, req);
+  uint64_t entry_size = RbEntryOps::EntrySize(sig.size(), out_cap + 16);
+  co_await ThreadCost{t, costs.RbCopyCost(sig.size())};
+
+  uint64_t sub_cap = rb_.RankDataEnd(rank) - rb_.RankDataStart(rank);
+  if (entry_size > sub_cap) {
+    // Oversized transfer: fall back to local execution in every replica (VARAN has
+    // no CP monitor to escalate to).
+    int64_t r = co_await ExecDirect{t, req};
+    kernel_->CompleteSyscall(t, r);
+    co_return;
+  }
+  while (cursor_[static_cast<size_t>(rank)] + entry_size > rb_.RankDataEnd(rank)) {
+    co_await VaranFlushBarrier(t, rank);
+  }
+  uint64_t entry_off = cursor_[static_cast<size_t>(rank)];
+  cursor_[static_cast<size_t>(rank)] += entry_size;
+  uint64_t my_seq = seq_[static_cast<size_t>(rank)]++;
+
+  RecordEpollShadow(t, req);
+
+  if (is_master()) {
+    uint32_t flags = kRbFlagMasterCall | (PredictBlocking(req) ? kRbFlagMaybeBlocking : 0);
+    RbEntryOps::CommitArgs(rb_, entry_off, req.nr, flags, my_seq, entry_size, sig);
+    co_await ThreadCost{t, costs.rb_entry_ns};
+    StateWordQueue(entry_off)->Wake();
+    ++stats.rb_entries;
+    stats.rb_bytes += entry_size;
+
+    int64_t r = co_await ExecDirect{t, req};
+
+    std::vector<uint8_t> payload = BuildResultPayload(t, req, r);
+    co_await ThreadCost{t, costs.RbCopyCost(payload.size() + 16)};
+    uint32_t waiters = RbEntryOps::CommitResults(rb_, entry_off, r, payload);
+    StateWordQueue(entry_off)->Wake();
+    if (waiters > 0) {
+      co_await ThreadCost{t, costs.futex_wake_ns};
+    } else {
+      ++stats.rb_futex_wakes_elided;
+    }
+    ++stats.syscalls_unmonitored;
+    ++stats.syscalls_mastercall;
+    kernel_->CompleteSyscall(t, r);
+  } else {
+    while (rb_.ReadU32(entry_off + kRbOffState) < kRbArgsReady) {
+      RbEntryOps::AddWaiter(rb_, entry_off);
+      ++stats.rb_futex_waits;
+      co_await WaitOn{t, StateWordQueue(entry_off)};
+      RbEntryOps::RemoveWaiter(rb_, entry_off);
+      co_await ThreadCost{t, costs.futex_wait_ns};
+    }
+    std::vector<uint8_t> master_sig = RbEntryOps::ReadSignature(rb_, entry_off);
+    co_await ThreadCost{t, costs.CompareCost(sig.size())};
+    if (master_sig != sig) {
+      // Reliability-oriented: tolerate small discrepancies rather than shutting down
+      // (paper §6 on VARAN's loose consistency checking).
+      ++mismatches_tolerated_;
+    }
+    RbEntryHeader hdr = RbEntryOps::ReadHeader(rb_, entry_off);
+    bool use_futex = (hdr.flags & kRbFlagMaybeBlocking) != 0;
+    while (rb_.ReadU32(entry_off + kRbOffState) < kRbResultsReady) {
+      if (use_futex) {
+        RbEntryOps::AddWaiter(rb_, entry_off);
+        ++stats.rb_futex_waits;
+        co_await WaitOn{t, StateWordQueue(entry_off)};
+        RbEntryOps::RemoveWaiter(rb_, entry_off);
+        co_await ThreadCost{t, costs.futex_wait_ns};
+      } else {
+        ++stats.rb_spin_waits;
+        co_await WaitOn{t, StateWordQueue(entry_off)};
+        co_await ThreadCost{t, costs.spin_iteration_ns};
+      }
+    }
+    hdr = RbEntryOps::ReadHeader(rb_, entry_off);
+    std::vector<uint8_t> payload = RbEntryOps::ReadPayload(rb_, entry_off);
+    co_await ThreadCost{t, costs.RbCopyCost(payload.size())};
+    ApplyResultPayload(t, req, hdr.result, payload);
+    ++stats.syscalls_unmonitored;
+    kernel_->CompleteSyscall(t, hdr.result);
+  }
+}
+
+}  // namespace remon

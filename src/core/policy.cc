@@ -1,0 +1,253 @@
+#include "src/core/policy.h"
+
+#include <array>
+
+namespace remon {
+
+namespace {
+
+// Minimum level at which a call is *unconditionally* exempt (Table 1, middle column).
+// kNoIpmon means "never unconditionally exempt".
+PolicyLevel UnconditionalLevel(Sys nr) {
+  switch (nr) {
+    // BASE_LEVEL: read-only calls that do not operate on file descriptors and do not
+    // affect the file system.
+    case Sys::kGettimeofday:
+    case Sys::kClockGettime:
+    case Sys::kTime:
+    case Sys::kGetpid:
+    case Sys::kGettid:
+    case Sys::kGetpgrp:
+    case Sys::kGetppid:
+    case Sys::kGetgid:
+    case Sys::kGetegid:
+    case Sys::kGetuid:
+    case Sys::kGeteuid:
+    case Sys::kGetcwd:
+    case Sys::kGetpriority:
+    case Sys::kGetrusage:
+    case Sys::kTimes:
+    case Sys::kCapget:
+    case Sys::kGetitimer:
+    case Sys::kSysinfo:
+    case Sys::kUname:
+    case Sys::kSchedYield:
+    case Sys::kNanosleep:
+      return PolicyLevel::kBase;
+
+    // NONSOCKET_RO_LEVEL: read-only calls on regular files/pipes/non-socket FDs,
+    // read-only FS metadata, write calls on process-local variables.
+    case Sys::kAccess:
+    case Sys::kFaccessat:
+    case Sys::kLseek:
+    case Sys::kStat:
+    case Sys::kLstat:
+    case Sys::kFstat:
+    case Sys::kFstatat:
+    case Sys::kGetdents:
+    case Sys::kReadlink:
+    case Sys::kReadlinkat:
+    case Sys::kGetxattr:
+    case Sys::kLgetxattr:
+    case Sys::kFgetxattr:
+    case Sys::kAlarm:
+    case Sys::kSetitimer:
+    case Sys::kTimerfdGettime:
+    case Sys::kMadvise:
+    case Sys::kFadvise64:
+      return PolicyLevel::kNonsocketRo;
+
+    // NONSOCKET_RW_LEVEL: write-ish calls not touching sockets.
+    case Sys::kSync:
+    case Sys::kSyncfs:
+    case Sys::kFsync:
+    case Sys::kFdatasync:
+    case Sys::kTimerfdSettime:
+      return PolicyLevel::kNonsocketRw;
+
+    // SOCKET_RO_LEVEL: read calls on sockets.
+    case Sys::kEpollWait:
+    case Sys::kRecvfrom:
+    case Sys::kRecvmsg:
+    case Sys::kRecvmmsg:
+    case Sys::kGetsockname:
+    case Sys::kGetpeername:
+    case Sys::kGetsockopt:
+      return PolicyLevel::kSocketRo;
+
+    // SOCKET_RW_LEVEL: write calls on sockets.
+    case Sys::kSendto:
+    case Sys::kSendmsg:
+    case Sys::kSendmmsg:
+    case Sys::kSendfile:
+    case Sys::kEpollCtl:
+    case Sys::kSetsockopt:
+    case Sys::kShutdown:
+      return PolicyLevel::kSocketRw;
+
+    default:
+      return PolicyLevel::kNoIpmon;
+  }
+}
+
+// Conditional calls (Table 1, right column): the level at which they become exempt
+// for *non-socket* FDs and for *socket* FDs respectively.
+struct ConditionalRule {
+  bool conditional = false;
+  PolicyLevel nonsocket_level = PolicyLevel::kNoIpmon;
+  PolicyLevel socket_level = PolicyLevel::kNoIpmon;
+};
+
+ConditionalRule ConditionalFor(Sys nr) {
+  switch (nr) {
+    // Read family: non-socket at NONSOCKET_RO, socket at SOCKET_RO.
+    case Sys::kRead:
+    case Sys::kReadv:
+    case Sys::kPread64:
+    case Sys::kPreadv:
+    case Sys::kSelect:
+    case Sys::kPoll:
+      return {true, PolicyLevel::kNonsocketRo, PolicyLevel::kSocketRo};
+    // Process-local writes: futex/ioctl/fcntl at NONSOCKET_RO (socket ioctl/fcntl
+    // follow socket read level).
+    case Sys::kFutex:
+      return {true, PolicyLevel::kNonsocketRo, PolicyLevel::kNonsocketRo};
+    case Sys::kIoctl:
+    case Sys::kFcntl:
+      return {true, PolicyLevel::kNonsocketRo, PolicyLevel::kSocketRo};
+    // Write family: non-socket at NONSOCKET_RW, socket at SOCKET_RW.
+    case Sys::kWrite:
+    case Sys::kWritev:
+    case Sys::kPwrite64:
+    case Sys::kPwritev:
+      return {true, PolicyLevel::kNonsocketRw, PolicyLevel::kSocketRw};
+    default:
+      return {};
+  }
+}
+
+}  // namespace
+
+std::string_view PolicyLevelName(PolicyLevel level) {
+  switch (level) {
+    case PolicyLevel::kNoIpmon: return "NO_IPMON";
+    case PolicyLevel::kBase: return "BASE_LEVEL";
+    case PolicyLevel::kNonsocketRo: return "NONSOCKET_RO_LEVEL";
+    case PolicyLevel::kNonsocketRw: return "NONSOCKET_RW_LEVEL";
+    case PolicyLevel::kSocketRo: return "SOCKET_RO_LEVEL";
+    case PolicyLevel::kSocketRw: return "SOCKET_RW_LEVEL";
+  }
+  return "?";
+}
+
+RelaxationPolicy::RelaxationPolicy(PolicyLevel level, TemporalPolicy temporal)
+    : level_(level), temporal_(temporal) {}
+
+bool RelaxationPolicy::UnconditionallyExempt(Sys nr) const {
+  if (ForcedCpCall(nr)) {
+    return false;
+  }
+  PolicyLevel min = UnconditionalLevel(nr);
+  return min != PolicyLevel::kNoIpmon && static_cast<uint8_t>(level_) >= static_cast<uint8_t>(min);
+}
+
+bool RelaxationPolicy::ConditionallyExempt(Sys nr) const {
+  if (ForcedCpCall(nr)) {
+    return false;
+  }
+  ConditionalRule rule = ConditionalFor(nr);
+  if (!rule.conditional) {
+    return false;
+  }
+  // Conditionally exempt if at least the non-socket threshold is reached.
+  return static_cast<uint8_t>(level_) >= static_cast<uint8_t>(rule.nonsocket_level);
+}
+
+bool RelaxationPolicy::AllowsUnmonitored(Sys nr, FdType fd_type) const {
+  if (ForcedCpCall(nr)) {
+    return false;
+  }
+  if (UnconditionallyExempt(nr)) {
+    return true;
+  }
+  ConditionalRule rule = ConditionalFor(nr);
+  if (!rule.conditional) {
+    return false;
+  }
+  // Special files (/proc/<pid>/maps snapshots and friends) are always forwarded to
+  // GHUMVEE so it can filter their content (paper §3.1 / §3.6).
+  if (fd_type == FdType::kSpecial) {
+    return false;
+  }
+  PolicyLevel needed =
+      fd_type == FdType::kSocket ? rule.socket_level : rule.nonsocket_level;
+  if (needed == PolicyLevel::kNoIpmon) {
+    return false;
+  }
+  return static_cast<uint8_t>(level_) >= static_cast<uint8_t>(needed);
+}
+
+std::vector<bool> RelaxationPolicy::RegistrationMask() const {
+  std::vector<bool> mask(kNumSyscalls, false);
+  for (uint32_t i = 1; i < kNumSyscalls; ++i) {
+    Sys nr = static_cast<Sys>(i);
+    if (!IpmonSupports(nr)) {
+      continue;
+    }
+    mask[i] = UnconditionallyExempt(nr) || ConditionallyExempt(nr);
+  }
+  return mask;
+}
+
+bool RelaxationPolicy::IpmonSupports(Sys nr) {
+  // The fast path: everything Table 1 mentions (67 calls in the paper's prototype).
+  return UnconditionalLevel(nr) != PolicyLevel::kNoIpmon || ConditionalFor(nr).conditional;
+}
+
+bool RelaxationPolicy::IsLocalCall(Sys nr) {
+  switch (nr) {
+    case Sys::kMmap:
+    case Sys::kMunmap:
+    case Sys::kMprotect:
+    case Sys::kMremap:
+    case Sys::kBrk:
+    case Sys::kMadvise:
+    case Sys::kShmat:
+    case Sys::kShmdt:
+    case Sys::kClone:
+    case Sys::kExit:
+    case Sys::kExitGroup:
+    case Sys::kRtSigaction:
+    case Sys::kRtSigprocmask:
+    case Sys::kRtSigreturn:
+    case Sys::kSigaltstack:
+    case Sys::kFutex:
+    case Sys::kSchedYield:
+    case Sys::kNanosleep:
+    case Sys::kPause:
+    case Sys::kRemonIpmonRegister:
+    case Sys::kRemonSyncRegister:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool RelaxationPolicy::ForcedCpCall(Sys nr) {
+  switch (nr) {
+    // Calls that could tamper with IP-MON's mappings or the RB.
+    case Sys::kMprotect:
+    case Sys::kMremap:
+    case Sys::kMunmap:
+    case Sys::kMmap:
+    case Sys::kShmat:
+    case Sys::kShmdt:
+    case Sys::kShmctl:
+    case Sys::kShmget:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace remon

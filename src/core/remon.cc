@@ -1,0 +1,158 @@
+#include "src/core/remon.h"
+
+#include "src/sim/check.h"
+
+namespace remon {
+
+std::string_view MveeModeName(MveeMode mode) {
+  switch (mode) {
+    case MveeMode::kNative: return "native";
+    case MveeMode::kGhumveeOnly: return "ghumvee";
+    case MveeMode::kRemon: return "remon";
+    case MveeMode::kVaranLike: return "varan-like";
+  }
+  return "?";
+}
+
+bool VaranGate::Intercept(Thread* t) {
+  if (!t->process()->ipmon.registered) {
+    return false;  // Initialization prologue runs down the default path.
+  }
+  SyscallRequest req = t->cur_req;
+  kernel_->RunOnThreadCore(t, kernel_->sim()->costs().ikb_route_ns, [this, t, req] {
+    if (!t->alive()) {
+      return;
+    }
+    kernel_->StartAuxCoroutine(
+        t, mon_->HandleCall(t, req, /*token=*/0, /*temporal_exempt=*/false), nullptr);
+  });
+  return true;
+}
+
+Remon::Remon(Kernel* kernel, const RemonOptions& options)
+    : kernel_(kernel),
+      options_(options),
+      layout_rng_(kernel->sim()->rng().Fork()),
+      planner_(&layout_rng_, LayoutOptions{options.aslr, options.dcl,
+                                           /*code_size=*/2 * 1024 * 1024,
+                                           /*ipmon_size=*/256 * 1024}) {
+  REMON_CHECK(options_.replicas >= 1);
+}
+
+Remon::~Remon() = default;
+
+bool Remon::finished() const {
+  for (const Process* p : replicas_) {
+    if (!p->exited) {
+      return false;
+    }
+  }
+  return !replicas_.empty();
+}
+
+void Remon::Launch(ProgramFn body, const std::string& name) {
+  REMON_CHECK(replicas_.empty());
+  int n = options_.mode == MveeMode::kNative ? 1 : options_.replicas;
+  kernel_->set_active_replicas(n);
+
+  RelaxationPolicy policy(options_.level, options_.temporal);
+
+  if (options_.mode == MveeMode::kGhumveeOnly || options_.mode == MveeMode::kRemon) {
+    ghumvee_ = std::make_unique<Ghumvee>(kernel_);
+    ghumvee_->set_rb_migration(options_.rb_migration);
+  }
+  if (options_.mode == MveeMode::kRemon) {
+    broker_ = std::make_unique<IkBroker>(kernel_, policy);
+    if (options_.temporal.enabled) {
+      temporal_ = std::make_unique<TemporalExemptionState>(options_.temporal,
+                                                           &kernel_->sim()->rng(), n);
+      broker_->set_temporal(temporal_.get());
+      ghumvee_->set_temporal(temporal_.get());
+    }
+  }
+  if (options_.mode == MveeMode::kVaranLike) {
+    varan_file_map_ = std::make_unique<FileMap>();
+  }
+
+  // Shared body anchor: every replica's prologue wrapper references the same callable.
+  auto shared_body = std::make_shared<ProgramFn>(std::move(body));
+
+  for (int i = 0; i < n; ++i) {
+    LayoutPlan plan = planner_.PlanFor(i);
+    Process* p = kernel_->CreateProcess(name + "-r" + std::to_string(i), options_.machine,
+                                        plan);
+    p->replica_index = options_.mode == MveeMode::kNative ? -1 : i;
+    p->mem_intensity = options_.mem_intensity;
+    // The IP-MON "shared library" text region (hidden from /proc/maps by GHUMVEE).
+    if (options_.mode == MveeMode::kRemon || options_.mode == MveeMode::kVaranLike) {
+      REMON_CHECK(p->mem().MapFixed(plan.ipmon_base, plan.ipmon_size,
+                                    kProtRead | kProtExec, false, "libipmon"));
+    }
+    replicas_.push_back(p);
+
+    if (ghumvee_ != nullptr) {
+      ghumvee_->AddReplica(p);
+    }
+
+    if (options_.mode == MveeMode::kRemon || options_.mode == MveeMode::kVaranLike) {
+      IpMon::Config cfg;
+      cfg.replica_index = i;
+      cfg.num_replicas = n;
+      cfg.rb_size = options_.rb_size;
+      cfg.max_ranks = options_.max_ranks;
+      cfg.mode =
+          options_.mode == MveeMode::kVaranLike ? IpmonMode::kVaranLike : IpmonMode::kRemon;
+      cfg.wait_mode = options_.wait_mode;
+      FileMap* fm = options_.mode == MveeMode::kRemon ? ghumvee_->file_map()
+                                                      : varan_file_map_.get();
+      ipmons_.push_back(
+          std::make_unique<IpMon>(kernel_, broker_.get(), policy, fm, cfg));
+      if (options_.mode == MveeMode::kRemon) {
+        ghumvee_->AttachIpmon(i, ipmons_.back().get());
+        broker_->AttachReplica(p, ipmons_.back().get());
+      } else {
+        varan_gates_.push_back(
+            std::make_unique<VaranGate>(kernel_, ipmons_.back().get()));
+        p->gate = varan_gates_.back().get();
+      }
+    }
+
+    if (options_.use_sync_agent && options_.mode != MveeMode::kNative) {
+      SyncAgent::Config scfg;
+      scfg.replica_index = i;
+      scfg.num_replicas = n;
+      agents_.push_back(std::make_unique<SyncAgent>(kernel_, scfg));
+    }
+  }
+
+  // Set peer lists (IP-MONs need to know the replica set for barriers).
+  std::vector<IpMon*> peer_ptrs;
+  for (auto& m : ipmons_) {
+    peer_ptrs.push_back(m.get());
+  }
+  for (auto& m : ipmons_) {
+    m->set_peers(peer_ptrs);
+  }
+
+  // Spawn each replica's main thread: MVEE prologue, then the workload body.
+  for (int i = 0; i < n; ++i) {
+    IpMon* mon = ipmon(i);
+    SyncAgent* agent = sync_agent(i);
+    ProgramFn wrapped = [shared_body, mon, agent](Guest& g) -> GuestTask<void> {
+      if (agent != nullptr) {
+        co_await agent->Initialize(g);
+      }
+      if (mon != nullptr) {
+        co_await mon->Initialize(g);
+      }
+      co_await (*shared_body)(g);
+    };
+    kernel_->SpawnThread(replicas_[static_cast<size_t>(i)], std::move(wrapped));
+  }
+
+  if (ghumvee_ != nullptr) {
+    ghumvee_->Start();
+  }
+}
+
+}  // namespace remon

@@ -1,0 +1,120 @@
+// ReMon front end: wires the full MVEE (and the baselines) together.
+//
+// One Remon instance launches N diversified replicas of a guest program and
+// supervises them in one of four modes:
+//
+//   kNative      — a single unmonitored process (the baseline denominator).
+//   kGhumveeOnly — the classic cross-process MVEE: every call monitored in lockstep
+//                  (the paper's "no IP-MON" configuration).
+//   kRemon       — the paper's contribution: GHUMVEE + IK-B + IP-MON with a
+//                  configurable spatial/temporal relaxation policy.
+//   kVaranLike   — a reliability-oriented in-process-only monitor (no lockstep, no
+//                  CP isolation), the VARAN-style comparison point of Table 2.
+//
+// Replicas get diversified address-space layouts (ASLR + Disjoint Code Layouts).
+
+#ifndef SRC_CORE_REMON_H_
+#define SRC_CORE_REMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/broker.h"
+#include "src/core/ghumvee.h"
+#include "src/core/ipmon.h"
+#include "src/core/policy.h"
+#include "src/core/sync_agent.h"
+#include "src/kernel/kernel.h"
+#include "src/mem/layout.h"
+
+namespace remon {
+
+enum class MveeMode { kNative, kGhumveeOnly, kRemon, kVaranLike };
+
+std::string_view MveeModeName(MveeMode mode);
+
+struct RemonOptions {
+  MveeMode mode = MveeMode::kRemon;
+  int replicas = 2;
+  PolicyLevel level = PolicyLevel::kSocketRw;
+  TemporalPolicy temporal;
+  uint64_t rb_size = 16 * 1024 * 1024;
+  int max_ranks = 16;
+  bool aslr = true;
+  bool dcl = true;
+  uint32_t machine = 0;
+  // Memory pressure of the workload in [0, 1] (drives the replica-contention
+  // dilation of compute bursts; see CostModel).
+  double mem_intensity = 0.2;
+  // Enable the record/replay agent for multi-threaded workloads.
+  bool use_sync_agent = false;
+  // Slave wait strategy (ablation knob; kAuto is the paper's design).
+  IpmonWaitMode wait_mode = IpmonWaitMode::kAuto;
+  // §4 extension: periodically migrate the RB to fresh addresses at flush points.
+  bool rb_migration = false;
+};
+
+// Gate for the VARAN-like mode: routes every system call of a registered replica to
+// its in-process monitor; there is no broker, no tokens, and no CP fallback.
+class VaranGate : public SyscallGate {
+ public:
+  VaranGate(Kernel* kernel, IpMon* mon) : kernel_(kernel), mon_(mon) {}
+  bool Intercept(Thread* t) override;
+
+ private:
+  Kernel* kernel_;
+  IpMon* mon_;
+};
+
+class Remon {
+ public:
+  Remon(Kernel* kernel, const RemonOptions& options);
+  ~Remon();
+  Remon(const Remon&) = delete;
+  Remon& operator=(const Remon&) = delete;
+
+  // Launches the replica set running `body`. Each replica executes the MVEE prologue
+  // (sync-agent + IP-MON initialization, as configured) before the workload body.
+  void Launch(ProgramFn body, const std::string& name = "app");
+
+  const RemonOptions& options() const { return options_; }
+  Ghumvee* ghumvee() const { return ghumvee_.get(); }
+  IkBroker* broker() const { return broker_.get(); }
+  IpMon* ipmon(int replica_index) const {
+    return replica_index < static_cast<int>(ipmons_.size())
+               ? ipmons_[static_cast<size_t>(replica_index)].get()
+               : nullptr;
+  }
+  SyncAgent* sync_agent(int replica_index) const {
+    return replica_index < static_cast<int>(agents_.size())
+               ? agents_[static_cast<size_t>(replica_index)].get()
+               : nullptr;
+  }
+  Process* master() const { return replicas_.empty() ? nullptr : replicas_[0]; }
+  const std::vector<Process*>& replicas() const { return replicas_; }
+
+  bool divergence_detected() const {
+    return ghumvee_ != nullptr && ghumvee_->divergence_detected();
+  }
+  // True when every replica has exited (normally or via shutdown).
+  bool finished() const;
+
+ private:
+  Kernel* kernel_;
+  RemonOptions options_;
+  Rng layout_rng_;
+  LayoutPlanner planner_;
+  std::unique_ptr<Ghumvee> ghumvee_;
+  std::unique_ptr<IkBroker> broker_;
+  std::unique_ptr<TemporalExemptionState> temporal_;
+  std::unique_ptr<FileMap> varan_file_map_;
+  std::vector<std::unique_ptr<IpMon>> ipmons_;
+  std::vector<std::unique_ptr<SyncAgent>> agents_;
+  std::vector<std::unique_ptr<VaranGate>> varan_gates_;
+  std::vector<Process*> replicas_;
+};
+
+}  // namespace remon
+
+#endif  // SRC_CORE_REMON_H_

@@ -1,0 +1,131 @@
+#include "src/core/replication_buffer.h"
+
+#include <cstring>
+
+#include "src/sim/check.h"
+
+namespace remon {
+
+namespace {
+constexpr uint64_t kOffSignalsPending = 0;
+}  // namespace
+
+void RbView::SetSignalsPending(bool pending) {
+  WriteU32(kOffSignalsPending, pending ? 1 : 0);
+}
+
+bool RbView::SignalsPending() const { return ReadU32(kOffSignalsPending) != 0; }
+
+uint32_t RbView::ReadU32(uint64_t offset) const {
+  uint32_t v = 0;
+  REMON_CHECK(process_->mem().ReadUnchecked(base_ + offset, &v, 4).ok);
+  return v;
+}
+
+uint64_t RbView::ReadU64(uint64_t offset) const {
+  uint64_t v = 0;
+  REMON_CHECK(process_->mem().ReadUnchecked(base_ + offset, &v, 8).ok);
+  return v;
+}
+
+void RbView::WriteU32(uint64_t offset, uint32_t v) {
+  REMON_CHECK(process_->mem().WriteUnchecked(base_ + offset, &v, 4).ok);
+}
+
+void RbView::WriteU64(uint64_t offset, uint64_t v) {
+  REMON_CHECK(process_->mem().WriteUnchecked(base_ + offset, &v, 8).ok);
+}
+
+void RbView::WriteBytes(uint64_t offset, const void* data, uint64_t len) {
+  REMON_CHECK(process_->mem().WriteUnchecked(base_ + offset, data, len).ok);
+}
+
+void RbView::ReadBytes(uint64_t offset, void* out, uint64_t len) const {
+  REMON_CHECK(process_->mem().ReadUnchecked(base_ + offset, out, len).ok);
+}
+
+void RbView::Zero(uint64_t offset, uint64_t len) {
+  static const uint8_t kZeros[4096] = {0};
+  while (len > 0) {
+    uint64_t n = len < sizeof(kZeros) ? len : sizeof(kZeros);
+    WriteBytes(offset, kZeros, n);
+    offset += n;
+    len -= n;
+  }
+}
+
+RbEntryHeader RbEntryOps::ReadHeader(const RbView& view, uint64_t entry_off) {
+  RbEntryHeader h;
+  h.state = view.ReadU32(entry_off + kRbOffState);
+  h.waiters = view.ReadU32(entry_off + kRbOffWaiters);
+  h.sysno = view.ReadU32(entry_off + kRbOffSysno);
+  h.flags = view.ReadU32(entry_off + kRbOffFlags);
+  h.total_size = view.ReadU64(entry_off + kRbOffTotalSize);
+  h.seq = view.ReadU64(entry_off + kRbOffSeq);
+  h.result = static_cast<int64_t>(view.ReadU64(entry_off + kRbOffResult));
+  h.sig_len = view.ReadU64(entry_off + kRbOffSigLen);
+  h.out_len = view.ReadU64(entry_off + kRbOffOutLen);
+  return h;
+}
+
+void RbEntryOps::CommitArgs(RbView& view, uint64_t entry_off, Sys nr, uint32_t flags,
+                            uint64_t seq, uint64_t total_size,
+                            const std::vector<uint8_t>& signature) {
+  view.WriteU32(entry_off + kRbOffWaiters, 0);
+  view.WriteU32(entry_off + kRbOffSysno, static_cast<uint32_t>(nr));
+  view.WriteU32(entry_off + kRbOffFlags, flags);
+  view.WriteU64(entry_off + kRbOffTotalSize, total_size);
+  view.WriteU64(entry_off + kRbOffSeq, seq);
+  view.WriteU64(entry_off + kRbOffSigLen, signature.size());
+  view.WriteU64(entry_off + kRbOffOutLen, 0);
+  if (!signature.empty()) {
+    view.WriteBytes(entry_off + kRbEntryHeaderSize, signature.data(), signature.size());
+  }
+  // State flip last: slaves poll/wait on this word.
+  view.WriteU32(entry_off + kRbOffState, kRbArgsReady);
+}
+
+uint32_t RbEntryOps::CommitResults(RbView& view, uint64_t entry_off, int64_t result,
+                                   const std::vector<uint8_t>& payload) {
+  uint64_t sig_len = view.ReadU64(entry_off + kRbOffSigLen);
+  view.WriteU64(entry_off + kRbOffResult, static_cast<uint64_t>(result));
+  view.WriteU64(entry_off + kRbOffOutLen, payload.size());
+  if (!payload.empty()) {
+    view.WriteBytes(entry_off + kRbEntryHeaderSize + sig_len, payload.data(), payload.size());
+  }
+  uint32_t waiters = view.ReadU32(entry_off + kRbOffWaiters);
+  view.WriteU32(entry_off + kRbOffState, kRbResultsReady);
+  return waiters;
+}
+
+std::vector<uint8_t> RbEntryOps::ReadSignature(const RbView& view, uint64_t entry_off) {
+  uint64_t len = view.ReadU64(entry_off + kRbOffSigLen);
+  std::vector<uint8_t> out(len);
+  if (len > 0) {
+    view.ReadBytes(entry_off + kRbEntryHeaderSize, out.data(), len);
+  }
+  return out;
+}
+
+std::vector<uint8_t> RbEntryOps::ReadPayload(const RbView& view, uint64_t entry_off) {
+  uint64_t sig_len = view.ReadU64(entry_off + kRbOffSigLen);
+  uint64_t len = view.ReadU64(entry_off + kRbOffOutLen);
+  std::vector<uint8_t> out(len);
+  if (len > 0) {
+    view.ReadBytes(entry_off + kRbEntryHeaderSize + sig_len, out.data(), len);
+  }
+  return out;
+}
+
+void RbEntryOps::AddWaiter(RbView& view, uint64_t entry_off) {
+  view.WriteU32(entry_off + kRbOffWaiters, view.ReadU32(entry_off + kRbOffWaiters) + 1);
+}
+
+void RbEntryOps::RemoveWaiter(RbView& view, uint64_t entry_off) {
+  uint32_t w = view.ReadU32(entry_off + kRbOffWaiters);
+  if (w > 0) {
+    view.WriteU32(entry_off + kRbOffWaiters, w - 1);
+  }
+}
+
+}  // namespace remon

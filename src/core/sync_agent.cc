@@ -1,0 +1,66 @@
+#include "src/core/sync_agent.h"
+
+#include "src/core/await.h"
+#include "src/sim/check.h"
+
+namespace remon {
+
+GuestTask<void> SyncAgent::Initialize(Guest& g) {
+  int64_t shmid = co_await g.Shmget(kSyncShmKey, config_.log_size, kIpcCreat);
+  REMON_CHECK_MSG(shmid >= 0, "sync agent: shmget failed");
+  int64_t addr = co_await g.Shmat(static_cast<int>(shmid));
+  REMON_CHECK_MSG(addr > 0, "sync agent: shmat failed");
+  log_ = RbView(g.process(), static_cast<GuestAddr>(addr), config_.log_size, 1);
+  int64_t rc = co_await g.Syscall(Sys::kRemonSyncRegister, static_cast<uint64_t>(addr));
+  REMON_CHECK(rc == 0);
+}
+
+WaitQueue* SyncAgent::LogQueue() {
+  uint64_t off_in_page = 0;
+  Page* frame = log_.process()->mem().ResolveFrame(log_.AddrOf(kOffTail), &off_in_page);
+  REMON_CHECK(frame != nullptr);
+  return &kernel_->futex().QueueFor(frame, off_in_page);
+}
+
+GuestTask<void> SyncAgent::BeforeAcquire(Guest& g, uint32_t object_id) {
+  REMON_CHECK(log_.valid());
+  Thread* t = g.thread();
+  uint32_t rank = static_cast<uint32_t>(t->rank());
+  // A small in-process cost per synchronization operation (the agent's bookkeeping).
+  co_await ThreadCost{t, 120};
+
+  if (is_master()) {
+    uint64_t tail = log_.ReadU64(kOffTail);
+    uint64_t entry_off = kOffEntries + tail * 8;
+    REMON_CHECK_MSG(entry_off + 8 <= config_.log_size, "sync agent: log exhausted");
+    log_.WriteU32(entry_off, object_id);
+    log_.WriteU32(entry_off + 4, rank);
+    log_.WriteU64(kOffTail, tail + 1);
+    ++ops_recorded_;
+    ++kernel_->stats().sync_ops_recorded;
+    LogQueue()->Wake();
+    co_return;
+  }
+
+  // Slave: entries are consumed strictly in log order by whichever thread they name;
+  // the per-replica cursor is shared by all of this replica's threads. Wait until the
+  // head op is ours (a peer consuming its op wakes us to re-check).
+  for (;;) {
+    uint64_t tail = log_.ReadU64(kOffTail);
+    if (read_cursor_ < tail) {
+      uint64_t entry_off = kOffEntries + read_cursor_ * 8;
+      uint32_t obj = log_.ReadU32(entry_off);
+      uint32_t r = log_.ReadU32(entry_off + 4);
+      if (obj == object_id && r == rank) {
+        ++read_cursor_;
+        ++ops_replayed_;
+        ++kernel_->stats().sync_ops_replayed;
+        LogQueue()->Wake();  // Another slave thread may now be at the head.
+        co_return;
+      }
+    }
+    co_await WaitOn{t, LogQueue()};
+  }
+}
+
+}  // namespace remon

@@ -1,0 +1,61 @@
+// Record/replay agent for user-space synchronization (paper §2.3).
+//
+// Multi-threaded replicas are non-deterministic: without intervention their threads
+// can acquire locks in different orders, execute different system-call sequences, and
+// trip GHUMVEE's lockstep even on identical inputs. ReMon embeds a small agent in
+// each replica that forces user-space synchronization operations to happen in the
+// same order everywhere: the master logs each acquisition (object id, thread rank)
+// into a shared totally-ordered log; slave threads block until the log says it is
+// their turn.
+
+#ifndef SRC_CORE_SYNC_AGENT_H_
+#define SRC_CORE_SYNC_AGENT_H_
+
+#include <cstdint>
+
+#include "src/core/replication_buffer.h"
+#include "src/kernel/guest.h"
+#include "src/kernel/kernel.h"
+
+namespace remon {
+
+class SyncAgent {
+ public:
+  struct Config {
+    int replica_index = 0;
+    int num_replicas = 2;
+    uint64_t log_size = 1024 * 1024;
+  };
+
+  SyncAgent(Kernel* kernel, Config config) : kernel_(kernel), config_(config) {}
+
+  bool is_master() const { return config_.replica_index == 0; }
+
+  // Guest-side setup: attach the shared log segment and register with the kernel.
+  GuestTask<void> Initialize(Guest& g);
+
+  // Serialization point before acquiring synchronization object `object_id`: the
+  // master appends (object, rank); slaves wait until the log replays that exact
+  // operation at their cursor.
+  GuestTask<void> BeforeAcquire(Guest& g, uint32_t object_id);
+
+  uint64_t ops_recorded() const { return ops_recorded_; }
+  uint64_t ops_replayed() const { return ops_replayed_; }
+
+ private:
+  WaitQueue* LogQueue();
+
+  static constexpr uint64_t kOffTail = 0;
+  static constexpr uint64_t kOffEntries = 64;
+
+  Kernel* kernel_;
+  Config config_;
+  RbView log_;
+  uint64_t read_cursor_ = 0;  // Slave-side: next log index to replay.
+  uint64_t ops_recorded_ = 0;
+  uint64_t ops_replayed_ = 0;
+};
+
+}  // namespace remon
+
+#endif  // SRC_CORE_SYNC_AGENT_H_

@@ -1,0 +1,138 @@
+#include "src/harness/runner.h"
+
+#include <cmath>
+
+#include "src/kernel/kernel.h"
+#include "src/mem/shm.h"
+#include "src/sim/check.h"
+#include "src/vfs/fs.h"
+
+namespace remon {
+
+namespace {
+
+// One hermetic simulated world.
+struct World {
+  explicit World(const RunConfig& config)
+      : sim(config.seed, config.costs), net(&sim), kernel(&sim, &fs, &net, &shm) {
+    server_machine = net.AddMachine("server");
+    client_machine = net.AddMachine("client");
+  }
+  Simulator sim;
+  Filesystem fs;
+  Network net;
+  ShmRegistry shm;
+  Kernel kernel;
+  uint32_t server_machine;
+  uint32_t client_machine;
+};
+
+RemonOptions OptionsFor(const RunConfig& config, double mem_intensity,
+                        bool multithreaded) {
+  RemonOptions opts;
+  opts.mode = config.mode;
+  opts.replicas = config.replicas;
+  opts.level = config.level;
+  opts.temporal = config.temporal;
+  opts.rb_size = config.rb_size;
+  opts.wait_mode = config.wait_mode;
+  opts.mem_intensity = mem_intensity;
+  opts.use_sync_agent = false;  // Suite workloads are race-free by construction.
+  return opts;
+}
+
+}  // namespace
+
+SuiteResult RunSuiteWorkload(const WorkloadSpec& spec, const RunConfig& config) {
+  World w(config);
+  Remon mvee(&w.kernel, OptionsFor(config, spec.mem_intensity, spec.threads > 1));
+  mvee.Launch(SuiteProgram(spec), spec.name);
+  w.sim.Run();
+  SuiteResult result;
+  result.name = spec.name;
+  result.seconds = static_cast<double>(w.sim.now()) / 1e9;
+  result.diverged = mvee.divergence_detected();
+  result.finished = mvee.finished();
+  result.stats = w.sim.stats();
+  return result;
+}
+
+double NormalizedSuiteTime(const WorkloadSpec& spec, const RunConfig& config) {
+  RunConfig native = config;
+  native.mode = MveeMode::kNative;
+  SuiteResult base = RunSuiteWorkload(spec, native);
+  SuiteResult run = RunSuiteWorkload(spec, config);
+  REMON_CHECK_MSG(base.finished && !base.diverged, "native suite run failed");
+  if (!run.finished || run.diverged || base.seconds <= 0) {
+    return -1.0;  // Signals a failed configuration in reports.
+  }
+  return run.seconds / base.seconds;
+}
+
+ServerResult RunServerBench(const ServerSpec& server, const ClientSpec& client_spec,
+                            const RunConfig& config, LinkParams link) {
+  World w(config);
+  w.net.SetLink(w.server_machine, w.client_machine, link);
+
+  RemonOptions opts = OptionsFor(config, server.mem_intensity, server.workers > 1);
+  opts.machine = w.server_machine;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch(ServerProgram(server), server.name);
+
+  // The client rides on a separate, unmonitored machine.
+  ClientSpec cs = client_spec;
+  cs.server_machine = w.server_machine;
+  cs.port = server.port;
+  cs.request_bytes = cs.request_bytes != 0 ? cs.request_bytes : server.default_response;
+  ClientStats stats;
+  LayoutPlanner planner(&w.sim.rng());
+  Process* client_proc =
+      w.kernel.CreateProcess("client", w.client_machine, planner.PlanFor(8));
+  // Give the servers a small head start to reach their accept loops.
+  w.kernel.SpawnThread(client_proc, [&cs, &stats](Guest& g) -> GuestTask<void> {
+    co_await g.SleepNs(Millis(2));
+    ProgramFn body = ClientProgram(cs, &stats);
+    co_await body(g);
+  });
+
+  w.sim.Run();
+
+  ServerResult result;
+  result.name = server.name;
+  result.seconds = stats.Seconds();
+  result.requests = stats.completed;
+  result.throughput = stats.Throughput();
+  result.mean_latency_us = static_cast<double>(stats.MeanLatency()) / 1e3;
+  result.diverged = mvee.divergence_detected();
+  result.stats = w.sim.stats();
+  return result;
+}
+
+double NormalizedServerTime(const ServerSpec& server, const ClientSpec& client,
+                            const RunConfig& config, LinkParams link) {
+  RunConfig native = config;
+  native.mode = MveeMode::kNative;
+  ServerResult base = RunServerBench(server, client, native, link);
+  ServerResult run = RunServerBench(server, client, config, link);
+  if (base.seconds <= 0 || run.seconds <= 0 || run.diverged) {
+    return -1.0;
+  }
+  return run.seconds / base.seconds;
+}
+
+double GeoMean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0;
+  }
+  double log_sum = 0;
+  int n = 0;
+  for (double x : xs) {
+    if (x > 0) {
+      log_sum += std::log(x);
+      ++n;
+    }
+  }
+  return n > 0 ? std::exp(log_sum / n) : 0;
+}
+
+}  // namespace remon

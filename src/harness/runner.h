@@ -1,0 +1,72 @@
+// Benchmark runner: builds a fresh simulated world per measurement, runs a workload
+// under a given MVEE configuration, and reports durations/statistics.
+//
+// Every run is hermetic (own Simulator/filesystem/network/kernel seeded identically),
+// so normalized overheads compare like with like — the virtual-time analog of the
+// paper pinning frequencies and disabling hyper-threading "to maximize
+// reproducibility of our measurements".
+
+#ifndef SRC_HARNESS_RUNNER_H_
+#define SRC_HARNESS_RUNNER_H_
+
+#include <string>
+
+#include "src/core/remon.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+#include "src/workloads/clients.h"
+#include "src/workloads/servers.h"
+#include "src/workloads/suites.h"
+
+namespace remon {
+
+struct RunConfig {
+  MveeMode mode = MveeMode::kNative;
+  int replicas = 2;
+  PolicyLevel level = PolicyLevel::kSocketRw;
+  TemporalPolicy temporal;
+  uint64_t seed = 1;
+  CostModel costs = CostModel::Default();
+  uint64_t rb_size = 16 * 1024 * 1024;
+  IpmonWaitMode wait_mode = IpmonWaitMode::kAuto;
+};
+
+struct SuiteResult {
+  std::string name;
+  double seconds = 0;  // Virtual wall-clock of the run.
+  bool diverged = false;
+  bool finished = false;
+  SimStats stats;
+};
+
+// Runs one suite workload to completion under `config`.
+SuiteResult RunSuiteWorkload(const WorkloadSpec& spec, const RunConfig& config);
+
+// Normalized execution time: duration under `config` / duration native (same seed).
+double NormalizedSuiteTime(const WorkloadSpec& spec, const RunConfig& config);
+
+struct ServerResult {
+  std::string name;
+  double seconds = 0;       // Client-observed run time.
+  int requests = 0;
+  double throughput = 0;    // Requests per virtual second.
+  double mean_latency_us = 0;
+  bool diverged = false;
+  SimStats stats;
+};
+
+// Runs a server under `config` with a closed-loop client over a link with the given
+// parameters (the netem analog).
+ServerResult RunServerBench(const ServerSpec& server, const ClientSpec& client,
+                            const RunConfig& config, LinkParams link);
+
+// Normalized runtime of the server benchmark (client completion time vs native).
+double NormalizedServerTime(const ServerSpec& server, const ClientSpec& client,
+                            const RunConfig& config, LinkParams link);
+
+// Geometric mean helper.
+double GeoMean(const std::vector<double>& xs);
+
+}  // namespace remon
+
+#endif  // SRC_HARNESS_RUNNER_H_

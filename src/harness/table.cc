@@ -1,0 +1,59 @@
+#include "src/harness/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace remon {
+
+std::string Table::Num(double v, int precision) {
+  if (v < 0) {
+    return "-";
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out += "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      std::string cell = i < cells.size() ? cells[i] : "";
+      out += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+  emit_row(headers_);
+  out += "|";
+  for (size_t w : widths) {
+    out += std::string(w + 2, '-') + "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out;
+}
+
+void Table::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string Bar(double value, double max, int width) {
+  if (max <= 0 || value < 0) {
+    return "";
+  }
+  int n = static_cast<int>(value / max * width);
+  n = std::clamp(n, 0, width);
+  return std::string(static_cast<size_t>(n), '#');
+}
+
+}  // namespace remon

@@ -1,0 +1,35 @@
+// ASCII table/figure rendering for the benchmark binaries.
+
+#ifndef SRC_HARNESS_TABLE_H_
+#define SRC_HARNESS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace remon {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  // Convenience: formats doubles with `precision` decimals ("-" for negatives, which
+  // the runner uses to flag failed configurations).
+  static std::string Num(double v, int precision = 2);
+
+  // Renders with aligned columns.
+  std::string Render() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders a quick horizontal bar (for figure-style output), scaled to `max`.
+std::string Bar(double value, double max, int width = 40);
+
+}  // namespace remon
+
+#endif  // SRC_HARNESS_TABLE_H_

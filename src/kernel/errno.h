@@ -1,0 +1,70 @@
+// Guest-visible errno values (Linux x86-64 numbering).
+//
+// Simulated system calls return 0/positive on success and -errno on failure, exactly
+// like the raw Linux syscall ABI the monitors interpose on.
+
+#ifndef SRC_KERNEL_ERRNO_H_
+#define SRC_KERNEL_ERRNO_H_
+
+#include <cstdint>
+
+namespace remon {
+
+inline constexpr int kEPERM = 1;
+inline constexpr int kENOENT = 2;
+inline constexpr int kESRCH = 3;
+inline constexpr int kEINTR = 4;
+inline constexpr int kEIO = 5;
+inline constexpr int kEBADF = 9;
+inline constexpr int kECHILD = 10;
+inline constexpr int kEAGAIN = 11;
+inline constexpr int kENOMEM = 12;
+inline constexpr int kEACCES = 13;
+inline constexpr int kEFAULT = 14;
+inline constexpr int kEBUSY = 16;
+inline constexpr int kEEXIST = 17;
+inline constexpr int kENOTDIR = 20;
+inline constexpr int kEISDIR = 21;
+inline constexpr int kEINVAL = 22;
+inline constexpr int kENFILE = 23;
+inline constexpr int kEMFILE = 24;
+inline constexpr int kENOTTY = 25;
+inline constexpr int kEFBIG = 27;
+inline constexpr int kENOSPC = 28;
+inline constexpr int kESPIPE = 29;
+inline constexpr int kEROFS = 30;
+inline constexpr int kEPIPE = 32;
+inline constexpr int kERANGE = 34;
+inline constexpr int kENOSYS = 38;
+inline constexpr int kENOTEMPTY = 39;
+inline constexpr int kELOOP = 40;
+inline constexpr int kENODATA = 61;
+inline constexpr int kETIME = 62;
+inline constexpr int kENOTSOCK = 88;
+inline constexpr int kEDESTADDRREQ = 89;
+inline constexpr int kEMSGSIZE = 90;
+inline constexpr int kEOPNOTSUPP = 95;
+inline constexpr int kEADDRINUSE = 98;
+inline constexpr int kEADDRNOTAVAIL = 99;
+inline constexpr int kENETUNREACH = 101;
+inline constexpr int kECONNABORTED = 103;
+inline constexpr int kECONNRESET = 104;
+inline constexpr int kENOBUFS = 105;
+inline constexpr int kEISCONN = 106;
+inline constexpr int kENOTCONN = 107;
+inline constexpr int kETIMEDOUT = 110;
+inline constexpr int kECONNREFUSED = 111;
+inline constexpr int kEALREADY = 114;
+inline constexpr int kEINPROGRESS = 115;
+// Kernel-internal: system call was interrupted and the MVEE decided how to restart it
+// (mirrors Linux's ERESTARTSYS family, never visible to well-behaved user code).
+inline constexpr int kERestartSys = 512;
+
+// True for return values in the "error window" of the raw syscall ABI.
+constexpr bool IsSyscallError(int64_t ret) { return ret < 0 && ret >= -4095; }
+
+const char* ErrnoName(int err);
+
+}  // namespace remon
+
+#endif  // SRC_KERNEL_ERRNO_H_

@@ -1,0 +1,52 @@
+// Futex wait queues.
+//
+// Keys are (physical frame, offset) pairs, so a futex word in shared memory — e.g.
+// inside the IP-MON replication buffer, mapped at a *different* virtual address in
+// every replica — correctly wakes waiters across processes. This is the substrate for
+// IP-MON's per-invocation condition variables (paper §3.7) and for the record/replay
+// agent's synchronization replication (§2.3).
+
+#ifndef SRC_KERNEL_FUTEX_H_
+#define SRC_KERNEL_FUTEX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "src/mem/page.h"
+#include "src/vfs/wait_queue.h"
+
+namespace remon {
+
+class FutexTable {
+ public:
+  using Key = std::pair<const Page*, uint64_t>;
+
+  // Returns the wait queue for a futex word (creating it on demand).
+  WaitQueue& QueueFor(const Page* frame, uint64_t offset) {
+    return queues_[Key{frame, offset & ~uint64_t{3}}];
+  }
+
+  // Wakes up to `n` waiters; returns the number woken.
+  int Wake(const Page* frame, uint64_t offset, int n) {
+    auto it = queues_.find(Key{frame, offset & ~uint64_t{3}});
+    if (it == queues_.end()) {
+      return 0;
+    }
+    int woken = 0;
+    while (woken < n && it->second.has_waiters()) {
+      it->second.WakeN(1);
+      ++woken;
+    }
+    return woken;
+  }
+
+  size_t queue_count() const { return queues_.size(); }
+
+ private:
+  std::map<Key, WaitQueue> queues_;
+};
+
+}  // namespace remon
+
+#endif  // SRC_KERNEL_FUTEX_H_

@@ -1,0 +1,660 @@
+#include "src/kernel/kernel.h"
+
+#include <algorithm>
+
+#include "src/kernel/guest.h"
+#include "src/sim/check.h"
+
+namespace remon {
+
+namespace {
+
+constexpr uint64_t kHeapRegionSize = 64 * 1024 * 1024;
+constexpr uint64_t kStackSize = 1024 * 1024;
+constexpr uint64_t kStackStride = 4 * 1024 * 1024;
+
+uint64_t SigBit(int sig) { return 1ULL << (sig - 1); }
+
+// Context for auxiliary root coroutines (signal handlers, IP-MON handler bodies).
+struct AuxDoneCtx {
+  Kernel* kernel = nullptr;
+  Thread* thread = nullptr;
+  std::coroutine_handle<> frame;
+  std::function<void()> then;
+};
+
+}  // namespace
+
+Kernel::Kernel(Simulator* sim, Filesystem* fs, Network* net, ShmRegistry* shm)
+    : sim_(sim), fs_(fs), net_(net), shm_(shm) {}
+
+Kernel::~Kernel() {
+  // Destroy still-live coroutine frames before members go away.
+  for (auto& t : threads_) {
+    if (t->root_frame) {
+      t->root_frame.destroy();
+      t->root_frame = nullptr;
+    }
+    for (auto h : t->aux_frames) {
+      h.destroy();
+    }
+    t->aux_frames.clear();
+  }
+}
+
+Thread::~Thread() = default;
+
+int Kernel::LiveThreadCount(const Process* process) {
+  int n = 0;
+  for (const Thread* t : process->threads) {
+    if (t->alive()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Process* Kernel::CreateProcess(std::string name, uint32_t machine, const LayoutPlan& plan) {
+  auto proc = std::make_unique<Process>(this, next_pid_++, std::move(name), machine);
+  Process* p = proc.get();
+  p->layout = plan;
+  // Map the standard regions: program text, IP-MON text (populated lazily by the
+  // broker when IP-MON is loaded), and the heap.
+  REMON_CHECK(p->mem().MapFixed(plan.code_base, plan.code_size, kProtRead | kProtExec, false,
+                                p->name() + "-text"));
+  REMON_CHECK(
+      p->mem().MapFixed(plan.heap_base, kHeapRegionSize, kProtRead | kProtWrite, false, "[heap]"));
+  p->brk_start = plan.heap_base + kHeapRegionSize / 2;
+  p->brk_cur = p->brk_start;
+  p->alloc_cursor = plan.heap_base;
+  // /proc/<pid>/maps.
+  fs_->Mkdir("/proc/" + std::to_string(p->pid()));
+  fs_->RegisterSpecial("/proc/" + std::to_string(p->pid()) + "/maps",
+                       [p] { return p->mem().RenderMaps(); });
+  processes_.push_back(std::move(proc));
+  return p;
+}
+
+Thread* Kernel::SpawnThread(Process* process, ProgramFn fn) {
+  int rank = static_cast<int>(process->threads.size());
+  auto thread = std::make_unique<Thread>(this, process, next_tid_++, rank);
+  Thread* t = thread.get();
+  process->threads.push_back(t);
+
+  // Per-thread stack region.
+  GuestAddr stack_top = process->layout.stack_top - static_cast<uint64_t>(rank) * kStackStride;
+  REMON_CHECK(process->mem().MapFixed(stack_top - kStackSize, kStackSize,
+                                      kProtRead | kProtWrite, false, "[stack]"));
+
+  guests_.push_back(std::make_unique<Guest>(t));
+  Guest* guest = guests_.back().get();
+  t->guest_facade = guest;
+  // Anchor the callable: the coroutine frame references the lambda object's captures,
+  // so the ProgramFn must live as long as the coroutine.
+  auto anchored = std::make_shared<ProgramFn>(std::move(fn));
+  t->program_anchor = [anchored] {};
+  GuestTask<void> task = (*anchored)(*guest);
+  t->root_frame = task.ReleaseAsRoot(
+      [](void* arg) {
+        Thread* self = static_cast<Thread*>(arg);
+        self->kernel()->OnRootFinished(self);
+      },
+      t);
+
+  t->set_state(ThreadState::kRunnable);
+  threads_.push_back(std::move(thread));
+  // First schedule: start the program body.
+  RunOnThreadCore(t, 0, [t] {
+    if (t->alive()) {
+      t->root_frame.resume();
+    }
+  });
+  if (process->tracer != nullptr && rank > 0) {
+    process->tracer->Push(PtraceEvent{PtraceEvent::Kind::kThreadNew, t, 0});
+  }
+  return t;
+}
+
+void Kernel::OnRootFinished(Thread* t) {
+  t->root_finished = true;
+  // Defer exit processing out of the coroutine's final-suspend context.
+  sim_->queue().ScheduleAfter(0, [this, t] {
+    if (t->alive()) {
+      KillThread(t, true);
+      Process* p = t->process();
+      if (!p->exited && LiveThreadCount(p) == 0) {
+        TerminateProcess(p, p->exit_code);
+      }
+    }
+  });
+}
+
+void Kernel::KillThread(Thread* t, bool notify_tracer) {
+  if (!t->alive()) {
+    return;
+  }
+  CancelWait(t);
+  t->set_state(ThreadState::kExited);
+  t->MarkDead();
+  if (notify_tracer && t->process()->tracer != nullptr) {
+    t->process()->tracer->Push(PtraceEvent{PtraceEvent::Kind::kThreadExit, t, 0});
+  }
+  ReapFramesLater(t);
+}
+
+void Kernel::ReapFramesLater(Thread* t) {
+  sim_->queue().ScheduleAfter(0, [t] {
+    if (t->root_frame) {
+      t->root_frame.destroy();
+      t->root_frame = nullptr;
+    }
+    for (auto h : t->aux_frames) {
+      h.destroy();
+    }
+    t->aux_frames.clear();
+  });
+}
+
+void Kernel::TerminateProcess(Process* process, int exit_code) {
+  if (process->exited) {
+    return;
+  }
+  process->exited = true;
+  process->exit_code = exit_code;
+  for (Thread* t : process->threads) {
+    KillThread(t, false);
+  }
+  // Close all descriptors (sends FINs, releases pipes).
+  for (int fd : process->fds().LiveFds()) {
+    process->fds().Close(fd);
+  }
+  // Detach shared memory.
+  for (const auto& [addr, shmid] : process->shm_attachments) {
+    shm_->OnDetach(shmid);
+  }
+  process->shm_attachments.clear();
+  if (process->itimer_event != 0) {
+    sim_->queue().Cancel(process->itimer_event);
+    process->itimer_event = 0;
+  }
+  if (process->tracer != nullptr) {
+    process->tracer->Push(PtraceEvent{PtraceEvent::Kind::kProcessExit, nullptr, exit_code});
+  }
+}
+
+void Kernel::KillProcessBySignal(Process* process, int sig) {
+  TerminateProcess(process, 128 + sig);
+}
+
+// --- Scheduling ---------------------------------------------------------------------
+
+void Kernel::RunOnThreadCore(Thread* t, DurationNs duration, std::function<void()> fn) {
+  CpuPool::RunGrant grant = sim_->cpus().Acquire(static_cast<uint64_t>(t->tid()), sim_->now(),
+                                                 duration, t->last_core);
+  t->last_core = grant.core;
+  t->cpu_time_ns += duration;
+  sim_->queue().ScheduleAt(grant.end, std::move(fn));
+}
+
+void Kernel::RunGuestCompute(Thread* t, DurationNs duration, std::function<void()> fn) {
+  DurationNs dilated = duration;
+  if (t->process()->replica_index >= 0 && active_replicas_ > 1) {
+    dilated = static_cast<DurationNs>(
+        static_cast<double>(duration) *
+        sim_->costs().ComputeDilation(t->process()->mem_intensity, active_replicas_));
+  }
+  RunOnThreadCore(t, dilated, std::move(fn));
+}
+
+void Kernel::RunOnEntity(uint64_t entity, int* core_slot, DurationNs duration,
+                         std::function<void()> fn) {
+  CpuPool::RunGrant grant = sim_->cpus().Acquire(entity, sim_->now(), duration, *core_slot);
+  *core_slot = grant.core;
+  sim_->queue().ScheduleAt(grant.end, std::move(fn));
+}
+
+void Kernel::ResumeHandleOnThread(Thread* t, std::coroutine_handle<> h, DurationNs delay) {
+  RunOnThreadCore(t, delay, [t, h] {
+    if (t->alive()) {
+      h.resume();
+    }
+  });
+}
+
+// --- Blocking -------------------------------------------------------------------------
+
+void Kernel::BlockThread(Thread* t, const std::vector<WaitQueue*>& queues, TimeNs deadline,
+                         bool interruptible, std::function<void(WakeReason)> on_wake) {
+  REMON_CHECK(!t->wait.active);
+  // A deliverable pending signal aborts the sleep immediately.
+  if (interruptible && (t->sig_pending & ~t->sig_blocked) != 0) {
+    sim_->queue().ScheduleAfter(0, [cb = std::move(on_wake)] { cb(WakeReason::kSignal); });
+    return;
+  }
+  t->wait.active = true;
+  t->wait.interruptible = interruptible;
+  t->wait.on_wake = std::move(on_wake);
+  t->wait.waiters.clear();
+  t->set_state(ThreadState::kBlocked);
+  for (WaitQueue* q : queues) {
+    uint64_t id = q->AddWaiter([this, t] { FinishWait(t, WakeReason::kNotified); });
+    t->wait.waiters.emplace_back(q, id);
+  }
+  if (deadline != kTimeNever) {
+    t->wait.timeout_event = sim_->queue().ScheduleAt(deadline, [this, t] {
+      t->wait.timeout_event = 0;
+      FinishWait(t, WakeReason::kTimeout);
+    });
+  } else {
+    t->wait.timeout_event = 0;
+  }
+}
+
+void Kernel::FinishWait(Thread* t, WakeReason reason) {
+  if (!t->wait.active) {
+    return;
+  }
+  t->wait.active = false;
+  for (auto& [q, id] : t->wait.waiters) {
+    q->Remove(id);
+  }
+  t->wait.waiters.clear();
+  if (t->wait.timeout_event != 0) {
+    sim_->queue().Cancel(t->wait.timeout_event);
+    t->wait.timeout_event = 0;
+  }
+  t->set_state(ThreadState::kRunnable);
+  auto cb = std::move(t->wait.on_wake);
+  t->wait.on_wake = nullptr;
+  if (cb) {
+    cb(reason);
+  }
+}
+
+void Kernel::CancelWait(Thread* t) {
+  if (!t->wait.active) {
+    return;
+  }
+  t->wait.active = false;
+  for (auto& [q, id] : t->wait.waiters) {
+    q->Remove(id);
+  }
+  t->wait.waiters.clear();
+  if (t->wait.timeout_event != 0) {
+    sim_->queue().Cancel(t->wait.timeout_event);
+    t->wait.timeout_event = 0;
+  }
+  t->wait.on_wake = nullptr;
+}
+
+void Kernel::BlockingRetry(Thread* t, std::function<int64_t()> attempt,
+                           std::function<std::vector<WaitQueue*>()> queue_provider,
+                           TimeNs deadline, int64_t timeout_result, Done done) {
+  REMON_CHECK_MSG(attempt != nullptr, "BlockingRetry: empty attempt");
+  REMON_CHECK_MSG(queue_provider != nullptr, "BlockingRetry: empty queue_provider");
+  REMON_CHECK_MSG(done != nullptr, "BlockingRetry: empty done");
+  int64_t r = attempt();
+  if (r != -kEAGAIN) {
+    done(r);
+    return;
+  }
+  if (deadline <= sim_->now()) {
+    done(timeout_result);
+    return;
+  }
+  // Evaluate before the lambda below moves `queue_provider` (argument evaluation
+  // order is unspecified).
+  std::vector<WaitQueue*> queues = queue_provider();
+  BlockThread(t, queues, deadline, /*interruptible=*/true,
+              [this, t, attempt = std::move(attempt), queue_provider = std::move(queue_provider),
+               deadline, timeout_result, done = std::move(done)](WakeReason reason) mutable {
+                if (reason == WakeReason::kTimeout) {
+                  done(timeout_result);
+                  return;
+                }
+                if (reason == WakeReason::kSignal) {
+                  done(-kEINTR);
+                  return;
+                }
+                BlockingRetry(t, std::move(attempt), std::move(queue_provider), deadline,
+                              timeout_result, std::move(done));
+              });
+}
+
+// --- System call pipeline ------------------------------------------------------------
+
+void Kernel::OnSyscallFromGuest(Thread* t, const SyscallRequest& req, int64_t* result_slot,
+                                std::coroutine_handle<> h) {
+  REMON_CHECK(!t->in_syscall);
+  t->in_syscall = true;
+  t->cur_req = req;
+  t->result_slot = result_slot;
+  t->syscall_waiter = h;
+  ++sim_->stats().syscalls_total;
+  RunOnThreadCore(t, sim_->costs().syscall_trap_ns, [this, t] {
+    if (!t->alive()) {
+      return;
+    }
+    Process* p = t->process();
+    if (p->gate != nullptr && p->gate->Intercept(t)) {
+      return;  // IK-B owns the call now.
+    }
+    DefaultSyscallPath(t);
+  });
+}
+
+void Kernel::DefaultSyscallPath(Thread* t) {
+  if (t->process()->tracer != nullptr) {
+    ExecuteSyscallTraced(t, [this, t](int64_t r) { CompleteSyscall(t, r); });
+  } else {
+    ExecuteSyscall(t, t->cur_req, [this, t](int64_t r) { CompleteSyscall(t, r); });
+  }
+}
+
+void Kernel::ExecuteSyscallTraced(Thread* t, Done done) {
+  PtraceStop(t, PtraceEvent::Kind::kSyscallEntry, 0,
+             [this, t, done = std::move(done)](const PtraceAction& a) {
+               if (a.rewrite) {
+                 t->cur_req = a.new_req;
+               }
+               auto to_exit_stop = [this, t, done](int64_t r) {
+                 t->cur_result = r;
+                 PtraceStop(t, PtraceEvent::Kind::kSyscallExit, 0,
+                            [t, done](const PtraceAction& a2) {
+                              done(a2.override_result ? a2.result_override : t->cur_result);
+                            });
+               };
+               if (a.skip_syscall) {
+                 to_exit_stop(a.injected_result);
+               } else {
+                 ExecuteSyscall(t, t->cur_req, std::move(to_exit_stop));
+               }
+             });
+}
+
+void Kernel::CompleteSyscall(Thread* t, int64_t result) {
+  if (!t->alive()) {
+    return;
+  }
+  t->in_syscall = false;
+  MaybeDeliverSignals(t, [this, t, result] {
+    if (!t->alive() || t->syscall_waiter == nullptr) {
+      return;
+    }
+    *t->result_slot = result;
+    std::coroutine_handle<> h = t->syscall_waiter;
+    t->syscall_waiter = nullptr;
+    ResumeHandleOnThread(t, h, sim_->costs().syscall_trap_ns / 2);
+  });
+}
+
+// --- ptrace ----------------------------------------------------------------------------
+
+void Kernel::PtraceAttach(Process* process, PtraceHub* hub) {
+  process->tracer = hub;
+}
+
+void Kernel::PtraceDetach(Process* process) { process->tracer = nullptr; }
+
+void Kernel::PtraceStop(Thread* t, PtraceEvent::Kind kind, int sig,
+                        std::function<void(const PtraceAction&)> on_resume) {
+  PtraceHub* hub = t->process()->tracer;
+  if (hub == nullptr) {
+    // Tracer vanished (monitor shutdown); act as if resumed with defaults.
+    PtraceAction a;
+    a.deliver_signal = true;
+    sim_->queue().ScheduleAfter(0, [cb = std::move(on_resume), a] { cb(a); });
+    return;
+  }
+  t->set_state(ThreadState::kPtraceStopped);
+  t->on_ptrace_resume = std::move(on_resume);
+  ++sim_->stats().ptrace_stops;
+  hub->Push(PtraceEvent{kind, t, sig});
+}
+
+void Kernel::PtraceResume(Thread* t, const PtraceAction& action) {
+  REMON_CHECK(t->state() == ThreadState::kPtraceStopped);
+  REMON_CHECK(t->on_ptrace_resume != nullptr);
+  ++sim_->stats().ptrace_resumes;
+  auto cb = std::move(t->on_ptrace_resume);
+  t->on_ptrace_resume = nullptr;
+  t->set_state(ThreadState::kRunnable);
+  // The resume costs a kernel round trip on the tracee side before it continues.
+  sim_->queue().ScheduleAfter(sim_->costs().ptrace_resume_ns,
+                              [t, cb = std::move(cb), action] {
+                                if (t->alive()) {
+                                  cb(action);
+                                }
+                              });
+}
+
+bool Kernel::TracerRead(Process* p, GuestAddr addr, void* out, uint64_t len) {
+  ++sim_->stats().vm_copies;
+  sim_->stats().vm_copy_bytes += len;
+  return p->mem().ReadUnchecked(addr, out, len).ok;
+}
+
+bool Kernel::TracerWrite(Process* p, GuestAddr addr, const void* data, uint64_t len) {
+  ++sim_->stats().vm_copies;
+  sim_->stats().vm_copy_bytes += len;
+  return p->mem().WriteUnchecked(addr, data, len).ok;
+}
+
+void PtraceHub::Push(const PtraceEvent& ev) {
+  queue_.push_back(ev);
+  if (waiter_) {
+    std::coroutine_handle<> h = waiter_;
+    waiter_ = nullptr;
+    // waitpid wakeup: the monitor pays a stop-notification cost on its own core.
+    kernel_->RunOnEntity(monitor_entity, &monitor_core,
+                         kernel_->sim()->costs().ptrace_stop_ns, [h] { h.resume(); });
+  }
+}
+
+// --- Signals ----------------------------------------------------------------------------
+
+bool Kernel::IsFatalByDefault(int sig) {
+  switch (sig) {
+    case kSIGCHLD:
+      return false;
+    default:
+      return true;  // Simplified: most defaults terminate.
+  }
+}
+
+void Kernel::PostSignal(Process* process, int sig) {
+  if (process->exited) {
+    return;
+  }
+  // Prefer a thread that does not block the signal.
+  Thread* target = nullptr;
+  for (Thread* t : process->threads) {
+    if (!t->alive()) {
+      continue;
+    }
+    if ((t->sig_blocked & SigBit(sig)) == 0) {
+      target = t;
+      break;
+    }
+    if (target == nullptr) {
+      target = t;
+    }
+  }
+  if (target != nullptr) {
+    PostSignalToThread(target, sig);
+  }
+}
+
+void Kernel::PostSignalToThread(Thread* t, int sig) {
+  REMON_CHECK(sig >= 1 && sig < kNumSignals);
+  if (!t->alive() || t->process()->exited) {
+    return;
+  }
+  ++sim_->stats().signals_raised;
+  if (sig == kSIGKILL) {
+    TerminateProcess(t->process(), 128 + sig);
+    return;
+  }
+  const GuestSigaction& act = t->process()->sigactions[static_cast<size_t>(sig)];
+  if (act.handler == kSigIgn) {
+    return;
+  }
+  if (act.handler == kSigDfl && !IsFatalByDefault(sig)) {
+    return;
+  }
+  if (t->process()->tracer != nullptr && t->wait.active && t->wait.interruptible &&
+      (t->sig_blocked & SigBit(sig)) == 0) {
+    // Traced thread asleep in an interruptible call: Linux interrupts the call and
+    // raises the signal-delivery stop *before* the call returns to user space. The
+    // tracer may discard the signal (GHUMVEE defers it, setting the RB flag first,
+    // §3.8), but the sleep aborts either way — GHUMVEE prevents the restart so the
+    // replica re-enters through IK-B.
+    auto on_wake = std::move(t->wait.on_wake);
+    CancelWait(t);
+    PtraceStop(t, PtraceEvent::Kind::kSignal, sig,
+               [t, sig, on_wake = std::move(on_wake)](const PtraceAction& a) mutable {
+                 if (a.deliver_signal) {
+                   t->sig_pending |= SigBit(sig);
+                 }
+                 if (on_wake) {
+                   on_wake(WakeReason::kSignal);
+                 }
+               });
+    return;
+  }
+  t->sig_pending |= SigBit(sig);
+  if (t->wait.active && t->wait.interruptible && (t->sig_blocked & SigBit(sig)) == 0) {
+    FinishWait(t, WakeReason::kSignal);
+  }
+}
+
+bool Kernel::InterruptBlockedSyscall(Thread* t) {
+  if (!t->alive() || !t->wait.active || !t->wait.interruptible) {
+    return false;
+  }
+  FinishWait(t, WakeReason::kSignal);
+  return true;
+}
+
+void Kernel::MaybeDeliverSignals(Thread* t, std::function<void()> then) {
+  uint64_t deliverable = t->sig_pending & ~t->sig_blocked;
+  if (deliverable == 0 || !t->alive()) {
+    then();
+    return;
+  }
+  int sig = __builtin_ctzll(deliverable) + 1;
+  t->sig_pending &= ~SigBit(sig);
+
+  // Applies the signal's disposition, then loops back for further pending signals.
+  auto deliver = [this, t, sig](std::function<void()> cont) {
+    Process* p = t->process();
+    const GuestSigaction& act = p->sigactions[static_cast<size_t>(sig)];
+    if (act.handler == kSigIgn || (act.handler == kSigDfl && !IsFatalByDefault(sig))) {
+      MaybeDeliverSignals(t, std::move(cont));
+      return;
+    }
+    if (act.handler == kSigDfl) {
+      KillProcessBySignal(p, sig);
+      return;  // `cont` intentionally dropped: the process is gone.
+    }
+    RunSignalHandler(t, sig, [this, t, cont = std::move(cont)]() mutable {
+      ++sim_->stats().signals_delivered;
+      MaybeDeliverSignals(t, std::move(cont));
+    });
+  };
+
+  if (t->process()->tracer != nullptr) {
+    // Signal-delivery stop: the monitor decides whether to deliver or discard. On
+    // discard (GHUMVEE defers and re-initiates delivery once all replicas are
+    // synchronized, paper §2.2) the interrupted path continues unaffected.
+    PtraceStop(t, PtraceEvent::Kind::kSignal, sig,
+               [this, t, deliver, then = std::move(then)](const PtraceAction& a) mutable {
+                 if (!a.deliver_signal) {
+                   ++sim_->stats().signals_deferred;
+                   MaybeDeliverSignals(t, std::move(then));
+                   return;
+                 }
+                 deliver(std::move(then));
+               });
+    return;
+  }
+  deliver(std::move(then));
+}
+
+void Kernel::RunSignalHandler(Thread* t, int sig, std::function<void()> then) {
+  Process* p = t->process();
+  const GuestSigaction& act = p->sigactions[static_cast<size_t>(sig)];
+  uint64_t cookie = act.handler;
+  REMON_CHECK(cookie >= 2);
+  size_t index = static_cast<size_t>(cookie - 2);
+  REMON_CHECK(index < p->handler_fns.size());
+
+  // Mask the signal for the duration of the handler.
+  t->sig_blocked |= SigBit(sig);
+  Guest* g = GuestFor(t);
+  GuestTask<void> task = p->handler_fns[index](*g, sig);
+  StartAuxCoroutine(t, std::move(task), [this, t, sig, then = std::move(then)]() mutable {
+    t->sig_blocked &= ~SigBit(sig);
+    then();
+  });
+}
+
+void Kernel::StartAuxCoroutine(Thread* t, GuestTask<void> task, std::function<void()> on_done) {
+  auto* ctx = new AuxDoneCtx;
+  ctx->kernel = this;
+  ctx->thread = t;
+  ctx->then = std::move(on_done);
+  std::coroutine_handle<> frame = task.ReleaseAsRoot(
+      [](void* arg) {
+        auto* c = static_cast<AuxDoneCtx*>(arg);
+        // Runs inside the aux coroutine's final suspend; defer teardown.
+        c->kernel->sim_->queue().ScheduleAfter(0, [c] {
+          Thread* th = c->thread;
+          auto& frames = th->aux_frames;
+          frames.erase(std::remove(frames.begin(), frames.end(), c->frame), frames.end());
+          c->frame.destroy();
+          auto then = std::move(c->then);
+          bool alive = th->alive();
+          delete c;
+          if (alive && then) {
+            then();
+          }
+        });
+      },
+      ctx);
+  ctx->frame = frame;
+  t->aux_frames.push_back(frame);
+  sim_->queue().ScheduleAfter(0, [t, frame] {
+    if (t->alive()) {
+      frame.resume();
+    }
+  });
+}
+
+Guest* Kernel::GuestFor(Thread* t) {
+  REMON_CHECK(t->guest_facade != nullptr);
+  return t->guest_facade;
+}
+
+void Kernel::ArmItimer(Process* p, DurationNs value, DurationNs interval) {
+  if (p->itimer_event != 0) {
+    sim_->queue().Cancel(p->itimer_event);
+    p->itimer_event = 0;
+  }
+  p->itimer_interval = interval;
+  if (value <= 0) {
+    return;
+  }
+  p->itimer_event = sim_->queue().ScheduleAfter(value, [this, p] {
+    p->itimer_event = 0;
+    if (p->exited) {
+      return;
+    }
+    PostSignal(p, kSIGALRM);
+    if (p->itimer_interval > 0) {
+      ArmItimer(p, p->itimer_interval, p->itimer_interval);
+    }
+  });
+}
+
+}  // namespace remon

@@ -1,0 +1,241 @@
+// The simulated kernel.
+//
+// Owns processes and threads, dispatches the ~100 simulated system calls against the
+// VFS/network/memory substrates, implements blocking (wait queues + timeouts +
+// signal interruption), futexes, signals, timers, and the two MVEE attachment points:
+//
+//  * ptrace  — GHUMVEE attaches a PtraceHub to replica processes and receives
+//              syscall-entry/exit and signal-delivery stops (paper §2, §3.8);
+//  * SyscallGate — the IK-B broker installs a gate consulted on *every* system call
+//              before the default path, mirroring the in-kernel dispatch hook the
+//              paper adds with a 97-LoC kernel patch (§3).
+//
+// Everything is driven by the discrete-event Simulator; the kernel never blocks the
+// host thread.
+
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/kernel/futex.h"
+#include "src/kernel/process.h"
+#include "src/kernel/ptrace.h"
+#include "src/kernel/thread.h"
+#include "src/mem/layout.h"
+#include "src/mem/shm.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+#include "src/vfs/fs.h"
+
+namespace remon {
+
+class Guest;
+
+class Kernel {
+ public:
+  using Done = std::function<void(int64_t)>;
+
+  Kernel(Simulator* sim, Filesystem* fs, Network* net, ShmRegistry* shm);
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  Simulator* sim() const { return sim_; }
+  Filesystem* fs() const { return fs_; }
+  Network* net() const { return net_; }
+  ShmRegistry* shm() const { return shm_; }
+  TimeNs now() const { return sim_->now(); }
+  FutexTable& futex() { return futex_; }
+
+  // --- Process / thread management --------------------------------------------
+
+  // Creates a process with the standard region layout (code/heap/stack VMAs mapped).
+  Process* CreateProcess(std::string name, uint32_t machine, const LayoutPlan& plan);
+
+  // Spawns a thread running `fn`; it starts at the current virtual time (plus
+  // scheduling delay). Rank defaults to the process's thread count.
+  Thread* SpawnThread(Process* process, ProgramFn fn);
+
+  // Terminates a whole process (exit_group semantics).
+  void TerminateProcess(Process* process, int exit_code);
+  // Terminates a process because of a fatal signal (records it; notifies tracer).
+  void KillProcessBySignal(Process* process, int sig);
+
+  const std::vector<std::unique_ptr<Process>>& processes() const { return processes_; }
+  // Live (non-exited) threads of a process.
+  static int LiveThreadCount(const Process* process);
+
+  // Number of replicas currently attached to an MVEE (affects the memory-contention
+  // dilation applied to guest compute); set by the ReMon front end.
+  void set_active_replicas(int n) { active_replicas_ = n; }
+  int active_replicas() const { return active_replicas_; }
+
+  // --- System call entry points -------------------------------------------------
+
+  // Called by the Guest syscall awaitable: full path (gate -> ptrace -> execute).
+  void OnSyscallFromGuest(Thread* t, const SyscallRequest& req, int64_t* result_slot,
+                          std::coroutine_handle<> h);
+
+  // Executes a system call directly (no gate, no ptrace), including blocking
+  // semantics. Used by the kernel default path and by IP-MON's token-authorized
+  // restart (IK-B verifier path).
+  void ExecuteSyscall(Thread* t, const SyscallRequest& req, Done done);
+
+  // Routes a system call through the ptrace path (entry stop -> execute -> exit
+  // stop). Used by the default path for traced processes and by IP-MON when it
+  // destroys its token to force CP monitoring (paper fig. 2 step 4').
+  void ExecuteSyscallTraced(Thread* t, Done done);
+
+  // Delivers the final result to the guest coroutine (after signal checks); the
+  // normal completion for OnSyscallFromGuest-initiated calls.
+  void CompleteSyscall(Thread* t, int64_t result);
+
+  // --- Scheduling helpers ---------------------------------------------------------
+
+  // Runs `fn` after occupying the thread's core for `duration`.
+  void RunOnThreadCore(Thread* t, DurationNs duration, std::function<void()> fn);
+  // Guest compute burst: applies the memory-contention dilation for replicas.
+  void RunGuestCompute(Thread* t, DurationNs duration, std::function<void()> fn);
+  // Runs `fn` after occupying an arbitrary entity's core (monitors).
+  void RunOnEntity(uint64_t entity, int* core_slot, DurationNs duration,
+                   std::function<void()> fn);
+  // Resumes a parked coroutine handle on the thread's core after `delay`.
+  void ResumeHandleOnThread(Thread* t, std::coroutine_handle<> h, DurationNs delay);
+
+  // --- Blocking ----------------------------------------------------------------
+
+  // Parks `t` until any queue wakes it, the deadline passes, or (if interruptible) a
+  // signal arrives. `on_wake` runs exactly once with the reason.
+  void BlockThread(Thread* t, const std::vector<WaitQueue*>& queues, TimeNs deadline,
+                   bool interruptible, std::function<void(WakeReason)> on_wake);
+  void CancelWait(Thread* t);
+
+  // Retries `attempt` until it stops returning -EAGAIN, blocking on `queue_provider`'s
+  // queues in between. Deadline semantics: on timeout, completes with `timeout_result`.
+  void BlockingRetry(Thread* t, std::function<int64_t()> attempt,
+                     std::function<std::vector<WaitQueue*>()> queue_provider,
+                     TimeNs deadline, int64_t timeout_result, Done done);
+
+  // --- ptrace ---------------------------------------------------------------------
+
+  // Attaches a tracer to a process; all its threads (current and future) stop at
+  // syscall entry/exit and signal delivery.
+  void PtraceAttach(Process* process, PtraceHub* hub);
+  void PtraceDetach(Process* process);
+  // Resumes a ptrace-stopped thread with the tracer's decision.
+  void PtraceResume(Thread* t, const PtraceAction& action);
+  // Tracer-side memory access (process_vm_readv/writev analogs). Returns false on
+  // fault. Costs are charged by the caller (monitor) via its own compute awaits.
+  bool TracerRead(Process* p, GuestAddr addr, void* out, uint64_t len);
+  bool TracerWrite(Process* p, GuestAddr addr, const void* data, uint64_t len);
+
+  // --- Auxiliary coroutines -------------------------------------------------------
+
+  // Runs an auxiliary coroutine on the thread's timeline (IP-MON handler bodies,
+  // signal handlers); `on_done` fires after it completes (skipped if the thread died).
+  void StartAuxCoroutine(Thread* t, GuestTask<void> task, std::function<void()> on_done);
+
+  // The Guest facade bound to a thread.
+  Guest* GuestFor(Thread* t);
+
+  // --- Signals -------------------------------------------------------------------
+
+  // Posts a signal to a process (picks a thread) or a specific thread.
+  void PostSignal(Process* process, int sig);
+  void PostSignalToThread(Thread* t, int sig);
+  // Aborts a thread's interruptible sleep without posting a signal; the in-flight
+  // operation completes with -EINTR. GHUMVEE uses this to kick a master replica out
+  // of a blocking unmonitored call so it restarts it as a monitored call (§3.8).
+  // Returns false if the thread was not in an interruptible sleep.
+  bool InterruptBlockedSyscall(Thread* t);
+  // Runs the registered handler (or default action) for the next deliverable pending
+  // signal, then `then`. Called at kernel-exit points.
+  void MaybeDeliverSignals(Thread* t, std::function<void()> then);
+  // True if the default action of `sig` terminates the process.
+  static bool IsFatalByDefault(int sig);
+
+  // --- Guest-space helpers used by syscalls, monitors, and workloads ------------
+
+  // Copies with permission checks; returns -EFAULT on failure, else 0.
+  int CopyIn(Process* p, void* dst, GuestAddr src, uint64_t len) {
+    return p->mem().Read(src, dst, len).ok ? 0 : -kEFAULT;
+  }
+  int CopyOut(Process* p, GuestAddr dst, const void* src, uint64_t len) {
+    return p->mem().Write(dst, src, len).ok ? 0 : -kEFAULT;
+  }
+
+  // --- Statistics ------------------------------------------------------------------
+
+  SimStats& stats() { return sim_->stats(); }
+
+ private:
+  friend class Guest;
+
+  // Default path after the gate declined: ptrace stops when traced, else direct.
+  void DefaultSyscallPath(Thread* t);
+  void FinishTracedSyscall(Thread* t, int64_t result);
+  void PtraceStop(Thread* t, PtraceEvent::Kind kind, int sig,
+                  std::function<void(const PtraceAction&)> on_resume);
+
+  // Thread/process teardown.
+  void OnRootFinished(Thread* t);
+  void KillThread(Thread* t, bool notify_tracer);
+  void ReapFramesLater(Thread* t);
+
+  void FinishWait(Thread* t, WakeReason reason);
+  void ArmItimer(Process* p, DurationNs value, DurationNs interval);
+
+  // Signal helpers.
+  void RunSignalHandler(Thread* t, int sig, std::function<void()> then);
+
+  // --- Syscall implementations (syscalls_*.cc) ----------------------------------
+  int64_t SysFast(Thread* t, const SyscallRequest& req);  // Non-blocking calls.
+  void SysRead(Thread* t, const SyscallRequest& req, bool vectored, bool positional,
+               Done done);
+  void SysWrite(Thread* t, const SyscallRequest& req, bool vectored, bool positional,
+                Done done);
+  void SysRecv(Thread* t, const SyscallRequest& req, bool msg, Done done);
+  void SysSend(Thread* t, const SyscallRequest& req, bool msg, Done done);
+  void SysSendfile(Thread* t, const SyscallRequest& req, Done done);
+  void SysAccept(Thread* t, const SyscallRequest& req, bool accept4, Done done);
+  void SysConnect(Thread* t, const SyscallRequest& req, Done done);
+  void SysPoll(Thread* t, const SyscallRequest& req, Done done);
+  void SysSelect(Thread* t, const SyscallRequest& req, Done done);
+  void SysEpollWait(Thread* t, const SyscallRequest& req, Done done);
+  void SysNanosleep(Thread* t, const SyscallRequest& req, Done done);
+  void SysFutex(Thread* t, const SyscallRequest& req, Done done);
+  void SysPause(Thread* t, const SyscallRequest& req, Done done);
+
+  // Helpers shared by syscall implementations.
+  std::shared_ptr<FileDescription> Fd(Thread* t, int fd);
+  int InstallFile(Thread* t, std::shared_ptr<File> file, int flags);
+  int64_t DoReadInto(Thread* t, FileDescription* desc, GuestAddr buf, uint64_t len,
+                     std::optional<uint64_t> pofs);
+  int64_t DoWriteFrom(Thread* t, FileDescription* desc, GuestAddr buf, uint64_t len,
+                      std::optional<uint64_t> pofs);
+  int64_t FillStatFor(Thread* t, std::shared_ptr<Inode> inode, GuestAddr out);
+
+  Simulator* sim_;
+  Filesystem* fs_;
+  Network* net_;
+  ShmRegistry* shm_;
+  FutexTable futex_;
+
+  int next_pid_ = 100;
+  int next_tid_ = 100;
+  int active_replicas_ = 1;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::vector<std::unique_ptr<Guest>> guests_;
+};
+
+}  // namespace remon
+
+#endif  // SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,521 @@
+#include "src/kernel/syscall_meta.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "src/kernel/abi.h"
+#include "src/sim/check.h"
+
+namespace remon {
+
+namespace {
+
+constexpr InArg V() { return InArg{In::kValue, -1, 0}; }
+constexpr InArg P() { return InArg{In::kPtr, -1, 0}; }
+constexpr InArg S() { return InArg{In::kCStr, -1, 0}; }
+constexpr InArg B(int size_arg) { return InArg{In::kBuf, size_arg, 0}; }
+constexpr InArg St(uint32_t size) { return InArg{In::kStruct, -1, size}; }
+constexpr InArg Iov(int cnt_arg) { return InArg{In::kIovecIn, cnt_arg, 0}; }
+constexpr InArg Msg() { return InArg{In::kMsghdrIn, -1, 0}; }
+constexpr InArg Pfd(int cnt_arg) { return InArg{In::kPollfds, cnt_arg, 0}; }
+constexpr InArg Eev() { return InArg{In::kEpollEvent, -1, 0}; }
+constexpr InArg Sa(int len_arg) { return InArg{In::kSockaddr, len_arg, 0}; }
+
+constexpr OutArg OBufRet(int arg, int size_arg) { return OutArg{Out::kBufRet, arg, size_arg, 0}; }
+constexpr OutArg OFix(int arg, uint32_t size) { return OutArg{Out::kBufFixed, arg, -1, size}; }
+constexpr OutArg OIov(int arg) { return OutArg{Out::kIovecRet, arg, -1, 0}; }
+constexpr OutArg OMsg(int arg) { return OutArg{Out::kMsghdrRet, arg, -1, 0}; }
+constexpr OutArg OPfd(int arg, int cnt_arg) { return OutArg{Out::kPollfds, arg, cnt_arg, 0}; }
+constexpr OutArg OEp(int arg) { return OutArg{Out::kEpollEvents, arg, -1, 0}; }
+constexpr OutArg OSa(int arg, int len_arg) { return OutArg{Out::kSockaddrVR, arg, len_arg, 0}; }
+constexpr OutArg OU32(int arg) { return OutArg{Out::kU32, arg, -1, 0}; }
+constexpr OutArg OU64(int arg) { return OutArg{Out::kU64, arg, -1, 0}; }
+constexpr OutArg OFd2(int arg) { return OutArg{Out::kFd2, arg, -1, 0}; }
+constexpr OutArg OSel() { return OutArg{Out::kFdSets, -1, -1, 0}; }
+
+struct DescTable {
+  std::array<SyscallDesc, kNumSyscalls> table{};
+
+  void Set(Sys nr, SyscallDesc d) { table[static_cast<size_t>(nr)] = d; }
+
+  DescTable() {
+    // Everything defaults to all-kNone in-args (compare raw nothing) — explicitly
+    // initialize scalar-only calls to compare their meaningful argument values.
+    auto scalar = [&](Sys nr, int n_args, int fd_arg = -1, bool may_block = false,
+                      bool returns_fd = false) {
+      SyscallDesc d;
+      for (int i = 0; i < n_args; ++i) {
+        d.in[i] = V();
+      }
+      d.fd_arg = fd_arg;
+      d.may_block = may_block;
+      d.returns_fd = returns_fd;
+      Set(nr, d);
+    };
+
+    // --- Process-local queries ------------------------------------------------
+    scalar(Sys::kGetpid, 0);
+    scalar(Sys::kGettid, 0);
+    scalar(Sys::kGetpgrp, 0);
+    scalar(Sys::kGetppid, 0);
+    scalar(Sys::kGetgid, 0);
+    scalar(Sys::kGetegid, 0);
+    scalar(Sys::kGetuid, 0);
+    scalar(Sys::kGeteuid, 0);
+    scalar(Sys::kGetpriority, 2);
+    scalar(Sys::kSetpriority, 3);
+    scalar(Sys::kCapget, 2);
+    scalar(Sys::kSchedYield, 0);
+
+    Set(Sys::kGettimeofday, {{P()}, {OFix(0, sizeof(GuestTimeval))}});
+    Set(Sys::kClockGettime, {{V(), P()}, {OFix(1, sizeof(GuestTimespec))}});
+    Set(Sys::kTime, {{P()}, {OU64(0)}});
+    Set(Sys::kGetcwd, {{P(), V()}, {OBufRet(0, 1)}});
+    Set(Sys::kGetrusage, {{V(), P()}, {OFix(1, sizeof(GuestRusage))}});
+    Set(Sys::kTimes, {{P()}, {OFix(0, 32)}});
+    Set(Sys::kGetitimer, {{V(), P()}, {OFix(1, sizeof(GuestItimerspec))}});
+    Set(Sys::kSysinfo, {{P()}, {OFix(0, sizeof(GuestSysinfo))}});
+    Set(Sys::kUname, {{P()}, {OFix(0, sizeof(GuestUtsname))}});
+    Set(Sys::kNanosleep, {{St(sizeof(GuestTimespec)), P()}, {}, -1, true});
+
+    // --- FS metadata ------------------------------------------------------------
+    Set(Sys::kAccess, {{S(), V()}});
+    Set(Sys::kFaccessat, {{V(), S(), V()}});
+    Set(Sys::kLseek, {{V(), V(), V()}, {}, 0});
+    Set(Sys::kStat, {{S(), P()}, {OFix(1, sizeof(GuestStat))}});
+    Set(Sys::kLstat, {{S(), P()}, {OFix(1, sizeof(GuestStat))}});
+    Set(Sys::kFstat, {{V(), P()}, {OFix(1, sizeof(GuestStat))}, 0});
+    Set(Sys::kFstatat, {{V(), S(), P(), V()}, {OFix(2, sizeof(GuestStat))}});
+    Set(Sys::kGetdents, {{V(), P(), V()}, {OBufRet(1, 2)}, 0});
+    Set(Sys::kReadlink, {{S(), P(), V()}, {OBufRet(1, 2)}});
+    Set(Sys::kReadlinkat, {{V(), S(), P(), V()}, {OBufRet(2, 3)}});
+    Set(Sys::kGetxattr, {{S(), S(), P(), V()}, {OBufRet(2, 3)}});
+    Set(Sys::kLgetxattr, {{S(), S(), P(), V()}, {OBufRet(2, 3)}});
+    Set(Sys::kFgetxattr, {{V(), S(), P(), V()}, {OBufRet(2, 3)}, 0});
+    Set(Sys::kSetxattr, {{S(), S(), B(3), V(), V()}});
+    Set(Sys::kAlarm, {{V()}});
+    Set(Sys::kSetitimer, {{V(), St(sizeof(GuestItimerspec)), P()}});
+    Set(Sys::kTimerfdGettime, {{V(), P()}, {OFix(1, sizeof(GuestItimerspec))}, 0});
+    Set(Sys::kMadvise, {{P(), V(), V()}});
+    Set(Sys::kFadvise64, {{V(), V(), V(), V()}, {}, 0});
+
+    // --- Reads ------------------------------------------------------------------
+    Set(Sys::kRead, {{V(), P(), V()}, {OBufRet(1, 2)}, 0, true});
+    Set(Sys::kReadv, {{V(), P(), V()}, {OIov(1)}, 0, true});
+    Set(Sys::kPread64, {{V(), P(), V(), V()}, {OBufRet(1, 2)}, 0, true});
+    Set(Sys::kPreadv, {{V(), P(), V(), V()}, {OIov(1)}, 0, true});
+    Set(Sys::kSelect, {{V(), P(), P(), P(), P()}, {OSel()}, -1, true});
+    Set(Sys::kPoll, {{Pfd(1), V(), V()}, {OPfd(0, 1)}, -1, true});
+
+    // --- Conditionals -----------------------------------------------------------
+    Set(Sys::kFutex, {{P(), V(), V(), P()}, {}, -1, true});
+    Set(Sys::kIoctl, {{V(), V(), P()}, {OU32(2)}, 0});
+    Set(Sys::kFcntl, {{V(), V(), V()}, {}, 0});
+
+    // --- FS sync ----------------------------------------------------------------
+    scalar(Sys::kSync, 0);
+    scalar(Sys::kSyncfs, 1, 0);
+    scalar(Sys::kFsync, 1, 0);
+    scalar(Sys::kFdatasync, 1, 0);
+    Set(Sys::kTimerfdSettime, {{V(), V(), St(sizeof(GuestItimerspec)), P()}, {}, 0});
+
+    // --- Writes ------------------------------------------------------------------
+    Set(Sys::kWrite, {{V(), B(2), V()}, {}, 0, true});
+    Set(Sys::kWritev, {{V(), Iov(2), V()}, {}, 0, true});
+    Set(Sys::kPwrite64, {{V(), B(2), V(), V()}, {}, 0, true});
+    Set(Sys::kPwritev, {{V(), Iov(2), V(), V()}, {}, 0, true});
+
+    // --- Socket reads --------------------------------------------------------------
+    Set(Sys::kEpollWait, {{V(), P(), V(), V()}, {OEp(1)}, 0, true});
+    Set(Sys::kRecvfrom, {{V(), P(), V(), V(), P(), P()}, {OBufRet(1, 2), OSa(4, 5)}, 0, true});
+    Set(Sys::kRecvmsg, {{V(), Msg(), V()}, {OMsg(1)}, 0, true});
+    Set(Sys::kRecvmmsg, {{V(), Msg(), V(), V()}, {OMsg(1)}, 0, true});
+    Set(Sys::kGetsockname, {{V(), P(), P()}, {OSa(1, 2)}, 0});
+    Set(Sys::kGetpeername, {{V(), P(), P()}, {OSa(1, 2)}, 0});
+    Set(Sys::kGetsockopt, {{V(), V(), V(), P(), P()}, {OU32(3)}, 0});
+
+    // --- Socket writes ------------------------------------------------------------
+    Set(Sys::kSendto, {{V(), B(2), V(), V(), Sa(5), V()}, {}, 0, true});
+    Set(Sys::kSendmsg, {{V(), Msg(), V()}, {}, 0, true});
+    Set(Sys::kSendmmsg, {{V(), Msg(), V(), V()}, {}, 0, true});
+    Set(Sys::kSendfile, {{V(), V(), P(), V()}, {OU64(2)}, 0, true});
+    Set(Sys::kEpollCtl, {{V(), V(), V(), Eev()}, {}, 0});
+    Set(Sys::kSetsockopt, {{V(), V(), V(), B(4), V()}, {}, 0});
+    Set(Sys::kShutdown, {{V(), V()}, {}, 0});
+
+    // --- FD lifecycle -----------------------------------------------------------
+    Set(Sys::kOpen, {{S(), V(), V()}, {}, -1, false, true});
+    Set(Sys::kOpenat, {{V(), S(), V(), V()}, {}, -1, false, true});
+    Set(Sys::kClose, {{V()}, {}, 0});
+    Set(Sys::kDup, {{V()}, {}, 0, false, true});
+    Set(Sys::kDup2, {{V(), V()}, {}, 0, false, true});
+    Set(Sys::kPipe, {{P()}, {OFd2(0)}});
+    Set(Sys::kPipe2, {{P(), V()}, {OFd2(0)}});
+    Set(Sys::kSocket, {{V(), V(), V()}, {}, -1, false, true});
+    Set(Sys::kBind, {{V(), Sa(2), V()}, {}, 0});
+    Set(Sys::kListen, {{V(), V()}, {}, 0});
+    Set(Sys::kAccept, {{V(), P(), P()}, {OSa(1, 2)}, 0, true, true});
+    Set(Sys::kAccept4, {{V(), P(), P(), V()}, {OSa(1, 2)}, 0, true, true});
+    Set(Sys::kConnect, {{V(), Sa(2), V()}, {}, 0, true});
+    Set(Sys::kEpollCreate, {{V()}, {}, -1, false, true});
+    Set(Sys::kEpollCreate1, {{V()}, {}, -1, false, true});
+    Set(Sys::kTimerfdCreate, {{V(), V()}, {}, -1, false, true});
+    Set(Sys::kEventfd, {{V()}, {}, -1, false, true});
+    Set(Sys::kEventfd2, {{V(), V()}, {}, -1, false, true});
+
+    // --- Memory management --------------------------------------------------------
+    Set(Sys::kMmap, {{P(), V(), V(), V(), V(), V()}});
+    Set(Sys::kMunmap, {{P(), V()}});
+    Set(Sys::kMprotect, {{P(), V(), V()}});
+    Set(Sys::kMremap, {{P(), V(), V(), V()}});
+    Set(Sys::kBrk, {{P()}});
+    Set(Sys::kShmget, {{V(), V(), V()}});
+    Set(Sys::kShmat, {{V(), P(), V()}});
+    Set(Sys::kShmdt, {{P()}});
+    Set(Sys::kShmctl, {{V(), V(), P()}});
+
+    // --- Process / thread lifecycle ---------------------------------------------
+    Set(Sys::kClone, {{V()}});
+    Set(Sys::kFork, {{}});
+    Set(Sys::kExecve, {{S(), P(), P()}});
+    Set(Sys::kExit, {{V()}});
+    Set(Sys::kExitGroup, {{V()}});
+    Set(Sys::kWait4, {{V(), P(), V(), P()}, {}, -1, true});
+    Set(Sys::kKill, {{V(), V()}});
+    Set(Sys::kTgkill, {{V(), V(), V()}});
+
+    // --- Signals -----------------------------------------------------------------
+    Set(Sys::kRtSigaction, {{V(), V(), P(), V()}});
+    Set(Sys::kRtSigprocmask, {{V(), V(), P(), V()}});
+    Set(Sys::kRtSigreturn, {{}});
+    Set(Sys::kSigaltstack, {{P(), P()}});
+    Set(Sys::kPause, {{}, {}, -1, true});
+
+    // --- Misc ---------------------------------------------------------------------
+    Set(Sys::kGetrandom, {{P(), V(), V()}, {OBufRet(0, 1)}});
+    Set(Sys::kUnlink, {{S()}});
+    Set(Sys::kMkdir, {{S(), V()}});
+    Set(Sys::kRmdir, {{S()}});
+    Set(Sys::kRename, {{S(), S()}});
+    Set(Sys::kTruncate, {{S(), V()}});
+    Set(Sys::kFtruncate, {{V(), V()}, {}, 0});
+    Set(Sys::kChdir, {{S()}});
+
+    // --- MVEE-internal ----------------------------------------------------------
+    Set(Sys::kRemonIpmonRegister, {{P(), P(), V()}});
+    Set(Sys::kRemonRbFlush, {{V()}});
+    Set(Sys::kRemonSyncRegister, {{P()}});
+  }
+};
+
+const DescTable& Table() {
+  static const DescTable table;
+  return table;
+}
+
+void AppendBytes(std::vector<uint8_t>* out, const void* data, uint64_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), p, p + len);
+}
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) { AppendBytes(out, &v, 8); }
+
+// Marker appended when guest memory cannot be read (the compare then diverges only if
+// replicas differ in readability, which is itself a divergence signal).
+void AppendFaultMarker(std::vector<uint8_t>* out) { AppendBytes(out, "\xde\xad", 2); }
+
+void SerializeGuestRange(Process* p, std::vector<uint8_t>* out, GuestAddr addr, uint64_t len) {
+  if (addr == 0 || len == 0) {
+    AppendU64(out, 0);
+    return;
+  }
+  std::vector<uint8_t> tmp(len);
+  if (!p->mem().Read(addr, tmp.data(), len).ok) {
+    AppendFaultMarker(out);
+    return;
+  }
+  AppendU64(out, len);
+  AppendBytes(out, tmp.data(), len);
+}
+
+}  // namespace
+
+const SyscallDesc& DescOf(Sys nr) {
+  REMON_CHECK(static_cast<uint32_t>(nr) < kNumSyscalls);
+  return Table().table[static_cast<size_t>(nr)];
+}
+
+std::vector<uint8_t> SerializeCallSignature(Process* p, const SyscallRequest& req) {
+  const SyscallDesc& d = DescOf(req.nr);
+  std::vector<uint8_t> out;
+  out.reserve(64);
+  AppendU64(&out, static_cast<uint64_t>(req.nr));
+  for (int i = 0; i < 6; ++i) {
+    const InArg& a = d.in[i];
+    uint64_t v = req.arg(i);
+    switch (a.kind) {
+      case In::kNone:
+        break;
+      case In::kValue:
+        AppendU64(&out, v);
+        break;
+      case In::kPtr:
+        out.push_back(v == 0 ? 0 : 1);
+        break;
+      case In::kCStr: {
+        auto s = p->mem().ReadCString(v);
+        if (!s) {
+          AppendFaultMarker(&out);
+        } else {
+          AppendU64(&out, s->size());
+          AppendBytes(&out, s->data(), s->size());
+        }
+        break;
+      }
+      case In::kBuf:
+        SerializeGuestRange(p, &out, v, a.size_arg >= 0 ? req.arg(a.size_arg) : 0);
+        break;
+      case In::kStruct:
+        SerializeGuestRange(p, &out, v, a.fixed);
+        break;
+      case In::kIovecIn: {
+        uint64_t cnt = a.size_arg >= 0 ? req.arg(a.size_arg) : 0;
+        out.push_back(v == 0 ? 0 : 1);
+        AppendU64(&out, cnt);
+        for (uint64_t j = 0; j < std::min<uint64_t>(cnt, 1024); ++j) {
+          GuestIovec iov;
+          if (!p->mem().Read(v + j * sizeof(GuestIovec), &iov, sizeof(iov)).ok) {
+            AppendFaultMarker(&out);
+            break;
+          }
+          SerializeGuestRange(p, &out, iov.iov_base, iov.iov_len);
+        }
+        break;
+      }
+      case In::kMsghdrIn: {
+        GuestMsghdr hdr;
+        if (v == 0 || !p->mem().Read(v, &hdr, sizeof(hdr)).ok) {
+          out.push_back(v == 0 ? 0 : 2);
+          break;
+        }
+        AppendU64(&out, hdr.msg_iovlen);
+        for (uint64_t j = 0; j < std::min<uint64_t>(hdr.msg_iovlen, 1024); ++j) {
+          GuestIovec iov;
+          if (!p->mem().Read(hdr.msg_iov + j * sizeof(GuestIovec), &iov, sizeof(iov)).ok) {
+            AppendFaultMarker(&out);
+            break;
+          }
+          SerializeGuestRange(p, &out, iov.iov_base, iov.iov_len);
+        }
+        break;
+      }
+      case In::kPollfds: {
+        uint64_t cnt = a.size_arg >= 0 ? req.arg(a.size_arg) : 0;
+        AppendU64(&out, cnt);
+        for (uint64_t j = 0; j < std::min<uint64_t>(cnt, 1024); ++j) {
+          GuestPollfd pf;
+          if (!p->mem().Read(v + j * sizeof(GuestPollfd), &pf, sizeof(pf)).ok) {
+            AppendFaultMarker(&out);
+            break;
+          }
+          AppendU64(&out, static_cast<uint64_t>(pf.fd));
+          AppendU64(&out, static_cast<uint16_t>(pf.events));
+        }
+        break;
+      }
+      case In::kEpollEvent: {
+        GuestEpollEvent ev;
+        if (v == 0) {
+          out.push_back(0);
+          break;
+        }
+        if (!p->mem().Read(v, &ev, sizeof(ev)).ok) {
+          AppendFaultMarker(&out);
+          break;
+        }
+        // `data` is a replica-local cookie (often a heap pointer): excluded.
+        AppendU64(&out, ev.events);
+        break;
+      }
+      case In::kSockaddr:
+        SerializeGuestRange(p, &out, v, sizeof(GuestSockaddrIn));
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<OutRegion> CollectOutRegions(Process* p, const SyscallRequest& req, int64_t ret) {
+  const SyscallDesc& d = DescOf(req.nr);
+  std::vector<OutRegion> regions;
+  if (IsSyscallError(ret)) {
+    return regions;  // Failed calls write nothing.
+  }
+  for (const OutArg& o : d.outs) {
+    if (o.kind == Out::kNone) {
+      continue;
+    }
+    GuestAddr addr = o.arg >= 0 ? req.arg(o.arg) : 0;
+    switch (o.kind) {
+      case Out::kNone:
+        break;
+      case Out::kBufRet: {
+        if (addr == 0 || ret <= 0) {
+          break;
+        }
+        uint64_t cap = o.size_arg >= 0 ? req.arg(o.size_arg) : static_cast<uint64_t>(ret);
+        regions.push_back({addr, std::min<uint64_t>(static_cast<uint64_t>(ret), cap)});
+        break;
+      }
+      case Out::kBufFixed:
+        if (addr != 0) {
+          regions.push_back({addr, o.fixed});
+        }
+        break;
+      case Out::kIovecRet:
+      case Out::kMsghdrRet: {
+        if (addr == 0 || ret <= 0) {
+          break;
+        }
+        GuestAddr iov_addr = addr;
+        uint64_t iov_cnt = 0;
+        if (o.kind == Out::kMsghdrRet) {
+          GuestMsghdr hdr;
+          if (!p->mem().Read(addr, &hdr, sizeof(hdr)).ok) {
+            break;
+          }
+          iov_addr = hdr.msg_iov;
+          iov_cnt = hdr.msg_iovlen;
+        } else {
+          iov_cnt = req.arg(2);
+        }
+        uint64_t remaining = static_cast<uint64_t>(ret);
+        for (uint64_t j = 0; j < std::min<uint64_t>(iov_cnt, 1024) && remaining > 0; ++j) {
+          GuestIovec iov;
+          if (!p->mem().Read(iov_addr + j * sizeof(GuestIovec), &iov, sizeof(iov)).ok) {
+            break;
+          }
+          uint64_t n = std::min<uint64_t>(iov.iov_len, remaining);
+          if (n > 0) {
+            regions.push_back({iov.iov_base, n});
+            remaining -= n;
+          }
+        }
+        break;
+      }
+      case Out::kPollfds: {
+        uint64_t cnt = o.size_arg >= 0 ? req.arg(o.size_arg) : 0;
+        if (addr != 0 && cnt > 0) {
+          regions.push_back({addr, cnt * sizeof(GuestPollfd)});
+        }
+        break;
+      }
+      case Out::kEpollEvents:
+        if (addr != 0 && ret > 0) {
+          OutRegion r{addr, static_cast<uint64_t>(ret) * sizeof(GuestEpollEvent)};
+          r.is_epoll_events = true;
+          r.event_count = static_cast<int>(ret);
+          regions.push_back(r);
+        }
+        break;
+      case Out::kSockaddrVR: {
+        if (addr != 0) {
+          regions.push_back({addr, sizeof(GuestSockaddrIn)});
+        }
+        GuestAddr lenp = o.size_arg >= 0 ? req.arg(o.size_arg) : 0;
+        if (lenp != 0) {
+          regions.push_back({lenp, 4});
+        }
+        break;
+      }
+      case Out::kU32:
+        if (addr != 0) {
+          regions.push_back({addr, 4});
+        }
+        break;
+      case Out::kU64:
+        if (addr != 0) {
+          regions.push_back({addr, 8});
+        }
+        break;
+      case Out::kFd2:
+        if (addr != 0) {
+          regions.push_back({addr, 8});
+        }
+        break;
+      case Out::kFdSets:
+        for (int i = 1; i <= 2; ++i) {
+          if (req.arg(i) != 0) {
+            regions.push_back({req.arg(i), 128});
+          }
+        }
+        break;
+    }
+  }
+  return regions;
+}
+
+uint64_t EstimateDataSize(Process* p, const SyscallRequest& req) {
+  const SyscallDesc& d = DescOf(req.nr);
+  // Six registers plus entry metadata.
+  uint64_t size = 6 * 8 + 32;
+  for (int i = 0; i < 6; ++i) {
+    const InArg& a = d.in[i];
+    switch (a.kind) {
+      case In::kBuf:
+        size += a.size_arg >= 0 ? req.arg(a.size_arg) : 0;
+        break;
+      case In::kStruct:
+        size += a.fixed;
+        break;
+      case In::kCStr:
+        size += 256;
+        break;
+      case In::kIovecIn:
+      case In::kMsghdrIn:
+        size += 64 * 1024;  // Conservative: full window.
+        break;
+      default:
+        break;
+    }
+  }
+  for (const OutArg& o : d.outs) {
+    switch (o.kind) {
+      case Out::kBufRet:
+        size += o.size_arg >= 0 ? req.arg(o.size_arg) : 0;
+        break;
+      case Out::kBufFixed:
+        size += o.fixed;
+        break;
+      case Out::kIovecRet:
+      case Out::kMsghdrRet:
+        size += 64 * 1024;
+        break;
+      case Out::kEpollEvents:
+        size += req.arg(2) * sizeof(GuestEpollEvent);
+        break;
+      case Out::kPollfds:
+        size += (o.size_arg >= 0 ? req.arg(o.size_arg) : 0) * sizeof(GuestPollfd);
+        break;
+      case Out::kFdSets:
+        size += 256;
+        break;
+      case Out::kSockaddrVR:
+        size += sizeof(GuestSockaddrIn) + 4;
+        break;
+      case Out::kU32:
+        size += 4;
+        break;
+      case Out::kU64:
+      case Out::kFd2:
+        size += 8;
+        break;
+      case Out::kNone:
+        break;
+    }
+  }
+  return size;
+}
+
+}  // namespace remon

@@ -1,0 +1,102 @@
+// Per-system-call argument metadata shared by GHUMVEE and IP-MON.
+//
+// The paper's listing 1 shows how handlers describe each call: CHECKREG compares a
+// scalar argument across replicas, CHECKPOINTER compares only *nullness* (diversified
+// replicas legitimately pass different pointer values), CHECKBUFFER/CHECKSTRING deep-
+// compare pointed-to content, and REPLICATEBUFFER copies result data from the master
+// into the slaves. This module centralizes those descriptions so both monitors (and
+// the tests) interpret every call identically:
+//
+//  * SerializeCallSignature — canonical byte string of the comparable content of a
+//    call; two replicas diverge iff their signatures differ.
+//  * CollectOutRegions — the guest regions a completed call wrote, for replication.
+//  * EstimateDataSize — upper bound of RB space the call can need (CALCSIZE).
+
+#ifndef SRC_KERNEL_SYSCALL_META_H_
+#define SRC_KERNEL_SYSCALL_META_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kernel/process.h"
+#include "src/kernel/sysno.h"
+#include "src/kernel/thread.h"
+
+namespace remon {
+
+// How an argument participates in the cross-replica equivalence check.
+enum class In : uint8_t {
+  kNone,        // Unused.
+  kValue,       // CHECKREG: raw value must match.
+  kPtr,         // CHECKPOINTER: only nullness must match.
+  kCStr,        // CHECKSTRING: NUL-terminated content must match.
+  kBuf,         // CHECKBUFFER: `size_arg` bytes of content must match.
+  kStruct,      // Fixed-size content must match (`fixed` bytes).
+  kIovecIn,     // iovec array (count in `size_arg`): per-segment lengths + content.
+  kMsghdrIn,    // msghdr: embedded iovec content.
+  kPollfds,     // pollfd array (count in `size_arg`): fd + events fields.
+  kEpollEvent,  // epoll_event: `events` only — `data` is a replica-local pointer.
+  kSockaddr,    // sockaddr content (`size_arg` holds the length argument index).
+};
+
+struct InArg {
+  In kind = In::kNone;
+  int size_arg = -1;    // Index of the argument holding a byte count / element count.
+  uint32_t fixed = 0;   // Fixed byte size for kStruct.
+};
+
+// How result data written by the kernel is located for master->slave replication.
+enum class Out : uint8_t {
+  kNone,
+  kBufRet,       // min(ret, args[size_arg]) bytes at args[arg].
+  kBufFixed,     // `fixed` bytes at args[arg] (only when ret == 0).
+  kIovecRet,     // Scatter `ret` bytes across the iovec array at args[arg].
+  kMsghdrRet,    // Scatter `ret` bytes across the msghdr's iovec.
+  kPollfds,      // pollfd array revents (count = args[size_arg]).
+  kEpollEvents,  // `ret` epoll_event records at args[arg] (shadow-mapped by IP-MON).
+  kSockaddrVR,   // sockaddr at args[arg] with value-result length at args[size_arg].
+  kU32,          // 4 bytes at args[arg].
+  kU64,          // 8 bytes at args[arg].
+  kFd2,          // Two int32 fds at args[arg] (pipe).
+  kFdSets,       // select() read/write fd_sets at args[1]/args[2], 128 bytes each.
+};
+
+struct OutArg {
+  Out kind = Out::kNone;
+  int arg = -1;
+  int size_arg = -1;
+  uint32_t fixed = 0;
+};
+
+struct SyscallDesc {
+  InArg in[6];
+  OutArg outs[3];
+  int fd_arg = -1;        // Index of the primary FD argument (file-map lookups).
+  bool may_block = false; // Whether the call can block on a (blocking) FD.
+  bool returns_fd = false;
+};
+
+// Descriptor for `nr`; every valid syscall has one.
+const SyscallDesc& DescOf(Sys nr);
+
+// Canonical byte string of the call's comparable content (the monitors' deep compare
+// input). Unreadable guest memory contributes a fault marker instead of aborting.
+std::vector<uint8_t> SerializeCallSignature(Process* p, const SyscallRequest& req);
+
+// A guest memory region written by a completed call.
+struct OutRegion {
+  GuestAddr addr = 0;
+  uint64_t len = 0;
+  bool is_epoll_events = false;  // Needs the epoll data shadow mapping.
+  int event_count = 0;
+};
+
+// The regions a call that returned `ret` wrote in the calling process.
+std::vector<OutRegion> CollectOutRegions(Process* p, const SyscallRequest& req, int64_t ret);
+
+// Upper bound of the bytes the call's arguments + results can occupy in the RB.
+uint64_t EstimateDataSize(Process* p, const SyscallRequest& req);
+
+}  // namespace remon
+
+#endif  // SRC_KERNEL_SYSCALL_META_H_

@@ -1,0 +1,177 @@
+#include "src/kernel/sysno.h"
+
+#include "src/kernel/errno.h"
+
+namespace remon {
+
+std::string_view SysName(Sys no) {
+  switch (no) {
+    case Sys::kInvalid: return "invalid";
+    case Sys::kGettimeofday: return "gettimeofday";
+    case Sys::kClockGettime: return "clock_gettime";
+    case Sys::kTime: return "time";
+    case Sys::kGetpid: return "getpid";
+    case Sys::kGettid: return "gettid";
+    case Sys::kGetpgrp: return "getpgrp";
+    case Sys::kGetppid: return "getppid";
+    case Sys::kGetgid: return "getgid";
+    case Sys::kGetegid: return "getegid";
+    case Sys::kGetuid: return "getuid";
+    case Sys::kGeteuid: return "geteuid";
+    case Sys::kGetcwd: return "getcwd";
+    case Sys::kGetpriority: return "getpriority";
+    case Sys::kGetrusage: return "getrusage";
+    case Sys::kTimes: return "times";
+    case Sys::kCapget: return "capget";
+    case Sys::kGetitimer: return "getitimer";
+    case Sys::kSysinfo: return "sysinfo";
+    case Sys::kUname: return "uname";
+    case Sys::kSchedYield: return "sched_yield";
+    case Sys::kNanosleep: return "nanosleep";
+    case Sys::kAccess: return "access";
+    case Sys::kFaccessat: return "faccessat";
+    case Sys::kLseek: return "lseek";
+    case Sys::kStat: return "stat";
+    case Sys::kLstat: return "lstat";
+    case Sys::kFstat: return "fstat";
+    case Sys::kFstatat: return "fstatat";
+    case Sys::kGetdents: return "getdents";
+    case Sys::kReadlink: return "readlink";
+    case Sys::kReadlinkat: return "readlinkat";
+    case Sys::kGetxattr: return "getxattr";
+    case Sys::kLgetxattr: return "lgetxattr";
+    case Sys::kFgetxattr: return "fgetxattr";
+    case Sys::kAlarm: return "alarm";
+    case Sys::kSetitimer: return "setitimer";
+    case Sys::kTimerfdGettime: return "timerfd_gettime";
+    case Sys::kMadvise: return "madvise";
+    case Sys::kFadvise64: return "fadvise64";
+    case Sys::kRead: return "read";
+    case Sys::kReadv: return "readv";
+    case Sys::kPread64: return "pread64";
+    case Sys::kPreadv: return "preadv";
+    case Sys::kSelect: return "select";
+    case Sys::kPoll: return "poll";
+    case Sys::kFutex: return "futex";
+    case Sys::kIoctl: return "ioctl";
+    case Sys::kFcntl: return "fcntl";
+    case Sys::kSync: return "sync";
+    case Sys::kSyncfs: return "syncfs";
+    case Sys::kFsync: return "fsync";
+    case Sys::kFdatasync: return "fdatasync";
+    case Sys::kTimerfdSettime: return "timerfd_settime";
+    case Sys::kWrite: return "write";
+    case Sys::kWritev: return "writev";
+    case Sys::kPwrite64: return "pwrite64";
+    case Sys::kPwritev: return "pwritev";
+    case Sys::kEpollWait: return "epoll_wait";
+    case Sys::kRecvfrom: return "recvfrom";
+    case Sys::kRecvmsg: return "recvmsg";
+    case Sys::kRecvmmsg: return "recvmmsg";
+    case Sys::kGetsockname: return "getsockname";
+    case Sys::kGetpeername: return "getpeername";
+    case Sys::kGetsockopt: return "getsockopt";
+    case Sys::kSendto: return "sendto";
+    case Sys::kSendmsg: return "sendmsg";
+    case Sys::kSendmmsg: return "sendmmsg";
+    case Sys::kSendfile: return "sendfile";
+    case Sys::kEpollCtl: return "epoll_ctl";
+    case Sys::kSetsockopt: return "setsockopt";
+    case Sys::kShutdown: return "shutdown";
+    case Sys::kOpen: return "open";
+    case Sys::kOpenat: return "openat";
+    case Sys::kClose: return "close";
+    case Sys::kDup: return "dup";
+    case Sys::kDup2: return "dup2";
+    case Sys::kPipe: return "pipe";
+    case Sys::kPipe2: return "pipe2";
+    case Sys::kSocket: return "socket";
+    case Sys::kBind: return "bind";
+    case Sys::kListen: return "listen";
+    case Sys::kAccept: return "accept";
+    case Sys::kAccept4: return "accept4";
+    case Sys::kConnect: return "connect";
+    case Sys::kEpollCreate: return "epoll_create";
+    case Sys::kEpollCreate1: return "epoll_create1";
+    case Sys::kTimerfdCreate: return "timerfd_create";
+    case Sys::kEventfd: return "eventfd";
+    case Sys::kEventfd2: return "eventfd2";
+    case Sys::kMmap: return "mmap";
+    case Sys::kMunmap: return "munmap";
+    case Sys::kMprotect: return "mprotect";
+    case Sys::kMremap: return "mremap";
+    case Sys::kBrk: return "brk";
+    case Sys::kShmget: return "shmget";
+    case Sys::kShmat: return "shmat";
+    case Sys::kShmdt: return "shmdt";
+    case Sys::kShmctl: return "shmctl";
+    case Sys::kClone: return "clone";
+    case Sys::kFork: return "fork";
+    case Sys::kExecve: return "execve";
+    case Sys::kExit: return "exit";
+    case Sys::kExitGroup: return "exit_group";
+    case Sys::kWait4: return "wait4";
+    case Sys::kKill: return "kill";
+    case Sys::kTgkill: return "tgkill";
+    case Sys::kSetpriority: return "setpriority";
+    case Sys::kRtSigaction: return "rt_sigaction";
+    case Sys::kRtSigprocmask: return "rt_sigprocmask";
+    case Sys::kRtSigreturn: return "rt_sigreturn";
+    case Sys::kSigaltstack: return "sigaltstack";
+    case Sys::kPause: return "pause";
+    case Sys::kGetrandom: return "getrandom";
+    case Sys::kUnlink: return "unlink";
+    case Sys::kMkdir: return "mkdir";
+    case Sys::kRmdir: return "rmdir";
+    case Sys::kRename: return "rename";
+    case Sys::kTruncate: return "truncate";
+    case Sys::kFtruncate: return "ftruncate";
+    case Sys::kChdir: return "chdir";
+    case Sys::kSetxattr: return "setxattr";
+    case Sys::kRemonIpmonRegister: return "remon_ipmon_register";
+    case Sys::kRemonRbFlush: return "remon_rb_flush";
+    case Sys::kRemonSyncRegister: return "remon_sync_register";
+    case Sys::kMaxSyscall: return "max";
+  }
+  return "unknown";
+}
+
+const char* ErrnoName(int err) {
+  switch (err) {
+    case kEPERM: return "EPERM";
+    case kENOENT: return "ENOENT";
+    case kESRCH: return "ESRCH";
+    case kEINTR: return "EINTR";
+    case kEIO: return "EIO";
+    case kEBADF: return "EBADF";
+    case kECHILD: return "ECHILD";
+    case kEAGAIN: return "EAGAIN";
+    case kENOMEM: return "ENOMEM";
+    case kEACCES: return "EACCES";
+    case kEFAULT: return "EFAULT";
+    case kEBUSY: return "EBUSY";
+    case kEEXIST: return "EEXIST";
+    case kENOTDIR: return "ENOTDIR";
+    case kEISDIR: return "EISDIR";
+    case kEINVAL: return "EINVAL";
+    case kEMFILE: return "EMFILE";
+    case kESPIPE: return "ESPIPE";
+    case kEPIPE: return "EPIPE";
+    case kERANGE: return "ERANGE";
+    case kENOSYS: return "ENOSYS";
+    case kENOTEMPTY: return "ENOTEMPTY";
+    case kENOTSOCK: return "ENOTSOCK";
+    case kEMSGSIZE: return "EMSGSIZE";
+    case kEOPNOTSUPP: return "EOPNOTSUPP";
+    case kEADDRINUSE: return "EADDRINUSE";
+    case kECONNRESET: return "ECONNRESET";
+    case kEISCONN: return "EISCONN";
+    case kENOTCONN: return "ENOTCONN";
+    case kETIMEDOUT: return "ETIMEDOUT";
+    case kECONNREFUSED: return "ECONNREFUSED";
+    case kEINPROGRESS: return "EINPROGRESS";
+    default: return "E?";
+  }
+}
+
+}  // namespace remon

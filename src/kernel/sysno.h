@@ -1,0 +1,183 @@
+// System call numbers of the simulated kernel.
+//
+// The set mirrors the x86-64 Linux calls that ReMon's paper discusses: the 67-call
+// IP-MON fast path of Table 1, the always-monitored resource-management calls, and
+// the handful of extras the workloads need. Numbering is dense and private to the
+// simulator (the monitors only care about identity, not numeric equality with Linux).
+
+#ifndef SRC_KERNEL_SYSNO_H_
+#define SRC_KERNEL_SYSNO_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace remon {
+
+enum class Sys : uint32_t {
+  kInvalid = 0,
+
+  // --- Process-local queries (Table 1 BASE_LEVEL unconditional) -----------------
+  kGettimeofday,
+  kClockGettime,
+  kTime,
+  kGetpid,
+  kGettid,
+  kGetpgrp,
+  kGetppid,
+  kGetgid,
+  kGetegid,
+  kGetuid,
+  kGeteuid,
+  kGetcwd,
+  kGetpriority,
+  kGetrusage,
+  kTimes,
+  kCapget,
+  kGetitimer,
+  kSysinfo,
+  kUname,
+  kSchedYield,
+  kNanosleep,
+
+  // --- Read-only FS metadata (NONSOCKET_RO_LEVEL unconditional) ---------------
+  kAccess,
+  kFaccessat,
+  kLseek,
+  kStat,
+  kLstat,
+  kFstat,
+  kFstatat,
+  kGetdents,
+  kReadlink,
+  kReadlinkat,
+  kGetxattr,
+  kLgetxattr,
+  kFgetxattr,
+  kAlarm,
+  kSetitimer,
+  kTimerfdGettime,
+  kMadvise,
+  kFadvise64,
+
+  // --- Reads (conditional: non-socket at NONSOCKET_RO, socket at SOCKET_RO) ----
+  kRead,
+  kReadv,
+  kPread64,
+  kPreadv,
+  kSelect,
+  kPoll,
+
+  // --- Conditional at NONSOCKET_RO (process-local writes) ------------------------
+  kFutex,
+  kIoctl,
+  kFcntl,
+
+  // --- Write-ish FS calls (NONSOCKET_RW unconditional) -----------------------
+  kSync,
+  kSyncfs,
+  kFsync,
+  kFdatasync,
+  kTimerfdSettime,
+
+  // --- Writes (conditional: non-socket at NONSOCKET_RW, socket at SOCKET_RW) ---
+  kWrite,
+  kWritev,
+  kPwrite64,
+  kPwritev,
+
+  // --- Socket reads (SOCKET_RO unconditional) --------------------------------
+  kEpollWait,
+  kRecvfrom,
+  kRecvmsg,
+  kRecvmmsg,
+  kGetsockname,
+  kGetpeername,
+  kGetsockopt,
+
+  // --- Socket writes (SOCKET_RW unconditional) -------------------------------
+  kSendto,
+  kSendmsg,
+  kSendmmsg,
+  kSendfile,
+  kEpollCtl,
+  kSetsockopt,
+  kShutdown,
+
+  // --- Always monitored: file descriptor lifecycle ------------------------------
+  kOpen,
+  kOpenat,
+  kClose,
+  kDup,
+  kDup2,
+  kPipe,
+  kPipe2,
+  kSocket,
+  kBind,
+  kListen,
+  kAccept,
+  kAccept4,
+  kConnect,
+  kEpollCreate,
+  kEpollCreate1,
+  kTimerfdCreate,
+  kEventfd,
+  kEventfd2,
+
+  // --- Always monitored: memory management -----------------------------------
+  kMmap,
+  kMunmap,
+  kMprotect,
+  kMremap,
+  kBrk,
+  kShmget,
+  kShmat,
+  kShmdt,
+  kShmctl,
+
+  // --- Always monitored: process/thread lifecycle -----------------------------
+  kClone,
+  kFork,
+  kExecve,
+  kExit,
+  kExitGroup,
+  kWait4,
+  kKill,
+  kTgkill,
+  kSetpriority,
+
+  // --- Always monitored: signal handling --------------------------------------
+  kRtSigaction,
+  kRtSigprocmask,
+  kRtSigreturn,
+  kSigaltstack,
+  kPause,
+
+  // --- Always monitored: misc sensitive ----------------------------------------
+  kGetrandom,
+  kUnlink,
+  kMkdir,
+  kRmdir,
+  kRename,
+  kTruncate,
+  kFtruncate,
+  kChdir,
+  kSetxattr,
+
+  // --- MVEE-internal ------------------------------------------------------------
+  // IP-MON registration (the new system call the paper adds to the kernel, §3.5).
+  kRemonIpmonRegister,
+  // IP-MON -> GHUMVEE RB-overflow / signal-check flush request (§3.2).
+  kRemonRbFlush,
+  // Record/replay agent registration for user-space sync replication (§2.3).
+  kRemonSyncRegister,
+
+  kMaxSyscall,  // Sentinel; keep last.
+};
+
+inline constexpr uint32_t kNumSyscalls = static_cast<uint32_t>(Sys::kMaxSyscall);
+
+std::string_view SysName(Sys no);
+
+}  // namespace remon
+
+#endif  // SRC_KERNEL_SYSNO_H_

@@ -1,0 +1,123 @@
+// Kernel thread objects.
+//
+// A Thread wraps one guest coroutine (plus any auxiliary coroutines the kernel runs on
+// its behalf: IP-MON handlers, signal handlers). Threads never run concurrently in
+// host terms — the discrete-event simulator resumes at most one coroutine at a time —
+// but their virtual timelines overlap across CPU cores.
+
+#ifndef SRC_KERNEL_THREAD_H_
+#define SRC_KERNEL_THREAD_H_
+
+#include <array>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/kernel/sysno.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+#include "src/vfs/wait_queue.h"
+
+namespace remon {
+
+class Process;
+class Kernel;
+class Guest;
+
+struct SyscallRequest {
+  Sys nr = Sys::kInvalid;
+  std::array<uint64_t, 6> args{};
+
+  uint64_t arg(int i) const { return args[static_cast<size_t>(i)]; }
+};
+
+enum class ThreadState { kNew, kRunnable, kBlocked, kPtraceStopped, kExited };
+
+// Why a blocked thread woke up.
+enum class WakeReason { kNotified, kTimeout, kSignal };
+
+class Thread {
+ public:
+  Thread(Kernel* kernel, Process* process, int tid, int rank)
+      : kernel_(kernel), process_(process), tid_(tid), rank_(rank) {}
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+  ~Thread();
+
+  Kernel* kernel() const { return kernel_; }
+  Process* process() const { return process_; }
+  int tid() const { return tid_; }
+  // Thread rank: the pairing index GHUMVEE uses to match threads across replicas
+  // (thread rank r of replica 0 runs in lockstep with rank r of replica 1, ...).
+  int rank() const { return rank_; }
+
+  bool alive() const { return alive_; }
+  ThreadState state() const { return state_; }
+  void set_state(ThreadState s) { state_ = s; }
+
+  // --- Fields below are kernel-internal; other modules must use Kernel APIs. -------
+
+  // Scheduling.
+  int last_core = -1;
+  DurationNs cpu_time_ns = 0;
+
+  // The program body callable. A coroutine lambda's captures live in the lambda
+  // object, not in the coroutine frame, so the callable must outlive the coroutine —
+  // it is anchored here for the thread's lifetime.
+  std::function<void()> program_anchor;
+  // Root guest coroutine (released from GuestTask; owned here).
+  std::coroutine_handle<> root_frame;
+  // Live auxiliary root coroutines (IP-MON handler instances, signal handlers).
+  std::vector<std::coroutine_handle<>> aux_frames;
+  bool root_finished = false;
+
+  // In-flight system call (valid while in_syscall).
+  bool in_syscall = false;
+  SyscallRequest cur_req;
+  int64_t cur_result = 0;
+  // Where to deliver the syscall return value (points into the awaiter frame).
+  int64_t* result_slot = nullptr;
+  std::coroutine_handle<> syscall_waiter;
+
+  // Blocking bookkeeping.
+  struct WaitRecord {
+    bool active = false;
+    bool interruptible = true;
+    std::vector<std::pair<WaitQueue*, uint64_t>> waiters;
+    EventQueue::EventId timeout_event = 0;
+    std::function<void(WakeReason)> on_wake;
+  };
+  WaitRecord wait;
+
+  // ptrace.
+  std::function<void(const struct PtraceAction&)> on_ptrace_resume;
+
+  // Signals.
+  uint64_t sig_blocked = 0;
+  uint64_t sig_pending = 0;
+
+  // The Guest facade bound to this thread (owned by the Kernel).
+  Guest* guest_facade = nullptr;
+
+  // IK-B / IP-MON per-thread state.
+  uint64_t ipmon_token = 0;      // Current one-time authorization token.
+  bool ipmon_token_valid = false;
+  bool in_ipmon = false;         // Executing inside the IP-MON aux coroutine.
+  uint64_t ipmon_invocations = 0;
+
+  // Exit plumbing.
+  void MarkDead() { alive_ = false; }
+
+ private:
+  Kernel* kernel_;
+  Process* process_;
+  int tid_;
+  int rank_;
+  bool alive_ = true;
+  ThreadState state_ = ThreadState::kNew;
+};
+
+}  // namespace remon
+
+#endif  // SRC_KERNEL_THREAD_H_

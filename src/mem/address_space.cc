@@ -1,0 +1,357 @@
+#include "src/mem/address_space.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "src/sim/check.h"
+
+namespace remon {
+
+namespace {
+
+// The simulated user address space spans [kUserLow, kUserHigh).
+constexpr GuestAddr kUserLow = 0x10000;
+constexpr GuestAddr kUserHigh = 0x7fff'ffff'f000ULL;
+
+}  // namespace
+
+bool AddressSpace::RangeFree(GuestAddr start, uint64_t length) const {
+  for (GuestAddr p = PageAlignDown(start); p < start + length; p += kPageSize) {
+    if (page_table_.count(p >> kPageShift) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AddressSpace::MapFixed(GuestAddr start, uint64_t length, uint32_t prot, bool shared,
+                            std::string_view name) {
+  uint64_t len = PageAlignUp(length);
+  std::vector<PageRef> frames;
+  frames.reserve(len / kPageSize);
+  for (uint64_t i = 0; i < len / kPageSize; ++i) {
+    frames.push_back(NewPage());
+  }
+  return MapFixedBacked(start, length, prot, shared, name, frames);
+}
+
+bool AddressSpace::MapFixedBacked(GuestAddr start, uint64_t length, uint32_t prot, bool shared,
+                                  std::string_view name, const std::vector<PageRef>& frames) {
+  if ((start & kPageMask) != 0 || length == 0) {
+    return false;
+  }
+  uint64_t len = PageAlignUp(length);
+  if (start < kUserLow || start + len > kUserHigh) {
+    return false;
+  }
+  if (!RangeFree(start, len)) {
+    return false;
+  }
+  REMON_CHECK(frames.size() >= len / kPageSize);
+  for (uint64_t i = 0; i < len / kPageSize; ++i) {
+    page_table_[(start >> kPageShift) + i] = PageEntry{frames[i], prot};
+  }
+  vmas_[start] = Vma{start, len, prot, shared, std::string(name)};
+  return true;
+}
+
+GuestAddr AddressSpace::FindFreeRange(GuestAddr hint, uint64_t length) const {
+  uint64_t len = PageAlignUp(length);
+  GuestAddr candidate = PageAlignDown(hint);
+  // Search downward from the hint; this mirrors Linux's legacy top-down mmap layout
+  // closely enough for layout-randomization purposes.
+  while (candidate >= kUserLow + len) {
+    if (RangeFree(candidate, len)) {
+      return candidate;
+    }
+    // Skip below the VMA that overlaps the candidate to avoid quadratic probing.
+    auto it = vmas_.upper_bound(candidate + len - 1);
+    GuestAddr next = candidate - kPageSize;
+    if (it != vmas_.begin()) {
+      --it;
+      if (it->second.end() > candidate) {
+        if (it->second.start < len + kUserLow) {
+          return 0;
+        }
+        next = it->second.start - len;
+      }
+    }
+    candidate = PageAlignDown(next);
+  }
+  return 0;
+}
+
+void AddressSpace::SplitAround(GuestAddr start, uint64_t length) {
+  GuestAddr end = start + length;
+  for (GuestAddr edge : {start, end}) {
+    auto it = vmas_.upper_bound(edge);
+    if (it == vmas_.begin()) {
+      continue;
+    }
+    --it;
+    Vma& v = it->second;
+    if (v.start < edge && edge < v.end()) {
+      Vma tail = v;
+      tail.start = edge;
+      tail.length = v.end() - edge;
+      v.length = edge - v.start;
+      vmas_[edge] = tail;
+    }
+  }
+}
+
+void AddressSpace::Unmap(GuestAddr start, uint64_t length) {
+  if (length == 0) {
+    return;
+  }
+  start = PageAlignDown(start);
+  uint64_t len = PageAlignUp(length);
+  SplitAround(start, len);
+  for (GuestAddr p = start; p < start + len; p += kPageSize) {
+    page_table_.erase(p >> kPageShift);
+  }
+  auto it = vmas_.lower_bound(start);
+  while (it != vmas_.end() && it->second.start < start + len) {
+    it = vmas_.erase(it);
+  }
+}
+
+bool AddressSpace::Protect(GuestAddr start, uint64_t length, uint32_t prot) {
+  start = PageAlignDown(start);
+  uint64_t len = PageAlignUp(length);
+  for (GuestAddr p = start; p < start + len; p += kPageSize) {
+    if (page_table_.count(p >> kPageShift) == 0) {
+      return false;
+    }
+  }
+  SplitAround(start, len);
+  for (GuestAddr p = start; p < start + len; p += kPageSize) {
+    page_table_[p >> kPageShift].prot = prot;
+  }
+  auto it = vmas_.lower_bound(start);
+  while (it != vmas_.end() && it->second.start < start + len) {
+    it->second.prot = prot;
+    ++it;
+  }
+  return true;
+}
+
+GuestAddr AddressSpace::Remap(GuestAddr old_start, uint64_t old_len, uint64_t new_len) {
+  old_len = PageAlignUp(old_len);
+  new_len = PageAlignUp(new_len);
+  auto it = vmas_.find(old_start);
+  if (it == vmas_.end() || it->second.length != old_len) {
+    return 0;
+  }
+  if (new_len == old_len) {
+    return old_start;
+  }
+  Vma vma = it->second;
+  if (new_len < old_len) {
+    Unmap(old_start + new_len, old_len - new_len);
+    vmas_[old_start].length = new_len;
+    return old_start;
+  }
+  // Grow in place when the tail is free.
+  if (RangeFree(old_start + old_len, new_len - old_len)) {
+    for (GuestAddr p = old_start + old_len; p < old_start + new_len; p += kPageSize) {
+      page_table_[p >> kPageShift] = PageEntry{NewPage(), vma.prot};
+    }
+    vmas_[old_start].length = new_len;
+    return old_start;
+  }
+  return 0;
+}
+
+AccessResult AddressSpace::Read(GuestAddr addr, void* out, uint64_t len) const {
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  while (len > 0) {
+    auto it = page_table_.find(addr >> kPageShift);
+    if (it == page_table_.end() || (it->second.prot & kProtRead) == 0) {
+      return AccessResult::Fault(addr);
+    }
+    uint64_t off = addr & kPageMask;
+    uint64_t n = std::min<uint64_t>(len, kPageSize - off);
+    std::memcpy(dst, it->second.frame->bytes.data() + off, n);
+    dst += n;
+    addr += n;
+    len -= n;
+  }
+  return AccessResult::Ok();
+}
+
+AccessResult AddressSpace::Write(GuestAddr addr, const void* data, uint64_t len) {
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  while (len > 0) {
+    auto it = page_table_.find(addr >> kPageShift);
+    if (it == page_table_.end() || (it->second.prot & kProtWrite) == 0) {
+      return AccessResult::Fault(addr);
+    }
+    uint64_t off = addr & kPageMask;
+    uint64_t n = std::min<uint64_t>(len, kPageSize - off);
+    std::memcpy(it->second.frame->bytes.data() + off, src, n);
+    src += n;
+    addr += n;
+    len -= n;
+  }
+  return AccessResult::Ok();
+}
+
+AccessResult AddressSpace::ReadUnchecked(GuestAddr addr, void* out, uint64_t len) const {
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  while (len > 0) {
+    auto it = page_table_.find(addr >> kPageShift);
+    if (it == page_table_.end()) {
+      return AccessResult::Fault(addr);
+    }
+    uint64_t off = addr & kPageMask;
+    uint64_t n = std::min<uint64_t>(len, kPageSize - off);
+    std::memcpy(dst, it->second.frame->bytes.data() + off, n);
+    dst += n;
+    addr += n;
+    len -= n;
+  }
+  return AccessResult::Ok();
+}
+
+AccessResult AddressSpace::WriteUnchecked(GuestAddr addr, const void* data, uint64_t len) {
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  while (len > 0) {
+    auto it = page_table_.find(addr >> kPageShift);
+    if (it == page_table_.end()) {
+      return AccessResult::Fault(addr);
+    }
+    uint64_t off = addr & kPageMask;
+    uint64_t n = std::min<uint64_t>(len, kPageSize - off);
+    std::memcpy(it->second.frame->bytes.data() + off, src, n);
+    src += n;
+    addr += n;
+    len -= n;
+  }
+  return AccessResult::Ok();
+}
+
+std::optional<uint64_t> AddressSpace::ReadU64(GuestAddr addr) const {
+  uint64_t v = 0;
+  if (!Read(addr, &v, sizeof(v)).ok) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<uint32_t> AddressSpace::ReadU32(GuestAddr addr) const {
+  uint32_t v = 0;
+  if (!Read(addr, &v, sizeof(v)).ok) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+bool AddressSpace::WriteU64(GuestAddr addr, uint64_t v) { return Write(addr, &v, sizeof(v)).ok; }
+bool AddressSpace::WriteU32(GuestAddr addr, uint32_t v) { return Write(addr, &v, sizeof(v)).ok; }
+
+std::optional<std::string> AddressSpace::ReadCString(GuestAddr addr, uint64_t max_len) const {
+  std::string out;
+  for (uint64_t i = 0; i < max_len; ++i) {
+    char c = 0;
+    if (!Read(addr + i, &c, 1).ok) {
+      return std::nullopt;
+    }
+    if (c == '\0') {
+      return out;
+    }
+    out.push_back(c);
+  }
+  return out;  // Truncated at max_len.
+}
+
+std::optional<std::vector<uint8_t>> AddressSpace::ReadBytes(GuestAddr addr, uint64_t len) const {
+  std::vector<uint8_t> out(len);
+  if (!Read(addr, out.data(), len).ok) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+const Vma* AddressSpace::FindVma(GuestAddr addr) const {
+  auto it = vmas_.upper_bound(addr);
+  if (it == vmas_.begin()) {
+    return nullptr;
+  }
+  --it;
+  if (addr >= it->second.start && addr < it->second.end()) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
+const Vma* AddressSpace::FindVmaByName(std::string_view name) const {
+  for (const auto& [start, vma] : vmas_) {
+    if (vma.name == name) {
+      return &vma;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Vma> AddressSpace::Vmas() const {
+  std::vector<Vma> out;
+  out.reserve(vmas_.size());
+  for (const auto& [start, vma] : vmas_) {
+    out.push_back(vma);
+  }
+  return out;
+}
+
+Page* AddressSpace::ResolveFrame(GuestAddr addr, uint64_t* offset_in_page) const {
+  auto it = page_table_.find(addr >> kPageShift);
+  if (it == page_table_.end()) {
+    return nullptr;
+  }
+  if (offset_in_page != nullptr) {
+    *offset_in_page = addr & kPageMask;
+  }
+  return it->second.frame.get();
+}
+
+std::vector<PageRef> AddressSpace::FramesFor(GuestAddr start, uint64_t length) const {
+  std::vector<PageRef> out;
+  for (GuestAddr p = PageAlignDown(start); p < start + length; p += kPageSize) {
+    auto it = page_table_.find(p >> kPageShift);
+    if (it == page_table_.end()) {
+      return {};
+    }
+    out.push_back(it->second.frame);
+  }
+  return out;
+}
+
+std::string AddressSpace::RenderMaps() const {
+  std::ostringstream os;
+  for (const auto& [start, vma] : vmas_) {
+    char perms[5] = {
+        (vma.prot & kProtRead) ? 'r' : '-',
+        (vma.prot & kProtWrite) ? 'w' : '-',
+        (vma.prot & kProtExec) ? 'x' : '-',
+        vma.shared ? 's' : 'p',
+        '\0',
+    };
+    char line[128];
+    std::snprintf(line, sizeof(line), "%012llx-%012llx %s 00000000 00:00 0",
+                  static_cast<unsigned long long>(vma.start),
+                  static_cast<unsigned long long>(vma.end()), perms);
+    os << line;
+    if (!vma.name.empty()) {
+      os << "                          " << vma.name;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+uint64_t AddressSpace::mapped_bytes() const {
+  return static_cast<uint64_t>(page_table_.size()) * kPageSize;
+}
+
+}  // namespace remon

@@ -1,0 +1,137 @@
+// Per-process virtual address space: page table + VMA list.
+//
+// Responsibilities:
+//  * mapping/unmapping/protecting regions (mmap/munmap/mprotect/brk semantics),
+//  * permission-checked reads and writes used by guests, the kernel, and the monitors,
+//  * /proc/<pid>/maps rendering (GHUMVEE filters this to hide IP-MON and the RB),
+//  * exposing backing frames so futex keys and shared mappings work across processes.
+
+#ifndef SRC_MEM_ADDRESS_SPACE_H_
+#define SRC_MEM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mem/page.h"
+
+namespace remon {
+
+// A mapped region.
+struct Vma {
+  GuestAddr start = 0;
+  uint64_t length = 0;  // Always page-aligned.
+  uint32_t prot = kProtNone;
+  bool shared = false;  // MAP_SHARED-like: writes are visible through other mappings.
+  std::string name;     // Region label, shown in /proc/maps ("[heap]", "libipmon", ...).
+
+  GuestAddr end() const { return start + length; }
+};
+
+// Result of a guest memory access attempt.
+struct AccessResult {
+  bool ok = true;
+  GuestAddr fault_addr = 0;  // First faulting address when !ok.
+
+  static AccessResult Ok() { return {true, 0}; }
+  static AccessResult Fault(GuestAddr a) { return {false, a}; }
+};
+
+class AddressSpace {
+ public:
+  AddressSpace() = default;
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  // --- Mapping operations -----------------------------------------------------
+
+  // Maps `length` bytes (rounded up to pages) at exactly `start` (page-aligned).
+  // Fails (returns false) if any page in the range is already mapped.
+  bool MapFixed(GuestAddr start, uint64_t length, uint32_t prot, bool shared,
+                std::string_view name);
+
+  // Maps with existing backing frames (shared memory attach). `frames` must cover the
+  // rounded-up length.
+  bool MapFixedBacked(GuestAddr start, uint64_t length, uint32_t prot, bool shared,
+                      std::string_view name, const std::vector<PageRef>& frames);
+
+  // Finds a free gap of `length` bytes at or below `hint`, searching downward.
+  // Returns 0 when no gap exists.
+  GuestAddr FindFreeRange(GuestAddr hint, uint64_t length) const;
+
+  // Unmaps [start, start+length). Unmapping unmapped pages is a no-op (POSIX).
+  void Unmap(GuestAddr start, uint64_t length);
+
+  // Changes protection on [start, start+length). Returns false if any page in the
+  // range is unmapped.
+  bool Protect(GuestAddr start, uint64_t length, uint32_t prot);
+
+  // Remaps a region to a new size in place when possible; returns new start or 0.
+  GuestAddr Remap(GuestAddr old_start, uint64_t old_len, uint64_t new_len);
+
+  // --- Access -------------------------------------------------------------------
+
+  AccessResult Read(GuestAddr addr, void* out, uint64_t len) const;
+  AccessResult Write(GuestAddr addr, const void* data, uint64_t len);
+
+  // Access that ignores page protections (used by ptrace-style monitor access, which
+  // goes through the kernel and may inspect read-protected pages).
+  AccessResult ReadUnchecked(GuestAddr addr, void* out, uint64_t len) const;
+  AccessResult WriteUnchecked(GuestAddr addr, const void* data, uint64_t len);
+
+  // Typed helpers.
+  std::optional<uint64_t> ReadU64(GuestAddr addr) const;
+  std::optional<uint32_t> ReadU32(GuestAddr addr) const;
+  bool WriteU64(GuestAddr addr, uint64_t v);
+  bool WriteU32(GuestAddr addr, uint32_t v);
+  // Reads a NUL-terminated string of at most `max_len` bytes.
+  std::optional<std::string> ReadCString(GuestAddr addr, uint64_t max_len = 4096) const;
+  bool WriteBytes(GuestAddr addr, std::span<const uint8_t> data) {
+    return Write(addr, data.data(), data.size()).ok;
+  }
+  std::optional<std::vector<uint8_t>> ReadBytes(GuestAddr addr, uint64_t len) const;
+
+  // --- Introspection --------------------------------------------------------------
+
+  // Returns the VMA containing `addr`, if any.
+  const Vma* FindVma(GuestAddr addr) const;
+  // Returns the first VMA whose name is `name`, if any.
+  const Vma* FindVmaByName(std::string_view name) const;
+  // All VMAs in address order.
+  std::vector<Vma> Vmas() const;
+
+  // Resolves an address to its backing frame; nullptr when unmapped. Used for futex
+  // keys (shared frames give shared keys) and zero-copy page sharing.
+  Page* ResolveFrame(GuestAddr addr, uint64_t* offset_in_page) const;
+  // Returns backing frames of a mapped range (for shmat-style aliasing).
+  std::vector<PageRef> FramesFor(GuestAddr start, uint64_t length) const;
+
+  // Renders /proc/<pid>/maps content.
+  std::string RenderMaps() const;
+
+  // Total mapped bytes.
+  uint64_t mapped_bytes() const;
+
+ private:
+  struct PageEntry {
+    PageRef frame;
+    uint32_t prot = kProtNone;
+  };
+
+  bool RangeFree(GuestAddr start, uint64_t length) const;
+
+  // Splits VMAs so that `start` and `start+length` fall on VMA boundaries.
+  void SplitAround(GuestAddr start, uint64_t length);
+
+  std::map<GuestAddr, Vma> vmas_;                       // Keyed by start address.
+  std::unordered_map<uint64_t, PageEntry> page_table_;  // Keyed by VPN.
+};
+
+}  // namespace remon
+
+#endif  // SRC_MEM_ADDRESS_SPACE_H_

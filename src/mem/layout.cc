@@ -1,0 +1,61 @@
+#include "src/mem/layout.h"
+
+namespace remon {
+
+namespace {
+
+// Per-replica DCL code windows: replica i's code lives in
+// [kDclBase + i * kDclStride, kDclBase + (i+1) * kDclStride). With ASLR the exact
+// base inside the window is randomized; without ASLR it sits at the window start.
+constexpr GuestAddr kDclBase = 0x5500'0000'0000ULL;
+constexpr uint64_t kDclStride = 0x0010'0000'0000ULL;  // 64 GiB per replica window.
+
+// Without DCL every replica's code windows coincide (classic fixed layout).
+constexpr GuestAddr kFixedCodeBase = 0x0000'0040'0000ULL;
+
+constexpr GuestAddr kHeapBase = 0x5600'0000'0000ULL;
+constexpr GuestAddr kStackTop = 0x7ffd'0000'0000ULL;
+constexpr GuestAddr kMmapHint = 0x7f00'0000'0000ULL;
+
+// Entropy of randomized bases, expressed in pages. 2^24 pages ~ 36 bits of VA span;
+// we use 24 bits of page-granular entropy to mirror the paper's "24 bits of entropy"
+// argument for RB placement.
+constexpr uint64_t kEntropyPages = 1ULL << 24;
+
+}  // namespace
+
+LayoutPlan LayoutPlanner::PlanFor(int index) {
+  LayoutPlan plan;
+  plan.replica_index = index;
+  plan.code_size = options_.code_size;
+  plan.ipmon_size = options_.ipmon_size;
+
+  auto jitter = [&](uint64_t max_pages) -> uint64_t {
+    if (!options_.aslr) {
+      return 0;
+    }
+    return rng_->NextBelow(max_pages) * kPageSize;
+  };
+
+  if (options_.dcl) {
+    GuestAddr window = kDclBase + static_cast<uint64_t>(index) * kDclStride;
+    // Keep code + ipmon inside the window; randomize within a quarter of it.
+    plan.code_base = window + jitter(kDclStride / kPageSize / 4);
+    plan.ipmon_base = window + kDclStride / 2 + jitter(kDclStride / kPageSize / 4);
+  } else {
+    plan.code_base = kFixedCodeBase + jitter(1 << 12);
+    plan.ipmon_base = kFixedCodeBase + 0x1000'0000ULL + jitter(1 << 12);
+  }
+
+  plan.heap_base = kHeapBase + static_cast<uint64_t>(index) * kDclStride + jitter(kEntropyPages);
+  plan.stack_top = kStackTop - static_cast<uint64_t>(index) * 0x1'0000'0000ULL - jitter(1 << 20);
+  plan.stack_top = PageAlignDown(plan.stack_top);
+  plan.mmap_hint = kMmapHint - static_cast<uint64_t>(index) * 0x10'0000'0000ULL - jitter(kEntropyPages);
+  plan.mmap_hint = PageAlignDown(plan.mmap_hint);
+  plan.code_base = PageAlignDown(plan.code_base);
+  plan.heap_base = PageAlignDown(plan.heap_base);
+  plan.ipmon_base = PageAlignDown(plan.ipmon_base);
+  return plan;
+}
+
+}  // namespace remon

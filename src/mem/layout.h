@@ -1,0 +1,61 @@
+// Address-space layout randomization (ASLR) and Disjoint Code Layouts (DCL).
+//
+// ReMon's deployed diversification is ASLR combined with DCL [Volckaert et al., TDSC
+// 2015]: each replica's executable regions are placed so that *no* code range of one
+// replica overlaps a code range of any other replica. A code address leaked from (or
+// crafted for) one replica is therefore guaranteed not to be executable code in any
+// other replica — a ROP payload can redirect at most one replica, and the resulting
+// divergence (typically a SIGSEGV in the others) is what the MVEE detects.
+//
+// LayoutPlanner hands out per-replica LayoutPlans. Code regions are carved from
+// disjoint per-replica windows; data regions (heap, stack, mmap) are randomized
+// independently per replica.
+
+#ifndef SRC_MEM_LAYOUT_H_
+#define SRC_MEM_LAYOUT_H_
+
+#include <cstdint>
+
+#include "src/mem/page.h"
+#include "src/sim/rng.h"
+
+namespace remon {
+
+// Where a replica's standard regions live.
+struct LayoutPlan {
+  int replica_index = 0;
+  GuestAddr code_base = 0;   // Program text (+ rodata); execute-only window per replica.
+  uint64_t code_size = 0;
+  GuestAddr heap_base = 0;   // brk heap grows upward from here.
+  GuestAddr stack_top = 0;   // Stack grows downward from here.
+  GuestAddr mmap_hint = 0;   // Anonymous mmap search starts here, going down.
+  GuestAddr ipmon_base = 0;  // Where the IP-MON "shared library" text is mapped.
+  uint64_t ipmon_size = 0;
+};
+
+struct LayoutOptions {
+  bool aslr = true;  // Randomize data-region bases.
+  bool dcl = true;   // Give replicas disjoint code windows.
+  uint64_t code_size = 2 * 1024 * 1024;   // Main executable text size.
+  uint64_t ipmon_size = 256 * 1024;       // IP-MON library text size.
+};
+
+class LayoutPlanner {
+ public:
+  explicit LayoutPlanner(Rng* rng, LayoutOptions options = {})
+      : rng_(rng), options_(options) {}
+
+  // Produces the layout for replica `index` (0 == master). Successive calls with
+  // distinct indices produce disjoint code windows when DCL is enabled.
+  LayoutPlan PlanFor(int index);
+
+  const LayoutOptions& options() const { return options_; }
+
+ private:
+  Rng* rng_;
+  LayoutOptions options_;
+};
+
+}  // namespace remon
+
+#endif  // SRC_MEM_LAYOUT_H_

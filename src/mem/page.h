@@ -1,0 +1,47 @@
+// Physical page frames.
+//
+// Simulated guest memory is allocated in 4 KiB frames shared by reference counting:
+// a frame mapped into several address spaces (System V shared memory, the IP-MON
+// replication buffer) is literally the same bytes, so cross-replica communication
+// through shared mappings behaves like the real thing.
+
+#ifndef SRC_MEM_PAGE_H_
+#define SRC_MEM_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+namespace remon {
+
+inline constexpr uint64_t kPageSize = 4096;
+inline constexpr uint64_t kPageShift = 12;
+inline constexpr uint64_t kPageMask = kPageSize - 1;
+
+// A guest virtual address. Guest pointers are plain integers on the host side; all
+// dereferencing goes through AddressSpace so permission checks and per-replica layouts
+// are enforced.
+using GuestAddr = uint64_t;
+
+constexpr GuestAddr PageAlignDown(GuestAddr a) { return a & ~kPageMask; }
+constexpr GuestAddr PageAlignUp(GuestAddr a) { return (a + kPageMask) & ~kPageMask; }
+
+struct Page {
+  std::array<uint8_t, kPageSize> bytes{};
+};
+
+using PageRef = std::shared_ptr<Page>;
+
+inline PageRef NewPage() { return std::make_shared<Page>(); }
+
+// Page / VMA protection bits (PROT_*-like).
+enum ProtBits : uint32_t {
+  kProtNone = 0,
+  kProtRead = 1,
+  kProtWrite = 2,
+  kProtExec = 4,
+};
+
+}  // namespace remon
+
+#endif  // SRC_MEM_PAGE_H_

@@ -1,0 +1,73 @@
+#include "src/mem/shm.h"
+
+#include "src/kernel/errno.h"
+#include "src/sim/check.h"
+
+namespace remon {
+
+int ShmRegistry::Get(int key, uint64_t size, bool create, int pid) {
+  if (key != kIpcPrivate) {
+    for (auto& [id, seg] : segments_) {
+      if (seg.key == key && !seg.marked_removed) {
+        if (seg.size < PageAlignUp(size)) {
+          return -kEINVAL;
+        }
+        return id;
+      }
+    }
+    if (!create) {
+      return -kENOENT;
+    }
+  }
+  if (size == 0) {
+    return -kEINVAL;
+  }
+  ShmSegment seg;
+  seg.id = next_id_++;
+  seg.key = key;
+  seg.size = PageAlignUp(size);
+  seg.creator_pid = pid;
+  seg.frames.reserve(seg.size / kPageSize);
+  for (uint64_t i = 0; i < seg.size / kPageSize; ++i) {
+    seg.frames.push_back(NewPage());
+  }
+  int id = seg.id;
+  segments_[id] = std::move(seg);
+  return id;
+}
+
+ShmSegment* ShmRegistry::Find(int shmid) {
+  auto it = segments_.find(shmid);
+  return it == segments_.end() ? nullptr : &it->second;
+}
+
+void ShmRegistry::OnAttach(int shmid) {
+  ShmSegment* seg = Find(shmid);
+  REMON_CHECK(seg != nullptr);
+  ++seg->attach_count;
+}
+
+void ShmRegistry::OnDetach(int shmid) {
+  ShmSegment* seg = Find(shmid);
+  if (seg == nullptr) {
+    return;
+  }
+  --seg->attach_count;
+  if (seg->attach_count <= 0 && seg->marked_removed) {
+    segments_.erase(shmid);
+  }
+}
+
+int ShmRegistry::Remove(int shmid) {
+  ShmSegment* seg = Find(shmid);
+  if (seg == nullptr) {
+    return -kEINVAL;
+  }
+  seg->marked_removed = true;
+  if (seg->attach_count <= 0) {
+    segments_.erase(shmid);
+  }
+  return 0;
+}
+
+}  // namespace remon

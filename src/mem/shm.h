@@ -1,0 +1,59 @@
+// System V shared memory registry (shmget/shmat/shmdt/shmctl backing store).
+//
+// IP-MON creates its replication buffer with System V IPC (paper §3.5); GHUMVEE
+// arbitrates so all replicas attach the same segment. Shared segments are also the
+// vehicle for the *bi-directional channel* threat the paper discusses: GHUMVEE rejects
+// guest requests for writable shared mappings between replicas (§2.1), which tests
+// exercise directly.
+
+#ifndef SRC_MEM_SHM_H_
+#define SRC_MEM_SHM_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/mem/page.h"
+
+namespace remon {
+
+struct ShmSegment {
+  int id = 0;
+  int key = 0;
+  uint64_t size = 0;  // Page-aligned.
+  std::vector<PageRef> frames;
+  int attach_count = 0;
+  bool marked_removed = false;
+  int creator_pid = 0;
+};
+
+class ShmRegistry {
+ public:
+  ShmRegistry() = default;
+
+  static constexpr int kIpcPrivate = 0;
+
+  // shmget: creates (key == IPC_PRIVATE or new key with IPC_CREAT) or looks up a
+  // segment. Returns segment id >= 0 or -errno.
+  int Get(int key, uint64_t size, bool create, int pid);
+
+  // Returns the segment or nullptr.
+  ShmSegment* Find(int shmid);
+
+  // Marks attach/detach; destroys removed segments whose attach count hits zero.
+  void OnAttach(int shmid);
+  void OnDetach(int shmid);
+
+  // shmctl(IPC_RMID).
+  int Remove(int shmid);
+
+  uint64_t segment_count() const { return segments_.size(); }
+
+ private:
+  int next_id_ = 1;
+  std::map<int, ShmSegment> segments_;
+};
+
+}  // namespace remon
+
+#endif  // SRC_MEM_SHM_H_

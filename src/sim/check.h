@@ -1,0 +1,48 @@
+// Lightweight invariant-checking macros.
+//
+// Library code never throws; internal invariant violations abort with a message.
+// CHECK is always on; DCHECK compiles out in NDEBUG builds.
+
+#ifndef SRC_SIM_CHECK_H_
+#define SRC_SIM_CHECK_H_
+
+#include <execinfo.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace remon {
+
+[[noreturn]] inline void CheckFailure(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  void* frames[48];
+  int n = backtrace(frames, 48);
+  backtrace_symbols_fd(frames, n, 2);
+  std::abort();
+}
+
+}  // namespace remon
+
+#define REMON_CHECK(expr)                              \
+  do {                                                 \
+    if (!(expr)) {                                     \
+      ::remon::CheckFailure(__FILE__, __LINE__, #expr); \
+    }                                                  \
+  } while (0)
+
+#define REMON_CHECK_MSG(expr, msg)                     \
+  do {                                                 \
+    if (!(expr)) {                                     \
+      ::remon::CheckFailure(__FILE__, __LINE__, msg);  \
+    }                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define REMON_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define REMON_DCHECK(expr) REMON_CHECK(expr)
+#endif
+
+#endif  // SRC_SIM_CHECK_H_

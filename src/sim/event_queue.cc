@@ -1,0 +1,69 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+
+namespace remon {
+
+EventQueue::EventId EventQueue::ScheduleAt(TimeNs when, Callback cb) {
+  REMON_CHECK(when >= now_);
+  EventId id = next_seq_;
+  heap_.push(Entry{when, next_seq_, id, std::move(cb)});
+  ++next_seq_;
+  ++live_events_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == kInvalidEvent) {
+    return false;
+  }
+  // An id can only be cancelled once and only if it has not run. We cannot cheaply
+  // check heap membership, so callers are trusted (and DCHECKed at pop time) not to
+  // cancel already-executed events.
+  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) {
+    return false;
+  }
+  cancelled_.push_back(id);
+  REMON_CHECK(live_events_ > 0);
+  --live_events_;
+  return true;
+}
+
+bool EventQueue::RunOne() {
+  while (!heap_.empty()) {
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), e.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;  // Skip cancelled event without advancing the clock.
+    }
+    REMON_CHECK(e.when >= now_);
+    now_ = e.when;
+    REMON_CHECK(live_events_ > 0);
+    --live_events_;
+    ++executed_count_;
+    REMON_CHECK_MSG(e.cb != nullptr, "empty event callback");
+    e.cb();
+    return true;
+  }
+  return false;
+}
+
+uint64_t EventQueue::RunUntil(TimeNs deadline) {
+  uint64_t n = 0;
+  while (!heap_.empty()) {
+    // Peek past cancelled entries to find the next live event time.
+    const Entry& top = heap_.top();
+    if (std::find(cancelled_.begin(), cancelled_.end(), top.id) == cancelled_.end() &&
+        top.when > deadline) {
+      break;
+    }
+    if (RunOne()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace remon

@@ -1,0 +1,87 @@
+// Discrete-event core: a virtual clock plus a time-ordered callback queue.
+//
+// The Simulator owns one EventQueue. Everything that "happens later" in the simulated
+// world — a compute burst finishing, a packet arriving, a futex timeout — is an event.
+// Ties are broken by insertion order so runs are deterministic.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/check.h"
+#include "src/sim/time.h"
+
+namespace remon {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Opaque handle that can be used to cancel a scheduled event.
+  using EventId = uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  TimeNs now() const { return now_; }
+
+  // Schedules `cb` to run at absolute virtual time `when` (>= now).
+  EventId ScheduleAt(TimeNs when, Callback cb);
+
+  // Schedules `cb` to run `delay` nanoseconds from now.
+  EventId ScheduleAfter(DurationNs delay, Callback cb) {
+    REMON_CHECK(delay >= 0);
+    return ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  // Cancels a previously scheduled event. Returns false if it already ran or was
+  // already cancelled.
+  bool Cancel(EventId id);
+
+  // Runs the next event, advancing the clock. Returns false if the queue is empty.
+  bool RunOne();
+
+  // Runs events until the queue drains or `deadline` would be passed.
+  // Returns the number of events executed.
+  uint64_t RunUntil(TimeNs deadline);
+
+  // Runs events until the queue drains. Returns the number of events executed.
+  uint64_t RunAll() { return RunUntil(kTimeNever); }
+
+  bool empty() const { return live_events_ == 0; }
+  uint64_t executed_count() const { return executed_count_; }
+
+ private:
+  struct Entry {
+    TimeNs when;
+    uint64_t seq;  // Tie-break: FIFO among same-time events.
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t live_events_ = 0;
+  uint64_t executed_count_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Cancellation is lazy: cancelled ids are recorded and skipped when popped.
+  std::vector<EventId> cancelled_;
+};
+
+}  // namespace remon
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

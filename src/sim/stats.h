@@ -1,0 +1,62 @@
+// Simulation-wide counters.
+//
+// Populated by the kernel and the monitors; read by the benchmark harness, tests, and
+// run reports. All counters are cumulative over a Simulator's lifetime.
+
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <cstdint>
+
+namespace remon {
+
+struct SimStats {
+  // System calls.
+  uint64_t syscalls_total = 0;
+  uint64_t syscalls_monitored = 0;    // Handled by the CP monitor (lockstep).
+  uint64_t syscalls_unmonitored = 0;  // Handled by IP-MON.
+  uint64_t syscalls_mastercall = 0;   // Executed only in the master.
+
+  // ptrace traffic.
+  uint64_t ptrace_stops = 0;
+  uint64_t ptrace_resumes = 0;
+  uint64_t vm_copies = 0;
+  uint64_t vm_copy_bytes = 0;
+
+  // IK-B broker.
+  uint64_t tokens_issued = 0;
+  uint64_t tokens_verified = 0;
+  uint64_t tokens_revoked = 0;
+  uint64_t ikb_forward_ipmon = 0;
+  uint64_t ikb_forward_ghumvee = 0;
+
+  // Replication buffer.
+  uint64_t rb_entries = 0;
+  uint64_t rb_bytes = 0;
+  uint64_t rb_resets = 0;
+  uint64_t rb_spin_waits = 0;
+  uint64_t rb_futex_waits = 0;
+  uint64_t rb_futex_wakes_elided = 0;
+
+  // Synchronization replication (record/replay agent).
+  uint64_t sync_ops_recorded = 0;
+  uint64_t sync_ops_replayed = 0;
+
+  // Signals.
+  uint64_t signals_raised = 0;
+  uint64_t signals_deferred = 0;
+  uint64_t signals_delivered = 0;
+
+  // Security events.
+  uint64_t divergences_detected = 0;
+  uint64_t policy_violations = 0;
+  uint64_t shm_requests_denied = 0;
+
+  // Futexes (guest-visible).
+  uint64_t futex_waits = 0;
+  uint64_t futex_wakes = 0;
+};
+
+}  // namespace remon
+
+#endif  // SRC_SIM_STATS_H_

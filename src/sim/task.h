@@ -1,0 +1,183 @@
+// Coroutine task types for guest programs and monitor loops.
+//
+// Guest programs (workloads) and the GHUMVEE monitor loop are written as C++20
+// coroutines. A GuestTask<T> is a *lazy* task: it starts suspended and runs when
+// resumed (for a root task) or awaited (for a nested call). When a task completes it
+// symmetrically transfers control back to its awaiter; the root task instead fires a
+// completion hook so the owning Thread can run exit processing.
+//
+// Suspension points come from awaitables defined by the kernel (system calls, compute
+// bursts, ptrace event waits). Those awaitables capture the *leaf* coroutine handle;
+// resuming it unwinds naturally through any nested GuestTask frames.
+
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <cstdlib>
+#include <utility>
+
+#include "src/sim/check.h"
+
+namespace remon {
+
+class GuestPromiseBase {
+ public:
+  // Awaiter waiting on this task (nullptr for a root task).
+  std::coroutine_handle<> continuation;
+  // Completion hook for root tasks.
+  void (*root_done_fn)(void*) = nullptr;
+  void* root_done_arg = nullptr;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      GuestPromiseBase& p = h.promise();
+      if (p.continuation) {
+        return p.continuation;
+      }
+      if (p.root_done_fn != nullptr) {
+        // Root task finished: notify the owner. The hook must not destroy the
+        // coroutine frame synchronously; owners defer reaping to the event loop.
+        p.root_done_fn(p.root_done_arg);
+      }
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept {
+    // Library policy: no exceptions. Any escape is a programming error.
+    std::abort();
+  }
+};
+
+template <typename T = void>
+class [[nodiscard]] GuestTask {
+ public:
+  struct promise_type : GuestPromiseBase {
+    T value{};
+    GuestTask get_return_object() {
+      return GuestTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  GuestTask() = default;
+  explicit GuestTask(Handle h) : handle_(h) {}
+  GuestTask(GuestTask&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  GuestTask& operator=(GuestTask&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  GuestTask(const GuestTask&) = delete;
+  GuestTask& operator=(const GuestTask&) = delete;
+  ~GuestTask() { Destroy(); }
+
+  Handle handle() const { return handle_; }
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  // Installs the root-completion hook and releases frame ownership to the owner,
+  // which becomes responsible for destroying the handle after completion.
+  Handle ReleaseAsRoot(void (*fn)(void*), void* arg) {
+    REMON_CHECK(handle_);
+    handle_.promise().root_done_fn = fn;
+    handle_.promise().root_done_arg = arg;
+    return std::exchange(handle_, nullptr);
+  }
+
+  // Awaiting a GuestTask starts it (symmetric transfer) and resumes the awaiter on
+  // completion, yielding the returned value.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle child;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        child.promise().continuation = awaiting;
+        return child;
+      }
+      T await_resume() noexcept { return std::move(child.promise().value); }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  Handle handle_ = nullptr;
+};
+
+template <>
+class [[nodiscard]] GuestTask<void> {
+ public:
+  struct promise_type : GuestPromiseBase {
+    GuestTask get_return_object() {
+      return GuestTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  GuestTask() = default;
+  explicit GuestTask(Handle h) : handle_(h) {}
+  GuestTask(GuestTask&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  GuestTask& operator=(GuestTask&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  GuestTask(const GuestTask&) = delete;
+  GuestTask& operator=(const GuestTask&) = delete;
+  ~GuestTask() { Destroy(); }
+
+  Handle handle() const { return handle_; }
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  Handle ReleaseAsRoot(void (*fn)(void*), void* arg) {
+    REMON_CHECK(handle_);
+    handle_.promise().root_done_fn = fn;
+    handle_.promise().root_done_arg = arg;
+    return std::exchange(handle_, nullptr);
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle child;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        child.promise().continuation = awaiting;
+        return child;
+      }
+      void await_resume() noexcept {}
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  Handle handle_ = nullptr;
+};
+
+}  // namespace remon
+
+#endif  // SRC_SIM_TASK_H_

@@ -1,0 +1,33 @@
+// Virtual time units used throughout the simulator.
+//
+// All simulated durations and instants are expressed in integer nanoseconds of
+// *virtual* time. Nothing in the library ever consults the host clock, which keeps
+// every run bit-for-bit reproducible for a given seed.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace remon {
+
+// A point in virtual time, in nanoseconds since simulation start.
+using TimeNs = int64_t;
+
+// A span of virtual time, in nanoseconds.
+using DurationNs = int64_t;
+
+inline constexpr DurationNs kMicrosecond = 1'000;
+inline constexpr DurationNs kMillisecond = 1'000'000;
+inline constexpr DurationNs kSecond = 1'000'000'000;
+
+// Largest representable instant; used as "never".
+inline constexpr TimeNs kTimeNever = INT64_MAX;
+
+constexpr DurationNs Micros(int64_t n) { return n * kMicrosecond; }
+constexpr DurationNs Millis(int64_t n) { return n * kMillisecond; }
+constexpr DurationNs Seconds(int64_t n) { return n * kSecond; }
+
+}  // namespace remon
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,87 @@
+#include "src/vfs/epoll.h"
+
+namespace remon {
+
+EpollFile::~EpollFile() {
+  for (auto& [fd, watch] : watches_) {
+    watch.file->poll_queue().Remove(watch.observer_id);
+  }
+}
+
+int EpollFile::Ctl(int op, int fd, std::shared_ptr<File> file, uint32_t events, uint64_t data) {
+  switch (op) {
+    case kEpollCtlAdd: {
+      if (watches_.count(fd) != 0) {
+        return -kEEXIST;
+      }
+      if (!file || file.get() == this) {
+        return -kEINVAL;
+      }
+      Watch w;
+      w.file = std::move(file);
+      w.events = events;
+      w.data = data;
+      // Observe readiness changes of the watched file and propagate to threads blocked
+      // in epoll_wait on this instance.
+      w.observer_id = w.file->poll_queue().AddObserver([this] { NotifyPoll(); });
+      watches_[fd] = std::move(w);
+      NotifyPoll();
+      return 0;
+    }
+    case kEpollCtlMod: {
+      auto it = watches_.find(fd);
+      if (it == watches_.end()) {
+        return -kENOENT;
+      }
+      it->second.events = events;
+      it->second.data = data;
+      NotifyPoll();
+      return 0;
+    }
+    case kEpollCtlDel: {
+      auto it = watches_.find(fd);
+      if (it == watches_.end()) {
+        return -kENOENT;
+      }
+      it->second.file->poll_queue().Remove(it->second.observer_id);
+      watches_.erase(it);
+      return 0;
+    }
+    default:
+      return -kEINVAL;
+  }
+}
+
+uint32_t EpollFile::Poll() const {
+  for (const auto& [fd, watch] : watches_) {
+    if ((watch.file->Poll() & watch.events) != 0) {
+      return kPollIn;
+    }
+  }
+  return 0;
+}
+
+std::vector<EpollFile::ReadyEvent> EpollFile::Collect(int max) const {
+  std::vector<ReadyEvent> out;
+  for (const auto& [fd, watch] : watches_) {
+    if (static_cast<int>(out.size()) >= max) {
+      break;
+    }
+    uint32_t ready = watch.file->Poll() & watch.events;
+    if (ready != 0) {
+      out.push_back(ReadyEvent{fd, ready, watch.data});
+    }
+  }
+  return out;
+}
+
+bool EpollFile::LookupData(int fd, uint64_t* out) const {
+  auto it = watches_.find(fd);
+  if (it == watches_.end()) {
+    return false;
+  }
+  *out = it->second.data;
+  return true;
+}
+
+}  // namespace remon

@@ -1,0 +1,59 @@
+// epoll: scalable FD readiness notification (paper §3.9).
+//
+// Modern servers (the nginx/lighttpd/memcached analogs in src/workloads) drive their
+// event loops with epoll, so IP-MON must replicate epoll results efficiently. The
+// subtlety the paper highlights: epoll_event.data is opaque — often a heap pointer —
+// and diversified replicas use *different* pointer values for the same logical FD.
+// EpollFile therefore exposes the registered (fd -> data) association so IP-MON's
+// shadow mapping can translate master results into each slave's own data values.
+
+#ifndef SRC_VFS_EPOLL_H_
+#define SRC_VFS_EPOLL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/vfs/file.h"
+
+namespace remon {
+
+class EpollFile : public File {
+ public:
+  EpollFile() = default;
+  ~EpollFile() override;
+
+  FdType type() const override { return FdType::kEpoll; }
+  uint32_t Poll() const override;  // kPollIn when any watched file is ready.
+
+  // EPOLL_CTL_{ADD,MOD,DEL}. Returns 0 or -errno.
+  int Ctl(int op, int fd, std::shared_ptr<File> file, uint32_t events, uint64_t data);
+
+  struct ReadyEvent {
+    int fd = 0;
+    uint32_t events = 0;
+    uint64_t data = 0;
+  };
+  // Collects currently-ready events, up to `max` (level-triggered).
+  std::vector<ReadyEvent> Collect(int max) const;
+
+  // The registered data value for `fd` (IP-MON shadow-map support).
+  bool LookupData(int fd, uint64_t* out) const;
+
+  size_t watch_count() const { return watches_.size(); }
+
+ private:
+  struct Watch {
+    std::shared_ptr<File> file;
+    uint32_t events = 0;
+    uint64_t data = 0;
+    uint64_t observer_id = 0;
+  };
+
+  std::map<int, Watch> watches_;
+};
+
+}  // namespace remon
+
+#endif  // SRC_VFS_EPOLL_H_

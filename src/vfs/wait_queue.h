@@ -1,0 +1,100 @@
+// Wake-callback queues.
+//
+// Blocking semantics in the simulated kernel are callback-based: a thread that must
+// sleep registers a one-shot waiter on the object's WaitQueue; the object calls
+// Wake() when its state changes (data arrived, space freed, peer closed). Persistent
+// observers serve epoll-style edge notification fan-out.
+
+#ifndef SRC_VFS_WAIT_QUEUE_H_
+#define SRC_VFS_WAIT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace remon {
+
+class WaitQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  WaitQueue() = default;
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  // One-shot: removed before its callback runs.
+  uint64_t AddWaiter(Callback cb) {
+    uint64_t id = next_id_++;
+    waiters_.emplace_back(id, std::move(cb));
+    return id;
+  }
+
+  // Persistent: notified on every Wake until removed.
+  uint64_t AddObserver(Callback cb) {
+    uint64_t id = next_id_++;
+    observers_.emplace_back(id, std::move(cb));
+    return id;
+  }
+
+  void Remove(uint64_t id) {
+    auto drop = [id](auto& vec) {
+      for (size_t i = 0; i < vec.size(); ++i) {
+        if (vec[i].first == id) {
+          vec.erase(vec.begin() + static_cast<long>(i));
+          return;
+        }
+      }
+    };
+    drop(waiters_);
+    drop(observers_);
+  }
+
+  // Wakes all one-shot waiters (removing them first) and notifies all observers.
+  void Wake() {
+    std::vector<std::pair<uint64_t, Callback>> to_run;
+    to_run.swap(waiters_);
+    for (auto& [id, cb] : to_run) {
+      cb();
+    }
+    // Observers may unsubscribe during notification; iterate over a snapshot.
+    std::vector<std::pair<uint64_t, Callback>> snapshot = observers_;
+    for (auto& [id, cb] : snapshot) {
+      bool still_registered = false;
+      for (const auto& [oid, ocb] : observers_) {
+        if (oid == id) {
+          still_registered = true;
+          break;
+        }
+      }
+      if (still_registered) {
+        cb();
+      }
+    }
+  }
+
+  // Wakes at most `n` one-shot waiters in FIFO order (observers are not notified).
+  // Returns the number woken.
+  int WakeN(int n) {
+    int woken = 0;
+    while (woken < n && !waiters_.empty()) {
+      auto [id, cb] = std::move(waiters_.front());
+      waiters_.erase(waiters_.begin());
+      cb();
+      ++woken;
+    }
+    return woken;
+  }
+
+  bool has_waiters() const { return !waiters_.empty(); }
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  uint64_t next_id_ = 1;
+  std::vector<std::pair<uint64_t, Callback>> waiters_;
+  std::vector<std::pair<uint64_t, Callback>> observers_;
+};
+
+}  // namespace remon
+
+#endif  // SRC_VFS_WAIT_QUEUE_H_

@@ -1,0 +1,121 @@
+#include "src/workloads/clients.h"
+
+#include <memory>
+
+#include "src/kernel/abi.h"
+#include "src/sim/check.h"
+#include "src/workloads/servers.h"
+
+namespace remon {
+
+namespace {
+
+// Shared across connection threads of one client run.
+struct ClientShared {
+  int remaining = 0;      // ab-style request budget.
+  TimeNs deadline = 0;    // wrk-style stop time (0 = none).
+  ClientStats* stats = nullptr;
+};
+
+// One connection: connect, then request/response until the budget or clock runs out.
+ProgramFn ConnectionBody(ClientSpec spec, std::shared_ptr<ClientShared> shared,
+                         int join_wr) {
+  return [spec, shared, join_wr](Guest& g) -> GuestTask<void> {
+    Kernel* kernel = g.kernel();
+    int64_t s = co_await g.Socket(kAfInet, kSockStream);
+    REMON_CHECK(s >= 0);
+    GuestAddr sa = g.Alloc(sizeof(GuestSockaddrIn));
+    GuestSockaddrIn addr;
+    addr.sin_port = spec.port;
+    addr.sin_addr = spec.server_machine;
+    g.Poke(sa, &addr, sizeof(addr));
+    int64_t crc = co_await g.Connect(static_cast<int>(s), sa, sizeof(addr));
+    GuestAddr req = g.Alloc(kRequestBytes);
+    GuestAddr buf = g.Alloc(16 * 1024);
+    char line[kRequestBytes + 1];
+    std::snprintf(line, sizeof(line), "R%08llu\n",
+                  static_cast<unsigned long long>(spec.request_bytes));
+    g.Poke(req, line, kRequestBytes);
+
+    if (crc == 0) {
+      for (;;) {
+        if (shared->deadline > 0 && kernel->now() >= shared->deadline) {
+          break;
+        }
+        if (shared->deadline == 0) {
+          if (shared->remaining <= 0) {
+            break;
+          }
+          --shared->remaining;
+        }
+        TimeNs sent_at = kernel->now();
+        if (shared->stats->started < 0) {
+          shared->stats->started = sent_at;
+        }
+        int64_t w = co_await g.Write(static_cast<int>(s), req, kRequestBytes);
+        if (w != static_cast<int64_t>(kRequestBytes)) {
+          ++shared->stats->errors;
+          break;
+        }
+        uint64_t got = 0;
+        bool ok = true;
+        while (got < spec.request_bytes) {
+          int64_t n = co_await g.Read(static_cast<int>(s), buf,
+                                      std::min<uint64_t>(16 * 1024,
+                                                         spec.request_bytes - got));
+          if (n <= 0) {
+            ok = false;
+            break;
+          }
+          got += static_cast<uint64_t>(n);
+        }
+        if (!ok) {
+          ++shared->stats->errors;
+          break;
+        }
+        ++shared->stats->completed;
+        shared->stats->finished = kernel->now();
+        shared->stats->latencies.push_back(kernel->now() - sent_at);
+      }
+    } else {
+      ++shared->stats->errors;
+    }
+    co_await g.Close(static_cast<int>(s));
+    GuestAddr done = g.Alloc(1);
+    g.Poke(done, "D", 1);
+    co_await g.Write(join_wr, done, 1);
+  };
+}
+
+}  // namespace
+
+ProgramFn ClientProgram(const ClientSpec& spec, ClientStats* stats) {
+  return [spec, stats](Guest& g) -> GuestTask<void> {
+    auto shared = std::make_shared<ClientShared>();
+    shared->remaining = spec.total_requests;
+    shared->deadline = spec.duration > 0 ? g.kernel()->now() + spec.duration : 0;
+    shared->stats = stats;
+
+    GuestAddr join_pipe = g.Alloc(8);
+    REMON_CHECK(0 == co_await g.Pipe(join_pipe));
+    int join_rd = static_cast<int>(g.PeekU32(join_pipe));
+    int join_wr = static_cast<int>(g.PeekU32(join_pipe + 4));
+
+    for (int c = 0; c < spec.connections; ++c) {
+      uint64_t fn = g.RegisterThreadFn(ConnectionBody(spec, shared, join_wr));
+      co_await g.SpawnThread(fn);
+    }
+    GuestAddr sink = g.Alloc(64);
+    int done = 0;
+    while (done < spec.connections) {
+      int64_t n = co_await g.Read(join_rd, sink,
+                                  static_cast<uint64_t>(spec.connections - done));
+      REMON_CHECK(n > 0);
+      done += static_cast<int>(n);
+    }
+    co_await g.Close(join_rd);
+    co_await g.Close(join_wr);
+  };
+}
+
+}  // namespace remon

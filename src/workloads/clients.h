@@ -1,0 +1,63 @@
+// Benchmark load generators (ab / wrk / http_load / redis-benchmark analogs).
+//
+// Closed-loop clients: each of `connections` concurrent connections sends a request,
+// reads the full response, and immediately sends the next (no think time) until a
+// global request budget (ab-style) or a wall-clock duration (wrk-style) runs out.
+// Clients run natively on the client machine; their completion statistics are the
+// measurement the server benchmarks report.
+
+#ifndef SRC_WORKLOADS_CLIENTS_H_
+#define SRC_WORKLOADS_CLIENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kernel/guest.h"
+#include "src/sim/time.h"
+
+namespace remon {
+
+struct ClientSpec {
+  int connections = 16;
+  int total_requests = 500;   // ab-style budget (ignored when duration > 0).
+  DurationNs duration = 0;    // wrk-style run length.
+  uint64_t request_bytes = 4096;  // Response size to ask for.
+  uint32_t server_machine = 0;
+  uint16_t port = 80;
+};
+
+// Filled in while the client runs (host-side measurement state).
+struct ClientStats {
+  int completed = 0;
+  int errors = 0;
+  TimeNs started = -1;
+  TimeNs finished = -1;
+  std::vector<DurationNs> latencies;  // Per-request.
+
+  double Seconds() const {
+    return started < 0 || finished < started
+               ? 0.0
+               : static_cast<double>(finished - started) / 1e9;
+  }
+  double Throughput() const {
+    double s = Seconds();
+    return s > 0 ? completed / s : 0.0;
+  }
+  DurationNs MeanLatency() const {
+    if (latencies.empty()) {
+      return 0;
+    }
+    DurationNs sum = 0;
+    for (DurationNs l : latencies) {
+      sum += l;
+    }
+    return sum / static_cast<DurationNs>(latencies.size());
+  }
+};
+
+// The client program; `stats` must outlive the run.
+ProgramFn ClientProgram(const ClientSpec& spec, ClientStats* stats);
+
+}  // namespace remon
+
+#endif  // SRC_WORKLOADS_CLIENTS_H_

@@ -1,0 +1,53 @@
+// Server applications for the paper's server benchmarks (Fig. 5, Table 2).
+//
+// Analogs of the servers the paper (and the MVEEs it compares against) evaluated:
+//   nginx / lighttpd  — epoll event loops (multi-worker for nginx),
+//   thttpd            — select()-based single-process loop,
+//   apache 1.3        — worker pool, one (kept-alive) connection per thread,
+//   memcached         — multi-threaded epoll key-value store,
+//   redis / beanstalkd— single-threaded event loops with small responses.
+//
+// All speak a tiny framed protocol: a request is the 10-byte line "R<8 digits>\n"
+// asking for that many response bytes. The servers differ in concurrency model,
+// per-request compute, and response size — the dimensions that matter to an MVEE.
+
+#ifndef SRC_WORKLOADS_SERVERS_H_
+#define SRC_WORKLOADS_SERVERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/guest.h"
+#include "src/sim/time.h"
+
+namespace remon {
+
+inline constexpr uint64_t kRequestBytes = 10;
+
+enum class ServerKind { kEpollLoop, kSelectLoop, kThreadPool };
+
+struct ServerSpec {
+  std::string name;
+  ServerKind kind = ServerKind::kEpollLoop;
+  int workers = 1;  // Event-loop threads or pool threads.
+  uint16_t port = 80;
+  DurationNs service_compute = Micros(25);  // Per-request application work.
+  uint64_t default_response = 4096;         // Response size the client requests.
+  double mem_intensity = 0.02;
+  // Per-request housekeeping, as real servers do: a timestamp for the access log
+  // (BASE), the log append itself (NONSOCKET_RW), and TCP_CORK-style socket options
+  // around the response (SOCKET_RW).
+  bool log_requests = true;
+  int sockopts_per_request = 2;
+};
+
+ProgramFn ServerProgram(const ServerSpec& spec);
+
+// The paper's server set (Fig. 5 / Table 2).
+std::vector<ServerSpec> PaperServers();
+// Look up a server spec by name.
+ServerSpec ServerByName(const std::string& name);
+
+}  // namespace remon
+
+#endif  // SRC_WORKLOADS_SERVERS_H_

@@ -1,0 +1,63 @@
+// Synthetic benchmark suites (PARSEC 2.1 / SPLASH-2x / Phoronix / SPEC analogs).
+//
+// The paper's suite benchmarks matter to an MVEE only through (i) their system-call
+// density and mix, (ii) their threading, and (iii) their memory pressure. Each
+// WorkloadSpec encodes exactly those properties; the generic SuiteProgram executes
+// the spec against the simulated kernel. Specs are derived from the per-benchmark
+// bars of Figures 3 and 4: the difference between a benchmark's GHUMVEE-only and
+// IP-MON bars determines its (category-resolved) system-call rate, and the IP-MON
+// bar's residual determines its memory pressure. EXPERIMENTS.md documents the
+// derivation and compares measured results against the paper per benchmark.
+
+#ifndef SRC_WORKLOADS_SUITES_H_
+#define SRC_WORKLOADS_SUITES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/guest.h"
+#include "src/sim/time.h"
+
+namespace remon {
+
+struct WorkloadSpec {
+  std::string name;
+  std::string suite;  // "parsec" | "splash" | "phoronix" | "spec".
+  int threads = 1;
+  int iterations = 0;               // Per thread.
+  DurationNs compute_per_iter = 0;  // Native compute per iteration.
+  double mem_intensity = 0.0;       // Per-extra-replica slowdown fraction.
+
+  // System calls issued per iteration, by policy category.
+  int base_queries = 0;    // gettimeofday/getpid/... (BASE_LEVEL).
+  int file_metadata = 0;   // stat/access/lseek (NONSOCKET_RO unconditional).
+  int file_reads = 0;      // read on a regular file (NONSOCKET_RO conditional).
+  int file_writes = 0;     // write on a regular file (NONSOCKET_RW conditional).
+  int pipe_writes = 0;     // write+read pairs through a pipe (NONSOCKET_RW).
+  int sock_echoes = 0;     // send+recv pairs over a loopback socket (SOCKET_RW).
+  int futex_pairs = 0;     // futex wake/wait-style ops (NONSOCKET_RO conditional).
+  uint64_t io_size = 1024; // Bytes per read/write.
+
+  // Paper targets for EXPERIMENTS.md (normalized runtime, 2 replicas).
+  double paper_ghumvee = 0.0;
+  double paper_remon = 0.0;
+
+  // Total system calls one iteration makes (used to derive densities).
+  int CallsPerIter() const {
+    return base_queries + file_metadata + file_reads + file_writes + 2 * pipe_writes +
+           2 * sock_echoes + futex_pairs;
+  }
+};
+
+// A runnable suite workload: the program plus everything the harness must know.
+ProgramFn SuiteProgram(const WorkloadSpec& spec);
+
+// Suite tables for the figures.
+std::vector<WorkloadSpec> ParsecSuite();   // Fig. 3, left.
+std::vector<WorkloadSpec> SplashSuite();   // Fig. 3, right.
+std::vector<WorkloadSpec> PhoronixSuite(); // Fig. 4 (excl. the nginx server column).
+std::vector<WorkloadSpec> SpecCpuSuite();  // Table 2 (SPEC CPU 2006 analog).
+
+}  // namespace remon
+
+#endif  // SRC_WORKLOADS_SUITES_H_

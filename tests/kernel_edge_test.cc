@@ -1,0 +1,286 @@
+// Edge-case tests for the kernel syscall surface and GHUMVEE's FD bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "src/core/remon.h"
+#include "tests/test_util.h"
+
+namespace remon {
+namespace {
+
+TEST(KernelEdgeTest, LseekWhenceSemantics) {
+  SimWorld w;
+  Process* p = w.NewProcess("lseek");
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/seek", kO_CREAT | kO_RDWR);
+    GuestAddr buf = g.Alloc(32);
+    g.Poke(buf, "0123456789", 10);
+    co_await g.Write(static_cast<int>(fd), buf, 10);
+    EXPECT_EQ(co_await g.Lseek(static_cast<int>(fd), 0, kSeekSet), 0);
+    EXPECT_EQ(co_await g.Lseek(static_cast<int>(fd), 4, kSeekCur), 4);
+    EXPECT_EQ(co_await g.Lseek(static_cast<int>(fd), -2, kSeekEnd), 8);
+    EXPECT_EQ(co_await g.Lseek(static_cast<int>(fd), -100, kSeekSet), -kEINVAL);
+    // Seeking a pipe is ESPIPE.
+    GuestAddr fds = g.Alloc(8);
+    co_await g.Pipe(fds);
+    EXPECT_EQ(co_await g.Lseek(static_cast<int>(g.PeekU32(fds)), 0, kSeekSet), -kESPIPE);
+  });
+  w.Run();
+}
+
+TEST(KernelEdgeTest, DupSharesOffsetDup2Replaces) {
+  SimWorld w;
+  Process* p = w.NewProcess("dup");
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/dup", kO_CREAT | kO_RDWR);
+    GuestAddr buf = g.Alloc(16);
+    g.Poke(buf, "abcdef", 6);
+    co_await g.Write(static_cast<int>(fd), buf, 6);
+    int64_t dup_fd = co_await g.Dup(static_cast<int>(fd));
+    EXPECT_GT(dup_fd, fd);
+    // dup shares the open file description: the offset is common.
+    EXPECT_EQ(co_await g.Lseek(static_cast<int>(dup_fd), 0, kSeekCur), 6);
+    co_await g.Lseek(static_cast<int>(fd), 2, kSeekSet);
+    EXPECT_EQ(co_await g.Lseek(static_cast<int>(dup_fd), 0, kSeekCur), 2);
+    // dup2 onto an occupied slot silently closes it.
+    int64_t other = co_await g.Open("/tmp/other", kO_CREAT | kO_RDWR);
+    EXPECT_EQ(co_await g.Dup2(static_cast<int>(fd), static_cast<int>(other)), other);
+    EXPECT_EQ(co_await g.Lseek(static_cast<int>(other), 0, kSeekCur), 2);
+  });
+  w.Run();
+}
+
+TEST(KernelEdgeTest, FcntlNonblockToggle) {
+  SimWorld w;
+  Process* p = w.NewProcess("fcntl");
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    GuestAddr fds = g.Alloc(8);
+    co_await g.Pipe(fds);
+    int rfd = static_cast<int>(g.PeekU32(fds));
+    int64_t flags = co_await g.Fcntl(rfd, kF_GETFL);
+    EXPECT_EQ(flags & kO_NONBLOCK, 0);
+    co_await g.Fcntl(rfd, kF_SETFL, static_cast<uint64_t>(flags | kO_NONBLOCK));
+    GuestAddr buf = g.Alloc(8);
+    EXPECT_EQ(co_await g.Read(rfd, buf, 8), -kEAGAIN);  // Now non-blocking.
+    co_await g.Fcntl(rfd, kF_SETFL, static_cast<uint64_t>(flags & ~kO_NONBLOCK));
+    flags = co_await g.Fcntl(rfd, kF_GETFL);
+    EXPECT_EQ(flags & kO_NONBLOCK, 0);
+  });
+  w.Run();
+}
+
+TEST(KernelEdgeTest, SendfileMovesFileToSocket) {
+  SimWorld w;
+  w.fs.WriteWholeFile("/www/page.html", std::string(10000, 'x'));
+  Process* server = w.NewProcess("sf-server", -1, w.server_machine);
+  Process* client = w.NewProcess("sf-client", -1, w.client_machine);
+  uint64_t received = 0;
+  w.kernel.SpawnThread(server, [&](Guest& g) -> GuestTask<void> {
+    int64_t lfd = co_await g.Socket(kAfInet, kSockStream);
+    GuestAddr sa = g.Alloc(sizeof(GuestSockaddrIn));
+    GuestSockaddrIn addr;
+    addr.sin_port = 80;
+    g.Poke(sa, &addr, sizeof(addr));
+    co_await g.Bind(static_cast<int>(lfd), sa, sizeof(addr));
+    co_await g.Listen(static_cast<int>(lfd), 4);
+    int64_t cfd = co_await g.Accept(static_cast<int>(lfd), 0, 0);
+    int64_t file = co_await g.Open("/www/page.html", kO_RDONLY);
+    int64_t sent = co_await g.Sendfile(static_cast<int>(cfd), static_cast<int>(file),
+                                       0, 10000);
+    EXPECT_EQ(sent, 10000);
+    co_await g.Close(static_cast<int>(cfd));
+  });
+  w.kernel.SpawnThread(client, [&](Guest& g) -> GuestTask<void> {
+    int64_t s = co_await g.Socket(kAfInet, kSockStream);
+    GuestAddr sa = g.Alloc(sizeof(GuestSockaddrIn));
+    GuestSockaddrIn addr;
+    addr.sin_port = 80;
+    g.Poke(sa, &addr, sizeof(addr));
+    co_await g.Connect(static_cast<int>(s), sa, sizeof(addr));
+    GuestAddr buf = g.Alloc(4096);
+    for (;;) {
+      int64_t n = co_await g.Read(static_cast<int>(s), buf, 4096);
+      if (n <= 0) {
+        break;
+      }
+      received += static_cast<uint64_t>(n);
+    }
+  });
+  w.Run();
+  EXPECT_EQ(received, 10000u);
+}
+
+TEST(KernelEdgeTest, GetdentsPaginatesViaSyscall) {
+  SimWorld w;
+  w.fs.Mkdir("/many");
+  for (int i = 0; i < 10; ++i) {
+    w.fs.WriteWholeFile("/many/f" + std::to_string(i), "");
+  }
+  Process* p = w.NewProcess("dents");
+  int total = 0;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/many", kO_RDONLY | kO_DIRECTORY);
+    GuestAddr buf = g.Alloc(3 * sizeof(GuestDirent));
+    for (;;) {
+      int64_t n = co_await g.Getdents(static_cast<int>(fd), buf, 3 * sizeof(GuestDirent));
+      if (n <= 0) {
+        break;
+      }
+      total += static_cast<int>(n / sizeof(GuestDirent));
+    }
+  });
+  w.Run();
+  EXPECT_EQ(total, 10);
+}
+
+TEST(KernelEdgeTest, XattrsRoundTrip) {
+  SimWorld w;
+  w.fs.WriteWholeFile("/tmp/x", "data");
+  Process* p = w.NewProcess("xattr");
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    GuestAddr path = g.CString("/tmp/x");
+    GuestAddr name = g.CString("user.tag");
+    GuestAddr value = g.Alloc(16);
+    g.Poke(value, "hello", 5);
+    EXPECT_EQ(co_await g.Syscall(Sys::kSetxattr, path, name, value, 5), 0);
+    GuestAddr out = g.Alloc(16);
+    int64_t n = co_await g.Syscall(Sys::kGetxattr, path, name, out, 16);
+    EXPECT_EQ(n, 5);
+    EXPECT_EQ(g.PeekString(out, 5), "hello");
+    GuestAddr missing = g.CString("user.none");
+    EXPECT_EQ(co_await g.Syscall(Sys::kGetxattr, path, missing, out, 16), -kENODATA);
+  });
+  w.Run();
+}
+
+TEST(KernelEdgeTest, BrkGrowsAndReports) {
+  SimWorld w;
+  Process* p = w.NewProcess("brk");
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    int64_t cur = co_await g.Brk(0);
+    EXPECT_GT(cur, 0);
+    int64_t grown = co_await g.Brk(static_cast<GuestAddr>(cur) + 65536);
+    EXPECT_EQ(grown, cur + 65536);
+    // Invalid request leaves the break unchanged.
+    int64_t unchanged = co_await g.Brk(1);
+    EXPECT_EQ(unchanged, grown);
+  });
+  w.Run();
+}
+
+TEST(KernelEdgeTest, SelectTimeoutAndReadiness) {
+  SimWorld w;
+  Process* p = w.NewProcess("select");
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    GuestAddr fds = g.Alloc(8);
+    co_await g.Pipe(fds);
+    int rfd = static_cast<int>(g.PeekU32(fds));
+    int wfd = static_cast<int>(g.PeekU32(fds + 4));
+    GuestAddr set = g.Alloc(128);
+    std::array<uint64_t, 16> bits{};
+    bits[static_cast<size_t>(rfd) / 64] |= 1ULL << (rfd % 64);
+    g.Poke(set, bits.data(), 128);
+    GuestAddr tv = g.Alloc(sizeof(GuestTimeval));
+    GuestTimeval timeout{0, 5000};  // 5 ms.
+    g.Poke(tv, &timeout, sizeof(timeout));
+    TimeNs before = g.kernel()->now();
+    EXPECT_EQ(co_await g.Select(rfd + 1, set, 0, 0, tv), 0);  // Times out.
+    EXPECT_GE(g.kernel()->now() - before, Millis(5));
+    // Now with data: returns 1 and sets the bit.
+    GuestAddr buf = g.Alloc(4);
+    co_await g.Write(wfd, buf, 1);
+    g.Poke(set, bits.data(), 128);
+    EXPECT_EQ(co_await g.Select(rfd + 1, set, 0, 0, 0), 1);
+    std::array<uint64_t, 16> out{};
+    g.Peek(set, out.data(), 128);
+    EXPECT_TRUE(out[static_cast<size_t>(rfd) / 64] & (1ULL << (rfd % 64)));
+  });
+  w.Run();
+}
+
+// --- GHUMVEE FD bookkeeping feeding the file map (paper §3.6) -------------------
+
+TEST(FileMapTrackingTest, GhumveeTracksFdLifecycle) {
+  SimWorld w(31);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kSocketRw;
+  Remon mvee(&w.kernel, opts);
+  int file_fd = -1;
+  int pipe_rd = -1;
+  int sock_fd = -1;
+  int closed_fd = -1;
+  mvee.Launch([&](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/track", kO_CREAT | kO_RDWR);
+    file_fd = static_cast<int>(fd);
+    GuestAddr fds = g.Alloc(8);
+    co_await g.Pipe(fds);
+    pipe_rd = static_cast<int>(g.PeekU32(fds));
+    int64_t s = co_await g.Socket(kAfInet, kSockStream | kSockNonblock);
+    sock_fd = static_cast<int>(s);
+    int64_t gone = co_await g.Open("/tmp/gone", kO_CREAT | kO_RDWR);
+    closed_fd = static_cast<int>(gone);
+    co_await g.Close(static_cast<int>(gone));
+    // Toggle non-blocking on the file via fcntl: must reach the file map.
+    int64_t flags = co_await g.Fcntl(file_fd, kF_GETFL);
+    co_await g.Fcntl(file_fd, kF_SETFL, static_cast<uint64_t>(flags | kO_NONBLOCK));
+  });
+  w.Run();
+  ASSERT_FALSE(mvee.divergence_detected());
+  FileMap* fm = mvee.ghumvee()->file_map();
+  EXPECT_EQ(fm->TypeOf(file_fd), FdType::kRegular);
+  EXPECT_TRUE(fm->IsNonblocking(file_fd));
+  EXPECT_EQ(fm->TypeOf(pipe_rd), FdType::kPipe);
+  EXPECT_EQ(fm->TypeOf(sock_fd), FdType::kSocket);
+  EXPECT_TRUE(fm->IsNonblocking(sock_fd));
+  EXPECT_FALSE(fm->IsValid(closed_fd));
+}
+
+TEST(KernelEdgeTest, UnameAndSysinfoFillStructs) {
+  SimWorld w;
+  Process* p = w.NewProcess("uname");
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    GuestAddr u = g.Alloc(sizeof(GuestUtsname));
+    EXPECT_EQ(co_await g.Uname(u), 0);
+    GuestUtsname uts;
+    g.Peek(u, &uts, sizeof(uts));
+    EXPECT_STREQ(uts.sysname, "Linux");
+    EXPECT_STREQ(uts.machine, "x86_64");
+    GuestAddr si = g.Alloc(sizeof(GuestSysinfo));
+    EXPECT_EQ(co_await g.Syscall(Sys::kSysinfo, si), 0);
+    GuestSysinfo info;
+    g.Peek(si, &info, sizeof(info));
+    EXPECT_GT(info.totalram, 0u);
+  });
+  w.Run();
+}
+
+TEST(KernelEdgeTest, RenameUnlinkUnderMvee) {
+  SimWorld w(37);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kNonsocketRw;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch([](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/old-name", kO_CREAT | kO_RDWR);
+    GuestAddr buf = g.Alloc(8);
+    g.Poke(buf, "payload", 7);
+    co_await g.Write(static_cast<int>(fd), buf, 7);
+    co_await g.Close(static_cast<int>(fd));
+    EXPECT_EQ(co_await g.Rename("/tmp/old-name", "/tmp/new-name"), 0);
+    EXPECT_EQ(co_await g.Access("/tmp/old-name", 0), -kENOENT);
+    EXPECT_EQ(co_await g.Access("/tmp/new-name", 0), 0);
+    EXPECT_EQ(co_await g.Unlink("/tmp/new-name"), 0);
+  });
+  w.Run();
+  EXPECT_FALSE(mvee.divergence_detected());
+  EXPECT_TRUE(mvee.finished());
+  EXPECT_EQ(w.fs.Resolve("/tmp/new-name"), nullptr);
+}
+
+}  // namespace
+}  // namespace remon

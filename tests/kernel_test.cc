@@ -1,0 +1,602 @@
+// Integration tests for the simulated kernel: guest coroutines performing system
+// calls, blocking I/O, threads + futexes, signals, sockets, epoll event loops.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace remon {
+namespace {
+
+TEST(KernelTest, TrivialProgramRunsToCompletion) {
+  SimWorld w;
+  Process* p = w.NewProcess("trivial");
+  bool ran = false;
+  w.kernel.SpawnThread(p, [&ran](Guest& g) -> GuestTask<void> {
+    int64_t pid = co_await g.Getpid();
+    EXPECT_GT(pid, 0);
+    ran = true;
+  });
+  w.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(p->exited);
+}
+
+TEST(KernelTest, ComputeAdvancesVirtualTime) {
+  SimWorld w;
+  Process* p = w.NewProcess("compute");
+  TimeNs end_time = 0;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    co_await g.Compute(Millis(5));
+    end_time = g.kernel()->now();
+  });
+  w.Run();
+  EXPECT_GE(end_time, Millis(5));
+  EXPECT_LT(end_time, Millis(6));
+}
+
+TEST(KernelTest, FileWriteReadRoundTrip) {
+  SimWorld w;
+  Process* p = w.NewProcess("files");
+  std::string got;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/test.txt", kO_CREAT | kO_RDWR);
+    EXPECT_GE(fd, 0);
+    GuestAddr buf = g.Alloc(64);
+    g.Poke(buf, "content!", 8);
+    EXPECT_EQ(co_await g.Write(static_cast<int>(fd), buf, 8), 8);
+    EXPECT_EQ(co_await g.Lseek(static_cast<int>(fd), 0, kSeekSet), 0);
+    GuestAddr rbuf = g.Alloc(64);
+    int64_t n = co_await g.Read(static_cast<int>(fd), rbuf, 64);
+    EXPECT_EQ(n, 8);
+    got = g.PeekString(rbuf, 8);
+    co_await g.Close(static_cast<int>(fd));
+  });
+  w.Run();
+  EXPECT_EQ(got, "content!");
+  EXPECT_EQ(w.fs.ReadWholeFile("/tmp/test.txt").value_or(""), "content!");
+}
+
+TEST(KernelTest, StatAndAccess) {
+  SimWorld w;
+  w.fs.WriteWholeFile("/tmp/x.dat", "12345");
+  Process* p = w.NewProcess("stat");
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    GuestAddr st = g.Alloc(sizeof(GuestStat));
+    EXPECT_EQ(co_await g.Stat("/tmp/x.dat", st), 0);
+    GuestStat s;
+    g.Peek(st, &s, sizeof(s));
+    EXPECT_EQ(s.st_size, 5u);
+    EXPECT_EQ(co_await g.Access("/tmp/x.dat", 0), 0);
+    EXPECT_EQ(co_await g.Access("/tmp/missing", 0), -kENOENT);
+  });
+  w.Run();
+}
+
+TEST(KernelTest, PipeBlockingHandoff) {
+  SimWorld w;
+  Process* p = w.NewProcess("pipes");
+  std::string got;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    GuestAddr fds = g.Alloc(8);
+    EXPECT_EQ(co_await g.Pipe(fds), 0);
+    int rfd = static_cast<int>(g.PeekU32(fds));
+    int wfd = static_cast<int>(g.PeekU32(fds + 4));
+
+    // Reader thread blocks until the main thread writes.
+    uint64_t reader = g.RegisterThreadFn([&got, rfd](Guest& rg) -> GuestTask<void> {
+      GuestAddr buf = rg.Alloc(32);
+      int64_t n = co_await rg.Read(rfd, buf, 32);
+      EXPECT_EQ(n, 5);
+      got = rg.PeekString(buf, 5);
+    });
+    co_await g.SpawnThread(reader);
+    co_await g.Compute(Micros(50));  // Ensure the reader blocks first.
+    GuestAddr buf = g.Alloc(8);
+    g.Poke(buf, "hello", 5);
+    EXPECT_EQ(co_await g.Write(wfd, buf, 5), 5);
+  });
+  w.Run();
+  EXPECT_EQ(got, "hello");
+}
+
+TEST(KernelTest, NonblockingReadReturnsEagain) {
+  SimWorld w;
+  Process* p = w.NewProcess("nb");
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    GuestAddr fds = g.Alloc(8);
+    co_await g.Syscall(Sys::kPipe2, fds, kO_NONBLOCK);
+    int rfd = static_cast<int>(g.PeekU32(fds));
+    GuestAddr buf = g.Alloc(8);
+    EXPECT_EQ(co_await g.Read(rfd, buf, 8), -kEAGAIN);
+  });
+  w.Run();
+}
+
+TEST(KernelTest, NanosleepAdvancesClock) {
+  SimWorld w;
+  Process* p = w.NewProcess("sleep");
+  TimeNs woke = 0;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    EXPECT_EQ(co_await g.SleepNs(Millis(20)), 0);
+    woke = g.kernel()->now();
+  });
+  w.Run();
+  EXPECT_GE(woke, Millis(20));
+}
+
+TEST(KernelTest, FutexWaitWake) {
+  SimWorld w;
+  Process* p = w.NewProcess("futex");
+  bool waiter_done = false;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    GuestAddr word = g.Alloc(4);
+    g.PokeU32(word, 0);
+    uint64_t waiter = g.RegisterThreadFn([&, word](Guest& wg) -> GuestTask<void> {
+      EXPECT_EQ(co_await wg.Futex(word, kFutexWait, 0), 0);
+      waiter_done = true;
+    });
+    co_await g.SpawnThread(waiter);
+    co_await g.Compute(Micros(100));
+    g.PokeU32(word, 1);
+    int64_t woken = co_await g.Futex(word, kFutexWake, 1);
+    EXPECT_EQ(woken, 1);
+  });
+  w.Run();
+  EXPECT_TRUE(waiter_done);
+  EXPECT_EQ(w.sim.stats().futex_waits, 1u);
+  EXPECT_EQ(w.sim.stats().futex_wakes, 1u);
+}
+
+TEST(KernelTest, FutexValueMismatchReturnsEagain) {
+  SimWorld w;
+  Process* p = w.NewProcess("futex2");
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    GuestAddr word = g.Alloc(4);
+    g.PokeU32(word, 7);
+    EXPECT_EQ(co_await g.Futex(word, kFutexWait, 0), -kEAGAIN);
+  });
+  w.Run();
+}
+
+TEST(KernelTest, FutexTimeout) {
+  SimWorld w;
+  Process* p = w.NewProcess("futex3");
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    GuestAddr word = g.Alloc(4);
+    g.PokeU32(word, 0);
+    GuestAddr ts = g.Alloc(sizeof(GuestTimespec));
+    GuestTimespec spec{0, Millis(5)};
+    g.Poke(ts, &spec, sizeof(spec));
+    EXPECT_EQ(co_await g.Futex(word, kFutexWait, 0, ts), -kETIMEDOUT);
+  });
+  w.Run();
+}
+
+TEST(KernelTest, ThreadsShareAddressSpace) {
+  SimWorld w;
+  Process* p = w.NewProcess("threads");
+  uint32_t observed = 0;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    GuestAddr shared_word = g.Alloc(4);
+    g.PokeU32(shared_word, 0);
+    uint64_t child = g.RegisterThreadFn([shared_word](Guest& cg) -> GuestTask<void> {
+      cg.PokeU32(shared_word, 4242);
+      co_return;
+    });
+    int64_t tid = co_await g.SpawnThread(child);
+    EXPECT_GT(tid, 0);
+    co_await g.Compute(Micros(100));
+    observed = g.PeekU32(shared_word);
+  });
+  w.Run();
+  EXPECT_EQ(observed, 4242u);
+}
+
+TEST(KernelTest, SignalHandlerRuns) {
+  SimWorld w;
+  Process* p = w.NewProcess("signals");
+  int handled_sig = 0;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    uint64_t cookie = g.RegisterHandler(
+        [&handled_sig](Guest& hg, int sig) -> GuestTask<void> {
+          handled_sig = sig;
+          co_return;
+        });
+    EXPECT_EQ(co_await g.Sigaction(kSIGUSR1, cookie), 0);
+    int64_t pid = co_await g.Getpid();
+    EXPECT_EQ(co_await g.Kill(static_cast<int>(pid), kSIGUSR1), 0);
+    // Delivery happens at the syscall boundary; one more call flushes it.
+    co_await g.Getpid();
+  });
+  w.Run();
+  EXPECT_EQ(handled_sig, kSIGUSR1);
+  EXPECT_EQ(w.sim.stats().signals_delivered, 1u);
+}
+
+TEST(KernelTest, SignalInterruptsBlockingCall) {
+  SimWorld w;
+  Process* p = w.NewProcess("eintr");
+  int64_t result = 0;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    uint64_t cookie = g.RegisterHandler([](Guest&, int) -> GuestTask<void> { co_return; });
+    co_await g.Sigaction(kSIGUSR2, cookie);
+    GuestAddr fds = g.Alloc(8);
+    co_await g.Pipe(fds);
+    int rfd = static_cast<int>(g.PeekU32(fds));
+    GuestAddr buf = g.Alloc(8);
+    // A second thread signals us while we are blocked in read().
+    int64_t main_tid = co_await g.Gettid();
+    uint64_t poker = g.RegisterThreadFn([main_tid](Guest& pg) -> GuestTask<void> {
+      co_await pg.Compute(Millis(1));
+      co_await pg.Syscall(Sys::kTgkill, 0, static_cast<uint64_t>(main_tid),
+                          static_cast<uint64_t>(kSIGUSR2));
+    });
+    co_await g.SpawnThread(poker);
+    result = co_await g.Read(rfd, buf, 8);
+  });
+  w.Run();
+  EXPECT_EQ(result, -kEINTR);
+}
+
+TEST(KernelTest, FatalSignalKillsProcess) {
+  SimWorld w;
+  Process* p = w.NewProcess("fatal");
+  bool after = false;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    int64_t pid = co_await g.Getpid();
+    co_await g.Kill(static_cast<int>(pid), kSIGTERM);
+    co_await g.Getpid();  // Delivery point.
+    after = true;
+  });
+  w.Run();
+  EXPECT_FALSE(after);
+  EXPECT_TRUE(p->exited);
+  EXPECT_EQ(p->exit_code, 128 + kSIGTERM);
+}
+
+TEST(KernelTest, SegfaultOnWildAccess) {
+  SimWorld w;
+  Process* p = w.NewProcess("segv");
+  bool after = false;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    uint8_t byte = 0;
+    bool ok = co_await g.TryPeek(0xdead000000, &byte, 1);
+    EXPECT_FALSE(ok);
+    after = true;  // Unreachable: no handler -> SIGSEGV kills the process.
+  });
+  w.Run();
+  EXPECT_FALSE(after);
+  EXPECT_TRUE(p->exited);
+  EXPECT_EQ(p->exit_code, 128 + kSIGSEGV);
+}
+
+TEST(KernelTest, SegfaultWithHandlerResumesFalse) {
+  SimWorld w;
+  Process* p = w.NewProcess("segv2");
+  bool handler_ran = false;
+  bool resumed = false;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    uint64_t cookie = g.RegisterHandler([&](Guest&, int sig) -> GuestTask<void> {
+      handler_ran = sig == kSIGSEGV;
+      co_return;
+    });
+    co_await g.Sigaction(kSIGSEGV, cookie);
+    uint8_t byte = 0;
+    bool ok = co_await g.TryPeek(0xdead000000, &byte, 1);
+    EXPECT_FALSE(ok);
+    resumed = true;
+  });
+  w.Run();
+  EXPECT_TRUE(handler_ran);
+  EXPECT_TRUE(resumed);
+}
+
+TEST(KernelTest, TryExecRespectsDcl) {
+  SimWorld w;
+  Process* a = w.NewProcess("replica-a", 0);
+  Process* b = w.NewProcess("replica-b", 1);
+  // An address inside replica A's code region is executable there...
+  GuestAddr a_code = a->layout.code_base + 0x100;
+  bool a_ok = false;
+  bool b_after = false;
+  w.kernel.SpawnThread(a, [&, a_code](Guest& g) -> GuestTask<void> {
+    a_ok = co_await g.TryExec(a_code);
+  });
+  // ...but faults in replica B (disjoint code layout).
+  w.kernel.SpawnThread(b, [&, a_code](Guest& g) -> GuestTask<void> {
+    co_await g.TryExec(a_code);
+    b_after = true;
+  });
+  w.Run();
+  EXPECT_TRUE(a_ok);
+  EXPECT_FALSE(b_after);
+  EXPECT_TRUE(b->exited);
+  EXPECT_EQ(b->exit_code, 128 + kSIGSEGV);
+}
+
+TEST(KernelTest, SocketClientServerExchange) {
+  SimWorld w;
+  Process* server = w.NewProcess("server", -1, w.server_machine);
+  Process* client = w.NewProcess("client", -1, w.client_machine);
+  std::string server_got;
+  std::string client_got;
+
+  w.kernel.SpawnThread(server, [&](Guest& g) -> GuestTask<void> {
+    int64_t lfd = co_await g.Socket(kAfInet, kSockStream);
+    GuestAddr sa = g.Alloc(sizeof(GuestSockaddrIn));
+    GuestSockaddrIn addr;
+    addr.sin_port = 8080;
+    addr.sin_addr = 0;  // server machine
+    g.Poke(sa, &addr, sizeof(addr));
+    EXPECT_EQ(co_await g.Bind(static_cast<int>(lfd), sa, sizeof(addr)), 0);
+    EXPECT_EQ(co_await g.Listen(static_cast<int>(lfd), 8), 0);
+    int64_t cfd = co_await g.Accept(static_cast<int>(lfd), 0, 0);
+    EXPECT_GE(cfd, 0);
+    GuestAddr buf = g.Alloc(64);
+    int64_t n = co_await g.Read(static_cast<int>(cfd), buf, 64);
+    EXPECT_GT(n, 0);
+    server_got = g.PeekString(buf, static_cast<uint64_t>(n));
+    g.Poke(buf, "RESPONSE", 8);
+    co_await g.Write(static_cast<int>(cfd), buf, 8);
+    co_await g.Close(static_cast<int>(cfd));
+  });
+
+  w.kernel.SpawnThread(client, [&](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Socket(kAfInet, kSockStream);
+    GuestAddr sa = g.Alloc(sizeof(GuestSockaddrIn));
+    GuestSockaddrIn addr;
+    addr.sin_port = 8080;
+    addr.sin_addr = 0;
+    g.Poke(sa, &addr, sizeof(addr));
+    EXPECT_EQ(co_await g.Connect(static_cast<int>(fd), sa, sizeof(addr)), 0);
+    GuestAddr buf = g.Alloc(64);
+    g.Poke(buf, "REQUEST", 7);
+    EXPECT_EQ(co_await g.Write(static_cast<int>(fd), buf, 7), 7);
+    int64_t n = co_await g.Read(static_cast<int>(fd), buf, 64);
+    EXPECT_EQ(n, 8);
+    client_got = g.PeekString(buf, 8);
+    co_await g.Close(static_cast<int>(fd));
+  });
+
+  w.Run();
+  EXPECT_EQ(server_got, "REQUEST");
+  EXPECT_EQ(client_got, "RESPONSE");
+}
+
+TEST(KernelTest, EpollDrivenEcho) {
+  SimWorld w;
+  Process* server = w.NewProcess("epsrv", -1, w.server_machine);
+  Process* client = w.NewProcess("epcli", -1, w.client_machine);
+  std::string echoed;
+
+  w.kernel.SpawnThread(server, [&](Guest& g) -> GuestTask<void> {
+    int64_t lfd = co_await g.Socket(kAfInet, kSockStream);
+    GuestAddr sa = g.Alloc(sizeof(GuestSockaddrIn));
+    GuestSockaddrIn addr;
+    addr.sin_port = 80;
+    g.Poke(sa, &addr, sizeof(addr));
+    co_await g.Bind(static_cast<int>(lfd), sa, sizeof(addr));
+    co_await g.Listen(static_cast<int>(lfd), 8);
+    int64_t epfd = co_await g.EpollCreate1();
+    GuestAddr ev = g.Alloc(sizeof(GuestEpollEvent));
+    GuestEpollEvent e{kPollIn, 0x11};
+    g.Poke(ev, &e, sizeof(e));
+    EXPECT_EQ(co_await g.EpollCtl(static_cast<int>(epfd), kEpollCtlAdd,
+                                  static_cast<int>(lfd), ev), 0);
+    GuestAddr events = g.Alloc(8 * sizeof(GuestEpollEvent));
+    // Wait for the connection.
+    int64_t n = co_await g.EpollWait(static_cast<int>(epfd), events, 8, -1);
+    EXPECT_EQ(n, 1);
+    GuestEpollEvent got;
+    g.Peek(events, &got, sizeof(got));
+    EXPECT_EQ(got.data, 0x11u);
+    int64_t cfd = co_await g.Accept(static_cast<int>(lfd), 0, 0);
+    GuestEpollEvent e2{kPollIn, 0x22};
+    g.Poke(ev, &e2, sizeof(e2));
+    co_await g.EpollCtl(static_cast<int>(epfd), kEpollCtlAdd, static_cast<int>(cfd), ev);
+    // Wait for data on the connection.
+    n = co_await g.EpollWait(static_cast<int>(epfd), events, 8, -1);
+    EXPECT_GE(n, 1);
+    GuestAddr buf = g.Alloc(64);
+    int64_t r = co_await g.Read(static_cast<int>(cfd), buf, 64);
+    co_await g.Write(static_cast<int>(cfd), buf, static_cast<uint64_t>(r));
+  });
+
+  w.kernel.SpawnThread(client, [&](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Socket(kAfInet, kSockStream);
+    GuestAddr sa = g.Alloc(sizeof(GuestSockaddrIn));
+    GuestSockaddrIn addr;
+    addr.sin_port = 80;
+    g.Poke(sa, &addr, sizeof(addr));
+    co_await g.Connect(static_cast<int>(fd), sa, sizeof(addr));
+    GuestAddr buf = g.Alloc(16);
+    g.Poke(buf, "echo-me", 7);
+    co_await g.Write(static_cast<int>(fd), buf, 7);
+    int64_t n = co_await g.Read(static_cast<int>(fd), buf, 16);
+    echoed = g.PeekString(buf, static_cast<uint64_t>(n));
+  });
+
+  w.Run();
+  EXPECT_EQ(echoed, "echo-me");
+}
+
+TEST(KernelTest, PollWithTimeout) {
+  SimWorld w;
+  Process* p = w.NewProcess("poll");
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    GuestAddr fds_arr = g.Alloc(8);
+    co_await g.Pipe(fds_arr);
+    int rfd = static_cast<int>(g.PeekU32(fds_arr));
+    GuestAddr pfd = g.Alloc(sizeof(GuestPollfd));
+    GuestPollfd pf;
+    pf.fd = rfd;
+    pf.events = static_cast<int16_t>(kPollIn);
+    g.Poke(pfd, &pf, sizeof(pf));
+    TimeNs before = g.kernel()->now();
+    EXPECT_EQ(co_await g.Poll(pfd, 1, 10), 0);  // 10 ms timeout, no data.
+    EXPECT_GE(g.kernel()->now() - before, Millis(10));
+  });
+  w.Run();
+}
+
+TEST(KernelTest, GetdentsEnumeratesDirectory) {
+  SimWorld w;
+  w.fs.Mkdir("/data");
+  w.fs.WriteWholeFile("/data/one", "1");
+  w.fs.WriteWholeFile("/data/two", "2");
+  Process* p = w.NewProcess("dents");
+  std::vector<std::string> names;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/data", kO_RDONLY | kO_DIRECTORY);
+    EXPECT_GE(fd, 0);
+    GuestAddr buf = g.Alloc(8 * sizeof(GuestDirent));
+    int64_t n = co_await g.Getdents(static_cast<int>(fd), buf, 8 * sizeof(GuestDirent));
+    for (int64_t off = 0; off < n; off += sizeof(GuestDirent)) {
+      GuestDirent d;
+      g.Peek(buf + static_cast<uint64_t>(off), &d, sizeof(d));
+      names.emplace_back(d.d_name);
+    }
+  });
+  w.Run();
+  EXPECT_EQ(names, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(KernelTest, ProcMapsVisibleToGuest) {
+  SimWorld w;
+  Process* p = w.NewProcess("maps");
+  std::string maps;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/proc/self/maps", kO_RDONLY);
+    EXPECT_GE(fd, 0);
+    GuestAddr buf = g.Alloc(4096);
+    int64_t n = co_await g.Read(static_cast<int>(fd), buf, 4096);
+    EXPECT_GT(n, 0);
+    maps = g.PeekString(buf, static_cast<uint64_t>(n));
+  });
+  w.Run();
+  EXPECT_NE(maps.find("[heap]"), std::string::npos);
+  EXPECT_NE(maps.find("[stack]"), std::string::npos);
+}
+
+TEST(KernelTest, MmapMunmapLifecycle) {
+  SimWorld w;
+  Process* p = w.NewProcess("mm");
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    int64_t addr = co_await g.Mmap(0, 16384, kProtRead | kProtWrite, kMapPrivate);
+    EXPECT_GT(addr, 0);
+    g.PokeU64(static_cast<GuestAddr>(addr), 77);
+    EXPECT_EQ(g.PeekU64(static_cast<GuestAddr>(addr)), 77u);
+    EXPECT_EQ(co_await g.Munmap(static_cast<GuestAddr>(addr), 16384), 0);
+    bool ok = co_await g.TryPeek(static_cast<GuestAddr>(addr), nullptr, 0);
+    (void)ok;
+    co_return;
+  });
+  w.Run();
+}
+
+TEST(KernelTest, ShmSharedBetweenProcesses) {
+  SimWorld w;
+  Process* a = w.NewProcess("shm-a");
+  Process* b = w.NewProcess("shm-b");
+  uint32_t seen = 0;
+  w.kernel.SpawnThread(a, [&](Guest& g) -> GuestTask<void> {
+    int64_t id = co_await g.Shmget(777, 8192, kIpcCreat);
+    EXPECT_GE(id, 0);
+    int64_t addr = co_await g.Shmat(static_cast<int>(id));
+    EXPECT_GT(addr, 0);
+    g.PokeU32(static_cast<GuestAddr>(addr), 31337);
+  });
+  w.kernel.SpawnThread(b, [&](Guest& g) -> GuestTask<void> {
+    co_await g.Compute(Millis(1));  // Let A create it first.
+    int64_t id = co_await g.Shmget(777, 8192, 0);
+    EXPECT_GE(id, 0);
+    int64_t addr = co_await g.Shmat(static_cast<int>(id));
+    EXPECT_GT(addr, 0);
+    seen = g.PeekU32(static_cast<GuestAddr>(addr));
+  });
+  w.Run();
+  EXPECT_EQ(seen, 31337u);
+}
+
+TEST(KernelTest, TimerFdFires) {
+  SimWorld w;
+  Process* p = w.NewProcess("timer");
+  uint64_t expirations = 0;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.TimerfdCreate();
+    GuestAddr its = g.Alloc(sizeof(GuestItimerspec));
+    GuestItimerspec spec;
+    spec.it_value = GuestTimespec{0, Millis(5)};
+    g.Poke(its, &spec, sizeof(spec));
+    EXPECT_EQ(co_await g.TimerfdSettime(static_cast<int>(fd), its), 0);
+    GuestAddr buf = g.Alloc(8);
+    EXPECT_EQ(co_await g.Read(static_cast<int>(fd), buf, 8), 8);
+    expirations = g.PeekU64(buf);
+  });
+  w.Run();
+  EXPECT_EQ(expirations, 1u);
+}
+
+TEST(KernelTest, ExitGroupStopsAllThreads) {
+  SimWorld w;
+  Process* p = w.NewProcess("exitgrp");
+  bool other_finished = false;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    uint64_t forever = g.RegisterThreadFn([&other_finished](Guest& fg) -> GuestTask<void> {
+      co_await fg.SleepNs(Seconds(100));
+      other_finished = true;
+    });
+    co_await g.SpawnThread(forever);
+    co_await g.Compute(Micros(10));
+    co_await g.ExitGroup(3);
+  });
+  w.Run();
+  EXPECT_TRUE(p->exited);
+  EXPECT_EQ(p->exit_code, 3);
+  EXPECT_FALSE(other_finished);
+}
+
+TEST(KernelTest, GettimeofdayMatchesVirtualClock) {
+  SimWorld w;
+  Process* p = w.NewProcess("time");
+  int64_t sec = -1;
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    co_await g.SleepNs(Seconds(2));
+    GuestAddr tv = g.Alloc(sizeof(GuestTimeval));
+    co_await g.Gettimeofday(tv);
+    GuestTimeval val;
+    g.Peek(tv, &val, sizeof(val));
+    sec = val.tv_sec;
+  });
+  w.Run();
+  EXPECT_EQ(sec, 2);
+}
+
+TEST(KernelTest, UnknownSyscallReturnsEnosys) {
+  SimWorld w;
+  Process* p = w.NewProcess("nosys");
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    EXPECT_EQ(co_await g.Syscall(Sys::kFork), -kENOSYS);
+    EXPECT_EQ(co_await g.Syscall(Sys::kExecve), -kENOSYS);
+  });
+  w.Run();
+}
+
+TEST(KernelTest, StatsCountSyscalls) {
+  SimWorld w;
+  Process* p = w.NewProcess("stats");
+  w.kernel.SpawnThread(p, [&](Guest& g) -> GuestTask<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await g.Getpid();
+    }
+  });
+  w.Run();
+  EXPECT_GE(w.sim.stats().syscalls_total, 10u);
+}
+
+}  // namespace
+}  // namespace remon

@@ -1,0 +1,200 @@
+// Unit tests for the memory substrate: address spaces, layout randomization, shm.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/mem/address_space.h"
+#include "src/mem/layout.h"
+#include "src/mem/shm.h"
+#include "src/sim/rng.h"
+
+namespace remon {
+namespace {
+
+TEST(AddressSpaceTest, MapReadWrite) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapFixed(0x10000, 8192, kProtRead | kProtWrite, false, "r"));
+  uint64_t v = 0xdeadbeefcafef00dULL;
+  EXPECT_TRUE(as.Write(0x10ff8, &v, 8).ok);  // Spans into the second page.
+  uint64_t r = 0;
+  EXPECT_TRUE(as.Read(0x10ff8, &r, 8).ok);
+  EXPECT_EQ(r, v);
+}
+
+TEST(AddressSpaceTest, UnmappedAccessFaults) {
+  AddressSpace as;
+  uint8_t b = 0;
+  AccessResult res = as.Read(0x500000, &b, 1);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.fault_addr, 0x500000u);
+}
+
+TEST(AddressSpaceTest, ProtectionEnforced) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapFixed(0x10000, 4096, kProtRead, false, "ro"));
+  uint8_t b = 1;
+  EXPECT_FALSE(as.Write(0x10000, &b, 1).ok);
+  EXPECT_TRUE(as.Read(0x10000, &b, 1).ok);
+  // Unchecked (monitor) access bypasses protections.
+  EXPECT_TRUE(as.WriteUnchecked(0x10000, &b, 1).ok);
+}
+
+TEST(AddressSpaceTest, MprotectChangesPermissions) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapFixed(0x10000, 8192, kProtRead | kProtWrite, false, "rw"));
+  ASSERT_TRUE(as.Protect(0x10000, 4096, kProtRead));
+  uint8_t b = 1;
+  EXPECT_FALSE(as.Write(0x10000, &b, 1).ok);
+  EXPECT_TRUE(as.Write(0x11000, &b, 1).ok);
+}
+
+TEST(AddressSpaceTest, DoubleMapFails) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapFixed(0x10000, 4096, kProtRead, false, "a"));
+  EXPECT_FALSE(as.MapFixed(0x10000, 4096, kProtRead, false, "b"));
+}
+
+TEST(AddressSpaceTest, UnmapThenRemap) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapFixed(0x10000, 4096, kProtRead, false, "a"));
+  as.Unmap(0x10000, 4096);
+  EXPECT_TRUE(as.MapFixed(0x10000, 4096, kProtRead, false, "b"));
+  EXPECT_EQ(as.FindVma(0x10000)->name, "b");
+}
+
+TEST(AddressSpaceTest, PartialUnmapSplitsVma) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapFixed(0x10000, 3 * 4096, kProtRead, false, "abc"));
+  as.Unmap(0x11000, 4096);  // Middle page.
+  EXPECT_NE(as.FindVma(0x10000), nullptr);
+  EXPECT_EQ(as.FindVma(0x11000), nullptr);
+  EXPECT_NE(as.FindVma(0x12000), nullptr);
+  uint8_t b = 0;
+  EXPECT_TRUE(as.Read(0x10000, &b, 1).ok);
+  EXPECT_FALSE(as.Read(0x11000, &b, 1).ok);
+  EXPECT_TRUE(as.Read(0x12000, &b, 1).ok);
+}
+
+TEST(AddressSpaceTest, FindFreeRangeAvoidsMappings) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapFixed(0x7f0000000000, 4096, kProtRead, false, "occ"));
+  GuestAddr found = as.FindFreeRange(0x7f0000000000, 8192);
+  ASSERT_NE(found, 0u);
+  EXPECT_TRUE(as.MapFixed(found, 8192, kProtRead, false, "new"));
+}
+
+TEST(AddressSpaceTest, SharedFramesAliasAcrossSpaces) {
+  AddressSpace a;
+  AddressSpace b;
+  ASSERT_TRUE(a.MapFixed(0x10000, 4096, kProtRead | kProtWrite, true, "shm"));
+  std::vector<PageRef> frames = a.FramesFor(0x10000, 4096);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_TRUE(b.MapFixedBacked(0x90000, 4096, kProtRead | kProtWrite, true, "shm", frames));
+  uint32_t v = 12345;
+  ASSERT_TRUE(a.Write(0x10010, &v, 4).ok);
+  uint32_t r = 0;
+  ASSERT_TRUE(b.Read(0x90010, &r, 4).ok);
+  EXPECT_EQ(r, 12345u);
+}
+
+TEST(AddressSpaceTest, RemapGrowsInPlace) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapFixed(0x10000, 4096, kProtRead | kProtWrite, false, "g"));
+  EXPECT_EQ(as.Remap(0x10000, 4096, 8192), 0x10000u);
+  uint8_t b = 7;
+  EXPECT_TRUE(as.Write(0x11000, &b, 1).ok);
+}
+
+TEST(AddressSpaceTest, RenderMapsListsRegions) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapFixed(0x10000, 4096, kProtRead | kProtExec, false, "libipmon"));
+  std::string maps = as.RenderMaps();
+  EXPECT_NE(maps.find("libipmon"), std::string::npos);
+  EXPECT_NE(maps.find("r-x"), std::string::npos);
+}
+
+TEST(AddressSpaceTest, ReadCString) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapFixed(0x10000, 4096, kProtRead | kProtWrite, false, "s"));
+  const char* msg = "hello";
+  ASSERT_TRUE(as.Write(0x10000, msg, 6).ok);
+  auto s = as.ReadCString(0x10000);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, "hello");
+}
+
+TEST(LayoutTest, DclWindowsAreDisjoint) {
+  Rng rng(1);
+  LayoutPlanner planner(&rng);
+  LayoutPlan a = planner.PlanFor(0);
+  LayoutPlan b = planner.PlanFor(1);
+  LayoutPlan c = planner.PlanFor(2);
+  // No code region of one replica may overlap any code region of another.
+  auto overlaps = [](GuestAddr s1, uint64_t l1, GuestAddr s2, uint64_t l2) {
+    return s1 < s2 + l2 && s2 < s1 + l1;
+  };
+  for (const LayoutPlan* x : {&a, &b, &c}) {
+    for (const LayoutPlan* y : {&a, &b, &c}) {
+      if (x == y) {
+        continue;
+      }
+      EXPECT_FALSE(overlaps(x->code_base, x->code_size, y->code_base, y->code_size));
+      EXPECT_FALSE(overlaps(x->ipmon_base, x->ipmon_size, y->ipmon_base, y->ipmon_size));
+      EXPECT_FALSE(overlaps(x->code_base, x->code_size, y->ipmon_base, y->ipmon_size));
+    }
+  }
+}
+
+TEST(LayoutTest, AslrRandomizesBases) {
+  Rng rng1(1);
+  Rng rng2(2);
+  LayoutPlanner p1(&rng1);
+  LayoutPlanner p2(&rng2);
+  EXPECT_NE(p1.PlanFor(0).heap_base, p2.PlanFor(0).heap_base);
+}
+
+TEST(LayoutTest, NoAslrIsDeterministic) {
+  Rng rng1(1);
+  Rng rng2(99);
+  LayoutOptions opts;
+  opts.aslr = false;
+  LayoutPlanner p1(&rng1, opts);
+  LayoutPlanner p2(&rng2, opts);
+  EXPECT_EQ(p1.PlanFor(0).code_base, p2.PlanFor(0).code_base);
+  EXPECT_EQ(p1.PlanFor(0).heap_base, p2.PlanFor(0).heap_base);
+}
+
+TEST(ShmTest, CreateFindAttachDetach) {
+  ShmRegistry reg;
+  int id = reg.Get(ShmRegistry::kIpcPrivate, 16384, true, 1);
+  ASSERT_GE(id, 0);
+  ShmSegment* seg = reg.Find(id);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_EQ(seg->size, 16384u);
+  EXPECT_EQ(seg->frames.size(), 4u);
+  reg.OnAttach(id);
+  reg.OnDetach(id);
+  EXPECT_NE(reg.Find(id), nullptr);  // Not removed: no IPC_RMID yet.
+}
+
+TEST(ShmTest, RemovedSegmentDestroyedAfterLastDetach) {
+  ShmRegistry reg;
+  int id = reg.Get(ShmRegistry::kIpcPrivate, 4096, true, 1);
+  reg.OnAttach(id);
+  EXPECT_EQ(reg.Remove(id), 0);
+  EXPECT_NE(reg.Find(id), nullptr);  // Still attached.
+  reg.OnDetach(id);
+  EXPECT_EQ(reg.Find(id), nullptr);
+}
+
+TEST(ShmTest, KeyedLookup) {
+  ShmRegistry reg;
+  int id1 = reg.Get(1234, 4096, true, 1);
+  int id2 = reg.Get(1234, 4096, false, 2);
+  EXPECT_EQ(id1, id2);
+  EXPECT_LT(reg.Get(9999, 4096, false, 1), 0);  // ENOENT without create.
+}
+
+}  // namespace
+}  // namespace remon

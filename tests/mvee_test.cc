@@ -1,0 +1,475 @@
+// End-to-end MVEE tests: lockstep monitoring, IP-MON replication, transparency,
+// divergence detection, and the security properties of paper §4.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/remon.h"
+#include "tests/test_util.h"
+
+namespace remon {
+namespace {
+
+// A deterministic workload touching files, pipes, time, and memory; writes a summary
+// into /tmp/out-<suffix>. Used to check transparency: the filesystem state after an
+// MVEE run must equal the state after a native run.
+ProgramFn FileWorkload(std::string suffix) {
+  return [suffix](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/out-" + suffix, kO_CREAT | kO_RDWR);
+    EXPECT_GE(fd, 0);
+    GuestAddr buf = g.Alloc(256);
+    for (int i = 0; i < 5; ++i) {
+      co_await g.Compute(Micros(20));
+      std::string line = "line" + std::to_string(i) + "\n";
+      g.Poke(buf, line.data(), line.size());
+      int64_t w = co_await g.Write(static_cast<int>(fd), buf, line.size());
+      EXPECT_EQ(w, static_cast<int64_t>(line.size()));
+    }
+    // A few queries (BASE_LEVEL calls).
+    GuestAddr tv = g.Alloc(sizeof(GuestTimeval));
+    co_await g.Gettimeofday(tv);
+    co_await g.Getpid();
+    // Pipe round trip.
+    GuestAddr pfd = g.Alloc(8);
+    co_await g.Pipe(pfd);
+    int rfd = static_cast<int>(g.PeekU32(pfd));
+    int wfd = static_cast<int>(g.PeekU32(pfd + 4));
+    g.Poke(buf, "through-pipe", 12);
+    co_await g.Write(wfd, buf, 12);
+    GuestAddr rbuf = g.Alloc(32);
+    int64_t n = co_await g.Read(rfd, rbuf, 32);
+    EXPECT_EQ(n, 12);
+    g.Poke(buf, g.PeekString(rbuf, 12).data(), 12);
+    co_await g.Write(static_cast<int>(fd), buf, 12);
+    co_await g.Close(static_cast<int>(fd));
+    co_await g.Close(rfd);
+    co_await g.Close(wfd);
+  };
+}
+
+std::string RunAndGetFile(SimWorld& w, MveeMode mode, int replicas, PolicyLevel level,
+                          const std::string& suffix, Remon** out_remon = nullptr) {
+  RemonOptions opts;
+  opts.mode = mode;
+  opts.replicas = replicas;
+  opts.level = level;
+  static std::vector<std::unique_ptr<Remon>> keepalive;
+  keepalive.push_back(std::make_unique<Remon>(&w.kernel, opts));
+  Remon* mvee = keepalive.back().get();
+  if (out_remon != nullptr) {
+    *out_remon = mvee;
+  }
+  mvee->Launch(FileWorkload(suffix), "wl-" + suffix);
+  w.Run();
+  EXPECT_TRUE(mvee->finished());
+  return w.fs.ReadWholeFile("/tmp/out-" + suffix).value_or("<missing>");
+}
+
+TEST(MveeTest, NativeBaselineProducesExpectedOutput) {
+  SimWorld w;
+  std::string out = RunAndGetFile(w, MveeMode::kNative, 1, PolicyLevel::kNoIpmon, "native");
+  EXPECT_EQ(out, "line0\nline1\nline2\nline3\nline4\nthrough-pipe");
+}
+
+TEST(MveeTest, GhumveeLockstepIsTransparent) {
+  SimWorld native_world(7);
+  std::string native = RunAndGetFile(native_world, MveeMode::kNative, 1,
+                                     PolicyLevel::kNoIpmon, "a");
+  SimWorld mvee_world(7);
+  Remon* mvee = nullptr;
+  std::string monitored = RunAndGetFile(mvee_world, MveeMode::kGhumveeOnly, 2,
+                                        PolicyLevel::kNoIpmon, "a", &mvee);
+  EXPECT_EQ(native, monitored);
+  EXPECT_FALSE(mvee->divergence_detected());
+  // Lockstep actually ran: monitored calls counted, ptrace stops happened.
+  EXPECT_GT(mvee_world.sim.stats().syscalls_monitored, 10u);
+  EXPECT_GT(mvee_world.sim.stats().ptrace_stops, 20u);
+}
+
+TEST(MveeTest, GhumveeThreeReplicasTransparent) {
+  SimWorld native_world(9);
+  std::string native = RunAndGetFile(native_world, MveeMode::kNative, 1,
+                                     PolicyLevel::kNoIpmon, "b");
+  SimWorld mvee_world(9);
+  std::string monitored = RunAndGetFile(mvee_world, MveeMode::kGhumveeOnly, 3,
+                                        PolicyLevel::kNoIpmon, "b");
+  EXPECT_EQ(native, monitored);
+}
+
+TEST(MveeTest, RemonIpmonTransparent) {
+  SimWorld native_world(11);
+  std::string native = RunAndGetFile(native_world, MveeMode::kNative, 1,
+                                     PolicyLevel::kNoIpmon, "c");
+  SimWorld mvee_world(11);
+  Remon* mvee = nullptr;
+  std::string monitored = RunAndGetFile(mvee_world, MveeMode::kRemon, 2,
+                                        PolicyLevel::kNonsocketRw, "c", &mvee);
+  EXPECT_EQ(native, monitored);
+  EXPECT_FALSE(mvee->divergence_detected());
+  // The fast path actually engaged.
+  EXPECT_GT(mvee_world.sim.stats().syscalls_unmonitored, 5u);
+  EXPECT_GT(mvee_world.sim.stats().ikb_forward_ipmon, 5u);
+  EXPECT_GT(mvee_world.sim.stats().tokens_issued, 5u);
+  EXPECT_GT(mvee_world.sim.stats().rb_entries, 3u);
+}
+
+TEST(MveeTest, RemonBaseLevelRoutesOnlyBaseCalls) {
+  SimWorld w(13);
+  Remon* mvee = nullptr;
+  RunAndGetFile(w, MveeMode::kRemon, 2, PolicyLevel::kBase, "d", &mvee);
+  EXPECT_FALSE(mvee->divergence_detected());
+  // Reads/writes stay monitored at BASE_LEVEL; only time/pid-style calls relax.
+  EXPECT_GT(w.sim.stats().syscalls_unmonitored, 0u);
+  EXPECT_GT(w.sim.stats().syscalls_monitored, 10u);
+}
+
+TEST(MveeTest, RemonIsFasterThanGhumveeOnly) {
+  SimWorld gw(17);
+  RunAndGetFile(gw, MveeMode::kGhumveeOnly, 2, PolicyLevel::kNoIpmon, "e");
+  TimeNs ghumvee_time = gw.sim.now();
+  SimWorld rw(17);
+  RunAndGetFile(rw, MveeMode::kRemon, 2, PolicyLevel::kNonsocketRw, "e");
+  TimeNs remon_time = rw.sim.now();
+  EXPECT_LT(remon_time, ghumvee_time);
+}
+
+TEST(MveeTest, VaranLikeTransparent) {
+  SimWorld native_world(19);
+  std::string native = RunAndGetFile(native_world, MveeMode::kNative, 1,
+                                     PolicyLevel::kNoIpmon, "f");
+  SimWorld vw(19);
+  Remon* mvee = nullptr;
+  std::string monitored = RunAndGetFile(vw, MveeMode::kVaranLike, 2,
+                                        PolicyLevel::kSocketRw, "f", &mvee);
+  EXPECT_EQ(native, monitored);
+  // No ptrace traffic at all: purely in-process.
+  EXPECT_EQ(vw.sim.stats().ptrace_stops, 0u);
+  EXPECT_GT(vw.sim.stats().rb_entries, 3u);
+}
+
+TEST(MveeTest, DivergentWriteDetected) {
+  SimWorld w(23);
+  RemonOptions opts;
+  opts.mode = MveeMode::kGhumveeOnly;
+  opts.replicas = 2;
+  Remon mvee(&w.kernel, opts);
+  // A "malicious input" that only affects replica 1 (asymmetric attack): the write
+  // payload differs, so the argument signatures mismatch.
+  mvee.Launch([](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/div.txt", kO_CREAT | kO_RDWR);
+    GuestAddr buf = g.Alloc(64);
+    bool compromised = g.process()->replica_index == 1;
+    std::string payload = compromised ? "evil-data" : "good-data";
+    g.Poke(buf, payload.data(), payload.size());
+    co_await g.Write(static_cast<int>(fd), buf, 9);
+    co_await g.Close(static_cast<int>(fd));
+  });
+  w.Run();
+  EXPECT_TRUE(mvee.divergence_detected());
+  ASSERT_FALSE(mvee.ghumvee()->divergences().empty());
+  EXPECT_NE(mvee.ghumvee()->divergences()[0].reason.find("signature mismatch"),
+            std::string::npos);
+  // The malicious write never reached the filesystem (the master was 'good' but the
+  // MVEE kills everyone before executing the mismatched call).
+  EXPECT_EQ(w.fs.ReadWholeFile("/tmp/div.txt").value_or(""), "");
+}
+
+TEST(MveeTest, DivergentSyscallNumberDetected) {
+  SimWorld w(29);
+  RemonOptions opts;
+  opts.mode = MveeMode::kGhumveeOnly;
+  opts.replicas = 2;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch([](Guest& g) -> GuestTask<void> {
+    co_await g.Getpid();
+    if (g.process()->replica_index == 1) {
+      co_await g.Gettid();  // Hijacked control flow: different call stream.
+    } else {
+      co_await g.Getuid();
+    }
+  });
+  w.Run();
+  EXPECT_TRUE(mvee.divergence_detected());
+}
+
+TEST(MveeTest, DclRopPayloadDetected) {
+  // The paper's headline security story: a code-reuse payload carrying an absolute
+  // code address can be valid in at most one replica under DCL. The other replica
+  // faults, GHUMVEE sees the crash, and the MVEE shuts down.
+  SimWorld w(31);
+  RemonOptions opts;
+  opts.mode = MveeMode::kGhumveeOnly;
+  opts.replicas = 2;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch([&mvee](Guest& g) -> GuestTask<void> {
+    co_await g.Getpid();
+    // The attacker leaked a code address from the master and sends it to everyone.
+    GuestAddr gadget = mvee.master()->layout.code_base + 0x40;
+    bool ok = co_await g.TryExec(gadget);
+    if (ok) {
+      // Master: the gadget "runs" and attempts damage via a (monitored) syscall.
+      co_await g.Open("/etc/shadow-analog", kO_CREAT | kO_RDWR);
+    }
+  });
+  w.Run();
+  EXPECT_TRUE(mvee.divergence_detected());
+  ASSERT_FALSE(mvee.ghumvee()->divergences().empty());
+  EXPECT_NE(mvee.ghumvee()->divergences()[0].reason.find("faulted"), std::string::npos);
+  // The attacker's file operation never happened.
+  EXPECT_EQ(w.fs.Resolve("/etc/shadow-analog"), nullptr);
+}
+
+TEST(MveeTest, SharedMemoryChannelDenied) {
+  SimWorld w(37);
+  RemonOptions opts;
+  opts.mode = MveeMode::kGhumveeOnly;
+  opts.replicas = 2;
+  Remon mvee(&w.kernel, opts);
+  int64_t shm_result = 1;
+  int64_t mmap_result = 1;
+  mvee.Launch([&](Guest& g) -> GuestTask<void> {
+    // Application-keyed writable segment: a bi-directional channel -> denied.
+    shm_result = co_await g.Shmget(0x1234, 8192, kIpcCreat);
+    mmap_result = co_await g.Mmap(0, 8192, kProtRead | kProtWrite, kMapShared);
+  });
+  w.Run();
+  EXPECT_EQ(shm_result, -kEPERM);
+  EXPECT_EQ(mmap_result, -kEPERM);
+  EXPECT_FALSE(mvee.divergence_detected());
+  EXPECT_EQ(w.sim.stats().shm_requests_denied, 2u);
+}
+
+TEST(MveeTest, ProcMapsFilteredUnderRemon) {
+  SimWorld w(41);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kNonsocketRw;
+  Remon mvee(&w.kernel, opts);
+  std::string maps;
+  mvee.Launch([&maps](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/proc/self/maps", kO_RDONLY);
+    EXPECT_GE(fd, 0);
+    GuestAddr buf = g.Alloc(8192);
+    int64_t n = co_await g.Read(static_cast<int>(fd), buf, 8192);
+    EXPECT_GT(n, 0);
+    if (g.process()->replica_index == 0) {
+      maps = g.PeekString(buf, static_cast<uint64_t>(n));
+    }
+    co_await g.Close(static_cast<int>(fd));
+  });
+  w.Run();
+  EXPECT_FALSE(mvee.divergence_detected());
+  EXPECT_FALSE(maps.empty());
+  // The RB (sysv-shm) and IP-MON text must be hidden; ordinary regions stay visible.
+  EXPECT_EQ(maps.find("ipmon"), std::string::npos);
+  EXPECT_EQ(maps.find("sysv-shm"), std::string::npos);
+  EXPECT_NE(maps.find("[heap]"), std::string::npos);
+}
+
+TEST(MveeTest, SlaveArgumentCheckCatchesRbTampering) {
+  // Asymmetric attack at the IP-MON layer: a compromised replica issues a call with
+  // different arguments. The slave's IP-MON compares its deep-copied args against the
+  // master's RB record and triggers the intentional crash -> GHUMVEE shutdown.
+  SimWorld w(43);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kNonsocketRw;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch([](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/t.txt", kO_CREAT | kO_RDWR);
+    GuestAddr buf = g.Alloc(64);
+    std::string payload = g.process()->replica_index == 1 ? "tampered!" : "original!";
+    g.Poke(buf, payload.data(), payload.size());
+    co_await g.Write(static_cast<int>(fd), buf, 9);  // Unmonitored at NONSOCKET_RW.
+    co_await g.Close(static_cast<int>(fd));
+  });
+  w.Run();
+  EXPECT_TRUE(mvee.divergence_detected());
+}
+
+TEST(MveeTest, MultithreadedReplicasWithSyncAgent) {
+  SimWorld w(47);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kNonsocketRw;
+  opts.use_sync_agent = true;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch([&mvee](Guest& g) -> GuestTask<void> {
+    // Two worker threads each append to the same file; the sync agent serializes the
+    // acquisition order so both replicas produce identical write sequences.
+    int64_t fd = co_await g.Open("/tmp/mt.txt", kO_CREAT | kO_RDWR);
+    GuestAddr lock_word = g.Alloc(4);
+    GuestAddr done_count = g.Alloc(4);
+    g.PokeU32(lock_word, 0);
+    g.PokeU32(done_count, 0);
+    SyncAgent* agent = mvee.sync_agent(g.process()->replica_index);
+
+    auto worker = [fd, lock_word, done_count, agent](int id) {
+      return [fd, lock_word, done_count, agent, id](Guest& wg) -> GuestTask<void> {
+        GuestAddr buf = wg.Alloc(32);
+        for (int i = 0; i < 3; ++i) {
+          co_await wg.Compute(Micros(10 + 7 * id));
+          if (agent != nullptr) {
+            co_await agent->BeforeAcquire(wg, /*object_id=*/1);
+          }
+          // Lock via futex word (uncontended fast path modeled by direct poke).
+          while (wg.PeekU32(lock_word) != 0) {
+            co_await wg.Futex(lock_word, kFutexWait, 1);
+          }
+          wg.PokeU32(lock_word, 1);
+          std::string line = "w" + std::to_string(id) + "." + std::to_string(i) + "\n";
+          wg.Poke(buf, line.data(), line.size());
+          co_await wg.Write(static_cast<int>(fd), buf, line.size());
+          wg.PokeU32(lock_word, 0);
+          co_await wg.Futex(lock_word, kFutexWake, 1);
+        }
+        wg.PokeU32(done_count, wg.PeekU32(done_count) + 1);
+      };
+    };
+    uint64_t w0 = g.RegisterThreadFn(worker(0));
+    uint64_t w1 = g.RegisterThreadFn(worker(1));
+    co_await g.SpawnThread(w0);
+    co_await g.SpawnThread(w1);
+    while (g.PeekU32(done_count) < 2) {
+      co_await g.SleepNs(Micros(200));
+    }
+    co_await g.Close(static_cast<int>(fd));
+  });
+  w.Run();
+  EXPECT_FALSE(mvee.divergence_detected());
+  EXPECT_TRUE(mvee.finished());
+  std::string out = w.fs.ReadWholeFile("/tmp/mt.txt").value_or("");
+  EXPECT_EQ(out.size(), 6 * 5u);  // Six lines of five characters.
+  EXPECT_GT(w.sim.stats().sync_ops_recorded, 0u);
+  EXPECT_GT(w.sim.stats().sync_ops_replayed, 0u);
+}
+
+TEST(MveeTest, TokenForgeryForcedToGhumvee) {
+  // An attacker who jumps over IP-MON's checks and restarts a call with a guessed
+  // token must land in GHUMVEE (the 4' path), not in unmonitored execution.
+  SimWorld w(53);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kNonsocketRw;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch([](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/tok.txt", kO_CREAT | kO_RDWR);
+    GuestAddr buf = g.Alloc(16);
+    g.Poke(buf, "x", 1);
+    co_await g.Write(static_cast<int>(fd), buf, 1);
+    co_await g.Close(static_cast<int>(fd));
+  });
+  w.Run();
+  EXPECT_FALSE(mvee.divergence_detected());
+  // Forge: directly call the verifier with a wrong token for the master thread.
+  Thread* master_thread = mvee.master()->threads[0];
+  EXPECT_FALSE(mvee.broker()->VerifyToken(master_thread, 0xdeadbeef, Sys::kWrite));
+  EXPECT_GT(w.sim.stats().policy_violations, 0u);
+}
+
+TEST(MveeTest, SignalDeliveredConsistentlyUnderGhumvee) {
+  SimWorld w(59);
+  RemonOptions opts;
+  opts.mode = MveeMode::kGhumveeOnly;
+  opts.replicas = 2;
+  Remon mvee(&w.kernel, opts);
+  int handler_runs = 0;
+  mvee.Launch([&handler_runs](Guest& g) -> GuestTask<void> {
+    uint64_t cookie = g.RegisterHandler([&handler_runs](Guest&, int) -> GuestTask<void> {
+      ++handler_runs;
+      co_return;
+    });
+    co_await g.Sigaction(kSIGALRM, cookie);
+    // Arm a 1 ms interval timer (master-only under lockstep); GHUMVEE defers the
+    // master's SIGALRM and injects it into both replicas at a sync point.
+    GuestAddr its = g.Alloc(sizeof(GuestItimerspec));
+    GuestItimerspec spec;
+    spec.it_value = GuestTimespec{0, Millis(1)};
+    g.Poke(its, &spec, sizeof(spec));
+    co_await g.Syscall(Sys::kSetitimer, 0, its, 0);
+    for (int i = 0; i < 20; ++i) {
+      co_await g.Compute(Micros(200));
+      co_await g.Getpid();
+    }
+  });
+  w.Run();
+  EXPECT_FALSE(mvee.divergence_detected());
+  EXPECT_TRUE(mvee.finished());
+  // Both replicas ran the handler (once each).
+  EXPECT_EQ(handler_runs, 2);
+  EXPECT_GT(w.sim.stats().signals_deferred, 0u);
+}
+
+TEST(MveeTest, EpollDataPointersTranslatedUnderGhumvee) {
+  SimWorld w(61);
+  RemonOptions opts;
+  opts.mode = MveeMode::kGhumveeOnly;
+  opts.replicas = 2;
+  Remon mvee(&w.kernel, opts);
+  bool data_ok_master = false;
+  bool data_ok_slave = false;
+  mvee.Launch([&](Guest& g) -> GuestTask<void> {
+    // Each replica uses a replica-local "pointer" as epoll data — exactly what
+    // diversified programs do (paper §3.9).
+    GuestAddr my_cookie = g.Alloc(64);  // Different address per replica.
+    GuestAddr pfd = g.Alloc(8);
+    co_await g.Pipe(pfd);
+    int rfd = static_cast<int>(g.PeekU32(pfd));
+    int wfd = static_cast<int>(g.PeekU32(pfd + 4));
+    int64_t epfd = co_await g.EpollCreate1();
+    GuestAddr ev = g.Alloc(sizeof(GuestEpollEvent));
+    GuestEpollEvent e{kPollIn, my_cookie};
+    g.Poke(ev, &e, sizeof(e));
+    co_await g.EpollCtl(static_cast<int>(epfd), kEpollCtlAdd, rfd, ev);
+    GuestAddr buf = g.Alloc(8);
+    g.Poke(buf, "!", 1);
+    co_await g.Write(wfd, buf, 1);
+    GuestAddr events = g.Alloc(4 * sizeof(GuestEpollEvent));
+    int64_t n = co_await g.EpollWait(static_cast<int>(epfd), events, 4, -1);
+    EXPECT_EQ(n, 1);
+    GuestEpollEvent got;
+    g.Peek(events, &got, sizeof(got));
+    // Every replica must see its OWN cookie, not the master's.
+    if (g.process()->replica_index == 0) {
+      data_ok_master = got.data == my_cookie;
+    } else {
+      data_ok_slave = got.data == my_cookie;
+    }
+  });
+  w.Run();
+  EXPECT_FALSE(mvee.divergence_detected());
+  EXPECT_TRUE(data_ok_master);
+  EXPECT_TRUE(data_ok_slave);
+}
+
+TEST(MveeTest, RbOverflowTriggersArbitratedReset) {
+  SimWorld w(67);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kNonsocketRw;
+  opts.rb_size = 256 * 1024;  // Tiny RB with many ranks -> small sub-buffers.
+  opts.max_ranks = 4;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch([](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/rb.txt", kO_CREAT | kO_RDWR);
+    GuestAddr buf = g.Alloc(2048);
+    for (int i = 0; i < 200; ++i) {
+      co_await g.Write(static_cast<int>(fd), buf, 2048);
+    }
+    co_await g.Close(static_cast<int>(fd));
+  });
+  w.Run();
+  EXPECT_FALSE(mvee.divergence_detected());
+  EXPECT_TRUE(mvee.finished());
+  EXPECT_GT(w.sim.stats().rb_resets, 0u);
+  EXPECT_EQ(w.fs.ReadWholeFile("/tmp/rb.txt")->size(), 200u * 2048u);
+}
+
+}  // namespace
+}  // namespace remon

@@ -1,0 +1,217 @@
+// Unit tests for the simulated network: links, latency, stream sockets.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace remon {
+namespace {
+
+class NetTest : public ::testing::Test {
+ protected:
+  NetTest() : sim_(1), net_(&sim_) {
+    server_ = net_.AddMachine("server");
+    client_ = net_.AddMachine("client");
+    net_.SetLink(server_, client_, LinkParams{Millis(1), 0.125});
+  }
+
+  // Establishes a connected pair (client_sock, server_side).
+  std::pair<std::shared_ptr<StreamSocket>, std::shared_ptr<StreamSocket>> Connect(
+      uint16_t port) {
+    auto listener = net_.CreateStream(server_);
+    EXPECT_EQ(listener->Bind(port), 0);
+    EXPECT_EQ(listener->Listen(8), 0);
+    auto client = net_.CreateStream(client_);
+    EXPECT_EQ(client->ConnectTo(SockAddr{server_, port}), -kEINPROGRESS);
+    sim_.Run();
+    auto server_side = listener->TryAccept();
+    EXPECT_NE(server_side, nullptr);
+    EXPECT_EQ(client->state(), StreamSocket::State::kConnected);
+    listeners_.push_back(listener);  // Keep alive.
+    return {client, server_side};
+  }
+
+  Simulator sim_;
+  Network net_;
+  uint32_t server_ = 0;
+  uint32_t client_ = 0;
+  std::vector<std::shared_ptr<StreamSocket>> listeners_;
+};
+
+TEST_F(NetTest, ConnectTakesOneRoundTrip) {
+  auto listener = net_.CreateStream(server_);
+  ASSERT_EQ(listener->Bind(80), 0);
+  ASSERT_EQ(listener->Listen(4), 0);
+  auto client = net_.CreateStream(client_);
+  client->ConnectTo(SockAddr{server_, 80});
+  sim_.Run();
+  EXPECT_EQ(client->state(), StreamSocket::State::kConnected);
+  // SYN + SYN-ACK: two one-way latencies (plus negligible serialization).
+  EXPECT_GE(sim_.now(), 2 * Millis(1));
+  EXPECT_LT(sim_.now(), 3 * Millis(1));
+}
+
+TEST_F(NetTest, ConnectToClosedPortRefused) {
+  auto client = net_.CreateStream(client_);
+  client->ConnectTo(SockAddr{server_, 9999});
+  sim_.Run();
+  EXPECT_EQ(client->state(), StreamSocket::State::kClosed);
+  EXPECT_TRUE(client->connect_failed());
+}
+
+TEST_F(NetTest, DataFlowsWithLatency) {
+  auto [client, server_side] = Connect(80);
+  TimeNs send_time = sim_.now();
+  EXPECT_EQ(client->Write("hello", 5, 0), 5);
+  char buf[8];
+  EXPECT_EQ(server_side->Read(buf, 8, 0), -kEAGAIN);  // Not arrived yet.
+  sim_.Run();
+  EXPECT_GE(sim_.now() - send_time, Millis(1));
+  EXPECT_EQ(server_side->Read(buf, 8, 0), 5);
+  EXPECT_EQ(std::string(buf, 5), "hello");
+}
+
+TEST_F(NetTest, BidirectionalEcho) {
+  auto [client, server_side] = Connect(80);
+  client->Write("ping", 4, 0);
+  sim_.Run();
+  char buf[8];
+  ASSERT_EQ(server_side->Read(buf, 8, 0), 4);
+  server_side->Write("pong", 4, 0);
+  sim_.Run();
+  ASSERT_EQ(client->Read(buf, 8, 0), 4);
+  EXPECT_EQ(std::string(buf, 4), "pong");
+}
+
+TEST_F(NetTest, FinDeliversEof) {
+  auto [client, server_side] = Connect(80);
+  client->OnDescriptionClosed(kO_RDWR);
+  sim_.Run();
+  char b;
+  EXPECT_EQ(server_side->Read(&b, 1, 0), 0);  // EOF.
+  EXPECT_TRUE(server_side->Poll() & kPollIn);
+}
+
+TEST_F(NetTest, ShutdownWriteHalfCloses) {
+  auto [client, server_side] = Connect(80);
+  client->Write("last", 4, 0);
+  EXPECT_EQ(client->Shutdown(kShutWr), 0);
+  EXPECT_EQ(client->Write("more", 4, 0), -kEPIPE);
+  sim_.Run();
+  char buf[8];
+  EXPECT_EQ(server_side->Read(buf, 8, 0), 4);
+  EXPECT_EQ(server_side->Read(buf, 8, 0), 0);  // EOF after data drained.
+}
+
+TEST_F(NetTest, WindowLimitsOutstandingBytes) {
+  auto [client, server_side] = Connect(80);
+  std::vector<uint8_t> chunk(64 * 1024, 'x');
+  uint64_t sent = 0;
+  for (int i = 0; i < 10; ++i) {
+    int64_t n = client->Write(chunk.data(), chunk.size(), 0);
+    if (n == -kEAGAIN) {
+      break;
+    }
+    ASSERT_GT(n, 0);
+    sent += static_cast<uint64_t>(n);
+  }
+  EXPECT_LE(sent, StreamSocket::kWindowBytes);
+  // Draining the receiver reopens the window.
+  sim_.Run();
+  std::vector<uint8_t> sink(sent);
+  uint64_t drained = 0;
+  while (drained < sent) {
+    int64_t n = server_side->Read(sink.data(), sink.size(), 0);
+    if (n <= 0) {
+      break;
+    }
+    drained += static_cast<uint64_t>(n);
+  }
+  EXPECT_EQ(drained, sent);
+  EXPECT_GT(client->Write(chunk.data(), chunk.size(), 0), 0);
+}
+
+TEST_F(NetTest, BandwidthSerializesLargeTransfers) {
+  // 1 Gbit/s = 0.125 B/ns; 1 MB takes 8 ms of serialization + 1 ms latency.
+  auto [client, server_side] = Connect(80);
+  TimeNs start = sim_.now();
+  uint64_t total = 1024 * 1024;
+  uint64_t sent = 0;
+  std::vector<uint8_t> chunk(32 * 1024, 'y');
+  std::vector<uint8_t> sink(64 * 1024);
+  uint64_t received = 0;
+  while (received < total) {
+    while (sent < total) {
+      int64_t n = client->Write(chunk.data(), std::min<uint64_t>(chunk.size(), total - sent), 0);
+      if (n <= 0) {
+        break;
+      }
+      sent += static_cast<uint64_t>(n);
+    }
+    if (!sim_.queue().RunOne()) {
+      break;
+    }
+    for (;;) {
+      int64_t n = server_side->Read(sink.data(), sink.size(), 0);
+      if (n <= 0) {
+        break;
+      }
+      received += static_cast<uint64_t>(n);
+    }
+  }
+  EXPECT_EQ(received, total);
+  DurationNs elapsed = sim_.now() - start;
+  EXPECT_GE(elapsed, Millis(8));   // At least the serialization delay.
+  EXPECT_LT(elapsed, Millis(40));  // But same order of magnitude.
+}
+
+TEST_F(NetTest, ListenerBacklogRefusesOverflow) {
+  auto listener = net_.CreateStream(server_);
+  listener->Bind(80);
+  listener->Listen(1);
+  auto c1 = net_.CreateStream(client_);
+  auto c2 = net_.CreateStream(client_);
+  c1->ConnectTo(SockAddr{server_, 80});
+  c2->ConnectTo(SockAddr{server_, 80});
+  sim_.Run();
+  int connected = (c1->state() == StreamSocket::State::kConnected ? 1 : 0) +
+                  (c2->state() == StreamSocket::State::kConnected ? 1 : 0);
+  int refused = (c1->connect_failed() ? 1 : 0) + (c2->connect_failed() ? 1 : 0);
+  EXPECT_EQ(connected, 1);
+  EXPECT_EQ(refused, 1);
+}
+
+TEST_F(NetTest, PortCollisionOnListen) {
+  auto l1 = net_.CreateStream(server_);
+  auto l2 = net_.CreateStream(server_);
+  EXPECT_EQ(l1->Bind(80), 0);
+  EXPECT_EQ(l1->Listen(4), 0);
+  EXPECT_EQ(l2->Bind(80), 0);
+  EXPECT_EQ(l2->Listen(4), -kEADDRINUSE);
+}
+
+TEST_F(NetTest, LoopbackIsFast) {
+  auto listener = net_.CreateStream(server_);
+  listener->Bind(81);
+  listener->Listen(4);
+  auto local_client = net_.CreateStream(server_);  // Same machine.
+  local_client->ConnectTo(SockAddr{server_, 81});
+  sim_.Run();
+  EXPECT_EQ(local_client->state(), StreamSocket::State::kConnected);
+  EXPECT_LT(sim_.now(), Micros(100));  // Loopback: tens of microseconds.
+}
+
+TEST_F(NetTest, PollMaskTransitions) {
+  auto [client, server_side] = Connect(80);
+  EXPECT_TRUE(client->Poll() & kPollOut);
+  EXPECT_FALSE(client->Poll() & kPollIn);
+  server_side->Write("data", 4, 0);
+  sim_.Run();
+  EXPECT_TRUE(client->Poll() & kPollIn);
+}
+
+}  // namespace
+}  // namespace remon

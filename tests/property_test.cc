@@ -1,0 +1,243 @@
+// Property-based and parameterized sweeps over the full system:
+//  * transparency — an MVEE run's externally observable effects equal a native
+//    run's, for every mode, policy level, replica count, and seed swept here;
+//  * liveness — every configuration finishes without divergence on benign programs;
+//  * determinism — identical (seed, config) pairs produce identical virtual times.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/core/remon.h"
+#include "src/harness/runner.h"
+#include "tests/test_util.h"
+
+namespace remon {
+namespace {
+
+// A benign program exercising files, pipes, time, memory, and (optionally) sockets;
+// writes its observable output to /tmp/prop-out.
+ProgramFn PropertyWorkload(int iterations) {
+  return [iterations](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/prop-out", kO_CREAT | kO_RDWR);
+    GuestAddr buf = g.Alloc(512);
+    GuestAddr st = g.Alloc(sizeof(GuestStat));
+    GuestAddr pipe_fds = g.Alloc(8);
+    co_await g.Pipe(pipe_fds);
+    int prd = static_cast<int>(g.PeekU32(pipe_fds));
+    int pwr = static_cast<int>(g.PeekU32(pipe_fds + 4));
+    for (int i = 0; i < iterations; ++i) {
+      co_await g.Compute(Micros(10));
+      std::string line = "iter-" + std::to_string(i) + ";";
+      g.Poke(buf, line.data(), line.size());
+      co_await g.Write(static_cast<int>(fd), buf, line.size());
+      co_await g.Fstat(static_cast<int>(fd), st);
+      if (i % 3 == 0) {
+        g.Poke(buf, "p", 1);
+        co_await g.Write(pwr, buf, 1);
+        co_await g.Read(prd, buf, 1);
+      }
+      if (i % 5 == 0) {
+        co_await g.Getpid();
+        GuestAddr tv = g.Alloc(sizeof(GuestTimeval));
+        co_await g.Gettimeofday(tv);
+      }
+    }
+    co_await g.Close(prd);
+    co_await g.Close(pwr);
+    co_await g.Close(static_cast<int>(fd));
+  };
+}
+
+std::string RunAndHarvest(uint64_t seed, MveeMode mode, int replicas, PolicyLevel level,
+                          bool* ok) {
+  SimWorld w(seed);
+  RemonOptions opts;
+  opts.mode = mode;
+  opts.replicas = replicas;
+  opts.level = level;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch(PropertyWorkload(40), "prop");
+  w.Run();
+  *ok = mvee.finished() && !mvee.divergence_detected();
+  return w.fs.ReadWholeFile("/tmp/prop-out").value_or("<missing>");
+}
+
+using TransparencyParam = std::tuple<MveeMode, int, PolicyLevel, uint64_t>;
+
+class TransparencyTest : public ::testing::TestWithParam<TransparencyParam> {};
+
+TEST_P(TransparencyTest, OutputsMatchNative) {
+  auto [mode, replicas, level, seed] = GetParam();
+  bool native_ok = false;
+  std::string native =
+      RunAndHarvest(seed, MveeMode::kNative, 1, PolicyLevel::kNoIpmon, &native_ok);
+  ASSERT_TRUE(native_ok);
+  bool mvee_ok = false;
+  std::string monitored = RunAndHarvest(seed, mode, replicas, level, &mvee_ok);
+  EXPECT_TRUE(mvee_ok);
+  EXPECT_EQ(native, monitored);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndLevels, TransparencyTest,
+    ::testing::Values(
+        TransparencyParam{MveeMode::kGhumveeOnly, 2, PolicyLevel::kNoIpmon, 1},
+        TransparencyParam{MveeMode::kGhumveeOnly, 3, PolicyLevel::kNoIpmon, 2},
+        TransparencyParam{MveeMode::kGhumveeOnly, 4, PolicyLevel::kNoIpmon, 3},
+        TransparencyParam{MveeMode::kRemon, 2, PolicyLevel::kBase, 4},
+        TransparencyParam{MveeMode::kRemon, 2, PolicyLevel::kNonsocketRo, 5},
+        TransparencyParam{MveeMode::kRemon, 2, PolicyLevel::kNonsocketRw, 6},
+        TransparencyParam{MveeMode::kRemon, 2, PolicyLevel::kSocketRo, 7},
+        TransparencyParam{MveeMode::kRemon, 2, PolicyLevel::kSocketRw, 8},
+        TransparencyParam{MveeMode::kRemon, 3, PolicyLevel::kNonsocketRw, 9},
+        TransparencyParam{MveeMode::kRemon, 5, PolicyLevel::kSocketRw, 10},
+        TransparencyParam{MveeMode::kRemon, 7, PolicyLevel::kSocketRw, 11},
+        TransparencyParam{MveeMode::kVaranLike, 2, PolicyLevel::kSocketRw, 12},
+        TransparencyParam{MveeMode::kVaranLike, 4, PolicyLevel::kSocketRw, 13}));
+
+class ReplicaCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplicaCountTest, ServerTransparentForAnyReplicaCount) {
+  int replicas = GetParam();
+  ServerSpec server = ServerByName("lighttpd");
+  ClientSpec client;
+  client.connections = 4;
+  client.total_requests = 40;
+  client.request_bytes = 1024;
+  LinkParams link{60 * kMicrosecond, 0.125};
+
+  RunConfig native;
+  native.mode = MveeMode::kNative;
+  ServerResult base = RunServerBench(server, client, native, link);
+  ASSERT_EQ(base.requests, 40);
+
+  RunConfig config;
+  config.mode = MveeMode::kRemon;
+  config.replicas = replicas;
+  config.level = PolicyLevel::kSocketRw;
+  ServerResult run = RunServerBench(server, client, config, link);
+  EXPECT_FALSE(run.diverged);
+  EXPECT_EQ(run.requests, 40);  // Every request served exactly once.
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoThroughSeven, ReplicaCountTest, ::testing::Range(2, 8));
+
+class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweepTest, DeterministicAndTransparent) {
+  uint64_t seed = GetParam();
+  bool ok1 = false;
+  bool ok2 = false;
+  std::string out1 =
+      RunAndHarvest(seed, MveeMode::kRemon, 2, PolicyLevel::kNonsocketRw, &ok1);
+  std::string out2 =
+      RunAndHarvest(seed, MveeMode::kRemon, 2, PolicyLevel::kNonsocketRw, &ok2);
+  EXPECT_TRUE(ok1);
+  EXPECT_TRUE(ok2);
+  EXPECT_EQ(out1, out2);  // Bit-for-bit reproducible.
+
+  // Virtual durations also reproduce exactly.
+  SimWorld wa(seed);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kNonsocketRw;
+  {
+    Remon mvee(&wa.kernel, opts);
+    mvee.Launch(PropertyWorkload(20), "d");
+    wa.Run();
+  }
+  SimWorld wb(seed);
+  {
+    Remon mvee(&wb.kernel, opts);
+    mvee.Launch(PropertyWorkload(20), "d");
+    wb.Run();
+  }
+  EXPECT_EQ(wa.sim.now(), wb.sim.now());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(17, 99, 12345, 777777, 31337));
+
+class RbSizeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RbSizeTest, CorrectUnderAnyBufferSize) {
+  uint64_t rb_kb = GetParam();
+  SimWorld w(55);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kNonsocketRw;
+  opts.rb_size = rb_kb * 1024;
+  opts.max_ranks = 4;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch(PropertyWorkload(60), "rb");
+  w.Run();
+  EXPECT_TRUE(mvee.finished());
+  EXPECT_FALSE(mvee.divergence_detected());
+  std::string out = w.fs.ReadWholeFile("/tmp/prop-out").value_or("");
+  EXPECT_NE(out.find("iter-59;"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RbSizeTest, ::testing::Values(128, 256, 1024, 16384));
+
+class SuiteSpecTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteSpecTest, PhoronixSpecsRunCleanlyUnderRemon) {
+  std::vector<WorkloadSpec> suite = PhoronixSuite();
+  WorkloadSpec spec = suite[static_cast<size_t>(GetParam()) % suite.size()];
+  // Shrink for test runtime.
+  spec.iterations = std::min(spec.iterations, 100);
+  RunConfig config;
+  config.mode = MveeMode::kRemon;
+  config.replicas = 2;
+  config.level = PolicyLevel::kSocketRw;
+  SuiteResult result = RunSuiteWorkload(spec, config);
+  EXPECT_TRUE(result.finished) << spec.name;
+  EXPECT_FALSE(result.diverged) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPhoronix, SuiteSpecTest, ::testing::Range(0, 7));
+
+TEST(PropertyTest, MonitoredPlusUnmonitoredCoversEverything) {
+  // Under ReMon, every replica system call is either monitored or unmonitored;
+  // none bypass both monitors.
+  SimWorld w(66);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kNonsocketRw;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch(PropertyWorkload(30), "cover");
+  w.Run();
+  const SimStats& stats = w.sim.stats();
+  // Total calls counted by the kernel == monitored (lockstep rounds cover all
+  // replicas) * replicas + unmonitored + the handful of pre-registration calls.
+  EXPECT_GT(stats.syscalls_monitored, 0u);
+  EXPECT_GT(stats.syscalls_unmonitored, 0u);
+  EXPECT_GE(stats.syscalls_total,
+            stats.syscalls_monitored + stats.syscalls_unmonitored);
+}
+
+TEST(PropertyTest, StressManyIterationsNoDrift) {
+  // Long-running ReMon session: cursors, sequence numbers, RB resets, and the file
+  // map stay consistent over thousands of unmonitored calls.
+  SimWorld w(77);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kNonsocketRw;
+  opts.rb_size = 512 * 1024;
+  opts.max_ranks = 4;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch(PropertyWorkload(1500), "stress");
+  w.Run();
+  EXPECT_TRUE(mvee.finished());
+  EXPECT_FALSE(mvee.divergence_detected());
+  EXPECT_GT(w.sim.stats().rb_resets, 0u);  // The linear buffer wrapped many times.
+}
+
+}  // namespace
+}  // namespace remon

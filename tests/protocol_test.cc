@@ -1,0 +1,197 @@
+// Protocol-level tests for the trickiest split-monitor interactions: the VARAN-like
+// flush barrier, the §3.8 blocked-master abort/restart, temporal exemption end to
+// end, and master-run-ahead bounds.
+
+#include <gtest/gtest.h>
+
+#include "src/core/remon.h"
+#include "tests/test_util.h"
+
+namespace remon {
+namespace {
+
+TEST(ProtocolTest, VaranFlushBarrierRecyclesBuffer) {
+  // The VARAN-like monitor has no GHUMVEE to arbitrate resets: replicas synchronize
+  // through the in-buffer barrier. A tiny RB forces many barrier rounds.
+  SimWorld w(401);
+  RemonOptions opts;
+  opts.mode = MveeMode::kVaranLike;
+  opts.replicas = 3;
+  opts.rb_size = 128 * 1024;
+  opts.max_ranks = 2;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch([](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/varan-flush", kO_CREAT | kO_RDWR);
+    GuestAddr buf = g.Alloc(2048);
+    for (int i = 0; i < 150; ++i) {
+      co_await g.Write(static_cast<int>(fd), buf, 2048);
+    }
+    co_await g.Close(static_cast<int>(fd));
+  });
+  w.Run();
+  EXPECT_TRUE(mvee.finished());
+  EXPECT_GT(w.sim.stats().rb_resets, 0u);
+  EXPECT_EQ(w.fs.ReadWholeFile("/tmp/varan-flush")->size(), 150u * 2048u);
+  EXPECT_EQ(w.sim.stats().ptrace_stops, 0u);  // Still zero CP involvement.
+}
+
+TEST(ProtocolTest, BlockedMasterAbortedForSignalDelivery) {
+  // §3.8 end to end: the master blocks in an unmonitored read (empty pipe) while
+  // GHUMVEE must deliver a deferred timer signal. GHUMVEE sets the RB flag and
+  // aborts the master's call; the master restarts it as a monitored call (stub entry
+  // pulls the slaves along); the signal lands in all replicas at the same point.
+  SimWorld w(402);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kNonsocketRw;
+  Remon mvee(&w.kernel, opts);
+  int handler_runs = 0;
+  int64_t read_result = -999;
+  mvee.Launch([&](Guest& g) -> GuestTask<void> {
+    uint64_t cookie = g.RegisterHandler([&handler_runs](Guest&, int) -> GuestTask<void> {
+      ++handler_runs;
+      co_return;
+    });
+    co_await g.Sigaction(kSIGALRM, cookie);
+    GuestAddr fds = g.Alloc(8);
+    co_await g.Pipe(fds);
+    int rfd = static_cast<int>(g.PeekU32(fds));
+    // Arm a one-shot timer, then block in an unmonitored blocking read. The pipe
+    // never receives data before the signal.
+    GuestAddr its = g.Alloc(sizeof(GuestItimerspec));
+    GuestItimerspec spec;
+    spec.it_value = GuestTimespec{0, Millis(2)};
+    g.Poke(its, &spec, sizeof(spec));
+    co_await g.Syscall(Sys::kSetitimer, 0, its, 0);
+    GuestAddr buf = g.Alloc(32);
+    read_result = co_await g.Read(rfd, buf, 32);
+  });
+  w.Run();
+  EXPECT_TRUE(mvee.finished());
+  EXPECT_FALSE(mvee.divergence_detected());
+  // Both replicas ran the handler, and the read was interrupted.
+  EXPECT_EQ(handler_runs, 2);
+  EXPECT_EQ(read_result, -kEINTR);
+  EXPECT_GT(w.sim.stats().signals_deferred, 0u);
+}
+
+TEST(ProtocolTest, TemporalExemptionStaysTransparent) {
+  // With aggressive temporal exemption the routing of each call is probabilistic —
+  // but consistent across replicas, so outputs must still match a native run.
+  auto body = [](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/temporal-out", kO_CREAT | kO_RDWR);
+    GuestAddr buf = g.Alloc(64);
+    for (int i = 0; i < 120; ++i) {
+      std::string line = "L" + std::to_string(i) + ";";
+      g.Poke(buf, line.data(), line.size());
+      co_await g.Write(static_cast<int>(fd), buf, line.size());
+    }
+    co_await g.Close(static_cast<int>(fd));
+  };
+  std::string native_out;
+  {
+    SimWorld w(403);
+    RemonOptions opts;
+    opts.mode = MveeMode::kNative;
+    Remon mvee(&w.kernel, opts);
+    mvee.Launch(body);
+    w.Run();
+    native_out = w.fs.ReadWholeFile("/tmp/temporal-out").value_or("");
+  }
+  SimWorld w(403);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kBase;  // Writes monitored spatially...
+  opts.temporal.enabled = true;     // ...but temporally exemptible.
+  opts.temporal.approvals_required = 8;
+  opts.temporal.exempt_probability = 0.7;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch(body);
+  w.Run();
+  EXPECT_TRUE(mvee.finished());
+  EXPECT_FALSE(mvee.divergence_detected());
+  EXPECT_EQ(w.fs.ReadWholeFile("/tmp/temporal-out").value_or(""), native_out);
+  // Both routes were genuinely used.
+  EXPECT_GT(w.sim.stats().syscalls_monitored, 10u);
+  EXPECT_GT(w.sim.stats().syscalls_unmonitored, 10u);
+}
+
+TEST(ProtocolTest, MasterRunAheadBoundedByRb) {
+  // The master can run ahead of the slaves only until the RB (sub-buffer) fills;
+  // then it must wait for the flush barrier. With a slow slave (high per-replica
+  // dilation would be symmetric, so we use a tiny RB instead), the master's lead in
+  // *entries* can never exceed the sub-buffer capacity.
+  SimWorld w(404);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kNonsocketRw;
+  opts.rb_size = 128 * 1024;
+  opts.max_ranks = 2;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch([](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/ahead", kO_CREAT | kO_RDWR);
+    GuestAddr buf = g.Alloc(1024);
+    for (int i = 0; i < 300; ++i) {
+      co_await g.Write(static_cast<int>(fd), buf, 1024);
+    }
+    co_await g.Close(static_cast<int>(fd));
+  });
+  w.Run();
+  EXPECT_TRUE(mvee.finished());
+  EXPECT_FALSE(mvee.divergence_detected());
+  // Multiple flush barriers occurred: the run-ahead window was repeatedly closed.
+  EXPECT_GT(w.sim.stats().rb_resets, 2u);
+  EXPECT_EQ(w.fs.ReadWholeFile("/tmp/ahead")->size(), 300u * 1024u);
+}
+
+TEST(ProtocolTest, SevenReplicasHeavyIpmonTraffic) {
+  // The paper evaluates up to 7 replicas; stress the RB protocol at that width.
+  SimWorld w(405);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 7;
+  opts.level = PolicyLevel::kNonsocketRw;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch([](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/seven", kO_CREAT | kO_RDWR);
+    GuestAddr buf = g.Alloc(512);
+    GuestAddr st = g.Alloc(sizeof(GuestStat));
+    for (int i = 0; i < 200; ++i) {
+      co_await g.Write(static_cast<int>(fd), buf, 512);
+      co_await g.Fstat(static_cast<int>(fd), st);
+    }
+    co_await g.Close(static_cast<int>(fd));
+  });
+  w.Run();
+  EXPECT_TRUE(mvee.finished());
+  EXPECT_FALSE(mvee.divergence_detected());
+  EXPECT_EQ(w.fs.ReadWholeFile("/tmp/seven")->size(), 200u * 512u);
+  // Six slaves consumed each of the master's entries.
+  EXPECT_GT(w.sim.stats().rb_entries, 390u);
+}
+
+TEST(ProtocolTest, DivergenceInSeventhReplicaDetected) {
+  SimWorld w(406);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 7;
+  opts.level = PolicyLevel::kNonsocketRw;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch([](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/div7", kO_CREAT | kO_RDWR);
+    GuestAddr buf = g.Alloc(64);
+    std::string payload =
+        g.process()->replica_index == 6 ? "evil-....." : "benign....";
+    g.Poke(buf, payload.data(), 10);
+    co_await g.Write(static_cast<int>(fd), buf, 10);
+    co_await g.Close(static_cast<int>(fd));
+  });
+  w.Run();
+  EXPECT_TRUE(mvee.divergence_detected());
+}
+
+}  // namespace
+}  // namespace remon

@@ -1,0 +1,174 @@
+// Unit tests for the replication buffer and the file map.
+
+#include <gtest/gtest.h>
+
+#include "src/core/file_map.h"
+#include "src/core/replication_buffer.h"
+#include "tests/test_util.h"
+
+namespace remon {
+namespace {
+
+class RbTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kRbSize = 1 << 20;
+  static constexpr int kRanks = 4;
+
+  void SetUp() override {
+    master_ = w_.NewProcess("rb-master");
+    slave_ = w_.NewProcess("rb-slave");
+    // Shared frames mapped at different addresses, as in the real system.
+    ASSERT_TRUE(master_->mem().MapFixed(0x7100'0000'0000ULL, kRbSize,
+                                        kProtRead | kProtWrite, true, "rb"));
+    std::vector<PageRef> frames = master_->mem().FramesFor(0x7100'0000'0000ULL, kRbSize);
+    ASSERT_TRUE(slave_->mem().MapFixedBacked(0x7f33'0000'0000ULL, kRbSize,
+                                             kProtRead | kProtWrite, true, "rb", frames));
+    master_view_ = RbView(master_, 0x7100'0000'0000ULL, kRbSize, kRanks);
+    slave_view_ = RbView(slave_, 0x7f33'0000'0000ULL, kRbSize, kRanks);
+  }
+
+  SimWorld w_;
+  Process* master_ = nullptr;
+  Process* slave_ = nullptr;
+  RbView master_view_;
+  RbView slave_view_;
+};
+
+TEST_F(RbTest, LayoutPartitionsRanks) {
+  EXPECT_EQ(master_view_.SubBufferSize(), (kRbSize - kRbGlobalHeaderSize) / kRanks);
+  for (int r = 0; r + 1 < kRanks; ++r) {
+    EXPECT_EQ(master_view_.RankDataEnd(r), master_view_.RankStart(r + 1));
+    EXPECT_GT(master_view_.RankDataStart(r), master_view_.RankStart(r));
+  }
+  EXPECT_LE(master_view_.RankDataEnd(kRanks - 1), kRbSize);
+}
+
+TEST_F(RbTest, WritesVisibleThroughOtherMapping) {
+  master_view_.WriteU64(128, 0xfeedface12345678ULL);
+  EXPECT_EQ(slave_view_.ReadU64(128), 0xfeedface12345678ULL);
+}
+
+TEST_F(RbTest, SignalsPendingFlagShared) {
+  EXPECT_FALSE(slave_view_.SignalsPending());
+  master_view_.SetSignalsPending(true);
+  EXPECT_TRUE(slave_view_.SignalsPending());
+  master_view_.SetSignalsPending(false);
+  EXPECT_FALSE(slave_view_.SignalsPending());
+}
+
+TEST_F(RbTest, EntryLifecycle) {
+  uint64_t off = master_view_.RankDataStart(0);
+  std::vector<uint8_t> sig = {1, 2, 3, 4, 5};
+  uint64_t size = RbEntryOps::EntrySize(sig.size(), 64);
+  EXPECT_EQ(size % 8, 0u);
+
+  // Initially empty through either view.
+  EXPECT_EQ(RbEntryOps::ReadHeader(slave_view_, off).state, kRbEmpty);
+
+  RbEntryOps::CommitArgs(master_view_, off, Sys::kRead,
+                         kRbFlagMasterCall | kRbFlagMaybeBlocking, 7, size, sig);
+  RbEntryHeader h = RbEntryOps::ReadHeader(slave_view_, off);
+  EXPECT_EQ(h.state, kRbArgsReady);
+  EXPECT_EQ(h.sysno, static_cast<uint32_t>(Sys::kRead));
+  EXPECT_EQ(h.seq, 7u);
+  EXPECT_TRUE(h.flags & kRbFlagMaybeBlocking);
+  EXPECT_EQ(RbEntryOps::ReadSignature(slave_view_, off), sig);
+
+  std::vector<uint8_t> payload = {9, 9, 9};
+  uint32_t waiters = RbEntryOps::CommitResults(master_view_, off, 42, payload);
+  EXPECT_EQ(waiters, 0u);
+  h = RbEntryOps::ReadHeader(slave_view_, off);
+  EXPECT_EQ(h.state, kRbResultsReady);
+  EXPECT_EQ(h.result, 42);
+  EXPECT_EQ(RbEntryOps::ReadPayload(slave_view_, off), payload);
+}
+
+TEST_F(RbTest, WaiterCountTracksSlaves) {
+  uint64_t off = master_view_.RankDataStart(1);
+  std::vector<uint8_t> sig = {1};
+  RbEntryOps::CommitArgs(master_view_, off, Sys::kWrite, 0, 0, 64, sig);
+  RbEntryOps::AddWaiter(slave_view_, off);
+  RbEntryOps::AddWaiter(slave_view_, off);
+  EXPECT_EQ(RbEntryOps::ReadHeader(master_view_, off).waiters, 2u);
+  uint32_t woken = RbEntryOps::CommitResults(master_view_, off, 0, {});
+  EXPECT_EQ(woken, 2u);  // Master must issue FUTEX_WAKE.
+  RbEntryOps::RemoveWaiter(slave_view_, off);
+  RbEntryOps::RemoveWaiter(slave_view_, off);
+  EXPECT_EQ(RbEntryOps::ReadHeader(master_view_, off).waiters, 0u);
+}
+
+TEST_F(RbTest, ZeroClearsRange) {
+  uint64_t off = master_view_.RankDataStart(2);
+  master_view_.WriteU64(off, 0x1111111111111111ULL);
+  master_view_.WriteU64(off + 4096, 0x2222222222222222ULL);
+  master_view_.Zero(off, 8192);
+  EXPECT_EQ(slave_view_.ReadU64(off), 0u);
+  EXPECT_EQ(slave_view_.ReadU64(off + 4096), 0u);
+}
+
+TEST_F(RbTest, EntrySizeAlignsAndCovers) {
+  for (uint64_t sig : {0ULL, 1ULL, 63ULL, 64ULL, 1000ULL}) {
+    for (uint64_t out : {0ULL, 8ULL, 4096ULL}) {
+      uint64_t size = RbEntryOps::EntrySize(sig, out);
+      EXPECT_EQ(size % 8, 0u);
+      EXPECT_GE(size, kRbEntryHeaderSize + sig + out);
+    }
+  }
+}
+
+// --- FileMap --------------------------------------------------------------------
+
+TEST(FileMapTest, SetClearLookup) {
+  FileMap fm;
+  EXPECT_FALSE(fm.IsValid(5));
+  EXPECT_EQ(fm.TypeOf(5), FdType::kFree);
+  fm.Set(5, FdType::kSocket, true);
+  EXPECT_TRUE(fm.IsValid(5));
+  EXPECT_EQ(fm.TypeOf(5), FdType::kSocket);
+  EXPECT_TRUE(fm.IsNonblocking(5));
+  fm.Clear(5);
+  EXPECT_FALSE(fm.IsValid(5));
+}
+
+TEST(FileMapTest, NonblockingToggle) {
+  FileMap fm;
+  fm.Set(3, FdType::kPipe, false);
+  EXPECT_FALSE(fm.IsNonblocking(3));
+  fm.SetNonblocking(3, true);
+  EXPECT_TRUE(fm.IsNonblocking(3));
+  EXPECT_EQ(fm.TypeOf(3), FdType::kPipe);  // Type survives the flag change.
+  fm.SetNonblocking(3, false);
+  EXPECT_FALSE(fm.IsNonblocking(3));
+}
+
+TEST(FileMapTest, OutOfRangeIsSafe) {
+  FileMap fm;
+  fm.Set(-1, FdType::kSocket, false);
+  fm.Set(FileMap::kMaxFds + 10, FdType::kSocket, false);
+  EXPECT_FALSE(fm.IsValid(-1));
+  EXPECT_FALSE(fm.IsValid(FileMap::kMaxFds + 10));
+}
+
+TEST(FileMapTest, IsOnePageAsInPaper) {
+  // "We maintain exactly one byte of metadata per FD, resulting in a page-sized
+  // file map."
+  EXPECT_EQ(static_cast<uint64_t>(FileMap::kMaxFds), kPageSize);
+}
+
+TEST(FileMapTest, SharedPageVisibleThroughGuestMapping) {
+  SimWorld w;
+  Process* p = w.NewProcess("fm");
+  FileMap fm;
+  ASSERT_TRUE(p->mem().MapFixedBacked(0x7e00'0000'0000ULL, kPageSize, kProtRead, true,
+                                      "ipmon-filemap", {fm.page()}));
+  fm.Set(9, FdType::kSocket, true);
+  uint8_t byte = 0;
+  ASSERT_TRUE(p->mem().Read(0x7e00'0000'0000ULL + 9, &byte, 1).ok);
+  EXPECT_EQ(byte & FileMap::kTypeMask, static_cast<uint8_t>(FdType::kSocket));
+  EXPECT_TRUE(byte & FileMap::kNonblockBit);
+  // The mapping is read-only: replicas cannot forge metadata.
+  EXPECT_FALSE(p->mem().Write(0x7e00'0000'0000ULL + 9, &byte, 1).ok);
+}
+
+}  // namespace
+}  // namespace remon

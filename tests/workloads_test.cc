@@ -1,0 +1,248 @@
+// Tests for the workload library: servers (all three concurrency models), clients,
+// suite-spec derivation, and the sync agent.
+
+#include <gtest/gtest.h>
+
+#include "src/core/sync_agent.h"
+#include "src/harness/runner.h"
+#include "tests/test_util.h"
+
+namespace remon {
+namespace {
+
+// --- Servers ----------------------------------------------------------------------
+
+class ServerKindTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ServerKindTest, ServesKeepAliveRequestsNatively) {
+  ServerSpec server = ServerByName(GetParam());
+  ClientSpec client;
+  client.connections = 4;
+  client.total_requests = 60;
+  client.request_bytes = 1024;
+  RunConfig native;
+  native.mode = MveeMode::kNative;
+  ServerResult r = RunServerBench(server, client, native,
+                                  LinkParams{60 * kMicrosecond, 0.125});
+  EXPECT_EQ(r.requests, 60) << server.name;
+  EXPECT_GT(r.throughput, 0) << server.name;
+  EXPECT_GT(r.mean_latency_us, 0) << server.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllServers, ServerKindTest,
+                         ::testing::Values("nginx", "lighttpd", "thttpd", "apache",
+                                           "redis", "memcached", "beanstalkd"));
+
+TEST(ServerTest, PaperServerSetIsComplete) {
+  std::vector<ServerSpec> servers = PaperServers();
+  EXPECT_EQ(servers.size(), 7u);
+  // The three concurrency models the paper's server fleet spans.
+  bool has_epoll = false;
+  bool has_select = false;
+  bool has_pool = false;
+  for (const ServerSpec& s : servers) {
+    has_epoll |= s.kind == ServerKind::kEpollLoop;
+    has_select |= s.kind == ServerKind::kSelectLoop;
+    has_pool |= s.kind == ServerKind::kThreadPool;
+  }
+  EXPECT_TRUE(has_epoll);
+  EXPECT_TRUE(has_select);
+  EXPECT_TRUE(has_pool);
+}
+
+TEST(ServerTest, MalformedRequestClosesConnection) {
+  SimWorld w(3);
+  ServerSpec spec = ServerByName("lighttpd");
+  RemonOptions opts;
+  opts.mode = MveeMode::kNative;
+  opts.machine = w.server_machine;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch(ServerProgram(spec), "srv");
+
+  Process* cp = w.NewProcess("client", -1, w.client_machine);
+  bool got_eof = false;
+  w.kernel.SpawnThread(cp, [&](Guest& g) -> GuestTask<void> {
+    co_await g.SleepNs(Millis(1));
+    int64_t s = co_await g.Socket(kAfInet, kSockStream);
+    GuestAddr sa = g.Alloc(sizeof(GuestSockaddrIn));
+    GuestSockaddrIn addr;
+    addr.sin_port = spec.port;
+    addr.sin_addr = 0;
+    g.Poke(sa, &addr, sizeof(addr));
+    EXPECT_EQ(co_await g.Connect(static_cast<int>(s), sa, sizeof(addr)), 0);
+    GuestAddr buf = g.Alloc(16);
+    g.Poke(buf, "GARBAGE!!\n", 10);  // Not "R<8 digits>\n".
+    co_await g.Write(static_cast<int>(s), buf, 10);
+    int64_t n = co_await g.Read(static_cast<int>(s), buf, 16);
+    got_eof = n == 0;  // Server closes on protocol error.
+    co_await g.Close(static_cast<int>(s));
+  });
+  w.Run();
+  EXPECT_TRUE(got_eof);
+}
+
+TEST(ClientTest, DurationModeStopsOnDeadline) {
+  ServerSpec server = ServerByName("redis");
+  ClientSpec client;
+  client.connections = 4;
+  client.total_requests = 0;
+  client.duration = Millis(20);  // wrk-style.
+  client.request_bytes = 256;
+  RunConfig native;
+  native.mode = MveeMode::kNative;
+  ServerResult r = RunServerBench(server, client, native,
+                                  LinkParams{60 * kMicrosecond, 0.125});
+  EXPECT_GT(r.requests, 10);
+  EXPECT_LT(r.seconds, 0.05);  // Bounded by the deadline (plus in-flight requests).
+}
+
+// --- Suite specs -------------------------------------------------------------------
+
+TEST(SuiteSpecTest, DerivationProducesSaneFootprints) {
+  for (const auto& suite : {ParsecSuite(), SplashSuite(), PhoronixSuite()}) {
+    for (const WorkloadSpec& spec : suite) {
+      EXPECT_GE(spec.iterations, 10) << spec.name;
+      EXPECT_LE(spec.CallsPerIter(), 24) << spec.name;
+      EXPECT_GE(spec.compute_per_iter, 100) << spec.name;
+      EXPECT_GE(spec.mem_intensity, 0.0) << spec.name;
+      // Per-extra-replica slowdown fraction; syscall-saturated benchmarks
+      // (network-loopback) legitimately exceed 1.0.
+      EXPECT_LE(spec.mem_intensity, 2.5) << spec.name;
+      EXPECT_GT(spec.paper_ghumvee, 0.5) << spec.name;
+    }
+  }
+}
+
+TEST(SuiteSpecTest, SuitesMatchPaperRosters) {
+  EXPECT_EQ(ParsecSuite().size(), 12u);   // canneal excluded, as in the paper.
+  EXPECT_EQ(SplashSuite().size(), 13u);   // cholesky excluded, as in the paper.
+  EXPECT_EQ(PhoronixSuite().size(), 7u);  // + the nginx server column in the bench.
+  EXPECT_EQ(SpecCpuSuite().size(), 12u);  // SPECint 2006 roster.
+}
+
+TEST(SuiteSpecTest, SuiteProgramIsDeterministicAcrossRuns) {
+  WorkloadSpec spec = PhoronixSuite()[0];
+  spec.iterations = 50;
+  RunConfig config;
+  config.mode = MveeMode::kNative;
+  SuiteResult a = RunSuiteWorkload(spec, config);
+  SuiteResult b = RunSuiteWorkload(spec, config);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.stats.syscalls_total, b.stats.syscalls_total);
+}
+
+// --- Sync agent (paper §2.3) -----------------------------------------------------
+
+TEST(SyncAgentTest, MasterRecordsSlaveReplays) {
+  SimWorld w(21);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kNonsocketRw;
+  opts.use_sync_agent = true;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch([&mvee](Guest& g) -> GuestTask<void> {
+    SyncAgent* agent = mvee.sync_agent(g.process()->replica_index);
+    for (int i = 0; i < 5; ++i) {
+      co_await agent->BeforeAcquire(g, /*object_id=*/42);
+      co_await g.Compute(Micros(5));
+    }
+  });
+  w.Run();
+  EXPECT_FALSE(mvee.divergence_detected());
+  EXPECT_EQ(mvee.sync_agent(0)->ops_recorded(), 5u);
+  EXPECT_EQ(mvee.sync_agent(1)->ops_replayed(), 5u);
+}
+
+TEST(SyncAgentTest, RacyWorkQueueStaysInLockstepWithAgent) {
+  // Two threads race to pop work items; the item each thread gets determines its
+  // syscall arguments. Without ordering this diverges across replicas; the agent
+  // serializes the acquisitions identically everywhere.
+  SimWorld w(22);
+  RemonOptions opts;
+  opts.mode = MveeMode::kGhumveeOnly;  // Strictest: every call in lockstep.
+  opts.replicas = 2;
+  opts.use_sync_agent = true;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch([&mvee](Guest& g) -> GuestTask<void> {
+    SyncAgent* agent = mvee.sync_agent(g.process()->replica_index);
+    GuestAddr next_item = g.Alloc(4);
+    g.PokeU32(next_item, 0);
+    GuestAddr join = g.Alloc(8);
+    co_await g.Pipe(join);
+    int join_rd = static_cast<int>(g.PeekU32(join));
+    int join_wr = static_cast<int>(g.PeekU32(join + 4));
+
+    auto worker = [agent, next_item, join_wr](int id) -> ProgramFn {
+      return [agent, next_item, join_wr, id](Guest& wg) -> GuestTask<void> {
+        int64_t fd = co_await wg.Open("/tmp/work-" + std::to_string(id),
+                                      kO_CREAT | kO_RDWR);
+        GuestAddr buf = wg.Alloc(32);
+        for (int i = 0; i < 4; ++i) {
+          co_await wg.Compute(Micros(10 + id * 7));  // Skewed timing.
+          co_await agent->BeforeAcquire(wg, /*object_id=*/1);
+          uint32_t item = wg.PeekU32(next_item);  // The racy shared pop.
+          wg.PokeU32(next_item, item + 1);
+          std::string line = "item" + std::to_string(item) + ";";
+          wg.Poke(buf, line.data(), line.size());
+          co_await wg.Write(static_cast<int>(fd), buf, line.size());
+        }
+        co_await wg.Close(static_cast<int>(fd));
+        wg.Poke(buf, "D", 1);
+        co_await wg.Write(join_wr, buf, 1);
+      };
+    };
+    co_await g.SpawnThread(g.RegisterThreadFn(worker(0)));
+    co_await g.SpawnThread(g.RegisterThreadFn(worker(1)));
+    GuestAddr sink = g.Alloc(2);
+    int done = 0;
+    while (done < 2) {
+      int64_t n = co_await g.Read(join_rd, sink, static_cast<uint64_t>(2 - done));
+      REMON_CHECK(n > 0);
+      done += static_cast<int>(n);
+    }
+  });
+  w.Run();
+  EXPECT_TRUE(mvee.finished());
+  EXPECT_FALSE(mvee.divergence_detected());
+  // All 8 items popped exactly once, across both files.
+  std::string all = w.fs.ReadWholeFile("/tmp/work-0").value_or("") +
+                    w.fs.ReadWholeFile("/tmp/work-1").value_or("");
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NE(all.find("item" + std::to_string(i) + ";"), std::string::npos) << i;
+  }
+}
+
+// --- Cross-cutting: getrandom must replicate -------------------------------------
+
+TEST(WorkloadTest, GetrandomReplicatedAcrossReplicas) {
+  // Random bytes are inherently divergent state: they must be monitored and the
+  // master's draw copied to the slaves, or replicas drift apart.
+  SimWorld w(23);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 2;
+  opts.level = PolicyLevel::kSocketRw;
+  Remon mvee(&w.kernel, opts);
+  std::string seen[2];
+  mvee.Launch([&seen](Guest& g) -> GuestTask<void> {
+    GuestAddr buf = g.Alloc(32);
+    int64_t n = co_await g.Getrandom(buf, 32);
+    EXPECT_EQ(n, 32);
+    seen[g.process()->replica_index] = g.PeekString(buf, 32);
+    // Behavior then depends on the random bytes — identical across replicas or the
+    // next call diverges.
+    if (static_cast<uint8_t>(seen[g.process()->replica_index][0]) % 2 == 0) {
+      co_await g.Getpid();
+    } else {
+      co_await g.Gettid();
+    }
+  });
+  w.Run();
+  EXPECT_FALSE(mvee.divergence_detected());
+  EXPECT_EQ(seen[0], seen[1]);
+  EXPECT_FALSE(seen[0].empty());
+}
+
+}  // namespace
+}  // namespace remon

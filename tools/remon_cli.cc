@@ -1,0 +1,201 @@
+// remon_cli: command-line driver for the library.
+//
+//   remon_cli [--mode=native|ghumvee|remon|varan] [--replicas=N]
+//             [--level=base|nonsocket_ro|nonsocket_rw|socket_ro|socket_rw]
+//             [--workload=NAME | --server=NAME] [--seed=N] [--latency-us=N]
+//             [--connections=N] [--requests=N] [--temporal-p=F] [--rb-mb=N]
+//             [--rb-migration] [--list]
+//
+// Runs one workload (a suite benchmark by name, or a server benchmark driven by a
+// closed-loop client) under the chosen MVEE configuration and prints a run report.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/harness/runner.h"
+#include "src/harness/table.h"
+
+namespace remon {
+namespace {
+
+struct CliArgs {
+  MveeMode mode = MveeMode::kRemon;
+  int replicas = 2;
+  PolicyLevel level = PolicyLevel::kSocketRw;
+  std::string workload;
+  std::string server;
+  uint64_t seed = 1;
+  int latency_us = 60;
+  int connections = 16;
+  int requests = 400;
+  double temporal_p = 0.0;
+  uint64_t rb_mb = 16;
+  bool rb_migration = false;
+  bool list = false;
+  bool ok = true;
+};
+
+bool StartsWith(const char* arg, const char* prefix, const char** value) {
+  size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) == 0) {
+    *value = arg + n;
+    return true;
+  }
+  return false;
+}
+
+CliArgs Parse(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (StartsWith(argv[i], "--mode=", &v)) {
+      std::string m = v;
+      if (m == "native") args.mode = MveeMode::kNative;
+      else if (m == "ghumvee") args.mode = MveeMode::kGhumveeOnly;
+      else if (m == "remon") args.mode = MveeMode::kRemon;
+      else if (m == "varan") args.mode = MveeMode::kVaranLike;
+      else args.ok = false;
+    } else if (StartsWith(argv[i], "--replicas=", &v)) {
+      args.replicas = std::atoi(v);
+    } else if (StartsWith(argv[i], "--level=", &v)) {
+      std::string l = v;
+      if (l == "base") args.level = PolicyLevel::kBase;
+      else if (l == "nonsocket_ro") args.level = PolicyLevel::kNonsocketRo;
+      else if (l == "nonsocket_rw") args.level = PolicyLevel::kNonsocketRw;
+      else if (l == "socket_ro") args.level = PolicyLevel::kSocketRo;
+      else if (l == "socket_rw") args.level = PolicyLevel::kSocketRw;
+      else args.ok = false;
+    } else if (StartsWith(argv[i], "--workload=", &v)) {
+      args.workload = v;
+    } else if (StartsWith(argv[i], "--server=", &v)) {
+      args.server = v;
+    } else if (StartsWith(argv[i], "--seed=", &v)) {
+      args.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (StartsWith(argv[i], "--latency-us=", &v)) {
+      args.latency_us = std::atoi(v);
+    } else if (StartsWith(argv[i], "--connections=", &v)) {
+      args.connections = std::atoi(v);
+    } else if (StartsWith(argv[i], "--requests=", &v)) {
+      args.requests = std::atoi(v);
+    } else if (StartsWith(argv[i], "--temporal-p=", &v)) {
+      args.temporal_p = std::atof(v);
+    } else if (StartsWith(argv[i], "--rb-mb=", &v)) {
+      args.rb_mb = static_cast<uint64_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--rb-migration") == 0) {
+      args.rb_migration = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      args.list = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      args.ok = false;
+    }
+  }
+  return args;
+}
+
+void ListWorkloads() {
+  std::printf("suite workloads (use --workload=NAME):\n");
+  for (const auto& suite : {ParsecSuite(), SplashSuite(), PhoronixSuite(), SpecCpuSuite()}) {
+    for (const WorkloadSpec& spec : suite) {
+      std::printf("  %-18s (%s)\n", spec.name.c_str(), spec.suite.c_str());
+    }
+  }
+  std::printf("servers (use --server=NAME):\n");
+  for (const ServerSpec& s : PaperServers()) {
+    std::printf("  %-18s (workers=%d)\n", s.name.c_str(), s.workers);
+  }
+}
+
+void PrintStats(const SimStats& stats) {
+  std::printf("  syscalls: total=%llu monitored=%llu unmonitored=%llu\n",
+              static_cast<unsigned long long>(stats.syscalls_total),
+              static_cast<unsigned long long>(stats.syscalls_monitored),
+              static_cast<unsigned long long>(stats.syscalls_unmonitored));
+  std::printf("  ptrace stops=%llu | tokens issued=%llu revoked=%llu | rb entries=%llu "
+              "resets=%llu\n",
+              static_cast<unsigned long long>(stats.ptrace_stops),
+              static_cast<unsigned long long>(stats.tokens_issued),
+              static_cast<unsigned long long>(stats.tokens_revoked),
+              static_cast<unsigned long long>(stats.rb_entries),
+              static_cast<unsigned long long>(stats.rb_resets));
+}
+
+int Run(const CliArgs& args) {
+  RunConfig config;
+  config.mode = args.mode;
+  config.replicas = args.replicas;
+  config.level = args.level;
+  config.seed = args.seed;
+  config.rb_size = args.rb_mb * 1024 * 1024;
+  if (args.temporal_p > 0) {
+    config.temporal.enabled = true;
+    config.temporal.exempt_probability = args.temporal_p;
+  }
+
+  if (!args.server.empty()) {
+    ServerSpec server = ServerByName(args.server);
+    ClientSpec client;
+    client.connections = args.connections;
+    client.total_requests = args.requests;
+    LinkParams link{static_cast<DurationNs>(args.latency_us) * kMicrosecond, 0.125};
+    RunConfig native = config;
+    native.mode = MveeMode::kNative;
+    ServerResult base = RunServerBench(server, client, native, link);
+    ServerResult run = RunServerBench(server, client, config, link);
+    std::printf("server %s under %s (%d replicas, %s, %d us link):\n",
+                server.name.c_str(), std::string(MveeModeName(args.mode)).c_str(),
+                args.replicas, std::string(PolicyLevelName(args.level)).c_str(),
+                args.latency_us);
+    std::printf("  native: %d requests, %.0f req/s, %.0f us mean latency\n",
+                base.requests, base.throughput, base.mean_latency_us);
+    std::printf("  mvee:   %d requests, %.0f req/s, %.0f us mean latency%s\n",
+                run.requests, run.throughput, run.mean_latency_us,
+                run.diverged ? "  [DIVERGED]" : "");
+    if (base.seconds > 0 && run.seconds > 0) {
+      std::printf("  normalized runtime: %.2f\n", run.seconds / base.seconds);
+    }
+    PrintStats(run.stats);
+    return run.diverged ? 2 : 0;
+  }
+
+  std::string name = args.workload.empty() ? "phpbench" : args.workload;
+  for (const auto& suite : {ParsecSuite(), SplashSuite(), PhoronixSuite(), SpecCpuSuite()}) {
+    for (const WorkloadSpec& spec : suite) {
+      if (spec.name == name) {
+        RunConfig native = config;
+        native.mode = MveeMode::kNative;
+        SuiteResult base = RunSuiteWorkload(spec, native);
+        SuiteResult run = RunSuiteWorkload(spec, config);
+        std::printf("workload %s under %s (%d replicas, %s):\n", spec.name.c_str(),
+                    std::string(MveeModeName(args.mode)).c_str(), args.replicas,
+                    std::string(PolicyLevelName(args.level)).c_str());
+        std::printf("  native: %.2f ms | mvee: %.2f ms | normalized: %.2f%s\n",
+                    base.seconds * 1e3, run.seconds * 1e3,
+                    base.seconds > 0 ? run.seconds / base.seconds : 0,
+                    run.diverged ? "  [DIVERGED]" : "");
+        PrintStats(run.stats);
+        return run.diverged ? 2 : 0;
+      }
+    }
+  }
+  std::fprintf(stderr, "unknown workload '%s' (try --list)\n", name.c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace remon
+
+int main(int argc, char** argv) {
+  remon::CliArgs args = remon::Parse(argc, argv);
+  if (!args.ok) {
+    std::fprintf(stderr, "usage: remon_cli [--mode=..] [--replicas=N] [--level=..] "
+                         "[--workload=NAME|--server=NAME] [--list]\n");
+    return 1;
+  }
+  if (args.list) {
+    remon::ListWorkloads();
+    return 0;
+  }
+  return remon::Run(args);
+}
