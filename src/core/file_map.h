@@ -12,13 +12,16 @@
 
 #include <cstdint>
 
+#include "src/kernel/syscall_meta.h"
 #include "src/mem/page.h"
 #include "src/sim/check.h"
 #include "src/vfs/file.h"
 
 namespace remon {
 
-class FileMap {
+// The file map doubles as the FdInfoSource behind the descriptor registry's
+// classification helpers (EffectiveFdType / PredictBlocking).
+class FileMap : public FdInfoSource {
  public:
   // One byte per FD; a single page covers every descriptor a replica can hold.
   static constexpr int kMaxFds = static_cast<int>(kPageSize);
@@ -71,6 +74,11 @@ class FileMap {
   bool IsNonblocking(int fd) const {
     return IsValid(fd) && (page_->bytes[static_cast<size_t>(fd)] & kNonblockBit) != 0;
   }
+
+  // FdInfoSource:
+  bool FdValid(int fd) const override { return IsValid(fd); }
+  FdType FdTypeOf(int fd) const override { return TypeOf(fd); }
+  bool FdNonblocking(int fd) const override { return IsNonblocking(fd); }
 
  private:
   static bool InRange(int fd) { return fd >= 0 && fd < kMaxFds; }

@@ -151,6 +151,14 @@ GuestTask<void> Ghumvee::HandleEntryStop(Thread* t) {
   int rank = t->rank();
   int ridx = ReplicaIndexOf(t->process());
   REMON_CHECK(ridx >= 0);
+  if (ridx == 0 && !ipmons_.empty() && ipmons_[0] != nullptr) {
+    // The master entering a monitored call leaves the IP-MON fast path: publish any
+    // batched RB results first, or the slaves could sit spinning on deferred entries
+    // while the master parks in this lockstep round.
+    if (ipmons_[0]->FlushRbBatches() > 0) {
+      co_await Work(kernel_->sim()->costs().futex_wake_ns);
+    }
+  }
   RankState& rs = ranks_[rank];
   if (rs.pending.empty()) {
     rs.pending.assign(static_cast<size_t>(num_replicas()), nullptr);
@@ -261,30 +269,16 @@ GuestTask<void> Ghumvee::RunLockstep(int rank, RankState& rs) {
       int epfd = static_cast<int>(t->cur_req.arg(0));
       int op = static_cast<int>(t->cur_req.arg(1));
       int fd = static_cast<int>(t->cur_req.arg(2));
-      if (op == kEpollCtlDel) {
-        auto it = epoll_shadow_[static_cast<size_t>(i)].find({epfd, fd});
-        if (it != epoll_shadow_[static_cast<size_t>(i)].end()) {
-          if (i == 0) {
-            epoll_rev_master_.erase({epfd, it->second});
-          }
-          epoll_shadow_[static_cast<size_t>(i)].erase(it);
-        }
-        if (ipmons_[static_cast<size_t>(i)] != nullptr) {
-          ipmons_[static_cast<size_t>(i)]->RecordEpollShadowDirect(epfd, op, fd, 0);
-        }
+      GuestEpollEvent ev{0, 0};
+      if (op != kEpollCtlDel &&
+          !kernel_->TracerRead(t->process(), t->cur_req.arg(3), &ev, sizeof(ev))) {
         continue;
       }
-      GuestEpollEvent ev;
-      if (kernel_->TracerRead(t->process(), t->cur_req.arg(3), &ev, sizeof(ev))) {
-        epoll_shadow_[static_cast<size_t>(i)][{epfd, fd}] = ev.data;
-        if (i == 0) {
-          epoll_rev_master_[{epfd, ev.data}] = fd;
-        }
-        // Keep IP-MON's shadow in sync: at some policy levels epoll_ctl is monitored
-        // while epoll_wait is exempt (paper Table 1, SOCKET_RO).
-        if (ipmons_[static_cast<size_t>(i)] != nullptr) {
-          ipmons_[static_cast<size_t>(i)]->RecordEpollShadowDirect(epfd, op, fd, ev.data);
-        }
+      epoll_shadow_[static_cast<size_t>(i)].Record(epfd, op, fd, ev.data);
+      // Keep IP-MON's shadow in sync: at some policy levels epoll_ctl is monitored
+      // while epoll_wait is exempt (paper Table 1, SOCKET_RO).
+      if (ipmons_[static_cast<size_t>(i)] != nullptr) {
+        ipmons_[static_cast<size_t>(i)]->RecordEpollShadowDirect(epfd, op, fd, ev.data);
       }
     }
   }
@@ -347,17 +341,13 @@ GuestTask<void> Ghumvee::ReplicateMasterResults(int rank, RankState& rs,
           // authoritative in GHUMVEE's maps (monitored epoll_ctl) or in IP-MON's
           // (exempt epoll_ctl).
           int fd_val = -1;
-          auto fd_it = epoll_rev_master_.find({epfd, ev.data});
-          if (fd_it != epoll_rev_master_.end()) {
-            fd_val = fd_it->second;
-          } else if (ipmons_[0] != nullptr) {
+          if (!epoll_shadow_[0].FdForData(epfd, ev.data, &fd_val) &&
+              ipmons_[0] != nullptr) {
             ipmons_[0]->LookupEpollFd(epfd, ev.data, &fd_val);
           }
           if (fd_val >= 0) {
-            auto data_it = epoll_shadow_[static_cast<size_t>(i)].find({epfd, fd_val});
-            if (data_it != epoll_shadow_[static_cast<size_t>(i)].end()) {
-              ev.data = data_it->second;
-            } else if (ipmons_[static_cast<size_t>(i)] != nullptr) {
+            if (!epoll_shadow_[static_cast<size_t>(i)].DataForFd(epfd, fd_val, &ev.data) &&
+                ipmons_[static_cast<size_t>(i)] != nullptr) {
               ipmons_[static_cast<size_t>(i)]->LookupEpollData(epfd, fd_val, &ev.data);
             }
           }
@@ -576,21 +566,24 @@ bool Ghumvee::IsSharedMemoryViolation(const SyscallRequest& req) const {
 void Ghumvee::TrackFds(const SyscallRequest& req, int64_t result) {
   Process* master = replicas_[0];
   const SyscallDesc& d = DescOf(req.nr);
-  if (d.returns_fd && result >= 0) {
-    auto desc = master->fds().Get(static_cast<int>(result));
-    if (desc) {
-      file_map_.Set(static_cast<int>(result), desc->file()->type(), desc->nonblocking());
-    }
-    return;
-  }
-  switch (req.nr) {
-    case Sys::kClose:
+  switch (d.fd_effect) {
+    case FdEffect::kNone:
+      break;
+    case FdEffect::kCreatesFd:
+      if (result >= 0) {
+        auto desc = master->fds().Get(static_cast<int>(result));
+        if (desc) {
+          file_map_.Set(static_cast<int>(result), desc->file()->type(),
+                        desc->nonblocking());
+        }
+      }
+      break;
+    case FdEffect::kClosesFd:
       if (result == 0) {
         file_map_.Clear(static_cast<int>(req.arg(0)));
       }
       break;
-    case Sys::kPipe:
-    case Sys::kPipe2:
+    case FdEffect::kCreatesFdPair:
       if (result == 0) {
         int32_t fds[2] = {-1, -1};
         kernel_->TracerRead(master, req.arg(0), fds, sizeof(fds));
@@ -602,13 +595,27 @@ void Ghumvee::TrackFds(const SyscallRequest& req, int64_t result) {
         }
       }
       break;
-    case Sys::kFcntl:
-      if (static_cast<int>(req.arg(1)) == kF_SETFL) {
+    case FdEffect::kSetsFdFlags:
+      // The descriptor's control gate names the encoding: fcntl carries the flag word
+      // in arg 2, ioctl FIONBIO points at an int in guest memory.
+      if (d.ctl_gate == CtlGate::kFcntl && static_cast<int>(req.arg(1)) == kF_SETFL) {
         file_map_.SetNonblocking(static_cast<int>(req.arg(0)),
                                  (req.arg(2) & static_cast<uint64_t>(kO_NONBLOCK)) != 0);
+      } else if (d.ctl_gate == CtlGate::kFcntl &&
+                 static_cast<int>(req.arg(1)) == kF_DUPFD && result >= 0) {
+        // F_DUPFD is forwarded exactly so the map can learn the new descriptor.
+        auto desc = master->fds().Get(static_cast<int>(result));
+        if (desc) {
+          file_map_.Set(static_cast<int>(result), desc->file()->type(),
+                        desc->nonblocking());
+        }
+      } else if (d.ctl_gate == CtlGate::kIoctl && req.arg(1) == kIoctlFionbio &&
+                 result == 0) {
+        uint32_t on = 0;
+        if (kernel_->TracerRead(master, req.arg(2), &on, 4)) {
+          file_map_.SetNonblocking(static_cast<int>(req.arg(0)), on != 0);
+        }
       }
-      break;
-    default:
       break;
   }
 }

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/epoll_shadow.h"
 #include "src/core/file_map.h"
 #include "src/core/policy.h"
 #include "src/kernel/kernel.h"
@@ -151,8 +152,9 @@ class Ghumvee {
 
   // epoll shadow mappings (§3.9): per replica (epfd, fd) -> data, plus the master's
   // reverse direction for translating replicated epoll_wait results.
-  std::vector<std::map<std::pair<int, int>, uint64_t>> epoll_shadow_;
-  std::map<std::pair<int, uint64_t>, int> epoll_rev_master_;
+  // Per-replica epoll data shadow maps (§3.9); replica 0's doubles as the reverse
+  // (data -> fd) source when canonicalizing the master's epoll_wait results.
+  std::vector<EpollShadowMap> epoll_shadow_;
 
   std::vector<DivergenceRecord> divergences_;
   bool rb_migration_ = false;

@@ -53,6 +53,7 @@ GuestTask<void> IpMon::Initialize(Guest& g) {
   cursor_.assign(static_cast<size_t>(config_.max_ranks), 0);
   seq_.assign(static_cast<size_t>(config_.max_ranks), 0);
   varan_flush_gen_.assign(static_cast<size_t>(config_.max_ranks), 0);
+  batch_.assign(static_cast<size_t>(config_.max_ranks), RbBatch{});
   for (int r = 0; r < config_.max_ranks; ++r) {
     cursor_[static_cast<size_t>(r)] = rb_.RankDataStart(r);
   }
@@ -90,102 +91,24 @@ WaitQueue* IpMon::StateWordQueue(uint64_t entry_off) {
   return &kernel_->futex().QueueFor(frame, off_in_page);
 }
 
-FdType IpMon::EffectiveFdType(Thread* t, const SyscallRequest& req) const {
-  AddressSpace& mem = process_->mem();
-  // poll/select watch many FDs: conditional exemption needs the "most sensitive" one.
-  if (req.nr == Sys::kPoll) {
-    uint64_t nfds = req.arg(1);
-    FdType worst = FdType::kRegular;
-    for (uint64_t i = 0; i < std::min<uint64_t>(nfds, 1024); ++i) {
-      GuestPollfd pf;
-      if (!mem.Read(req.arg(0) + i * sizeof(GuestPollfd), &pf, sizeof(pf)).ok) {
-        return FdType::kSpecial;
-      }
-      FdType ft = file_map_->TypeOf(pf.fd);
-      if (ft == FdType::kSocket) {
-        worst = FdType::kSocket;
-      } else if (ft == FdType::kSpecial) {
-        return FdType::kSpecial;
-      }
-    }
-    return worst;
-  }
-  if (req.nr == Sys::kSelect) {
-    int nfds = static_cast<int>(req.arg(0));
-    FdType worst = FdType::kRegular;
-    for (int set = 1; set <= 2; ++set) {
-      GuestAddr set_addr = req.arg(set);
-      if (set_addr == 0) {
-        continue;
-      }
-      for (int fd = 0; fd < nfds; ++fd) {
-        uint64_t word = 0;
-        if (!mem.Read(set_addr + static_cast<uint64_t>(fd / 64) * 8, &word, 8).ok) {
-          return FdType::kSpecial;
-        }
-        if (((word >> (fd % 64)) & 1) == 0) {
-          continue;
-        }
-        FdType ft = file_map_->TypeOf(fd);
-        if (ft == FdType::kSocket) {
-          worst = FdType::kSocket;
-        } else if (ft == FdType::kSpecial) {
-          return FdType::kSpecial;
-        }
-      }
-    }
-    return worst;
+bool IpMon::MaySleepIndefinitely(const SyscallRequest& req) const {
+  if (!PredictBlocking(req, *file_map_)) {
+    return false;
   }
   const SyscallDesc& d = DescOf(req.nr);
-  if (d.fd_arg >= 0) {
-    int fd = static_cast<int>(req.arg(d.fd_arg));
-    if (!file_map_->IsValid(fd)) {
-      // Unknown descriptor: be conservative, force CP monitoring.
-      return FdType::kSpecial;
-    }
-    return file_map_->TypeOf(fd);
+  if (d.block == BlockPred::kFdNonblocking) {
+    FdType ft = file_map_->TypeOf(static_cast<int>(req.arg(d.fd_arg)));
+    return ft != FdType::kRegular && ft != FdType::kDirectory;
   }
-  return FdType::kFree;
+  return true;  // Explicit sleeps (nanosleep/select/poll/futex/...) are unbounded.
 }
 
 bool IpMon::NeedsGhumvee(Thread* t, const SyscallRequest& req) const {
-  // Mode-changing fcntl/ioctl must reach GHUMVEE: it owns the FD metadata behind the
-  // file map (§3.6), and a silent O_NONBLOCK flip would desynchronize the blocking
-  // prediction. Pure queries (F_GETFL and friends) stay on the fast path.
-  if (req.nr == Sys::kFcntl) {
-    int cmd = static_cast<int>(req.arg(1));
-    if (cmd == kF_SETFL || cmd == kF_DUPFD) {
-      return true;
-    }
-  }
-  if (req.nr == Sys::kIoctl && req.arg(1) == 0x5421 /* FIONBIO */) {
+  (void)t;
+  if (ControlNeedsMonitor(req)) {
     return true;
   }
-  return !policy_.AllowsUnmonitored(req.nr, EffectiveFdType(t, req));
-}
-
-bool IpMon::PredictBlocking(const SyscallRequest& req) const {
-  const SyscallDesc& d = DescOf(req.nr);
-  if (!d.may_block) {
-    return false;
-  }
-  switch (req.nr) {
-    case Sys::kNanosleep:
-      return true;
-    case Sys::kPoll:
-      return static_cast<int64_t>(req.arg(2)) != 0;
-    case Sys::kEpollWait:
-      return static_cast<int64_t>(req.arg(3)) != 0;
-    case Sys::kSelect:
-      return true;
-    default:
-      break;
-  }
-  if (d.fd_arg >= 0) {
-    int fd = static_cast<int>(req.arg(d.fd_arg));
-    return !file_map_->IsNonblocking(fd);
-  }
-  return true;
+  return !policy_.AllowsUnmonitored(req.nr, EffectiveFdType(process_, req, *file_map_));
 }
 
 void IpMon::RecordEpollShadow(Thread* t, const SyscallRequest& req) {
@@ -202,38 +125,15 @@ void IpMon::RecordEpollShadow(Thread* t, const SyscallRequest& req) {
 }
 
 bool IpMon::LookupEpollFd(int epfd, uint64_t data, int* fd_out) const {
-  auto it = epoll_rev_.find({epfd, data});
-  if (it == epoll_rev_.end()) {
-    return false;
-  }
-  *fd_out = it->second;
-  return true;
+  return epoll_shadow_.FdForData(epfd, data, fd_out);
 }
 
 bool IpMon::LookupEpollData(int epfd, int fd, uint64_t* data_out) const {
-  auto it = epoll_data_.find({epfd, fd});
-  if (it == epoll_data_.end()) {
-    return false;
-  }
-  *data_out = it->second;
-  return true;
+  return epoll_shadow_.DataForFd(epfd, fd, data_out);
 }
 
 void IpMon::RecordEpollShadowDirect(int epfd, int op, int fd, uint64_t data) {
-  if (op == kEpollCtlDel) {
-    auto it = epoll_data_.find({epfd, fd});
-    if (it != epoll_data_.end()) {
-      epoll_rev_.erase({epfd, it->second});
-      epoll_data_.erase(it);
-    }
-    return;
-  }
-  auto old = epoll_data_.find({epfd, fd});
-  if (old != epoll_data_.end()) {
-    epoll_rev_.erase({epfd, old->second});
-  }
-  epoll_data_[{epfd, fd}] = data;
-  epoll_rev_[{epfd, data}] = fd;
+  epoll_shadow_.Record(epfd, op, fd, data);
 }
 
 std::vector<uint8_t> IpMon::BuildResultPayload(Thread* t, const SyscallRequest& req,
@@ -253,8 +153,10 @@ std::vector<uint8_t> IpMon::BuildResultPayload(Thread* t, const SyscallRequest& 
       for (int i = 0; i < r.event_count; ++i) {
         GuestEpollEvent ev;
         std::memcpy(&ev, data.data() + static_cast<size_t>(i) * sizeof(ev), sizeof(ev));
-        auto it = epoll_rev_.find({epfd, ev.data});
-        ev.data = it != epoll_rev_.end() ? static_cast<uint64_t>(it->second) : ev.data;
+        int fd = -1;
+        if (epoll_shadow_.FdForData(epfd, ev.data, &fd)) {
+          ev.data = static_cast<uint64_t>(fd);
+        }
         std::memcpy(data.data() + static_cast<size_t>(i) * sizeof(ev), &ev, sizeof(ev));
       }
     }
@@ -283,9 +185,9 @@ void IpMon::ApplyResultPayload(Thread* t, const SyscallRequest& req, int64_t ret
       for (int e = 0; e < r.event_count; ++e) {
         GuestEpollEvent ev;
         std::memcpy(&ev, data.data() + static_cast<size_t>(e) * sizeof(ev), sizeof(ev));
-        auto it = epoll_data_.find({epfd, static_cast<int>(ev.data)});
-        if (it != epoll_data_.end()) {
-          ev.data = it->second;
+        uint64_t local_data = 0;
+        if (epoll_shadow_.DataForFd(epfd, static_cast<int>(ev.data), &local_data)) {
+          ev.data = local_data;
         }
         std::memcpy(data.data() + static_cast<size_t>(e) * sizeof(ev), &ev, sizeof(ev));
       }
@@ -320,8 +222,13 @@ GuestTask<void> IpMon::HandleCall(Thread* t, SyscallRequest req, uint64_t token,
   }
 
   // Process-local calls (futex, nanosleep, ...): every replica executes its own,
-  // using its one-time token; nothing to replicate.
+  // using its one-time token; nothing to replicate. A local call can sleep
+  // indefinitely (futex, nanosleep), so the master publishes its pending batch
+  // first — a slave could otherwise wait forever on a deferred result.
   if (RelaxationPolicy::IsLocalCall(req.nr)) {
+    if (is_master() && FlushRbBatch(t->rank()) > 0) {
+      co_await ThreadCost{t, costs.futex_wake_ns};
+    }
     int64_t r;
     if (broker_->VerifyToken(t, token, req.nr)) {
       r = co_await ExecDirect{t, req};
@@ -350,7 +257,44 @@ GuestTask<void> IpMon::HandleCall(Thread* t, SyscallRequest req, uint64_t token,
   t->in_ipmon = false;
 }
 
+uint32_t IpMon::FlushRbBatch(int rank) {
+  if (static_cast<size_t>(rank) >= batch_.size()) {
+    return 0;  // Pre-Initialize (batching not set up yet): nothing pending.
+  }
+  RbBatch& batch = batch_[static_cast<size_t>(rank)];
+  if (batch.empty()) {
+    return 0;
+  }
+  SimStats& stats = kernel_->stats();
+  // The coalesced publication: payloads + results land in one pass, the state words
+  // flip oldest-to-newest, then every covered entry's condvar gets its (single
+  // amortized) wakeup. "Elided" counts entry publications that issued no FUTEX_WAKE
+  // of their own — the same meaning as on the eager path, so the ablation columns
+  // compare: a flush with waiters spends one wake for size() entries.
+  uint32_t waiters = batch.Commit(rb_);
+  uint64_t entries = batch.size();
+  for (const RbBatch::Pending& p : batch.Take()) {
+    StateWordQueue(p.entry_off)->Wake();
+  }
+  ++stats.rb_batch_flushes;
+  stats.rb_futex_wakes_elided += entries - (waiters > 0 ? 1 : 0);
+  return waiters;
+}
+
+uint32_t IpMon::FlushRbBatches() {
+  uint32_t waiters = 0;
+  for (size_t r = 0; r < batch_.size(); ++r) {
+    waiters += FlushRbBatch(static_cast<int>(r));
+  }
+  return waiters;
+}
+
 GuestTask<void> IpMon::ForwardToGhumvee(Thread* t, SyscallRequest req) {
+  // Leaving the fast path: slaves must not be left spinning on deferred results
+  // while this thread parks in a GHUMVEE lockstep round.
+  if (FlushRbBatch(t->rank()) > 0) {
+    co_await ThreadCost{t, kernel_->sim()->costs().futex_wake_ns};
+  }
   // Fig. 2, 4': destroy the token and restart; IK-B routes the restarted call to
   // GHUMVEE, which handles it like a regular CP-MVEE call.
   broker_->RevokeToken(t);
@@ -377,9 +321,34 @@ GuestTask<void> IpMon::MasterPath(Thread* t, SyscallRequest req, uint64_t token)
     co_await ForwardToGhumvee(t, req);
     co_return;
   }
+
+  // Batched publication (Config::rb_batch_max): a small bounded-latency call may
+  // defer its POSTCALL wakeup into the rank's batch. Oversized calls and calls that
+  // can park the master indefinitely (blocked socket/pipe reads, explicit sleeps)
+  // publish every deferred result first — the slaves must never sit on deferred
+  // entries across an unbounded master sleep. Together with the other flush points
+  // (local calls, GHUMVEE forwards, RB overflow, monitored entry stops) this bounds
+  // how long a deferred result can stay unpublished.
+  bool predict_block = PredictBlocking(req, *file_map_);
+  bool batchable = config_.rb_batch_max > 0 &&
+                   out_cap + 16 <= config_.rb_batch_entry_bytes &&
+                   !MaySleepIndefinitely(req);
+  if (config_.rb_batch_max > 0 && !batchable &&
+      !batch_[static_cast<size_t>(rank)].empty()) {
+    uint32_t w = FlushRbBatch(rank);
+    if (w > 0) {
+      co_await ThreadCost{t, costs.futex_wake_ns};
+    }
+  }
+
   while (cursor_[static_cast<size_t>(rank)] + entry_size > rb_.RankDataEnd(rank)) {
-    // Linear RB exhausted: GHUMVEE arbitrates the reset (paper §3.2). The reset trip
-    // consumes the authorization; IK-B grants a fresh token on re-entry.
+    // Linear RB exhausted: GHUMVEE arbitrates the reset (paper §3.2). Slaves must be
+    // able to drain every published entry before the reset round, so the batch goes
+    // out first. The reset trip consumes the authorization; IK-B grants a fresh
+    // token on re-entry.
+    if (FlushRbBatch(rank) > 0) {
+      co_await ThreadCost{t, costs.futex_wake_ns};
+    }
     broker_->RevokeToken(t);
     co_await ExecTraced{t, SyscallRequest{Sys::kRemonRbFlush,
                                           {static_cast<uint64_t>(rank), 0, 0, 0, 0, 0}}};
@@ -396,7 +365,7 @@ GuestTask<void> IpMon::MasterPath(Thread* t, SyscallRequest req, uint64_t token)
 
   bool signals_pending = rb_.SignalsPending();
   uint32_t flags = kRbFlagMasterCall;
-  if (PredictBlocking(req)) {
+  if (predict_block) {
     flags |= kRbFlagMaybeBlocking;
   }
   if (signals_pending) {
@@ -449,15 +418,28 @@ GuestTask<void> IpMon::MasterPath(Thread* t, SyscallRequest req, uint64_t token)
     co_return;
   }
 
-  // POSTCALL: replicate results.
+  // POSTCALL: replicate results — eagerly, or deferred into the rank's batch.
   std::vector<uint8_t> payload = BuildResultPayload(t, req, r);
   co_await ThreadCost{t, costs.RbCopyCost(payload.size() + 16)};
-  uint32_t waiters = RbEntryOps::CommitResults(rb_, entry_off, r, payload);
-  StateWordQueue(entry_off)->Wake();  // Memory visibility (free in real hardware).
-  if (waiters > 0) {
-    co_await ThreadCost{t, costs.futex_wake_ns};  // FUTEX_WAKE needed.
+  if (batchable && payload.size() <= config_.rb_batch_entry_bytes) {
+    RbBatch& batch = batch_[static_cast<size_t>(rank)];
+    batch.Add(entry_off, r, std::move(payload));
+    ++stats.rb_batched_entries;
+    if (static_cast<int>(batch.size()) >= config_.rb_batch_max) {
+      // One coalesced publication: a single FUTEX_WAKE covers every batched entry.
+      uint32_t w = FlushRbBatch(rank);
+      if (w > 0) {
+        co_await ThreadCost{t, costs.futex_wake_ns};
+      }
+    }
   } else {
-    ++stats.rb_futex_wakes_elided;
+    uint32_t waiters = RbEntryOps::CommitResults(rb_, entry_off, r, payload);
+    StateWordQueue(entry_off)->Wake();  // Memory visibility (free in real hardware).
+    if (waiters > 0) {
+      co_await ThreadCost{t, costs.futex_wake_ns};  // FUTEX_WAKE needed.
+    } else {
+      ++stats.rb_futex_wakes_elided;
+    }
   }
   ++stats.syscalls_unmonitored;
   ++stats.syscalls_mastercall;
@@ -553,6 +535,8 @@ GuestTask<void> IpMon::SlavePath(Thread* t, SyscallRequest req, uint64_t token) 
 void IpMon::OnRbReset(int rank) {
   ++rb_resets_;
   if (is_master()) {
+    // Normally empty by now (the overflow trip flushes); defensive for direct calls.
+    FlushRbBatch(rank);
     ++kernel_->stats().rb_resets;
     // Zero the data area once (shared frames: visible to every replica).
     rb_.Zero(rb_.RankDataStart(rank), rb_.RankDataEnd(rank) - rb_.RankDataStart(rank));
@@ -564,6 +548,7 @@ GuestAddr IpMon::MigrateRb() {
   if (!rb_.valid()) {
     return 0;
   }
+  FlushRbBatches();  // Entry offsets survive the move, but publish before remapping.
   AddressSpace& mem = process_->mem();
   std::vector<PageRef> frames = mem.FramesFor(rb_.base(), rb_.size());
   if (frames.empty()) {
@@ -667,7 +652,8 @@ GuestTask<void> IpMon::VaranPath(Thread* t, SyscallRequest req) {
   RecordEpollShadow(t, req);
 
   if (is_master()) {
-    uint32_t flags = kRbFlagMasterCall | (PredictBlocking(req) ? kRbFlagMaybeBlocking : 0);
+    uint32_t flags =
+        kRbFlagMasterCall | (PredictBlocking(req, *file_map_) ? kRbFlagMaybeBlocking : 0);
     RbEntryOps::CommitArgs(rb_, entry_off, req.nr, flags, my_seq, entry_size, sig);
     co_await ThreadCost{t, costs.rb_entry_ns};
     StateWordQueue(entry_off)->Wake();

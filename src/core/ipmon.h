@@ -21,10 +21,10 @@
 #define SRC_CORE_IPMON_H_
 
 #include <cstdint>
-#include <map>
 #include <utility>
 #include <vector>
 
+#include "src/core/epoll_shadow.h"
 #include "src/core/file_map.h"
 #include "src/core/policy.h"
 #include "src/core/replication_buffer.h"
@@ -55,6 +55,14 @@ class IpMon {
     IpmonMode mode = IpmonMode::kRemon;
     IpmonWaitMode wait_mode = IpmonWaitMode::kAuto;
     uint64_t entry_cookie = 0x49504d4f;  // "IPMO": the registered entry point.
+    // Batched RB publication (ablation knob): the master coalesces up to this many
+    // consecutive small bounded-latency POSTCALL commits per rank into one
+    // publication with a single slave wakeup; the batch always flushes before a
+    // call that can park the master indefinitely (sockets, pipes, sleeps) and
+    // before leaving the fast path. 0 disables batching (per-entry wakes).
+    int rb_batch_max = 0;
+    // Only results at most this large are batched; bigger payloads publish eagerly.
+    uint64_t rb_batch_entry_bytes = 512;
   };
 
   IpMon(Kernel* kernel, IkBroker* broker, RelaxationPolicy policy, FileMap* file_map,
@@ -105,14 +113,28 @@ class IpMon {
   uint64_t rb_resets() const { return rb_resets_; }
   uint64_t mismatches_tolerated() const { return mismatches_tolerated_; }
 
+  // Publishes every deferred batched POSTCALL commit (all ranks) and wakes the
+  // slaves; returns the total waiters observed (for the caller's FUTEX_WAKE cost
+  // accounting). GHUMVEE invokes this when the master enters a monitored call, so
+  // slaves can never be left spinning on deferred results while it sits in lockstep.
+  uint32_t FlushRbBatches();
+
  private:
   // Decides whether the active policy requires CP monitoring for this call
-  // (MAYBE_CHECKED). Consults the file map for FD-dependent decisions.
+  // (MAYBE_CHECKED). Consults the file map (via the descriptor registry's
+  // EffectiveFdType) for FD-dependent decisions.
   bool NeedsGhumvee(Thread* t, const SyscallRequest& req) const;
-  // Scans poll/select FD lists for sockets (conditional policy needs the "worst" FD).
-  FdType EffectiveFdType(Thread* t, const SyscallRequest& req) const;
-  // Whether slaves should sleep on the entry's condvar instead of spinning.
-  bool PredictBlocking(const SyscallRequest& req) const;
+
+  // Flushes one rank's pending batch; returns the waiters observed (for the
+  // caller's futex-wake cost accounting).
+  uint32_t FlushRbBatch(int rank);
+
+  // Whether the call can park the master for an unbounded time (external input or
+  // an explicit sleep). Bounded-latency regular-file I/O returns false even when
+  // the blocking prediction says "blocks": deferring results across it delays the
+  // slaves only by the bounded device latency — the batching trade-off, not a
+  // liveness hazard.
+  bool MaySleepIndefinitely(const SyscallRequest& req) const;
 
   GuestTask<void> MasterPath(Thread* t, SyscallRequest req, uint64_t token);
   GuestTask<void> SlavePath(Thread* t, SyscallRequest req, uint64_t token);
@@ -160,10 +182,12 @@ class IpMon {
   std::vector<uint64_t> cursor_;
   std::vector<uint64_t> seq_;
 
-  // epoll shadow mapping (§3.9): (epfd, fd) -> this replica's data value, plus the
-  // reverse direction for translating this replica's results.
-  std::map<std::pair<int, int>, uint64_t> epoll_data_;
-  std::map<std::pair<int, uint64_t>, int> epoll_rev_;
+  // epoll shadow mapping (§3.9): (epfd, fd) <-> this replica's data values, for
+  // translating epoll_wait results between replicas.
+  EpollShadowMap epoll_shadow_;
+
+  // Per-rank deferred POSTCALL commits (master only; see Config::rb_batch_max).
+  std::vector<RbBatch> batch_;
 
   const char* forward_reason_ = "?";
   uint64_t rb_resets_ = 0;

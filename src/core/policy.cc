@@ -1,94 +1,32 @@
 #include "src/core/policy.h"
 
-#include <array>
+#include "src/kernel/syscall_meta.h"
 
 namespace remon {
 
 namespace {
 
+// The descriptor registry's PolicyClass values mirror PolicyLevel by construction
+// (kNever == kNoIpmon == 0, ..., kSockRw == kSocketRw == 5); the policy engine is a
+// thin interpreter over the per-syscall classification in syscall_meta.cc.
+static_assert(static_cast<uint8_t>(PolicyClass::kNever) ==
+              static_cast<uint8_t>(PolicyLevel::kNoIpmon));
+static_assert(static_cast<uint8_t>(PolicyClass::kBase) ==
+              static_cast<uint8_t>(PolicyLevel::kBase));
+static_assert(static_cast<uint8_t>(PolicyClass::kNonsockRo) ==
+              static_cast<uint8_t>(PolicyLevel::kNonsocketRo));
+static_assert(static_cast<uint8_t>(PolicyClass::kNonsockRw) ==
+              static_cast<uint8_t>(PolicyLevel::kNonsocketRw));
+static_assert(static_cast<uint8_t>(PolicyClass::kSockRo) ==
+              static_cast<uint8_t>(PolicyLevel::kSocketRo));
+static_assert(static_cast<uint8_t>(PolicyClass::kSockRw) ==
+              static_cast<uint8_t>(PolicyLevel::kSocketRw));
+
+PolicyLevel AsLevel(PolicyClass c) { return static_cast<PolicyLevel>(c); }
+
 // Minimum level at which a call is *unconditionally* exempt (Table 1, middle column).
 // kNoIpmon means "never unconditionally exempt".
-PolicyLevel UnconditionalLevel(Sys nr) {
-  switch (nr) {
-    // BASE_LEVEL: read-only calls that do not operate on file descriptors and do not
-    // affect the file system.
-    case Sys::kGettimeofday:
-    case Sys::kClockGettime:
-    case Sys::kTime:
-    case Sys::kGetpid:
-    case Sys::kGettid:
-    case Sys::kGetpgrp:
-    case Sys::kGetppid:
-    case Sys::kGetgid:
-    case Sys::kGetegid:
-    case Sys::kGetuid:
-    case Sys::kGeteuid:
-    case Sys::kGetcwd:
-    case Sys::kGetpriority:
-    case Sys::kGetrusage:
-    case Sys::kTimes:
-    case Sys::kCapget:
-    case Sys::kGetitimer:
-    case Sys::kSysinfo:
-    case Sys::kUname:
-    case Sys::kSchedYield:
-    case Sys::kNanosleep:
-      return PolicyLevel::kBase;
-
-    // NONSOCKET_RO_LEVEL: read-only calls on regular files/pipes/non-socket FDs,
-    // read-only FS metadata, write calls on process-local variables.
-    case Sys::kAccess:
-    case Sys::kFaccessat:
-    case Sys::kLseek:
-    case Sys::kStat:
-    case Sys::kLstat:
-    case Sys::kFstat:
-    case Sys::kFstatat:
-    case Sys::kGetdents:
-    case Sys::kReadlink:
-    case Sys::kReadlinkat:
-    case Sys::kGetxattr:
-    case Sys::kLgetxattr:
-    case Sys::kFgetxattr:
-    case Sys::kAlarm:
-    case Sys::kSetitimer:
-    case Sys::kTimerfdGettime:
-    case Sys::kMadvise:
-    case Sys::kFadvise64:
-      return PolicyLevel::kNonsocketRo;
-
-    // NONSOCKET_RW_LEVEL: write-ish calls not touching sockets.
-    case Sys::kSync:
-    case Sys::kSyncfs:
-    case Sys::kFsync:
-    case Sys::kFdatasync:
-    case Sys::kTimerfdSettime:
-      return PolicyLevel::kNonsocketRw;
-
-    // SOCKET_RO_LEVEL: read calls on sockets.
-    case Sys::kEpollWait:
-    case Sys::kRecvfrom:
-    case Sys::kRecvmsg:
-    case Sys::kRecvmmsg:
-    case Sys::kGetsockname:
-    case Sys::kGetpeername:
-    case Sys::kGetsockopt:
-      return PolicyLevel::kSocketRo;
-
-    // SOCKET_RW_LEVEL: write calls on sockets.
-    case Sys::kSendto:
-    case Sys::kSendmsg:
-    case Sys::kSendmmsg:
-    case Sys::kSendfile:
-    case Sys::kEpollCtl:
-    case Sys::kSetsockopt:
-    case Sys::kShutdown:
-      return PolicyLevel::kSocketRw;
-
-    default:
-      return PolicyLevel::kNoIpmon;
-  }
-}
+PolicyLevel UnconditionalLevel(Sys nr) { return AsLevel(DescOf(nr).uncond); }
 
 // Conditional calls (Table 1, right column): the level at which they become exempt
 // for *non-socket* FDs and for *socket* FDs respectively.
@@ -99,31 +37,8 @@ struct ConditionalRule {
 };
 
 ConditionalRule ConditionalFor(Sys nr) {
-  switch (nr) {
-    // Read family: non-socket at NONSOCKET_RO, socket at SOCKET_RO.
-    case Sys::kRead:
-    case Sys::kReadv:
-    case Sys::kPread64:
-    case Sys::kPreadv:
-    case Sys::kSelect:
-    case Sys::kPoll:
-      return {true, PolicyLevel::kNonsocketRo, PolicyLevel::kSocketRo};
-    // Process-local writes: futex/ioctl/fcntl at NONSOCKET_RO (socket ioctl/fcntl
-    // follow socket read level).
-    case Sys::kFutex:
-      return {true, PolicyLevel::kNonsocketRo, PolicyLevel::kNonsocketRo};
-    case Sys::kIoctl:
-    case Sys::kFcntl:
-      return {true, PolicyLevel::kNonsocketRo, PolicyLevel::kSocketRo};
-    // Write family: non-socket at NONSOCKET_RW, socket at SOCKET_RW.
-    case Sys::kWrite:
-    case Sys::kWritev:
-    case Sys::kPwrite64:
-    case Sys::kPwritev:
-      return {true, PolicyLevel::kNonsocketRw, PolicyLevel::kSocketRw};
-    default:
-      return {};
-  }
+  const SyscallDesc& d = DescOf(nr);
+  return {d.conditional(), AsLevel(d.cond_nonsock), AsLevel(d.cond_sock)};
 }
 
 }  // namespace
@@ -204,50 +119,9 @@ bool RelaxationPolicy::IpmonSupports(Sys nr) {
   return UnconditionalLevel(nr) != PolicyLevel::kNoIpmon || ConditionalFor(nr).conditional;
 }
 
-bool RelaxationPolicy::IsLocalCall(Sys nr) {
-  switch (nr) {
-    case Sys::kMmap:
-    case Sys::kMunmap:
-    case Sys::kMprotect:
-    case Sys::kMremap:
-    case Sys::kBrk:
-    case Sys::kMadvise:
-    case Sys::kShmat:
-    case Sys::kShmdt:
-    case Sys::kClone:
-    case Sys::kExit:
-    case Sys::kExitGroup:
-    case Sys::kRtSigaction:
-    case Sys::kRtSigprocmask:
-    case Sys::kRtSigreturn:
-    case Sys::kSigaltstack:
-    case Sys::kFutex:
-    case Sys::kSchedYield:
-    case Sys::kNanosleep:
-    case Sys::kPause:
-    case Sys::kRemonIpmonRegister:
-    case Sys::kRemonSyncRegister:
-      return true;
-    default:
-      return false;
-  }
-}
+bool RelaxationPolicy::IsLocalCall(Sys nr) { return DescOf(nr).local; }
 
-bool RelaxationPolicy::ForcedCpCall(Sys nr) {
-  switch (nr) {
-    // Calls that could tamper with IP-MON's mappings or the RB.
-    case Sys::kMprotect:
-    case Sys::kMremap:
-    case Sys::kMunmap:
-    case Sys::kMmap:
-    case Sys::kShmat:
-    case Sys::kShmdt:
-    case Sys::kShmctl:
-    case Sys::kShmget:
-      return true;
-    default:
-      return false;
-  }
-}
+// Calls that could tamper with IP-MON's mappings or the RB.
+bool RelaxationPolicy::ForcedCpCall(Sys nr) { return DescOf(nr).forced_cp; }
 
 }  // namespace remon

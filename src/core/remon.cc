@@ -103,6 +103,7 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
       cfg.mode =
           options_.mode == MveeMode::kVaranLike ? IpmonMode::kVaranLike : IpmonMode::kRemon;
       cfg.wait_mode = options_.wait_mode;
+      cfg.rb_batch_max = options_.rb_batch_max;
       FileMap* fm = options_.mode == MveeMode::kRemon ? ghumvee_->file_map()
                                                       : varan_file_map_.get();
       ipmons_.push_back(

@@ -51,6 +51,10 @@ struct RemonOptions {
   bool use_sync_agent = false;
   // Slave wait strategy (ablation knob; kAuto is the paper's design).
   IpmonWaitMode wait_mode = IpmonWaitMode::kAuto;
+  // Batched RB publication (ablation knob): coalesce up to this many small
+  // non-blocking POSTCALL commits per rank into one publication + one slave wakeup.
+  // 0 keeps the paper's per-entry publication.
+  int rb_batch_max = 0;
   // §4 extension: periodically migrate the RB to fresh addresses at flush points.
   bool rb_migration = false;
 };

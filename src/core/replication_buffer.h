@@ -162,6 +162,54 @@ class RbEntryOps {
   static void RemoveWaiter(RbView& view, uint64_t entry_off);
 };
 
+// Batched RB publication: the master coalesces the POSTCALL commits of consecutive
+// small, non-blocking unmonitored calls on one rank into a single publication — all
+// payloads are written back to back, then the state words flip oldest-to-newest in
+// one cache-line-friendly pass, and the slaves get *one* wakeup instead of one per
+// entry. PRECALL (argument) commits are never deferred, so the slaves' divergence
+// checks run at full fidelity; only the result wakeups are amortized. The batch must
+// be flushed before anything that can park the master indefinitely or leave the
+// fast path (blocked socket/pipe reads, explicit sleeps, local calls, GHUMVEE
+// forwards, RB resets) — IP-MON owns those flush points; deferring across
+// bounded-latency regular-file I/O is the intended trade-off.
+class RbBatch {
+ public:
+  struct Pending {
+    uint64_t entry_off = 0;
+    int64_t result = 0;
+    std::vector<uint8_t> payload;
+  };
+
+  bool empty() const { return pending_.empty(); }
+  size_t size() const { return pending_.size(); }
+  const std::vector<Pending>& pending() const { return pending_; }
+
+  void Add(uint64_t entry_off, int64_t result, std::vector<uint8_t> payload) {
+    pending_.push_back(Pending{entry_off, result, std::move(payload)});
+  }
+
+  // Commits every pending entry (payload writes first, then the state flips in
+  // order). Returns the total waiter count observed before the flips — zero means
+  // even the single batched FUTEX_WAKE can be elided. The caller wakes the entries'
+  // wait queues and clears the batch via take().
+  uint32_t Commit(RbView& view) {
+    uint32_t waiters = 0;
+    for (const Pending& p : pending_) {
+      waiters += RbEntryOps::CommitResults(view, p.entry_off, p.result, p.payload);
+    }
+    return waiters;
+  }
+
+  std::vector<Pending> Take() {
+    std::vector<Pending> out = std::move(pending_);
+    pending_.clear();
+    return out;
+  }
+
+ private:
+  std::vector<Pending> pending_;
+};
+
 }  // namespace remon
 
 #endif  // SRC_CORE_REPLICATION_BUFFER_H_

@@ -36,6 +36,7 @@ RemonOptions OptionsFor(const RunConfig& config, double mem_intensity,
   opts.temporal = config.temporal;
   opts.rb_size = config.rb_size;
   opts.wait_mode = config.wait_mode;
+  opts.rb_batch_max = config.rb_batch_max;
   opts.mem_intensity = mem_intensity;
   opts.use_sync_agent = false;  // Suite workloads are race-free by construction.
   return opts;

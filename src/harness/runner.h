@@ -29,6 +29,7 @@ struct RunConfig {
   CostModel costs = CostModel::Default();
   uint64_t rb_size = 16 * 1024 * 1024;
   IpmonWaitMode wait_mode = IpmonWaitMode::kAuto;
+  int rb_batch_max = 0;  // Batched RB publication (0 = per-entry wakeups).
 };
 
 struct SuiteResult {

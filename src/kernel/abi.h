@@ -39,6 +39,10 @@ inline constexpr int kF_SETFD = 2;
 inline constexpr int kF_GETFL = 3;
 inline constexpr int kF_SETFL = 4;
 
+// ioctl requests.
+inline constexpr uint64_t kIoctlFionbio = 0x5421;
+inline constexpr uint64_t kIoctlFionread = 0x541B;
+
 // mmap flags.
 inline constexpr int kMapShared = 0x01;
 inline constexpr int kMapPrivate = 0x02;

@@ -34,178 +34,260 @@ constexpr OutArg OU64(int arg) { return OutArg{Out::kU64, arg, -1, 0}; }
 constexpr OutArg OFd2(int arg) { return OutArg{Out::kFd2, arg, -1, 0}; }
 constexpr OutArg OSel() { return OutArg{Out::kFdSets, -1, -1, 0}; }
 
+using PC = PolicyClass;
+
+// Fluent registration handle: one chained Row per syscall is the whole contract —
+// argument classes, out-regions, FD semantics, blocking prediction, policy class,
+// and the kernel marshalling strategy.
+class Row {
+ public:
+  explicit Row(SyscallDesc* d) : d_(d) { d_->registered = true; }
+
+  Row& In(std::initializer_list<InArg> args) {
+    int i = 0;
+    for (const InArg& a : args) {
+      d_->in[i++] = a;
+    }
+    return *this;
+  }
+  Row& Out(std::initializer_list<OutArg> outs) {
+    int i = 0;
+    for (const OutArg& o : outs) {
+      d_->outs[i++] = o;
+    }
+    return *this;
+  }
+  // `n` scalar (CHECKREG) arguments.
+  Row& Scalars(int n) {
+    for (int i = 0; i < n; ++i) {
+      d_->in[i] = V();
+    }
+    return *this;
+  }
+  Row& Fd(int arg) {
+    d_->fd_arg = arg;
+    d_->fd_scan = FdScan::kFdArg;
+    return *this;
+  }
+  Row& ScanPollfds() { d_->fd_scan = FdScan::kPollfds; return *this; }
+  Row& ScanFdSets() { d_->fd_scan = FdScan::kFdSets; return *this; }
+  Row& Blocks() { d_->block = BlockPred::kAlways; return *this; }
+  Row& BlocksOnFd() { d_->block = BlockPred::kFdNonblocking; return *this; }
+  Row& BlocksOnTimeout(int arg) {
+    d_->block = BlockPred::kTimeoutMs;
+    d_->timeout_arg = arg;
+    return *this;
+  }
+  Row& Effect(FdEffect e) { d_->fd_effect = e; return *this; }
+  Row& Gate(CtlGate g) { d_->ctl_gate = g; return *this; }
+  Row& Exec(ExecKind k, uint8_t flags = 0) {
+    d_->exec = k;
+    d_->exec_flags = flags;
+    return *this;
+  }
+  Row& Uncond(PC c) { d_->uncond = c; return *this; }
+  Row& Cond(PC nonsock, PC sock) {
+    d_->cond_nonsock = nonsock;
+    d_->cond_sock = sock;
+    return *this;
+  }
+  Row& Local() { d_->local = true; return *this; }
+  Row& ForcedCp() { d_->forced_cp = true; return *this; }
+
+ private:
+  SyscallDesc* d_;
+};
+
 struct DescTable {
   std::array<SyscallDesc, kNumSyscalls> table{};
 
-  void Set(Sys nr, SyscallDesc d) { table[static_cast<size_t>(nr)] = d; }
+  Row R(Sys nr) { return Row(&table[static_cast<size_t>(nr)]); }
 
   DescTable() {
-    // Everything defaults to all-kNone in-args (compare raw nothing) — explicitly
-    // initialize scalar-only calls to compare their meaningful argument values.
-    auto scalar = [&](Sys nr, int n_args, int fd_arg = -1, bool may_block = false,
-                      bool returns_fd = false) {
-      SyscallDesc d;
-      for (int i = 0; i < n_args; ++i) {
-        d.in[i] = V();
-      }
-      d.fd_arg = fd_arg;
-      d.may_block = may_block;
-      d.returns_fd = returns_fd;
-      Set(nr, d);
-    };
+    // --- Process-local queries (Table 1 BASE_LEVEL) -----------------------------
+    R(Sys::kGetpid).Uncond(PC::kBase);
+    R(Sys::kGettid).Uncond(PC::kBase);
+    R(Sys::kGetpgrp).Uncond(PC::kBase);
+    R(Sys::kGetppid).Uncond(PC::kBase);
+    R(Sys::kGetgid).Uncond(PC::kBase);
+    R(Sys::kGetegid).Uncond(PC::kBase);
+    R(Sys::kGetuid).Uncond(PC::kBase);
+    R(Sys::kGeteuid).Uncond(PC::kBase);
+    R(Sys::kGetpriority).Scalars(2).Uncond(PC::kBase);
+    R(Sys::kCapget).Scalars(2).Uncond(PC::kBase);
+    R(Sys::kSchedYield).Uncond(PC::kBase).Local();
+    R(Sys::kGettimeofday).In({P()}).Out({OFix(0, sizeof(GuestTimeval))}).Uncond(PC::kBase);
+    R(Sys::kClockGettime).In({V(), P()}).Out({OFix(1, sizeof(GuestTimespec))}).Uncond(PC::kBase);
+    R(Sys::kTime).In({P()}).Out({OU64(0)}).Uncond(PC::kBase);
+    R(Sys::kGetcwd).In({P(), V()}).Out({OBufRet(0, 1)}).Uncond(PC::kBase);
+    R(Sys::kGetrusage).In({V(), P()}).Out({OFix(1, sizeof(GuestRusage))}).Uncond(PC::kBase);
+    R(Sys::kTimes).In({P()}).Out({OFix(0, 32)}).Uncond(PC::kBase);
+    R(Sys::kGetitimer).In({V(), P()}).Out({OFix(1, sizeof(GuestItimerspec))}).Uncond(PC::kBase);
+    R(Sys::kSysinfo).In({P()}).Out({OFix(0, sizeof(GuestSysinfo))}).Uncond(PC::kBase);
+    R(Sys::kUname).In({P()}).Out({OFix(0, sizeof(GuestUtsname))}).Uncond(PC::kBase);
+    R(Sys::kNanosleep).In({St(sizeof(GuestTimespec)), P()}).Blocks()
+        .Exec(ExecKind::kNanosleep).Uncond(PC::kBase).Local();
 
-    // --- Process-local queries ------------------------------------------------
-    scalar(Sys::kGetpid, 0);
-    scalar(Sys::kGettid, 0);
-    scalar(Sys::kGetpgrp, 0);
-    scalar(Sys::kGetppid, 0);
-    scalar(Sys::kGetgid, 0);
-    scalar(Sys::kGetegid, 0);
-    scalar(Sys::kGetuid, 0);
-    scalar(Sys::kGeteuid, 0);
-    scalar(Sys::kGetpriority, 2);
-    scalar(Sys::kSetpriority, 3);
-    scalar(Sys::kCapget, 2);
-    scalar(Sys::kSchedYield, 0);
+    // --- FS metadata (NONSOCKET_RO_LEVEL) ----------------------------------------
+    R(Sys::kAccess).In({S(), V()}).Uncond(PC::kNonsockRo);
+    R(Sys::kFaccessat).In({V(), S(), V()}).Uncond(PC::kNonsockRo);
+    R(Sys::kLseek).In({V(), V(), V()}).Fd(0).Uncond(PC::kNonsockRo);
+    R(Sys::kStat).In({S(), P()}).Out({OFix(1, sizeof(GuestStat))}).Uncond(PC::kNonsockRo);
+    R(Sys::kLstat).In({S(), P()}).Out({OFix(1, sizeof(GuestStat))}).Uncond(PC::kNonsockRo);
+    R(Sys::kFstat).In({V(), P()}).Out({OFix(1, sizeof(GuestStat))}).Fd(0)
+        .Uncond(PC::kNonsockRo);
+    R(Sys::kFstatat).In({V(), S(), P(), V()}).Out({OFix(2, sizeof(GuestStat))})
+        .Uncond(PC::kNonsockRo);
+    R(Sys::kGetdents).In({V(), P(), V()}).Out({OBufRet(1, 2)}).Fd(0).Uncond(PC::kNonsockRo);
+    R(Sys::kReadlink).In({S(), P(), V()}).Out({OBufRet(1, 2)}).Uncond(PC::kNonsockRo);
+    R(Sys::kReadlinkat).In({V(), S(), P(), V()}).Out({OBufRet(2, 3)}).Uncond(PC::kNonsockRo);
+    R(Sys::kGetxattr).In({S(), S(), P(), V()}).Out({OBufRet(2, 3)}).Uncond(PC::kNonsockRo);
+    R(Sys::kLgetxattr).In({S(), S(), P(), V()}).Out({OBufRet(2, 3)}).Uncond(PC::kNonsockRo);
+    R(Sys::kFgetxattr).In({V(), S(), P(), V()}).Out({OBufRet(2, 3)}).Fd(0)
+        .Uncond(PC::kNonsockRo);
+    R(Sys::kAlarm).In({V()}).Uncond(PC::kNonsockRo);
+    R(Sys::kSetitimer).In({V(), St(sizeof(GuestItimerspec)), P()}).Uncond(PC::kNonsockRo);
+    R(Sys::kTimerfdGettime).In({V(), P()}).Out({OFix(1, sizeof(GuestItimerspec))}).Fd(0)
+        .Uncond(PC::kNonsockRo);
+    R(Sys::kMadvise).In({P(), V(), V()}).Uncond(PC::kNonsockRo).Local();
+    R(Sys::kFadvise64).In({V(), V(), V(), V()}).Fd(0).Uncond(PC::kNonsockRo);
 
-    Set(Sys::kGettimeofday, {{P()}, {OFix(0, sizeof(GuestTimeval))}});
-    Set(Sys::kClockGettime, {{V(), P()}, {OFix(1, sizeof(GuestTimespec))}});
-    Set(Sys::kTime, {{P()}, {OU64(0)}});
-    Set(Sys::kGetcwd, {{P(), V()}, {OBufRet(0, 1)}});
-    Set(Sys::kGetrusage, {{V(), P()}, {OFix(1, sizeof(GuestRusage))}});
-    Set(Sys::kTimes, {{P()}, {OFix(0, 32)}});
-    Set(Sys::kGetitimer, {{V(), P()}, {OFix(1, sizeof(GuestItimerspec))}});
-    Set(Sys::kSysinfo, {{P()}, {OFix(0, sizeof(GuestSysinfo))}});
-    Set(Sys::kUname, {{P()}, {OFix(0, sizeof(GuestUtsname))}});
-    Set(Sys::kNanosleep, {{St(sizeof(GuestTimespec)), P()}, {}, -1, true});
+    // --- Reads (conditional: non-socket at NONSOCKET_RO, socket at SOCKET_RO) ----
+    R(Sys::kRead).In({V(), P(), V()}).Out({OBufRet(1, 2)}).Fd(0).BlocksOnFd()
+        .Exec(ExecKind::kRead).Cond(PC::kNonsockRo, PC::kSockRo);
+    R(Sys::kReadv).In({V(), P(), V()}).Out({OIov(1)}).Fd(0).BlocksOnFd()
+        .Exec(ExecKind::kRead, kExecVectored).Cond(PC::kNonsockRo, PC::kSockRo);
+    R(Sys::kPread64).In({V(), P(), V(), V()}).Out({OBufRet(1, 2)}).Fd(0).BlocksOnFd()
+        .Exec(ExecKind::kRead, kExecPositional).Cond(PC::kNonsockRo, PC::kSockRo);
+    R(Sys::kPreadv).In({V(), P(), V(), V()}).Out({OIov(1)}).Fd(0).BlocksOnFd()
+        .Exec(ExecKind::kRead, kExecVectored | kExecPositional)
+        .Cond(PC::kNonsockRo, PC::kSockRo);
+    R(Sys::kSelect).In({V(), P(), P(), P(), P()}).Out({OSel()}).Blocks().ScanFdSets()
+        .Exec(ExecKind::kSelect).Cond(PC::kNonsockRo, PC::kSockRo);
+    R(Sys::kPoll).In({Pfd(1), V(), V()}).Out({OPfd(0, 1)}).BlocksOnTimeout(2).ScanPollfds()
+        .Exec(ExecKind::kPoll).Cond(PC::kNonsockRo, PC::kSockRo);
 
-    // --- FS metadata ------------------------------------------------------------
-    Set(Sys::kAccess, {{S(), V()}});
-    Set(Sys::kFaccessat, {{V(), S(), V()}});
-    Set(Sys::kLseek, {{V(), V(), V()}, {}, 0});
-    Set(Sys::kStat, {{S(), P()}, {OFix(1, sizeof(GuestStat))}});
-    Set(Sys::kLstat, {{S(), P()}, {OFix(1, sizeof(GuestStat))}});
-    Set(Sys::kFstat, {{V(), P()}, {OFix(1, sizeof(GuestStat))}, 0});
-    Set(Sys::kFstatat, {{V(), S(), P(), V()}, {OFix(2, sizeof(GuestStat))}});
-    Set(Sys::kGetdents, {{V(), P(), V()}, {OBufRet(1, 2)}, 0});
-    Set(Sys::kReadlink, {{S(), P(), V()}, {OBufRet(1, 2)}});
-    Set(Sys::kReadlinkat, {{V(), S(), P(), V()}, {OBufRet(2, 3)}});
-    Set(Sys::kGetxattr, {{S(), S(), P(), V()}, {OBufRet(2, 3)}});
-    Set(Sys::kLgetxattr, {{S(), S(), P(), V()}, {OBufRet(2, 3)}});
-    Set(Sys::kFgetxattr, {{V(), S(), P(), V()}, {OBufRet(2, 3)}, 0});
-    Set(Sys::kSetxattr, {{S(), S(), B(3), V(), V()}});
-    Set(Sys::kAlarm, {{V()}});
-    Set(Sys::kSetitimer, {{V(), St(sizeof(GuestItimerspec)), P()}});
-    Set(Sys::kTimerfdGettime, {{V(), P()}, {OFix(1, sizeof(GuestItimerspec))}, 0});
-    Set(Sys::kMadvise, {{P(), V(), V()}});
-    Set(Sys::kFadvise64, {{V(), V(), V(), V()}, {}, 0});
+    // --- Conditionals at NONSOCKET_RO (process-local writes) ----------------------
+    R(Sys::kFutex).In({P(), V(), V(), P()}).Blocks().Exec(ExecKind::kFutex)
+        .Cond(PC::kNonsockRo, PC::kNonsockRo).Local();
+    R(Sys::kIoctl).In({V(), V(), P()}).Out({OU32(2)}).Fd(0).Gate(CtlGate::kIoctl)
+        .Effect(FdEffect::kSetsFdFlags).Cond(PC::kNonsockRo, PC::kSockRo);
+    R(Sys::kFcntl).In({V(), V(), V()}).Fd(0).Gate(CtlGate::kFcntl)
+        .Effect(FdEffect::kSetsFdFlags).Cond(PC::kNonsockRo, PC::kSockRo);
 
-    // --- Reads ------------------------------------------------------------------
-    Set(Sys::kRead, {{V(), P(), V()}, {OBufRet(1, 2)}, 0, true});
-    Set(Sys::kReadv, {{V(), P(), V()}, {OIov(1)}, 0, true});
-    Set(Sys::kPread64, {{V(), P(), V(), V()}, {OBufRet(1, 2)}, 0, true});
-    Set(Sys::kPreadv, {{V(), P(), V(), V()}, {OIov(1)}, 0, true});
-    Set(Sys::kSelect, {{V(), P(), P(), P(), P()}, {OSel()}, -1, true});
-    Set(Sys::kPoll, {{Pfd(1), V(), V()}, {OPfd(0, 1)}, -1, true});
+    // --- FS sync (NONSOCKET_RW_LEVEL) ---------------------------------------------
+    R(Sys::kSync).Uncond(PC::kNonsockRw);
+    R(Sys::kSyncfs).Scalars(1).Fd(0).Uncond(PC::kNonsockRw);
+    R(Sys::kFsync).Scalars(1).Fd(0).Uncond(PC::kNonsockRw);
+    R(Sys::kFdatasync).Scalars(1).Fd(0).Uncond(PC::kNonsockRw);
+    R(Sys::kTimerfdSettime).In({V(), V(), St(sizeof(GuestItimerspec)), P()}).Fd(0)
+        .Uncond(PC::kNonsockRw);
 
-    // --- Conditionals -----------------------------------------------------------
-    Set(Sys::kFutex, {{P(), V(), V(), P()}, {}, -1, true});
-    Set(Sys::kIoctl, {{V(), V(), P()}, {OU32(2)}, 0});
-    Set(Sys::kFcntl, {{V(), V(), V()}, {}, 0});
+    // --- Writes (conditional: non-socket at NONSOCKET_RW, socket at SOCKET_RW) ---
+    R(Sys::kWrite).In({V(), B(2), V()}).Fd(0).BlocksOnFd().Exec(ExecKind::kWrite)
+        .Cond(PC::kNonsockRw, PC::kSockRw);
+    R(Sys::kWritev).In({V(), Iov(2), V()}).Fd(0).BlocksOnFd()
+        .Exec(ExecKind::kWrite, kExecVectored).Cond(PC::kNonsockRw, PC::kSockRw);
+    R(Sys::kPwrite64).In({V(), B(2), V(), V()}).Fd(0).BlocksOnFd()
+        .Exec(ExecKind::kWrite, kExecPositional).Cond(PC::kNonsockRw, PC::kSockRw);
+    R(Sys::kPwritev).In({V(), Iov(2), V(), V()}).Fd(0).BlocksOnFd()
+        .Exec(ExecKind::kWrite, kExecVectored | kExecPositional)
+        .Cond(PC::kNonsockRw, PC::kSockRw);
 
-    // --- FS sync ----------------------------------------------------------------
-    scalar(Sys::kSync, 0);
-    scalar(Sys::kSyncfs, 1, 0);
-    scalar(Sys::kFsync, 1, 0);
-    scalar(Sys::kFdatasync, 1, 0);
-    Set(Sys::kTimerfdSettime, {{V(), V(), St(sizeof(GuestItimerspec)), P()}, {}, 0});
+    // --- Socket reads (SOCKET_RO_LEVEL) -------------------------------------------
+    R(Sys::kEpollWait).In({V(), P(), V(), V()}).Out({OEp(1)}).Fd(0).BlocksOnTimeout(3)
+        .Exec(ExecKind::kEpollWait).Uncond(PC::kSockRo);
+    R(Sys::kRecvfrom).In({V(), P(), V(), V(), P(), P()})
+        .Out({OBufRet(1, 2), OSa(4, 5)}).Fd(0).BlocksOnFd().Exec(ExecKind::kRecv)
+        .Uncond(PC::kSockRo);
+    R(Sys::kRecvmsg).In({V(), Msg(), V()}).Out({OMsg(1)}).Fd(0).BlocksOnFd()
+        .Exec(ExecKind::kRecv, kExecMsg).Uncond(PC::kSockRo);
+    R(Sys::kRecvmmsg).In({V(), Msg(), V(), V()}).Out({OMsg(1)}).Fd(0).BlocksOnFd()
+        .Exec(ExecKind::kRecv, kExecMsg).Uncond(PC::kSockRo);
+    R(Sys::kGetsockname).In({V(), P(), P()}).Out({OSa(1, 2)}).Fd(0).Uncond(PC::kSockRo);
+    R(Sys::kGetpeername).In({V(), P(), P()}).Out({OSa(1, 2)}).Fd(0).Uncond(PC::kSockRo);
+    R(Sys::kGetsockopt).In({V(), V(), V(), P(), P()}).Out({OU32(3)}).Fd(0)
+        .Uncond(PC::kSockRo);
 
-    // --- Writes ------------------------------------------------------------------
-    Set(Sys::kWrite, {{V(), B(2), V()}, {}, 0, true});
-    Set(Sys::kWritev, {{V(), Iov(2), V()}, {}, 0, true});
-    Set(Sys::kPwrite64, {{V(), B(2), V(), V()}, {}, 0, true});
-    Set(Sys::kPwritev, {{V(), Iov(2), V(), V()}, {}, 0, true});
+    // --- Socket writes (SOCKET_RW_LEVEL) -------------------------------------------
+    R(Sys::kSendto).In({V(), B(2), V(), V(), Sa(5), V()}).Fd(0).BlocksOnFd()
+        .Exec(ExecKind::kSend).Uncond(PC::kSockRw);
+    R(Sys::kSendmsg).In({V(), Msg(), V()}).Fd(0).BlocksOnFd()
+        .Exec(ExecKind::kSend, kExecMsg).Uncond(PC::kSockRw);
+    R(Sys::kSendmmsg).In({V(), Msg(), V(), V()}).Fd(0).BlocksOnFd()
+        .Exec(ExecKind::kSend, kExecMsg).Uncond(PC::kSockRw);
+    R(Sys::kSendfile).In({V(), V(), P(), V()}).Out({OU64(2)}).Fd(0).BlocksOnFd()
+        .Exec(ExecKind::kSendfile).Uncond(PC::kSockRw);
+    R(Sys::kEpollCtl).In({V(), V(), V(), Eev()}).Fd(0).Uncond(PC::kSockRw);
+    R(Sys::kSetsockopt).In({V(), V(), V(), B(4), V()}).Fd(0).Uncond(PC::kSockRw);
+    R(Sys::kShutdown).In({V(), V()}).Fd(0).Uncond(PC::kSockRw);
 
-    // --- Socket reads --------------------------------------------------------------
-    Set(Sys::kEpollWait, {{V(), P(), V(), V()}, {OEp(1)}, 0, true});
-    Set(Sys::kRecvfrom, {{V(), P(), V(), V(), P(), P()}, {OBufRet(1, 2), OSa(4, 5)}, 0, true});
-    Set(Sys::kRecvmsg, {{V(), Msg(), V()}, {OMsg(1)}, 0, true});
-    Set(Sys::kRecvmmsg, {{V(), Msg(), V(), V()}, {OMsg(1)}, 0, true});
-    Set(Sys::kGetsockname, {{V(), P(), P()}, {OSa(1, 2)}, 0});
-    Set(Sys::kGetpeername, {{V(), P(), P()}, {OSa(1, 2)}, 0});
-    Set(Sys::kGetsockopt, {{V(), V(), V(), P(), P()}, {OU32(3)}, 0});
+    // --- FD lifecycle (always monitored; feeds the file map) -----------------------
+    R(Sys::kOpen).In({S(), V(), V()}).Effect(FdEffect::kCreatesFd);
+    R(Sys::kOpenat).In({V(), S(), V(), V()}).Effect(FdEffect::kCreatesFd);
+    R(Sys::kClose).In({V()}).Fd(0).Effect(FdEffect::kClosesFd);
+    R(Sys::kDup).In({V()}).Fd(0).Effect(FdEffect::kCreatesFd);
+    R(Sys::kDup2).In({V(), V()}).Fd(0).Effect(FdEffect::kCreatesFd);
+    R(Sys::kPipe).In({P()}).Out({OFd2(0)}).Effect(FdEffect::kCreatesFdPair);
+    R(Sys::kPipe2).In({P(), V()}).Out({OFd2(0)}).Effect(FdEffect::kCreatesFdPair);
+    R(Sys::kSocket).In({V(), V(), V()}).Effect(FdEffect::kCreatesFd);
+    R(Sys::kBind).In({V(), Sa(2), V()}).Fd(0);
+    R(Sys::kListen).In({V(), V()}).Fd(0);
+    R(Sys::kAccept).In({V(), P(), P()}).Out({OSa(1, 2)}).Fd(0).BlocksOnFd()
+        .Effect(FdEffect::kCreatesFd).Exec(ExecKind::kAccept);
+    R(Sys::kAccept4).In({V(), P(), P(), V()}).Out({OSa(1, 2)}).Fd(0).BlocksOnFd()
+        .Effect(FdEffect::kCreatesFd).Exec(ExecKind::kAccept, kExecFlagsArg);
+    R(Sys::kConnect).In({V(), Sa(2), V()}).Fd(0).BlocksOnFd().Exec(ExecKind::kConnect);
+    R(Sys::kEpollCreate).In({V()}).Effect(FdEffect::kCreatesFd);
+    R(Sys::kEpollCreate1).In({V()}).Effect(FdEffect::kCreatesFd);
+    R(Sys::kTimerfdCreate).In({V(), V()}).Effect(FdEffect::kCreatesFd);
+    R(Sys::kEventfd).In({V()}).Effect(FdEffect::kCreatesFd);
+    R(Sys::kEventfd2).In({V(), V()}).Effect(FdEffect::kCreatesFd);
 
-    // --- Socket writes ------------------------------------------------------------
-    Set(Sys::kSendto, {{V(), B(2), V(), V(), Sa(5), V()}, {}, 0, true});
-    Set(Sys::kSendmsg, {{V(), Msg(), V()}, {}, 0, true});
-    Set(Sys::kSendmmsg, {{V(), Msg(), V(), V()}, {}, 0, true});
-    Set(Sys::kSendfile, {{V(), V(), P(), V()}, {OU64(2)}, 0, true});
-    Set(Sys::kEpollCtl, {{V(), V(), V(), Eev()}, {}, 0});
-    Set(Sys::kSetsockopt, {{V(), V(), V(), B(4), V()}, {}, 0});
-    Set(Sys::kShutdown, {{V(), V()}, {}, 0});
+    // --- Memory management (local; most can tamper with the RB -> forced CP) -------
+    R(Sys::kMmap).In({P(), V(), V(), V(), V(), V()}).Local().ForcedCp();
+    R(Sys::kMunmap).In({P(), V()}).Local().ForcedCp();
+    R(Sys::kMprotect).In({P(), V(), V()}).Local().ForcedCp();
+    R(Sys::kMremap).In({P(), V(), V(), V()}).Local().ForcedCp();
+    R(Sys::kBrk).In({P()}).Local();
+    R(Sys::kShmget).In({V(), V(), V()}).ForcedCp();
+    R(Sys::kShmat).In({V(), P(), V()}).Local().ForcedCp();
+    R(Sys::kShmdt).In({P()}).Local().ForcedCp();
+    R(Sys::kShmctl).In({V(), V(), P()}).ForcedCp();
 
-    // --- FD lifecycle -----------------------------------------------------------
-    Set(Sys::kOpen, {{S(), V(), V()}, {}, -1, false, true});
-    Set(Sys::kOpenat, {{V(), S(), V(), V()}, {}, -1, false, true});
-    Set(Sys::kClose, {{V()}, {}, 0});
-    Set(Sys::kDup, {{V()}, {}, 0, false, true});
-    Set(Sys::kDup2, {{V(), V()}, {}, 0, false, true});
-    Set(Sys::kPipe, {{P()}, {OFd2(0)}});
-    Set(Sys::kPipe2, {{P(), V()}, {OFd2(0)}});
-    Set(Sys::kSocket, {{V(), V(), V()}, {}, -1, false, true});
-    Set(Sys::kBind, {{V(), Sa(2), V()}, {}, 0});
-    Set(Sys::kListen, {{V(), V()}, {}, 0});
-    Set(Sys::kAccept, {{V(), P(), P()}, {OSa(1, 2)}, 0, true, true});
-    Set(Sys::kAccept4, {{V(), P(), P(), V()}, {OSa(1, 2)}, 0, true, true});
-    Set(Sys::kConnect, {{V(), Sa(2), V()}, {}, 0, true});
-    Set(Sys::kEpollCreate, {{V()}, {}, -1, false, true});
-    Set(Sys::kEpollCreate1, {{V()}, {}, -1, false, true});
-    Set(Sys::kTimerfdCreate, {{V(), V()}, {}, -1, false, true});
-    Set(Sys::kEventfd, {{V()}, {}, -1, false, true});
-    Set(Sys::kEventfd2, {{V(), V()}, {}, -1, false, true});
+    // --- Process / thread lifecycle -------------------------------------------------
+    R(Sys::kClone).In({V()}).Local();
+    R(Sys::kFork);
+    R(Sys::kExecve).In({S(), P(), P()});
+    R(Sys::kExit).In({V()}).Local();
+    R(Sys::kExitGroup).In({V()}).Local();
+    R(Sys::kWait4).In({V(), P(), V(), P()}).Blocks();
+    R(Sys::kKill).In({V(), V()});
+    R(Sys::kTgkill).In({V(), V(), V()});
+    R(Sys::kSetpriority).Scalars(3);
 
-    // --- Memory management --------------------------------------------------------
-    Set(Sys::kMmap, {{P(), V(), V(), V(), V(), V()}});
-    Set(Sys::kMunmap, {{P(), V()}});
-    Set(Sys::kMprotect, {{P(), V(), V()}});
-    Set(Sys::kMremap, {{P(), V(), V(), V()}});
-    Set(Sys::kBrk, {{P()}});
-    Set(Sys::kShmget, {{V(), V(), V()}});
-    Set(Sys::kShmat, {{V(), P(), V()}});
-    Set(Sys::kShmdt, {{P()}});
-    Set(Sys::kShmctl, {{V(), V(), P()}});
+    // --- Signals ---------------------------------------------------------------------
+    R(Sys::kRtSigaction).In({V(), V(), P(), V()}).Local();
+    R(Sys::kRtSigprocmask).In({V(), V(), P(), V()}).Local();
+    R(Sys::kRtSigreturn).Local();
+    R(Sys::kSigaltstack).In({P(), P()}).Local();
+    R(Sys::kPause).Blocks().Exec(ExecKind::kPause).Local();
 
-    // --- Process / thread lifecycle ---------------------------------------------
-    Set(Sys::kClone, {{V()}});
-    Set(Sys::kFork, {{}});
-    Set(Sys::kExecve, {{S(), P(), P()}});
-    Set(Sys::kExit, {{V()}});
-    Set(Sys::kExitGroup, {{V()}});
-    Set(Sys::kWait4, {{V(), P(), V(), P()}, {}, -1, true});
-    Set(Sys::kKill, {{V(), V()}});
-    Set(Sys::kTgkill, {{V(), V(), V()}});
+    // --- Misc --------------------------------------------------------------------------
+    R(Sys::kGetrandom).In({P(), V(), V()}).Out({OBufRet(0, 1)});
+    R(Sys::kUnlink).In({S()});
+    R(Sys::kMkdir).In({S(), V()});
+    R(Sys::kRmdir).In({S()});
+    R(Sys::kRename).In({S(), S()});
+    R(Sys::kTruncate).In({S(), V()});
+    R(Sys::kFtruncate).In({V(), V()}).Fd(0);
+    R(Sys::kChdir).In({S()});
+    R(Sys::kSetxattr).In({S(), S(), B(3), V(), V()});
 
-    // --- Signals -----------------------------------------------------------------
-    Set(Sys::kRtSigaction, {{V(), V(), P(), V()}});
-    Set(Sys::kRtSigprocmask, {{V(), V(), P(), V()}});
-    Set(Sys::kRtSigreturn, {{}});
-    Set(Sys::kSigaltstack, {{P(), P()}});
-    Set(Sys::kPause, {{}, {}, -1, true});
-
-    // --- Misc ---------------------------------------------------------------------
-    Set(Sys::kGetrandom, {{P(), V(), V()}, {OBufRet(0, 1)}});
-    Set(Sys::kUnlink, {{S()}});
-    Set(Sys::kMkdir, {{S(), V()}});
-    Set(Sys::kRmdir, {{S()}});
-    Set(Sys::kRename, {{S(), S()}});
-    Set(Sys::kTruncate, {{S(), V()}});
-    Set(Sys::kFtruncate, {{V(), V()}, {}, 0});
-    Set(Sys::kChdir, {{S()}});
-
-    // --- MVEE-internal ----------------------------------------------------------
-    Set(Sys::kRemonIpmonRegister, {{P(), P(), V()}});
-    Set(Sys::kRemonRbFlush, {{V()}});
-    Set(Sys::kRemonSyncRegister, {{P()}});
+    // --- MVEE-internal -----------------------------------------------------------------
+    R(Sys::kRemonIpmonRegister).In({P(), P(), V()}).Local();
+    R(Sys::kRemonRbFlush).In({V()});
+    R(Sys::kRemonSyncRegister).In({P()}).Local();
   }
 };
 
@@ -244,6 +326,100 @@ void SerializeGuestRange(Process* p, std::vector<uint8_t>* out, GuestAddr addr, 
 const SyscallDesc& DescOf(Sys nr) {
   REMON_CHECK(static_cast<uint32_t>(nr) < kNumSyscalls);
   return Table().table[static_cast<size_t>(nr)];
+}
+
+FdType EffectiveFdType(Process* p, const SyscallRequest& req, const FdInfoSource& fds) {
+  const SyscallDesc& d = DescOf(req.nr);
+  AddressSpace& mem = p->mem();
+  switch (d.fd_scan) {
+    case FdScan::kNone:
+      return FdType::kFree;
+    case FdScan::kFdArg: {
+      int fd = static_cast<int>(req.arg(d.fd_arg));
+      if (!fds.FdValid(fd)) {
+        // Unknown descriptor: be conservative, force CP monitoring.
+        return FdType::kSpecial;
+      }
+      return fds.FdTypeOf(fd);
+    }
+    case FdScan::kPollfds: {
+      // poll watches many FDs: conditional exemption needs the "most sensitive" one.
+      uint64_t nfds = req.arg(1);
+      FdType worst = FdType::kRegular;
+      for (uint64_t i = 0; i < std::min<uint64_t>(nfds, 1024); ++i) {
+        GuestPollfd pf;
+        if (!mem.Read(req.arg(0) + i * sizeof(GuestPollfd), &pf, sizeof(pf)).ok) {
+          return FdType::kSpecial;
+        }
+        FdType ft = fds.FdTypeOf(pf.fd);
+        if (ft == FdType::kSocket) {
+          worst = FdType::kSocket;
+        } else if (ft == FdType::kSpecial) {
+          return FdType::kSpecial;
+        }
+      }
+      return worst;
+    }
+    case FdScan::kFdSets: {
+      int nfds = static_cast<int>(req.arg(0));
+      FdType worst = FdType::kRegular;
+      for (int set = 1; set <= 2; ++set) {
+        GuestAddr set_addr = req.arg(set);
+        if (set_addr == 0) {
+          continue;
+        }
+        for (int fd = 0; fd < nfds; ++fd) {
+          uint64_t word = 0;
+          if (!mem.Read(set_addr + static_cast<uint64_t>(fd / 64) * 8, &word, 8).ok) {
+            return FdType::kSpecial;
+          }
+          if (((word >> (fd % 64)) & 1) == 0) {
+            continue;
+          }
+          FdType ft = fds.FdTypeOf(fd);
+          if (ft == FdType::kSocket) {
+            worst = FdType::kSocket;
+          } else if (ft == FdType::kSpecial) {
+            return FdType::kSpecial;
+          }
+        }
+      }
+      return worst;
+    }
+  }
+  return FdType::kFree;
+}
+
+bool PredictBlocking(const SyscallRequest& req, const FdInfoSource& fds) {
+  const SyscallDesc& d = DescOf(req.nr);
+  switch (d.block) {
+    case BlockPred::kNever:
+      return false;
+    case BlockPred::kAlways:
+      return true;
+    case BlockPred::kTimeoutMs:
+      return static_cast<int64_t>(req.arg(d.timeout_arg)) != 0;
+    case BlockPred::kFdNonblocking:
+      return !fds.FdNonblocking(static_cast<int>(req.arg(d.fd_arg)));
+  }
+  return true;
+}
+
+bool ControlNeedsMonitor(const SyscallRequest& req) {
+  // Mode-changing fcntl/ioctl must reach GHUMVEE: it owns the FD metadata behind the
+  // file map (§3.6), and a silent O_NONBLOCK flip would desynchronize the blocking
+  // prediction. Pure queries (F_GETFL and friends) stay on the fast path.
+  switch (DescOf(req.nr).ctl_gate) {
+    case CtlGate::kNone:
+      return false;
+    case CtlGate::kFcntl: {
+      int cmd = static_cast<int>(req.arg(1));
+      return cmd == kF_SETFL || cmd == kF_DUPFD;
+    }
+    case CtlGate::kIoctl:
+      return req.arg(1) == kIoctlFionbio;
+  }
+  return false;
 }
 
 std::vector<uint8_t> SerializeCallSignature(Process* p, const SyscallRequest& req) {

@@ -1,16 +1,33 @@
-// Per-system-call argument metadata shared by GHUMVEE and IP-MON.
+// The unified per-system-call descriptor registry shared by every layer that
+// classifies calls: the kernel's dispatcher, GHUMVEE's lockstep comparison, IP-MON's
+// replication fast path, and the relaxation policy.
 //
 // The paper's listing 1 shows how handlers describe each call: CHECKREG compares a
 // scalar argument across replicas, CHECKPOINTER compares only *nullness* (diversified
 // replicas legitimately pass different pointer values), CHECKBUFFER/CHECKSTRING deep-
 // compare pointed-to content, and REPLICATEBUFFER copies result data from the master
-// into the slaves. This module centralizes those descriptions so both monitors (and
-// the tests) interpret every call identically:
+// into the slaves. ReMon's security argument rests on every component interpreting a
+// call the *same way*; this module is the single source of truth. One descriptor per
+// syscall declaratively encodes:
 //
+//  * argument classes (scalar / in-buffer / out-buffer / fd / fd-array),
+//  * CALCSIZE / PRECALL / POSTCALL region computation,
+//  * fd-type semantics for the conditional relaxation policy (which FD argument or
+//    FD list decides socket-vs-file routing),
+//  * blocking prediction for the slaves' spin-vs-futex wait choice (§3.7),
+//  * FD-lifecycle effects that keep the IP-MON file map authoritative (§3.6),
+//  * the default policy class (Table 1 exemption levels, lockstep execution mode),
+//  * the kernel marshalling strategy (which handler family executes the call).
+//
+// Adding a syscall is one table row in syscall_meta.cc; GHUMVEE, IP-MON, the policy
+// engine, and the kernel dispatcher all pick it up from there.
+//
+// Derived operations:
 //  * SerializeCallSignature — canonical byte string of the comparable content of a
 //    call; two replicas diverge iff their signatures differ.
 //  * CollectOutRegions — the guest regions a completed call wrote, for replication.
 //  * EstimateDataSize — upper bound of RB space the call can need (CALCSIZE).
+//  * EffectiveFdType / PredictBlocking / ControlNeedsMonitor — FD-routing helpers.
 
 #ifndef SRC_KERNEL_SYSCALL_META_H_
 #define SRC_KERNEL_SYSCALL_META_H_
@@ -21,6 +38,7 @@
 #include "src/kernel/process.h"
 #include "src/kernel/sysno.h"
 #include "src/kernel/thread.h"
+#include "src/vfs/file.h"
 
 namespace remon {
 
@@ -68,16 +86,135 @@ struct OutArg {
   uint32_t fixed = 0;
 };
 
+// Blocking prediction for the slaves' wait-strategy choice (paper §3.7): whether an
+// unmonitored call may put the master to sleep, in which case the slaves arm the
+// entry's futex condvar instead of spinning.
+enum class BlockPred : uint8_t {
+  kNever,          // The call completes immediately.
+  kAlways,         // The call sleeps by design (nanosleep, pause, select, futex).
+  kTimeoutMs,      // Blocks iff the ms-timeout argument (`timeout_arg`) is nonzero.
+  kFdNonblocking,  // Blocks iff the FD argument is not in O_NONBLOCK mode.
+};
+
+// Which FD(s) the conditional relaxation policy inspects (paper Table 1 right
+// column): the call's routing depends on the "most sensitive" descriptor involved.
+enum class FdScan : uint8_t {
+  kNone,     // No FD argument; policy sees FdType::kFree.
+  kFdArg,    // Single descriptor at args[fd_arg].
+  kPollfds,  // pollfd array at args[0], count at args[1].
+  kFdSets,   // select() fd_sets at args[1]/args[2], nfds at args[0].
+};
+
+// FD-lifecycle effect: how a *monitored* completion updates the IP-MON file map
+// (§3.6). GHUMVEE applies these after the master executes.
+enum class FdEffect : uint8_t {
+  kNone,
+  kCreatesFd,     // Successful return value is a new descriptor.
+  kClosesFd,      // args[0] descriptor goes away on success.
+  kCreatesFdPair, // Two descriptors written to args[0] (pipe/pipe2).
+  kSetsFdFlags,   // May toggle O_NONBLOCK (fcntl F_SETFL / ioctl FIONBIO).
+};
+
+// Control-command gate: fcntl/ioctl sub-commands that mutate FD metadata GHUMVEE
+// owns must stay monitored even when the policy would exempt the call.
+enum class CtlGate : uint8_t { kNone, kFcntl, kIoctl };
+
+// Kernel marshalling strategy: which handler family executes the call. Per-syscall
+// variations (vectored, positional, msghdr-based, flags argument) are exec_flags.
+enum class ExecKind : uint8_t {
+  kFast,       // Non-blocking, handled synchronously by SysFast.
+  kRead,
+  kWrite,
+  kRecv,
+  kSend,
+  kSendfile,
+  kAccept,
+  kConnect,
+  kPoll,
+  kSelect,
+  kEpollWait,
+  kNanosleep,
+  kFutex,
+  kPause,
+};
+
+inline constexpr uint8_t kExecVectored = 1u << 0;    // readv/writev/preadv/pwritev.
+inline constexpr uint8_t kExecPositional = 1u << 1;  // pread64/pwrite64/preadv/pwritev.
+inline constexpr uint8_t kExecMsg = 1u << 2;         // recvmsg/sendmsg (+mmsg).
+inline constexpr uint8_t kExecFlagsArg = 1u << 3;    // accept4's flags argument.
+
+// Default policy class (paper §3.4, Table 1). Values mirror PolicyLevel in
+// src/core/policy.h (kNever == kNoIpmon); the policy engine casts between them.
+enum class PolicyClass : uint8_t {
+  kNever = 0,      // Never exempt (always monitored).
+  kBase = 1,
+  kNonsockRo = 2,
+  kNonsockRw = 3,
+  kSockRo = 4,
+  kSockRw = 5,
+};
+
 struct SyscallDesc {
   InArg in[6];
   OutArg outs[3];
   int fd_arg = -1;        // Index of the primary FD argument (file-map lookups).
-  bool may_block = false; // Whether the call can block on a (blocking) FD.
-  bool returns_fd = false;
+  int timeout_arg = -1;   // Index of the ms-timeout argument for BlockPred::kTimeoutMs.
+  BlockPred block = BlockPred::kNever;
+  FdScan fd_scan = FdScan::kNone;
+  FdEffect fd_effect = FdEffect::kNone;
+  CtlGate ctl_gate = CtlGate::kNone;
+  ExecKind exec = ExecKind::kFast;
+  uint8_t exec_flags = 0;
+
+  // Default policy classification (Table 1 + lockstep execution mode).
+  PolicyClass uncond = PolicyClass::kNever;        // Unconditional exemption level.
+  PolicyClass cond_nonsock = PolicyClass::kNever;  // Conditional: non-socket FDs.
+  PolicyClass cond_sock = PolicyClass::kNever;     // Conditional: socket FDs.
+  bool local = false;      // Lockstep executes the call in *every* replica.
+  bool forced_cp = false;  // Could tamper with IP-MON/RB: never exempt (§3.1).
+
+  bool registered = false;  // Set for every row in the table; the tests assert it.
+
+  bool may_block() const { return block != BlockPred::kNever; }
+  bool returns_fd() const { return fd_effect == FdEffect::kCreatesFd; }
+  bool conditional() const { return cond_nonsock != PolicyClass::kNever; }
 };
 
 // Descriptor for `nr`; every valid syscall has one.
 const SyscallDesc& DescOf(Sys nr);
+
+// Index of the pathname (kCStr) argument, or -1. Lets path-based handlers share one
+// marshalling body across the plain and the *at variants (open/openat, ...).
+inline int PathArg(const SyscallDesc& d) {
+  for (int i = 0; i < 6; ++i) {
+    if (d.in[i].kind == In::kCStr) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+// Read-only FD metadata consulted by the classification helpers. Implemented by the
+// IP-MON file map (core layer); defined here so kernel-layer code stays independent.
+class FdInfoSource {
+ public:
+  virtual ~FdInfoSource() = default;
+  virtual bool FdValid(int fd) const = 0;
+  virtual FdType FdTypeOf(int fd) const = 0;
+  virtual bool FdNonblocking(int fd) const = 0;
+};
+
+// The FD type the conditional relaxation policy should judge this call by: the
+// single FD argument, or the "most sensitive" descriptor in a poll/select FD list
+// (socket outranks regular; unknown/special forces CP monitoring).
+FdType EffectiveFdType(Process* p, const SyscallRequest& req, const FdInfoSource& fds);
+
+// Whether the slaves should sleep on the entry's condvar instead of spinning.
+bool PredictBlocking(const SyscallRequest& req, const FdInfoSource& fds);
+
+// True when a control call's sub-command mutates FD metadata GHUMVEE owns
+// (fcntl F_SETFL / F_DUPFD, ioctl FIONBIO) and must therefore stay monitored.
+bool ControlNeedsMonitor(const SyscallRequest& req);
 
 // Canonical byte string of the call's comparable content (the monitors' deep compare
 // input). Unreadable guest memory contributes a fault marker instead of aborting.

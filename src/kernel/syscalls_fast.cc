@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/kernel/kernel.h"
+#include "src/kernel/syscall_meta.h"
 #include "src/kernel/timerfd.h"
 #include "src/net/network.h"
 #include "src/sim/check.h"
@@ -15,9 +16,6 @@
 namespace remon {
 
 namespace {
-
-constexpr uint64_t kFionbio = 0x5421;
-constexpr uint64_t kFionread = 0x541B;
 
 // Resolves "/proc/self/..." for the calling process.
 std::string FixupPath(Thread* t, std::string path) {
@@ -58,8 +56,8 @@ int64_t Kernel::SysFast(Thread* t, const SyscallRequest& req) {
     // --- FD lifecycle ------------------------------------------------------------
     case Sys::kOpen:
     case Sys::kOpenat: {
-      int base = req.nr == Sys::kOpenat ? 1 : 0;
-      auto path_opt = mem.ReadCString(req.arg(base + 0));
+      int base = PathArg(DescOf(req.nr));
+      auto path_opt = mem.ReadCString(req.arg(base));
       if (!path_opt) {
         return -kEFAULT;
       }
@@ -159,7 +157,7 @@ int64_t Kernel::SysFast(Thread* t, const SyscallRequest& req) {
       if (!desc) {
         return -kEBADF;
       }
-      if (req.arg(1) == kFionbio) {
+      if (req.arg(1) == kIoctlFionbio) {
         uint32_t on = 0;
         if (CopyIn(p, &on, req.arg(2), 4) != 0) {
           return -kEFAULT;
@@ -168,7 +166,7 @@ int64_t Kernel::SysFast(Thread* t, const SyscallRequest& req) {
         desc->set_status_flags(on != 0 ? (flags | kO_NONBLOCK) : (flags & ~kO_NONBLOCK));
         return 0;
       }
-      if (req.arg(1) == kFionread) {
+      if (req.arg(1) == kIoctlFionread) {
         uint32_t avail = 0;
         if (auto* sock = dynamic_cast<StreamSocket*>(desc->file())) {
           avail = static_cast<uint32_t>(sock->rx_buffered());
@@ -203,27 +201,19 @@ int64_t Kernel::SysFast(Thread* t, const SyscallRequest& req) {
 
     // --- Filesystem metadata ----------------------------------------------------
     case Sys::kStat:
-    case Sys::kLstat: {
-      auto path = mem.ReadCString(req.arg(0));
-      if (!path) {
-        return -kEFAULT;
-      }
-      auto inode = fs_->Resolve(FixupPath(t, *path), p->cwd, req.nr == Sys::kStat);
-      if (!inode) {
-        return -kENOENT;
-      }
-      return FillStatFor(t, inode, req.arg(1));
-    }
+    case Sys::kLstat:
     case Sys::kFstatat: {
-      auto path = mem.ReadCString(req.arg(1));
+      int base = PathArg(DescOf(req.nr));
+      auto path = mem.ReadCString(req.arg(base));
       if (!path) {
         return -kEFAULT;
       }
-      auto inode = fs_->Resolve(FixupPath(t, *path), p->cwd);
+      auto inode =
+          fs_->Resolve(FixupPath(t, *path), p->cwd, /*follow=*/req.nr != Sys::kLstat);
       if (!inode) {
         return -kENOENT;
       }
-      return FillStatFor(t, inode, req.arg(2));
+      return FillStatFor(t, inode, req.arg(base + 1));
     }
     case Sys::kFstat: {
       auto desc = Fd(t, static_cast<int>(req.arg(0)));
@@ -245,8 +235,8 @@ int64_t Kernel::SysFast(Thread* t, const SyscallRequest& req) {
     }
     case Sys::kAccess:
     case Sys::kFaccessat: {
-      int base = req.nr == Sys::kFaccessat ? 1 : 0;
-      auto path = mem.ReadCString(req.arg(base + 0));
+      int base = PathArg(DescOf(req.nr));
+      auto path = mem.ReadCString(req.arg(base));
       if (!path) {
         return -kEFAULT;
       }
@@ -277,8 +267,8 @@ int64_t Kernel::SysFast(Thread* t, const SyscallRequest& req) {
     }
     case Sys::kReadlink:
     case Sys::kReadlinkat: {
-      int base = req.nr == Sys::kReadlinkat ? 1 : 0;
-      auto path = mem.ReadCString(req.arg(base + 0));
+      int base = PathArg(DescOf(req.nr));
+      auto path = mem.ReadCString(req.arg(base));
       if (!path) {
         return -kEFAULT;
       }

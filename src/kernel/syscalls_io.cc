@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/kernel/kernel.h"
+#include "src/kernel/syscall_meta.h"
 #include "src/kernel/timerfd.h"
 #include "src/net/network.h"
 #include "src/sim/check.h"
@@ -56,53 +57,39 @@ int Kernel::InstallFile(Thread* t, std::shared_ptr<File> file, int flags) {
 }
 
 void Kernel::ExecuteSyscall(Thread* t, const SyscallRequest& req, Done done) {
-  switch (req.nr) {
-    case Sys::kRead:
-      return SysRead(t, req, /*vectored=*/false, /*positional=*/false, std::move(done));
-    case Sys::kReadv:
-      return SysRead(t, req, true, false, std::move(done));
-    case Sys::kPread64:
-      return SysRead(t, req, false, true, std::move(done));
-    case Sys::kPreadv:
-      return SysRead(t, req, true, true, std::move(done));
-    case Sys::kWrite:
-      return SysWrite(t, req, false, false, std::move(done));
-    case Sys::kWritev:
-      return SysWrite(t, req, true, false, std::move(done));
-    case Sys::kPwrite64:
-      return SysWrite(t, req, false, true, std::move(done));
-    case Sys::kPwritev:
-      return SysWrite(t, req, true, true, std::move(done));
-    case Sys::kRecvfrom:
-      return SysRecv(t, req, /*msg=*/false, std::move(done));
-    case Sys::kRecvmsg:
-    case Sys::kRecvmmsg:
-      return SysRecv(t, req, true, std::move(done));
-    case Sys::kSendto:
-      return SysSend(t, req, false, std::move(done));
-    case Sys::kSendmsg:
-    case Sys::kSendmmsg:
-      return SysSend(t, req, true, std::move(done));
-    case Sys::kSendfile:
+  // Table-driven dispatch: the descriptor registry names the marshalling strategy;
+  // per-syscall variation (vectored/positional/msghdr/flags) rides in exec_flags.
+  const SyscallDesc& d = DescOf(req.nr);
+  const bool vectored = (d.exec_flags & kExecVectored) != 0;
+  const bool positional = (d.exec_flags & kExecPositional) != 0;
+  switch (d.exec) {
+    case ExecKind::kRead:
+      return SysRead(t, req, vectored, positional, std::move(done));
+    case ExecKind::kWrite:
+      return SysWrite(t, req, vectored, positional, std::move(done));
+    case ExecKind::kRecv:
+      return SysRecv(t, req, (d.exec_flags & kExecMsg) != 0, std::move(done));
+    case ExecKind::kSend:
+      return SysSend(t, req, (d.exec_flags & kExecMsg) != 0, std::move(done));
+    case ExecKind::kSendfile:
       return SysSendfile(t, req, std::move(done));
-    case Sys::kAccept:
-      return SysAccept(t, req, false, std::move(done));
-    case Sys::kAccept4:
-      return SysAccept(t, req, true, std::move(done));
-    case Sys::kConnect:
+    case ExecKind::kAccept:
+      return SysAccept(t, req, (d.exec_flags & kExecFlagsArg) != 0, std::move(done));
+    case ExecKind::kConnect:
       return SysConnect(t, req, std::move(done));
-    case Sys::kPoll:
+    case ExecKind::kPoll:
       return SysPoll(t, req, std::move(done));
-    case Sys::kSelect:
+    case ExecKind::kSelect:
       return SysSelect(t, req, std::move(done));
-    case Sys::kEpollWait:
+    case ExecKind::kEpollWait:
       return SysEpollWait(t, req, std::move(done));
-    case Sys::kNanosleep:
+    case ExecKind::kNanosleep:
       return SysNanosleep(t, req, std::move(done));
-    case Sys::kFutex:
+    case ExecKind::kFutex:
       return SysFutex(t, req, std::move(done));
-    case Sys::kPause:
+    case ExecKind::kPause:
       return SysPause(t, req, std::move(done));
+    case ExecKind::kFast:
     default:
       return done(SysFast(t, req));
   }

@@ -37,6 +37,8 @@ struct SimStats {
   uint64_t rb_spin_waits = 0;
   uint64_t rb_futex_waits = 0;
   uint64_t rb_futex_wakes_elided = 0;
+  uint64_t rb_batched_entries = 0;  // POSTCALL commits deferred into a batch.
+  uint64_t rb_batch_flushes = 0;    // Coalesced publications (one wakeup each).
 
   // Synchronization replication (record/replay agent).
   uint64_t sync_ops_recorded = 0;

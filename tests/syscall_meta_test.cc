@@ -4,7 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <random>
 
+#include "src/core/file_map.h"
+#include "src/core/policy.h"
+#include "src/core/replication_buffer.h"
+#include "src/kernel/abi.h"
 #include "src/kernel/syscall_meta.h"
 #include "tests/test_util.h"
 
@@ -174,6 +179,109 @@ TEST_F(MetaTest, UnreadableMemoryYieldsFaultMarkerNotCrash) {
   EXPECT_FALSE(sig.empty());  // Serialized with a fault marker, no abort.
 }
 
+TEST_F(MetaTest, EverySyscallHasRegisteredDescriptor) {
+  // The kernel dispatcher, GHUMVEE, IP-MON, and the policy engine all route every
+  // call through DescOf(); a syscall handled anywhere (syscalls_io.cc /
+  // syscalls_fast.cc dispatch over the whole enum) without a table row would fall
+  // back to a zeroed descriptor and silently skip comparison and replication.
+  for (uint32_t i = 1; i < kNumSyscalls; ++i) {
+    Sys nr = static_cast<Sys>(i);
+    EXPECT_TRUE(DescOf(nr).registered) << SysName(nr);
+  }
+}
+
+TEST_F(MetaTest, CalcsizeAgreesAcrossReplicasForRandomizedArgs) {
+  // The RB cursors stay in lockstep only because master and slave compute identical
+  // entry sizes. Diversified replicas pass different *pointer* values, so CALCSIZE
+  // must depend only on value-class (CHECKREG) arguments: randomize every argument,
+  // then re-randomize the non-value arguments for the "slave" and demand equality.
+  std::mt19937_64 rng(20260730);
+  for (uint32_t i = 1; i < kNumSyscalls; ++i) {
+    Sys nr = static_cast<Sys>(i);
+    const SyscallDesc& d = DescOf(nr);
+    for (int round = 0; round < 16; ++round) {
+      SyscallRequest master{nr, {}};
+      SyscallRequest slave{nr, {}};
+      for (int a = 0; a < 6; ++a) {
+        uint64_t v = rng() & 0xfffff;  // Bounded: size args stay sane.
+        master.args[a] = v;
+        slave.args[a] = d.in[a].kind == In::kValue ? v : (rng() | 0x7f00'0000'0000ULL);
+      }
+      uint64_t m = EstimateDataSize(a_, master);
+      uint64_t s = EstimateDataSize(b_, slave);
+      EXPECT_EQ(m, s) << SysName(nr);
+      EXPECT_EQ(RbEntryOps::EntrySize(0, m + 16), RbEntryOps::EntrySize(0, s + 16))
+          << SysName(nr);
+    }
+  }
+}
+
+TEST_F(MetaTest, PolicyEngineMatchesDescriptorClassification) {
+  // policy.cc is a thin interpreter over the registry: the Table 1 helpers must
+  // agree with the descriptor fields for every syscall.
+  for (uint32_t i = 1; i < kNumSyscalls; ++i) {
+    Sys nr = static_cast<Sys>(i);
+    const SyscallDesc& d = DescOf(nr);
+    EXPECT_EQ(RelaxationPolicy::IsLocalCall(nr), d.local) << SysName(nr);
+    EXPECT_EQ(RelaxationPolicy::ForcedCpCall(nr), d.forced_cp) << SysName(nr);
+    EXPECT_EQ(RelaxationPolicy::IpmonSupports(nr),
+              d.uncond != PolicyClass::kNever || d.conditional())
+        << SysName(nr);
+    // Forced-CP calls are never exempt, whatever the level.
+    if (d.forced_cp) {
+      RelaxationPolicy max_policy(PolicyLevel::kSocketRw);
+      EXPECT_FALSE(max_policy.AllowsUnmonitored(nr, FdType::kRegular)) << SysName(nr);
+    }
+  }
+}
+
+TEST_F(MetaTest, ControlGateForwardsModeChangingCommands) {
+  // fcntl F_SETFL / F_DUPFD and ioctl FIONBIO mutate FD metadata GHUMVEE owns.
+  SyscallRequest setfl{Sys::kFcntl, {3, static_cast<uint64_t>(kF_SETFL), 0, 0, 0, 0}};
+  SyscallRequest getfl{Sys::kFcntl, {3, static_cast<uint64_t>(kF_GETFL), 0, 0, 0, 0}};
+  SyscallRequest dupfd{Sys::kFcntl, {3, static_cast<uint64_t>(kF_DUPFD), 0, 0, 0, 0}};
+  SyscallRequest nbio{Sys::kIoctl, {3, kIoctlFionbio, 0, 0, 0, 0}};
+  SyscallRequest nread{Sys::kIoctl, {3, kIoctlFionread, 0, 0, 0, 0}};
+  SyscallRequest read{Sys::kRead, {3, 0, 16, 0, 0, 0}};
+  EXPECT_TRUE(ControlNeedsMonitor(setfl));
+  EXPECT_TRUE(ControlNeedsMonitor(dupfd));
+  EXPECT_TRUE(ControlNeedsMonitor(nbio));
+  EXPECT_FALSE(ControlNeedsMonitor(getfl));
+  EXPECT_FALSE(ControlNeedsMonitor(nread));
+  EXPECT_FALSE(ControlNeedsMonitor(read));
+}
+
+TEST_F(MetaTest, BlockingPredictionFollowsDescriptor) {
+  FileMap fm;
+  fm.Set(3, FdType::kRegular, /*nonblocking=*/false);
+  fm.Set(4, FdType::kSocket, /*nonblocking=*/true);
+  // FD-dependent: blocking descriptor blocks, O_NONBLOCK one does not.
+  EXPECT_TRUE(PredictBlocking(SyscallRequest{Sys::kRead, {3, 0, 16, 0, 0, 0}}, fm));
+  EXPECT_FALSE(PredictBlocking(SyscallRequest{Sys::kRead, {4, 0, 16, 0, 0, 0}}, fm));
+  // Timeout-dependent: poll/epoll_wait block iff their ms timeout is nonzero.
+  EXPECT_FALSE(PredictBlocking(SyscallRequest{Sys::kPoll, {0, 0, 0, 0, 0, 0}}, fm));
+  EXPECT_TRUE(PredictBlocking(SyscallRequest{Sys::kPoll, {0, 0, 100, 0, 0, 0}}, fm));
+  EXPECT_TRUE(PredictBlocking(
+      SyscallRequest{Sys::kEpollWait, {5, 0, 8, static_cast<uint64_t>(-1), 0, 0}}, fm));
+  // Unconditional sleepers and never-blocking queries.
+  EXPECT_TRUE(PredictBlocking(SyscallRequest{Sys::kNanosleep, {0, 0, 0, 0, 0, 0}}, fm));
+  EXPECT_FALSE(PredictBlocking(SyscallRequest{Sys::kGetpid, {0, 0, 0, 0, 0, 0}}, fm));
+}
+
+TEST_F(MetaTest, ExecDispatchEncodesMarshallingVariants) {
+  EXPECT_EQ(DescOf(Sys::kRead).exec, ExecKind::kRead);
+  EXPECT_EQ(DescOf(Sys::kReadv).exec_flags & kExecVectored, kExecVectored);
+  EXPECT_EQ(DescOf(Sys::kPreadv).exec_flags, kExecVectored | kExecPositional);
+  EXPECT_EQ(DescOf(Sys::kRecvmsg).exec_flags & kExecMsg, kExecMsg);
+  EXPECT_EQ(DescOf(Sys::kAccept4).exec_flags & kExecFlagsArg, kExecFlagsArg);
+  EXPECT_EQ(DescOf(Sys::kGetpid).exec, ExecKind::kFast);
+  // Path-argument marshalling: the *at variants name the same handler body.
+  EXPECT_EQ(PathArg(DescOf(Sys::kOpen)), 0);
+  EXPECT_EQ(PathArg(DescOf(Sys::kOpenat)), 1);
+  EXPECT_EQ(PathArg(DescOf(Sys::kReadlinkat)), 1);
+  EXPECT_EQ(PathArg(DescOf(Sys::kRead)), -1);
+}
+
 TEST_F(MetaTest, EveryFastPathCallHasDescriptor) {
   for (uint32_t i = 1; i < kNumSyscalls; ++i) {
     Sys nr = static_cast<Sys>(i);
@@ -184,12 +292,12 @@ TEST_F(MetaTest, EveryFastPathCallHasDescriptor) {
       EXPECT_EQ(d.fd_arg, 0) << SysName(nr);
     }
   }
-  EXPECT_TRUE(DescOf(Sys::kRead).may_block);
-  EXPECT_TRUE(DescOf(Sys::kAccept).may_block);
-  EXPECT_FALSE(DescOf(Sys::kGetpid).may_block);
-  EXPECT_TRUE(DescOf(Sys::kOpen).returns_fd);
-  EXPECT_TRUE(DescOf(Sys::kSocket).returns_fd);
-  EXPECT_FALSE(DescOf(Sys::kWrite).returns_fd);
+  EXPECT_TRUE(DescOf(Sys::kRead).may_block());
+  EXPECT_TRUE(DescOf(Sys::kAccept).may_block());
+  EXPECT_FALSE(DescOf(Sys::kGetpid).may_block());
+  EXPECT_TRUE(DescOf(Sys::kOpen).returns_fd());
+  EXPECT_TRUE(DescOf(Sys::kSocket).returns_fd());
+  EXPECT_FALSE(DescOf(Sys::kWrite).returns_fd());
 }
 
 }  // namespace

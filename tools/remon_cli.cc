@@ -4,7 +4,7 @@
 //             [--level=base|nonsocket_ro|nonsocket_rw|socket_ro|socket_rw]
 //             [--workload=NAME | --server=NAME] [--seed=N] [--latency-us=N]
 //             [--connections=N] [--requests=N] [--temporal-p=F] [--rb-mb=N]
-//             [--rb-migration] [--list]
+//             [--rb-batch=N] [--rb-migration] [--list]
 //
 // Runs one workload (a suite benchmark by name, or a server benchmark driven by a
 // closed-loop client) under the chosen MVEE configuration and prints a run report.
@@ -30,6 +30,7 @@ struct CliArgs {
   int connections = 16;
   int requests = 400;
   double temporal_p = 0.0;
+  int rb_batch = 0;
   uint64_t rb_mb = 16;
   bool rb_migration = false;
   bool list = false;
@@ -80,6 +81,8 @@ CliArgs Parse(int argc, char** argv) {
       args.requests = std::atoi(v);
     } else if (StartsWith(argv[i], "--temporal-p=", &v)) {
       args.temporal_p = std::atof(v);
+    } else if (StartsWith(argv[i], "--rb-batch=", &v)) {
+      args.rb_batch = std::atoi(v);
     } else if (StartsWith(argv[i], "--rb-mb=", &v)) {
       args.rb_mb = static_cast<uint64_t>(std::atoll(v));
     } else if (std::strcmp(argv[i], "--rb-migration") == 0) {
@@ -128,6 +131,7 @@ int Run(const CliArgs& args) {
   config.level = args.level;
   config.seed = args.seed;
   config.rb_size = args.rb_mb * 1024 * 1024;
+  config.rb_batch_max = args.rb_batch;
   if (args.temporal_p > 0) {
     config.temporal.enabled = true;
     config.temporal.exempt_probability = args.temporal_p;
@@ -190,7 +194,7 @@ int main(int argc, char** argv) {
   remon::CliArgs args = remon::Parse(argc, argv);
   if (!args.ok) {
     std::fprintf(stderr, "usage: remon_cli [--mode=..] [--replicas=N] [--level=..] "
-                         "[--workload=NAME|--server=NAME] [--list]\n");
+                         "[--workload=NAME|--server=NAME] [--rb-batch=N] [--list]\n");
     return 1;
   }
   if (args.list) {
