@@ -33,7 +33,7 @@ constexpr BenchRow kRows[] = {
 
 void RunScenario(const char* title, LinkParams link) {
   std::printf("== Figure 5: %s ==\n", title);
-  Table table({"benchmark", "2 (noIPM)", "2", "3", "4", "5", "6", "7"});
+  Table table({"benchmark", "2 (noIPM)", "2", "3", "4", "5", "6", "7", "4 adpt"});
   for (const BenchRow& row : kRows) {
     ServerSpec server = ServerByName(row.server);
     ClientSpec client;
@@ -66,6 +66,15 @@ void RunScenario(const char* title, LinkParams link) {
       ip.level = PolicyLevel::kSocketRw;
       cells.push_back(Table::Num(norm(ip)));
     }
+    // Beyond the paper: adaptive RB batching at 4 replicas (the per-rank window
+    // follows each worker's observed waiter pressure).
+    RunConfig adaptive;
+    adaptive.mode = MveeMode::kRemon;
+    adaptive.replicas = 4;
+    adaptive.level = PolicyLevel::kSocketRw;
+    adaptive.rb_batch_max = 16;
+    adaptive.rb_batch_policy = RbBatchPolicy::kAdaptive;
+    cells.push_back(Table::Num(norm(adaptive)));
     table.AddRow(std::move(cells));
   }
   table.Print();

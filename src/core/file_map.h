@@ -11,6 +11,7 @@
 #define SRC_CORE_FILE_MAP_H_
 
 #include <cstdint>
+#include <cstdio>
 
 #include "src/kernel/syscall_meta.h"
 #include "src/mem/page.h"
@@ -37,6 +38,18 @@ class FileMap : public FdInfoSource {
 
   void Set(int fd, FdType type, bool nonblocking) {
     if (!InRange(fd)) {
+      // An FD beyond the one-page map would be tracked nowhere: every later policy
+      // and blocking-prediction lookup on it silently degrades to "unknown". Count
+      // it and warn once so a workload outgrowing the map (the sharded-file-map
+      // item on the ROADMAP) is visible instead of masked.
+      ++out_of_range_sets_;
+      if (!warned_out_of_range_) {
+        warned_out_of_range_ = true;
+        std::fprintf(stderr,
+                     "FileMap: fd %d outside the one-page map [0, %d); metadata "
+                     "dropped (further drops counted, not logged)\n",
+                     fd, kMaxFds);
+      }
       return;
     }
     uint8_t byte = kValidBit | (static_cast<uint8_t>(type) & kTypeMask);
@@ -80,10 +93,15 @@ class FileMap : public FdInfoSource {
   FdType FdTypeOf(int fd) const override { return TypeOf(fd); }
   bool FdNonblocking(int fd) const override { return IsNonblocking(fd); }
 
+  // Number of Set() calls dropped because the FD fell outside the map.
+  uint64_t out_of_range_sets() const { return out_of_range_sets_; }
+
  private:
   static bool InRange(int fd) { return fd >= 0 && fd < kMaxFds; }
 
   PageRef page_;
+  uint64_t out_of_range_sets_ = 0;
+  bool warned_out_of_range_ = false;
 };
 
 }  // namespace remon

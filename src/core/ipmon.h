@@ -21,6 +21,7 @@
 #define SRC_CORE_IPMON_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -56,11 +57,15 @@ class IpMon {
     IpmonWaitMode wait_mode = IpmonWaitMode::kAuto;
     uint64_t entry_cookie = 0x49504d4f;  // "IPMO": the registered entry point.
     // Batched RB publication (ablation knob): the master coalesces up to this many
-    // consecutive small bounded-latency POSTCALL commits per rank into one
-    // publication with a single slave wakeup; the batch always flushes before a
-    // call that can park the master indefinitely (sockets, pipes, sleeps) and
-    // before leaving the fast path. 0 disables batching (per-entry wakes).
+    // consecutive small bounded-latency entries per rank — staged PRECALL argument
+    // commits and deferred POSTCALL results — into one publication with a single
+    // slave wakeup; the batch always flushes before a call that can park the master
+    // indefinitely (sockets, pipes, sleeps) and before leaving the fast path.
+    // 0 disables batching (per-entry wakes). Under kAdaptive this is the window
+    // ceiling; the effective window floats in [1, rb_batch_max] driven by the
+    // waiter pressure observed at flush points.
     int rb_batch_max = 0;
+    RbBatchPolicy rb_batch_policy = RbBatchPolicy::kFixed;
     // Only results at most this large are batched; bigger payloads publish eagerly.
     uint64_t rb_batch_entry_bytes = 512;
   };
@@ -126,8 +131,14 @@ class IpMon {
   bool NeedsGhumvee(Thread* t, const SyscallRequest& req) const;
 
   // Flushes one rank's pending batch; returns the waiters observed (for the
-  // caller's futex-wake cost accounting).
+  // caller's futex-wake cost accounting). Under RbBatchPolicy::kAdaptive the
+  // observation — futex waiters registered on the covered entries vs. tasks
+  // parked spinning on their state words — also drives the window state machine.
   uint32_t FlushRbBatch(int rank);
+
+  // Effective batch window for a rank: rb_batch_max under kFixed, the rank's
+  // current adaptive window under kAdaptive.
+  int BatchWindow(int rank) const;
 
   // Whether the call can park the master for an unbounded time (external input or
   // an explicit sleep). Bounded-latency regular-file I/O returns false even when
@@ -136,6 +147,10 @@ class IpMon {
   // liveness hazard.
   bool MaySleepIndefinitely(const SyscallRequest& req) const;
 
+  // Flushes one rank's batch and charges the thread the FUTEX_WAKE cost when the
+  // publication woke someone — the one idiom every coroutine flush point must use
+  // so the fixed-vs-adaptive ablation columns stay comparable.
+  GuestTask<void> FlushBatchCharged(Thread* t, int rank);
   GuestTask<void> MasterPath(Thread* t, SyscallRequest req, uint64_t token);
   GuestTask<void> SlavePath(Thread* t, SyscallRequest req, uint64_t token);
   // Forward the call to GHUMVEE (4'): destroy token, restart traced.
@@ -188,6 +203,9 @@ class IpMon {
 
   // Per-rank deferred POSTCALL commits (master only; see Config::rb_batch_max).
   std::vector<RbBatch> batch_;
+  // Liveness sentinel for the on_park hook (see Initialize): expires with this
+  // IpMon, making the Process-held hook a safe no-op afterwards.
+  std::shared_ptr<char> park_guard_ = std::make_shared<char>(0);
 
   const char* forward_reason_ = "?";
   uint64_t rb_resets_ = 0;

@@ -39,6 +39,9 @@ Remon::Remon(Kernel* kernel, const RemonOptions& options)
   REMON_CHECK(options_.replicas >= 1);
 }
 
+// The park hooks installed on replica processes capture the IpMon instances owned
+// here; like Process::gate, they follow the convention that the monitor outlives
+// the kernel's last event for its replicas (they die with the Process objects).
 Remon::~Remon() = default;
 
 bool Remon::finished() const {
@@ -85,8 +88,8 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
     p->mem_intensity = options_.mem_intensity;
     // The IP-MON "shared library" text region (hidden from /proc/maps by GHUMVEE).
     if (options_.mode == MveeMode::kRemon || options_.mode == MveeMode::kVaranLike) {
-      REMON_CHECK(p->mem().MapFixed(plan.ipmon_base, plan.ipmon_size,
-                                    kProtRead | kProtExec, false, "libipmon"));
+      REMON_CHECK(p->mem().MapFixedLazy(plan.ipmon_base, plan.ipmon_size,
+                                        kProtRead | kProtExec, "libipmon"));
     }
     replicas_.push_back(p);
 
@@ -104,6 +107,7 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
           options_.mode == MveeMode::kVaranLike ? IpmonMode::kVaranLike : IpmonMode::kRemon;
       cfg.wait_mode = options_.wait_mode;
       cfg.rb_batch_max = options_.rb_batch_max;
+      cfg.rb_batch_policy = options_.rb_batch_policy;
       FileMap* fm = options_.mode == MveeMode::kRemon ? ghumvee_->file_map()
                                                       : varan_file_map_.get();
       ipmons_.push_back(

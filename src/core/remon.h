@@ -52,9 +52,12 @@ struct RemonOptions {
   // Slave wait strategy (ablation knob; kAuto is the paper's design).
   IpmonWaitMode wait_mode = IpmonWaitMode::kAuto;
   // Batched RB publication (ablation knob): coalesce up to this many small
-  // non-blocking POSTCALL commits per rank into one publication + one slave wakeup.
-  // 0 keeps the paper's per-entry publication.
+  // non-blocking entries per rank — staged PRECALL commits + deferred POSTCALL
+  // results — into one publication + one slave wakeup. 0 keeps the paper's
+  // per-entry publication. Under kAdaptive this is the ceiling of the
+  // waiter-pressure-driven window (<= 0 picks a default ceiling of 16).
   int rb_batch_max = 0;
+  RbBatchPolicy rb_batch_policy = RbBatchPolicy::kFixed;
   // §4 extension: periodically migrate the RB to fresh addresses at flush points.
   bool rb_migration = false;
 };

@@ -37,6 +37,7 @@ RemonOptions OptionsFor(const RunConfig& config, double mem_intensity,
   opts.rb_size = config.rb_size;
   opts.wait_mode = config.wait_mode;
   opts.rb_batch_max = config.rb_batch_max;
+  opts.rb_batch_policy = config.rb_batch_policy;
   opts.mem_intensity = mem_intensity;
   opts.use_sync_agent = false;  // Suite workloads are race-free by construction.
   return opts;
@@ -102,6 +103,7 @@ ServerResult RunServerBench(const ServerSpec& server, const ClientSpec& client_s
   result.name = server.name;
   result.seconds = stats.Seconds();
   result.requests = stats.completed;
+  result.bytes_received = stats.bytes_received;
   result.throughput = stats.Throughput();
   result.mean_latency_us = static_cast<double>(stats.MeanLatency()) / 1e3;
   result.diverged = mvee.divergence_detected();

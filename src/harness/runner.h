@@ -30,6 +30,9 @@ struct RunConfig {
   uint64_t rb_size = 16 * 1024 * 1024;
   IpmonWaitMode wait_mode = IpmonWaitMode::kAuto;
   int rb_batch_max = 0;  // Batched RB publication (0 = per-entry wakeups).
+  // Fixed window vs. waiter-pressure-driven adaptive window (ceiling rb_batch_max,
+  // default 16 when adaptive is chosen with rb_batch_max == 0).
+  RbBatchPolicy rb_batch_policy = RbBatchPolicy::kFixed;
 };
 
 struct SuiteResult {
@@ -50,6 +53,7 @@ struct ServerResult {
   std::string name;
   double seconds = 0;       // Client-observed run time.
   int requests = 0;
+  uint64_t bytes_received = 0;  // Client-observed response transcript size.
   double throughput = 0;    // Requests per virtual second.
   double mean_latency_us = 0;
   bool diverged = false;

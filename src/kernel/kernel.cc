@@ -15,15 +15,17 @@ constexpr uint64_t kStackStride = 4 * 1024 * 1024;
 
 uint64_t SigBit(int sig) { return 1ULL << (sig - 1); }
 
+}  // namespace
+
 // Context for auxiliary root coroutines (signal handlers, IP-MON handler bodies).
+// Owned by Kernel::aux_ctxs_ (keyed by frame address), never by the frame itself, so
+// destroying a suspended frame cannot leak it.
 struct AuxDoneCtx {
   Kernel* kernel = nullptr;
   Thread* thread = nullptr;
   std::coroutine_handle<> frame;
   std::function<void()> then;
 };
-
-}  // namespace
 
 Kernel::Kernel(Simulator* sim, Filesystem* fs, Network* net, ShmRegistry* shm)
     : sim_(sim), fs_(fs), net_(net), shm_(shm) {}
@@ -36,6 +38,7 @@ Kernel::~Kernel() {
       t->root_frame = nullptr;
     }
     for (auto h : t->aux_frames) {
+      aux_ctxs_.erase(h.address());
       h.destroy();
     }
     t->aux_frames.clear();
@@ -59,11 +62,12 @@ Process* Kernel::CreateProcess(std::string name, uint32_t machine, const LayoutP
   Process* p = proc.get();
   p->layout = plan;
   // Map the standard regions: program text, IP-MON text (populated lazily by the
-  // broker when IP-MON is loaded), and the heap.
-  REMON_CHECK(p->mem().MapFixed(plan.code_base, plan.code_size, kProtRead | kProtExec, false,
-                                p->name() + "-text"));
+  // broker when IP-MON is loaded), and the heap. Demand-paged: a replica set costs
+  // VMA bookkeeping at creation, not tens of MiB of zeroed frames per process.
+  REMON_CHECK(p->mem().MapFixedLazy(plan.code_base, plan.code_size, kProtRead | kProtExec,
+                                    p->name() + "-text"));
   REMON_CHECK(
-      p->mem().MapFixed(plan.heap_base, kHeapRegionSize, kProtRead | kProtWrite, false, "[heap]"));
+      p->mem().MapFixedLazy(plan.heap_base, kHeapRegionSize, kProtRead | kProtWrite, "[heap]"));
   p->brk_start = plan.heap_base + kHeapRegionSize / 2;
   p->brk_cur = p->brk_start;
   p->alloc_cursor = plan.heap_base;
@@ -81,10 +85,10 @@ Thread* Kernel::SpawnThread(Process* process, ProgramFn fn) {
   Thread* t = thread.get();
   process->threads.push_back(t);
 
-  // Per-thread stack region.
+  // Per-thread stack region (demand-paged like the heap).
   GuestAddr stack_top = process->layout.stack_top - static_cast<uint64_t>(rank) * kStackStride;
-  REMON_CHECK(process->mem().MapFixed(stack_top - kStackSize, kStackSize,
-                                      kProtRead | kProtWrite, false, "[stack]"));
+  REMON_CHECK(process->mem().MapFixedLazy(stack_top - kStackSize, kStackSize,
+                                          kProtRead | kProtWrite, "[stack]"));
 
   guests_.push_back(std::make_unique<Guest>(t));
   Guest* guest = guests_.back().get();
@@ -133,6 +137,12 @@ void Kernel::KillThread(Thread* t, bool notify_tracer) {
   if (!t->alive()) {
     return;
   }
+  // A dying thread is the terminal form of a parked one: publish the rank's
+  // deferred RB commits while this publisher still can, or slaves sit on them
+  // forever (e.g. a workload whose final call was batchable).
+  if (t->process()->ipmon.on_park) {
+    t->process()->ipmon.on_park(t);
+  }
   CancelWait(t);
   t->set_state(ThreadState::kExited);
   t->MarkDead();
@@ -143,12 +153,13 @@ void Kernel::KillThread(Thread* t, bool notify_tracer) {
 }
 
 void Kernel::ReapFramesLater(Thread* t) {
-  sim_->queue().ScheduleAfter(0, [t] {
+  sim_->queue().ScheduleAfter(0, [this, t] {
     if (t->root_frame) {
       t->root_frame.destroy();
       t->root_frame = nullptr;
     }
     for (auto h : t->aux_frames) {
+      aux_ctxs_.erase(h.address());
       h.destroy();
     }
     t->aux_frames.clear();
@@ -230,6 +241,12 @@ void Kernel::BlockThread(Thread* t, const std::vector<WaitQueue*>& queues, TimeN
   if (interruptible && (t->sig_pending & ~t->sig_blocked) != 0) {
     sim_->queue().ScheduleAfter(0, [cb = std::move(on_wake)] { cb(WakeReason::kSignal); });
     return;
+  }
+  // Batched-publication liveness backstop: let the process's IP-MON publish any
+  // deferred RB commits before this thread becomes unable to. Fires before the
+  // thread joins any queue, so the hook's wakes cannot touch it.
+  if (t->process()->ipmon.on_park) {
+    t->process()->ipmon.on_park(t);
   }
   t->wait.active = true;
   t->wait.interruptible = interruptible;
@@ -600,7 +617,8 @@ void Kernel::RunSignalHandler(Thread* t, int sig, std::function<void()> then) {
 }
 
 void Kernel::StartAuxCoroutine(Thread* t, GuestTask<void> task, std::function<void()> on_done) {
-  auto* ctx = new AuxDoneCtx;
+  auto owner = std::make_unique<AuxDoneCtx>();
+  AuxDoneCtx* ctx = owner.get();
   ctx->kernel = this;
   ctx->thread = t;
   ctx->then = std::move(on_done);
@@ -610,12 +628,14 @@ void Kernel::StartAuxCoroutine(Thread* t, GuestTask<void> task, std::function<vo
         // Runs inside the aux coroutine's final suspend; defer teardown.
         c->kernel->sim_->queue().ScheduleAfter(0, [c] {
           Thread* th = c->thread;
-          auto& frames = th->aux_frames;
-          frames.erase(std::remove(frames.begin(), frames.end(), c->frame), frames.end());
-          c->frame.destroy();
+          Kernel* k = c->kernel;
+          std::coroutine_handle<> done = c->frame;
           auto then = std::move(c->then);
+          auto& frames = th->aux_frames;
+          frames.erase(std::remove(frames.begin(), frames.end(), done), frames.end());
           bool alive = th->alive();
-          delete c;
+          k->aux_ctxs_.erase(done.address());  // Deletes c.
+          done.destroy();
           if (alive && then) {
             then();
           }
@@ -623,6 +643,7 @@ void Kernel::StartAuxCoroutine(Thread* t, GuestTask<void> task, std::function<vo
       },
       ctx);
   ctx->frame = frame;
+  aux_ctxs_[frame.address()] = std::move(owner);
   t->aux_frames.push_back(frame);
   sim_->queue().ScheduleAfter(0, [t, frame] {
     if (t->alive()) {

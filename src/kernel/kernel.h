@@ -22,6 +22,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/kernel/futex.h"
@@ -37,6 +38,7 @@
 namespace remon {
 
 class Guest;
+struct AuxDoneCtx;
 
 class Kernel {
  public:
@@ -234,6 +236,10 @@ class Kernel {
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::unique_ptr<Thread>> threads_;
   std::vector<std::unique_ptr<Guest>> guests_;
+  // Completion contexts for live aux coroutines, keyed by frame address. Owned here
+  // so a frame torn down early (dead thread, kernel destruction) cannot strand its
+  // context: whoever destroys the frame erases the entry.
+  std::unordered_map<void*, std::unique_ptr<AuxDoneCtx>> aux_ctxs_;
 };
 
 }  // namespace remon

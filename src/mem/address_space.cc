@@ -16,13 +16,44 @@ constexpr GuestAddr kUserHigh = 0x7fff'ffff'f000ULL;
 
 }  // namespace
 
-bool AddressSpace::RangeFree(GuestAddr start, uint64_t length) const {
-  for (GuestAddr p = PageAlignDown(start); p < start + length; p += kPageSize) {
-    if (page_table_.count(p >> kPageShift) != 0) {
-      return false;
+bool AddressSpace::VmaOverlaps(GuestAddr start, uint64_t length) const {
+  auto it = vmas_.lower_bound(start);
+  if (it != vmas_.end() && it->second.start < start + length) {
+    return true;
+  }
+  if (it != vmas_.begin()) {
+    --it;
+    if (it->second.end() > start) {
+      return true;
     }
   }
-  return true;
+  return false;
+}
+
+bool AddressSpace::RangeFree(GuestAddr start, uint64_t length) const {
+  // The VMA check alone is authoritative: every page-table insertion
+  // (MapFixedBacked, Remap's grow, MaterializeIfLazy) maintains a covering VMA and
+  // Unmap erases pages and VMAs over the same split-aligned range, so a page
+  // without a VMA cannot exist. No per-page scan — mapping a lazy region must stay
+  // O(log vmas), not O(pages).
+  return !VmaOverlaps(PageAlignDown(start), PageAlignUp(length + (start & kPageMask)));
+}
+
+Page* AddressSpace::MaterializeIfLazy(GuestAddr addr, uint32_t required_prot) const {
+  const Vma* vma = FindVma(addr);
+  if (vma == nullptr || !vma->lazy) {
+    return nullptr;
+  }
+  // Check the VMA protection before allocating: a denied access must fault without
+  // materializing the page, or probing a read-only lazy region with writes would
+  // make every probed page resident.
+  if ((vma->prot & required_prot) != required_prot) {
+    return nullptr;
+  }
+  PageEntry& entry = page_table_[addr >> kPageShift];
+  entry.frame = NewPage();
+  entry.prot = vma->prot;
+  return entry.frame.get();
 }
 
 bool AddressSpace::MapFixed(GuestAddr start, uint64_t length, uint32_t prot, bool shared,
@@ -36,8 +67,8 @@ bool AddressSpace::MapFixed(GuestAddr start, uint64_t length, uint32_t prot, boo
   return MapFixedBacked(start, length, prot, shared, name, frames);
 }
 
-bool AddressSpace::MapFixedBacked(GuestAddr start, uint64_t length, uint32_t prot, bool shared,
-                                  std::string_view name, const std::vector<PageRef>& frames) {
+bool AddressSpace::ValidateFixedRange(GuestAddr start, uint64_t length,
+                                      uint64_t* len_out) const {
   if ((start & kPageMask) != 0 || length == 0) {
     return false;
   }
@@ -46,6 +77,28 @@ bool AddressSpace::MapFixedBacked(GuestAddr start, uint64_t length, uint32_t pro
     return false;
   }
   if (!RangeFree(start, len)) {
+    return false;
+  }
+  *len_out = len;
+  return true;
+}
+
+bool AddressSpace::MapFixedLazy(GuestAddr start, uint64_t length, uint32_t prot,
+                                std::string_view name) {
+  uint64_t len = 0;
+  if (!ValidateFixedRange(start, length, &len)) {
+    return false;
+  }
+  Vma vma{start, len, prot, /*shared=*/false, std::string(name)};
+  vma.lazy = true;
+  vmas_[start] = std::move(vma);
+  return true;
+}
+
+bool AddressSpace::MapFixedBacked(GuestAddr start, uint64_t length, uint32_t prot, bool shared,
+                                  std::string_view name, const std::vector<PageRef>& frames) {
+  uint64_t len = 0;
+  if (!ValidateFixedRange(start, length, &len)) {
     return false;
   }
   REMON_CHECK(frames.size() >= len / kPageSize);
@@ -122,12 +175,20 @@ bool AddressSpace::Protect(GuestAddr start, uint64_t length, uint32_t prot) {
   uint64_t len = PageAlignUp(length);
   for (GuestAddr p = start; p < start + len; p += kPageSize) {
     if (page_table_.count(p >> kPageShift) == 0) {
-      return false;
+      // Unmaterialized pages of a lazy VMA are mapped; they inherit the new
+      // protection from the VMA when they materialize.
+      const Vma* vma = FindVma(p);
+      if (vma == nullptr || !vma->lazy) {
+        return false;
+      }
     }
   }
   SplitAround(start, len);
   for (GuestAddr p = start; p < start + len; p += kPageSize) {
-    page_table_[p >> kPageShift].prot = prot;
+    auto it = page_table_.find(p >> kPageShift);
+    if (it != page_table_.end()) {
+      it->second.prot = prot;
+    }
   }
   auto it = vmas_.lower_bound(start);
   while (it != vmas_.end() && it->second.start < start + len) {
@@ -155,9 +216,11 @@ GuestAddr AddressSpace::Remap(GuestAddr old_start, uint64_t old_len, uint64_t ne
   }
   // Grow in place when the tail is free.
   if (RangeFree(old_start + old_len, new_len - old_len)) {
-    for (GuestAddr p = old_start + old_len; p < old_start + new_len; p += kPageSize) {
-      page_table_[p >> kPageShift] = PageEntry{NewPage(), vma.prot};
-    }
+    if (!vma.lazy) {
+      for (GuestAddr p = old_start + old_len; p < old_start + new_len; p += kPageSize) {
+        page_table_[p >> kPageShift] = PageEntry{NewPage(), vma.prot};
+      }
+    }  // Lazy regions materialize the grown tail on first touch.
     vmas_[old_start].length = new_len;
     return old_start;
   }
@@ -167,13 +230,23 @@ GuestAddr AddressSpace::Remap(GuestAddr old_start, uint64_t old_len, uint64_t ne
 AccessResult AddressSpace::Read(GuestAddr addr, void* out, uint64_t len) const {
   uint8_t* dst = static_cast<uint8_t*>(out);
   while (len > 0) {
-    auto it = page_table_.find(addr >> kPageShift);
-    if (it == page_table_.end() || (it->second.prot & kProtRead) == 0) {
-      return AccessResult::Fault(addr);
-    }
     uint64_t off = addr & kPageMask;
     uint64_t n = std::min<uint64_t>(len, kPageSize - off);
-    std::memcpy(dst, it->second.frame->bytes.data() + off, n);
+    auto it = page_table_.find(addr >> kPageShift);
+    if (it == page_table_.end()) {
+      // Untouched lazy pages read as zeroes without becoming resident — a read
+      // sweep over a large lazy region must not materialize it.
+      const Vma* vma = FindVma(addr);
+      if (vma == nullptr || !vma->lazy || (vma->prot & kProtRead) == 0) {
+        return AccessResult::Fault(addr);
+      }
+      std::memset(dst, 0, n);
+    } else {
+      if ((it->second.prot & kProtRead) == 0) {
+        return AccessResult::Fault(addr);
+      }
+      std::memcpy(dst, it->second.frame->bytes.data() + off, n);
+    }
     dst += n;
     addr += n;
     len -= n;
@@ -185,7 +258,13 @@ AccessResult AddressSpace::Write(GuestAddr addr, const void* data, uint64_t len)
   const uint8_t* src = static_cast<const uint8_t*>(data);
   while (len > 0) {
     auto it = page_table_.find(addr >> kPageShift);
-    if (it == page_table_.end() || (it->second.prot & kProtWrite) == 0) {
+    if (it == page_table_.end()) {
+      if (MaterializeIfLazy(addr, kProtWrite) == nullptr) {
+        return AccessResult::Fault(addr);
+      }
+      it = page_table_.find(addr >> kPageShift);
+    }
+    if ((it->second.prot & kProtWrite) == 0) {
       return AccessResult::Fault(addr);
     }
     uint64_t off = addr & kPageMask;
@@ -201,13 +280,20 @@ AccessResult AddressSpace::Write(GuestAddr addr, const void* data, uint64_t len)
 AccessResult AddressSpace::ReadUnchecked(GuestAddr addr, void* out, uint64_t len) const {
   uint8_t* dst = static_cast<uint8_t*>(out);
   while (len > 0) {
-    auto it = page_table_.find(addr >> kPageShift);
-    if (it == page_table_.end()) {
-      return AccessResult::Fault(addr);
-    }
     uint64_t off = addr & kPageMask;
     uint64_t n = std::min<uint64_t>(len, kPageSize - off);
-    std::memcpy(dst, it->second.frame->bytes.data() + off, n);
+    auto it = page_table_.find(addr >> kPageShift);
+    if (it == page_table_.end()) {
+      // Unchecked bypasses protection but not mapping: lazy pages read as zeroes
+      // without materializing (see Read).
+      const Vma* vma = FindVma(addr);
+      if (vma == nullptr || !vma->lazy) {
+        return AccessResult::Fault(addr);
+      }
+      std::memset(dst, 0, n);
+    } else {
+      std::memcpy(dst, it->second.frame->bytes.data() + off, n);
+    }
     dst += n;
     addr += n;
     len -= n;
@@ -220,7 +306,10 @@ AccessResult AddressSpace::WriteUnchecked(GuestAddr addr, const void* data, uint
   while (len > 0) {
     auto it = page_table_.find(addr >> kPageShift);
     if (it == page_table_.end()) {
-      return AccessResult::Fault(addr);
+      if (MaterializeIfLazy(addr) == nullptr) {
+        return AccessResult::Fault(addr);
+      }
+      it = page_table_.find(addr >> kPageShift);
     }
     uint64_t off = addr & kPageMask;
     uint64_t n = std::min<uint64_t>(len, kPageSize - off);
@@ -307,7 +396,15 @@ std::vector<Vma> AddressSpace::Vmas() const {
 Page* AddressSpace::ResolveFrame(GuestAddr addr, uint64_t* offset_in_page) const {
   auto it = page_table_.find(addr >> kPageShift);
   if (it == page_table_.end()) {
-    return nullptr;
+    // Futex keys and page sharing need a stable frame: materialize lazy pages.
+    Page* frame = MaterializeIfLazy(addr);
+    if (frame == nullptr) {
+      return nullptr;
+    }
+    if (offset_in_page != nullptr) {
+      *offset_in_page = addr & kPageMask;
+    }
+    return frame;
   }
   if (offset_in_page != nullptr) {
     *offset_in_page = addr & kPageMask;
@@ -320,7 +417,10 @@ std::vector<PageRef> AddressSpace::FramesFor(GuestAddr start, uint64_t length) c
   for (GuestAddr p = PageAlignDown(start); p < start + length; p += kPageSize) {
     auto it = page_table_.find(p >> kPageShift);
     if (it == page_table_.end()) {
-      return {};
+      if (MaterializeIfLazy(p) == nullptr) {
+        return {};
+      }
+      it = page_table_.find(p >> kPageShift);
     }
     out.push_back(it->second.frame);
   }

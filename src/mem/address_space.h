@@ -29,6 +29,10 @@ struct Vma {
   uint32_t prot = kProtNone;
   bool shared = false;  // MAP_SHARED-like: writes are visible through other mappings.
   std::string name;     // Region label, shown in /proc/maps ("[heap]", "libipmon", ...).
+  // Demand-paged region: backing frames materialize on first touch instead of at
+  // map time. Large private regions (heap, stacks, text) use this so creating a
+  // replica process costs VMA bookkeeping, not tens of MiB of zeroed frames.
+  bool lazy = false;
 
   GuestAddr end() const { return start + length; }
 };
@@ -54,6 +58,12 @@ class AddressSpace {
   // Fails (returns false) if any page in the range is already mapped.
   bool MapFixed(GuestAddr start, uint64_t length, uint32_t prot, bool shared,
                 std::string_view name);
+
+  // Like MapFixed, but demand-paged: no frames are allocated until a page is first
+  // touched (read/write/frame resolution). Private mappings only — a shared lazy
+  // region would give each process its own frames on touch.
+  bool MapFixedLazy(GuestAddr start, uint64_t length, uint32_t prot,
+                    std::string_view name);
 
   // Maps with existing backing frames (shared memory attach). `frames` must cover the
   // rounded-up length.
@@ -125,11 +135,26 @@ class AddressSpace {
 
   bool RangeFree(GuestAddr start, uint64_t length) const;
 
+  // Shared validation prologue of the MapFixed* entry points: page-aligned start,
+  // non-empty, inside the user range, and free. On success *len_out holds the
+  // page-rounded length.
+  bool ValidateFixedRange(GuestAddr start, uint64_t length, uint64_t* len_out) const;
+
+  // True when [start, start+length) intersects any VMA (materialized or lazy).
+  bool VmaOverlaps(GuestAddr start, uint64_t length) const;
+
+  // Allocates the backing frame for an untouched page of a lazy VMA. Returns null
+  // if the address has no lazy VMA or the VMA lacks `required_prot` (0 = any).
+  // Const because demand paging is transparent to callers (page_table_ is the
+  // cache it fills).
+  Page* MaterializeIfLazy(GuestAddr addr, uint32_t required_prot = 0) const;
+
   // Splits VMAs so that `start` and `start+length` fall on VMA boundaries.
   void SplitAround(GuestAddr start, uint64_t length);
 
-  std::map<GuestAddr, Vma> vmas_;                       // Keyed by start address.
-  std::unordered_map<uint64_t, PageEntry> page_table_;  // Keyed by VPN.
+  std::map<GuestAddr, Vma> vmas_;  // Keyed by start address.
+  // Keyed by VPN. Mutable: lazy VMAs materialize frames inside const accessors.
+  mutable std::unordered_map<uint64_t, PageEntry> page_table_;
 };
 
 }  // namespace remon

@@ -39,6 +39,10 @@ struct SimStats {
   uint64_t rb_futex_wakes_elided = 0;
   uint64_t rb_batched_entries = 0;  // POSTCALL commits deferred into a batch.
   uint64_t rb_batch_flushes = 0;    // Coalesced publications (one wakeup each).
+  uint64_t rb_precall_coalesced = 0;  // PRECALL publications deferred into a batch.
+  uint64_t rb_batch_window_grows = 0;    // Adaptive window steps up (no pressure).
+  uint64_t rb_batch_window_shrinks = 0;  // Adaptive window steps down (pressure).
+  uint64_t rb_park_flushes = 0;  // Kernel park-hook safety-net flushes.
 
   // Synchronization replication (record/replay agent).
   uint64_t sync_ops_recorded = 0;

@@ -73,6 +73,7 @@ ProgramFn ConnectionBody(ClientSpec spec, std::shared_ptr<ClientShared> shared,
           ++shared->stats->errors;
           break;
         }
+        shared->stats->bytes_received += got;
         ++shared->stats->completed;
         shared->stats->finished = kernel->now();
         shared->stats->latencies.push_back(kernel->now() - sent_at);

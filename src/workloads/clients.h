@@ -30,6 +30,7 @@ struct ClientSpec {
 struct ClientStats {
   int completed = 0;
   int errors = 0;
+  uint64_t bytes_received = 0;  // Response bytes read (the response transcript size).
   TimeNs started = -1;
   TimeNs finished = -1;
   std::vector<DurationNs> latencies;  // Per-request.

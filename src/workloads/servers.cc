@@ -75,7 +75,10 @@ GuestTask<void> ServeRequest(Guest& g, int fd, uint64_t response_bytes,
   if (spec.sockopts_per_request > 1) {
     co_await g.Setsockopt(fd, 6, 3 /*uncork*/, ws.opt, 4);
   }
-  if (ws.log_fd >= 0) {
+  // Per-rank housekeeping burst: each append is a small bounded-latency
+  // unmonitored call on this worker's own RB sub-buffer — the stream the per-rank
+  // batch window adapts to.
+  for (int i = 0; i < spec.log_writes && ws.log_fd >= 0; ++i) {
     co_await g.Write(ws.log_fd, ws.out_buf, 64);
   }
 }

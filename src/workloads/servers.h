@@ -39,6 +39,10 @@ struct ServerSpec {
   // around the response (SOCKET_RW).
   bool log_requests = true;
   int sockopts_per_request = 2;
+  // Access-log appends per request (each an RB-batchable bounded-latency write on
+  // the worker's own rank). >1 models chatty request accounting — error log,
+  // stats counters — and is what the per-rank batch-tuning sweeps crank up.
+  int log_writes = 1;
 };
 
 ProgramFn ServerProgram(const ServerSpec& spec);

@@ -55,6 +55,53 @@ TEST(AddressSpaceTest, DoubleMapFails) {
   EXPECT_FALSE(as.MapFixed(0x10000, 4096, kProtRead, false, "b"));
 }
 
+TEST(AddressSpaceTest, LazyMappingMaterializesOnTouch) {
+  AddressSpace as;
+  // A 64 MiB demand-paged region costs nothing at map time...
+  ASSERT_TRUE(as.MapFixedLazy(0x10000, 64 * 1024 * 1024, kProtRead | kProtWrite, "lazy"));
+  EXPECT_EQ(as.mapped_bytes(), 0u);
+  // ...occupies the address range (overlap rejected, VMA visible)...
+  EXPECT_FALSE(as.MapFixed(0x10000, 4096, kProtRead, false, "clash"));
+  ASSERT_NE(as.FindVma(0x20000), nullptr);
+  // ...reads back zeroes and accepts writes sparsely.
+  uint64_t v = 0;
+  EXPECT_TRUE(as.Read(0x1234560, &v, 8).ok);
+  EXPECT_EQ(v, 0u);
+  v = 0x1122334455667788ULL;
+  EXPECT_TRUE(as.Write(0x2234560, &v, 8).ok);
+  uint64_t r = 0;
+  EXPECT_TRUE(as.Read(0x2234560, &r, 8).ok);
+  EXPECT_EQ(r, v);
+  // Only the touched pages materialized.
+  EXPECT_LE(as.mapped_bytes(), 4 * kPageSize);
+}
+
+TEST(AddressSpaceTest, LazyMappingHonorsProtection) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapFixedLazy(0x10000, 1 << 20, kProtRead, "lazy-ro"));
+  uint8_t b = 1;
+  EXPECT_FALSE(as.Write(0x10000, &b, 1).ok);   // Untouched page: prot from the VMA.
+  EXPECT_TRUE(as.Read(0x10000, &b, 1).ok);
+  EXPECT_FALSE(as.Write(0x10000, &b, 1).ok);   // Materialized page: still read-only.
+  // mprotect on a partly-unmaterialized lazy region works; future pages inherit.
+  ASSERT_TRUE(as.Protect(0x10000, 8192, kProtRead | kProtWrite));
+  EXPECT_TRUE(as.Write(0x10000, &b, 1).ok);
+  EXPECT_TRUE(as.Write(0x11000, &b, 1).ok);    // Was unmaterialized at Protect time.
+}
+
+TEST(AddressSpaceTest, LazyMappingResolvesFramesForFutexKeys) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapFixedLazy(0x10000, 1 << 20, kProtRead | kProtWrite, "lazy"));
+  uint64_t off = 0;
+  Page* f1 = as.ResolveFrame(0x13008, &off);
+  ASSERT_NE(f1, nullptr);
+  EXPECT_EQ(off, 8u);
+  // The frame is stable: a second resolution and a read see the same page.
+  Page* f2 = as.ResolveFrame(0x13000, nullptr);
+  EXPECT_EQ(f1, f2);
+  EXPECT_FALSE(as.MapFixedLazy(0x100000, 4096, kProtRead, "clash"));
+}
+
 TEST(AddressSpaceTest, UnmapThenRemap) {
   AddressSpace as;
   ASSERT_TRUE(as.MapFixed(0x10000, 4096, kProtRead, false, "a"));

@@ -11,6 +11,7 @@
 
 #include "src/core/remon.h"
 #include "src/harness/runner.h"
+#include "src/sim/rng.h"
 #include "tests/test_util.h"
 
 namespace remon {
@@ -200,6 +201,185 @@ TEST_P(SuiteSpecTest, PhoronixSpecsRunCleanlyUnderRemon) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPhoronix, SuiteSpecTest, ::testing::Range(0, 7));
+
+// --- Randomized lockstep: batched == unbatched under fuzzed interleavings ---------
+
+// One fuzzed multi-rank program. A seeded xoshiro RNG (identical in every replica:
+// the stream depends only on seed and rank) drives each rank through a random mix
+// of non-blocking batchable calls (regular-file writes/reads, fstat, base queries),
+// flush-forcing blocking calls (shared-pipe pings, nanosleep), and skewed compute
+// bursts that shuffle the cross-rank interleaving. Every rank logs each op's result
+// into its own transcript file — rank-private, so the bytes depend only on the
+// rank's own deterministic op stream, never on cross-rank races.
+struct FuzzShape {
+  int ranks = 2;
+  int ops = 10;
+};
+
+FuzzShape ShapeFor(uint64_t seed) {
+  Rng rng(seed * 0x9e37 + 17);
+  FuzzShape shape;
+  shape.ranks = static_cast<int>(2 + rng.NextBelow(3));  // 2..4 ranks.
+  shape.ops = static_cast<int>(6 + rng.NextBelow(6));    // 6..11 ops per rank.
+  return shape;
+}
+
+// Replica count per seed: mostly the common 2-replica setup (keeps 1000 seeds
+// affordable), with regular 3- and 4-replica excursions for the N-way waits.
+int ReplicasFor(uint64_t seed) {
+  if (seed % 11 == 0) {
+    return 4;
+  }
+  if (seed % 5 == 0) {
+    return 3;
+  }
+  return 2;
+}
+
+ProgramFn FuzzWorkload(uint64_t seed, FuzzShape shape) {
+  return [seed, shape](Guest& g) -> GuestTask<void> {
+    GuestAddr pipe_fds = g.Alloc(8);
+    co_await g.Pipe(pipe_fds);
+    int prd = static_cast<int>(g.PeekU32(pipe_fds));
+    int pwr = static_cast<int>(g.PeekU32(pipe_fds + 4));
+
+    auto rank_body = [seed, shape, prd, pwr](int rank) -> ProgramFn {
+      return [seed, shape, prd, pwr, rank](Guest& wg) -> GuestTask<void> {
+        Rng rng(seed * 1000003 + static_cast<uint64_t>(rank));
+        int64_t fd = co_await wg.Open("/tmp/fuzz-" + std::to_string(rank),
+                                      kO_CREAT | kO_RDWR);
+        GuestAddr buf = wg.Alloc(512);
+        GuestAddr st = wg.Alloc(sizeof(GuestStat));
+        for (int i = 0; i < shape.ops; ++i) {
+          uint64_t op = rng.NextBelow(100);
+          int64_t r = 0;
+          if (op < 40) {  // Batchable: small regular-file append.
+            uint64_t len = 16 + rng.NextBelow(200);
+            r = co_await wg.Write(static_cast<int>(fd), buf, len);
+          } else if (op < 55) {  // Batchable: metadata query.
+            r = co_await wg.Fstat(static_cast<int>(fd), st);
+          } else if (op < 65) {  // Base query (different policy class).
+            r = co_await wg.Getpid();
+          } else if (op < 80) {  // Blocking flush point: shared-pipe ping.
+            // Each rank writes before it reads, so total reads never outrun total
+            // writes and the cross-rank ping order is free to fuzz itself.
+            wg.Poke(buf, "p", 1);
+            co_await wg.Write(pwr, buf, 1);
+            r = co_await wg.Read(prd, buf, 1);
+          } else if (op < 90) {  // Local-call flush point: explicit sleep.
+            r = co_await wg.SleepNs(Micros(1 + rng.NextBelow(20)));
+          } else {  // Batchable read-back.
+            r = co_await wg.Read(static_cast<int>(fd), buf, 64);
+          }
+          // Skewed compute shuffles which rank reaches the RB first.
+          co_await wg.Compute(Micros(rng.NextBelow(25)));
+          std::string line = "r" + std::to_string(rank) + "-op" + std::to_string(i) +
+                             "=" + std::to_string(r) + ";";
+          wg.Poke(buf, line.data(), line.size());
+          co_await wg.Write(static_cast<int>(fd), buf, line.size());
+        }
+        co_await wg.Close(static_cast<int>(fd));
+      };
+    };
+
+    GuestAddr join = g.Alloc(8);
+    co_await g.Pipe(join);
+    int join_rd = static_cast<int>(g.PeekU32(join));
+    int join_wr = static_cast<int>(g.PeekU32(join + 4));
+    for (int rank = 1; rank < shape.ranks; ++rank) {
+      auto body = rank_body(rank);
+      uint64_t fn = g.RegisterThreadFn([body, join_wr](Guest& wg) -> GuestTask<void> {
+        co_await body(wg);
+        GuestAddr d = wg.Alloc(1);
+        wg.Poke(d, "D", 1);
+        co_await wg.Write(join_wr, d, 1);
+      });
+      co_await g.SpawnThread(fn);
+    }
+    auto self = rank_body(0);
+    co_await self(g);
+    // Join with exactly one 1-byte read per worker: a variable-size read here
+    // would make the main rank's syscall count depend on worker completion
+    // timing, and the whole point is that batching may only change timing.
+    GuestAddr sink = g.Alloc(4);
+    for (int i = 0; i < shape.ranks - 1; ++i) {
+      int64_t n = co_await g.Read(join_rd, sink, 1);
+      REMON_CHECK(n == 1);
+    }
+  };
+}
+
+struct FuzzOutcome {
+  bool ok = false;
+  std::string transcript;     // Concatenated per-rank transcript files.
+  uint64_t rb_entries = 0;    // RB stream shape: entry count ...
+  uint64_t rb_bytes = 0;      // ... and total bytes must not depend on batching.
+};
+
+FuzzOutcome RunFuzz(uint64_t seed, FuzzShape shape, int replicas, int batch_max,
+                    RbBatchPolicy policy) {
+  SimWorld w(seed);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = replicas;
+  opts.level = PolicyLevel::kNonsocketRw;
+  // A small RB (vs. the 16 MiB default) keeps 3000 hermetic worlds affordable and
+  // lets long op streams wrap, folding reset rounds into the fuzzed interleavings.
+  opts.rb_size = 256 * 1024;
+  opts.max_ranks = 4;
+  opts.rb_batch_max = batch_max;
+  opts.rb_batch_policy = policy;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch(FuzzWorkload(seed, shape), "fuzz");
+  w.Run();
+  FuzzOutcome out;
+  out.ok = mvee.finished() && !mvee.divergence_detected();
+  for (int rank = 0; rank < shape.ranks; ++rank) {
+    out.transcript +=
+        w.fs.ReadWholeFile("/tmp/fuzz-" + std::to_string(rank)).value_or("<missing>");
+    out.transcript += "|";
+  }
+  out.rb_entries = w.sim.stats().rb_entries;
+  out.rb_bytes = w.sim.stats().rb_bytes;
+  return out;
+}
+
+// 1000 seeded interleavings (8 shards x 125 seeds), each run three ways: unbatched,
+// fixed window, adaptive window. Batching may only change publication timing —
+// the slave-visible results (transcripts) and the RB entry stream must be
+// byte-identical.
+class RandomizedLockstepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomizedLockstepTest, BatchedMatchesUnbatchedUnderFuzzedInterleavings) {
+  constexpr int kSeedsPerShard = 125;
+  int shard = GetParam();
+  for (int i = 0; i < kSeedsPerShard; ++i) {
+    uint64_t seed = static_cast<uint64_t>(shard) * kSeedsPerShard + i + 1;
+    FuzzShape shape = ShapeFor(seed);
+    int replicas = ReplicasFor(seed);
+
+    FuzzOutcome unbatched =
+        RunFuzz(seed, shape, replicas, 0, RbBatchPolicy::kFixed);
+    ASSERT_TRUE(unbatched.ok) << "seed " << seed;
+    ASSERT_EQ(unbatched.transcript.find("<missing>"), std::string::npos)
+        << "seed " << seed;
+
+    FuzzOutcome fixed = RunFuzz(seed, shape, replicas, 4, RbBatchPolicy::kFixed);
+    ASSERT_TRUE(fixed.ok) << "seed " << seed;
+    ASSERT_EQ(unbatched.transcript, fixed.transcript) << "seed " << seed;
+    ASSERT_EQ(unbatched.rb_entries, fixed.rb_entries) << "seed " << seed;
+    ASSERT_EQ(unbatched.rb_bytes, fixed.rb_bytes) << "seed " << seed;
+
+    FuzzOutcome adaptive =
+        RunFuzz(seed, shape, replicas, 8, RbBatchPolicy::kAdaptive);
+    ASSERT_TRUE(adaptive.ok) << "seed " << seed;
+    ASSERT_EQ(unbatched.transcript, adaptive.transcript) << "seed " << seed;
+    ASSERT_EQ(unbatched.rb_entries, adaptive.rb_entries) << "seed " << seed;
+    ASSERT_EQ(unbatched.rb_bytes, adaptive.rb_bytes) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThousandSeeds, RandomizedLockstepTest, ::testing::Range(0, 8));
 
 TEST(PropertyTest, MonitoredPlusUnmonitoredCoversEverything) {
   // Under ReMon, every replica system call is either monitored or unmonitored;

@@ -96,6 +96,90 @@ TEST(ClientTest, DurationModeStopsOnDeadline) {
   EXPECT_LT(r.seconds, 0.05);  // Bounded by the deadline (plus in-flight requests).
 }
 
+// --- Multi-rank servers under adaptive RB batching ---------------------------------
+
+// The MVEE with waiter-pressure-driven batching must be transparent to multi-rank
+// servers: every request served exactly once, the full response transcript
+// delivered, no divergence — for both the epoll event-loop and the thread-pool
+// concurrency model (each worker is its own RB rank with its own batch window).
+class AdaptiveBatchServerTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AdaptiveBatchServerTest, TranscriptMatchesUnreplicatedBaseline) {
+  ServerSpec server = ServerByName(GetParam());
+  server.log_writes = 4;  // Chatty per-rank logging: the batchable call stream.
+  ClientSpec client;
+  client.connections = 8;
+  client.total_requests = 80;
+  client.request_bytes = 1024;
+  LinkParams link{60 * kMicrosecond, 0.125};
+
+  RunConfig native;
+  native.mode = MveeMode::kNative;
+  ServerResult base = RunServerBench(server, client, native, link);
+  ASSERT_EQ(base.requests, 80) << server.name;
+
+  RunConfig config;
+  config.mode = MveeMode::kRemon;
+  config.replicas = 3;
+  config.level = PolicyLevel::kSocketRw;
+  config.rb_batch_max = 16;
+  config.rb_batch_policy = RbBatchPolicy::kAdaptive;
+  ServerResult run = RunServerBench(server, client, config, link);
+
+  EXPECT_FALSE(run.diverged) << server.name;
+  // Request/response transcript identical to the unreplicated baseline: same
+  // request count, same response bytes, no client-visible errors.
+  EXPECT_EQ(run.requests, base.requests) << server.name;
+  EXPECT_EQ(run.bytes_received, base.bytes_received) << server.name;
+  // Batching really engaged (the log appends are batchable on every rank).
+  EXPECT_GT(run.stats.rb_batched_entries, 0u) << server.name;
+  EXPECT_GT(run.stats.rb_precall_coalesced, 0u) << server.name;
+  EXPECT_GT(run.stats.rb_batch_flushes, 0u) << server.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(EpollAndPool, AdaptiveBatchServerTest,
+                         ::testing::Values("nginx", "memcached"));
+
+TEST(AdaptiveBatchServerTest, AdaptiveMatchesOrBeatsBestFixedWindow) {
+  // The acceptance check behind the bench_abl_rb sweep, in miniature: on a
+  // multi-rank server workload the adaptive window must be at least competitive
+  // with the best fixed window (virtual time is deterministic, so a small
+  // tolerance only covers cost-model granularity, not noise).
+  ServerSpec server = ServerByName("nginx");
+  server.log_writes = 6;
+  ClientSpec client;
+  client.connections = 16;
+  client.total_requests = 150;
+  client.request_bytes = 512;
+  LinkParams link{Millis(1), 0.125};
+
+  double best_fixed = -1;
+  for (int batch : {0, 2, 4, 8, 16}) {
+    RunConfig config;
+    config.mode = MveeMode::kRemon;
+    config.replicas = 3;
+    config.level = PolicyLevel::kSocketRw;
+    config.rb_batch_max = batch;
+    ServerResult r = RunServerBench(server, client, config, link);
+    ASSERT_FALSE(r.diverged) << "fixed " << batch;
+    ASSERT_EQ(r.requests, 150) << "fixed " << batch;
+    if (best_fixed < 0 || r.seconds < best_fixed) {
+      best_fixed = r.seconds;
+    }
+  }
+
+  RunConfig adaptive;
+  adaptive.mode = MveeMode::kRemon;
+  adaptive.replicas = 3;
+  adaptive.level = PolicyLevel::kSocketRw;
+  adaptive.rb_batch_max = 16;
+  adaptive.rb_batch_policy = RbBatchPolicy::kAdaptive;
+  ServerResult a = RunServerBench(server, client, adaptive, link);
+  ASSERT_FALSE(a.diverged);
+  ASSERT_EQ(a.requests, 150);
+  EXPECT_LE(a.seconds, best_fixed * 1.02);
+}
+
 // --- Suite specs -------------------------------------------------------------------
 
 TEST(SuiteSpecTest, DerivationProducesSaneFootprints) {

@@ -4,12 +4,13 @@
 //             [--level=base|nonsocket_ro|nonsocket_rw|socket_ro|socket_rw]
 //             [--workload=NAME | --server=NAME] [--seed=N] [--latency-us=N]
 //             [--connections=N] [--requests=N] [--temporal-p=F] [--rb-mb=N]
-//             [--rb-batch=N] [--rb-migration] [--list]
+//             [--rb-batch=N|adaptive|adaptive:MAX] [--rb-migration] [--list]
 //
 // Runs one workload (a suite benchmark by name, or a server benchmark driven by a
 // closed-loop client) under the chosen MVEE configuration and prints a run report.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -31,6 +32,7 @@ struct CliArgs {
   int requests = 400;
   double temporal_p = 0.0;
   int rb_batch = 0;
+  RbBatchPolicy rb_batch_policy = RbBatchPolicy::kFixed;
   uint64_t rb_mb = 16;
   bool rb_migration = false;
   bool list = false;
@@ -82,7 +84,29 @@ CliArgs Parse(int argc, char** argv) {
     } else if (StartsWith(argv[i], "--temporal-p=", &v)) {
       args.temporal_p = std::atof(v);
     } else if (StartsWith(argv[i], "--rb-batch=", &v)) {
-      args.rb_batch = std::atoi(v);
+      // N = fixed window; "adaptive" = waiter-pressure-driven window with the
+      // default ceiling; "adaptive:MAX" picks the ceiling.
+      // A whole-token number, so "adaptive:1O" / "4x" error out instead of running
+      // a sweep under a silently different window.
+      auto parse_window = [](const char* s, int* out) {
+        char* end = nullptr;
+        long n = std::strtol(s, &end, 10);
+        if (end == s || *end != '\0' || n < 0) {
+          return false;
+        }
+        *out = static_cast<int>(n);
+        return true;
+      };
+      if (std::strcmp(v, "adaptive") == 0) {
+        args.rb_batch_policy = RbBatchPolicy::kAdaptive;
+        args.rb_batch = 0;
+      } else if (std::strncmp(v, "adaptive:", 9) == 0 &&
+                 parse_window(v + 9, &args.rb_batch) && args.rb_batch > 0) {
+        args.rb_batch_policy = RbBatchPolicy::kAdaptive;
+      } else if (parse_window(v, &args.rb_batch)) {
+      } else {
+        args.ok = false;  // "adaptive4", "adaptive:junk", "abc": reject, don't guess.
+      }
     } else if (StartsWith(argv[i], "--rb-mb=", &v)) {
       args.rb_mb = static_cast<uint64_t>(std::atoll(v));
     } else if (std::strcmp(argv[i], "--rb-migration") == 0) {
@@ -122,6 +146,16 @@ void PrintStats(const SimStats& stats) {
               static_cast<unsigned long long>(stats.tokens_revoked),
               static_cast<unsigned long long>(stats.rb_entries),
               static_cast<unsigned long long>(stats.rb_resets));
+  if (stats.rb_batch_flushes > 0) {
+    std::printf("  rb batching: batched=%llu precall-coalesced=%llu flushes=%llu "
+                "window +%llu/-%llu park-flushes=%llu\n",
+                static_cast<unsigned long long>(stats.rb_batched_entries),
+                static_cast<unsigned long long>(stats.rb_precall_coalesced),
+                static_cast<unsigned long long>(stats.rb_batch_flushes),
+                static_cast<unsigned long long>(stats.rb_batch_window_grows),
+                static_cast<unsigned long long>(stats.rb_batch_window_shrinks),
+                static_cast<unsigned long long>(stats.rb_park_flushes));
+  }
 }
 
 int Run(const CliArgs& args) {
@@ -132,6 +166,7 @@ int Run(const CliArgs& args) {
   config.seed = args.seed;
   config.rb_size = args.rb_mb * 1024 * 1024;
   config.rb_batch_max = args.rb_batch;
+  config.rb_batch_policy = args.rb_batch_policy;
   if (args.temporal_p > 0) {
     config.temporal.enabled = true;
     config.temporal.exempt_probability = args.temporal_p;
@@ -194,7 +229,8 @@ int main(int argc, char** argv) {
   remon::CliArgs args = remon::Parse(argc, argv);
   if (!args.ok) {
     std::fprintf(stderr, "usage: remon_cli [--mode=..] [--replicas=N] [--level=..] "
-                         "[--workload=NAME|--server=NAME] [--rb-batch=N] [--list]\n");
+                         "[--workload=NAME|--server=NAME] [--rb-batch=N|adaptive] "
+                         "[--list]\n");
     return 1;
   }
   if (args.list) {
