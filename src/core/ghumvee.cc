@@ -81,6 +81,8 @@ void Ghumvee::Divergence(int rank, Sys nr, std::string reason) {
   if (shutdown_) {
     return;
   }
+  std::fprintf(stderr, "[ghumvee] divergence (rank %d, sysno %d): %s\n", rank,
+               static_cast<int>(nr), reason.c_str());
   divergences_.push_back(DivergenceRecord{kernel_->now(), rank, nr, std::move(reason)});
   ++kernel_->stats().divergences_detected;
   shutdown_ = true;

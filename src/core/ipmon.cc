@@ -6,6 +6,7 @@
 
 #include "src/core/await.h"
 #include "src/core/broker.h"
+#include "src/core/rb_transport.h"
 #include "src/sim/check.h"
 
 namespace remon {
@@ -112,6 +113,10 @@ GuestTask<void> IpMon::Initialize(Guest& g) {
         }
       }
     };
+  }
+
+  if (on_initialized_) {
+    on_initialized_();
   }
 }
 
@@ -303,6 +308,50 @@ int IpMon::BatchWindow(int rank) const {
   return w < config_.rb_batch_max ? w : config_.rb_batch_max;
 }
 
+void IpMon::EmitToTransport(int rank,
+                            const std::vector<std::pair<uint64_t, uint32_t>>& pubs) {
+  if (transport_ == nullptr || pubs.empty() || transport_->live_remotes() == 0) {
+    return;  // No one to ship to: skip the image reads entirely.
+  }
+  std::vector<RbWireEntry> entries;
+  entries.reserve(pubs.size());
+  for (const auto& [entry_off, state] : pubs) {
+    uint64_t sig_len = rb_.ReadU64(entry_off + kRbOffSigLen);
+    uint64_t out_len =
+        state == kRbResultsReady ? rb_.ReadU64(entry_off + kRbOffOutLen) : 0;
+    RbWireEntry e;
+    e.entry_off = entry_off;
+    e.final_state = state;
+    e.image.resize(kRbEntryHeaderSize + sig_len + out_len);
+    rb_.ReadBytes(entry_off, e.image.data(), e.image.size());
+    entries.push_back(std::move(e));
+  }
+  transport_->SendEntries(rank, entries);
+}
+
+GuestTask<void> IpMon::StallOnTransport(Thread* t, int rank) {
+  SimStats& stats = kernel_->stats();
+  while (transport_ != nullptr && transport_->Stalled()) {
+    ++stats.rb_transport_stalls;
+    if (config_.rb_batch_policy == RbBatchPolicy::kAdaptive &&
+        static_cast<size_t>(rank) < batch_.size() &&
+        batch_[static_cast<size_t>(rank)].ObserveBackpressure(config_.rb_batch_max) > 0) {
+      ++stats.rb_batch_window_grows;
+    }
+    // The rank's batch must be empty before parking on the stall queue. Parking
+    // runs the kernel park hook, and a non-empty batch would flush right there —
+    // pumping the socket, consuming acks, and firing the stall-queue wake *before*
+    // this thread registers as a waiter: a lost wakeup and a permanent stall. The
+    // flush may overshoot the in-flight bound by one frame; the bound is a
+    // watermark, not a hard budget.
+    if (FlushRbBatch(rank) > 0) {
+      co_await ThreadCost{t, kernel_->sim()->costs().futex_wake_ns};
+      continue;  // The flush pumped the link; re-evaluate before sleeping.
+    }
+    co_await WaitOn{t, transport_->stall_queue()};
+  }
+}
+
 uint32_t IpMon::FlushRbBatch(int rank) {
   if (static_cast<size_t>(rank) >= batch_.size()) {
     return 0;  // Pre-Initialize (batching not set up yet): nothing pending.
@@ -341,6 +390,18 @@ uint32_t IpMon::FlushRbBatch(int rank) {
   // results_pending() entries.
   uint32_t waiters = batch.Commit(rb_);
   uint64_t result_publications = batch.results_pending();
+  if (transport_ != nullptr) {
+    // One flush = one frame: the adaptive batch window doubles as the network
+    // coalescing window, so remote agents see exactly the publications the local
+    // slaves see, in one wire message.
+    std::vector<std::pair<uint64_t, uint32_t>> pubs;
+    pubs.reserve(batch.size());
+    for (const RbBatch::Slot& s : batch.slots()) {
+      pubs.emplace_back(s.entry_off,
+                        s.results_pending ? kRbResultsReady : kRbArgsReady);
+    }
+    EmitToTransport(rank, pubs);
+  }
   if (adaptive) {
     uint32_t spinners = sleepers > waiters ? sleepers - waiters : 0;
     int delta = batch.ObservePressure(waiters, spinners, config_.rb_batch_max);
@@ -373,6 +434,13 @@ GuestTask<void> IpMon::FlushBatchCharged(Thread* t, int rank) {
   if (FlushRbBatch(rank) > 0) {
     co_await ThreadCost{t, kernel_->sim()->costs().futex_wake_ns};
   }
+  // Slow-link backpressure: with a remote link's in-flight frame budget exhausted,
+  // the leader stalls at its flush point (feeding the adaptive window) instead of
+  // queueing unboundedly. After the flush, so the stall parks with an empty batch
+  // (see StallOnTransport for why that matters).
+  if (transport_ != nullptr && transport_->Stalled()) {
+    co_await StallOnTransport(t, rank);
+  }
 }
 
 GuestTask<void> IpMon::ForwardToGhumvee(Thread* t, SyscallRequest req) {
@@ -391,6 +459,13 @@ GuestTask<void> IpMon::MasterPath(Thread* t, SyscallRequest req, uint64_t token)
   SimStats& stats = kernel_->stats();
   int rank = t->rank();
   REMON_CHECK(rank < config_.max_ranks);
+
+  // Cross-machine backpressure gate: with a remote link's in-flight frame budget
+  // exhausted, the master may not publish further entries — park here until the
+  // acks drain (or the remote dies and the stream epoch moves on).
+  if (transport_ != nullptr && transport_->Stalled()) {
+    co_await StallOnTransport(t, rank);
+  }
 
   // CALCSIZE: compute the entry footprint; both the signature and the out-capacity
   // derive from argument values that are identical across replicas, so every replica
@@ -468,6 +543,7 @@ GuestTask<void> IpMon::MasterPath(Thread* t, SyscallRequest req, uint64_t token)
   co_await ThreadCost{t, costs.rb_entry_ns};
   if (!args_deferred) {
     StateWordQueue(entry_off)->Wake();
+    EmitToTransport(rank, {{entry_off, kRbArgsReady}});
   }
   ++stats.rb_entries;
   stats.rb_bytes += entry_size;
@@ -477,6 +553,7 @@ GuestTask<void> IpMon::MasterPath(Thread* t, SyscallRequest req, uint64_t token)
     // monitor gets its synchronization point. The forwarded stub keeps slaves in step.
     RbEntryOps::CommitResults(rb_, entry_off, 0, {});
     StateWordQueue(entry_off)->Wake();
+    EmitToTransport(rank, {{entry_off, kRbResultsReady}});
     forward_reason_ = "signals_pending";
     co_await ForwardToGhumvee(t, req);
     co_return;
@@ -495,6 +572,7 @@ GuestTask<void> IpMon::MasterPath(Thread* t, SyscallRequest req, uint64_t token)
     rb_.WriteU32(entry_off + kRbOffFlags, f);
     RbEntryOps::CommitResults(rb_, entry_off, 0, {});
     StateWordQueue(entry_off)->Wake();
+    EmitToTransport(rank, {{entry_off, kRbResultsReady}});
     forward_reason_ = "token_invalid";
     co_await ForwardToGhumvee(t, req);
     co_return;
@@ -512,6 +590,7 @@ GuestTask<void> IpMon::MasterPath(Thread* t, SyscallRequest req, uint64_t token)
     rb_.WriteU32(entry_off + kRbOffFlags, f);
     RbEntryOps::CommitResults(rb_, entry_off, 0, {});
     StateWordQueue(entry_off)->Wake();
+    EmitToTransport(rank, {{entry_off, kRbResultsReady}});
     forward_reason_ = "eintr_restart";
     co_await ForwardToGhumvee(t, req);
     co_return;
@@ -536,6 +615,7 @@ GuestTask<void> IpMon::MasterPath(Thread* t, SyscallRequest req, uint64_t token)
     }
     uint32_t waiters = RbEntryOps::CommitResults(rb_, entry_off, r, payload);
     StateWordQueue(entry_off)->Wake();  // Memory visibility (free in real hardware).
+    EmitToTransport(rank, {{entry_off, kRbResultsReady}});
     if (waiters > 0) {
       co_await ThreadCost{t, costs.futex_wake_ns};  // FUTEX_WAKE needed.
     } else {
@@ -639,7 +719,14 @@ void IpMon::OnRbReset(int rank) {
     // Normally empty by now (the overflow trip flushes); defensive for direct calls.
     FlushRbBatch(rank);
     ++kernel_->stats().rb_resets;
-    // Zero the data area once (shared frames: visible to every replica).
+    // Zero the data area once (shared frames: visible to every leader-local replica).
+    rb_.Zero(rb_.RankDataStart(rank), rb_.RankDataEnd(rank) - rb_.RankDataStart(rank));
+  } else if (rb_private_mirror_ && rb_.valid()) {
+    // A remote replica's RB is a machine-local mirror: the master's zeroing does not
+    // reach it, so the replica scrubs its own sub-buffer inside the (globally
+    // synchronized) reset round. Every frame published before the round has been
+    // applied by now — this replica could not have reached the overflow point
+    // without consuming all of them.
     rb_.Zero(rb_.RankDataStart(rank), rb_.RankDataEnd(rank) - rb_.RankDataStart(rank));
   }
   cursor_[static_cast<size_t>(rank)] = rb_.RankDataStart(rank);

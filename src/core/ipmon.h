@@ -36,6 +36,7 @@
 namespace remon {
 
 class IkBroker;
+class RbTransport;
 
 // Monitor flavor: ReMon's IP-MON (split-monitor, GHUMVEE fallback) or a VARAN-like
 // reliability-oriented monitor (everything in-process, no lockstep, no CP fallback).
@@ -82,6 +83,21 @@ class IpMon {
   // to locate the master's RB view for cross-replica waits).
   void set_peers(std::vector<IpMon*> peers) { peers_ = std::move(peers); }
 
+  // --- Cross-machine replica sets (src/core/rb_transport.h) ---------------------
+
+  // Master only: every publication is additionally serialized into one wire frame
+  // and pumped to the remote replicas' sync agents ("one flush = one frame").
+  void set_transport(RbTransport* transport) { transport_ = transport; }
+
+  // Remote slaves: this replica's RB is a machine-local mirror fed by its
+  // RemoteSyncAgent rather than leader-shared frames; on RB resets the replica
+  // zeroes its own mirror (there is no master with shared frames to do it).
+  void set_rb_private_mirror(bool mirror) { rb_private_mirror_ = mirror; }
+
+  // Invoked at the end of Initialize, once the RB view is valid (the remote sync
+  // agent drains frames that raced ahead of the replica's prologue).
+  void set_on_initialized(std::function<void()> cb) { on_initialized_ = std::move(cb); }
+
   // Guest-side initialization prologue: creates/attaches the RB segment (System V
   // IPC, arbitrated by GHUMVEE), maps the file map read-only, and registers with the
   // kernel via the dedicated system call (paper §3.5).
@@ -116,6 +132,13 @@ class IpMon {
 
   // Number of RB resets this replica has observed.
   uint64_t rb_resets() const { return rb_resets_; }
+  // This replica's RB cursor for `rank` (diagnostics/tests): the offset of the
+  // next entry it will produce (master) or consume (slave).
+  uint64_t rb_cursor(int rank) const {
+    return static_cast<size_t>(rank) < cursor_.size()
+               ? cursor_[static_cast<size_t>(rank)]
+               : 0;
+  }
   uint64_t mismatches_tolerated() const { return mismatches_tolerated_; }
 
   // Publishes every deferred batched POSTCALL commit (all ranks) and wakes the
@@ -151,6 +174,16 @@ class IpMon {
   // publication woke someone — the one idiom every coroutine flush point must use
   // so the fixed-vs-adaptive ablation columns stay comparable.
   GuestTask<void> FlushBatchCharged(Thread* t, int rank);
+
+  // Master + transport: parks the thread while any remote link has its full
+  // in-flight frame budget outstanding (slow-link backpressure stalls the leader's
+  // flush point instead of queuing unboundedly); each stall feeds the adaptive
+  // window's AIMD as grow pressure. No-op without a transport.
+  GuestTask<void> StallOnTransport(Thread* t, int rank);
+
+  // Master + transport: serializes freshly published entries (entry_off,
+  // final-state pairs) into one frame broadcast to every remote agent.
+  void EmitToTransport(int rank, const std::vector<std::pair<uint64_t, uint32_t>>& pubs);
   GuestTask<void> MasterPath(Thread* t, SyscallRequest req, uint64_t token);
   GuestTask<void> SlavePath(Thread* t, SyscallRequest req, uint64_t token);
   // Forward the call to GHUMVEE (4'): destroy token, restart traced.
@@ -189,6 +222,9 @@ class IpMon {
   Process* process_ = nullptr;
   RbView rb_;
   std::vector<IpMon*> peers_;
+  RbTransport* transport_ = nullptr;  // Master of a cross-machine set; not owned.
+  bool rb_private_mirror_ = false;    // Remote slave: RB is a machine-local mirror.
+  std::function<void()> on_initialized_;
 
   // Per-rank cursors/sequence numbers: this replica's private positions ("each
   // replica thread only reads and writes its own RB position", §3.2). The master's

@@ -1,0 +1,346 @@
+#include "src/core/rb_transport.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/core/ipmon.h"
+#include "src/kernel/kernel.h"
+#include "src/sim/check.h"
+
+namespace remon {
+
+namespace {
+
+// Per-read chunk while draining a socket's receive buffer.
+constexpr size_t kReadChunk = 4096;
+
+// Writes as much of `q` (with partial-write offset `*head_off`) into `sock` as the
+// flow-control window accepts. Returns false on a hard write error (peer gone).
+bool DrainSendQueue(StreamSocket* sock, std::deque<std::vector<uint8_t>>* q,
+                    size_t* head_off) {
+  while (!q->empty()) {
+    std::vector<uint8_t>& front = q->front();
+    int64_t n = sock->Write(front.data() + *head_off, front.size() - *head_off, 0);
+    if (n == -kEAGAIN) {
+      return true;  // Window full; retry on the next poll wake.
+    }
+    if (n <= 0) {
+      return false;
+    }
+    *head_off += static_cast<size_t>(n);
+    if (*head_off == front.size()) {
+      q->pop_front();
+      *head_off = 0;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- RbTransport (leader side) ----------------------------------------------------
+
+RbTransport::RbTransport(Kernel* kernel, uint32_t leader_machine, Options options)
+    : kernel_(kernel), leader_machine_(leader_machine), options_(options) {
+  REMON_CHECK(options_.max_inflight_frames >= 1);
+}
+
+RbTransport::~RbTransport() {
+  for (auto& r : remotes_) {
+    if (r->sock && r->observer_id != 0) {
+      r->sock->poll_queue().Remove(r->observer_id);
+    }
+  }
+}
+
+void RbTransport::AddRemote(int replica_index, uint32_t machine, uint16_t port) {
+  auto remote = std::make_unique<Remote>();
+  remote->replica_index = replica_index;
+  remote->sock = kernel_->net()->CreateStream(leader_machine_);
+  remote->sock->ConnectTo(SockAddr{machine, port});
+  Remote* r = remote.get();
+  remote->observer_id = remote->sock->poll_queue().AddObserver([this, r] { Pump(*r); });
+  remotes_.push_back(std::move(remote));
+}
+
+void RbTransport::SendEntries(int rank, const std::vector<RbWireEntry>& entries) {
+  if (entries.empty() || live_remotes() == 0) {
+    return;
+  }
+  SimStats& stats = kernel_->stats();
+  // Broadcast: the payload (entry records + images) is serialized once; only the
+  // per-connection header (frame_seq) and CRC differ per remote.
+  std::vector<uint8_t> payload = RbWireCodec::EncodeEntriesPayload(entries);
+  for (auto& r : remotes_) {
+    if (r->dead) {
+      continue;
+    }
+    uint64_t seq = ++r->frames_sent;
+    std::vector<uint8_t> frame = RbWireCodec::EntriesFrameFromPayload(
+        epoch_, static_cast<uint32_t>(rank), seq,
+        static_cast<uint32_t>(entries.size()), payload);
+    ++stats.rb_frames_sent;
+    stats.rb_frame_bytes_sent += frame.size();
+    r->sendq.push_back(std::move(frame));
+    Pump(*r);
+  }
+}
+
+bool RbTransport::Stalled() const {
+  for (const auto& r : remotes_) {
+    if (RemoteStalled(*r)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int RbTransport::live_remotes() const {
+  int n = 0;
+  for (const auto& r : remotes_) {
+    n += r->dead ? 0 : 1;
+  }
+  return n;
+}
+
+void RbTransport::MarkDead(Remote& r, const char* why) {
+  if (r.dead) {
+    return;
+  }
+  r.dead = true;
+  ++deaths_;
+  ++epoch_;  // Frames of the torn stream can never be mistaken for a future one.
+  ++kernel_->stats().rb_remote_deaths;
+  std::fprintf(stderr, "[rb-transport] remote replica %d link down (%s); epoch -> %u\n",
+               r.replica_index, why, epoch_);
+  // A leader stalled on this remote's acks must not hang on a dead link.
+  stall_queue_.Wake();
+  if (on_remote_death_) {
+    on_remote_death_(r.replica_index);
+  }
+}
+
+void RbTransport::Pump(Remote& r) {
+  if (r.dead || !r.sock) {
+    return;
+  }
+  if (r.sock->state() == StreamSocket::State::kConnecting ||
+      r.sock->state() == StreamSocket::State::kCreated) {
+    return;  // SYN still in flight; the poll observer re-pumps on completion.
+  }
+  if (r.sock->state() == StreamSocket::State::kClosed) {
+    MarkDead(r, r.sock->connect_failed() ? "connect refused" : "connection closed");
+    return;
+  }
+
+  if (!DrainSendQueue(r.sock.get(), &r.sendq, &r.sendq_head_off)) {
+    MarkDead(r, "write failed");
+    return;
+  }
+
+  // Ack stream.
+  uint8_t buf[kReadChunk];
+  for (;;) {
+    int64_t n = r.sock->Read(buf, sizeof(buf), 0);
+    if (n == -kEAGAIN) {
+      break;
+    }
+    if (n == 0) {
+      MarkDead(r, "peer closed");
+      return;
+    }
+    if (n < 0) {
+      MarkDead(r, "read failed");
+      return;
+    }
+    r.parser.Feed(buf, static_cast<size_t>(n));
+  }
+  bool was_stalled = RemoteStalled(r);
+  RbWireFrame frame;
+  for (;;) {
+    RbFrameParser::Status st = r.parser.Next(&frame);
+    if (st == RbFrameParser::Status::kCorrupt) {
+      MarkDead(r, "corrupt ack stream");
+      return;
+    }
+    if (st != RbFrameParser::Status::kFrame) {
+      break;
+    }
+    if (frame.type != RbFrameType::kAck) {
+      continue;  // Unexpected frame types are ignored, not fatal.
+    }
+    // Acks are per-connection state: a dead connection's acks can never arrive
+    // (the socket is gone), and an epoch bump caused by *another* remote's death
+    // must not invalidate this live link's in-flight acks — that would leave it
+    // stalled forever. The echoed epoch identifies the stream, nothing more.
+    r.frames_acked = std::max(r.frames_acked, frame.ack_seq);
+    ++kernel_->stats().rb_frames_acked;
+  }
+  if (was_stalled && !RemoteStalled(r)) {
+    stall_queue_.Wake();
+  }
+}
+
+// --- RemoteSyncAgent (remote side) ------------------------------------------------
+
+RemoteSyncAgent::RemoteSyncAgent(Kernel* kernel, IpMon* mon, uint32_t machine,
+                                 uint16_t port)
+    : kernel_(kernel), mon_(mon), machine_(machine), port_(port) {}
+
+RemoteSyncAgent::~RemoteSyncAgent() {
+  if (listener_ && listener_observer_ != 0) {
+    listener_->poll_queue().Remove(listener_observer_);
+  }
+  if (conn_ && conn_observer_ != 0) {
+    conn_->poll_queue().Remove(conn_observer_);
+  }
+}
+
+void RemoteSyncAgent::Start() {
+  listener_ = kernel_->net()->CreateStream(machine_);
+  REMON_CHECK_MSG(listener_->Bind(port_) == 0, "remote sync agent: bind failed");
+  REMON_CHECK_MSG(listener_->Listen(1) == 0, "remote sync agent: listen failed");
+  listener_observer_ =
+      listener_->poll_queue().AddObserver([this] { OnListenerPoll(); });
+}
+
+void RemoteSyncAgent::OnListenerPoll() {
+  if (conn_ != nullptr || shutdown_) {
+    return;
+  }
+  std::shared_ptr<StreamSocket> c = listener_->TryAccept();
+  if (c == nullptr) {
+    return;
+  }
+  conn_ = std::move(c);
+  conn_observer_ = conn_->poll_queue().AddObserver([this] { OnConnPoll(); });
+  DrainConn();
+}
+
+void RemoteSyncAgent::OnConnPoll() {
+  FlushAckQueue();
+  DrainConn();
+}
+
+void RemoteSyncAgent::DrainConn() {
+  if (conn_ == nullptr || shutdown_) {
+    return;
+  }
+  uint8_t buf[kReadChunk];
+  for (;;) {
+    int64_t n = conn_->Read(buf, sizeof(buf), 0);
+    if (n == -kEAGAIN || n == 0 || n < 0) {
+      // EOF here is the leader going away at end of run — nothing to replay.
+      break;
+    }
+    parser_.Feed(buf, static_cast<size_t>(n));
+  }
+  RbWireFrame frame;
+  for (;;) {
+    RbFrameParser::Status st = parser_.Next(&frame);
+    if (st == RbFrameParser::Status::kCorrupt) {
+      // A reliable in-order stream does not corrupt silently; treat it as a torn
+      // link: reject, close, and let the leader's transport report the death.
+      ++frames_rejected_;
+      Shutdown();
+      return;
+    }
+    if (st != RbFrameParser::Status::kFrame) {
+      return;
+    }
+    if (frame.type != RbFrameType::kEntries) {
+      continue;
+    }
+    if (mon_->rb().valid()) {
+      ApplyFrame(frame);
+    } else {
+      pending_.push_back(std::move(frame));
+    }
+  }
+}
+
+void RemoteSyncAgent::OnReplicaRbReady() {
+  std::vector<RbWireFrame> pending = std::move(pending_);
+  pending_.clear();
+  for (const RbWireFrame& f : pending) {
+    ApplyFrame(f);
+  }
+}
+
+void RemoteSyncAgent::ApplyFrame(const RbWireFrame& frame) {
+  bool ok = true;
+  for (const RbWireEntry& e : frame.entries) {
+    ok = ApplyEntry(frame.rank, e) && ok;
+  }
+  if (!ok) {
+    ++frames_rejected_;
+    Shutdown();  // A malformed entry record means the streams have diverged.
+    return;
+  }
+  ++frames_applied_;
+  kernel_->stats().rb_frames_applied += 1;
+  SendAck(frame.epoch, frame.frame_seq);
+}
+
+bool RemoteSyncAgent::ApplyEntry(uint32_t rank, const RbWireEntry& e) {
+  RbView rb = mon_->rb();
+  if (static_cast<int>(rank) >= rb.max_ranks() ||
+      e.image.size() < kRbEntryHeaderSize ||
+      e.entry_off < rb.RankDataStart(static_cast<int>(rank)) ||
+      e.entry_off > rb.RankDataEnd(static_cast<int>(rank)) ||
+      // Subtraction form: `entry_off + image.size()` could wrap and sneak a wild
+      // write past the range check.
+      e.image.size() > rb.RankDataEnd(static_cast<int>(rank)) - e.entry_off ||
+      (e.final_state != kRbArgsReady && e.final_state != kRbResultsReady)) {
+    return false;
+  }
+  // Replay the image into the mirror, preserving the first 8 bytes (the mirror's
+  // own state word and the waiter count the local slave maintains), then flip the
+  // state word last and wake any waiter parked on it — the same publication order
+  // the leader-local SHM path uses.
+  rb.WriteBytes(e.entry_off + kRbOffSysno, e.image.data() + kRbOffSysno,
+                e.image.size() - kRbOffSysno);
+  uint32_t cur = rb.ReadU32(e.entry_off + kRbOffState);
+  if (e.final_state > cur) {
+    rb.WriteU32(e.entry_off + kRbOffState, e.final_state);
+  }
+  ++entries_applied_;
+  ++kernel_->stats().rb_entries_applied;
+
+  uint64_t off_in_page = 0;
+  Page* frame = mon_->process()->mem().ResolveFrame(rb.AddrOf(e.entry_off + kRbOffState),
+                                                    &off_in_page);
+  if (frame != nullptr) {
+    kernel_->futex().QueueFor(frame, off_in_page).Wake();
+  }
+  return true;
+}
+
+void RemoteSyncAgent::SendAck(uint32_t epoch, uint64_t frame_seq) {
+  // The agent does not originate epochs; it echoes the applied frame's epoch so the
+  // leader can discard acknowledgments that straddle an epoch bump.
+  ackq_.push_back(RbWireCodec::EncodeAck(epoch, frame_seq));
+  FlushAckQueue();
+}
+
+void RemoteSyncAgent::FlushAckQueue() {
+  if (conn_ == nullptr || shutdown_) {
+    return;
+  }
+  DrainSendQueue(conn_.get(), &ackq_, &ackq_head_off_);
+}
+
+void RemoteSyncAgent::Shutdown() {
+  if (shutdown_) {
+    return;
+  }
+  shutdown_ = true;
+  if (conn_ != nullptr) {
+    conn_->Shutdown(kShutRdWr);
+  }
+  if (listener_ != nullptr) {
+    listener_->OnDescriptionClosed(0);  // Unbind the listening port.
+  }
+}
+
+}  // namespace remon

@@ -1,0 +1,172 @@
+// RB transport: carries the replication stream between machines.
+//
+// For replica sets that span simulated machines, the leader's IP-MON cannot reach
+// remote slaves through shared frames. Instead each remote replica gets a *private
+// mirror* of the RB (a machine-local SysV segment; see ShmRegistry::MirrorFor), and
+// the replication stream travels as RbWireCodec frames over a StreamSocket pair:
+//
+//   leader machine                               remote machine
+//   ┌────────────────────┐   frames (one per     ┌─────────────────────────┐
+//   │ master IP-MON      │   flush/publication)  │ RemoteSyncAgent         │
+//   │  └─ RbTransport ───┼──────────────────────▶│  └─ applies entry images│
+//   │     (send queue,   │◀──────────────────────┼─     into the RB mirror,│
+//   │      bounded in-   │   cumulative acks     │      wakes futex waiters│
+//   │      flight frames)│                       │ slave IP-MON (unchanged)│
+//   └────────────────────┘                       └─────────────────────────┘
+//
+// The slave-side fast path is untouched: a remote slave waits on, checks, and
+// consumes RB entries exactly as a leader-local slave does — the agent replays the
+// leader's publications into the mirror with the state-word flip last, so the
+// transcript is byte-identical across placements.
+//
+// Backpressure: the transport bounds the number of unacknowledged data frames per
+// remote. When the bound is hit, the leader's flush points stall on stall_queue()
+// until acks drain (IpMon::StallOnTransport), and each stall feeds the adaptive
+// batch window's AIMD as grow pressure — coalescing more entries per frame is how
+// a slow link is amortized.
+//
+// Remote death: a peer FIN/RST (or an agent Shutdown) marks the remote dead, bumps
+// the stream epoch so stale frames of the torn connection cannot be confused with
+// a future stream, wakes any stalled leader thread, and reports through the
+// on_remote_death callback (wired to GHUMVEE's divergence shutdown) — a lost
+// machine ends the run with a report, never a hang.
+
+#ifndef SRC_CORE_RB_TRANSPORT_H_
+#define SRC_CORE_RB_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/rb_wire.h"
+#include "src/net/network.h"
+#include "src/vfs/wait_queue.h"
+
+namespace remon {
+
+class IpMon;
+class Kernel;
+
+// Well-known base port remote sync agents listen on (port = base + replica index).
+inline constexpr uint16_t kRbTransportPortBase = 47000;
+
+// Leader-side frame pump: one connection per remote replica.
+class RbTransport {
+ public:
+  struct Options {
+    // Unacked data frames allowed per remote before flush points stall.
+    int max_inflight_frames = 8;
+  };
+
+  RbTransport(Kernel* kernel, uint32_t leader_machine, Options options);
+  ~RbTransport();
+  RbTransport(const RbTransport&) = delete;
+  RbTransport& operator=(const RbTransport&) = delete;
+
+  // Registers (and starts connecting to) a remote replica's agent.
+  void AddRemote(int replica_index, uint32_t machine, uint16_t port);
+
+  // Broadcasts one publication — one frame — to every live remote. Never blocks:
+  // frames queue locally; the in-flight bound is enforced at the leader's flush
+  // points via Stalled()/stall_queue().
+  void SendEntries(int rank, const std::vector<RbWireEntry>& entries);
+
+  // True while any live remote has >= max_inflight_frames unacked data frames.
+  bool Stalled() const;
+  // Woken when acks drain below the bound or a remote dies.
+  WaitQueue* stall_queue() { return &stall_queue_; }
+
+  // Stream epoch: starts at 1, bumped on every remote death.
+  uint32_t epoch() const { return epoch_; }
+  int live_remotes() const;
+  bool any_remote_dead() const { return deaths_ > 0; }
+
+  // Invoked once per remote death with the replica index (after the epoch bump).
+  void set_on_remote_death(std::function<void(int)> cb) { on_remote_death_ = std::move(cb); }
+
+ private:
+  struct Remote {
+    int replica_index = -1;
+    std::shared_ptr<StreamSocket> sock;
+    std::deque<std::vector<uint8_t>> sendq;  // Framed bytes not yet written.
+    size_t sendq_head_off = 0;               // Partial-write offset into sendq.front().
+    uint64_t frames_sent = 0;                // Data frames enqueued (frame_seq source).
+    uint64_t frames_acked = 0;               // Highest cumulative ack received.
+    RbFrameParser parser;                    // For the ack stream.
+    uint64_t observer_id = 0;
+    bool dead = false;
+  };
+
+  void Pump(Remote& r);       // Drain sendq into the socket; read acks.
+  void MarkDead(Remote& r, const char* why);
+  bool RemoteStalled(const Remote& r) const {
+    return !r.dead &&
+           r.frames_sent - r.frames_acked >=
+               static_cast<uint64_t>(options_.max_inflight_frames);
+  }
+
+  Kernel* kernel_;
+  uint32_t leader_machine_;
+  Options options_;
+  uint32_t epoch_ = 1;
+  uint64_t deaths_ = 0;
+  std::function<void(int)> on_remote_death_;
+  WaitQueue stall_queue_;
+  std::vector<std::unique_ptr<Remote>> remotes_;
+};
+
+// Remote-side agent: accepts the leader's connection on its machine, replays
+// entry frames into the local replica's RB mirror, and acknowledges.
+class RemoteSyncAgent {
+ public:
+  RemoteSyncAgent(Kernel* kernel, IpMon* mon, uint32_t machine, uint16_t port);
+  ~RemoteSyncAgent();
+  RemoteSyncAgent(const RemoteSyncAgent&) = delete;
+  RemoteSyncAgent& operator=(const RemoteSyncAgent&) = delete;
+
+  // Binds + listens; call before the leader's RbTransport connects.
+  void Start();
+
+  // The local replica's IP-MON finished Initialize (the RB mirror view is valid):
+  // drain any frames that arrived early.
+  void OnReplicaRbReady();
+
+  // Tears the link down (FIN to the leader) — the remote-machine-death experiment.
+  void Shutdown();
+
+  uint64_t frames_applied() const { return frames_applied_; }
+  uint64_t entries_applied() const { return entries_applied_; }
+  uint64_t frames_rejected() const { return frames_rejected_; }
+
+ private:
+  void OnListenerPoll();
+  void OnConnPoll();
+  void DrainConn();
+  void ApplyFrame(const RbWireFrame& frame);
+  bool ApplyEntry(uint32_t rank, const RbWireEntry& entry);
+  void SendAck(uint32_t epoch, uint64_t frame_seq);
+  void FlushAckQueue();
+
+  Kernel* kernel_;
+  IpMon* mon_;
+  uint32_t machine_;
+  uint16_t port_;
+  std::shared_ptr<StreamSocket> listener_;
+  std::shared_ptr<StreamSocket> conn_;
+  uint64_t listener_observer_ = 0;
+  uint64_t conn_observer_ = 0;
+  RbFrameParser parser_;
+  std::vector<RbWireFrame> pending_;  // Frames received before the mirror exists.
+  std::deque<std::vector<uint8_t>> ackq_;
+  size_t ackq_head_off_ = 0;
+  bool shutdown_ = false;
+  uint64_t frames_applied_ = 0;
+  uint64_t entries_applied_ = 0;
+  uint64_t frames_rejected_ = 0;
+};
+
+}  // namespace remon
+
+#endif  // SRC_CORE_RB_TRANSPORT_H_

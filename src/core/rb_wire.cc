@@ -1,0 +1,232 @@
+#include "src/core/rb_wire.h"
+
+#include <array>
+#include <cstring>
+
+namespace remon {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutU16(std::vector<uint8_t>* out, size_t off, uint16_t v) {
+  std::memcpy(out->data() + off, &v, 2);
+}
+void PutU32(std::vector<uint8_t>* out, size_t off, uint32_t v) {
+  std::memcpy(out->data() + off, &v, 4);
+}
+void PutU64(std::vector<uint8_t>* out, size_t off, uint64_t v) {
+  std::memcpy(out->data() + off, &v, 8);
+}
+
+// Header field offsets (see the layout table in rb_wire.h).
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffVersion = 4;
+constexpr size_t kOffType = 6;
+constexpr size_t kOffEpoch = 8;
+constexpr size_t kOffRank = 12;
+constexpr size_t kOffEntryCount = 16;
+constexpr size_t kOffPayloadLen = 20;
+constexpr size_t kOffFrameSeq = 24;
+constexpr size_t kOffAckSeq = 32;
+constexpr size_t kOffCrc = 40;
+
+std::vector<uint8_t> BuildFrame(RbFrameType type, uint32_t epoch, uint32_t rank,
+                                uint32_t entry_count, uint64_t frame_seq,
+                                uint64_t ack_seq, const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame(kRbWireHeaderSize + payload.size(), 0);
+  PutU32(&frame, kOffMagic, kRbWireMagic);
+  PutU16(&frame, kOffVersion, kRbWireVersion);
+  PutU16(&frame, kOffType, static_cast<uint16_t>(type));
+  PutU32(&frame, kOffEpoch, epoch);
+  PutU32(&frame, kOffRank, rank);
+  PutU32(&frame, kOffEntryCount, entry_count);
+  PutU32(&frame, kOffPayloadLen, static_cast<uint32_t>(payload.size()));
+  PutU64(&frame, kOffFrameSeq, frame_seq);
+  PutU64(&frame, kOffAckSeq, ack_seq);
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kRbWireHeaderSize, payload.data(), payload.size());
+  }
+  // CRC over the whole frame with the crc field zeroed (it is zero right now).
+  PutU32(&frame, kOffCrc, Crc32(frame.data(), frame.size()));
+  return frame;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::vector<uint8_t> RbWireCodec::EncodeEntriesPayload(
+    const std::vector<RbWireEntry>& entries) {
+  std::vector<uint8_t> payload;
+  size_t total = 0;
+  for (const RbWireEntry& e : entries) {
+    total += kRbWireEntryHeaderSize + e.image.size();
+  }
+  payload.resize(total);
+  size_t pos = 0;
+  for (const RbWireEntry& e : entries) {
+    PutU64(&payload, pos, e.entry_off);
+    PutU32(&payload, pos + 8, e.final_state);
+    PutU32(&payload, pos + 12, static_cast<uint32_t>(e.image.size()));
+    if (!e.image.empty()) {
+      std::memcpy(payload.data() + pos + kRbWireEntryHeaderSize, e.image.data(),
+                  e.image.size());
+    }
+    pos += kRbWireEntryHeaderSize + e.image.size();
+  }
+  return payload;
+}
+
+std::vector<uint8_t> RbWireCodec::EntriesFrameFromPayload(
+    uint32_t epoch, uint32_t rank, uint64_t frame_seq, uint32_t entry_count,
+    const std::vector<uint8_t>& payload) {
+  return BuildFrame(RbFrameType::kEntries, epoch, rank, entry_count, frame_seq, 0,
+                    payload);
+}
+
+std::vector<uint8_t> RbWireCodec::EncodeEntries(uint32_t epoch, uint32_t rank,
+                                                uint64_t frame_seq,
+                                                const std::vector<RbWireEntry>& entries) {
+  return EntriesFrameFromPayload(epoch, rank, frame_seq,
+                                 static_cast<uint32_t>(entries.size()),
+                                 EncodeEntriesPayload(entries));
+}
+
+std::vector<uint8_t> RbWireCodec::EncodeAck(uint32_t epoch, uint64_t ack_seq) {
+  return BuildFrame(RbFrameType::kAck, epoch, /*rank=*/0, /*entry_count=*/0,
+                    /*frame_seq=*/0, ack_seq, {});
+}
+
+void RbFrameParser::Feed(const uint8_t* data, size_t len) {
+  if (corrupt_) {
+    return;  // The stream is dead; don't accumulate unbounded garbage.
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+uint16_t RbFrameParser::PeekU16(size_t off) const {
+  return static_cast<uint16_t>(buf_[off]) |
+         static_cast<uint16_t>(static_cast<uint16_t>(buf_[off + 1]) << 8);
+}
+
+uint32_t RbFrameParser::PeekU32(size_t off) const {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | buf_[off + static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+uint64_t RbFrameParser::PeekU64(size_t off) const {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | buf_[off + static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+RbFrameParser::Status RbFrameParser::Next(RbWireFrame* out) {
+  if (corrupt_) {
+    return Status::kCorrupt;
+  }
+  if (!HaveBytes(kRbWireHeaderSize)) {
+    return Status::kNeedMore;
+  }
+  // Validate everything checkable from the header before waiting for the payload,
+  // so garbage cannot demand 16 MiB of buffering first.
+  if (PeekU32(kOffMagic) != kRbWireMagic || PeekU16(kOffVersion) != kRbWireVersion) {
+    corrupt_ = true;
+    return Status::kCorrupt;
+  }
+  uint16_t type = PeekU16(kOffType);
+  if (type != static_cast<uint16_t>(RbFrameType::kEntries) &&
+      type != static_cast<uint16_t>(RbFrameType::kAck)) {
+    corrupt_ = true;
+    return Status::kCorrupt;
+  }
+  uint32_t payload_len = PeekU32(kOffPayloadLen);
+  if (payload_len > kRbWireMaxPayload) {
+    corrupt_ = true;
+    return Status::kCorrupt;
+  }
+  size_t frame_len = kRbWireHeaderSize + payload_len;
+  if (!HaveBytes(frame_len)) {
+    return Status::kNeedMore;
+  }
+
+  // Contiguous copy for CRC + payload decoding (the deque is chunk-fragmented).
+  std::vector<uint8_t> frame(buf_.begin(),
+                             buf_.begin() + static_cast<long>(frame_len));
+  uint32_t wire_crc = PeekU32(kOffCrc);
+  frame[kOffCrc] = frame[kOffCrc + 1] = frame[kOffCrc + 2] = frame[kOffCrc + 3] = 0;
+  if (Crc32(frame.data(), frame.size()) != wire_crc) {
+    corrupt_ = true;
+    return Status::kCorrupt;
+  }
+
+  RbWireFrame f;
+  f.version = PeekU16(kOffVersion);
+  f.type = static_cast<RbFrameType>(type);
+  f.epoch = PeekU32(kOffEpoch);
+  f.rank = PeekU32(kOffRank);
+  f.frame_seq = PeekU64(kOffFrameSeq);
+  f.ack_seq = PeekU64(kOffAckSeq);
+  uint32_t entry_count = PeekU32(kOffEntryCount);
+
+  if (f.type == RbFrameType::kEntries) {
+    size_t pos = kRbWireHeaderSize;
+    f.entries.reserve(entry_count);
+    for (uint32_t i = 0; i < entry_count; ++i) {
+      if (pos + kRbWireEntryHeaderSize > frame_len) {
+        corrupt_ = true;
+        return Status::kCorrupt;
+      }
+      RbWireEntry e;
+      std::memcpy(&e.entry_off, frame.data() + pos, 8);
+      std::memcpy(&e.final_state, frame.data() + pos + 8, 4);
+      uint32_t image_len = 0;
+      std::memcpy(&image_len, frame.data() + pos + 12, 4);
+      pos += kRbWireEntryHeaderSize;
+      if (pos + image_len > frame_len) {
+        corrupt_ = true;
+        return Status::kCorrupt;
+      }
+      e.image.assign(frame.data() + pos, frame.data() + pos + image_len);
+      pos += image_len;
+      f.entries.push_back(std::move(e));
+    }
+    if (pos != frame_len) {
+      corrupt_ = true;  // Trailing payload bytes no entry record claims.
+      return Status::kCorrupt;
+    }
+  } else if (entry_count != 0 || payload_len != 0) {
+    corrupt_ = true;  // Control frames carry no payload.
+    return Status::kCorrupt;
+  }
+
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(frame_len));
+  ++frames_decoded_;
+  *out = std::move(f);
+  return Status::kFrame;
+}
+
+}  // namespace remon

@@ -1,0 +1,132 @@
+// RB wire format: framed, versioned serialization of replication-buffer entries.
+//
+// The SHM replication buffer only reaches replicas on the leader's machine. For
+// cross-machine replica sets the leader's IP-MON serializes each publication —
+// eager commits and batched flushes alike ("one flush = one frame") — into the
+// frames defined here and pumps them over a StreamSocket to the remote machine's
+// RemoteSyncAgent, which replays them into that replica's private RB mirror.
+//
+// docs/RB_WIRE_FORMAT.md is the normative description of the frame layout, the
+// versioning/epoch rules, and the CRC policy; this header mirrors it. Keep the two
+// in sync: a change here is a wire-format revision and must bump kRbWireVersion.
+//
+// Frame layout (all fields little-endian, fixed 48-byte header):
+//
+//   offset  size  field
+//        0     4  magic        "RBWF" (0x46574252 as a little-endian u32)
+//        4     2  version      kRbWireVersion (receiver rejects mismatches)
+//        6     2  type         RbFrameType (kEntries | kAck)
+//        8     4  epoch        stream epoch (bumped when a remote rank dies)
+//       12     4  rank         RB sub-buffer (thread rank) the frame belongs to
+//       16     4  entry_count  number of entry records in the payload
+//       20     4  payload_len  payload bytes following the header
+//       24     8  frame_seq    per-connection sequence number of data frames
+//       32     8  ack_seq      kAck: highest frame_seq applied (cumulative)
+//       40     4  crc32        IEEE CRC-32 over header (crc field zeroed) + payload
+//       44     4  reserved     zero
+//
+// kEntries payload: entry_count records, each
+//
+//   u64 entry_off    offset of the entry in the rank's sub-buffer space
+//   u32 final_state  kRbArgsReady or kRbResultsReady (applied *after* the image)
+//   u32 image_len    bytes of entry image that follow immediately (no padding)
+//
+// followed by image_len bytes: the entry image starting at the entry header
+// (state and waiter words included for alignment, but the receiver must preserve
+// the mirror's own state/waiter words and flip the state word last).
+
+#ifndef SRC_CORE_RB_WIRE_H_
+#define SRC_CORE_RB_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace remon {
+
+inline constexpr uint32_t kRbWireMagic = 0x46574252;  // "RBWF" little-endian.
+inline constexpr uint16_t kRbWireVersion = 1;
+inline constexpr uint64_t kRbWireHeaderSize = 48;
+inline constexpr uint64_t kRbWireEntryHeaderSize = 16;
+// Payloads beyond this are rejected as corrupt before any allocation happens: the
+// largest legitimate frame is one adaptive batch window of entries, far below this.
+inline constexpr uint32_t kRbWireMaxPayload = 1u << 24;
+
+enum class RbFrameType : uint16_t {
+  kEntries = 1,  // Leader -> remote agent: published RB entries.
+  kAck = 2,      // Remote agent -> leader: cumulative application acknowledgment.
+};
+
+// IEEE 802.3 CRC-32 (reflected, init/xorout 0xffffffff), software table.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+// One published entry as carried on the wire.
+struct RbWireEntry {
+  uint64_t entry_off = 0;
+  uint32_t final_state = 0;          // kRbArgsReady | kRbResultsReady.
+  std::vector<uint8_t> image;        // Entry bytes from the entry header onward.
+};
+
+// A decoded frame.
+struct RbWireFrame {
+  uint16_t version = kRbWireVersion;
+  RbFrameType type = RbFrameType::kEntries;
+  uint32_t epoch = 0;
+  uint32_t rank = 0;
+  uint64_t frame_seq = 0;
+  uint64_t ack_seq = 0;
+  std::vector<RbWireEntry> entries;
+};
+
+class RbWireCodec {
+ public:
+  // Serializes one publication (a batch flush or an eager commit) into one frame.
+  static std::vector<uint8_t> EncodeEntries(uint32_t epoch, uint32_t rank,
+                                            uint64_t frame_seq,
+                                            const std::vector<RbWireEntry>& entries);
+
+  // Two-step variant for broadcasting one publication to several remotes: the
+  // payload (entry records + images) is serialized once, then each connection
+  // stamps its own header (frame_seq) + CRC around it.
+  static std::vector<uint8_t> EncodeEntriesPayload(const std::vector<RbWireEntry>& entries);
+  static std::vector<uint8_t> EntriesFrameFromPayload(uint32_t epoch, uint32_t rank,
+                                                      uint64_t frame_seq,
+                                                      uint32_t entry_count,
+                                                      const std::vector<uint8_t>& payload);
+
+  // Serializes a cumulative acknowledgment.
+  static std::vector<uint8_t> EncodeAck(uint32_t epoch, uint64_t ack_seq);
+};
+
+// Incremental reassembly of frames from a byte stream. Feed() accepts arbitrary
+// chunk boundaries; Next() yields frames in order. Corruption (bad magic, version,
+// CRC, malformed payload) is unrecoverable for a reliable in-order stream: the
+// parser latches into the corrupt state and Next() keeps returning kCorrupt so the
+// connection owner can tear the link down (docs/RB_WIRE_FORMAT.md, "CRC policy").
+class RbFrameParser {
+ public:
+  enum class Status { kNeedMore, kFrame, kCorrupt };
+
+  void Feed(const uint8_t* data, size_t len);
+
+  // Attempts to decode the next complete frame into `out`.
+  Status Next(RbWireFrame* out);
+
+  bool corrupt() const { return corrupt_; }
+  uint64_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  bool HaveBytes(size_t n) const { return buf_.size() >= n; }
+  uint32_t PeekU32(size_t off) const;
+  uint64_t PeekU64(size_t off) const;
+  uint16_t PeekU16(size_t off) const;
+
+  std::deque<uint8_t> buf_;
+  bool corrupt_ = false;
+  uint64_t frames_decoded_ = 0;
+};
+
+}  // namespace remon
+
+#endif  // SRC_CORE_RB_WIRE_H_

@@ -58,6 +58,32 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
   int n = options_.mode == MveeMode::kNative ? 1 : options_.replicas;
   kernel_->set_active_replicas(n);
 
+  // Cross-machine placement: validate before any process exists.
+  auto machine_for = [this](int i) {
+    return options_.replica_machines.empty()
+               ? options_.machine
+               : options_.replica_machines[static_cast<size_t>(i)];
+  };
+  bool any_remote = false;
+  if (!options_.replica_machines.empty() && options_.mode != MveeMode::kNative) {
+    REMON_CHECK_MSG(static_cast<int>(options_.replica_machines.size()) == n,
+                    "replica_machines must carry one entry per replica");
+    REMON_CHECK_MSG(options_.replica_machines[0] == options_.machine,
+                    "replica 0 (the leader) must run on RemonOptions::machine");
+    for (int i = 0; i < n; ++i) {
+      REMON_CHECK_MSG(machine_for(i) < kernel_->net()->machine_count(),
+                      "replica placed on a machine the network does not know");
+      any_remote |= machine_for(i) != options_.machine;
+    }
+  }
+  if (any_remote) {
+    REMON_CHECK_MSG(options_.mode == MveeMode::kRemon,
+                    "cross-machine placement needs the RB transport (mode=remon)");
+    REMON_CHECK_MSG(!options_.use_sync_agent,
+                    "the sync-agent log is SHM-only; cross-machine replica sets "
+                    "cannot use it yet");
+  }
+
   RelaxationPolicy policy(options_.level, options_.temporal);
 
   if (options_.mode == MveeMode::kGhumveeOnly || options_.mode == MveeMode::kRemon) {
@@ -82,7 +108,7 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
 
   for (int i = 0; i < n; ++i) {
     LayoutPlan plan = planner_.PlanFor(i);
-    Process* p = kernel_->CreateProcess(name + "-r" + std::to_string(i), options_.machine,
+    Process* p = kernel_->CreateProcess(name + "-r" + std::to_string(i), machine_for(i),
                                         plan);
     p->replica_index = options_.mode == MveeMode::kNative ? -1 : i;
     p->mem_intensity = options_.mem_intensity;
@@ -137,6 +163,41 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
   }
   for (auto& m : ipmons_) {
     m->set_peers(peer_ptrs);
+  }
+
+  // Cross-machine replica sets: one RemoteSyncAgent per remote replica (listening
+  // on that machine), one leader-side RbTransport pumping frames to all of them.
+  if (any_remote) {
+    RbTransport::Options topts;
+    topts.max_inflight_frames = options_.rb_max_inflight_frames;
+    transport_ = std::make_unique<RbTransport>(kernel_, options_.machine, topts);
+    remote_agents_.resize(static_cast<size_t>(n));
+    for (int i = 1; i < n; ++i) {
+      if (machine_for(i) == options_.machine) {
+        continue;
+      }
+      uint16_t port = static_cast<uint16_t>(kRbTransportPortBase + i);
+      IpMon* mon = ipmons_[static_cast<size_t>(i)].get();
+      auto agent =
+          std::make_unique<RemoteSyncAgent>(kernel_, mon, machine_for(i), port);
+      agent->Start();  // Listener up before the transport's SYN can arrive.
+      mon->set_rb_private_mirror(true);
+      RemoteSyncAgent* agent_ptr = agent.get();
+      mon->set_on_initialized([agent_ptr] { agent_ptr->OnReplicaRbReady(); });
+      transport_->AddRemote(i, machine_for(i), port);
+      remote_agents_[static_cast<size_t>(i)] = std::move(agent);
+    }
+    ipmons_[0]->set_transport(transport_.get());
+    // A torn link is unrecoverable divergence, not a reason to hang: report it and
+    // let GHUMVEE shut the replica set down. A link that dies during the normal
+    // end-of-run teardown is not an event.
+    transport_->set_on_remote_death([this](int idx) {
+      if (ghumvee_ != nullptr && !ghumvee_->shutdown_requested() && !finished()) {
+        ghumvee_->Divergence(/*rank=*/-1, Sys::kInvalid,
+                             "remote replica " + std::to_string(idx) +
+                                 " link down (stream epoch bumped)");
+      }
+    });
   }
 
   // Spawn each replica's main thread: MVEE prologue, then the workload body.

@@ -24,6 +24,7 @@
 #include "src/core/ghumvee.h"
 #include "src/core/ipmon.h"
 #include "src/core/policy.h"
+#include "src/core/rb_transport.h"
 #include "src/core/sync_agent.h"
 #include "src/kernel/kernel.h"
 #include "src/mem/layout.h"
@@ -44,6 +45,15 @@ struct RemonOptions {
   bool aslr = true;
   bool dcl = true;
   uint32_t machine = 0;
+  // Cross-machine replica sets: the machine each replica runs on, index-aligned
+  // with the replica set. Empty = every replica on `machine`. When set, entry 0
+  // must equal `machine` (the leader is always local); replicas placed on other
+  // machines get a private RB mirror fed by the RB network transport
+  // (src/core/rb_transport.h) instead of leader-shared frames. Requires kRemon.
+  std::vector<uint32_t> replica_machines;
+  // Unacked RB frames allowed per remote link before the leader's flush points
+  // stall (the slow-link backpressure bound; also feeds the adaptive window).
+  int rb_max_inflight_frames = 8;
   // Memory pressure of the workload in [0, 1] (drives the replica-contention
   // dilation of compute bursts; see CostModel).
   double mem_intensity = 0.2;
@@ -98,6 +108,13 @@ class Remon {
                ? agents_[static_cast<size_t>(replica_index)].get()
                : nullptr;
   }
+  // Cross-machine plumbing (null / nullptr for all-local replica sets).
+  RbTransport* transport() const { return transport_.get(); }
+  RemoteSyncAgent* remote_agent(int replica_index) const {
+    return replica_index < static_cast<int>(remote_agents_.size())
+               ? remote_agents_[static_cast<size_t>(replica_index)].get()
+               : nullptr;
+  }
   Process* master() const { return replicas_.empty() ? nullptr : replicas_[0]; }
   const std::vector<Process*>& replicas() const { return replicas_; }
 
@@ -120,6 +137,11 @@ class Remon {
   std::vector<std::unique_ptr<SyncAgent>> agents_;
   std::vector<std::unique_ptr<VaranGate>> varan_gates_;
   std::vector<Process*> replicas_;
+  // Cross-machine replica sets: the leader-side frame pump and the per-replica
+  // remote agents (slots for local replicas stay null). Declared after ipmons_ so
+  // they are destroyed first — agents hold raw IpMon pointers.
+  std::unique_ptr<RbTransport> transport_;
+  std::vector<std::unique_ptr<RemoteSyncAgent>> remote_agents_;
 };
 
 }  // namespace remon

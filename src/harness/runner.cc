@@ -1,6 +1,8 @@
 #include "src/harness/runner.h"
 
 #include <cmath>
+#include <map>
+#include <string>
 
 #include "src/kernel/kernel.h"
 #include "src/mem/shm.h"
@@ -43,11 +45,43 @@ RemonOptions OptionsFor(const RunConfig& config, double mem_intensity,
   return opts;
 }
 
+// Materializes the RunConfig placement spec: adds one machine per distinct
+// replica-host index, links each to the leader with the configured RB link
+// parameters, and fills RemonOptions::replica_machines. Native runs (and empty
+// placements) stay all-local.
+void ApplyPlacement(World* w, const RunConfig& config, RemonOptions* opts) {
+  opts->machine = w->server_machine;
+  if (config.placement.empty() || config.mode != MveeMode::kRemon) {
+    return;
+  }
+  std::map<int, uint32_t> hosts;
+  opts->replica_machines.assign(static_cast<size_t>(config.replicas),
+                                opts->machine);
+  for (size_t k = 0; k < config.placement.size(); ++k) {
+    if (static_cast<int>(k) + 1 >= config.replicas) {
+      break;  // Placement entries beyond the replica set are ignored.
+    }
+    int host = config.placement[k];
+    if (host <= 0) {
+      continue;  // 0 = leader-local.
+    }
+    auto [it, inserted] = hosts.try_emplace(host, 0);
+    if (inserted) {
+      it->second = w->net.AddMachine("replica-host-" + std::to_string(host));
+      w->net.SetLink(opts->machine, it->second,
+                     LinkParams{config.rb_link_latency, config.rb_link_bytes_per_ns});
+    }
+    opts->replica_machines[k + 1] = it->second;
+  }
+}
+
 }  // namespace
 
 SuiteResult RunSuiteWorkload(const WorkloadSpec& spec, const RunConfig& config) {
   World w(config);
-  Remon mvee(&w.kernel, OptionsFor(config, spec.mem_intensity, spec.threads > 1));
+  RemonOptions opts = OptionsFor(config, spec.mem_intensity, spec.threads > 1);
+  ApplyPlacement(&w, config, &opts);
+  Remon mvee(&w.kernel, opts);
   mvee.Launch(SuiteProgram(spec), spec.name);
   w.sim.Run();
   SuiteResult result;
@@ -77,7 +111,7 @@ ServerResult RunServerBench(const ServerSpec& server, const ClientSpec& client_s
   w.net.SetLink(w.server_machine, w.client_machine, link);
 
   RemonOptions opts = OptionsFor(config, server.mem_intensity, server.workers > 1);
-  opts.machine = w.server_machine;
+  ApplyPlacement(&w, config, &opts);
   Remon mvee(&w.kernel, opts);
   mvee.Launch(ServerProgram(server), server.name);
 

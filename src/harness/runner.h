@@ -33,6 +33,14 @@ struct RunConfig {
   // Fixed window vs. waiter-pressure-driven adaptive window (ceiling rb_batch_max,
   // default 16 when adaptive is chosen with rb_batch_max == 0).
   RbBatchPolicy rb_batch_policy = RbBatchPolicy::kFixed;
+  // Cross-machine replica placement: placement[k] names the replica host of
+  // replica k+1 (replica 0, the leader, is always local). 0 = leader machine;
+  // m > 0 = the m-th dedicated replica-host machine, created on demand and linked
+  // to the leader with the rb_link_* parameters below. Empty = all local (SHM).
+  std::vector<int> placement;
+  // Leader <-> replica-host link (the RB transport rides on it).
+  DurationNs rb_link_latency = 60 * kMicrosecond;
+  double rb_link_bytes_per_ns = 0.125;  // 1 Gbit/s.
 };
 
 struct SuiteResult {

@@ -31,6 +31,14 @@ Kernel::Kernel(Simulator* sim, Filesystem* fs, Network* net, ShmRegistry* shm)
     : sim_(sim), fs_(fs), net_(net), shm_(shm) {}
 
 Kernel::~Kernel() {
+  // Deregister every parked thread from its wait queues first: members destroy in
+  // reverse declaration order, so threads_ is freed before processes_ — and tearing
+  // down a process's descriptor table can Wake() file queues (a connected socket
+  // notifies poll on close). A stale BlockThread callback would then resume into a
+  // freed Thread.
+  for (auto& t : threads_) {
+    CancelWait(t.get());
+  }
   // Destroy still-live coroutine frames before members go away.
   for (auto& t : threads_) {
     if (t->root_frame) {

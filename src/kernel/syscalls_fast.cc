@@ -610,11 +610,21 @@ int64_t Kernel::SysFast(Thread* t, const SyscallRequest& req) {
     }
     case Sys::kShmget:
       return shm_->Get(static_cast<int>(req.arg(0)), req.arg(1),
-                       (req.arg(2) & kIpcCreat) != 0, p->pid());
+                       (req.arg(2) & kIpcCreat) != 0, p->pid(), p->machine());
     case Sys::kShmat: {
       ShmSegment* seg = shm_->Find(static_cast<int>(req.arg(0)));
       if (seg == nullptr) {
         return -kEINVAL;
+      }
+      if (seg->machine != p->machine()) {
+        // SysV IPC does not cross hosts: a replica on another machine attaches a
+        // machine-local mirror of the segment, and the RB transport replays the
+        // leader's publications into it (GHUMVEE injected the leader's shmid, so
+        // the id is the same in every replica; only the backing frames differ).
+        seg = shm_->Find(shm_->MirrorFor(seg->id, p->machine()));
+        if (seg == nullptr) {
+          return -kEINVAL;
+        }
       }
       GuestAddr hint = req.arg(1) != 0 ? req.arg(1) : p->layout.mmap_hint;
       GuestAddr where = mem.FindFreeRange(hint, seg->size);

@@ -171,27 +171,61 @@ void AddressSpace::Unmap(GuestAddr start, uint64_t length) {
 }
 
 bool AddressSpace::Protect(GuestAddr start, uint64_t length, uint32_t prot) {
+  if (length == 0) {
+    return true;
+  }
   start = PageAlignDown(start);
   uint64_t len = PageAlignUp(length);
-  for (GuestAddr p = start; p < start + len; p += kPageSize) {
-    if (page_table_.count(p >> kPageShift) == 0) {
-      // Unmaterialized pages of a lazy VMA are mapped; they inherit the new
-      // protection from the VMA when they materialize.
-      const Vma* vma = FindVma(p);
-      if (vma == nullptr || !vma->lazy) {
-        return false;
+  GuestAddr end = start + len;
+
+  // Validate at VMA granularity: the range must be contiguously covered by VMAs
+  // (every page-table insertion maintains a covering VMA, so a gap in VMA coverage
+  // is exactly "some page in the range is unmapped"). O(VMAs in range) — never a
+  // page walk, however large a lazy region is.
+  GuestAddr pos = start;
+  auto cover = vmas_.upper_bound(start);
+  if (cover != vmas_.begin()) {
+    auto prev = std::prev(cover);
+    if (prev->second.end() > start) {
+      cover = prev;
+    }
+  }
+  bool any_lazy = false;
+  while (pos < end) {
+    if (cover == vmas_.end() || cover->second.start > pos) {
+      return false;
+    }
+    any_lazy |= cover->second.lazy;
+    pos = cover->second.end();
+    ++cover;
+  }
+
+  SplitAround(start, len);
+
+  // Update materialized pages only. A range touching a lazy VMA may be sparsely
+  // populated, so walk the page table (O(resident pages of this address space))
+  // when that is cheaper than iterating the range (O(range pages)) — a small
+  // mprotect over a lazy guard region must not scan a process's every resident
+  // page, and a huge lazy range must not be walked page by page.
+  if (any_lazy && len / kPageSize > page_table_.size()) {
+    for (auto& [vpn, entry] : page_table_) {
+      GuestAddr addr = vpn << kPageShift;
+      if (addr >= start && addr < end) {
+        entry.prot = prot;
+      }
+    }
+  } else {
+    for (GuestAddr p = start; p < end; p += kPageSize) {
+      auto it = page_table_.find(p >> kPageShift);
+      if (it != page_table_.end()) {
+        it->second.prot = prot;
       }
     }
   }
-  SplitAround(start, len);
-  for (GuestAddr p = start; p < start + len; p += kPageSize) {
-    auto it = page_table_.find(p >> kPageShift);
-    if (it != page_table_.end()) {
-      it->second.prot = prot;
-    }
-  }
+  // Untouched lazy pages inherit the new protection from their VMA when they
+  // materialize.
   auto it = vmas_.lower_bound(start);
-  while (it != vmas_.end() && it->second.start < start + len) {
+  while (it != vmas_.end() && it->second.start < end) {
     it->second.prot = prot;
     ++it;
   }

@@ -5,10 +5,11 @@
 
 namespace remon {
 
-int ShmRegistry::Get(int key, uint64_t size, bool create, int pid) {
+int ShmRegistry::Get(int key, uint64_t size, bool create, int pid, uint32_t machine) {
   if (key != kIpcPrivate) {
     for (auto& [id, seg] : segments_) {
-      if (seg.key == key && !seg.marked_removed) {
+      if (seg.key == key && seg.machine == machine && seg.mirror_of < 0 &&
+          !seg.marked_removed) {
         if (seg.size < PageAlignUp(size)) {
           return -kEINVAL;
         }
@@ -27,6 +28,40 @@ int ShmRegistry::Get(int key, uint64_t size, bool create, int pid) {
   seg.key = key;
   seg.size = PageAlignUp(size);
   seg.creator_pid = pid;
+  seg.machine = machine;
+  seg.frames.reserve(seg.size / kPageSize);
+  for (uint64_t i = 0; i < seg.size / kPageSize; ++i) {
+    seg.frames.push_back(NewPage());
+  }
+  int id = seg.id;
+  segments_[id] = std::move(seg);
+  return id;
+}
+
+int ShmRegistry::MirrorFor(int shmid, uint32_t machine) {
+  ShmSegment* origin = Find(shmid);
+  if (origin == nullptr) {
+    return -kEINVAL;
+  }
+  if (origin->machine == machine) {
+    return shmid;
+  }
+  if (origin->mirror_of >= 0) {
+    // Mirror-of-a-mirror would fork the replication stream; resolve via the origin.
+    return MirrorFor(origin->mirror_of, machine);
+  }
+  for (auto& [id, seg] : segments_) {
+    if (seg.mirror_of == shmid && seg.machine == machine && !seg.marked_removed) {
+      return id;
+    }
+  }
+  ShmSegment seg;
+  seg.id = next_id_++;
+  seg.key = origin->key;
+  seg.size = origin->size;
+  seg.creator_pid = origin->creator_pid;
+  seg.machine = machine;
+  seg.mirror_of = shmid;
   seg.frames.reserve(seg.size / kPageSize);
   for (uint64_t i = 0; i < seg.size / kPageSize; ++i) {
     seg.frames.push_back(NewPage());

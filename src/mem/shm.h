@@ -25,6 +25,12 @@ struct ShmSegment {
   int attach_count = 0;
   bool marked_removed = false;
   int creator_pid = 0;
+  // SysV IPC is per-host: segments belong to the machine that created them. A
+  // process on another machine that attaches `id` gets a machine-local *mirror*
+  // (same size, private frames) — the backing store a RemoteSyncAgent replays the
+  // leader's RB stream into (see src/core/rb_transport.h).
+  uint32_t machine = 0;
+  int mirror_of = -1;  // Origin segment id when this is a cross-machine mirror.
 };
 
 class ShmRegistry {
@@ -34,11 +40,17 @@ class ShmRegistry {
   static constexpr int kIpcPrivate = 0;
 
   // shmget: creates (key == IPC_PRIVATE or new key with IPC_CREAT) or looks up a
-  // segment. Returns segment id >= 0 or -errno.
-  int Get(int key, uint64_t size, bool create, int pid);
+  // segment. Keys are namespaced per machine (SysV IPC does not cross hosts).
+  // Returns segment id >= 0 or -errno.
+  int Get(int key, uint64_t size, bool create, int pid, uint32_t machine = 0);
 
   // Returns the segment or nullptr.
   ShmSegment* Find(int shmid);
+
+  // Finds or creates the machine-local mirror of `shmid` for `machine` (same size,
+  // private frames). Returns the mirror's id, `shmid` itself when the segment
+  // already lives on `machine`, or -errno.
+  int MirrorFor(int shmid, uint32_t machine);
 
   // Marks attach/detach; destroys removed segments whose attach count hits zero.
   void OnAttach(int shmid);

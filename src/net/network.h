@@ -52,6 +52,7 @@ class Network {
   // Machines are small integers; 0 is conventionally "the server machine".
   uint32_t AddMachine(std::string name);
   const std::string& MachineName(uint32_t id) const { return machines_.at(id); }
+  uint32_t machine_count() const { return static_cast<uint32_t>(machines_.size()); }
 
   // Sets parameters for traffic between two distinct machines (both directions).
   void SetLink(uint32_t a, uint32_t b, LinkParams params);

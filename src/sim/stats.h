@@ -44,6 +44,15 @@ struct SimStats {
   uint64_t rb_batch_window_shrinks = 0;  // Adaptive window steps down (pressure).
   uint64_t rb_park_flushes = 0;  // Kernel park-hook safety-net flushes.
 
+  // RB network transport (cross-machine replica sets).
+  uint64_t rb_frames_sent = 0;        // Data frames enqueued toward remote agents.
+  uint64_t rb_frame_bytes_sent = 0;   // Framed bytes (headers + entry images).
+  uint64_t rb_frames_acked = 0;       // Acks consumed by the leader.
+  uint64_t rb_frames_applied = 0;     // Frames replayed into remote RB mirrors.
+  uint64_t rb_entries_applied = 0;    // Entry images replayed into mirrors.
+  uint64_t rb_transport_stalls = 0;   // Leader flush points parked on backpressure.
+  uint64_t rb_remote_deaths = 0;      // Remote links torn down (epoch bumps).
+
   // Synchronization replication (record/replay agent).
   uint64_t sync_ops_recorded = 0;
   uint64_t sync_ops_replayed = 0;

@@ -247,10 +247,22 @@ ProgramFn ServerProgram(const ServerSpec& spec) {
     GuestAddr sa = g.Alloc(sizeof(GuestSockaddrIn));
     GuestSockaddrIn addr;
     addr.sin_port = spec.port;
-    addr.sin_addr = g.process()->machine();
+    // INADDR_ANY analog: the kernel binds on the socket's own machine regardless,
+    // and a replica must not leak its machine id into monitored arguments — under
+    // cross-machine placement that would be instant (false) lockstep divergence.
+    addr.sin_addr = 0;
     g.Poke(sa, &addr, sizeof(addr));
     REMON_CHECK(0 == co_await g.Bind(static_cast<int>(lfd), sa, sizeof(addr)));
     REMON_CHECK(0 == co_await g.Listen(static_cast<int>(lfd), 128));
+    if (spec.kind != ServerKind::kThreadPool) {
+      // Multiplexing loops accept from inside an event loop, so the listener must
+      // be non-blocking (as real nginx/lighttpd set it): SOCK_NONBLOCK on accept4
+      // only affects the *new* socket, and a thundering-herd loser that blocks in
+      // accept4 would sit on ready connections forever. The pool model wants the
+      // blocking accept.
+      REMON_CHECK(0 == co_await g.Fcntl(static_cast<int>(lfd), kF_SETFL,
+                                        static_cast<uint64_t>(kO_NONBLOCK)));
+    }
     int listen_fd = static_cast<int>(lfd);
 
     // Spawn the workers; the main thread becomes worker 0.

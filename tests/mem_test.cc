@@ -49,6 +49,55 @@ TEST(AddressSpaceTest, MprotectChangesPermissions) {
   EXPECT_TRUE(as.Write(0x11000, &b, 1).ok);
 }
 
+TEST(AddressSpaceTest, ProtectHugeLazyRegionIsVmaGranular) {
+  // Protect() must validate and update at VMA granularity, touching only
+  // materialized pages: a terabyte lazy region has ~2^28 pages, and a per-page
+  // walk would hang the test, while the VMA walk is instant.
+  AddressSpace as;
+  constexpr GuestAddr kBase = 0x10000;
+  constexpr uint64_t kTiB = 1ULL << 40;
+  ASSERT_TRUE(as.MapFixedLazy(kBase, kTiB, kProtRead | kProtWrite, "huge-lazy"));
+  uint64_t v = 0xabcdef;
+  ASSERT_TRUE(as.Write(kBase + (5ULL << 30), &v, 8).ok);  // Materialize two pages,
+  ASSERT_TRUE(as.Write(kBase + (9ULL << 30), &v, 8).ok);  // far apart.
+
+  ASSERT_TRUE(as.Protect(kBase, kTiB, kProtRead));
+  // Materialized pages: data survives, writes now fault.
+  uint64_t r = 0;
+  EXPECT_TRUE(as.Read(kBase + (5ULL << 30), &r, 8).ok);
+  EXPECT_EQ(r, v);
+  EXPECT_FALSE(as.Write(kBase + (5ULL << 30), &v, 8).ok);
+  EXPECT_FALSE(as.Write(kBase + (9ULL << 30), &v, 8).ok);
+  // Untouched lazy pages: reads still serve zeroes, writes fault via the VMA prot.
+  EXPECT_TRUE(as.Read(kBase + (100ULL << 30), &r, 8).ok);
+  EXPECT_EQ(r, 0u);
+  EXPECT_FALSE(as.Write(kBase + (100ULL << 30), &v, 8).ok);
+  // Only the two touched pages are resident.
+  EXPECT_LE(as.mapped_bytes(), 2 * kPageSize);
+
+  // Re-enabling writes on a subrange splits the VMA and sticks for pages that
+  // materialize later.
+  ASSERT_TRUE(as.Protect(kBase + (200ULL << 30), 1ULL << 30, kProtRead | kProtWrite));
+  EXPECT_TRUE(as.Write(kBase + (200ULL << 30) + 123, &v, 8).ok);
+  EXPECT_FALSE(as.Write(kBase + (201ULL << 30) + 123, &v, 8).ok);
+}
+
+TEST(AddressSpaceTest, ProtectRejectsRangesWithGaps) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapFixed(0x10000, 4096, kProtRead | kProtWrite, false, "a"));
+  ASSERT_TRUE(as.MapFixedLazy(0x13000, 4096, kProtRead | kProtWrite, "b"));
+  // [0x10000, 0x14000) has a hole at 0x11000..0x13000: mprotect must fail without
+  // changing either mapping.
+  EXPECT_FALSE(as.Protect(0x10000, 0x4000, kProtRead));
+  uint8_t b = 1;
+  EXPECT_TRUE(as.Write(0x10000, &b, 1).ok);
+  EXPECT_TRUE(as.Write(0x13000, &b, 1).ok);
+  // Adjacent VMAs with no hole protect fine across the boundary.
+  ASSERT_TRUE(as.MapFixed(0x11000, 0x2000, kProtRead | kProtWrite, false, "fill"));
+  EXPECT_TRUE(as.Protect(0x10000, 0x4000, kProtRead));
+  EXPECT_FALSE(as.Write(0x12000, &b, 1).ok);
+}
+
 TEST(AddressSpaceTest, DoubleMapFails) {
   AddressSpace as;
   ASSERT_TRUE(as.MapFixed(0x10000, 4096, kProtRead, false, "a"));

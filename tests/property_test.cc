@@ -317,7 +317,7 @@ struct FuzzOutcome {
 };
 
 FuzzOutcome RunFuzz(uint64_t seed, FuzzShape shape, int replicas, int batch_max,
-                    RbBatchPolicy policy) {
+                    RbBatchPolicy policy, bool remote_last_replica = false) {
   SimWorld w(seed);
   RemonOptions opts;
   opts.mode = MveeMode::kRemon;
@@ -329,6 +329,15 @@ FuzzOutcome RunFuzz(uint64_t seed, FuzzShape shape, int replicas, int batch_max,
   opts.max_ranks = 4;
   opts.rb_batch_max = batch_max;
   opts.rb_batch_policy = policy;
+  if (remote_last_replica) {
+    // Cross-machine variant: the last replica runs on its own machine, fed by the
+    // RB transport instead of shared frames — the transcript must not notice.
+    uint32_t host = w.net.AddMachine("replica-host-1");
+    w.net.SetLink(w.server_machine, host, LinkParams{50 * kMicrosecond, 0.125});
+    opts.machine = w.server_machine;
+    opts.replica_machines.assign(static_cast<size_t>(replicas), w.server_machine);
+    opts.replica_machines.back() = host;
+  }
   Remon mvee(&w.kernel, opts);
   mvee.Launch(FuzzWorkload(seed, shape), "fuzz");
   w.Run();
@@ -380,6 +389,35 @@ TEST_P(RandomizedLockstepTest, BatchedMatchesUnbatchedUnderFuzzedInterleavings) 
 }
 
 INSTANTIATE_TEST_SUITE_P(ThousandSeeds, RandomizedLockstepTest, ::testing::Range(0, 8));
+
+// Cross-machine lockstep: the same fuzzed multi-rank interleavings, with the last
+// replica moved to its own machine behind the RB transport. The transport may only
+// change *where* slaves read the stream from — the slave-visible results
+// (transcripts) and the RB stream shape must stay byte-identical to the SHM
+// placement, across batching policies, RB wraps, and blocking flush points.
+TEST(RandomizedLockstepTest, RemoteRankMatchesShmUnderFuzzedInterleavings) {
+  for (uint64_t seed : {3, 11, 25, 40, 77, 123, 200, 305, 404, 512, 700, 999}) {
+    FuzzShape shape = ShapeFor(seed);
+
+    FuzzOutcome shm = RunFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive);
+    ASSERT_TRUE(shm.ok) << "seed " << seed;
+    ASSERT_EQ(shm.transcript.find("<missing>"), std::string::npos) << "seed " << seed;
+
+    FuzzOutcome remote = RunFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                 /*remote_last_replica=*/true);
+    ASSERT_TRUE(remote.ok) << "seed " << seed;
+    ASSERT_EQ(shm.transcript, remote.transcript) << "seed " << seed;
+    ASSERT_EQ(shm.rb_entries, remote.rb_entries) << "seed " << seed;
+    ASSERT_EQ(shm.rb_bytes, remote.rb_bytes) << "seed " << seed;
+
+    // Unbatched remote placement must agree too (eager per-entry frames).
+    FuzzOutcome eager = RunFuzz(seed, shape, 3, 0, RbBatchPolicy::kFixed,
+                                /*remote_last_replica=*/true);
+    ASSERT_TRUE(eager.ok) << "seed " << seed;
+    ASSERT_EQ(shm.transcript, eager.transcript) << "seed " << seed;
+    ASSERT_EQ(shm.rb_entries, eager.rb_entries) << "seed " << seed;
+  }
+}
 
 TEST(PropertyTest, MonitoredPlusUnmonitoredCoversEverything) {
   // Under ReMon, every replica system call is either monitored or unmonitored;

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Checks intra-repo markdown links.
+
+Scans every tracked .md file for inline links/images (`[text](target)`) and
+bare reference definitions (`[id]: target`), resolves relative targets against
+the linking file, and fails with a non-zero exit status when a target file does
+not exist. External schemes (http/https/mailto) are skipped — CI must not
+depend on the network — and pure in-page anchors (`#section`) are checked only
+for non-emptiness.
+
+Usage: python3 tools/check_markdown_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF_RE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", ".claude", "_deps"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(root, path):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    targets = LINK_RE.findall(text) + REFDEF_RE.findall(text)
+    for target in targets:
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        if target.startswith("#"):
+            if len(target) == 1:
+                errors.append((path, target, "empty anchor"))
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        if file_part.startswith("/"):
+            resolved = os.path.join(root, file_part.lstrip("/"))
+        else:
+            resolved = os.path.join(os.path.dirname(path), file_part)
+        if not os.path.exists(resolved):
+            errors.append((path, target, "target does not exist"))
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    all_errors = []
+    checked = 0
+    for path in sorted(markdown_files(root)):
+        checked += 1
+        all_errors.extend(check_file(root, path))
+    rel = os.path.relpath
+    for path, target, why in all_errors:
+        print(f"DEAD LINK {rel(path, root)}: ({target}) — {why}")
+    print(f"checked {checked} markdown files, {len(all_errors)} dead intra-repo links")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

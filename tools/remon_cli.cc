@@ -4,15 +4,19 @@
 //             [--level=base|nonsocket_ro|nonsocket_rw|socket_ro|socket_rw]
 //             [--workload=NAME | --server=NAME] [--seed=N] [--latency-us=N]
 //             [--connections=N] [--requests=N] [--temporal-p=F] [--rb-mb=N]
-//             [--rb-batch=N|adaptive|adaptive:MAX] [--rb-migration] [--list]
+//             [--rb-batch=N|adaptive|adaptive:MAX] [--rb-migration]
+//             [--placement=local|machine:N,...] [--rb-link-latency-us=N]
+//             [--rb-link-gbps=F] [--list]
 //
 // Runs one workload (a suite benchmark by name, or a server benchmark driven by a
 // closed-loop client) under the chosen MVEE configuration and prints a run report.
+// docs/CLI.md is the full flag reference with copy-pasteable examples.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/harness/runner.h"
 #include "src/harness/table.h"
@@ -35,6 +39,9 @@ struct CliArgs {
   RbBatchPolicy rb_batch_policy = RbBatchPolicy::kFixed;
   uint64_t rb_mb = 16;
   bool rb_migration = false;
+  std::vector<int> placement;
+  int rb_link_latency_us = 60;
+  double rb_link_gbps = 1.0;
   bool list = false;
   bool ok = true;
 };
@@ -109,6 +116,48 @@ CliArgs Parse(int argc, char** argv) {
       }
     } else if (StartsWith(argv[i], "--rb-mb=", &v)) {
       args.rb_mb = static_cast<uint64_t>(std::atoll(v));
+    } else if (StartsWith(argv[i], "--placement=", &v)) {
+      // "local" keeps every replica on the leader machine (SHM only).
+      // "machine:N[,M...]" places replica 1 on replica-host N, replica 2 on M, ...
+      // (0 = leader-local; replicas beyond the list stay local).
+      if (std::strcmp(v, "local") == 0) {
+        args.placement.clear();
+      } else if (std::strncmp(v, "machine:", 8) == 0) {
+        const char* s = v + 8;
+        while (args.ok && *s != '\0') {
+          char* end = nullptr;
+          long m = std::strtol(s, &end, 10);
+          if (end == s || m < 0) {
+            args.ok = false;
+            break;
+          }
+          args.placement.push_back(static_cast<int>(m));
+          s = end;
+          if (*s == ',') {
+            ++s;
+            if (*s == '\0') {
+              args.ok = false;  // Trailing comma: reject, don't guess.
+            }
+          } else if (*s != '\0') {
+            args.ok = false;
+          }
+        }
+        if (args.placement.empty()) {
+          args.ok = false;
+        }
+      } else {
+        args.ok = false;
+      }
+    } else if (StartsWith(argv[i], "--rb-link-latency-us=", &v)) {
+      args.rb_link_latency_us = std::atoi(v);
+      if (args.rb_link_latency_us < 0) {
+        args.ok = false;
+      }
+    } else if (StartsWith(argv[i], "--rb-link-gbps=", &v)) {
+      args.rb_link_gbps = std::atof(v);
+      if (args.rb_link_gbps <= 0) {
+        args.ok = false;
+      }
     } else if (std::strcmp(argv[i], "--rb-migration") == 0) {
       args.rb_migration = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -156,6 +205,16 @@ void PrintStats(const SimStats& stats) {
                 static_cast<unsigned long long>(stats.rb_batch_window_shrinks),
                 static_cast<unsigned long long>(stats.rb_park_flushes));
   }
+  if (stats.rb_frames_sent > 0) {
+    std::printf("  rb transport: frames=%llu bytes=%llu acked=%llu applied=%llu "
+                "stalls=%llu deaths=%llu\n",
+                static_cast<unsigned long long>(stats.rb_frames_sent),
+                static_cast<unsigned long long>(stats.rb_frame_bytes_sent),
+                static_cast<unsigned long long>(stats.rb_frames_acked),
+                static_cast<unsigned long long>(stats.rb_frames_applied),
+                static_cast<unsigned long long>(stats.rb_transport_stalls),
+                static_cast<unsigned long long>(stats.rb_remote_deaths));
+  }
 }
 
 int Run(const CliArgs& args) {
@@ -167,6 +226,9 @@ int Run(const CliArgs& args) {
   config.rb_size = args.rb_mb * 1024 * 1024;
   config.rb_batch_max = args.rb_batch;
   config.rb_batch_policy = args.rb_batch_policy;
+  config.placement = args.placement;
+  config.rb_link_latency = static_cast<DurationNs>(args.rb_link_latency_us) * kMicrosecond;
+  config.rb_link_bytes_per_ns = args.rb_link_gbps * 0.125;
   if (args.temporal_p > 0) {
     config.temporal.enabled = true;
     config.temporal.exempt_probability = args.temporal_p;
@@ -230,7 +292,8 @@ int main(int argc, char** argv) {
   if (!args.ok) {
     std::fprintf(stderr, "usage: remon_cli [--mode=..] [--replicas=N] [--level=..] "
                          "[--workload=NAME|--server=NAME] [--rb-batch=N|adaptive] "
-                         "[--list]\n");
+                         "[--placement=local|machine:N,...] [--rb-link-latency-us=N] "
+                         "[--rb-link-gbps=F] [--list]  (full reference: docs/CLI.md)\n");
     return 1;
   }
   if (args.list) {
