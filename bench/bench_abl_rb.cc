@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "src/harness/bench_json.h"
 #include "src/harness/runner.h"
 #include "src/harness/table.h"
 
@@ -26,7 +27,7 @@ constexpr BatchPoint kBatchPoints[] = {
     {"16", 16, RbBatchPolicy::kFixed},       {"adaptive", 16, RbBatchPolicy::kAdaptive},
 };
 
-void RunBatchSweep() {
+void RunBatchSweep(BenchJson* json) {
   std::printf("\n== Ablation: batched vs. unbatched RB publication ==\n");
   // Small-call-heavy workload: many tiny writes, each an IP-MON master call whose
   // result payload is a few bytes — the case batching amortizes.
@@ -58,6 +59,10 @@ void RunBatchSweep() {
                   Table::Num(static_cast<double>(run.stats.rb_precall_coalesced), 0),
                   Table::Num(static_cast<double>(run.stats.rb_batch_flushes), 0),
                   Table::Num(static_cast<double>(run.stats.rb_futex_wakes_elided), 0)});
+    if (base.seconds > 0) {
+      json->Add(std::string("batch/") + point.label + "/normalized_time",
+                run.seconds / base.seconds, "x");
+    }
   }
   table.Print();
   std::printf(
@@ -69,7 +74,7 @@ void RunBatchSweep() {
       "grows the window only while slaves are not observed waiting at flushes.\n");
 }
 
-void RunServerBatchSweep() {
+void RunServerBatchSweep(BenchJson* json) {
   std::printf("\n== Ablation: per-rank batch window on a multi-rank server ==\n");
   // Four epoll event-loop workers (nginx analog) with chatty per-request logging:
   // every rank produces its own stream of small unmonitored writes, so each rank's
@@ -106,6 +111,10 @@ void RunServerBatchSweep() {
                   Table::Num(static_cast<double>(run.stats.rb_batch_flushes), 0),
                   window,
                   Table::Num(static_cast<double>(run.stats.rb_park_flushes), 0)});
+    if (base.seconds > 0) {
+      json->Add(std::string("server_batch/") + point.label + "/normalized_time",
+                run.seconds / base.seconds, "x");
+    }
   }
   table.Print();
   std::printf(
@@ -114,7 +123,7 @@ void RunServerBatchSweep() {
       "flush points shrink back toward per-entry publication.\n");
 }
 
-void RunRemoteLinkSweep() {
+void RunRemoteLinkSweep(BenchJson* json) {
   std::printf("\n== Ablation: cross-machine replica set, RB-link latency sweep ==\n");
   // A 3-rank replica set with one remote rank (--placement=machine:1): the RB
   // stream to the remote slave rides the simulated network as RbWireCodec frames,
@@ -158,6 +167,11 @@ void RunRemoteLinkSweep() {
            Table::Num(static_cast<double>(run.stats.rb_frame_bytes_sent) / 1024.0, 0),
            Table::Num(static_cast<double>(run.stats.rb_transport_stalls), 0),
            Table::Num(static_cast<double>(run.stats.rb_batch_window_grows), 0)});
+      if (base.seconds > 0 && !run.diverged) {
+        json->Add("link/" + std::to_string(latency_us) + "us/" + point.label +
+                      "/normalized_time",
+                  run.seconds / base.seconds, "x");
+      }
     }
   }
   table.Print();
@@ -171,7 +185,63 @@ void RunRemoteLinkSweep() {
       "            --rb-batch=adaptive --rb-link-latency-us=500\n");
 }
 
-void Run() {
+void RunReseedSweep(BenchJson* json) {
+  std::printf("\n== Ablation: replica re-seed cost (kill + checkpoint rejoin) ==\n");
+  // One remote replica's link dies at 2 ms and a replacement is checkpoint-seeded
+  // back into the set: the sweep prices the recovery against the same run with no
+  // fault — the overhead is the snapshot transfer plus the stall while the peers
+  // wait at their next monitored barrier.
+  ServerSpec server = ServerByName("nginx");
+  server.log_writes = 4;
+  ClientSpec client;
+  client.connections = 16;
+  client.total_requests = 300;
+  client.request_bytes = 512;
+  LinkParams client_link{Millis(1), 0.125};
+
+  RunConfig native;
+  native.mode = MveeMode::kNative;
+  ServerResult base = RunServerBench(server, client, native, client_link);
+
+  RunConfig config;
+  config.mode = MveeMode::kRemon;
+  config.replicas = 3;
+  config.level = PolicyLevel::kSocketRw;
+  config.rb_batch_max = 16;
+  config.rb_batch_policy = RbBatchPolicy::kAdaptive;
+  config.placement = {1};
+  config.rb_link_latency = 50 * kMicrosecond;
+
+  Table table({"scenario", "normalized time", "deaths", "joins", "snapshot KiB"});
+  for (bool fault : {false, true}) {
+    RunConfig point = config;
+    if (fault) {
+      point.respawn_dead_replicas = true;
+      point.kill_remote_replica_at = Millis(2);
+    }
+    ServerResult run = RunServerBench(server, client, point, client_link);
+    double norm = base.seconds > 0 && !run.diverged ? run.seconds / base.seconds : -1;
+    table.AddRow({fault ? "kill @2ms + re-seed" : "uninterrupted", Table::Num(norm),
+                  Table::Num(static_cast<double>(run.stats.rb_remote_deaths), 0),
+                  Table::Num(static_cast<double>(run.stats.rb_replica_joins), 0),
+                  Table::Num(
+                      static_cast<double>(run.stats.rb_snapshot_bytes_sent) / 1024.0, 0)});
+    if (norm > 0) {
+      json->Add(fault ? "reseed/kill_rejoin/normalized_time"
+                      : "reseed/uninterrupted/normalized_time",
+                norm, "x");
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nRe-seed is the recovery story of the cross-machine layer: the leader\n"
+      "checkpoints its RB at a quiescent flush point and the replacement joins at\n"
+      "the post-bump epoch (docs/RB_WIRE_FORMAT.md). Reproduce with:\n"
+      "  remon_cli --server=nginx --replicas=3 --placement=machine:1 \\\n"
+      "            --rb-batch=adaptive --respawn-on-death --kill-replica-at-ms=2\n");
+}
+
+void Run(BenchJson* json) {
   std::printf("== Ablation: RB size sweep (write-heavy workload, 2 replicas) ==\n");
   WorkloadSpec spec;
   spec.name = "rb-sweep";
@@ -199,20 +269,27 @@ void Run() {
     table.AddRow({label, Table::Num(run.seconds / base.seconds),
                   Table::Num(static_cast<double>(run.stats.rb_resets), 0),
                   Table::Num(run.seconds > 0 ? run.stats.rb_resets / run.seconds : 0, 0)});
+    if (base.seconds > 0) {
+      json->Add("rb_size/" + std::to_string(kb) + "KiB/normalized_time",
+                run.seconds / base.seconds, "x");
+    }
   }
   table.Print();
   std::printf(
       "\nEach reset is a monitored kRemonRbFlush round (all replicas synchronize at\n"
       "GHUMVEE); the default 16 MiB makes resets negligible, as the paper assumes.\n");
-  RunBatchSweep();
-  RunServerBatchSweep();
-  RunRemoteLinkSweep();
+  RunBatchSweep(json);
+  RunServerBatchSweep(json);
+  RunRemoteLinkSweep(json);
+  RunReseedSweep(json);
 }
 
 }  // namespace
 }  // namespace remon
 
-int main() {
-  remon::Run();
-  return 0;
+int main(int argc, char** argv) {
+  std::string json_path = remon::BenchJson::PathFromArgs(argc, argv);
+  remon::BenchJson json("abl_rb");
+  remon::Run(&json);
+  return json.WriteTo(json_path) ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "src/harness/bench_json.h"
 #include "src/harness/runner.h"
 #include "src/harness/table.h"
 
@@ -31,7 +32,8 @@ constexpr BenchRow kRows[] = {
     {"lighttpd", "lighttpd (http_load)", 32, 400, 1024},
 };
 
-void RunScenario(const char* title, LinkParams link) {
+void RunScenario(const char* title, const char* scenario_key, LinkParams link,
+                 BenchJson* json) {
   std::printf("== Figure 5: %s ==\n", title);
   Table table({"benchmark", "2 (noIPM)", "2", "3", "4", "5", "6", "7", "4 adpt"});
   for (const BenchRow& row : kRows) {
@@ -46,25 +48,30 @@ void RunScenario(const char* title, LinkParams link) {
     native.mode = MveeMode::kNative;
     ServerResult base = RunServerBench(server, client, native, link);
 
-    auto norm = [&](const RunConfig& config) {
+    auto norm = [&](const RunConfig& config, const char* config_key) {
       ServerResult r = RunServerBench(server, client, config, link);
       if (base.seconds <= 0 || r.seconds <= 0 || r.diverged) {
         return -1.0;
       }
-      return r.seconds / base.seconds;
+      double v = r.seconds / base.seconds;
+      json->Add(std::string(scenario_key) + "/" + row.client_label + "/" + config_key +
+                    "/normalized_time",
+                v, "x");
+      return v;
     };
 
     std::vector<std::string> cells{row.client_label};
     RunConfig cp;
     cp.mode = MveeMode::kGhumveeOnly;
     cp.replicas = 2;
-    cells.push_back(Table::Num(norm(cp)));
+    cells.push_back(Table::Num(norm(cp, "ghumvee2")));
     for (int replicas = 2; replicas <= 7; ++replicas) {
       RunConfig ip;
       ip.mode = MveeMode::kRemon;
       ip.replicas = replicas;
       ip.level = PolicyLevel::kSocketRw;
-      cells.push_back(Table::Num(norm(ip)));
+      cells.push_back(
+          Table::Num(norm(ip, ("remon" + std::to_string(replicas)).c_str())));
     }
     // Beyond the paper: adaptive RB batching at 4 replicas (the per-rank window
     // follows each worker's observed waiter pressure).
@@ -74,7 +81,7 @@ void RunScenario(const char* title, LinkParams link) {
     adaptive.level = PolicyLevel::kSocketRw;
     adaptive.rb_batch_max = 16;
     adaptive.rb_batch_policy = RbBatchPolicy::kAdaptive;
-    cells.push_back(Table::Num(norm(adaptive)));
+    cells.push_back(Table::Num(norm(adaptive, "remon4_adaptive")));
     table.AddRow(std::move(cells));
   }
   table.Print();
@@ -84,16 +91,18 @@ void RunScenario(const char* title, LinkParams link) {
 }  // namespace
 }  // namespace remon
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = remon::BenchJson::PathFromArgs(argc, argv);
+  remon::BenchJson json("fig5");
   // Scenario 1: the paper's "unlikely, worst-case" local gigabit link (~0.1 ms RTT).
-  remon::RunScenario("worst case, local gigabit (~0.1 ms latency)",
-                     remon::LinkParams{60 * remon::kMicrosecond, 0.125});
+  remon::RunScenario("worst case, local gigabit (~0.1 ms latency)", "gigabit",
+                     remon::LinkParams{60 * remon::kMicrosecond, 0.125}, &json);
   // Scenario 2: the "realistic" low-latency network (2 ms RTT via netem).
-  remon::RunScenario("realistic, low-latency network (2 ms latency)",
-                     remon::LinkParams{remon::Millis(1), 0.125});
+  remon::RunScenario("realistic, low-latency network (2 ms latency)", "lowlat",
+                     remon::LinkParams{remon::Millis(1), 0.125}, &json);
   std::printf(
       "paper (fig. 5): with IP-MON the overhead stays near-native (<= a few %%) on the\n"
       "realistic link and grows modestly with the replica count; without IP-MON the\n"
       "low-latency scenario shows up to ~13x overhead on syscall-dense servers.\n");
-  return 0;
+  return json.WriteTo(json_path) ? 0 : 1;
 }

@@ -60,6 +60,17 @@ class EpollShadowMap {
     return true;
   }
 
+  size_t size() const { return data_.size(); }
+
+  // Enumerates every (epfd, fd) -> data association (replica checkpointing: the
+  // leader ships its shadow so a rejoining replica can cross-check coverage).
+  template <typename Fn>  // Fn(int epfd, int fd, uint64_t data)
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, data] : data_) {
+      fn(static_cast<int>(key >> 32), static_cast<int>(key & 0xffffffffu), data);
+    }
+  }
+
  private:
   // (epfd, fd) packed into one 64-bit key: both are small non-negative descriptor
   // numbers in practice; truncating to 32 bits each is lossless.

@@ -348,9 +348,15 @@ GuestTask<void> Ghumvee::ReplicateMasterResults(int rank, RankState& rs,
             ipmons_[0]->LookupEpollFd(epfd, ev.data, &fd_val);
           }
           if (fd_val >= 0) {
-            if (!epoll_shadow_[static_cast<size_t>(i)].DataForFd(epfd, fd_val, &ev.data) &&
-                ipmons_[static_cast<size_t>(i)] != nullptr) {
-              ipmons_[static_cast<size_t>(i)]->LookupEpollData(epfd, fd_val, &ev.data);
+            // Aligned staging value: GuestEpollEvent is packed, so &ev.data is a
+            // misaligned uint64_t* the lookup must not store through.
+            uint64_t slave_data = 0;
+            if (epoll_shadow_[static_cast<size_t>(i)].DataForFd(epfd, fd_val,
+                                                                &slave_data) ||
+                (ipmons_[static_cast<size_t>(i)] != nullptr &&
+                 ipmons_[static_cast<size_t>(i)]->LookupEpollData(epfd, fd_val,
+                                                                  &slave_data))) {
+              ev.data = slave_data;
             }
           }
           std::memcpy(data.data() + static_cast<size_t>(e) * sizeof(ev), &ev, sizeof(ev));

@@ -139,6 +139,14 @@ class IpMon {
                ? cursor_[static_cast<size_t>(rank)]
                : 0;
   }
+  // This replica's next entry sequence number for `rank` (checkpointing).
+  uint64_t rb_seq(int rank) const {
+    return static_cast<size_t>(rank) < seq_.size() ? seq_[static_cast<size_t>(rank)] : 0;
+  }
+  // Replica-checkpoint inputs (src/core/snapshot.h): the file map this monitor
+  // consults and its epoll data shadow.
+  const FileMap* file_map() const { return file_map_; }
+  const EpollShadowMap& epoll_shadow() const { return epoll_shadow_; }
   uint64_t mismatches_tolerated() const { return mismatches_tolerated_; }
 
   // Publishes every deferred batched POSTCALL commit (all ranks) and wakes the

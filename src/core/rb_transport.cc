@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "src/core/ipmon.h"
+#include "src/core/snapshot.h"
 #include "src/kernel/kernel.h"
 #include "src/sim/check.h"
 
@@ -63,6 +65,63 @@ void RbTransport::AddRemote(int replica_index, uint32_t machine, uint16_t port) 
   remotes_.push_back(std::move(remote));
 }
 
+void RbTransport::AddReplacement(int replica_index, uint32_t machine, uint16_t port,
+                                 const SnapshotPayloads& snapshot) {
+  Remote* slot = nullptr;
+  for (auto& r : remotes_) {
+    if (r->replica_index == replica_index) {
+      slot = r.get();
+      break;
+    }
+  }
+  REMON_CHECK_MSG(slot != nullptr, "AddReplacement: replica was never remote");
+  REMON_CHECK_MSG(slot->dead, "AddReplacement: replica link is still live");
+
+  // Fresh connection, fresh per-connection sequence space. The old socket's
+  // observer must go first: a zombie callback on a torn socket could otherwise
+  // pump the revived slot's state.
+  if (slot->sock != nullptr && slot->observer_id != 0) {
+    slot->sock->poll_queue().Remove(slot->observer_id);
+  }
+  slot->sock = kernel_->net()->CreateStream(leader_machine_);
+  slot->sock->ConnectTo(SockAddr{machine, port});
+  slot->sendq.clear();
+  slot->sendq_head_off = 0;
+  slot->frames_sent = 0;
+  slot->frames_acked = 0;
+  slot->parser = RbFrameParser{};
+  slot->dead = false;
+  Remote* r = slot;
+  slot->observer_id = slot->sock->poll_queue().AddObserver([this, r] { Pump(*r); });
+
+  // The checkpoint leads the stream: every data frame published from here on
+  // queues behind it, so the mirror the replacement reconstructs is the leader's
+  // RB at the capture point plus, in order, everything after it. Snapshot frames
+  // take normal sequence numbers — the in-flight bound and cumulative acks
+  // throttle checkpoint transfer exactly like entry traffic.
+  SimStats& stats = kernel_->stats();
+  auto enqueue = [&](RbFrameType type, const std::vector<uint8_t>& payload) {
+    uint64_t seq = ++slot->frames_sent;
+    std::vector<uint8_t> frame = RbWireCodec::EncodeSnapshotFrame(
+        type, epoch_, static_cast<uint32_t>(replica_index), seq, payload);
+    ++stats.rb_frames_sent;
+    ++stats.rb_snapshot_frames_sent;
+    stats.rb_frame_bytes_sent += frame.size();
+    stats.rb_snapshot_bytes_sent += frame.size();
+    RbEpochStats& row = stats.EpochRow(epoch_);
+    ++row.frames_sent;
+    ++row.snapshot_frames;
+    slot->sendq.push_back(std::move(frame));
+  };
+  enqueue(RbFrameType::kSnapshotBegin, snapshot.begin);
+  for (const std::vector<uint8_t>& chunk : snapshot.chunks) {
+    enqueue(RbFrameType::kSnapshotChunk, chunk);
+  }
+  enqueue(RbFrameType::kSnapshotEnd, snapshot.end);
+  ++stats.rb_replica_respawns;
+  Pump(*slot);
+}
+
 void RbTransport::SendEntries(int rank, const std::vector<RbWireEntry>& entries) {
   if (entries.empty() || live_remotes() == 0) {
     return;
@@ -81,6 +140,7 @@ void RbTransport::SendEntries(int rank, const std::vector<RbWireEntry>& entries)
         static_cast<uint32_t>(entries.size()), payload);
     ++stats.rb_frames_sent;
     stats.rb_frame_bytes_sent += frame.size();
+    ++stats.EpochRow(epoch_).frames_sent;
     r->sendq.push_back(std::move(frame));
     Pump(*r);
   }
@@ -109,6 +169,7 @@ void RbTransport::MarkDead(Remote& r, const char* why) {
   }
   r.dead = true;
   ++deaths_;
+  ++kernel_->stats().EpochRow(epoch_).deaths;  // Attributed to the epoch that ended.
   ++epoch_;  // Frames of the torn stream can never be mistaken for a future one.
   ++kernel_->stats().rb_remote_deaths;
   std::fprintf(stderr, "[rb-transport] remote replica %d link down (%s); epoch -> %u\n",
@@ -175,6 +236,7 @@ void RbTransport::Pump(Remote& r) {
     // stalled forever. The echoed epoch identifies the stream, nothing more.
     r.frames_acked = std::max(r.frames_acked, frame.ack_seq);
     ++kernel_->stats().rb_frames_acked;
+    ++kernel_->stats().EpochRow(frame.epoch).frames_acked;
   }
   if (was_stalled && !RemoteStalled(r)) {
     stall_queue_.Wake();
@@ -248,7 +310,20 @@ void RemoteSyncAgent::DrainConn() {
     if (st != RbFrameParser::Status::kFrame) {
       return;
     }
+    if (IsSnapshotFrameType(frame.type)) {
+      HandleSnapshotFrame(frame);
+      if (shutdown_) {
+        return;  // A refused join tore the link down; drop the rest of the stream.
+      }
+      continue;
+    }
     if (frame.type != RbFrameType::kEntries) {
+      continue;
+    }
+    if (frame.epoch < join_epoch_) {
+      // Stale traffic from before the epoch this agent was seeded at can never be
+      // applied over the checkpoint (docs/RB_WIRE_FORMAT.md, "Join handshake").
+      ++frames_rejected_;
       continue;
     }
     if (mon_->rb().valid()) {
@@ -257,6 +332,62 @@ void RemoteSyncAgent::DrainConn() {
       pending_.push_back(std::move(frame));
     }
   }
+}
+
+void RemoteSyncAgent::HandleSnapshotFrame(const RbWireFrame& frame) {
+  SimStats& stats = kernel_->stats();
+  bool ok = false;
+  std::string why;
+  switch (frame.type) {
+    case RbFrameType::kSnapshotBegin:
+      assembler_.Reset();
+      ok = assembler_.Begin(frame.payload);
+      why = assembler_.error();
+      break;
+    case RbFrameType::kSnapshotChunk:
+      ok = assembler_.AddChunk(frame.payload);
+      why = assembler_.error();
+      if (ok) {
+        ++stats.rb_snapshot_chunks_applied;
+      }
+      break;
+    case RbFrameType::kSnapshotEnd: {
+      ok = assembler_.End(frame.payload);
+      why = assembler_.error();
+      if (ok) {
+        SnapshotApplyResult res =
+            ApplySnapshotToMirror(kernel_, mon_, assembler_.snapshot(), assembler_.image());
+        ok = res.ok;
+        why = res.error;
+        if (ok) {
+          ++joins_;
+          join_epoch_ = frame.epoch;
+          last_join_lockstep_cursor_ = assembler_.snapshot().lockstep_cursor;
+          ++stats.rb_replica_joins;
+          ++stats.EpochRow(frame.epoch).joins;
+          stats.rb_snapshot_entries_restored += res.entries_restored;
+          stats.rb_snapshot_epoll_lag += res.epoll_lag;
+        }
+      }
+      assembler_.Reset();  // Completed or failed, the image buffer is done.
+      break;
+    }
+    default:
+      why = "unexpected frame type";
+      break;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "[rb-agent] replica %d refused snapshot: %s\n",
+                 mon_->config().replica_index, why.c_str());
+    ++stats.rb_snapshot_rejects;
+    ++frames_rejected_;
+    Shutdown();  // A refused join is a dead link again; the leader decides what next.
+    return;
+  }
+  ++frames_applied_;
+  ++stats.rb_frames_applied;
+  ++stats.EpochRow(frame.epoch).frames_applied;
+  SendAck(frame.epoch, frame.frame_seq);
 }
 
 void RemoteSyncAgent::OnReplicaRbReady() {
@@ -279,6 +410,7 @@ void RemoteSyncAgent::ApplyFrame(const RbWireFrame& frame) {
   }
   ++frames_applied_;
   kernel_->stats().rb_frames_applied += 1;
+  ++kernel_->stats().EpochRow(frame.epoch).frames_applied;
   SendAck(frame.epoch, frame.frame_seq);
 }
 

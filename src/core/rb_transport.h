@@ -30,6 +30,16 @@
 // a future stream, wakes any stalled leader thread, and reports through the
 // on_remote_death callback (wired to GHUMVEE's divergence shutdown) — a lost
 // machine ends the run with a report, never a hang.
+//
+// Replica re-seed: instead of shrinking the set permanently, the front end can
+// attach a *replacement* replica at the post-bump epoch (Remon::SpawnReplacement /
+// --respawn-on-death). AddReplacement revives the dead remote's slot on a fresh
+// connection whose first sequenced frames are the leader checkpoint
+// (kSnapshotBegin/kSnapshotChunk/kSnapshotEnd, src/core/snapshot.h); data frames
+// published afterwards queue behind it in order, so the replacement's mirror is
+// exactly the leader's RB at every point it observes. Snapshot frames obey the
+// same in-flight bound and cumulative acks as entry frames — a large checkpoint
+// throttles the leader's flush points instead of ballooning the send queue.
 
 #ifndef SRC_CORE_RB_TRANSPORT_H_
 #define SRC_CORE_RB_TRANSPORT_H_
@@ -41,6 +51,7 @@
 #include <vector>
 
 #include "src/core/rb_wire.h"
+#include "src/core/snapshot.h"
 #include "src/net/network.h"
 #include "src/vfs/wait_queue.h"
 
@@ -67,6 +78,12 @@ class RbTransport {
 
   // Registers (and starts connecting to) a remote replica's agent.
   void AddRemote(int replica_index, uint32_t machine, uint16_t port);
+
+  // Revives a dead remote's slot as a replacement replica joining at the current
+  // (post-bump) epoch: fresh connection, fresh per-connection sequence space, and
+  // the serialized leader checkpoint enqueued ahead of all future data frames.
+  void AddReplacement(int replica_index, uint32_t machine, uint16_t port,
+                      const SnapshotPayloads& snapshot);
 
   // Broadcasts one publication — one frame — to every live remote. Never blocks:
   // frames queue locally; the in-flight bound is enforced at the leader's flush
@@ -139,6 +156,11 @@ class RemoteSyncAgent {
   uint64_t frames_applied() const { return frames_applied_; }
   uint64_t entries_applied() const { return entries_applied_; }
   uint64_t frames_rejected() const { return frames_rejected_; }
+  // Re-seed observability: completed snapshot joins through this agent, and the
+  // GHUMVEE lockstep cursor recorded in the last applied checkpoint (the
+  // synchronization point the replacement resumed from).
+  uint64_t joins() const { return joins_; }
+  uint64_t last_join_lockstep_cursor() const { return last_join_lockstep_cursor_; }
 
  private:
   void OnListenerPoll();
@@ -146,6 +168,7 @@ class RemoteSyncAgent {
   void DrainConn();
   void ApplyFrame(const RbWireFrame& frame);
   bool ApplyEntry(uint32_t rank, const RbWireEntry& entry);
+  void HandleSnapshotFrame(const RbWireFrame& frame);
   void SendAck(uint32_t epoch, uint64_t frame_seq);
   void FlushAckQueue();
 
@@ -165,6 +188,13 @@ class RemoteSyncAgent {
   uint64_t frames_applied_ = 0;
   uint64_t entries_applied_ = 0;
   uint64_t frames_rejected_ = 0;
+  // Replica re-seed: checkpoint reassembly and the join-epoch floor — entry
+  // frames older than the epoch the join was seeded at are stale by definition
+  // (docs/RB_WIRE_FORMAT.md, "Join handshake").
+  SnapshotAssembler assembler_;
+  uint32_t join_epoch_ = 0;
+  uint64_t joins_ = 0;
+  uint64_t last_join_lockstep_cursor_ = 0;
 };
 
 }  // namespace remon

@@ -116,6 +116,13 @@ std::vector<uint8_t> RbWireCodec::EncodeAck(uint32_t epoch, uint64_t ack_seq) {
                     /*frame_seq=*/0, ack_seq, {});
 }
 
+std::vector<uint8_t> RbWireCodec::EncodeSnapshotFrame(RbFrameType type, uint32_t epoch,
+                                                      uint32_t rank, uint64_t frame_seq,
+                                                      const std::vector<uint8_t>& payload) {
+  return BuildFrame(type, epoch, rank, /*entry_count=*/0, frame_seq, /*ack_seq=*/0,
+                    payload);
+}
+
 void RbFrameParser::Feed(const uint8_t* data, size_t len) {
   if (corrupt_) {
     return;  // The stream is dead; don't accumulate unbounded garbage.
@@ -158,8 +165,8 @@ RbFrameParser::Status RbFrameParser::Next(RbWireFrame* out) {
     return Status::kCorrupt;
   }
   uint16_t type = PeekU16(kOffType);
-  if (type != static_cast<uint16_t>(RbFrameType::kEntries) &&
-      type != static_cast<uint16_t>(RbFrameType::kAck)) {
+  if (type < static_cast<uint16_t>(RbFrameType::kEntries) ||
+      type > static_cast<uint16_t>(RbFrameType::kSnapshotEnd)) {
     corrupt_ = true;
     return Status::kCorrupt;
   }
@@ -218,8 +225,14 @@ RbFrameParser::Status RbFrameParser::Next(RbWireFrame* out) {
       corrupt_ = true;  // Trailing payload bytes no entry record claims.
       return Status::kCorrupt;
     }
+  } else if (IsSnapshotFrameType(f.type)) {
+    if (entry_count != 0) {
+      corrupt_ = true;  // Snapshot frames carry an opaque payload, never entries.
+      return Status::kCorrupt;
+    }
+    f.payload.assign(frame.begin() + static_cast<long>(kRbWireHeaderSize), frame.end());
   } else if (entry_count != 0 || payload_len != 0) {
-    corrupt_ = true;  // Control frames carry no payload.
+    corrupt_ = true;  // Acks carry no payload.
     return Status::kCorrupt;
   }
 

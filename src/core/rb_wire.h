@@ -15,7 +15,7 @@
 //   offset  size  field
 //        0     4  magic        "RBWF" (0x46574252 as a little-endian u32)
 //        4     2  version      kRbWireVersion (receiver rejects mismatches)
-//        6     2  type         RbFrameType (kEntries | kAck)
+//        6     2  type         RbFrameType (kEntries | kAck | kSnapshot*)
 //        8     4  epoch        stream epoch (bumped when a remote rank dies)
 //       12     4  rank         RB sub-buffer (thread rank) the frame belongs to
 //       16     4  entry_count  number of entry records in the payload
@@ -34,6 +34,14 @@
 // followed by image_len bytes: the entry image starting at the entry header
 // (state and waiter words included for alignment, but the receiver must preserve
 // the mirror's own state/waiter words and flip the state word last).
+//
+// kSnapshotBegin / kSnapshotChunk / kSnapshotEnd carry the replica re-seed
+// checkpoint (src/core/snapshot.h) that attaches a replacement replica to a live
+// replica set after an epoch bump. They are sequenced data frames: each carries a
+// frame_seq, counts against the in-flight bound, and is cumulatively acknowledged
+// like kEntries, so snapshot traffic interleaves with bounded in-flight data
+// frames instead of monopolizing the link. Their payloads are opaque at this
+// layer (the snapshot codec owns them); entry_count is 0.
 
 #ifndef SRC_CORE_RB_WIRE_H_
 #define SRC_CORE_RB_WIRE_H_
@@ -46,7 +54,8 @@
 namespace remon {
 
 inline constexpr uint32_t kRbWireMagic = 0x46574252;  // "RBWF" little-endian.
-inline constexpr uint16_t kRbWireVersion = 1;
+// Version 2 added the snapshot frame types (replica re-seed after an epoch bump).
+inline constexpr uint16_t kRbWireVersion = 2;
 inline constexpr uint64_t kRbWireHeaderSize = 48;
 inline constexpr uint64_t kRbWireEntryHeaderSize = 16;
 // Payloads beyond this are rejected as corrupt before any allocation happens: the
@@ -56,7 +65,18 @@ inline constexpr uint32_t kRbWireMaxPayload = 1u << 24;
 enum class RbFrameType : uint16_t {
   kEntries = 1,  // Leader -> remote agent: published RB entries.
   kAck = 2,      // Remote agent -> leader: cumulative application acknowledgment.
+  // Replica re-seed (leader -> replacement agent): checkpoint metadata, one RB
+  // image chunk, and the commit record closing the snapshot (src/core/snapshot.h).
+  kSnapshotBegin = 3,
+  kSnapshotChunk = 4,
+  kSnapshotEnd = 5,
 };
+
+// True for the frame types that carry a snapshot payload opaque to this layer.
+inline constexpr bool IsSnapshotFrameType(RbFrameType t) {
+  return t == RbFrameType::kSnapshotBegin || t == RbFrameType::kSnapshotChunk ||
+         t == RbFrameType::kSnapshotEnd;
+}
 
 // IEEE 802.3 CRC-32 (reflected, init/xorout 0xffffffff), software table.
 uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
@@ -77,6 +97,8 @@ struct RbWireFrame {
   uint64_t frame_seq = 0;
   uint64_t ack_seq = 0;
   std::vector<RbWireEntry> entries;
+  // Snapshot frames only: the raw payload for the snapshot codec.
+  std::vector<uint8_t> payload;
 };
 
 class RbWireCodec {
@@ -97,6 +119,12 @@ class RbWireCodec {
 
   // Serializes a cumulative acknowledgment.
   static std::vector<uint8_t> EncodeAck(uint32_t epoch, uint64_t ack_seq);
+
+  // Wraps an opaque snapshot payload (see src/core/snapshot.h for the payload
+  // layouts) into a sequenced frame of the given snapshot type.
+  static std::vector<uint8_t> EncodeSnapshotFrame(RbFrameType type, uint32_t epoch,
+                                                  uint32_t rank, uint64_t frame_seq,
+                                                  const std::vector<uint8_t>& payload);
 };
 
 // Incremental reassembly of frames from a byte stream. Feed() accepts arbitrary

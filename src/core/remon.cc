@@ -1,5 +1,8 @@
 #include "src/core/remon.h"
 
+#include <algorithm>
+
+#include "src/core/snapshot.h"
 #include "src/sim/check.h"
 
 namespace remon {
@@ -42,7 +45,12 @@ Remon::Remon(Kernel* kernel, const RemonOptions& options)
 // The park hooks installed on replica processes capture the IpMon instances owned
 // here; like Process::gate, they follow the convention that the monitor outlives
 // the kernel's last event for its replicas (they die with the Process objects).
-Remon::~Remon() = default;
+// Unfired respawn events capture `this` and must not outlive it.
+Remon::~Remon() {
+  for (EventQueue::EventId id : pending_respawns_) {
+    kernel_->sim()->queue().Cancel(id);
+  }
+}
 
 bool Remon::finished() const {
   for (const Process* p : replicas_) {
@@ -188,15 +196,41 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
       remote_agents_[static_cast<size_t>(i)] = std::move(agent);
     }
     ipmons_[0]->set_transport(transport_.get());
-    // A torn link is unrecoverable divergence, not a reason to hang: report it and
-    // let GHUMVEE shut the replica set down. A link that dies during the normal
-    // end-of-run teardown is not an event.
+    respawn_attempts_.assign(static_cast<size_t>(n), 0);
+    join_generation_.assign(static_cast<size_t>(n), 0);
+    // A torn link ends the run with a divergence report — never a hang. Under
+    // respawn_dead_replicas it instead schedules a replacement join (capped per
+    // replica: a join that keeps failing *is* divergence). A link that dies during
+    // the normal end-of-run teardown is not an event either way.
     transport_->set_on_remote_death([this](int idx) {
-      if (ghumvee_ != nullptr && !ghumvee_->shutdown_requested() && !finished()) {
-        ghumvee_->Divergence(/*rank=*/-1, Sys::kInvalid,
-                             "remote replica " + std::to_string(idx) +
-                                 " link down (stream epoch bumped)");
+      if (ghumvee_ == nullptr || ghumvee_->shutdown_requested() || finished()) {
+        return;
       }
+      if (options_.respawn_dead_replicas && idx >= 0 &&
+          static_cast<size_t>(idx) < respawn_attempts_.size() &&
+          respawn_attempts_[static_cast<size_t>(idx)] <
+              options_.max_respawns_per_replica) {
+        ++respawn_attempts_[static_cast<size_t>(idx)];
+        // The event unregisters itself when it fires: ~Remon may only Cancel ids
+        // that never ran (EventQueue trusts callers on that).
+        auto id_cell = std::make_shared<EventQueue::EventId>(0);
+        *id_cell = kernel_->sim()->queue().ScheduleAfter(
+            options_.respawn_delay, [this, idx, id_cell] {
+              pending_respawns_.erase(std::remove(pending_respawns_.begin(),
+                                                  pending_respawns_.end(), *id_cell),
+                                      pending_respawns_.end());
+              if (ghumvee_ == nullptr || ghumvee_->shutdown_requested() ||
+                  finished()) {
+                return;
+              }
+              SpawnReplacement(idx);
+            });
+        pending_respawns_.push_back(*id_cell);
+        return;
+      }
+      ghumvee_->Divergence(/*rank=*/-1, Sys::kInvalid,
+                           "remote replica " + std::to_string(idx) +
+                               " link down (stream epoch bumped)");
     });
   }
 
@@ -219,6 +253,37 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
   if (ghumvee_ != nullptr) {
     ghumvee_->Start();
   }
+}
+
+bool Remon::SpawnReplacement(int replica_index) {
+  if (transport_ == nullptr || ghumvee_ == nullptr || ghumvee_->shutdown_requested() ||
+      finished()) {
+    return false;
+  }
+  if (replica_index <= 0 ||
+      static_cast<size_t>(replica_index) >= remote_agents_.size() ||
+      remote_agents_[static_cast<size_t>(replica_index)] == nullptr) {
+    return false;  // Never a remote replica: nothing to re-seed.
+  }
+  IpMon* mon = ipmons_[static_cast<size_t>(replica_index)].get();
+  uint32_t machine = options_.replica_machines[static_cast<size_t>(replica_index)];
+
+  // Generation-distinct port: a half-dead predecessor agent can never shadow the
+  // replacement's listener, and the leader's SYN cannot land on a stale socket.
+  int generation = ++join_generation_[static_cast<size_t>(replica_index)];
+  uint16_t port = static_cast<uint16_t>(kRbTransportPortBase + replica_index +
+                                        512 * generation);
+  remote_agents_[static_cast<size_t>(replica_index)]->Shutdown();
+  auto agent = std::make_unique<RemoteSyncAgent>(kernel_, mon, machine, port);
+  agent->Start();  // Listener up before the transport's SYN can arrive.
+
+  // Checkpoint and enqueue within one event: no publication can slip between the
+  // captured image and the first data frame behind it on the new connection.
+  ReplicaSnapshot snap = CaptureLeaderSnapshot(ipmons_[0].get(), ghumvee_.get());
+  transport_->AddReplacement(replica_index, machine, port, SerializeSnapshot(snap));
+  remote_agents_[static_cast<size_t>(replica_index)] = std::move(agent);
+  ++respawns_;
+  return true;
 }
 
 }  // namespace remon

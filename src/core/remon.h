@@ -54,6 +54,18 @@ struct RemonOptions {
   // Unacked RB frames allowed per remote link before the leader's flush points
   // stall (the slow-link backpressure bound; also feeds the adaptive window).
   int rb_max_inflight_frames = 8;
+  // Replica re-seed: when a remote replica's link dies, checkpoint the leader
+  // (src/core/snapshot.h) and attach a replacement at the post-bump epoch instead
+  // of reporting divergence. The replica set survives replica loss.
+  bool respawn_dead_replicas = false;
+  // Death-to-replacement delay (models provisioning the replacement instance).
+  // Must stay well under GHUMVEE's lockstep watchdog: peers parked at a monitored
+  // barrier wait for the rejoiner, and the watchdog outlasting the respawn is what
+  // makes recovery invisible to them.
+  DurationNs respawn_delay = 200 * kMicrosecond;
+  // A replica that keeps failing its join is divergent, not unlucky: attempts
+  // beyond this cap fall back to the divergence report.
+  int max_respawns_per_replica = 3;
   // Memory pressure of the workload in [0, 1] (drives the replica-contention
   // dilation of compute bursts; see CostModel).
   double mem_intensity = 0.2;
@@ -94,6 +106,17 @@ class Remon {
   // Launches the replica set running `body`. Each replica executes the MVEE prologue
   // (sync-agent + IP-MON initialization, as configured) before the workload body.
   void Launch(ProgramFn body, const std::string& name = "app");
+
+  // Checkpoints the leader at a quiescent flush point and attaches a replacement
+  // replica for `replica_index` — a remote replica whose link died — at the
+  // current (post-bump) stream epoch: fresh agent on a generation-distinct port,
+  // snapshot frames leading the new connection's stream. Returns false when there
+  // is nothing to replace (not remote, link still live, MVEE shutting down).
+  // Invoked automatically on remote death under respawn_dead_replicas.
+  bool SpawnReplacement(int replica_index);
+  // Replacement attempts launched so far (joins completed are per-agent: see
+  // RemoteSyncAgent::joins()).
+  uint64_t respawns() const { return respawns_; }
 
   const RemonOptions& options() const { return options_; }
   Ghumvee* ghumvee() const { return ghumvee_.get(); }
@@ -142,6 +165,13 @@ class Remon {
   // they are destroyed first — agents hold raw IpMon pointers.
   std::unique_ptr<RbTransport> transport_;
   std::vector<std::unique_ptr<RemoteSyncAgent>> remote_agents_;
+  // Replica re-seed bookkeeping: per-replica respawn attempts (capped), the join
+  // generation (distinct agent ports), and scheduled-but-unfired respawn events
+  // (cancelled at destruction so a torn-down MVEE cannot be called back).
+  std::vector<int> respawn_attempts_;
+  std::vector<int> join_generation_;
+  std::vector<EventQueue::EventId> pending_respawns_;
+  uint64_t respawns_ = 0;
 };
 
 }  // namespace remon

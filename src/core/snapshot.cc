@@ -1,0 +1,444 @@
+#include "src/core/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/core/ghumvee.h"
+#include "src/core/ipmon.h"
+#include "src/core/rb_wire.h"
+#include "src/core/replication_buffer.h"
+#include "src/kernel/kernel.h"
+#include "src/sim/check.h"
+
+namespace remon {
+
+namespace {
+
+// Serialization bounds: a snapshot whose metadata claims more than these is
+// rejected before any allocation happens (the frame CRC already passed, so this
+// guards against a buggy or hostile leader, not line noise).
+constexpr uint64_t kMaxSnapshotRbSize = 1ULL << 30;
+constexpr uint32_t kMaxSnapshotRanks = 4096;
+
+// kSnapshotBegin payload header (fixed 56 bytes, then the variable sections).
+constexpr size_t kBeginOffRbSize = 0;
+constexpr size_t kBeginOffMaxRanks = 8;
+constexpr size_t kBeginOffRankCount = 12;
+constexpr size_t kBeginOffImageBytes = 16;
+constexpr size_t kBeginOffImageCrc = 24;
+constexpr size_t kBeginOffChunkCount = 28;
+constexpr size_t kBeginOffLockstep = 32;
+constexpr size_t kBeginOffFileMapLen = 40;
+constexpr size_t kBeginOffEpollCount = 48;
+constexpr size_t kBeginHeaderSize = 56;
+
+// kSnapshotChunk payload header.
+constexpr size_t kChunkOffOffset = 0;
+constexpr size_t kChunkOffLen = 8;
+constexpr size_t kChunkOffReserved = 12;
+constexpr size_t kChunkHeaderSize = 16;
+
+constexpr size_t kBeginOffReserved = 52;
+
+// kSnapshotEnd payload.
+constexpr size_t kEndOffImageBytes = 0;
+constexpr size_t kEndOffImageCrc = 8;
+constexpr size_t kEndOffChunkCount = 12;
+constexpr size_t kEndSize = 16;
+
+void PutU32(std::vector<uint8_t>* out, size_t off, uint32_t v) {
+  std::memcpy(out->data() + off, &v, 4);
+}
+void PutU64(std::vector<uint8_t>* out, size_t off, uint64_t v) {
+  std::memcpy(out->data() + off, &v, 8);
+}
+uint32_t GetU32(const std::vector<uint8_t>& in, size_t off) {
+  uint32_t v = 0;
+  std::memcpy(&v, in.data() + off, 4);
+  return v;
+}
+uint64_t GetU64(const std::vector<uint8_t>& in, size_t off) {
+  uint64_t v = 0;
+  std::memcpy(&v, in.data() + off, 8);
+  return v;
+}
+
+uint32_t ImageU32(const std::vector<uint8_t>& image, uint64_t off) {
+  uint32_t v = 0;
+  std::memcpy(&v, image.data() + off, 4);
+  return v;
+}
+uint64_t ImageU64(const std::vector<uint8_t>& image, uint64_t off) {
+  uint64_t v = 0;
+  std::memcpy(&v, image.data() + off, 8);
+  return v;
+}
+
+bool PageIsZero(const uint8_t* p) {
+  for (uint64_t i = 0; i < kPageSize; ++i) {
+    if (p[i] != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- Sparse materialized-page images ----------------------------------------------
+
+VmaImage CaptureVmaImage(const AddressSpace& mem, GuestAddr start, uint64_t length) {
+  VmaImage image;
+  image.length = PageAlignUp(length);
+  uint8_t page[kPageSize];
+  for (uint64_t off = 0; off < image.length; off += kPageSize) {
+    // The materialization probe comes first: capture must record lazy holes as
+    // holes, never force a terabyte region resident by reading it.
+    if (!mem.PageMaterialized(start + off) ||
+        !mem.ReadUnchecked(start + off, page, kPageSize).ok) {
+      continue;
+    }
+    if (PageIsZero(page)) {
+      continue;  // All-zero pages are indistinguishable from holes on restore.
+    }
+    if (!image.runs.empty()) {
+      PageRun& last = image.runs.back();
+      if (last.offset + last.bytes.size() == off) {
+        last.bytes.insert(last.bytes.end(), page, page + kPageSize);
+        continue;
+      }
+    }
+    image.runs.push_back(PageRun{off, std::vector<uint8_t>(page, page + kPageSize)});
+  }
+  return image;
+}
+
+bool RestoreVmaImage(AddressSpace* mem, GuestAddr start, const VmaImage& image) {
+  for (const PageRun& run : image.runs) {
+    if (run.offset + run.bytes.size() > image.length ||
+        !mem->WriteUnchecked(start + run.offset, run.bytes.data(), run.bytes.size()).ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- The leader checkpoint ---------------------------------------------------------
+
+ReplicaSnapshot CaptureLeaderSnapshot(IpMon* master, const Ghumvee* ghumvee) {
+  REMON_CHECK(master != nullptr && master->is_master());
+  REMON_CHECK_MSG(master->rb().valid(), "cannot checkpoint before IP-MON initialized");
+  // Quiescent flush point: every deferred batched commit publishes first, so the
+  // image never hides a publication the local slaves have already been promised.
+  master->FlushRbBatches();
+
+  const RbView& rb = master->rb();
+  ReplicaSnapshot snap;
+  snap.rb_size = rb.size();
+  snap.max_ranks = rb.max_ranks();
+  snap.rb_image = CaptureVmaImage(master->process()->mem(), rb.base(), rb.size());
+  snap.cursors.reserve(static_cast<size_t>(snap.max_ranks));
+  snap.seqs.reserve(static_cast<size_t>(snap.max_ranks));
+  for (int r = 0; r < snap.max_ranks; ++r) {
+    snap.cursors.push_back(master->rb_cursor(r));
+    snap.seqs.push_back(master->rb_seq(r));
+  }
+  snap.lockstep_cursor = ghumvee != nullptr ? ghumvee->lockstep_rounds() : 0;
+  const PageRef& fm_page = master->file_map()->page();
+  snap.file_map.assign(fm_page->bytes.begin(), fm_page->bytes.end());
+  master->epoll_shadow().ForEach([&snap](int epfd, int fd, uint64_t data) {
+    snap.epoll.push_back(EpollShadowTriple{epfd, fd, data});
+  });
+  // Hash-map enumeration order is not part of the checkpoint: sort so the wire
+  // bytes are identical across standard-library implementations.
+  std::sort(snap.epoll.begin(), snap.epoll.end(),
+            [](const EpollShadowTriple& a, const EpollShadowTriple& b) {
+              return a.epfd != b.epfd ? a.epfd < b.epfd : a.fd < b.fd;
+            });
+  return snap;
+}
+
+// --- Wire payloads -----------------------------------------------------------------
+
+SnapshotPayloads SerializeSnapshot(const ReplicaSnapshot& snap) {
+  SnapshotPayloads out;
+
+  // Chunks first: Begin carries their count and chained CRC.
+  uint32_t crc = 0;
+  for (const PageRun& run : snap.rb_image.runs) {
+    for (uint64_t pos = 0; pos < run.bytes.size(); pos += kSnapshotChunkBytes) {
+      uint64_t len = std::min<uint64_t>(kSnapshotChunkBytes, run.bytes.size() - pos);
+      std::vector<uint8_t> chunk(kChunkHeaderSize + len, 0);
+      PutU64(&chunk, kChunkOffOffset, run.offset + pos);
+      PutU32(&chunk, kChunkOffLen, static_cast<uint32_t>(len));
+      std::memcpy(chunk.data() + kChunkHeaderSize, run.bytes.data() + pos, len);
+      crc = Crc32(chunk.data(), chunk.size(), crc);
+      out.chunks.push_back(std::move(chunk));
+    }
+  }
+  uint64_t image_bytes = snap.rb_image.run_bytes();
+  uint32_t chunk_count = static_cast<uint32_t>(out.chunks.size());
+
+  size_t rank_count = snap.cursors.size();
+  out.begin.assign(kBeginHeaderSize + rank_count * 16 + snap.file_map.size() +
+                       snap.epoll.size() * 16,
+                   0);
+  PutU64(&out.begin, kBeginOffRbSize, snap.rb_size);
+  PutU32(&out.begin, kBeginOffMaxRanks, static_cast<uint32_t>(snap.max_ranks));
+  PutU32(&out.begin, kBeginOffRankCount, static_cast<uint32_t>(rank_count));
+  PutU64(&out.begin, kBeginOffImageBytes, image_bytes);
+  PutU32(&out.begin, kBeginOffImageCrc, crc);
+  PutU32(&out.begin, kBeginOffChunkCount, chunk_count);
+  PutU64(&out.begin, kBeginOffLockstep, snap.lockstep_cursor);
+  PutU64(&out.begin, kBeginOffFileMapLen, snap.file_map.size());
+  PutU32(&out.begin, kBeginOffEpollCount, static_cast<uint32_t>(snap.epoll.size()));
+  size_t pos = kBeginHeaderSize;
+  for (size_t r = 0; r < rank_count; ++r) {
+    PutU64(&out.begin, pos, snap.cursors[r]);
+    PutU64(&out.begin, pos + 8, snap.seqs[r]);
+    pos += 16;
+  }
+  std::memcpy(out.begin.data() + pos, snap.file_map.data(), snap.file_map.size());
+  pos += snap.file_map.size();
+  for (const EpollShadowTriple& t : snap.epoll) {
+    PutU32(&out.begin, pos, static_cast<uint32_t>(t.epfd));
+    PutU32(&out.begin, pos + 4, static_cast<uint32_t>(t.fd));
+    PutU64(&out.begin, pos + 8, t.data);
+    pos += 16;
+  }
+
+  out.end.assign(kEndSize, 0);
+  PutU64(&out.end, kEndOffImageBytes, image_bytes);
+  PutU32(&out.end, kEndOffImageCrc, crc);
+  PutU32(&out.end, kEndOffChunkCount, chunk_count);
+  return out;
+}
+
+bool SnapshotAssembler::Fail(const char* why) {
+  state_ = State::kFailed;
+  error_ = why;
+  return false;
+}
+
+void SnapshotAssembler::Reset() {
+  state_ = State::kIdle;
+  error_.clear();
+  snap_ = ReplicaSnapshot{};
+  image_.clear();
+  expect_chunks_ = expect_bytes_ = chunks_applied_ = bytes_applied_ = 0;
+  expect_crc_ = running_crc_ = 0;
+}
+
+bool SnapshotAssembler::Begin(const std::vector<uint8_t>& payload) {
+  if (state_ != State::kIdle) {
+    return Fail("snapshot begin out of protocol");
+  }
+  if (payload.size() < kBeginHeaderSize) {
+    return Fail("snapshot begin payload truncated");
+  }
+  uint64_t rb_size = GetU64(payload, kBeginOffRbSize);
+  uint32_t max_ranks = GetU32(payload, kBeginOffMaxRanks);
+  uint32_t rank_count = GetU32(payload, kBeginOffRankCount);
+  uint64_t file_map_len = GetU64(payload, kBeginOffFileMapLen);
+  uint32_t epoll_count = GetU32(payload, kBeginOffEpollCount);
+  if (rb_size == 0 || rb_size > kMaxSnapshotRbSize || (rb_size & kPageMask) != 0 ||
+      max_ranks == 0 || max_ranks > kMaxSnapshotRanks || rank_count != max_ranks ||
+      file_map_len != kPageSize ||
+      // The spec says MUST-be-zero; tolerating garbage here would make the field
+      // unusable for a future revision.
+      GetU32(payload, kBeginOffReserved) != 0) {
+    return Fail("snapshot begin metadata out of bounds");
+  }
+  uint64_t variable = static_cast<uint64_t>(rank_count) * 16 + file_map_len +
+                      static_cast<uint64_t>(epoll_count) * 16;
+  if (payload.size() != kBeginHeaderSize + variable) {
+    return Fail("snapshot begin payload size mismatch");
+  }
+
+  snap_.rb_size = rb_size;
+  snap_.max_ranks = static_cast<int>(max_ranks);
+  snap_.lockstep_cursor = GetU64(payload, kBeginOffLockstep);
+  expect_bytes_ = GetU64(payload, kBeginOffImageBytes);
+  expect_crc_ = GetU32(payload, kBeginOffImageCrc);
+  expect_chunks_ = GetU32(payload, kBeginOffChunkCount);
+  if (expect_bytes_ > rb_size) {
+    return Fail("snapshot image larger than the RB it describes");
+  }
+  size_t pos = kBeginHeaderSize;
+  for (uint32_t r = 0; r < rank_count; ++r) {
+    snap_.cursors.push_back(GetU64(payload, pos));
+    snap_.seqs.push_back(GetU64(payload, pos + 8));
+    pos += 16;
+  }
+  snap_.file_map.assign(payload.begin() + static_cast<long>(pos),
+                        payload.begin() + static_cast<long>(pos + file_map_len));
+  pos += file_map_len;
+  for (uint32_t i = 0; i < epoll_count; ++i) {
+    EpollShadowTriple t;
+    t.epfd = static_cast<int32_t>(GetU32(payload, pos));
+    t.fd = static_cast<int32_t>(GetU32(payload, pos + 4));
+    t.data = GetU64(payload, pos + 8);
+    snap_.epoll.push_back(t);
+    pos += 16;
+  }
+  image_.assign(rb_size, 0);
+  state_ = State::kAssembling;
+  return true;
+}
+
+bool SnapshotAssembler::AddChunk(const std::vector<uint8_t>& payload) {
+  if (state_ != State::kAssembling) {
+    return Fail("snapshot chunk out of protocol");
+  }
+  if (payload.size() < kChunkHeaderSize) {
+    return Fail("snapshot chunk payload truncated");
+  }
+  uint64_t offset = GetU64(payload, kChunkOffOffset);
+  uint32_t len = GetU32(payload, kChunkOffLen);
+  if (len != payload.size() - kChunkHeaderSize || len == 0 ||
+      len > kSnapshotChunkBytes || offset > image_.size() ||
+      len > image_.size() - offset || GetU32(payload, kChunkOffReserved) != 0) {
+    return Fail("snapshot chunk out of bounds");
+  }
+  if (chunks_applied_ >= expect_chunks_) {
+    return Fail("more snapshot chunks than announced");
+  }
+  running_crc_ = Crc32(payload.data(), payload.size(), running_crc_);
+  std::memcpy(image_.data() + offset, payload.data() + kChunkHeaderSize, len);
+  ++chunks_applied_;
+  bytes_applied_ += len;
+  return true;
+}
+
+bool SnapshotAssembler::End(const std::vector<uint8_t>& payload) {
+  if (state_ != State::kAssembling) {
+    return Fail("snapshot end out of protocol");
+  }
+  if (payload.size() != kEndSize) {
+    return Fail("snapshot end payload malformed");
+  }
+  if (GetU64(payload, kEndOffImageBytes) != expect_bytes_ ||
+      GetU32(payload, kEndOffChunkCount) != expect_chunks_ ||
+      GetU32(payload, kEndOffImageCrc) != expect_crc_) {
+    return Fail("snapshot end disagrees with begin");
+  }
+  if (chunks_applied_ != expect_chunks_ || bytes_applied_ != expect_bytes_) {
+    return Fail("snapshot truncated: chunk or byte count short of announced");
+  }
+  if (running_crc_ != expect_crc_) {
+    return Fail("snapshot image CRC mismatch");
+  }
+  state_ = State::kComplete;
+  return true;
+}
+
+// --- Mirror restoration ------------------------------------------------------------
+
+namespace {
+
+void WakeEntryQueue(Kernel* kernel, IpMon* mon, const RbView& rb, uint64_t entry_off) {
+  uint64_t off_in_page = 0;
+  Page* frame = mon->process()->mem().ResolveFrame(rb.AddrOf(entry_off + kRbOffState),
+                                                   &off_in_page);
+  if (frame != nullptr) {
+    kernel->futex().QueueFor(frame, off_in_page).Wake();
+  }
+}
+
+SnapshotApplyResult ApplyFail(const char* why) {
+  SnapshotApplyResult r;
+  r.ok = false;
+  r.error = why;
+  return r;
+}
+
+}  // namespace
+
+SnapshotApplyResult ApplySnapshotToMirror(Kernel* kernel, IpMon* mon,
+                                          const ReplicaSnapshot& snap,
+                                          const std::vector<uint8_t>& image) {
+  RbView rb = mon->rb();
+  if (!rb.valid()) {
+    return ApplyFail("replica RB mirror not initialized");
+  }
+  if (snap.rb_size != rb.size() || snap.max_ranks != rb.max_ranks() ||
+      image.size() != rb.size() ||
+      snap.cursors.size() != static_cast<size_t>(snap.max_ranks)) {
+    return ApplyFail("snapshot geometry does not match the replica RB");
+  }
+  // File-map cross-check: the FD metadata is monitor control-plane state every
+  // replica derives from the same monitored history; a byte diverging means this
+  // replica's stream is not the leader's and the join must be refused.
+  const PageRef& fm_page = mon->file_map()->page();
+  if (snap.file_map.size() != fm_page->bytes.size() ||
+      !std::equal(snap.file_map.begin(), snap.file_map.end(), fm_page->bytes.begin())) {
+    return ApplyFail("file map diverged from the leader checkpoint");
+  }
+
+  SnapshotApplyResult result;
+  result.ok = true;
+  // Epoll-shadow coverage: keys the replica has not recorded yet are legitimate
+  // consumer lag (its epoll_ctl replay may trail the leader), so they are counted,
+  // not fatal; the divergence checks catch real mismatches at the next entry.
+  for (const EpollShadowTriple& t : snap.epoll) {
+    uint64_t local_data = 0;
+    if (!mon->LookupEpollData(t.epfd, t.fd, &local_data)) {
+      ++result.epoll_lag;
+    }
+  }
+
+  // Global header (signals-pending flag, generation) exactly as the leader saw it.
+  rb.WriteBytes(0, image.data(), kRbGlobalHeaderSize);
+
+  for (int r = 0; r < snap.max_ranks; ++r) {
+    uint64_t data_start = rb.RankDataStart(r);
+    uint64_t data_end = rb.RankDataEnd(r);
+    uint64_t cursor = snap.cursors[static_cast<size_t>(r)];
+    if (cursor < data_start || cursor > data_end) {
+      return ApplyFail("snapshot cursor outside the rank sub-buffer");
+    }
+    rb.WriteBytes(rb.RankStart(r), image.data() + rb.RankStart(r), kRbRankHeaderSize);
+
+    // Replay the published prefix with the live-path discipline: body first (the
+    // mirror's own state and waiter words preserved), state word flipped last and
+    // only forward, one wake per entry.
+    uint64_t off = data_start;
+    while (off + kRbEntryHeaderSize <= cursor) {
+      uint32_t state = ImageU32(image, off + kRbOffState);
+      if (state == kRbEmpty) {
+        break;  // In-flight tail entry: the next data frame completes it.
+      }
+      uint64_t total = ImageU64(image, off + kRbOffTotalSize);
+      if (state > kRbResultsReady || total < kRbEntryHeaderSize || (total & 7) != 0 ||
+          total > cursor - off) {
+        return ApplyFail("snapshot image has a malformed entry chain");
+      }
+      rb.WriteBytes(off + kRbOffSysno, image.data() + off + kRbOffSysno,
+                    total - kRbOffSysno);
+      if (state > rb.ReadU32(off + kRbOffState)) {
+        rb.WriteU32(off + kRbOffState, state);
+      }
+      WakeEntryQueue(kernel, mon, rb, off);
+      ++result.entries_restored;
+      off += total;
+    }
+
+    // The stale tail: everything beyond the leader's published prefix must read
+    // as the leader's RB does (zeros — the region is zeroed at creation and at
+    // every globally synchronized reset). The resume entry's state word is reset
+    // from the image and its waiter word preserved: a consumer parked there keeps
+    // its registration and simply finds the entry not published yet.
+    if (off + 8 <= data_end) {
+      rb.WriteU32(off + kRbOffState, ImageU32(image, off + kRbOffState));
+      if (off + 8 < data_end) {
+        rb.Zero(off + 8, data_end - off - 8);
+      }
+      WakeEntryQueue(kernel, mon, rb, off);
+    } else if (off < data_end) {
+      rb.Zero(off, data_end - off);  // Sub-entry-header residue: no consumer state.
+    }
+  }
+  return result;
+}
+
+}  // namespace remon

@@ -1,0 +1,186 @@
+// Replica re-seed snapshots (recovery story for cross-machine replica sets).
+//
+// When a remote replica's link dies, the stream epoch bumps and the replica's RB
+// mirror goes stale: every publication the leader makes afterwards is lost to it.
+// Rather than shrinking the replica set permanently, the leader can checkpoint its
+// replication-relevant state at a quiescent flush point and ship it to a
+// *replacement* replica over the RB transport, after which the replacement enters
+// lockstep at the recorded cursor and the transcript is byte-identical to a run
+// that never lost the replica.
+//
+// The checkpoint (ReplicaSnapshot) carries:
+//   * the leader's RB content as a sparse materialized-page image (VmaImage):
+//     untouched lazy pages and all-zero pages travel as holes and stay lazy/zero
+//     on the far side;
+//   * the leader's per-rank RB positions (write cursor + next sequence number);
+//   * the GHUMVEE lockstep cursor (rounds completed at capture) — the monitored
+//     synchronization point the replacement resumes from;
+//   * the file-map page and the leader's epoll data shadow, which the rejoining
+//     side cross-checks against its own state.
+//
+// On the wire the snapshot rides the normal RB stream as three sequenced,
+// CRC-protected frame types (kSnapshotBegin / kSnapshotChunk / kSnapshotEnd,
+// src/core/rb_wire.h), chunked so snapshot traffic obeys the transport's bounded
+// in-flight frame budget and interleaves with data frames instead of
+// monopolizing the link. docs/RB_WIRE_FORMAT.md is the normative payload spec.
+//
+// Restoration applies the image to the replacement's RB mirror with the same
+// ordering discipline the live replay path uses: entry bodies first, state words
+// flipped last (forward-only), mirror-side waiter words preserved, and every
+// covered entry's futex queue woken so parked slave threads re-examine the world.
+
+#ifndef SRC_CORE_SNAPSHOT_H_
+#define SRC_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mem/address_space.h"
+#include "src/mem/page.h"
+
+namespace remon {
+
+class Ghumvee;
+class IpMon;
+class Kernel;
+
+// --- Sparse materialized-page images ----------------------------------------------
+
+// A contiguous run of bytes at `offset` from the image's region start. Runs are
+// page-aligned, non-overlapping, and sorted by offset; bytes not covered by any
+// run are holes (zero / untouched-lazy).
+struct PageRun {
+  uint64_t offset = 0;
+  std::vector<uint8_t> bytes;
+};
+
+struct VmaImage {
+  uint64_t length = 0;  // Region size in bytes (page-aligned).
+  std::vector<PageRun> runs;
+
+  uint64_t run_bytes() const {
+    uint64_t n = 0;
+    for (const PageRun& r : runs) {
+      n += r.bytes.size();
+    }
+    return n;
+  }
+};
+
+// Captures [start, start+length) from `mem` as a sparse image: only materialized,
+// non-zero pages are recorded (lazy pages stay lazy — capture never materializes).
+// Adjacent captured pages coalesce into one run.
+VmaImage CaptureVmaImage(const AddressSpace& mem, GuestAddr start, uint64_t length);
+
+// Writes an image's runs into `mem` at `start`. Holes are not written: restoring
+// into a fresh lazy mapping leaves them unmaterialized (the lazy read-as-zero
+// semantics make the result page-for-page equal to the source). Returns false on
+// any write fault.
+bool RestoreVmaImage(AddressSpace* mem, GuestAddr start, const VmaImage& image);
+
+// --- The leader checkpoint ---------------------------------------------------------
+
+struct EpollShadowTriple {
+  int32_t epfd = 0;
+  int32_t fd = 0;
+  uint64_t data = 0;
+};
+
+struct ReplicaSnapshot {
+  uint64_t rb_size = 0;
+  int max_ranks = 0;
+  VmaImage rb_image;               // Leader RB content, offsets relative to RB base.
+  std::vector<uint64_t> cursors;   // Per rank: leader's next-entry offset.
+  std::vector<uint64_t> seqs;      // Per rank: leader's next sequence number.
+  uint64_t lockstep_cursor = 0;    // GHUMVEE lockstep rounds completed at capture.
+  std::vector<uint8_t> file_map;   // The one-page FD metadata map.
+  std::vector<EpollShadowTriple> epoll;  // Leader (epfd, fd) -> data shadow.
+};
+
+// Checkpoints the leader at a quiescent flush point: publishes every deferred
+// batched commit first (so no publication is invisible in the image), then
+// captures RB image, cursors, lockstep cursor, file map, and epoll shadow.
+// `ghumvee` may be null (lockstep cursor 0).
+ReplicaSnapshot CaptureLeaderSnapshot(IpMon* master, const Ghumvee* ghumvee);
+
+// --- Wire payloads -----------------------------------------------------------------
+
+// Image bytes per kSnapshotChunk frame. Small enough that snapshot frames obey the
+// transport's in-flight budget without head-of-line-blocking the data stream.
+inline constexpr uint64_t kSnapshotChunkBytes = 64 * 1024;
+
+struct SnapshotPayloads {
+  std::vector<uint8_t> begin;                // kSnapshotBegin payload.
+  std::vector<std::vector<uint8_t>> chunks;  // One kSnapshotChunk payload each.
+  std::vector<uint8_t> end;                  // kSnapshotEnd payload.
+};
+
+// Serializes a snapshot into the Begin/Chunk/End payloads (layouts in
+// docs/RB_WIRE_FORMAT.md). Chunks are the image runs split at kSnapshotChunkBytes;
+// Begin and End both carry the chunk count, total image bytes, and the chained
+// CRC-32 over the chunk payloads so truncation and reordering are detectable
+// end-to-end, beyond the per-frame CRC.
+SnapshotPayloads SerializeSnapshot(const ReplicaSnapshot& snap);
+
+// Reassembles a snapshot from Begin/Chunk/End payloads on the receiving side.
+// Any malformed payload, bounds violation, count/byte/CRC mismatch, or
+// out-of-protocol call latches the assembler into the failed state.
+class SnapshotAssembler {
+ public:
+  enum class State { kIdle, kAssembling, kComplete, kFailed };
+
+  State state() const { return state_; }
+  const std::string& error() const { return error_; }
+
+  bool Begin(const std::vector<uint8_t>& payload);
+  bool AddChunk(const std::vector<uint8_t>& payload);
+  bool End(const std::vector<uint8_t>& payload);
+
+  // Valid in kComplete: the checkpoint metadata and the flat (hole-zero-filled)
+  // RB image of rb_size bytes.
+  const ReplicaSnapshot& snapshot() const { return snap_; }
+  const std::vector<uint8_t>& image() const { return image_; }
+  uint64_t chunks_applied() const { return chunks_applied_; }
+
+  void Reset();
+
+ private:
+  bool Fail(const char* why);
+
+  State state_ = State::kIdle;
+  std::string error_;
+  ReplicaSnapshot snap_;
+  std::vector<uint8_t> image_;
+  uint64_t expect_chunks_ = 0;
+  uint64_t expect_bytes_ = 0;
+  uint32_t expect_crc_ = 0;
+  uint64_t chunks_applied_ = 0;
+  uint64_t bytes_applied_ = 0;
+  uint32_t running_crc_ = 0;
+};
+
+// --- Mirror restoration ------------------------------------------------------------
+
+struct SnapshotApplyResult {
+  bool ok = false;
+  const char* error = "";
+  uint64_t entries_restored = 0;  // Entry state words re-published into the mirror.
+  uint64_t epoll_lag = 0;         // Leader shadow keys the replica has not seen yet.
+};
+
+// Applies a completed snapshot to `mon`'s RB mirror: per rank, replays every
+// published entry up to the leader cursor (body first, state word last,
+// forward-only, waiter words preserved), zeroes the stale tail beyond the cursor
+// (preserving the resume entry's state/waiter words so a parked consumer is not
+// corrupted), and wakes each touched entry's futex queue. Cross-checks the file
+// map byte-for-byte (a mismatch means the streams diverged and the join is
+// rejected) and counts — but tolerates — epoll-shadow keys the replica has not
+// recorded yet (its consumer threads may legitimately lag the leader).
+SnapshotApplyResult ApplySnapshotToMirror(Kernel* kernel, IpMon* mon,
+                                          const ReplicaSnapshot& snap,
+                                          const std::vector<uint8_t>& image);
+
+}  // namespace remon
+
+#endif  // SRC_CORE_SNAPSHOT_H_

@@ -42,7 +42,28 @@ RemonOptions OptionsFor(const RunConfig& config, double mem_intensity,
   opts.rb_batch_policy = config.rb_batch_policy;
   opts.mem_intensity = mem_intensity;
   opts.use_sync_agent = false;  // Suite workloads are race-free by construction.
+  opts.respawn_dead_replicas = config.respawn_dead_replicas;
   return opts;
+}
+
+// Fault injection: schedules the remote-replica kill configured in `config` (the
+// highest-index replica with a remote sync agent loses its link at the given
+// virtual time). With respawn_dead_replicas set, the run then exercises the
+// checkpoint/re-seed recovery path end to end.
+void ArmRemoteKill(World* w, const RunConfig& config, Remon* mvee) {
+  if (config.kill_remote_replica_at <= 0) {
+    return;
+  }
+  w->sim.queue().ScheduleAt(config.kill_remote_replica_at, [mvee, replicas =
+                                                                     config.replicas] {
+    for (int i = replicas - 1; i >= 1; --i) {
+      RemoteSyncAgent* agent = mvee->remote_agent(i);
+      if (agent != nullptr) {
+        agent->Shutdown();
+        return;
+      }
+    }
+  });
 }
 
 // Materializes the RunConfig placement spec: adds one machine per distinct
@@ -83,6 +104,7 @@ SuiteResult RunSuiteWorkload(const WorkloadSpec& spec, const RunConfig& config) 
   ApplyPlacement(&w, config, &opts);
   Remon mvee(&w.kernel, opts);
   mvee.Launch(SuiteProgram(spec), spec.name);
+  ArmRemoteKill(&w, config, &mvee);
   w.sim.Run();
   SuiteResult result;
   result.name = spec.name;
@@ -114,6 +136,7 @@ ServerResult RunServerBench(const ServerSpec& server, const ClientSpec& client_s
   ApplyPlacement(&w, config, &opts);
   Remon mvee(&w.kernel, opts);
   mvee.Launch(ServerProgram(server), server.name);
+  ArmRemoteKill(&w, config, &mvee);
 
   // The client rides on a separate, unmonitored machine.
   ClientSpec cs = client_spec;

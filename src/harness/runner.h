@@ -41,6 +41,13 @@ struct RunConfig {
   // Leader <-> replica-host link (the RB transport rides on it).
   DurationNs rb_link_latency = 60 * kMicrosecond;
   double rb_link_bytes_per_ns = 0.125;  // 1 Gbit/s.
+  // Replica re-seed: checkpoint the leader and attach a replacement when a remote
+  // replica's link dies, instead of reporting divergence (RemonOptions::
+  // respawn_dead_replicas).
+  bool respawn_dead_replicas = false;
+  // Fault injection: at this virtual time, tear down the highest-index remote
+  // replica's sync agent (the remote-machine-death experiment). 0 disables.
+  TimeNs kill_remote_replica_at = 0;
 };
 
 struct SuiteResult {

@@ -427,6 +427,10 @@ std::vector<Vma> AddressSpace::Vmas() const {
   return out;
 }
 
+bool AddressSpace::PageMaterialized(GuestAddr addr) const {
+  return page_table_.find(addr >> kPageShift) != page_table_.end();
+}
+
 Page* AddressSpace::ResolveFrame(GuestAddr addr, uint64_t* offset_in_page) const {
   auto it = page_table_.find(addr >> kPageShift);
   if (it == page_table_.end()) {

@@ -115,6 +115,11 @@ class AddressSpace {
   // All VMAs in address order.
   std::vector<Vma> Vmas() const;
 
+  // True when the page containing `addr` has a backing frame. Unlike ResolveFrame,
+  // this never materializes a lazy page — snapshot capture uses it to record lazy
+  // holes as holes instead of forcing the whole region resident.
+  bool PageMaterialized(GuestAddr addr) const;
+
   // Resolves an address to its backing frame; nullptr when unmapped. Used for futex
   // keys (shared frames give shared keys) and zero-copy page sharing.
   Page* ResolveFrame(GuestAddr addr, uint64_t* offset_in_page) const;

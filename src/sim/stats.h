@@ -7,8 +7,24 @@
 #define SRC_SIM_STATS_H_
 
 #include <cstdint>
+#include <vector>
 
 namespace remon {
+
+// Per-stream-epoch RB transport breakdown. The flat rb_* transport counters in
+// SimStats are cumulative across epoch bumps (a remote death must never erase the
+// pre-death history from a run report); these rows attribute the same traffic to
+// the epoch it happened in, so a report shows where a replica set lost and
+// re-seeded members.
+struct RbEpochStats {
+  uint32_t epoch = 0;
+  uint64_t frames_sent = 0;      // Data frames (entries + snapshot) enqueued.
+  uint64_t frames_acked = 0;     // Acks consumed by the leader.
+  uint64_t frames_applied = 0;   // Frames replayed into remote mirrors.
+  uint64_t snapshot_frames = 0;  // Re-seed checkpoint frames among frames_sent.
+  uint64_t deaths = 0;           // Remote links that died while this epoch was live.
+  uint64_t joins = 0;            // Replacement replicas re-seeded into this epoch.
+};
 
 struct SimStats {
   // System calls.
@@ -44,7 +60,8 @@ struct SimStats {
   uint64_t rb_batch_window_shrinks = 0;  // Adaptive window steps down (pressure).
   uint64_t rb_park_flushes = 0;  // Kernel park-hook safety-net flushes.
 
-  // RB network transport (cross-machine replica sets).
+  // RB network transport (cross-machine replica sets). Cumulative over the whole
+  // run — epoch bumps never reset them; rb_epochs below carries the breakdown.
   uint64_t rb_frames_sent = 0;        // Data frames enqueued toward remote agents.
   uint64_t rb_frame_bytes_sent = 0;   // Framed bytes (headers + entry images).
   uint64_t rb_frames_acked = 0;       // Acks consumed by the leader.
@@ -52,6 +69,31 @@ struct SimStats {
   uint64_t rb_entries_applied = 0;    // Entry images replayed into mirrors.
   uint64_t rb_transport_stalls = 0;   // Leader flush points parked on backpressure.
   uint64_t rb_remote_deaths = 0;      // Remote links torn down (epoch bumps).
+
+  // Replica re-seed (snapshot join after an epoch bump).
+  uint64_t rb_replica_respawns = 0;       // Replacement attempts launched.
+  uint64_t rb_replica_joins = 0;          // Snapshots applied: replica back in the set.
+  uint64_t rb_snapshot_frames_sent = 0;   // Begin/chunk/end frames enqueued.
+  uint64_t rb_snapshot_bytes_sent = 0;    // Framed snapshot bytes.
+  uint64_t rb_snapshot_chunks_applied = 0;
+  uint64_t rb_snapshot_rejects = 0;       // Joins refused (validation/CRC/protocol).
+  uint64_t rb_snapshot_entries_restored = 0;  // Entries re-published by restores.
+  uint64_t rb_snapshot_epoll_lag = 0;     // Leader shadow keys the joiner lacked.
+
+  // Per-epoch transport breakdown (see RbEpochStats).
+  std::vector<RbEpochStats> rb_epochs;
+
+  // Finds or appends the row for `epoch`. Epochs only grow, so the vector stays
+  // sorted and short (one row per remote death + 1).
+  RbEpochStats& EpochRow(uint32_t epoch) {
+    for (RbEpochStats& row : rb_epochs) {
+      if (row.epoch == epoch) {
+        return row;
+      }
+    }
+    rb_epochs.push_back(RbEpochStats{epoch, 0, 0, 0, 0, 0, 0});
+    return rb_epochs.back();
+  }
 
   // Synchronization replication (record/replay agent).
   uint64_t sync_ops_recorded = 0;

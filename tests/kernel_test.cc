@@ -69,7 +69,10 @@ TEST(KernelTest, StatAndAccess) {
     EXPECT_EQ(co_await g.Stat("/tmp/x.dat", st), 0);
     GuestStat s;
     g.Peek(st, &s, sizeof(s));
-    EXPECT_EQ(s.st_size, 5u);
+    // Copy out of the packed struct: EXPECT_EQ binds a reference, and a
+    // reference to a misaligned packed member is UB (UBSan flags it).
+    uint64_t st_size = s.st_size;
+    EXPECT_EQ(st_size, 5u);
     EXPECT_EQ(co_await g.Access("/tmp/x.dat", 0), 0);
     EXPECT_EQ(co_await g.Access("/tmp/missing", 0), -kENOENT);
   });
@@ -393,7 +396,9 @@ TEST(KernelTest, EpollDrivenEcho) {
     EXPECT_EQ(n, 1);
     GuestEpollEvent got;
     g.Peek(events, &got, sizeof(got));
-    EXPECT_EQ(got.data, 0x11u);
+    // Copy out of the packed member before EXPECT_EQ binds a reference to it.
+    uint64_t got_data = got.data;
+    EXPECT_EQ(got_data, 0x11u);
     int64_t cfd = co_await g.Accept(static_cast<int>(lfd), 0, 0);
     GuestEpollEvent e2{kPollIn, 0x22};
     g.Poke(ev, &e2, sizeof(e2));

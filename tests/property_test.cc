@@ -314,10 +314,15 @@ struct FuzzOutcome {
   std::string transcript;     // Concatenated per-rank transcript files.
   uint64_t rb_entries = 0;    // RB stream shape: entry count ...
   uint64_t rb_bytes = 0;      // ... and total bytes must not depend on batching.
+  uint64_t remote_deaths = 0;  // Links torn down (kill injection observed).
+  uint64_t rejoins = 0;        // Snapshot joins completed (re-seed observed).
+  uint64_t join_lockstep_cursor = 0;  // Checkpointed GHUMVEE cursor at last join.
+  uint64_t lockstep_rounds = 0;       // Monitored rounds over the whole run.
 };
 
 FuzzOutcome RunFuzz(uint64_t seed, FuzzShape shape, int replicas, int batch_max,
-                    RbBatchPolicy policy, bool remote_last_replica = false) {
+                    RbBatchPolicy policy, bool remote_last_replica = false,
+                    TimeNs kill_remote_at = 0) {
   SimWorld w(seed);
   RemonOptions opts;
   opts.mode = MveeMode::kRemon;
@@ -338,8 +343,22 @@ FuzzOutcome RunFuzz(uint64_t seed, FuzzShape shape, int replicas, int batch_max,
     opts.replica_machines.assign(static_cast<size_t>(replicas), w.server_machine);
     opts.replica_machines.back() = host;
   }
+  if (kill_remote_at > 0) {
+    // Kill-one-replica-mid-fuzz: the remote replica's link dies at the given
+    // virtual time and a replacement is checkpoint-seeded back into the set.
+    opts.respawn_dead_replicas = true;
+  }
   Remon mvee(&w.kernel, opts);
   mvee.Launch(FuzzWorkload(seed, shape), "fuzz");
+  if (kill_remote_at > 0) {
+    int idx = replicas - 1;
+    w.sim.queue().ScheduleAt(kill_remote_at, [&mvee, idx] {
+      RemoteSyncAgent* agent = mvee.remote_agent(idx);
+      if (agent != nullptr) {
+        agent->Shutdown();
+      }
+    });
+  }
   w.Run();
   FuzzOutcome out;
   out.ok = mvee.finished() && !mvee.divergence_detected();
@@ -350,6 +369,15 @@ FuzzOutcome RunFuzz(uint64_t seed, FuzzShape shape, int replicas, int batch_max,
   }
   out.rb_entries = w.sim.stats().rb_entries;
   out.rb_bytes = w.sim.stats().rb_bytes;
+  out.remote_deaths = w.sim.stats().rb_remote_deaths;
+  out.rejoins = w.sim.stats().rb_replica_joins;
+  if (remote_last_replica && mvee.remote_agent(replicas - 1) != nullptr) {
+    out.join_lockstep_cursor =
+        mvee.remote_agent(replicas - 1)->last_join_lockstep_cursor();
+  }
+  if (mvee.ghumvee() != nullptr) {
+    out.lockstep_rounds = mvee.ghumvee()->lockstep_rounds();
+  }
   return out;
 }
 
@@ -416,6 +444,62 @@ TEST(RandomizedLockstepTest, RemoteRankMatchesShmUnderFuzzedInterleavings) {
     ASSERT_TRUE(eager.ok) << "seed " << seed;
     ASSERT_EQ(shm.transcript, eager.transcript) << "seed " << seed;
     ASSERT_EQ(shm.rb_entries, eager.rb_entries) << "seed " << seed;
+  }
+}
+
+// Kill-one-replica-mid-fuzz re-seed: tearing the remote replica's link down
+// mid-run and checkpoint-seeding a replacement back into the set must yield a
+// transcript byte-identical to the uninterrupted run — the replica set survives
+// replica loss with no observable effect (acceptance bar for the recovery path).
+TEST(RandomizedLockstepTest, ReseedAfterMidRunReplicaDeathMatchesUninterrupted) {
+  int exercised = 0;
+  for (uint64_t seed : {5, 19, 33, 47, 88, 131, 212, 333, 421, 555, 777, 901}) {
+    FuzzShape shape = ShapeFor(seed);
+    shape.ops += 24;  // Long enough that the kill always lands mid-run.
+
+    FuzzOutcome uninterrupted = RunFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                        /*remote_last_replica=*/true);
+    ASSERT_TRUE(uninterrupted.ok) << "seed " << seed;
+    ASSERT_EQ(uninterrupted.transcript.find("<missing>"), std::string::npos)
+        << "seed " << seed;
+
+    FuzzOutcome reseeded = RunFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                   /*remote_last_replica=*/true,
+                                   /*kill_remote_at=*/Micros(120));
+    ASSERT_TRUE(reseeded.ok) << "seed " << seed;
+    ASSERT_EQ(uninterrupted.transcript, reseeded.transcript) << "seed " << seed;
+    ASSERT_EQ(uninterrupted.rb_entries, reseeded.rb_entries) << "seed " << seed;
+    ASSERT_EQ(uninterrupted.rb_bytes, reseeded.rb_bytes) << "seed " << seed;
+
+    if (reseeded.remote_deaths > 0) {
+      ++exercised;
+      ASSERT_GE(reseeded.rejoins, 1u) << "seed " << seed;
+      // The replacement resumed from a checkpointed lockstep cursor no later than
+      // the run's final monitored round.
+      EXPECT_LE(reseeded.join_lockstep_cursor, reseeded.lockstep_rounds)
+          << "seed " << seed;
+    }
+  }
+  // The kill must actually have landed mid-run for (at least) 10 of the 12 seeds —
+  // a kill after the workload finished would make this test vacuous.
+  EXPECT_GE(exercised, 10);
+}
+
+// The unbatched (eager per-entry frame) configuration must survive re-seed too:
+// the snapshot path may not depend on batching's flush points.
+TEST(RandomizedLockstepTest, ReseedWorksUnbatched) {
+  for (uint64_t seed : {7, 42, 1337}) {
+    FuzzShape shape = ShapeFor(seed);
+    shape.ops += 24;
+    FuzzOutcome base = RunFuzz(seed, shape, 3, 0, RbBatchPolicy::kFixed,
+                               /*remote_last_replica=*/true);
+    ASSERT_TRUE(base.ok) << "seed " << seed;
+    FuzzOutcome reseeded = RunFuzz(seed, shape, 3, 0, RbBatchPolicy::kFixed,
+                                   /*remote_last_replica=*/true,
+                                   /*kill_remote_at=*/Micros(120));
+    ASSERT_TRUE(reseeded.ok) << "seed " << seed;
+    ASSERT_EQ(base.transcript, reseeded.transcript) << "seed " << seed;
+    ASSERT_EQ(base.rb_entries, reseeded.rb_entries) << "seed " << seed;
   }
 }
 

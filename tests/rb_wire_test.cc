@@ -9,6 +9,7 @@
 
 #include "src/core/rb_wire.h"
 #include "src/core/replication_buffer.h"
+#include "src/core/snapshot.h"
 #include "src/sim/rng.h"
 
 namespace remon {
@@ -187,6 +188,140 @@ TEST(RbWireTest, OversizedPayloadRejectedBeforeBuffering) {
   RbWireFrame out;
   // Rejected from the header alone — no need to feed 16 MiB first.
   EXPECT_EQ(parser.Next(&out), RbFrameParser::Status::kCorrupt);
+}
+
+// --- Snapshot frames (replica re-seed) ---------------------------------------------
+
+TEST(RbWireTest, SnapshotFramesRoundTripWithOpaquePayload) {
+  Rng rng(21);
+  std::vector<uint8_t> payload(3000);
+  for (auto& b : payload) {
+    b = static_cast<uint8_t>(rng.NextBelow(256));
+  }
+  std::vector<uint8_t> stream;
+  uint64_t seq = 0;
+  for (RbFrameType type : {RbFrameType::kSnapshotBegin, RbFrameType::kSnapshotChunk,
+                           RbFrameType::kSnapshotEnd}) {
+    std::vector<uint8_t> frame =
+        RbWireCodec::EncodeSnapshotFrame(type, /*epoch=*/3, /*rank=*/2, ++seq, payload);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  RbFrameParser parser;
+  FeedFragmented(&parser, stream, &rng);
+  for (RbFrameType type : {RbFrameType::kSnapshotBegin, RbFrameType::kSnapshotChunk,
+                           RbFrameType::kSnapshotEnd}) {
+    RbWireFrame out;
+    ASSERT_EQ(parser.Next(&out), RbFrameParser::Status::kFrame);
+    EXPECT_EQ(out.type, type);
+    EXPECT_EQ(out.epoch, 3u);
+    EXPECT_EQ(out.rank, 2u);
+    EXPECT_TRUE(out.entries.empty());
+    EXPECT_EQ(out.payload, payload);
+  }
+  RbWireFrame out;
+  EXPECT_EQ(parser.Next(&out), RbFrameParser::Status::kNeedMore);
+}
+
+TEST(RbWireTest, CorruptSnapshotChunkByteFailsFrameCrc) {
+  std::vector<uint8_t> payload(512, 0x5a);
+  std::vector<uint8_t> frame = RbWireCodec::EncodeSnapshotFrame(
+      RbFrameType::kSnapshotChunk, 2, 1, 7, payload);
+  frame[kRbWireHeaderSize + 100] ^= 0x08;
+  RbFrameParser parser;
+  parser.Feed(frame.data(), frame.size());
+  RbWireFrame out;
+  EXPECT_EQ(parser.Next(&out), RbFrameParser::Status::kCorrupt);
+  EXPECT_TRUE(parser.corrupt());
+}
+
+TEST(RbWireTest, TruncatedSnapshotChunkIsNeedMoreUntilComplete) {
+  std::vector<uint8_t> payload(4096, 0x11);
+  std::vector<uint8_t> frame = RbWireCodec::EncodeSnapshotFrame(
+      RbFrameType::kSnapshotChunk, 2, 1, 9, payload);
+  for (size_t cut : {size_t{10}, kRbWireHeaderSize, frame.size() - 1}) {
+    RbFrameParser parser;
+    parser.Feed(frame.data(), cut);
+    RbWireFrame out;
+    EXPECT_EQ(parser.Next(&out), RbFrameParser::Status::kNeedMore) << cut;
+    EXPECT_FALSE(parser.corrupt());
+  }
+}
+
+TEST(RbWireTest, SnapshotFrameWithEntryCountRejected) {
+  // entry_count is meaningful only for kEntries; a snapshot frame claiming entries
+  // is structurally corrupt even with a valid CRC.
+  std::vector<uint8_t> payload(64, 0x22);
+  std::vector<uint8_t> frame = RbWireCodec::EncodeSnapshotFrame(
+      RbFrameType::kSnapshotEnd, 2, 0, 3, payload);
+  uint32_t one = 1;
+  std::memcpy(frame.data() + 16, &one, 4);  // entry_count field.
+  uint32_t zero = 0;
+  std::memcpy(frame.data() + 40, &zero, 4);
+  uint32_t crc = Crc32(frame.data(), frame.size());
+  std::memcpy(frame.data() + 40, &crc, 4);
+  RbFrameParser parser;
+  parser.Feed(frame.data(), frame.size());
+  RbWireFrame out;
+  EXPECT_EQ(parser.Next(&out), RbFrameParser::Status::kCorrupt);
+}
+
+// End-to-end: serialized snapshot payloads survive the wire framing + arbitrary
+// fragmentation and reassemble into the identical checkpoint image.
+TEST(RbWireTest, SnapshotPayloadsThroughWireFraming) {
+  Rng rng(31);
+  ReplicaSnapshot snap;
+  snap.rb_size = 96 * kPageSize;
+  snap.max_ranks = 4;
+  snap.rb_image.length = snap.rb_size;
+  PageRun run;
+  run.offset = 8 * kPageSize;
+  run.bytes.resize(70 * kPageSize);  // Spans multiple 64 KiB chunks.
+  for (auto& b : run.bytes) {
+    b = static_cast<uint8_t>(rng.NextBelow(256));
+  }
+  snap.rb_image.runs.push_back(std::move(run));
+  snap.cursors.assign(4, 128);
+  snap.seqs.assign(4, 0);
+  snap.file_map.assign(kPageSize, 0x33);
+
+  SnapshotPayloads payloads = SerializeSnapshot(snap);
+  std::vector<uint8_t> stream;
+  uint64_t seq = 0;
+  auto add = [&](RbFrameType type, const std::vector<uint8_t>& p) {
+    std::vector<uint8_t> frame = RbWireCodec::EncodeSnapshotFrame(type, 2, 1, ++seq, p);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  };
+  add(RbFrameType::kSnapshotBegin, payloads.begin);
+  for (const auto& c : payloads.chunks) {
+    add(RbFrameType::kSnapshotChunk, c);
+  }
+  add(RbFrameType::kSnapshotEnd, payloads.end);
+
+  RbFrameParser parser;
+  FeedFragmented(&parser, stream, &rng);
+  SnapshotAssembler assembler;
+  RbWireFrame out;
+  while (parser.Next(&out) == RbFrameParser::Status::kFrame) {
+    switch (out.type) {
+      case RbFrameType::kSnapshotBegin:
+        ASSERT_TRUE(assembler.Begin(out.payload)) << assembler.error();
+        break;
+      case RbFrameType::kSnapshotChunk:
+        ASSERT_TRUE(assembler.AddChunk(out.payload)) << assembler.error();
+        break;
+      case RbFrameType::kSnapshotEnd:
+        ASSERT_TRUE(assembler.End(out.payload)) << assembler.error();
+        break;
+      default:
+        FAIL() << "unexpected frame type";
+    }
+  }
+  ASSERT_EQ(assembler.state(), SnapshotAssembler::State::kComplete);
+  std::vector<uint8_t> flat(snap.rb_size, 0);
+  std::memcpy(flat.data() + 8 * kPageSize, snap.rb_image.runs[0].bytes.data(),
+              snap.rb_image.runs[0].bytes.size());
+  EXPECT_EQ(assembler.image(), flat);
+  EXPECT_EQ(assembler.snapshot().file_map, snap.file_map);
 }
 
 TEST(RbWireTest, EntryRecordOverrunningPayloadRejected) {

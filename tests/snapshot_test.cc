@@ -1,0 +1,255 @@
+// Tests for the replica re-seed snapshot subsystem (src/core/snapshot.{h,cc}):
+// sparse VMA image capture/restore (page-for-page equality including lazy holes),
+// serialization round trips through the Begin/Chunk/End payloads, and assembler
+// rejection of malformed checkpoints. The end-to-end kill/re-seed behavior is
+// covered by the fuzz in tests/property_test.cc and the server test in
+// tests/workloads_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/core/snapshot.h"
+#include "src/mem/address_space.h"
+#include "src/sim/rng.h"
+
+namespace remon {
+namespace {
+
+constexpr GuestAddr kBase = 0x100000;
+
+// Page-for-page comparison including materialization state: a hole (untouched
+// lazy page) must stay a hole, and every materialized page must be byte-equal.
+void ExpectPageForPageEqual(const AddressSpace& a, GuestAddr a_start,
+                            const AddressSpace& b, GuestAddr b_start, uint64_t length) {
+  uint8_t pa[kPageSize];
+  uint8_t pb[kPageSize];
+  for (uint64_t off = 0; off < length; off += kPageSize) {
+    bool ma = a.PageMaterialized(a_start + off);
+    bool mb = b.PageMaterialized(b_start + off);
+    ASSERT_TRUE(a.ReadUnchecked(a_start + off, pa, kPageSize).ok) << "off " << off;
+    ASSERT_TRUE(b.ReadUnchecked(b_start + off, pb, kPageSize).ok) << "off " << off;
+    EXPECT_EQ(0, std::memcmp(pa, pb, kPageSize)) << "page content at off " << off;
+    if (ma != mb) {
+      // Permitted only when the page reads as zero on both sides (an all-zero
+      // materialized page is captured as a hole by design).
+      uint8_t zero[kPageSize] = {};
+      EXPECT_EQ(0, std::memcmp(pa, zero, kPageSize)) << "off " << off;
+    }
+  }
+}
+
+TEST(VmaImageTest, RoundTripPreservesLazyHoles) {
+  constexpr uint64_t kLen = 64 * kPageSize;
+  AddressSpace src;
+  ASSERT_TRUE(src.MapFixedLazy(kBase, kLen, kProtRead | kProtWrite, "lazy"));
+
+  // Touch a scattered subset; everything else stays a lazy hole.
+  Rng rng(20260730);
+  std::vector<uint64_t> touched;
+  for (uint64_t p = 0; p < 60; p += 1 + rng.NextBelow(5)) {
+    touched.push_back(p);
+    std::vector<uint8_t> bytes(kPageSize);
+    for (auto& b : bytes) {
+      b = static_cast<uint8_t>(rng.NextBelow(256));
+    }
+    bytes[0] = static_cast<uint8_t>(1 + rng.NextBelow(255));  // Never a zero page.
+    ASSERT_TRUE(src.Write(kBase + p * kPageSize, bytes.data(), bytes.size()).ok);
+  }
+  // One touched-but-zero page: must be captured as a hole.
+  uint8_t zeros[kPageSize] = {};
+  ASSERT_TRUE(src.Write(kBase + 63 * kPageSize, zeros, kPageSize).ok);
+
+  VmaImage image = CaptureVmaImage(src, kBase, kLen);
+  EXPECT_EQ(image.length, kLen);
+  EXPECT_EQ(image.run_bytes(), touched.size() * kPageSize);
+
+  // Capture must not have materialized any hole (page 63 stays materialized in the
+  // source — it was written, just with zeros — but is captured as a hole).
+  for (uint64_t p = 0; p < 60; ++p) {
+    bool is_touched = false;
+    for (uint64_t t : touched) {
+      is_touched |= t == p;
+    }
+    EXPECT_EQ(src.PageMaterialized(kBase + p * kPageSize), is_touched) << p;
+  }
+
+  AddressSpace dst;
+  ASSERT_TRUE(dst.MapFixedLazy(kBase, kLen, kProtRead | kProtWrite, "lazy"));
+  ASSERT_TRUE(RestoreVmaImage(&dst, kBase, image));
+
+  ExpectPageForPageEqual(src, kBase, dst, kBase, kLen);
+  // Holes stayed lazy on the restored side too (the zero page at 63 included).
+  for (uint64_t p = 0; p < 64; ++p) {
+    bool is_touched = false;
+    for (uint64_t t : touched) {
+      is_touched |= t == p;
+    }
+    EXPECT_EQ(dst.PageMaterialized(kBase + p * kPageSize), is_touched) << p;
+  }
+}
+
+TEST(VmaImageTest, AdjacentPagesCoalesceIntoOneRun) {
+  AddressSpace src;
+  ASSERT_TRUE(src.MapFixedLazy(kBase, 16 * kPageSize, kProtRead | kProtWrite, "lazy"));
+  uint8_t fill[kPageSize];
+  std::memset(fill, 0xab, sizeof(fill));
+  for (uint64_t p = 2; p <= 5; ++p) {
+    ASSERT_TRUE(src.Write(kBase + p * kPageSize, fill, kPageSize).ok);
+  }
+  VmaImage image = CaptureVmaImage(src, kBase, 16 * kPageSize);
+  ASSERT_EQ(image.runs.size(), 1u);
+  EXPECT_EQ(image.runs[0].offset, 2 * kPageSize);
+  EXPECT_EQ(image.runs[0].bytes.size(), 4 * kPageSize);
+}
+
+// A synthetic checkpoint with a sparse multi-run image, exercised through the
+// exact payloads the wire carries.
+ReplicaSnapshot MakeSnapshot(Rng* rng, uint64_t rb_size, int max_ranks) {
+  ReplicaSnapshot snap;
+  snap.rb_size = rb_size;
+  snap.max_ranks = max_ranks;
+  snap.rb_image.length = rb_size;
+  uint64_t off = 0;
+  while (off < rb_size) {
+    uint64_t pages = 1 + rng->NextBelow(40);
+    uint64_t len = std::min(pages * kPageSize, rb_size - off);
+    if (rng->NextBelow(2) == 0) {
+      PageRun run;
+      run.offset = off;
+      run.bytes.resize(len);
+      for (auto& b : run.bytes) {
+        b = static_cast<uint8_t>(rng->NextBelow(256));
+      }
+      snap.rb_image.runs.push_back(std::move(run));
+    }
+    off += len;
+  }
+  for (int r = 0; r < max_ranks; ++r) {
+    snap.cursors.push_back(128 + static_cast<uint64_t>(r) * 64);
+    snap.seqs.push_back(rng->NextBelow(1000));
+  }
+  snap.lockstep_cursor = rng->NextBelow(100000);
+  snap.file_map.assign(kPageSize, 0);
+  for (auto& b : snap.file_map) {
+    b = static_cast<uint8_t>(rng->NextBelow(256));
+  }
+  for (int i = 0; i < 5; ++i) {
+    snap.epoll.push_back(EpollShadowTriple{i, 10 + i, rng->NextBelow(1u << 30)});
+  }
+  if (snap.rb_image.runs.empty()) {
+    // Every test needs at least one chunk on the wire.
+    PageRun run;
+    run.offset = 0;
+    run.bytes.assign(kPageSize, 0x77);
+    snap.rb_image.runs.push_back(std::move(run));
+  }
+  return snap;
+}
+
+std::vector<uint8_t> FlattenImage(const ReplicaSnapshot& snap) {
+  std::vector<uint8_t> flat(snap.rb_size, 0);
+  for (const PageRun& run : snap.rb_image.runs) {
+    std::memcpy(flat.data() + run.offset, run.bytes.data(), run.bytes.size());
+  }
+  return flat;
+}
+
+TEST(SnapshotCodecTest, SerializeAssembleRoundTrip) {
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    uint64_t rb_size = (64 + rng.NextBelow(128)) * kPageSize;
+    int ranks = 1 + static_cast<int>(rng.NextBelow(8));
+    ReplicaSnapshot snap = MakeSnapshot(&rng, rb_size, ranks);
+    SnapshotPayloads payloads = SerializeSnapshot(snap);
+
+    SnapshotAssembler asm_;
+    ASSERT_TRUE(asm_.Begin(payloads.begin)) << asm_.error();
+    for (const auto& chunk : payloads.chunks) {
+      ASSERT_TRUE(asm_.AddChunk(chunk)) << asm_.error();
+    }
+    ASSERT_TRUE(asm_.End(payloads.end)) << asm_.error();
+    ASSERT_EQ(asm_.state(), SnapshotAssembler::State::kComplete);
+
+    const ReplicaSnapshot& out = asm_.snapshot();
+    EXPECT_EQ(out.rb_size, snap.rb_size);
+    EXPECT_EQ(out.max_ranks, snap.max_ranks);
+    EXPECT_EQ(out.cursors, snap.cursors);
+    EXPECT_EQ(out.seqs, snap.seqs);
+    EXPECT_EQ(out.lockstep_cursor, snap.lockstep_cursor);
+    EXPECT_EQ(out.file_map, snap.file_map);
+    ASSERT_EQ(out.epoll.size(), snap.epoll.size());
+    for (size_t i = 0; i < out.epoll.size(); ++i) {
+      EXPECT_EQ(out.epoll[i].epfd, snap.epoll[i].epfd);
+      EXPECT_EQ(out.epoll[i].fd, snap.epoll[i].fd);
+      EXPECT_EQ(out.epoll[i].data, snap.epoll[i].data);
+    }
+    EXPECT_EQ(asm_.image(), FlattenImage(snap)) << "iter " << iter;
+  }
+}
+
+TEST(SnapshotCodecTest, TruncatedChunkStreamRejectedAtEnd) {
+  Rng rng(7);
+  ReplicaSnapshot snap = MakeSnapshot(&rng, 128 * kPageSize, 4);
+  SnapshotPayloads payloads = SerializeSnapshot(snap);
+  ASSERT_GT(payloads.chunks.size(), 1u);
+
+  SnapshotAssembler asm_;
+  ASSERT_TRUE(asm_.Begin(payloads.begin));
+  // Drop the last chunk: the commit record must refuse the short image.
+  for (size_t i = 0; i + 1 < payloads.chunks.size(); ++i) {
+    ASSERT_TRUE(asm_.AddChunk(payloads.chunks[i]));
+  }
+  EXPECT_FALSE(asm_.End(payloads.end));
+  EXPECT_EQ(asm_.state(), SnapshotAssembler::State::kFailed);
+}
+
+TEST(SnapshotCodecTest, CorruptChunkByteFailsImageCrc) {
+  Rng rng(11);
+  ReplicaSnapshot snap = MakeSnapshot(&rng, 128 * kPageSize, 2);
+  SnapshotPayloads payloads = SerializeSnapshot(snap);
+  ASSERT_FALSE(payloads.chunks.empty());
+
+  SnapshotAssembler asm_;
+  ASSERT_TRUE(asm_.Begin(payloads.begin));
+  for (size_t i = 0; i < payloads.chunks.size(); ++i) {
+    std::vector<uint8_t> chunk = payloads.chunks[i];
+    if (i == payloads.chunks.size() / 2) {
+      chunk[chunk.size() - 1] ^= 0x01;  // One flipped image bit.
+    }
+    ASSERT_TRUE(asm_.AddChunk(chunk));  // Per-chunk structure is still valid...
+  }
+  EXPECT_FALSE(asm_.End(payloads.end));  // ...but the end-to-end CRC is not.
+  EXPECT_EQ(asm_.state(), SnapshotAssembler::State::kFailed);
+}
+
+TEST(SnapshotCodecTest, OutOfBoundsChunkRejectedImmediately) {
+  Rng rng(13);
+  ReplicaSnapshot snap = MakeSnapshot(&rng, 64 * kPageSize, 2);
+  SnapshotPayloads payloads = SerializeSnapshot(snap);
+  SnapshotAssembler asm_;
+  ASSERT_TRUE(asm_.Begin(payloads.begin));
+  ASSERT_FALSE(payloads.chunks.empty());
+  std::vector<uint8_t> chunk = payloads.chunks[0];
+  uint64_t bad_off = snap.rb_size - 16;  // Data would run past the image end.
+  std::memcpy(chunk.data(), &bad_off, 8);
+  EXPECT_FALSE(asm_.AddChunk(chunk));
+  EXPECT_EQ(asm_.state(), SnapshotAssembler::State::kFailed);
+}
+
+TEST(SnapshotCodecTest, ChunkBeforeBeginIsProtocolViolation) {
+  Rng rng(17);
+  ReplicaSnapshot snap = MakeSnapshot(&rng, 64 * kPageSize, 2);
+  SnapshotPayloads payloads = SerializeSnapshot(snap);
+  ASSERT_FALSE(payloads.chunks.empty());
+  SnapshotAssembler asm_;
+  EXPECT_FALSE(asm_.AddChunk(payloads.chunks[0]));
+  EXPECT_EQ(asm_.state(), SnapshotAssembler::State::kFailed);
+  // A failed assembler refuses everything until Reset.
+  EXPECT_FALSE(asm_.Begin(payloads.begin));
+  asm_.Reset();
+  EXPECT_TRUE(asm_.Begin(payloads.begin));
+}
+
+}  // namespace
+}  // namespace remon

@@ -254,6 +254,54 @@ TEST(RemotePlacementTest, TwoRemoteRanksOnDistinctHosts) {
   EXPECT_EQ(r.stats.rb_frames_applied, r.stats.rb_frames_sent);
 }
 
+TEST(RemotePlacementTest, KilledReplicaReseedsAndServesIdenticalTranscript) {
+  // The recovery story end to end at the server level: a remote replica's link is
+  // torn down mid-benchmark, a replacement is checkpoint-seeded back in, and the
+  // client-observed transcript matches the uninterrupted run — no divergence, no
+  // lost or duplicated requests.
+  ServerSpec server = ServerByName("nginx");
+  server.log_writes = 4;
+  ClientSpec client;
+  client.connections = 8;
+  client.total_requests = 80;
+  client.request_bytes = 1024;
+  LinkParams link{60 * kMicrosecond, 0.125};
+
+  RunConfig config;
+  config.mode = MveeMode::kRemon;
+  config.replicas = 3;
+  config.level = PolicyLevel::kSocketRw;
+  config.rb_batch_max = 16;
+  config.rb_batch_policy = RbBatchPolicy::kAdaptive;
+  config.placement = {1};
+  ServerResult uninterrupted = RunServerBench(server, client, config, link);
+  ASSERT_FALSE(uninterrupted.diverged);
+  ASSERT_EQ(uninterrupted.requests, 80);
+
+  RunConfig faulted = config;
+  faulted.respawn_dead_replicas = true;
+  faulted.kill_remote_replica_at = Millis(2);
+  ServerResult reseeded = RunServerBench(server, client, faulted, link);
+
+  EXPECT_FALSE(reseeded.diverged);
+  EXPECT_EQ(reseeded.requests, uninterrupted.requests);
+  EXPECT_EQ(reseeded.bytes_received, uninterrupted.bytes_received);
+  // The death and the re-seed actually happened.
+  EXPECT_GE(reseeded.stats.rb_remote_deaths, 1u);
+  EXPECT_GE(reseeded.stats.rb_replica_respawns, 1u);
+  EXPECT_EQ(reseeded.stats.rb_replica_joins, reseeded.stats.rb_replica_respawns);
+  EXPECT_GT(reseeded.stats.rb_snapshot_frames_sent, 0u);
+  EXPECT_EQ(reseeded.stats.rb_snapshot_rejects, 0u);
+  // Epoch breakdown: traffic is attributed across (at least) two epochs and the
+  // cumulative counters kept the pre-death history.
+  EXPECT_GE(reseeded.stats.rb_epochs.size(), 2u);
+  uint64_t per_epoch_sent = 0;
+  for (const RbEpochStats& row : reseeded.stats.rb_epochs) {
+    per_epoch_sent += row.frames_sent;
+  }
+  EXPECT_EQ(per_epoch_sent, reseeded.stats.rb_frames_sent);
+}
+
 TEST(RemotePlacementTest, RemoteLinkDownReportsDivergenceNotHang) {
   // Tearing the remote agent's link mid-run must end the run with a divergence
   // report (epoch bump included), never a hang on unacked frames or RB waits.

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Gate on benchmark regressions against a checked-in baseline.
+
+Usage: check_bench_regression.py CURRENT.json BASELINE.json [--threshold 0.15]
+
+Both files follow the remon-bench-v1 schema (docs/BENCH_SCHEMA.md): a flat list
+of named metrics, each marked higher_is_better or not. The gate fails (exit 1)
+when any metric present in both files moved more than the threshold in its bad
+direction. Metrics only present on one side are reported but never fail the
+gate: adding a sweep point must not require touching the baseline in the same
+commit, and a removed sweep point must not wedge CI.
+
+The simulation is deterministic (pinned seeds, virtual time), so identical code
+produces identical numbers — the threshold only absorbs intended perf-relevant
+changes, not machine noise. A legitimate change that moves a metric is recorded
+by regenerating the committed BENCH_*.json baselines in the same PR.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "remon-bench-v1":
+        sys.exit(f"{path}: unknown schema {doc.get('schema')!r}")
+    out = {}
+    for m in doc.get("metrics", []):
+        out[m["name"]] = (float(m["value"]), bool(m.get("higher_is_better", False)))
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional move in the bad direction (default 0.15)")
+    args = ap.parse_args()
+
+    current = load_metrics(args.current)
+    baseline = load_metrics(args.baseline)
+
+    regressions = []
+    improvements = []
+    for name, (cur, higher_better) in sorted(current.items()):
+        if name not in baseline:
+            print(f"  [new]      {name} = {cur:.4f} (no baseline)")
+            continue
+        base, _ = baseline[name]
+        if base <= 0:
+            continue
+        ratio = cur / base
+        moved_worse = ratio > 1 + args.threshold if not higher_better \
+            else ratio < 1 - args.threshold
+        moved_better = ratio < 1 - args.threshold if not higher_better \
+            else ratio > 1 + args.threshold
+        if moved_worse:
+            regressions.append((name, base, cur, ratio))
+        elif moved_better:
+            improvements.append((name, base, cur, ratio))
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  [removed]  {name} (was {baseline[name][0]:.4f})")
+
+    for name, base, cur, ratio in improvements:
+        print(f"  [better]   {name}: {base:.4f} -> {cur:.4f} ({ratio:.2%} of baseline)")
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} metric(s) regressed more than "
+              f"{args.threshold:.0%} vs {args.baseline}:")
+        for name, base, cur, ratio in regressions:
+            print(f"  [REGRESSED] {name}: {base:.4f} -> {cur:.4f} "
+                  f"({ratio:.2%} of baseline)")
+        print("\nIf this movement is intended, regenerate the committed baseline "
+              "in this PR:\n  ./build/bench_abl_rb --json=BENCH_abl_rb.json\n"
+              "  ./build/bench_fig5_servers --json=BENCH_fig5.json")
+        return 1
+    print(f"\nOK: {len(current)} metrics within {args.threshold:.0%} of baseline "
+          f"({len(improvements)} improved)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

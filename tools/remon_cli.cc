@@ -6,7 +6,8 @@
 //             [--connections=N] [--requests=N] [--temporal-p=F] [--rb-mb=N]
 //             [--rb-batch=N|adaptive|adaptive:MAX] [--rb-migration]
 //             [--placement=local|machine:N,...] [--rb-link-latency-us=N]
-//             [--rb-link-gbps=F] [--list]
+//             [--rb-link-gbps=F] [--respawn-on-death] [--kill-replica-at-ms=N]
+//             [--list]
 //
 // Runs one workload (a suite benchmark by name, or a server benchmark driven by a
 // closed-loop client) under the chosen MVEE configuration and prints a run report.
@@ -42,6 +43,8 @@ struct CliArgs {
   std::vector<int> placement;
   int rb_link_latency_us = 60;
   double rb_link_gbps = 1.0;
+  bool respawn_on_death = false;
+  int kill_replica_at_ms = 0;
   bool list = false;
   bool ok = true;
 };
@@ -158,6 +161,17 @@ CliArgs Parse(int argc, char** argv) {
       if (args.rb_link_gbps <= 0) {
         args.ok = false;
       }
+    } else if (std::strcmp(argv[i], "--respawn-on-death") == 0) {
+      // Replica re-seed: a dead remote replica is replaced via a leader checkpoint
+      // over the RB transport instead of ending the run with a divergence report.
+      args.respawn_on_death = true;
+    } else if (StartsWith(argv[i], "--kill-replica-at-ms=", &v)) {
+      // Fault injection: tear the highest-index remote replica's link down at this
+      // virtual time (pair with --respawn-on-death to watch the recovery).
+      args.kill_replica_at_ms = std::atoi(v);
+      if (args.kill_replica_at_ms <= 0) {
+        args.ok = false;
+      }
     } else if (std::strcmp(argv[i], "--rb-migration") == 0) {
       args.rb_migration = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -206,6 +220,8 @@ void PrintStats(const SimStats& stats) {
                 static_cast<unsigned long long>(stats.rb_park_flushes));
   }
   if (stats.rb_frames_sent > 0) {
+    // Cumulative over the whole run: epoch bumps (remote deaths) never reset the
+    // transport counters — the per-epoch breakdown below attributes them.
     std::printf("  rb transport: frames=%llu bytes=%llu acked=%llu applied=%llu "
                 "stalls=%llu deaths=%llu\n",
                 static_cast<unsigned long long>(stats.rb_frames_sent),
@@ -214,6 +230,30 @@ void PrintStats(const SimStats& stats) {
                 static_cast<unsigned long long>(stats.rb_frames_applied),
                 static_cast<unsigned long long>(stats.rb_transport_stalls),
                 static_cast<unsigned long long>(stats.rb_remote_deaths));
+    if (stats.rb_epochs.size() > 1 || stats.rb_remote_deaths > 0) {
+      std::printf("  rb epochs:");
+      for (const RbEpochStats& row : stats.rb_epochs) {
+        std::printf(" [e%u sent=%llu acked=%llu applied=%llu snap=%llu deaths=%llu "
+                    "joins=%llu]",
+                    row.epoch, static_cast<unsigned long long>(row.frames_sent),
+                    static_cast<unsigned long long>(row.frames_acked),
+                    static_cast<unsigned long long>(row.frames_applied),
+                    static_cast<unsigned long long>(row.snapshot_frames),
+                    static_cast<unsigned long long>(row.deaths),
+                    static_cast<unsigned long long>(row.joins));
+      }
+      std::printf("\n");
+    }
+  }
+  if (stats.rb_replica_respawns > 0) {
+    std::printf("  rb re-seed: respawns=%llu joins=%llu snapshot-frames=%llu "
+                "snapshot-KiB=%llu entries-restored=%llu rejects=%llu\n",
+                static_cast<unsigned long long>(stats.rb_replica_respawns),
+                static_cast<unsigned long long>(stats.rb_replica_joins),
+                static_cast<unsigned long long>(stats.rb_snapshot_frames_sent),
+                static_cast<unsigned long long>(stats.rb_snapshot_bytes_sent / 1024),
+                static_cast<unsigned long long>(stats.rb_snapshot_entries_restored),
+                static_cast<unsigned long long>(stats.rb_snapshot_rejects));
   }
 }
 
@@ -229,6 +269,8 @@ int Run(const CliArgs& args) {
   config.placement = args.placement;
   config.rb_link_latency = static_cast<DurationNs>(args.rb_link_latency_us) * kMicrosecond;
   config.rb_link_bytes_per_ns = args.rb_link_gbps * 0.125;
+  config.respawn_dead_replicas = args.respawn_on_death;
+  config.kill_remote_replica_at = Millis(args.kill_replica_at_ms);
   if (args.temporal_p > 0) {
     config.temporal.enabled = true;
     config.temporal.exempt_probability = args.temporal_p;
@@ -293,7 +335,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: remon_cli [--mode=..] [--replicas=N] [--level=..] "
                          "[--workload=NAME|--server=NAME] [--rb-batch=N|adaptive] "
                          "[--placement=local|machine:N,...] [--rb-link-latency-us=N] "
-                         "[--rb-link-gbps=F] [--list]  (full reference: docs/CLI.md)\n");
+                         "[--rb-link-gbps=F] [--respawn-on-death] "
+                         "[--kill-replica-at-ms=N] [--list]  "
+                         "(full reference: docs/CLI.md)\n");
     return 1;
   }
   if (args.list) {

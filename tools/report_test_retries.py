@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Surface which ctest cases needed a retry under --repeat until-pass.
+
+Usage: report_test_retries.py CTEST_LOG [CTEST_LOG...]
+
+Scans saved ctest stdout for tests that failed at least once and ultimately
+passed (the flake signature under `--repeat until-pass:N`). Prints a summary so
+retried flakes stay visible in the CI log instead of silently absorbed; exits 0
+always — visibility, not a gate. Tests that never passed are the job's own
+failure and are reported by ctest itself.
+"""
+
+import re
+import sys
+
+# ctest per-attempt result lines look like:
+#   12/17 Test #14: property_test ....................***Failed    1.23 sec
+#         Test #14: property_test ....................   Passed    1.20 sec
+RESULT_RE = re.compile(
+    r"Test\s+#\d+:\s+(?P<name>\S+)\s+\.*\s*(?:\*+)?(?P<status>Passed|Failed|Timeout|"
+    r"Exception|Not Run|Subprocess aborted)")
+
+
+def main(paths):
+    attempts = {}
+    for path in paths:
+        try:
+            with open(path, errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"report_test_retries: cannot read {path}: {e}", file=sys.stderr)
+            continue
+        for m in RESULT_RE.finditer(text):
+            attempts.setdefault(m.group("name"), []).append(m.group("status"))
+
+    retried = {name: results for name, results in attempts.items()
+               if len(results) > 1 and "Passed" in results and
+               any(r != "Passed" for r in results)}
+    if not retried:
+        print(f"No test retries: {len(attempts)} test(s) passed first try.")
+        return 0
+    print(f"FLAKY: {len(retried)} test(s) needed a retry to pass "
+          f"(visible, not hidden — investigate before they harden):")
+    for name, results in sorted(retried.items()):
+        print(f"  {name}: {' -> '.join(results)}")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1:]))
