@@ -88,6 +88,70 @@ void RunScenario(const char* title, const char* scenario_key, LinkParams link,
   std::printf("\n");
 }
 
+// Beyond the paper: multi-threaded servers with the record/replay agent under
+// remote replica placement — the sync-agent log streams as kSyncLog frames over
+// the RB transport, so the columns measure what the log transport adds on top of
+// the entry stream (and what a mid-run kill + checkpoint re-seed costs).
+void RunMtRemoteScenario(LinkParams link, BenchJson* json) {
+  std::printf("== Multi-threaded remote placement (sync-agent log over RB transport) ==\n");
+  Table table({"benchmark", "3 local", "3 remote", "3 remote+reseed"});
+  constexpr struct {
+    const char* server;
+    int connections;
+    int requests;
+    uint64_t request_bytes;
+  } kMtRows[] = {
+      {"memcached", 32, 500, 512},
+      {"apache", 16, 300, 4096},
+  };
+  for (const auto& row : kMtRows) {
+    ServerSpec server = ServerByName(row.server);
+    ClientSpec client;
+    client.connections = row.connections;
+    client.total_requests = row.requests;
+    client.request_bytes = row.request_bytes;
+
+    RunConfig native;
+    native.mode = MveeMode::kNative;
+    ServerResult base = RunServerBench(server, client, native, link);
+
+    auto norm = [&](const RunConfig& config, const char* config_key) {
+      ServerResult r = RunServerBench(server, client, config, link);
+      if (base.seconds <= 0 || r.seconds <= 0 || r.diverged) {
+        return -1.0;
+      }
+      double v = r.seconds / base.seconds;
+      json->Add(std::string("mtremote/") + row.server + "/" + config_key +
+                    "/normalized_time",
+                v, "x");
+      return v;
+    };
+
+    RunConfig local;
+    local.mode = MveeMode::kRemon;
+    local.replicas = 3;
+    local.level = PolicyLevel::kSocketRw;
+    local.rb_batch_max = 16;
+    local.rb_batch_policy = RbBatchPolicy::kAdaptive;
+    local.use_sync_agent = true;
+
+    RunConfig remote = local;
+    remote.placement = {0, 1};  // The last replica on its own machine.
+
+    RunConfig reseed = remote;
+    reseed.respawn_dead_replicas = true;
+    reseed.kill_remote_replica_at = Millis(4);
+
+    std::vector<std::string> cells{row.server};
+    cells.push_back(Table::Num(norm(local, "sync_local3")));
+    cells.push_back(Table::Num(norm(remote, "sync_remote3")));
+    cells.push_back(Table::Num(norm(reseed, "sync_remote3_reseed")));
+    table.AddRow(std::move(cells));
+  }
+  table.Print();
+  std::printf("\n");
+}
+
 }  // namespace
 }  // namespace remon
 
@@ -100,6 +164,8 @@ int main(int argc, char** argv) {
   // Scenario 2: the "realistic" low-latency network (2 ms RTT via netem).
   remon::RunScenario("realistic, low-latency network (2 ms latency)", "lowlat",
                      remon::LinkParams{remon::Millis(1), 0.125}, &json);
+  // Scenario 3 (beyond the paper): multi-threaded servers on remote placements.
+  remon::RunMtRemoteScenario(remon::LinkParams{60 * remon::kMicrosecond, 0.125}, &json);
   std::printf(
       "paper (fig. 5): with IP-MON the overhead stays near-native (<= a few %%) on the\n"
       "realistic link and grows modestly with the replica count; without IP-MON the\n"

@@ -92,7 +92,8 @@ GuestTask<void> IpMon::Initialize(Guest& g) {
   // its rank's deferred commits publish first, so no slave can wait forever on an
   // entry whose publisher is asleep. The predictive flush points make this a rare
   // no-op; the hook makes it a guarantee.
-  if (is_master() && config_.mode == IpmonMode::kRemon && config_.rb_batch_max > 0) {
+  if (is_master() && config_.mode == IpmonMode::kRemon &&
+      (config_.rb_batch_max > 0 || sync_log_flush_)) {
     // The hook lives in the kernel-owned Process, which neither owns nor is owned
     // by this IpMon — either can be destroyed first. The weak sentinel turns the
     // hook into a no-op once the IpMon is gone instead of a dangling call.
@@ -111,6 +112,11 @@ GuestTask<void> IpMon::Initialize(Guest& g) {
           // the ablation columns stay comparable across flush sites.
           kernel_->RunOnThreadCore(t, kernel_->sim()->costs().futex_wake_ns, [] {});
         }
+      }
+      if (sync_log_flush_) {
+        // Same liveness contract for the sync-log stream: whatever parked this
+        // thread, its coalesced sync records publish before it sleeps.
+        sync_log_flush_();
       }
     };
   }
@@ -426,6 +432,12 @@ uint32_t IpMon::FlushRbBatches() {
   uint32_t waiters = 0;
   for (size_t r = 0; r < batch_.size(); ++r) {
     waiters += FlushRbBatch(static_cast<int>(r));
+  }
+  if (sync_log_flush_) {
+    // Leaving the fast path quiesces the sync-log stream too (monitored-call
+    // entry, RB migration, checkpoint capture): remote slaves never wait on a
+    // sync op coalesced behind a master that went off to lockstep.
+    sync_log_flush_();
   }
   return waiters;
 }

@@ -98,6 +98,21 @@ class IpMon {
   // agent drains frames that raced ahead of the replica's prologue).
   void set_on_initialized(std::function<void()> cb) { on_initialized_ = std::move(cb); }
 
+  // Master of a cross-machine multi-threaded set: publishes the sync agent's
+  // pending log-stream records (SyncAgent::FlushLogStream). Invoked at the same
+  // liveness points that publish deferred RB batches — FlushRbBatches and the
+  // kernel park hook — so a parked or dying master thread can never strand a
+  // remote slave on an unstreamed sync op. Wire before Initialize runs.
+  void set_sync_log_flush(std::function<void()> cb) { sync_log_flush_ = std::move(cb); }
+
+  // Coalescing window the sync-log stream borrows from this monitor's batching
+  // config: the rank's adaptive/fixed batch window, floored at 1 (batching
+  // disabled streams every append eagerly).
+  int SyncCoalesceWindow(int rank) const {
+    int w = config_.rb_batch_max > 0 ? BatchWindow(rank) : 1;
+    return w > 1 ? w : 1;
+  }
+
   // Guest-side initialization prologue: creates/attaches the RB segment (System V
   // IPC, arbitrated by GHUMVEE), maps the file map read-only, and registers with the
   // kernel via the dedicated system call (paper §3.5).
@@ -233,6 +248,7 @@ class IpMon {
   RbTransport* transport_ = nullptr;  // Master of a cross-machine set; not owned.
   bool rb_private_mirror_ = false;    // Remote slave: RB is a machine-local mirror.
   std::function<void()> on_initialized_;
+  std::function<void()> sync_log_flush_;  // See set_sync_log_flush.
 
   // Per-rank cursors/sequence numbers: this replica's private positions ("each
   // replica thread only reads and writes its own RB position", §3.2). The master's

@@ -6,6 +6,7 @@
 
 #include "src/core/ipmon.h"
 #include "src/core/snapshot.h"
+#include "src/core/sync_agent.h"
 #include "src/kernel/kernel.h"
 #include "src/sim/check.h"
 
@@ -139,6 +140,32 @@ void RbTransport::SendEntries(int rank, const std::vector<RbWireEntry>& entries)
         epoch_, static_cast<uint32_t>(rank), seq,
         static_cast<uint32_t>(entries.size()), payload);
     ++stats.rb_frames_sent;
+    stats.rb_frame_bytes_sent += frame.size();
+    ++stats.EpochRow(epoch_).frames_sent;
+    r->sendq.push_back(std::move(frame));
+    Pump(*r);
+  }
+}
+
+void RbTransport::SendSyncLog(uint64_t start_index,
+                              const std::vector<RbSyncLogRecord>& records) {
+  if (records.empty() || live_remotes() == 0) {
+    return;
+  }
+  SimStats& stats = kernel_->stats();
+  stats.sync_log_records_streamed += records.size();
+  // Broadcast: the record payload is serialized once; only the per-connection
+  // header (frame_seq) and CRC differ per remote.
+  std::vector<uint8_t> payload = RbWireCodec::EncodeSyncLogPayload(start_index, records);
+  for (auto& r : remotes_) {
+    if (r->dead) {
+      continue;
+    }
+    uint64_t seq = ++r->frames_sent;
+    std::vector<uint8_t> frame = RbWireCodec::SyncLogFrameFromPayload(
+        epoch_, seq, static_cast<uint32_t>(records.size()), payload);
+    ++stats.rb_frames_sent;
+    ++stats.sync_log_frames_sent;
     stats.rb_frame_bytes_sent += frame.size();
     ++stats.EpochRow(epoch_).frames_sent;
     r->sendq.push_back(std::move(frame));
@@ -310,28 +337,48 @@ void RemoteSyncAgent::DrainConn() {
     if (st != RbFrameParser::Status::kFrame) {
       return;
     }
-    if (IsSnapshotFrameType(frame.type)) {
-      HandleSnapshotFrame(frame);
-      if (shutdown_) {
-        return;  // A refused join tore the link down; drop the rest of the stream.
-      }
-      continue;
-    }
-    if (frame.type != RbFrameType::kEntries) {
-      continue;
-    }
-    if (frame.epoch < join_epoch_) {
-      // Stale traffic from before the epoch this agent was seeded at can never be
-      // applied over the checkpoint (docs/RB_WIRE_FORMAT.md, "Join handshake").
-      ++frames_rejected_;
-      continue;
-    }
-    if (mon_->rb().valid()) {
-      ApplyFrame(frame);
-    } else {
-      pending_.push_back(std::move(frame));
+    HandleFrame(std::move(frame));
+    if (shutdown_) {
+      return;  // A refused join or diverged frame tore the link down mid-drain.
     }
   }
+}
+
+void RemoteSyncAgent::HandleFrame(RbWireFrame frame) {
+  if (IsSnapshotFrameType(frame.type)) {
+    HandleSnapshotFrame(frame);
+    return;
+  }
+  if (frame.type != RbFrameType::kEntries && frame.type != RbFrameType::kSyncLog) {
+    return;
+  }
+  if (frame.epoch < join_epoch_) {
+    // Stale data traffic — entry and sync-log frames alike — from before the
+    // epoch this agent was seeded at can never be applied over the checkpoint
+    // (docs/RB_WIRE_FORMAT.md, "Join handshake").
+    ++frames_rejected_;
+    return;
+  }
+  if (ReadyFor(frame)) {
+    ApplyFrame(frame);
+  } else {
+    pending_.push_back(std::move(frame));
+  }
+}
+
+bool RemoteSyncAgent::InjectFrameForTest(RbWireFrame frame) {
+  uint64_t before = frames_applied_;
+  HandleFrame(std::move(frame));
+  return frames_applied_ > before;
+}
+
+bool RemoteSyncAgent::ReadyFor(const RbWireFrame& frame) const {
+  if (frame.type == RbFrameType::kSyncLog) {
+    // No agent at all is a configuration divergence, not a not-ready state: apply
+    // immediately so the reject tears the link down instead of pending forever.
+    return sync_agent_ == nullptr || sync_agent_->log_valid();
+  }
+  return mon_->rb().valid();
 }
 
 void RemoteSyncAgent::HandleSnapshotFrame(const RbWireFrame& frame) {
@@ -355,8 +402,8 @@ void RemoteSyncAgent::HandleSnapshotFrame(const RbWireFrame& frame) {
       ok = assembler_.End(frame.payload);
       why = assembler_.error();
       if (ok) {
-        SnapshotApplyResult res =
-            ApplySnapshotToMirror(kernel_, mon_, assembler_.snapshot(), assembler_.image());
+        SnapshotApplyResult res = ApplySnapshotToMirror(
+            kernel_, mon_, sync_agent_, assembler_.snapshot(), assembler_.image());
         ok = res.ok;
         why = res.error;
         if (ok) {
@@ -394,24 +441,47 @@ void RemoteSyncAgent::OnReplicaRbReady() {
   std::vector<RbWireFrame> pending = std::move(pending_);
   pending_.clear();
   for (const RbWireFrame& f : pending) {
+    if (shutdown_) {
+      return;  // A diverged frame tore the link down; drop the rest.
+    }
     ApplyFrame(f);
   }
 }
 
 void RemoteSyncAgent::ApplyFrame(const RbWireFrame& frame) {
   bool ok = true;
-  for (const RbWireEntry& e : frame.entries) {
-    ok = ApplyEntry(frame.rank, e) && ok;
+  if (frame.type == RbFrameType::kSyncLog) {
+    ok = ApplySyncLog(frame);
+  } else {
+    for (const RbWireEntry& e : frame.entries) {
+      ok = ApplyEntry(frame.rank, e) && ok;
+    }
   }
   if (!ok) {
+    std::fprintf(stderr,
+                 "[rb-agent] replica %d rejected %s frame seq=%llu (stream diverged)\n",
+                 mon_->config().replica_index,
+                 frame.type == RbFrameType::kSyncLog ? "sync-log" : "entries",
+                 static_cast<unsigned long long>(frame.frame_seq));
     ++frames_rejected_;
-    Shutdown();  // A malformed entry record means the streams have diverged.
+    Shutdown();  // A malformed record means the streams have diverged.
     return;
   }
   ++frames_applied_;
   kernel_->stats().rb_frames_applied += 1;
   ++kernel_->stats().EpochRow(frame.epoch).frames_applied;
   SendAck(frame.epoch, frame.frame_seq);
+}
+
+bool RemoteSyncAgent::ApplySyncLog(const RbWireFrame& frame) {
+  if (sync_agent_ == nullptr ||
+      !sync_agent_->ApplyRemoteLog(frame.sync_start, frame.sync_records)) {
+    return false;
+  }
+  SimStats& stats = kernel_->stats();
+  ++stats.sync_log_frames_applied;
+  stats.sync_log_records_applied += frame.sync_records.size();
+  return true;
 }
 
 bool RemoteSyncAgent::ApplyEntry(uint32_t rank, const RbWireEntry& e) {

@@ -19,6 +19,12 @@
 // leader's publications into the mirror with the state-word flip last, so the
 // transcript is byte-identical across placements.
 //
+// Multi-threaded replicas additionally need the master's sync-agent log
+// (src/core/sync_agent.h): its appends stream as kSyncLog data frames over the
+// same connection — coalesced per flush like entry batches — and the remote agent
+// replays them into the replica's machine-local log mirror with the tail word
+// stored last, so BeforeAcquire replay is placement-transparent too.
+//
 // Backpressure: the transport bounds the number of unacknowledged data frames per
 // remote. When the bound is hit, the leader's flush points stall on stall_queue()
 // until acks drain (IpMon::StallOnTransport), and each stall feeds the adaptive
@@ -90,6 +96,11 @@ class RbTransport {
   // points via Stalled()/stall_queue().
   void SendEntries(int rank, const std::vector<RbWireEntry>& entries);
 
+  // Broadcasts one sync-agent log flush — one kSyncLog frame — to every live
+  // remote. Sync frames are ordinary data frames: same sequence space, same
+  // in-flight bound, same cumulative acks as entry frames.
+  void SendSyncLog(uint64_t start_index, const std::vector<RbSyncLogRecord>& records);
+
   // True while any live remote has >= max_inflight_frames unacked data frames.
   bool Stalled() const;
   // Woken when acks drain below the bound or a remote dies.
@@ -134,14 +145,22 @@ class RbTransport {
   std::vector<std::unique_ptr<Remote>> remotes_;
 };
 
+class SyncAgent;
+
 // Remote-side agent: accepts the leader's connection on its machine, replays
-// entry frames into the local replica's RB mirror, and acknowledges.
+// entry frames into the local replica's RB mirror (and sync-log frames into the
+// replica's sync-agent log mirror), and acknowledges.
 class RemoteSyncAgent {
  public:
   RemoteSyncAgent(Kernel* kernel, IpMon* mon, uint32_t machine, uint16_t port);
   ~RemoteSyncAgent();
   RemoteSyncAgent(const RemoteSyncAgent&) = delete;
   RemoteSyncAgent& operator=(const RemoteSyncAgent&) = delete;
+
+  // The local replica's record/replay agent: kSyncLog frames replay into its
+  // machine-local log mirror. Unset for single-threaded (agent-less) workloads —
+  // receiving a sync frame without one is a configuration divergence.
+  void set_sync_agent(SyncAgent* agent) { sync_agent_ = agent; }
 
   // Binds + listens; call before the leader's RbTransport connects.
   void Start();
@@ -161,19 +180,34 @@ class RemoteSyncAgent {
   // synchronization point the replacement resumed from).
   uint64_t joins() const { return joins_; }
   uint64_t last_join_lockstep_cursor() const { return last_join_lockstep_cursor_; }
+  // The epoch floor this agent enforces on data frames (0 before any join).
+  uint32_t join_epoch() const { return join_epoch_; }
+
+  // Test seam: runs one decoded frame through the same dispatch DrainConn uses
+  // (join-epoch floor, readiness pending, apply + ack). Returns true when the
+  // frame was applied; the floor and divergence tests assert the false cases.
+  bool InjectFrameForTest(RbWireFrame frame);
 
  private:
   void OnListenerPoll();
   void OnConnPoll();
   void DrainConn();
+  // One decoded frame through the receive pipeline: snapshot handshake, data-type
+  // filter, join-epoch floor, readiness pending, apply + ack.
+  void HandleFrame(RbWireFrame frame);
+  // True when the view the frame replays into (RB mirror or sync-log mirror) is
+  // attached; frames arriving earlier wait in pending_.
+  bool ReadyFor(const RbWireFrame& frame) const;
   void ApplyFrame(const RbWireFrame& frame);
   bool ApplyEntry(uint32_t rank, const RbWireEntry& entry);
+  bool ApplySyncLog(const RbWireFrame& frame);
   void HandleSnapshotFrame(const RbWireFrame& frame);
   void SendAck(uint32_t epoch, uint64_t frame_seq);
   void FlushAckQueue();
 
   Kernel* kernel_;
   IpMon* mon_;
+  SyncAgent* sync_agent_ = nullptr;
   uint32_t machine_;
   uint16_t port_;
   std::shared_ptr<StreamSocket> listener_;

@@ -116,6 +116,37 @@ std::vector<uint8_t> RbWireCodec::EncodeAck(uint32_t epoch, uint64_t ack_seq) {
                     /*frame_seq=*/0, ack_seq, {});
 }
 
+std::vector<uint8_t> RbWireCodec::EncodeSyncLogPayload(
+    uint64_t start_index, const std::vector<RbSyncLogRecord>& records) {
+  std::vector<uint8_t> payload(kRbWireSyncHeaderSize +
+                                   records.size() * kRbWireSyncRecordSize,
+                               0);
+  PutU64(&payload, 0, start_index);
+  size_t pos = kRbWireSyncHeaderSize;
+  for (const RbSyncLogRecord& r : records) {
+    PutU32(&payload, pos, r.object_id);
+    PutU32(&payload, pos + 4, r.rank);
+    pos += kRbWireSyncRecordSize;
+  }
+  return payload;
+}
+
+std::vector<uint8_t> RbWireCodec::SyncLogFrameFromPayload(
+    uint32_t epoch, uint64_t frame_seq, uint32_t record_count,
+    const std::vector<uint8_t>& payload) {
+  // The sync log is replica-global, not per-rank; the header rank field is 0.
+  return BuildFrame(RbFrameType::kSyncLog, epoch, /*rank=*/0, record_count,
+                    frame_seq, /*ack_seq=*/0, payload);
+}
+
+std::vector<uint8_t> RbWireCodec::EncodeSyncLog(
+    uint32_t epoch, uint64_t frame_seq, uint64_t start_index,
+    const std::vector<RbSyncLogRecord>& records) {
+  return SyncLogFrameFromPayload(epoch, frame_seq,
+                                 static_cast<uint32_t>(records.size()),
+                                 EncodeSyncLogPayload(start_index, records));
+}
+
 std::vector<uint8_t> RbWireCodec::EncodeSnapshotFrame(RbFrameType type, uint32_t epoch,
                                                       uint32_t rank, uint64_t frame_seq,
                                                       const std::vector<uint8_t>& payload) {
@@ -166,7 +197,7 @@ RbFrameParser::Status RbFrameParser::Next(RbWireFrame* out) {
   }
   uint16_t type = PeekU16(kOffType);
   if (type < static_cast<uint16_t>(RbFrameType::kEntries) ||
-      type > static_cast<uint16_t>(RbFrameType::kSnapshotEnd)) {
+      type > static_cast<uint16_t>(RbFrameType::kSyncLog)) {
     corrupt_ = true;
     return Status::kCorrupt;
   }
@@ -224,6 +255,25 @@ RbFrameParser::Status RbFrameParser::Next(RbWireFrame* out) {
     if (pos != frame_len) {
       corrupt_ = true;  // Trailing payload bytes no entry record claims.
       return Status::kCorrupt;
+    }
+  } else if (f.type == RbFrameType::kSyncLog) {
+    // The payload must be exactly the announced records — a count/length mismatch
+    // is structural corruption even under a valid CRC.
+    if (entry_count == 0 ||
+        payload_len != kRbWireSyncHeaderSize +
+                           static_cast<uint64_t>(entry_count) * kRbWireSyncRecordSize) {
+      corrupt_ = true;
+      return Status::kCorrupt;
+    }
+    std::memcpy(&f.sync_start, frame.data() + kRbWireHeaderSize, 8);
+    f.sync_records.reserve(entry_count);
+    size_t pos = kRbWireHeaderSize + kRbWireSyncHeaderSize;
+    for (uint32_t i = 0; i < entry_count; ++i) {
+      RbSyncLogRecord r;
+      std::memcpy(&r.object_id, frame.data() + pos, 4);
+      std::memcpy(&r.rank, frame.data() + pos + 4, 4);
+      f.sync_records.push_back(r);
+      pos += kRbWireSyncRecordSize;
     }
   } else if (IsSnapshotFrameType(f.type)) {
     if (entry_count != 0) {

@@ -15,7 +15,7 @@
 //   offset  size  field
 //        0     4  magic        "RBWF" (0x46574252 as a little-endian u32)
 //        4     2  version      kRbWireVersion (receiver rejects mismatches)
-//        6     2  type         RbFrameType (kEntries | kAck | kSnapshot*)
+//        6     2  type         RbFrameType (kEntries | kAck | kSnapshot* | kSyncLog)
 //        8     4  epoch        stream epoch (bumped when a remote rank dies)
 //       12     4  rank         RB sub-buffer (thread rank) the frame belongs to
 //       16     4  entry_count  number of entry records in the payload
@@ -42,6 +42,20 @@
 // like kEntries, so snapshot traffic interleaves with bounded in-flight data
 // frames instead of monopolizing the link. Their payloads are opaque at this
 // layer (the snapshot codec owns them); entry_count is 0.
+//
+// kSyncLog streams the master's sync-agent log (src/core/sync_agent.h) so
+// multi-threaded replicas can run on remote machines. Payload: a u64 start_index
+// (absolute log index of the first record) followed by entry_count records of
+//
+//   u32 object_id    the synchronization object acquired
+//   u32 rank         the acquiring thread's rank
+//
+// Record k names absolute log op start_index + k; the receiver replays records
+// into the machine-local log mirror with the slot bytes first and the tail word
+// stored last (forward-only). kSyncLog frames are sequenced, CRC'd, epoch-scoped
+// data frames exactly like kEntries: they share the frame_seq space, count
+// against the in-flight bound, are cumulatively acked, and obey the join-epoch
+// floor after a re-seed.
 
 #ifndef SRC_CORE_RB_WIRE_H_
 #define SRC_CORE_RB_WIRE_H_
@@ -54,10 +68,14 @@
 namespace remon {
 
 inline constexpr uint32_t kRbWireMagic = 0x46574252;  // "RBWF" little-endian.
-// Version 2 added the snapshot frame types (replica re-seed after an epoch bump).
-inline constexpr uint16_t kRbWireVersion = 2;
+// Version 2 added the snapshot frame types (replica re-seed after an epoch bump);
+// version 3 added kSyncLog frames and the snapshot sync-log section (cross-machine
+// multi-threaded replicas).
+inline constexpr uint16_t kRbWireVersion = 3;
 inline constexpr uint64_t kRbWireHeaderSize = 48;
 inline constexpr uint64_t kRbWireEntryHeaderSize = 16;
+inline constexpr uint64_t kRbWireSyncRecordSize = 8;
+inline constexpr uint64_t kRbWireSyncHeaderSize = 8;  // The u64 start_index.
 // Payloads beyond this are rejected as corrupt before any allocation happens: the
 // largest legitimate frame is one adaptive batch window of entries, far below this.
 inline constexpr uint32_t kRbWireMaxPayload = 1u << 24;
@@ -70,6 +88,8 @@ enum class RbFrameType : uint16_t {
   kSnapshotBegin = 3,
   kSnapshotChunk = 4,
   kSnapshotEnd = 5,
+  // Leader -> remote agent: appended sync-agent log records (src/core/sync_agent.h).
+  kSyncLog = 6,
 };
 
 // True for the frame types that carry a snapshot payload opaque to this layer.
@@ -88,6 +108,16 @@ struct RbWireEntry {
   std::vector<uint8_t> image;        // Entry bytes from the entry header onward.
 };
 
+// One sync-agent log record as carried in a kSyncLog frame.
+struct RbSyncLogRecord {
+  uint32_t object_id = 0;
+  uint32_t rank = 0;
+
+  bool operator==(const RbSyncLogRecord& o) const {
+    return object_id == o.object_id && rank == o.rank;
+  }
+};
+
 // A decoded frame.
 struct RbWireFrame {
   uint16_t version = kRbWireVersion;
@@ -97,6 +127,9 @@ struct RbWireFrame {
   uint64_t frame_seq = 0;
   uint64_t ack_seq = 0;
   std::vector<RbWireEntry> entries;
+  // kSyncLog only: absolute log index of sync_records[0], then the records.
+  uint64_t sync_start = 0;
+  std::vector<RbSyncLogRecord> sync_records;
   // Snapshot frames only: the raw payload for the snapshot codec.
   std::vector<uint8_t> payload;
 };
@@ -119,6 +152,19 @@ class RbWireCodec {
 
   // Serializes a cumulative acknowledgment.
   static std::vector<uint8_t> EncodeAck(uint32_t epoch, uint64_t ack_seq);
+
+  // Serializes one sync-log publication (records appended since the last flush)
+  // into one kSyncLog frame; the two-step variant mirrors the entries broadcast
+  // path (payload serialized once, per-connection header + CRC stamped around it).
+  static std::vector<uint8_t> EncodeSyncLog(uint32_t epoch, uint64_t frame_seq,
+                                            uint64_t start_index,
+                                            const std::vector<RbSyncLogRecord>& records);
+  static std::vector<uint8_t> EncodeSyncLogPayload(
+      uint64_t start_index, const std::vector<RbSyncLogRecord>& records);
+  static std::vector<uint8_t> SyncLogFrameFromPayload(uint32_t epoch,
+                                                      uint64_t frame_seq,
+                                                      uint32_t record_count,
+                                                      const std::vector<uint8_t>& payload);
 
   // Wraps an opaque snapshot payload (see src/core/snapshot.h for the payload
   // layouts) into a sequenced frame of the given snapshot type.

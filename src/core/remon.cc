@@ -87,9 +87,6 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
   if (any_remote) {
     REMON_CHECK_MSG(options_.mode == MveeMode::kRemon,
                     "cross-machine placement needs the RB transport (mode=remon)");
-    REMON_CHECK_MSG(!options_.use_sync_agent,
-                    "the sync-agent log is SHM-only; cross-machine replica sets "
-                    "cannot use it yet");
   }
 
   RelaxationPolicy policy(options_.level, options_.temporal);
@@ -160,17 +157,26 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
       SyncAgent::Config scfg;
       scfg.replica_index = i;
       scfg.num_replicas = n;
+      scfg.log_size = options_.sync_log_size;
       agents_.push_back(std::make_unique<SyncAgent>(kernel_, scfg));
     }
   }
 
-  // Set peer lists (IP-MONs need to know the replica set for barriers).
+  // Set peer lists (IP-MONs need to know the replica set for barriers; sync
+  // agents gate circular-log wraparound on the slowest peer's replay cursor).
   std::vector<IpMon*> peer_ptrs;
   for (auto& m : ipmons_) {
     peer_ptrs.push_back(m.get());
   }
   for (auto& m : ipmons_) {
     m->set_peers(peer_ptrs);
+  }
+  std::vector<SyncAgent*> agent_ptrs;
+  for (auto& a : agents_) {
+    agent_ptrs.push_back(a.get());
+  }
+  for (auto& a : agents_) {
+    a->set_peers(agent_ptrs);
   }
 
   // Cross-machine replica sets: one RemoteSyncAgent per remote replica (listening
@@ -190,12 +196,26 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
           std::make_unique<RemoteSyncAgent>(kernel_, mon, machine_for(i), port);
       agent->Start();  // Listener up before the transport's SYN can arrive.
       mon->set_rb_private_mirror(true);
+      if (sync_agent(i) != nullptr) {
+        agent->set_sync_agent(sync_agent(i));  // kSyncLog replays into its mirror.
+      }
       RemoteSyncAgent* agent_ptr = agent.get();
       mon->set_on_initialized([agent_ptr] { agent_ptr->OnReplicaRbReady(); });
       transport_->AddRemote(i, machine_for(i), port);
       remote_agents_[static_cast<size_t>(i)] = std::move(agent);
     }
     ipmons_[0]->set_transport(transport_.get());
+    if (!agents_.empty()) {
+      // Master sync agent streams its appends over the transport; the coalescing
+      // window borrows the master IP-MON's (adaptive) batch window, and IP-MON's
+      // flush points + park hook bound how long a record can sit unstreamed.
+      SyncAgent* master_agent = agents_[0].get();
+      IpMon* master_mon = ipmons_[0].get();
+      master_agent->set_transport(transport_.get());
+      master_agent->set_coalesce_window(
+          [master_mon](int rank) { return master_mon->SyncCoalesceWindow(rank); });
+      master_mon->set_sync_log_flush([master_agent] { master_agent->FlushLogStream(); });
+    }
     respawn_attempts_.assign(static_cast<size_t>(n), 0);
     join_generation_.assign(static_cast<size_t>(n), 0);
     // A torn link ends the run with a divergence report — never a hang. Under
@@ -276,10 +296,18 @@ bool Remon::SpawnReplacement(int replica_index) {
   remote_agents_[static_cast<size_t>(replica_index)]->Shutdown();
   auto agent = std::make_unique<RemoteSyncAgent>(kernel_, mon, machine, port);
   agent->Start();  // Listener up before the transport's SYN can arrive.
+  if (sync_agent(replica_index) != nullptr) {
+    agent->set_sync_agent(sync_agent(replica_index));
+  }
 
   // Checkpoint and enqueue within one event: no publication can slip between the
-  // captured image and the first data frame behind it on the new connection.
-  ReplicaSnapshot snap = CaptureLeaderSnapshot(ipmons_[0].get(), ghumvee_.get());
+  // captured image and the first data frame behind it on the new connection. The
+  // capture's quiescent flush also drains the sync-log stream, so the checkpoint's
+  // sync image ends exactly where the first post-snapshot kSyncLog frame begins.
+  SyncAgent* replica_agent = sync_agent(replica_index);
+  ReplicaSnapshot snap = CaptureLeaderSnapshot(
+      ipmons_[0].get(), ghumvee_.get(), sync_agent(0),
+      replica_agent != nullptr ? replica_agent->read_cursor() : 0);
   transport_->AddReplacement(replica_index, machine, port, SerializeSnapshot(snap));
   remote_agents_[static_cast<size_t>(replica_index)] = std::move(agent);
   ++respawns_;

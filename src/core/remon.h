@@ -71,6 +71,10 @@ struct RemonOptions {
   double mem_intensity = 0.2;
   // Enable the record/replay agent for multi-threaded workloads.
   bool use_sync_agent = false;
+  // Sync-agent log segment size (64-byte header + 16-byte circular entry slots).
+  // Small logs wrap: the master gates appends on the slowest replica's replay
+  // cursor instead of failing.
+  uint64_t sync_log_size = 1024 * 1024;
   // Slave wait strategy (ablation knob; kAuto is the paper's design).
   IpmonWaitMode wait_mode = IpmonWaitMode::kAuto;
   // Batched RB publication (ablation knob): coalesce up to this many small

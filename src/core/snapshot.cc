@@ -7,6 +7,7 @@
 #include "src/core/ipmon.h"
 #include "src/core/rb_wire.h"
 #include "src/core/replication_buffer.h"
+#include "src/core/sync_agent.h"
 #include "src/kernel/kernel.h"
 #include "src/sim/check.h"
 
@@ -20,7 +21,8 @@ namespace {
 constexpr uint64_t kMaxSnapshotRbSize = 1ULL << 30;
 constexpr uint32_t kMaxSnapshotRanks = 4096;
 
-// kSnapshotBegin payload header (fixed 56 bytes, then the variable sections).
+// kSnapshotBegin payload header (fixed 88 bytes since wire v3, then the variable
+// sections: rank records, file map, epoll shadow, sync-log image).
 constexpr size_t kBeginOffRbSize = 0;
 constexpr size_t kBeginOffMaxRanks = 8;
 constexpr size_t kBeginOffRankCount = 12;
@@ -30,7 +32,11 @@ constexpr size_t kBeginOffChunkCount = 28;
 constexpr size_t kBeginOffLockstep = 32;
 constexpr size_t kBeginOffFileMapLen = 40;
 constexpr size_t kBeginOffEpollCount = 48;
-constexpr size_t kBeginHeaderSize = 56;
+constexpr size_t kBeginOffSyncLogSize = 56;
+constexpr size_t kBeginOffSyncTail = 64;
+constexpr size_t kBeginOffSyncCursor = 72;
+constexpr size_t kBeginOffSyncImageLen = 80;
+constexpr size_t kBeginHeaderSize = 88;
 
 // kSnapshotChunk payload header.
 constexpr size_t kChunkOffOffset = 0;
@@ -125,11 +131,16 @@ bool RestoreVmaImage(AddressSpace* mem, GuestAddr start, const VmaImage& image) 
 
 // --- The leader checkpoint ---------------------------------------------------------
 
-ReplicaSnapshot CaptureLeaderSnapshot(IpMon* master, const Ghumvee* ghumvee) {
+ReplicaSnapshot CaptureLeaderSnapshot(IpMon* master, const Ghumvee* ghumvee,
+                                      const SyncAgent* sync_master,
+                                      uint64_t sync_read_cursor) {
   REMON_CHECK(master != nullptr && master->is_master());
   REMON_CHECK_MSG(master->rb().valid(), "cannot checkpoint before IP-MON initialized");
   // Quiescent flush point: every deferred batched commit publishes first, so the
   // image never hides a publication the local slaves have already been promised.
+  // This also flushes the sync-log stream (IpMon::set_sync_log_flush), so every
+  // record in the captured log image has left the coalescing buffer — the first
+  // kSyncLog frame behind this checkpoint starts exactly at the captured tail.
   master->FlushRbBatches();
 
   const RbView& rb = master->rb();
@@ -155,6 +166,12 @@ ReplicaSnapshot CaptureLeaderSnapshot(IpMon* master, const Ghumvee* ghumvee) {
             [](const EpollShadowTriple& a, const EpollShadowTriple& b) {
               return a.epfd != b.epfd ? a.epfd < b.epfd : a.fd < b.fd;
             });
+  if (sync_master != nullptr && sync_master->log_valid()) {
+    snap.sync_log_size = sync_master->config().log_size;
+    snap.sync_tail = sync_master->tail();
+    snap.sync_read_cursor = sync_read_cursor;
+    snap.sync_image = sync_master->CaptureLogImage();
+  }
   return snap;
 }
 
@@ -181,7 +198,7 @@ SnapshotPayloads SerializeSnapshot(const ReplicaSnapshot& snap) {
 
   size_t rank_count = snap.cursors.size();
   out.begin.assign(kBeginHeaderSize + rank_count * 16 + snap.file_map.size() +
-                       snap.epoll.size() * 16,
+                       snap.epoll.size() * 16 + snap.sync_image.size(),
                    0);
   PutU64(&out.begin, kBeginOffRbSize, snap.rb_size);
   PutU32(&out.begin, kBeginOffMaxRanks, static_cast<uint32_t>(snap.max_ranks));
@@ -192,6 +209,10 @@ SnapshotPayloads SerializeSnapshot(const ReplicaSnapshot& snap) {
   PutU64(&out.begin, kBeginOffLockstep, snap.lockstep_cursor);
   PutU64(&out.begin, kBeginOffFileMapLen, snap.file_map.size());
   PutU32(&out.begin, kBeginOffEpollCount, static_cast<uint32_t>(snap.epoll.size()));
+  PutU64(&out.begin, kBeginOffSyncLogSize, snap.sync_log_size);
+  PutU64(&out.begin, kBeginOffSyncTail, snap.sync_tail);
+  PutU64(&out.begin, kBeginOffSyncCursor, snap.sync_read_cursor);
+  PutU64(&out.begin, kBeginOffSyncImageLen, snap.sync_image.size());
   size_t pos = kBeginHeaderSize;
   for (size_t r = 0; r < rank_count; ++r) {
     PutU64(&out.begin, pos, snap.cursors[r]);
@@ -205,6 +226,10 @@ SnapshotPayloads SerializeSnapshot(const ReplicaSnapshot& snap) {
     PutU32(&out.begin, pos + 4, static_cast<uint32_t>(t.fd));
     PutU64(&out.begin, pos + 8, t.data);
     pos += 16;
+  }
+  if (!snap.sync_image.empty()) {
+    std::memcpy(out.begin.data() + pos, snap.sync_image.data(), snap.sync_image.size());
+    pos += snap.sync_image.size();
   }
 
   out.end.assign(kEndSize, 0);
@@ -249,8 +274,29 @@ bool SnapshotAssembler::Begin(const std::vector<uint8_t>& payload) {
       GetU32(payload, kBeginOffReserved) != 0) {
     return Fail("snapshot begin metadata out of bounds");
   }
+  uint64_t sync_log_size = GetU64(payload, kBeginOffSyncLogSize);
+  uint64_t sync_tail = GetU64(payload, kBeginOffSyncTail);
+  uint64_t sync_cursor = GetU64(payload, kBeginOffSyncCursor);
+  uint64_t sync_image_len = GetU64(payload, kBeginOffSyncImageLen);
+  if (sync_log_size == 0) {
+    // No sync section: every sync field must be zero (an image without a log to
+    // describe it is structurally corrupt).
+    if (sync_tail != 0 || sync_cursor != 0 || sync_image_len != 0) {
+      return Fail("snapshot sync section inconsistent with zero log size");
+    }
+  } else {
+    if (sync_log_size <= kSyncLogOffEntries || sync_log_size > kMaxSnapshotRbSize) {
+      return Fail("snapshot sync log size out of bounds");
+    }
+    uint64_t cap = (sync_log_size - kSyncLogOffEntries) / kSyncLogEntrySize;
+    uint64_t occupied = std::min(sync_tail, cap);
+    if (cap == 0 || sync_image_len != occupied * kSyncLogEntrySize ||
+        sync_cursor > sync_tail) {
+      return Fail("snapshot sync section out of bounds");
+    }
+  }
   uint64_t variable = static_cast<uint64_t>(rank_count) * 16 + file_map_len +
-                      static_cast<uint64_t>(epoll_count) * 16;
+                      static_cast<uint64_t>(epoll_count) * 16 + sync_image_len;
   if (payload.size() != kBeginHeaderSize + variable) {
     return Fail("snapshot begin payload size mismatch");
   }
@@ -258,6 +304,9 @@ bool SnapshotAssembler::Begin(const std::vector<uint8_t>& payload) {
   snap_.rb_size = rb_size;
   snap_.max_ranks = static_cast<int>(max_ranks);
   snap_.lockstep_cursor = GetU64(payload, kBeginOffLockstep);
+  snap_.sync_log_size = sync_log_size;
+  snap_.sync_tail = sync_tail;
+  snap_.sync_read_cursor = sync_cursor;
   expect_bytes_ = GetU64(payload, kBeginOffImageBytes);
   expect_crc_ = GetU32(payload, kBeginOffImageCrc);
   expect_chunks_ = GetU32(payload, kBeginOffChunkCount);
@@ -281,6 +330,8 @@ bool SnapshotAssembler::Begin(const std::vector<uint8_t>& payload) {
     snap_.epoll.push_back(t);
     pos += 16;
   }
+  snap_.sync_image.assign(payload.begin() + static_cast<long>(pos),
+                          payload.begin() + static_cast<long>(pos + sync_image_len));
   image_.assign(rb_size, 0);
   state_ = State::kAssembling;
   return true;
@@ -355,6 +406,7 @@ SnapshotApplyResult ApplyFail(const char* why) {
 }  // namespace
 
 SnapshotApplyResult ApplySnapshotToMirror(Kernel* kernel, IpMon* mon,
+                                          SyncAgent* sync_agent,
                                           const ReplicaSnapshot& snap,
                                           const std::vector<uint8_t>& image) {
   RbView rb = mon->rb();
@@ -374,9 +426,28 @@ SnapshotApplyResult ApplySnapshotToMirror(Kernel* kernel, IpMon* mon,
       !std::equal(snap.file_map.begin(), snap.file_map.end(), fm_page->bytes.begin())) {
     return ApplyFail("file map diverged from the leader checkpoint");
   }
+  // Sync-agent log (v3): the checkpoint and the replica must agree on whether a
+  // record/replay agent runs at all, and the log restore's own validation
+  // (geometry, replay cursor, per-slot divergence) gates the join like the file
+  // map does. ApplyLogSnapshot mutates only after every check passed.
+  bool replica_has_sync = sync_agent != nullptr && sync_agent->log_valid();
+  if (snap.sync_log_size != 0 && !replica_has_sync) {
+    return ApplyFail("snapshot carries a sync log the replica does not replay");
+  }
+  if (snap.sync_log_size == 0 && replica_has_sync) {
+    return ApplyFail("snapshot lacks the sync log this replica replays");
+  }
 
   SnapshotApplyResult result;
   result.ok = true;
+  if (replica_has_sync) {
+    const char* sync_err = sync_agent->ApplyLogSnapshot(
+        snap.sync_log_size, snap.sync_tail, snap.sync_read_cursor, snap.sync_image);
+    if (sync_err != nullptr) {
+      return ApplyFail(sync_err);
+    }
+    result.sync_slots_restored = snap.sync_image.size() / kSyncLogEntrySize;
+  }
   // Epoll-shadow coverage: keys the replica has not recorded yet are legitimate
   // consumer lag (its epoll_ctl replay may trail the leader), so they are counted,
   // not fatal; the divergence checks catch real mismatches at the next entry.

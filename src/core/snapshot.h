@@ -16,7 +16,11 @@
 //   * the GHUMVEE lockstep cursor (rounds completed at capture) — the monitored
 //     synchronization point the replacement resumes from;
 //   * the file-map page and the leader's epoll data shadow, which the rejoining
-//     side cross-checks against its own state.
+//     side cross-checks against its own state;
+//   * wire v3: the sync-agent log image (occupied circular slots, slot order) with
+//     its tail and the target replica's replay cursor, so multi-threaded
+//     replacements resume BeforeAcquire replay exactly where they left off
+//     (src/core/sync_agent.h; absent — all zero — for agent-less workloads).
 //
 // On the wire the snapshot rides the normal RB stream as three sequenced,
 // CRC-protected frame types (kSnapshotBegin / kSnapshotChunk / kSnapshotEnd,
@@ -44,6 +48,7 @@ namespace remon {
 class Ghumvee;
 class IpMon;
 class Kernel;
+class SyncAgent;
 
 // --- Sparse materialized-page images ----------------------------------------------
 
@@ -96,13 +101,24 @@ struct ReplicaSnapshot {
   uint64_t lockstep_cursor = 0;    // GHUMVEE lockstep rounds completed at capture.
   std::vector<uint8_t> file_map;   // The one-page FD metadata map.
   std::vector<EpollShadowTriple> epoll;  // Leader (epfd, fd) -> data shadow.
+  // Sync-agent log section (wire v3); all zero when the workload runs no agent.
+  uint64_t sync_log_size = 0;      // Log segment geometry (validated by the joiner).
+  uint64_t sync_tail = 0;          // Absolute op count at capture.
+  uint64_t sync_read_cursor = 0;   // The target replica's replay cursor at capture.
+  std::vector<uint8_t> sync_image;  // Occupied circular slots, slot order.
 };
 
 // Checkpoints the leader at a quiescent flush point: publishes every deferred
 // batched commit first (so no publication is invisible in the image), then
 // captures RB image, cursors, lockstep cursor, file map, and epoll shadow.
-// `ghumvee` may be null (lockstep cursor 0).
-ReplicaSnapshot CaptureLeaderSnapshot(IpMon* master, const Ghumvee* ghumvee);
+// `ghumvee` may be null (lockstep cursor 0). For multi-threaded workloads,
+// `sync_master` is the leader's record/replay agent (its log image and tail enter
+// the checkpoint) and `sync_read_cursor` the replay cursor of the replica being
+// re-seeded — in a distributed deployment the cursor arrives with the join
+// request; here the front end reads it off the replica's agent.
+ReplicaSnapshot CaptureLeaderSnapshot(IpMon* master, const Ghumvee* ghumvee,
+                                      const SyncAgent* sync_master = nullptr,
+                                      uint64_t sync_read_cursor = 0);
 
 // --- Wire payloads -----------------------------------------------------------------
 
@@ -167,6 +183,7 @@ struct SnapshotApplyResult {
   const char* error = "";
   uint64_t entries_restored = 0;  // Entry state words re-published into the mirror.
   uint64_t epoll_lag = 0;         // Leader shadow keys the replica has not seen yet.
+  uint64_t sync_slots_restored = 0;  // Sync-log slots re-published into the mirror.
 };
 
 // Applies a completed snapshot to `mon`'s RB mirror: per rank, replays every
@@ -176,8 +193,12 @@ struct SnapshotApplyResult {
 // corrupted), and wakes each touched entry's futex queue. Cross-checks the file
 // map byte-for-byte (a mismatch means the streams diverged and the join is
 // rejected) and counts — but tolerates — epoll-shadow keys the replica has not
-// recorded yet (its consumer threads may legitimately lag the leader).
+// recorded yet (its consumer threads may legitimately lag the leader). A v3 sync
+// section restores into `sync_agent`'s log mirror (SyncAgent::ApplyLogSnapshot:
+// geometry, cursor, and per-slot divergence checks; tail word last) — carrying
+// one while the replica runs no agent, or vice versa, refuses the join.
 SnapshotApplyResult ApplySnapshotToMirror(Kernel* kernel, IpMon* mon,
+                                          SyncAgent* sync_agent,
                                           const ReplicaSnapshot& snap,
                                           const std::vector<uint8_t>& image);
 

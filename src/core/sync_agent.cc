@@ -1,44 +1,105 @@
 #include "src/core/sync_agent.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "src/core/await.h"
+#include "src/core/rb_transport.h"
 #include "src/sim/check.h"
 
 namespace remon {
 
 GuestTask<void> SyncAgent::Initialize(Guest& g) {
+  REMON_CHECK_MSG(capacity() > 0, "sync agent: log too small for any entry");
   int64_t shmid = co_await g.Shmget(kSyncShmKey, config_.log_size, kIpcCreat);
   REMON_CHECK_MSG(shmid >= 0, "sync agent: shmget failed");
   int64_t addr = co_await g.Shmat(static_cast<int>(shmid));
   REMON_CHECK_MSG(addr > 0, "sync agent: shmat failed");
   log_ = RbView(g.process(), static_cast<GuestAddr>(addr), config_.log_size, 1);
+  g.process()->sync_agent = this;  // Workloads reach their replica's agent here.
   int64_t rc = co_await g.Syscall(Sys::kRemonSyncRegister, static_cast<uint64_t>(addr));
   REMON_CHECK(rc == 0);
 }
 
 WaitQueue* SyncAgent::LogQueue() {
   uint64_t off_in_page = 0;
-  Page* frame = log_.process()->mem().ResolveFrame(log_.AddrOf(kOffTail), &off_in_page);
+  Page* frame =
+      log_.process()->mem().ResolveFrame(log_.AddrOf(kSyncLogOffTail), &off_in_page);
   REMON_CHECK(frame != nullptr);
   return &kernel_->futex().QueueFor(frame, off_in_page);
+}
+
+uint64_t SyncAgent::tail() const { return log_.ReadU64(kSyncLogOffTail); }
+
+uint64_t SyncAgent::MinPeerReadCursor() const {
+  // The master gates wraparound on the slowest replica's replay cursor. In-process
+  // this is a direct peer read; it stands in for the cursor updates a distributed
+  // deployment would piggyback on the transport's acknowledgment stream.
+  uint64_t min_cursor = ~uint64_t{0};
+  bool any = false;
+  for (const SyncAgent* peer : peers_) {
+    if (peer == nullptr || peer == this) {
+      continue;
+    }
+    min_cursor = std::min(min_cursor, peer->read_cursor());
+    any = true;
+  }
+  return any ? min_cursor : tail();
+}
+
+void SyncAgent::OnSlaveConsumed() { wrap_queue_.Wake(); }
+
+void SyncAgent::FlushLogStream() {
+  if (transport_ == nullptr || pending_.empty()) {
+    return;
+  }
+  transport_->SendSyncLog(pending_start_, pending_);
+  pending_.clear();
 }
 
 GuestTask<void> SyncAgent::BeforeAcquire(Guest& g, uint32_t object_id) {
   REMON_CHECK(log_.valid());
   Thread* t = g.thread();
   uint32_t rank = static_cast<uint32_t>(t->rank());
+  uint64_t cap = capacity();
   // A small in-process cost per synchronization operation (the agent's bookkeeping).
   co_await ThreadCost{t, 120};
 
   if (is_master()) {
-    uint64_t tail = log_.ReadU64(kOffTail);
-    uint64_t entry_off = kOffEntries + tail * 8;
-    REMON_CHECK_MSG(entry_off + 8 <= config_.log_size, "sync agent: log exhausted");
+    // Wraparound gate: op `seq` reuses the slot op `seq - cap` occupied, so the
+    // append must wait until every replica has replayed past that occupant. The
+    // pending stream flushes first — a remote replica cannot drain the log this
+    // thread is parked on while its records sit in the coalescing buffer.
+    uint64_t seq = tail();
+    while (seq >= cap + MinPeerReadCursor()) {
+      FlushLogStream();
+      ++kernel_->stats().sync_log_wrap_stalls;
+      co_await WaitOn{t, &wrap_queue_};
+      seq = tail();
+    }
+
+    // Publication discipline: slot bytes first, the tail word last.
+    uint64_t entry_off = kSyncLogOffEntries + (seq % cap) * kSyncLogEntrySize;
     log_.WriteU32(entry_off, object_id);
     log_.WriteU32(entry_off + 4, rank);
-    log_.WriteU64(kOffTail, tail + 1);
+    log_.WriteU64(entry_off + 8, seq);
+    log_.WriteU64(kSyncLogOffTail, seq + 1);
     ++ops_recorded_;
     ++kernel_->stats().sync_ops_recorded;
     LogQueue()->Wake();
+
+    if (transport_ != nullptr) {
+      if (pending_.empty()) {
+        pending_start_ = seq;
+      }
+      pending_.push_back(RbSyncLogRecord{object_id, rank});
+      // The adaptive RB batch window doubles as the sync-log coalescing window;
+      // IP-MON's flush points and the kernel park hook bound the deferral.
+      int window = window_fn_ ? std::max(1, window_fn_(static_cast<int>(rank))) : 1;
+      if (pending_.size() >= static_cast<size_t>(window)) {
+        FlushLogStream();
+      }
+    }
     co_return;
   }
 
@@ -46,21 +107,152 @@ GuestTask<void> SyncAgent::BeforeAcquire(Guest& g, uint32_t object_id) {
   // the per-replica cursor is shared by all of this replica's threads. Wait until the
   // head op is ours (a peer consuming its op wakes us to re-check).
   for (;;) {
-    uint64_t tail = log_.ReadU64(kOffTail);
-    if (read_cursor_ < tail) {
-      uint64_t entry_off = kOffEntries + read_cursor_ * 8;
+    uint64_t log_tail = log_.ReadU64(kSyncLogOffTail);
+    if (read_cursor_ < log_tail) {
+      uint64_t entry_off =
+          kSyncLogOffEntries + (read_cursor_ % cap) * kSyncLogEntrySize;
       uint32_t obj = log_.ReadU32(entry_off);
       uint32_t r = log_.ReadU32(entry_off + 4);
+      uint64_t seq = log_.ReadU64(entry_off + 8);
+      // The wraparound gate makes a stale slot impossible: the master may not
+      // overwrite op `read_cursor_` before this replica consumed it.
+      REMON_CHECK_MSG(seq == read_cursor_, "sync agent: stale slot under the cursor");
       if (obj == object_id && r == rank) {
         ++read_cursor_;
         ++ops_replayed_;
         ++kernel_->stats().sync_ops_replayed;
+        if (!peers_.empty() && peers_[0] != nullptr && peers_[0] != this) {
+          peers_[0]->OnSlaveConsumed();  // A master parked on a full log re-checks.
+        }
         LogQueue()->Wake();  // Another slave thread may now be at the head.
         co_return;
       }
     }
     co_await WaitOn{t, LogQueue()};
   }
+}
+
+bool SyncAgent::ApplyRemoteLog(uint64_t start_index,
+                               const std::vector<RbSyncLogRecord>& records) {
+  if (!log_.valid() || records.empty()) {
+    return false;
+  }
+  uint64_t cap = capacity();
+  uint64_t log_tail = tail();
+  // The stream is reliable and in-order and every flush starts where the previous
+  // one ended, so a frame starting past the mirror tail belongs to a different
+  // log history: reject. A frame starting *behind* the tail is legitimate —
+  // replicas co-located on one machine share the mirror segment, so each agent
+  // sees the other's applications — but only as an exact replay: every
+  // overlapping record must match the slot it claims (same op, or superseded by
+  // a whole number of laps), or the streams have diverged.
+  if (start_index > log_tail || records.size() > cap) {
+    return false;
+  }
+  for (size_t k = 0; k < records.size(); ++k) {
+    uint64_t seq = start_index + static_cast<uint64_t>(k);
+    uint64_t entry_off = kSyncLogOffEntries + (seq % cap) * kSyncLogEntrySize;
+    if (seq < log_tail) {
+      uint64_t slot_seq = log_.ReadU64(entry_off + 8);
+      if (slot_seq == seq) {
+        if (log_.ReadU32(entry_off) != records[k].object_id ||
+            log_.ReadU32(entry_off + 4) != records[k].rank) {
+          return false;  // Same op, different content: diverged.
+        }
+      } else if (slot_seq < seq || (slot_seq - seq) % cap != 0) {
+        return false;  // Neither this op nor a later lap over its slot.
+      }
+      continue;  // Already applied (possibly by a co-located replica's agent).
+    }
+    log_.WriteU32(entry_off, records[k].object_id);
+    log_.WriteU32(entry_off + 4, records[k].rank);
+    log_.WriteU64(entry_off + 8, seq);
+  }
+  // Same publication discipline as the master's append: tail word last,
+  // forward-only, then wake parked consumers.
+  uint64_t new_tail = start_index + records.size();
+  if (new_tail > log_tail) {
+    log_.WriteU64(kSyncLogOffTail, new_tail);
+  }
+  LogQueue()->Wake();
+  return true;
+}
+
+std::vector<uint8_t> SyncAgent::CaptureLogImage() const {
+  REMON_CHECK(log_.valid());
+  uint64_t occupied = std::min(tail(), capacity());
+  std::vector<uint8_t> image(occupied * kSyncLogEntrySize);
+  if (!image.empty()) {
+    log_.ReadBytes(kSyncLogOffEntries, image.data(), image.size());
+  }
+  return image;
+}
+
+const char* SyncAgent::ApplyLogSnapshot(uint64_t log_size, uint64_t snap_tail,
+                                        uint64_t snap_read_cursor,
+                                        const std::vector<uint8_t>& image) {
+  if (!log_.valid()) {
+    return "sync log mirror not initialized";
+  }
+  if (log_size != config_.log_size) {
+    return "sync log geometry does not match the replica";
+  }
+  uint64_t cap = capacity();
+  uint64_t occupied = std::min(snap_tail, cap);
+  if (image.size() != occupied * kSyncLogEntrySize) {
+    return "sync log image size disagrees with its tail";
+  }
+  uint64_t local_tail = tail();
+  // The leader captured this replica's replay cursor at checkpoint time (the wire
+  // carries it); disagreement means the checkpoint was cut for a different replica
+  // history and the join must be refused.
+  if (snap_read_cursor != read_cursor_) {
+    return "sync read cursor diverged from the leader checkpoint";
+  }
+  if (snap_read_cursor > snap_tail) {
+    return "sync read cursor past the leader tail";
+  }
+  // Divergence cross-check before any mutation: wherever the mirror and the
+  // image both hold an op for a slot, it must be the same op byte for byte or
+  // one side a whole number of laps ahead of the other — the two histories are
+  // prefixes of one master stream or the join is refused. The mirror being
+  // AHEAD of the checkpoint is legitimate: a co-located replica's agent shares
+  // the mirror segment and may have applied newer frames between the leader's
+  // capture and this join.
+  uint64_t local_occupied = std::min(local_tail, cap);
+  uint8_t local_slot[kSyncLogEntrySize];
+  for (uint64_t s = 0; s < std::min(local_occupied, occupied); ++s) {
+    uint64_t off = kSyncLogOffEntries + s * kSyncLogEntrySize;
+    log_.ReadBytes(off, local_slot, kSyncLogEntrySize);
+    const uint8_t* image_slot = image.data() + s * kSyncLogEntrySize;
+    uint64_t local_seq = 0;
+    uint64_t image_seq = 0;
+    std::memcpy(&local_seq, local_slot + 8, 8);
+    std::memcpy(&image_seq, image_slot + 8, 8);
+    if (image_seq == local_seq) {
+      if (std::memcmp(local_slot, image_slot, kSyncLogEntrySize) != 0) {
+        return "sync log diverged from the leader checkpoint";
+      }
+    } else {
+      uint64_t newer = std::max(image_seq, local_seq);
+      uint64_t older = std::min(image_seq, local_seq);
+      if ((newer - older) % cap != 0) {
+        return "sync log slot sequence diverged from the leader checkpoint";
+      }
+    }
+  }
+  if (snap_tail >= local_tail) {
+    // Restore with the live publication discipline: slots first, tail word last
+    // (forward-only by this branch's condition), then wake parked consumers.
+    if (!image.empty()) {
+      log_.WriteBytes(kSyncLogOffEntries, image.data(), image.size());
+    }
+    log_.WriteU64(kSyncLogOffTail, snap_tail);
+  }
+  // A mirror already past the checkpoint needs no writes — the verification
+  // above confirmed the checkpoint is a prefix of what the mirror holds.
+  LogQueue()->Wake();
+  return nullptr;
 }
 
 }  // namespace remon

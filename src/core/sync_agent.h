@@ -7,17 +7,48 @@
 // same order everywhere: the master logs each acquisition (object id, thread rank)
 // into a shared totally-ordered log; slave threads block until the log says it is
 // their turn.
+//
+// Log layout (one System V segment per machine, mirrored like the RB):
+//
+//   offset 0   u64 tail      absolute op count; the publication word (stored last)
+//   offset 64  entry slots   16 bytes each: {u32 object, u32 rank, u64 seq}
+//
+// The log is circular: op `seq` lives in slot `seq % capacity`. The embedded seq
+// both makes wraparound safe (a consumer can tell a stale previous-lap slot from
+// its own op) and gives the post-run stale-slot scan something to check. The
+// master may only overwrite a slot once every replica has consumed its previous
+// occupant: it gates on the minimum peer read cursor and parks on wrap_queue_
+// until a consumer catches up (slaves report consumption through OnSlaveConsumed —
+// the simulator shortcut for the cursor piggyback a real system would put on the
+// transport's acks).
+//
+// Cross-machine replica sets: the master's appends additionally stream to remote
+// replicas as kSyncLog frames over the RB transport (src/core/rb_wire.h). Appends
+// coalesce into one frame per flush — the adaptive RB batch window doubles as the
+// sync-log coalescing window — and the remote agent replays them into that
+// machine's log mirror with the same publication discipline the master uses
+// (entry slots first, tail word last, forward-only, futex wake).
 
 #ifndef SRC_CORE_SYNC_AGENT_H_
 #define SRC_CORE_SYNC_AGENT_H_
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "src/core/replication_buffer.h"
+#include "src/core/rb_wire.h"
 #include "src/kernel/guest.h"
 #include "src/kernel/kernel.h"
 
 namespace remon {
+
+class RbTransport;
+
+// Offsets within the sync log segment (see the layout comment above).
+inline constexpr uint64_t kSyncLogOffTail = 0;
+inline constexpr uint64_t kSyncLogOffEntries = 64;
+inline constexpr uint64_t kSyncLogEntrySize = 16;
 
 class SyncAgent {
  public:
@@ -30,6 +61,12 @@ class SyncAgent {
   SyncAgent(Kernel* kernel, Config config) : kernel_(kernel), config_(config) {}
 
   bool is_master() const { return config_.replica_index == 0; }
+  const Config& config() const { return config_; }
+
+  // Entry slots the circular log holds.
+  uint64_t capacity() const {
+    return (config_.log_size - kSyncLogOffEntries) / kSyncLogEntrySize;
+  }
 
   // Guest-side setup: attach the shared log segment and register with the kernel.
   GuestTask<void> Initialize(Guest& g);
@@ -41,19 +78,82 @@ class SyncAgent {
 
   uint64_t ops_recorded() const { return ops_recorded_; }
   uint64_t ops_replayed() const { return ops_replayed_; }
+  // Slave-side: next log index this replica will replay.
+  uint64_t read_cursor() const { return read_cursor_; }
+
+  // Fellow replicas' agents in replica order (set by the front end). The master
+  // consults the slaves' read cursors to gate wraparound overwrites; slaves use
+  // entry 0 to wake a master parked on a full log.
+  void set_peers(std::vector<SyncAgent*> peers) { peers_ = std::move(peers); }
+
+  // --- Cross-machine replica sets (src/core/rb_transport.h) -----------------------
+
+  // Master of a cross-machine set: appends additionally stream to the remote
+  // agents as kSyncLog frames.
+  void set_transport(RbTransport* transport) { transport_ = transport; }
+
+  // Coalescing window for the sync-log stream, per appending rank (wired to the
+  // master IP-MON's adaptive batch window). Unset or <= 1: one frame per append.
+  void set_coalesce_window(std::function<int(int)> fn) { window_fn_ = std::move(fn); }
+
+  // Publishes every pending streamed append as one kSyncLog frame. Invoked from
+  // the window check in BeforeAcquire, from IP-MON's flush points (monitored-call
+  // entry, quiescent checkpoints), and from the kernel park hook — the same
+  // liveness contract batched RB publication has: a parked or dying master thread
+  // never leaves a remote slave waiting on an unstreamed sync op.
+  void FlushLogStream();
+  uint64_t stream_pending() const { return pending_.size(); }
+
+  // Remote-side replay (invoked by the RemoteSyncAgent): applies `records`
+  // starting at absolute log index `start_index` into this replica's machine-local
+  // mirror — entry slots first, tail word last (forward-only), futex wake.
+  // Returns false when the frame cannot belong to this log's state (a gap after
+  // the mirror tail, an overflow past capacity, or geometry violations).
+  bool ApplyRemoteLog(uint64_t start_index, const std::vector<RbSyncLogRecord>& records);
+
+  // --- Replica re-seed (src/core/snapshot.h) --------------------------------------
+
+  bool log_valid() const { return log_.valid(); }
+  const RbView& log() const { return log_; }
+
+  // Captures the occupied slot region (slot order, min(tail, capacity) slots) for
+  // the leader checkpoint. Valid on any replica with an initialized log.
+  std::vector<uint8_t> CaptureLogImage() const;
+  // The absolute tail as published in this replica's log view.
+  uint64_t tail() const;
+
+  // Restores a leader checkpoint into this replica's mirror: validates geometry,
+  // the carried read cursor, and per-slot seq/byte consistency against the local
+  // state (a mismatch means the streams diverged), then writes the image slots,
+  // stores the tail last (forward-only) and wakes waiters. Returns nullptr on
+  // success or a static reason string on refusal.
+  const char* ApplyLogSnapshot(uint64_t log_size, uint64_t snap_tail,
+                               uint64_t snap_read_cursor,
+                               const std::vector<uint8_t>& image);
 
  private:
   WaitQueue* LogQueue();
-
-  static constexpr uint64_t kOffTail = 0;
-  static constexpr uint64_t kOffEntries = 64;
+  // Slaves report consumption so a master parked on a full log re-checks the
+  // minimum cursor (host-side: models the ack-piggybacked cursor channel).
+  void OnSlaveConsumed();
+  uint64_t MinPeerReadCursor() const;
 
   Kernel* kernel_;
   Config config_;
   RbView log_;
+  std::vector<SyncAgent*> peers_;
   uint64_t read_cursor_ = 0;  // Slave-side: next log index to replay.
   uint64_t ops_recorded_ = 0;
   uint64_t ops_replayed_ = 0;
+
+  // Master-side wraparound gate (see the layout comment).
+  WaitQueue wrap_queue_;
+
+  // Cross-machine streaming state (master only).
+  RbTransport* transport_ = nullptr;
+  std::function<int(int)> window_fn_;
+  uint64_t pending_start_ = 0;  // Absolute index of pending_[0].
+  std::vector<RbSyncLogRecord> pending_;
 };
 
 }  // namespace remon

@@ -41,7 +41,11 @@ RemonOptions OptionsFor(const RunConfig& config, double mem_intensity,
   opts.rb_batch_max = config.rb_batch_max;
   opts.rb_batch_policy = config.rb_batch_policy;
   opts.mem_intensity = mem_intensity;
-  opts.use_sync_agent = false;  // Suite workloads are race-free by construction.
+  // Suite workloads are race-free by construction; multi-threaded servers opt in
+  // (their pool workers then serialize racy accept-side bookkeeping through the
+  // agent). Single-threaded programs never consult the agent.
+  opts.use_sync_agent = config.use_sync_agent && multithreaded;
+  opts.sync_log_size = config.sync_log_size;
   opts.respawn_dead_replicas = config.respawn_dead_replicas;
   return opts;
 }

@@ -48,6 +48,12 @@ struct RunConfig {
   // Fault injection: at this virtual time, tear down the highest-index remote
   // replica's sync agent (the remote-machine-death experiment). 0 disables.
   TimeNs kill_remote_replica_at = 0;
+  // Record/replay agent for multi-threaded workloads (paper §2.3): thread-pool
+  // servers wrap their racy accept-side bookkeeping in BeforeAcquire when set.
+  // With a cross-machine placement the master's log streams as kSyncLog frames.
+  bool use_sync_agent = false;
+  // Sync-agent log segment size (wraps circularly when exceeded).
+  uint64_t sync_log_size = 1024 * 1024;
 };
 
 struct SuiteResult {

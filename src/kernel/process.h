@@ -22,6 +22,7 @@ namespace remon {
 
 class Kernel;
 class Guest;
+class SyncAgent;
 
 // Guest program body: a coroutine taking the thread's Guest facade.
 using ProgramFn = std::function<GuestTask<void>(Guest&)>;
@@ -103,6 +104,10 @@ class Process {
   PtraceHub* tracer = nullptr;  // GHUMVEE's ptrace channel; not owned.
   int replica_index = -1;       // >= 0 when this process is a managed replica.
   IpmonRegistration ipmon;
+  // This replica's record/replay agent (set at SyncAgent::Initialize; null when
+  // the workload runs without one). Multi-threaded workloads wrap their racy
+  // user-space synchronization in sync_agent->BeforeAcquire(...).
+  SyncAgent* sync_agent = nullptr;  // Not owned.
 
   // System V shm attachments: start address -> shmid.
   std::map<GuestAddr, int> shm_attachments;

@@ -98,6 +98,13 @@ struct SimStats {
   // Synchronization replication (record/replay agent).
   uint64_t sync_ops_recorded = 0;
   uint64_t sync_ops_replayed = 0;
+  // Sync-agent log transport (cross-machine multi-threaded replicas) and the
+  // circular log's wraparound gate.
+  uint64_t sync_log_frames_sent = 0;      // kSyncLog frames enqueued (per remote).
+  uint64_t sync_log_records_streamed = 0;  // Appends published to the stream (once).
+  uint64_t sync_log_frames_applied = 0;   // kSyncLog frames replayed into mirrors.
+  uint64_t sync_log_records_applied = 0;  // Records replayed into mirrors.
+  uint64_t sync_log_wrap_stalls = 0;      // Master appends parked on a full log.
 
   // Signals.
   uint64_t signals_raised = 0;

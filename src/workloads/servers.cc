@@ -4,12 +4,17 @@
 #include <array>
 #include <vector>
 
+#include "src/core/sync_agent.h"
 #include "src/kernel/abi.h"
 #include "src/sim/check.h"
 
 namespace remon {
 
 namespace {
+
+// Synchronization object the pool workers' shared accept-side bookkeeping hides
+// behind (only meaningful when the replica runs a record/replay agent).
+constexpr uint32_t kSyncObjConnCounter = 1;
 
 // Parses "R<8 digits>\n"; returns requested byte count or 0 when malformed.
 uint64_t ParseRequest(Guest& g, GuestAddr buf) {
@@ -97,13 +102,30 @@ GuestTask<int> ReadRequest(Guest& g, int fd, GuestAddr buf) {
 }
 
 // A connection-per-thread worker: blocking accept loop (apache/memcached style).
-ProgramFn PoolWorker(int listen_fd, ServerSpec spec) {
-  return [listen_fd, spec](Guest& g) -> GuestTask<void> {
+// `conn_counter` is a shared guest word the workers bump per accepted connection
+// (global connection ids, as real pool servers keep for logs/stats). The pop is
+// racy across worker threads, so under an MVEE it must be serialized by the
+// record/replay agent: the ticket feeds the access-log write's arguments, and a
+// replica replaying the acquisition order wrongly diverges right there.
+ProgramFn PoolWorker(int listen_fd, GuestAddr conn_counter, ServerSpec spec) {
+  return [listen_fd, conn_counter, spec](Guest& g) -> GuestTask<void> {
     WorkerState ws = co_await InitWorker(g, spec);
+    GuestAddr ticket_buf = g.Alloc(32);
     for (;;) {
       int64_t cfd = co_await g.Accept(listen_fd, 0, 0);
       if (cfd < 0) {
         co_return;  // Listener closed: shut down.
+      }
+      SyncAgent* agent = g.process()->sync_agent;
+      if (agent != nullptr) {
+        co_await agent->BeforeAcquire(g, kSyncObjConnCounter);
+        uint32_t ticket = g.PeekU32(conn_counter);
+        g.PokeU32(conn_counter, ticket + 1);
+        if (ws.log_fd >= 0) {
+          std::string line = "conn" + std::to_string(ticket) + ";";
+          g.Poke(ticket_buf, line.data(), line.size());
+          co_await g.Write(ws.log_fd, ticket_buf, line.size());
+        }
       }
       for (;;) {
         int ok = co_await ReadRequest(g, static_cast<int>(cfd), ws.in_buf);
@@ -264,6 +286,9 @@ ProgramFn ServerProgram(const ServerSpec& spec) {
                                         static_cast<uint64_t>(kO_NONBLOCK)));
     }
     int listen_fd = static_cast<int>(lfd);
+    // Shared accept-side bookkeeping for the pool model (see PoolWorker).
+    GuestAddr conn_counter = g.Alloc(4);
+    g.PokeU32(conn_counter, 0);
 
     // Spawn the workers; the main thread becomes worker 0.
     for (int w = 1; w < spec.workers; ++w) {
@@ -276,7 +301,7 @@ ProgramFn ServerProgram(const ServerSpec& spec) {
           worker = SelectWorker(listen_fd, spec);
           break;
         case ServerKind::kThreadPool:
-          worker = PoolWorker(listen_fd, spec);
+          worker = PoolWorker(listen_fd, conn_counter, spec);
           break;
       }
       uint64_t fn = g.RegisterThreadFn(std::move(worker));
@@ -293,7 +318,7 @@ ProgramFn ServerProgram(const ServerSpec& spec) {
         self_worker = SelectWorker(listen_fd, spec);
         break;
       case ServerKind::kThreadPool:
-        self_worker = PoolWorker(listen_fd, spec);
+        self_worker = PoolWorker(listen_fd, conn_counter, spec);
         break;
     }
     co_await self_worker(g);

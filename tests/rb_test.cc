@@ -336,6 +336,114 @@ TEST(RbStressTest, WraparoundUnderAdaptiveBatching) {
   }
 }
 
+// --- Sync-agent circular log: wraparound stress ------------------------------------
+
+// Fills a (deliberately tiny) 32-slot sync log ~28 laps over with free-racing
+// BeforeAcquire-guarded pops from three worker ranks, then scans every slot. The
+// run finishing at all proves the wraparound gate never lost a wakeup (a master
+// parked on a full log with no consumer left to wake would hang the MVEE, and a
+// slave fed an overwritten slot trips the seq check and aborts); the post-run
+// scan proves no slot carries a stale lap: each slot's embedded seq must be from
+// the final lap, congruent to its slot index.
+TEST(RbStressTest, SyncLogWraparoundUnderRacingRanks) {
+  SimWorld w(92);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 3;
+  opts.level = PolicyLevel::kNonsocketRw;
+  opts.rb_size = 512 * 1024;
+  opts.max_ranks = 4;
+  opts.rb_batch_max = 8;
+  opts.rb_batch_policy = RbBatchPolicy::kAdaptive;
+  opts.use_sync_agent = true;
+  constexpr uint64_t kSlots = 32;
+  opts.sync_log_size = kSyncLogOffEntries + kSlots * kSyncLogEntrySize;
+  Remon mvee(&w.kernel, opts);
+
+  constexpr int kWorkers = 3;
+  constexpr int kOpsPerWorker = 300;
+  mvee.Launch([](Guest& g) -> GuestTask<void> {
+    GuestAddr shared = g.Alloc(4);
+    g.PokeU32(shared, 0);
+    auto worker = [shared](int id) -> ProgramFn {
+      return [shared, id](Guest& wg) -> GuestTask<void> {
+        SyncAgent* agent = wg.process()->sync_agent;
+        REMON_CHECK(agent != nullptr);
+        int64_t fd = co_await wg.Open("/tmp/syncwrap-" + std::to_string(id),
+                                      kO_CREAT | kO_RDWR);
+        GuestAddr buf = wg.Alloc(128);
+        for (int i = 0; i < kOpsPerWorker; ++i) {
+          // Free-racing guarded pop: the object stream is rank-deterministic,
+          // the interleaving is whatever the scheduler produces.
+          co_await agent->BeforeAcquire(wg, 1 + static_cast<uint32_t>(i % 3));
+          uint32_t v = wg.PeekU32(shared);
+          wg.PokeU32(shared, v + 1);
+          if (i % 13 == 0) {
+            // The popped value feeds the write's length: a replica replaying
+            // the order wrongly diverges on the argument signature.
+            co_await wg.Write(static_cast<int>(fd), buf, 32 + (v % 7));
+          }
+          if (i % 29 == 0) {
+            co_await wg.Compute(Micros(20));  // Lets slaves fall behind/catch up.
+          }
+        }
+        co_await wg.Close(static_cast<int>(fd));
+      };
+    };
+    GuestAddr join = g.Alloc(8);
+    co_await g.Pipe(join);
+    int join_rd = static_cast<int>(g.PeekU32(join));
+    int join_wr = static_cast<int>(g.PeekU32(join + 4));
+    for (int i = 1; i < kWorkers; ++i) {
+      auto body = worker(i);
+      uint64_t fn = g.RegisterThreadFn([body, join_wr](Guest& wg) -> GuestTask<void> {
+        co_await body(wg);
+        GuestAddr d = wg.Alloc(1);
+        wg.Poke(d, "D", 1);
+        co_await wg.Write(join_wr, d, 1);
+      });
+      co_await g.SpawnThread(fn);
+    }
+    auto self = worker(0);
+    co_await self(g);
+    GuestAddr sink = g.Alloc(4);
+    for (int i = 0; i < kWorkers - 1; ++i) {
+      int64_t n = co_await g.Read(join_rd, sink, 1);
+      REMON_CHECK(n == 1);
+    }
+  }, "syncwrap");
+  w.Run();
+
+  EXPECT_TRUE(mvee.finished());
+  EXPECT_FALSE(mvee.divergence_detected());
+  const SimStats& stats = w.sim.stats();
+  constexpr uint64_t kTotalOps = static_cast<uint64_t>(kWorkers) * kOpsPerWorker;
+  EXPECT_EQ(stats.sync_ops_recorded, kTotalOps);
+  // Every slave replica replayed the full history.
+  EXPECT_EQ(stats.sync_ops_replayed, 2 * kTotalOps);
+  EXPECT_EQ(mvee.sync_agent(1)->ops_replayed(), kTotalOps);
+  EXPECT_EQ(mvee.sync_agent(2)->ops_replayed(), kTotalOps);
+  // The master outran a lap and actually parked on the wraparound gate.
+  EXPECT_GT(stats.sync_log_wrap_stalls, 0u);
+
+  // Stale-slot scan (the rb_test wraparound idiom): after ~28 laps, every slot
+  // must hold a final-lap entry — seq congruent to the slot index and within
+  // the last `kSlots` ops. A slot with an older seq means a lap overwrote an
+  // entry some replica had not consumed (or a publication was lost).
+  for (const SyncAgent* agent :
+       {mvee.sync_agent(0), mvee.sync_agent(1), mvee.sync_agent(2)}) {
+    ASSERT_TRUE(agent != nullptr && agent->log_valid());
+    const RbView& log = agent->log();
+    EXPECT_EQ(agent->tail(), kTotalOps);
+    for (uint64_t s = 0; s < kSlots; ++s) {
+      uint64_t seq = log.ReadU64(kSyncLogOffEntries + s * kSyncLogEntrySize + 8);
+      EXPECT_EQ(seq % kSlots, s) << "slot " << s;
+      EXPECT_GE(seq, kTotalOps - kSlots) << "slot " << s;
+      EXPECT_LT(seq, kTotalOps) << "slot " << s;
+    }
+  }
+}
+
 // --- FileMap --------------------------------------------------------------------
 
 TEST(FileMapTest, SetClearLookup) {

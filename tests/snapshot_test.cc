@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "src/core/snapshot.h"
+#include "src/core/sync_agent.h"
 #include "src/mem/address_space.h"
 #include "src/sim/rng.h"
 
@@ -147,6 +148,28 @@ ReplicaSnapshot MakeSnapshot(Rng* rng, uint64_t rb_size, int max_ranks) {
   return snap;
 }
 
+// Adds a coherent sync-agent log section (v3): a circular log of `cap` slots with
+// `tail` ops recorded, the occupied-slot image carrying per-slot seq stamps that
+// match what a real wraparound history would leave behind.
+void AddSyncSection(ReplicaSnapshot* snap, Rng* rng, uint64_t cap, uint64_t tail) {
+  snap->sync_log_size = kSyncLogOffEntries + cap * kSyncLogEntrySize;
+  snap->sync_tail = tail;
+  snap->sync_read_cursor = rng->NextBelow(tail + 1);
+  uint64_t occupied = std::min(tail, cap);
+  snap->sync_image.assign(occupied * kSyncLogEntrySize, 0);
+  for (uint64_t s = 0; s < occupied; ++s) {
+    uint32_t obj = static_cast<uint32_t>(rng->NextBelow(1000));
+    uint32_t rank = static_cast<uint32_t>(rng->NextBelow(4));
+    // The last seq written to slot s: the largest value < tail congruent to s.
+    uint64_t laps = (tail - 1 - s) / cap;
+    uint64_t seq = s + laps * cap;
+    uint8_t* slot = snap->sync_image.data() + s * kSyncLogEntrySize;
+    std::memcpy(slot, &obj, 4);
+    std::memcpy(slot + 4, &rank, 4);
+    std::memcpy(slot + 8, &seq, 8);
+  }
+}
+
 std::vector<uint8_t> FlattenImage(const ReplicaSnapshot& snap) {
   std::vector<uint8_t> flat(snap.rb_size, 0);
   for (const PageRun& run : snap.rb_image.runs) {
@@ -161,6 +184,11 @@ TEST(SnapshotCodecTest, SerializeAssembleRoundTrip) {
     uint64_t rb_size = (64 + rng.NextBelow(128)) * kPageSize;
     int ranks = 1 + static_cast<int>(rng.NextBelow(8));
     ReplicaSnapshot snap = MakeSnapshot(&rng, rb_size, ranks);
+    if (iter % 2 == 0) {
+      // Half the sweep carries a v3 sync section, wrapped and unwrapped alike.
+      uint64_t cap = 8 + rng.NextBelow(64);
+      AddSyncSection(&snap, &rng, cap, rng.NextBelow(3 * cap) + 1);
+    }
     SnapshotPayloads payloads = SerializeSnapshot(snap);
 
     SnapshotAssembler asm_;
@@ -184,8 +212,58 @@ TEST(SnapshotCodecTest, SerializeAssembleRoundTrip) {
       EXPECT_EQ(out.epoll[i].fd, snap.epoll[i].fd);
       EXPECT_EQ(out.epoll[i].data, snap.epoll[i].data);
     }
+    EXPECT_EQ(out.sync_log_size, snap.sync_log_size);
+    EXPECT_EQ(out.sync_tail, snap.sync_tail);
+    EXPECT_EQ(out.sync_read_cursor, snap.sync_read_cursor);
+    EXPECT_EQ(out.sync_image, snap.sync_image) << "iter " << iter;
     EXPECT_EQ(asm_.image(), FlattenImage(snap)) << "iter " << iter;
   }
+}
+
+// --- v3 sync-log section rejection vectors -----------------------------------------
+
+TEST(SnapshotCodecTest, SyncSectionWithoutLogSizeRejected) {
+  Rng rng(41);
+  ReplicaSnapshot snap = MakeSnapshot(&rng, 64 * kPageSize, 2);
+  AddSyncSection(&snap, &rng, 16, 10);
+  snap.sync_log_size = 0;  // Image + tail without a log to describe them.
+  SnapshotPayloads payloads = SerializeSnapshot(snap);
+  SnapshotAssembler asm_;
+  EXPECT_FALSE(asm_.Begin(payloads.begin));
+  EXPECT_EQ(asm_.state(), SnapshotAssembler::State::kFailed);
+}
+
+TEST(SnapshotCodecTest, SyncImageLengthDisagreeingWithTailRejected) {
+  Rng rng(43);
+  ReplicaSnapshot snap = MakeSnapshot(&rng, 64 * kPageSize, 2);
+  AddSyncSection(&snap, &rng, 16, 10);
+  snap.sync_image.resize(snap.sync_image.size() - kSyncLogEntrySize);  // One short.
+  SnapshotPayloads payloads = SerializeSnapshot(snap);
+  SnapshotAssembler asm_;
+  EXPECT_FALSE(asm_.Begin(payloads.begin));
+  EXPECT_EQ(asm_.state(), SnapshotAssembler::State::kFailed);
+}
+
+TEST(SnapshotCodecTest, SyncCursorPastTailRejected) {
+  Rng rng(47);
+  ReplicaSnapshot snap = MakeSnapshot(&rng, 64 * kPageSize, 2);
+  AddSyncSection(&snap, &rng, 16, 10);
+  snap.sync_read_cursor = snap.sync_tail + 1;  // A cursor the log cannot reach.
+  SnapshotPayloads payloads = SerializeSnapshot(snap);
+  SnapshotAssembler asm_;
+  EXPECT_FALSE(asm_.Begin(payloads.begin));
+  EXPECT_EQ(asm_.state(), SnapshotAssembler::State::kFailed);
+}
+
+TEST(SnapshotCodecTest, SyncLogSmallerThanItsHeaderRejected) {
+  Rng rng(53);
+  ReplicaSnapshot snap = MakeSnapshot(&rng, 64 * kPageSize, 2);
+  AddSyncSection(&snap, &rng, 4, 4);
+  snap.sync_log_size = kSyncLogOffEntries;  // Room for the tail word, no slots.
+  SnapshotPayloads payloads = SerializeSnapshot(snap);
+  SnapshotAssembler asm_;
+  EXPECT_FALSE(asm_.Begin(payloads.begin));
+  EXPECT_EQ(asm_.state(), SnapshotAssembler::State::kFailed);
 }
 
 TEST(SnapshotCodecTest, TruncatedChunkStreamRejectedAtEnd) {

@@ -302,6 +302,67 @@ TEST(RemotePlacementTest, KilledReplicaReseedsAndServesIdenticalTranscript) {
   EXPECT_EQ(per_epoch_sent, reseeded.stats.rb_frames_sent);
 }
 
+TEST(RemotePlacementTest, MultithreadedPoolServerReseedsWithSyncLog) {
+  // The multi-threaded recovery story end to end: a thread-pool server whose
+  // workers serialize racy accept-side bookkeeping through the record/replay
+  // agent, with one replica on its own machine. Mid-benchmark the remote's link
+  // is torn down and a replacement is checkpoint-seeded back in — the snapshot
+  // now carrying the sync-log image + replay cursor — and the client-observed
+  // transcript must match the uninterrupted run exactly.
+  ServerSpec server = ServerByName("memcached");  // 4 pool workers.
+  server.log_writes = 2;
+  ClientSpec client;
+  client.connections = 8;
+  client.total_requests = 120;
+  client.request_bytes = 512;
+  LinkParams link{60 * kMicrosecond, 0.125};
+
+  RunConfig config;
+  config.mode = MveeMode::kRemon;
+  config.replicas = 3;
+  config.level = PolicyLevel::kSocketRw;
+  config.rb_batch_max = 16;
+  config.rb_batch_policy = RbBatchPolicy::kAdaptive;
+  config.placement = {0, 1};  // Replica 2 on its own machine.
+  config.use_sync_agent = true;
+
+  // Placement transparency first: the agent-guarded pool serves identically
+  // whether the replica set is all-local or split across machines.
+  RunConfig all_local = config;
+  all_local.placement.clear();
+  ServerResult local = RunServerBench(server, client, all_local, link);
+  ASSERT_FALSE(local.diverged);
+  ASSERT_EQ(local.requests, 120);
+  EXPECT_GT(local.stats.sync_ops_recorded, 0u);
+  EXPECT_EQ(local.stats.sync_log_frames_sent, 0u);  // All-local: no stream.
+
+  ServerResult remote = RunServerBench(server, client, config, link);
+  ASSERT_FALSE(remote.diverged);
+  EXPECT_EQ(remote.requests, local.requests);
+  EXPECT_EQ(remote.bytes_received, local.bytes_received);
+  // The sync log really traveled: appends streamed as kSyncLog frames and every
+  // one was replayed into the remote mirror.
+  EXPECT_GT(remote.stats.sync_log_frames_sent, 0u);
+  EXPECT_EQ(remote.stats.sync_log_records_applied,
+            remote.stats.sync_log_records_streamed);
+  // Both slaves replayed the master's full acquisition history.
+  EXPECT_EQ(remote.stats.sync_ops_replayed, 2 * remote.stats.sync_ops_recorded);
+
+  RunConfig faulted = config;
+  faulted.respawn_dead_replicas = true;
+  faulted.kill_remote_replica_at = Millis(3);
+  ServerResult reseeded = RunServerBench(server, client, faulted, link);
+
+  EXPECT_FALSE(reseeded.diverged);
+  EXPECT_EQ(reseeded.requests, remote.requests);
+  EXPECT_EQ(reseeded.bytes_received, remote.bytes_received);
+  EXPECT_GE(reseeded.stats.rb_remote_deaths, 1u);
+  EXPECT_GE(reseeded.stats.rb_replica_joins, 1u);
+  EXPECT_EQ(reseeded.stats.rb_snapshot_rejects, 0u);
+  // The recovered run still replicated the whole sync history to both slaves.
+  EXPECT_EQ(reseeded.stats.sync_ops_replayed, 2 * reseeded.stats.sync_ops_recorded);
+}
+
 TEST(RemotePlacementTest, RemoteLinkDownReportsDivergenceNotHang) {
   // Tearing the remote agent's link mid-run must end the run with a divergence
   // report (epoch bump included), never a hang on unacked frames or RB waits.

@@ -7,7 +7,7 @@
 //             [--rb-batch=N|adaptive|adaptive:MAX] [--rb-migration]
 //             [--placement=local|machine:N,...] [--rb-link-latency-us=N]
 //             [--rb-link-gbps=F] [--respawn-on-death] [--kill-replica-at-ms=N]
-//             [--list]
+//             [--sync-agent] [--sync-log-kb=N] [--list]
 //
 // Runs one workload (a suite benchmark by name, or a server benchmark driven by a
 // closed-loop client) under the chosen MVEE configuration and prints a run report.
@@ -45,6 +45,8 @@ struct CliArgs {
   double rb_link_gbps = 1.0;
   bool respawn_on_death = false;
   int kill_replica_at_ms = 0;
+  bool sync_agent = false;
+  uint64_t sync_log_kb = 1024;
   bool list = false;
   bool ok = true;
 };
@@ -172,6 +174,18 @@ CliArgs Parse(int argc, char** argv) {
       if (args.kill_replica_at_ms <= 0) {
         args.ok = false;
       }
+    } else if (std::strcmp(argv[i], "--sync-agent") == 0) {
+      // Record/replay agent for multi-threaded workloads: pool servers serialize
+      // their racy accept-side bookkeeping through it, and under a cross-machine
+      // placement the master's log streams as kSyncLog frames.
+      args.sync_agent = true;
+    } else if (StartsWith(argv[i], "--sync-log-kb=", &v)) {
+      long long kb = std::atoll(v);
+      if (kb <= 0) {
+        args.ok = false;  // Negative sizes must not wrap into a huge uint64.
+      } else {
+        args.sync_log_kb = static_cast<uint64_t>(kb);
+      }
     } else if (std::strcmp(argv[i], "--rb-migration") == 0) {
       args.rb_migration = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -245,6 +259,20 @@ void PrintStats(const SimStats& stats) {
       std::printf("\n");
     }
   }
+  if (stats.sync_ops_recorded > 0) {
+    std::printf("  sync agent: recorded=%llu replayed=%llu wrap-stalls=%llu",
+                static_cast<unsigned long long>(stats.sync_ops_recorded),
+                static_cast<unsigned long long>(stats.sync_ops_replayed),
+                static_cast<unsigned long long>(stats.sync_log_wrap_stalls));
+    if (stats.sync_log_frames_sent > 0) {
+      std::printf(" | log stream: frames=%llu records=%llu applied=%llu/%llu",
+                  static_cast<unsigned long long>(stats.sync_log_frames_sent),
+                  static_cast<unsigned long long>(stats.sync_log_records_streamed),
+                  static_cast<unsigned long long>(stats.sync_log_frames_applied),
+                  static_cast<unsigned long long>(stats.sync_log_records_applied));
+    }
+    std::printf("\n");
+  }
   if (stats.rb_replica_respawns > 0) {
     std::printf("  rb re-seed: respawns=%llu joins=%llu snapshot-frames=%llu "
                 "snapshot-KiB=%llu entries-restored=%llu rejects=%llu\n",
@@ -271,6 +299,8 @@ int Run(const CliArgs& args) {
   config.rb_link_bytes_per_ns = args.rb_link_gbps * 0.125;
   config.respawn_dead_replicas = args.respawn_on_death;
   config.kill_remote_replica_at = Millis(args.kill_replica_at_ms);
+  config.use_sync_agent = args.sync_agent;
+  config.sync_log_size = args.sync_log_kb * 1024;
   if (args.temporal_p > 0) {
     config.temporal.enabled = true;
     config.temporal.exempt_probability = args.temporal_p;
@@ -336,8 +366,8 @@ int main(int argc, char** argv) {
                          "[--workload=NAME|--server=NAME] [--rb-batch=N|adaptive] "
                          "[--placement=local|machine:N,...] [--rb-link-latency-us=N] "
                          "[--rb-link-gbps=F] [--respawn-on-death] "
-                         "[--kill-replica-at-ms=N] [--list]  "
-                         "(full reference: docs/CLI.md)\n");
+                         "[--kill-replica-at-ms=N] [--sync-agent] [--sync-log-kb=N] "
+                         "[--list]  (full reference: docs/CLI.md)\n");
     return 1;
   }
   if (args.list) {
