@@ -17,14 +17,21 @@ uint64_t SigBit(int sig) { return 1ULL << (sig - 1); }
 
 }  // namespace
 
-// Context for auxiliary root coroutines (signal handlers, IP-MON handler bodies).
-// Owned by Kernel::aux_ctxs_ (keyed by frame address), never by the frame itself, so
-// destroying a suspended frame cannot leak it.
-struct AuxDoneCtx {
+// Pooled state for one BlockingRetry cycle. The attempt/provider/done closures move
+// in here exactly once; every retry re-dispatches through the context instead of
+// re-capturing them into a fresh wake closure. Contexts recycle through the kernel's
+// free list (retry_free_), so steady-state blocking I/O never allocates.
+struct RetryCtx {
   Kernel* kernel = nullptr;
   Thread* thread = nullptr;
-  std::coroutine_handle<> frame;
-  std::function<void()> then;
+  Kernel::AttemptFn attempt;
+  Kernel::QueueFn queue_provider;
+  TimeNs deadline = 0;
+  int64_t timeout_result = 0;
+  Kernel::Done done;
+  // Reused scratch the queue provider fills each cycle (capacity persists).
+  std::vector<WaitQueue*> queues;
+  RetryCtx* next_free = nullptr;
 };
 
 Kernel::Kernel(Simulator* sim, Filesystem* fs, Network* net, ShmRegistry* shm)
@@ -39,17 +46,22 @@ Kernel::~Kernel() {
   for (auto& t : threads_) {
     CancelWait(t.get());
   }
-  // Destroy still-live coroutine frames before members go away.
+  // Destroy still-live coroutine frames before members go away. Cancel any pending
+  // aux completion event first: it captures the promise we are about to destroy.
   for (auto& t : threads_) {
     if (t->root_frame) {
       t->root_frame.destroy();
       t->root_frame = nullptr;
     }
-    for (auto h : t->aux_frames) {
-      aux_ctxs_.erase(h.address());
-      h.destroy();
+    while (!t->aux_list.empty()) {
+      AuxList::Promise* p = t->aux_list.head();
+      if (p->aux.done_event != 0) {
+        sim_->queue().Cancel(p->aux.done_event);
+        p->aux.done_event = 0;
+      }
+      t->aux_list.Remove(p);
+      p->frame().destroy();
     }
-    t->aux_frames.clear();
   }
 }
 
@@ -166,11 +178,15 @@ void Kernel::ReapFramesLater(Thread* t) {
       t->root_frame.destroy();
       t->root_frame = nullptr;
     }
-    for (auto h : t->aux_frames) {
-      aux_ctxs_.erase(h.address());
-      h.destroy();
+    while (!t->aux_list.empty()) {
+      AuxList::Promise* p = t->aux_list.head();
+      if (p->aux.done_event != 0) {
+        sim_->queue().Cancel(p->aux.done_event);
+        p->aux.done_event = 0;
+      }
+      t->aux_list.Remove(p);
+      p->frame().destroy();
     }
-    t->aux_frames.clear();
   });
 }
 
@@ -207,7 +223,7 @@ void Kernel::KillProcessBySignal(Process* process, int sig) {
 
 // --- Scheduling ---------------------------------------------------------------------
 
-void Kernel::RunOnThreadCore(Thread* t, DurationNs duration, std::function<void()> fn) {
+void Kernel::RunOnThreadCore(Thread* t, DurationNs duration, EventQueue::Callback fn) {
   CpuPool::RunGrant grant = sim_->cpus().Acquire(static_cast<uint64_t>(t->tid()), sim_->now(),
                                                  duration, t->last_core);
   t->last_core = grant.core;
@@ -215,7 +231,7 @@ void Kernel::RunOnThreadCore(Thread* t, DurationNs duration, std::function<void(
   sim_->queue().ScheduleAt(grant.end, std::move(fn));
 }
 
-void Kernel::RunGuestCompute(Thread* t, DurationNs duration, std::function<void()> fn) {
+void Kernel::RunGuestCompute(Thread* t, DurationNs duration, EventQueue::Callback fn) {
   DurationNs dilated = duration;
   if (t->process()->replica_index >= 0 && active_replicas_ > 1) {
     dilated = static_cast<DurationNs>(
@@ -226,7 +242,7 @@ void Kernel::RunGuestCompute(Thread* t, DurationNs duration, std::function<void(
 }
 
 void Kernel::RunOnEntity(uint64_t entity, int* core_slot, DurationNs duration,
-                         std::function<void()> fn) {
+                         EventQueue::Callback fn) {
   CpuPool::RunGrant grant = sim_->cpus().Acquire(entity, sim_->now(), duration, *core_slot);
   *core_slot = grant.core;
   sim_->queue().ScheduleAt(grant.end, std::move(fn));
@@ -242,8 +258,8 @@ void Kernel::ResumeHandleOnThread(Thread* t, std::coroutine_handle<> h, Duration
 
 // --- Blocking -------------------------------------------------------------------------
 
-void Kernel::BlockThread(Thread* t, const std::vector<WaitQueue*>& queues, TimeNs deadline,
-                         bool interruptible, std::function<void(WakeReason)> on_wake) {
+void Kernel::BlockThread(Thread* t, std::span<WaitQueue* const> queues, TimeNs deadline,
+                         bool interruptible, WakeFn on_wake) {
   REMON_CHECK(!t->wait.active);
   // A deliverable pending signal aborts the sleep immediately.
   if (interruptible && (t->sig_pending & ~t->sig_blocked) != 0) {
@@ -288,6 +304,8 @@ void Kernel::FinishWait(Thread* t, WakeReason reason) {
     sim_->queue().Cancel(t->wait.timeout_event);
     t->wait.timeout_event = 0;
   }
+  // The wake closure (not us) owns releasing any retry context.
+  t->wait.retry_ctx = nullptr;
   t->set_state(ThreadState::kRunnable);
   auto cb = std::move(t->wait.on_wake);
   t->wait.on_wake = nullptr;
@@ -309,11 +327,36 @@ void Kernel::CancelWait(Thread* t) {
     sim_->queue().Cancel(t->wait.timeout_event);
     t->wait.timeout_event = 0;
   }
+  // The wake closure will never run; reclaim the retry context it would have owned.
+  if (t->wait.retry_ctx != nullptr) {
+    ReleaseRetryCtx(t->wait.retry_ctx);
+    t->wait.retry_ctx = nullptr;
+  }
   t->wait.on_wake = nullptr;
 }
 
-void Kernel::BlockingRetry(Thread* t, std::function<int64_t()> attempt,
-                           std::function<std::vector<WaitQueue*>()> queue_provider,
+RetryCtx* Kernel::AcquireRetryCtx() {
+  if (retry_free_ == nullptr) {
+    retry_arena_.push_back(std::make_unique<RetryCtx>());
+    return retry_arena_.back().get();
+  }
+  RetryCtx* c = retry_free_;
+  retry_free_ = c->next_free;
+  c->next_free = nullptr;
+  return c;
+}
+
+void Kernel::ReleaseRetryCtx(RetryCtx* c) {
+  // Drop captured state now (shared_ptrs to files etc.), not at the next reuse.
+  c->attempt = nullptr;
+  c->queue_provider = nullptr;
+  c->done = nullptr;
+  c->queues.clear();
+  c->next_free = retry_free_;
+  retry_free_ = c;
+}
+
+void Kernel::BlockingRetry(Thread* t, AttemptFn attempt, QueueFn queue_provider,
                            TimeNs deadline, int64_t timeout_result, Done done) {
   REMON_CHECK_MSG(attempt != nullptr, "BlockingRetry: empty attempt");
   REMON_CHECK_MSG(queue_provider != nullptr, "BlockingRetry: empty queue_provider");
@@ -327,23 +370,47 @@ void Kernel::BlockingRetry(Thread* t, std::function<int64_t()> attempt,
     done(timeout_result);
     return;
   }
-  // Evaluate before the lambda below moves `queue_provider` (argument evaluation
-  // order is unspecified).
-  std::vector<WaitQueue*> queues = queue_provider();
-  BlockThread(t, queues, deadline, /*interruptible=*/true,
-              [this, t, attempt = std::move(attempt), queue_provider = std::move(queue_provider),
-               deadline, timeout_result, done = std::move(done)](WakeReason reason) mutable {
-                if (reason == WakeReason::kTimeout) {
-                  done(timeout_result);
+  RetryCtx* c = AcquireRetryCtx();
+  c->kernel = this;
+  c->thread = t;
+  c->attempt = std::move(attempt);
+  c->queue_provider = std::move(queue_provider);
+  c->deadline = deadline;
+  c->timeout_result = timeout_result;
+  c->done = std::move(done);
+  RetryBlock(c);
+}
+
+void Kernel::RetryBlock(RetryCtx* c) {
+  c->queues.clear();
+  c->queue_provider(c->queues);
+  Thread* t = c->thread;
+  BlockThread(t, std::span<WaitQueue* const>(c->queues), c->deadline,
+              /*interruptible=*/true, [c](WakeReason reason) {
+                Kernel* k = c->kernel;
+                if (reason == WakeReason::kNotified) {
+                  int64_t r = c->attempt();
+                  if (r == -kEAGAIN && c->deadline > k->sim_->now()) {
+                    k->RetryBlock(c);
+                    return;
+                  }
+                  Done done = std::move(c->done);
+                  int64_t result = (r == -kEAGAIN) ? c->timeout_result : r;
+                  k->ReleaseRetryCtx(c);
+                  done(result);
                   return;
                 }
-                if (reason == WakeReason::kSignal) {
-                  done(-kEINTR);
-                  return;
-                }
-                BlockingRetry(t, std::move(attempt), std::move(queue_provider), deadline,
-                              timeout_result, std::move(done));
+                Done done = std::move(c->done);
+                int64_t result =
+                    (reason == WakeReason::kTimeout) ? c->timeout_result : -kEINTR;
+                k->ReleaseRetryCtx(c);
+                done(result);
               });
+  // BlockThread's pending-signal fast path completes without parking; the retry
+  // context then belongs to the scheduled wake closure, not the wait record.
+  if (t->wait.active) {
+    t->wait.retry_ctx = c;
+  }
 }
 
 // --- System call pipeline ------------------------------------------------------------
@@ -377,16 +444,20 @@ void Kernel::DefaultSyscallPath(Thread* t) {
 }
 
 void Kernel::ExecuteSyscallTraced(Thread* t, Done done) {
+  // CP monitoring is the paper's slow path: one boxed continuation per traced call
+  // keeps the nested stop closures within the inline callback capacities.
+  auto boxed = std::make_shared<Done>(std::move(done));
   PtraceStop(t, PtraceEvent::Kind::kSyscallEntry, 0,
-             [this, t, done = std::move(done)](const PtraceAction& a) {
+             [this, t, boxed](const PtraceAction& a) {
                if (a.rewrite) {
                  t->cur_req = a.new_req;
                }
-               auto to_exit_stop = [this, t, done](int64_t r) {
+               auto to_exit_stop = [this, t, boxed](int64_t r) {
                  t->cur_result = r;
                  PtraceStop(t, PtraceEvent::Kind::kSyscallExit, 0,
-                            [t, done](const PtraceAction& a2) {
-                              done(a2.override_result ? a2.result_override : t->cur_result);
+                            [t, boxed](const PtraceAction& a2) {
+                              (*boxed)(a2.override_result ? a2.result_override
+                                                          : t->cur_result);
                             });
                };
                if (a.skip_syscall) {
@@ -402,15 +473,22 @@ void Kernel::CompleteSyscall(Thread* t, int64_t result) {
     return;
   }
   t->in_syscall = false;
-  MaybeDeliverSignals(t, [this, t, result] {
-    if (!t->alive() || t->syscall_waiter == nullptr) {
-      return;
-    }
-    *t->result_slot = result;
-    std::coroutine_handle<> h = t->syscall_waiter;
-    t->syscall_waiter = nullptr;
-    ResumeHandleOnThread(t, h, sim_->costs().syscall_trap_ns / 2);
-  });
+  if ((t->sig_pending & ~t->sig_blocked) == 0) {
+    // Hot path: nothing deliverable, skip building the delivery continuation.
+    FinishCompleteSyscall(t, result);
+    return;
+  }
+  MaybeDeliverSignals(t, [this, t, result] { FinishCompleteSyscall(t, result); });
+}
+
+void Kernel::FinishCompleteSyscall(Thread* t, int64_t result) {
+  if (!t->alive() || t->syscall_waiter == nullptr) {
+    return;
+  }
+  *t->result_slot = result;
+  std::coroutine_handle<> h = t->syscall_waiter;
+  t->syscall_waiter = nullptr;
+  ResumeHandleOnThread(t, h, sim_->costs().syscall_trap_ns / 2);
 }
 
 // --- ptrace ----------------------------------------------------------------------------
@@ -421,16 +499,22 @@ void Kernel::PtraceAttach(Process* process, PtraceHub* hub) {
 
 void Kernel::PtraceDetach(Process* process) { process->tracer = nullptr; }
 
-void Kernel::PtraceStop(Thread* t, PtraceEvent::Kind kind, int sig,
-                        std::function<void(const PtraceAction&)> on_resume) {
+void Kernel::PtraceStop(Thread* t, PtraceEvent::Kind kind, int sig, ResumeFn on_resume) {
   PtraceHub* hub = t->process()->tracer;
   if (hub == nullptr) {
-    // Tracer vanished (monitor shutdown); act as if resumed with defaults.
-    PtraceAction a;
-    a.deliver_signal = true;
-    sim_->queue().ScheduleAfter(0, [cb = std::move(on_resume), a] { cb(a); });
+    // Tracer vanished (monitor shutdown); act as if resumed with defaults. Cold
+    // path: box the continuation rather than widening the event callback for it.
+    auto boxed = std::make_shared<ResumeFn>(std::move(on_resume));
+    sim_->queue().ScheduleAfter(0, [boxed] {
+      PtraceAction a;
+      a.deliver_signal = true;
+      (*boxed)(a);
+    });
     return;
   }
+  // A thread has at most one parked resume continuation; a second stop before the
+  // previous resume event fired would clobber it.
+  REMON_CHECK(t->on_ptrace_resume == nullptr);
   t->set_state(ThreadState::kPtraceStopped);
   t->on_ptrace_resume = std::move(on_resume);
   ++sim_->stats().ptrace_stops;
@@ -441,16 +525,23 @@ void Kernel::PtraceResume(Thread* t, const PtraceAction& action) {
   REMON_CHECK(t->state() == ThreadState::kPtraceStopped);
   REMON_CHECK(t->on_ptrace_resume != nullptr);
   ++sim_->stats().ptrace_resumes;
-  auto cb = std::move(t->on_ptrace_resume);
-  t->on_ptrace_resume = nullptr;
   t->set_state(ThreadState::kRunnable);
+  // The continuation stays parked on the thread and the action rides alongside it,
+  // so the scheduled event captures only the thread pointer.
+  t->pending_ptrace_action = action;
   // The resume costs a kernel round trip on the tracee side before it continues.
-  sim_->queue().ScheduleAfter(sim_->costs().ptrace_resume_ns,
-                              [t, cb = std::move(cb), action] {
-                                if (t->alive()) {
-                                  cb(action);
-                                }
-                              });
+  sim_->queue().ScheduleAfter(sim_->costs().ptrace_resume_ns, [t] {
+    if (!t->alive()) {
+      t->on_ptrace_resume = nullptr;
+      return;
+    }
+    auto cb = std::move(t->on_ptrace_resume);
+    t->on_ptrace_resume = nullptr;
+    // Copy out: the continuation can trigger a nested stop/resume that overwrites
+    // the pending slot while `a` is still referenced.
+    PtraceAction a = t->pending_ptrace_action;
+    cb(a);
+  });
 }
 
 bool Kernel::TracerRead(Process* p, GuestAddr addr, void* out, uint64_t len) {
@@ -535,6 +626,9 @@ void Kernel::PostSignalToThread(Thread* t, int sig) {
     // §3.8), but the sleep aborts either way — GHUMVEE prevents the restart so the
     // replica re-enters through IK-B.
     auto on_wake = std::move(t->wait.on_wake);
+    // The moved-out closure keeps ownership of any retry context; detach it so
+    // CancelWait does not reclaim it underneath the deferred wake.
+    t->wait.retry_ctx = nullptr;
     CancelWait(t);
     PtraceStop(t, PtraceEvent::Kind::kSignal, sig,
                [t, sig, on_wake = std::move(on_wake)](const PtraceAction& a) mutable {
@@ -624,35 +718,35 @@ void Kernel::RunSignalHandler(Thread* t, int sig, std::function<void()> then) {
   });
 }
 
-void Kernel::StartAuxCoroutine(Thread* t, GuestTask<void> task, std::function<void()> on_done) {
-  auto owner = std::make_unique<AuxDoneCtx>();
-  AuxDoneCtx* ctx = owner.get();
-  ctx->kernel = this;
-  ctx->thread = t;
-  ctx->then = std::move(on_done);
-  std::coroutine_handle<> frame = task.ReleaseAsRoot(
+void Kernel::StartAuxCoroutine(Thread* t, GuestTask<void> task,
+                               InlineFunction<void(), 64> on_done) {
+  // The completion context lives in the promise itself (task.h AuxFrame): no side
+  // ownership to allocate or look up. Whoever destroys the frame — the deferred
+  // completion event or the teardown walk, which cancels it via aux.done_event —
+  // unlinks it from t->aux_list first.
+  GuestTask<void>::Handle frame = task.handle();
+  AuxList::Promise* p = &frame.promise();
+  p->aux.kernel = this;
+  p->aux.thread = t;
+  p->aux.then = std::move(on_done);
+  t->aux_list.PushBack(p);
+  task.ReleaseAsRoot(
       [](void* arg) {
-        auto* c = static_cast<AuxDoneCtx*>(arg);
+        auto* pr = static_cast<AuxList::Promise*>(arg);
         // Runs inside the aux coroutine's final suspend; defer teardown.
-        c->kernel->sim_->queue().ScheduleAfter(0, [c] {
-          Thread* th = c->thread;
-          Kernel* k = c->kernel;
-          std::coroutine_handle<> done = c->frame;
-          auto then = std::move(c->then);
-          auto& frames = th->aux_frames;
-          frames.erase(std::remove(frames.begin(), frames.end(), done), frames.end());
+        pr->aux.done_event = pr->aux.kernel->sim_->queue().ScheduleAfter(0, [pr] {
+          pr->aux.done_event = 0;
+          Thread* th = pr->aux.thread;
+          auto then = std::move(pr->aux.then);
+          th->aux_list.Remove(pr);
           bool alive = th->alive();
-          k->aux_ctxs_.erase(done.address());  // Deletes c.
-          done.destroy();
+          pr->frame().destroy();
           if (alive && then) {
             then();
           }
         });
       },
-      ctx);
-  ctx->frame = frame;
-  aux_ctxs_[frame.address()] = std::move(owner);
-  t->aux_frames.push_back(frame);
+      p);
   sim_->queue().ScheduleAfter(0, [t, frame] {
     if (t->alive()) {
       frame.resume();

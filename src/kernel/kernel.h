@@ -19,10 +19,11 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/kernel/futex.h"
@@ -38,11 +39,19 @@
 namespace remon {
 
 class Guest;
-struct AuxDoneCtx;
+struct RetryCtx;
 
 class Kernel {
  public:
-  using Done = std::function<void(int64_t)>;
+  // Syscall completion continuation. Inline (no heap): capacity fits the fattest
+  // hot completion (CompleteSyscall bound to a thread, IP-MON's reply path).
+  using Done = InlineFunction<void(int64_t), 64>;
+  // BlockingRetry pieces. `attempt` re-runs the non-blocking body; the queue
+  // provider *fills* a reused vector (no per-retry vector return).
+  using AttemptFn = InlineFunction<int64_t(), 112>;
+  using QueueFn = InlineFunction<void(std::vector<WaitQueue*>&), 64>;
+  using WakeFn = InlineFunction<void(WakeReason), 96>;
+  using ResumeFn = InlineFunction<void(const PtraceAction&), 128>;
 
   Kernel(Simulator* sim, Filesystem* fs, Network* net, ShmRegistry* shm);
   ~Kernel();
@@ -102,12 +111,12 @@ class Kernel {
   // --- Scheduling helpers ---------------------------------------------------------
 
   // Runs `fn` after occupying the thread's core for `duration`.
-  void RunOnThreadCore(Thread* t, DurationNs duration, std::function<void()> fn);
+  void RunOnThreadCore(Thread* t, DurationNs duration, EventQueue::Callback fn);
   // Guest compute burst: applies the memory-contention dilation for replicas.
-  void RunGuestCompute(Thread* t, DurationNs duration, std::function<void()> fn);
+  void RunGuestCompute(Thread* t, DurationNs duration, EventQueue::Callback fn);
   // Runs `fn` after occupying an arbitrary entity's core (monitors).
   void RunOnEntity(uint64_t entity, int* core_slot, DurationNs duration,
-                   std::function<void()> fn);
+                   EventQueue::Callback fn);
   // Resumes a parked coroutine handle on the thread's core after `delay`.
   void ResumeHandleOnThread(Thread* t, std::coroutine_handle<> h, DurationNs delay);
 
@@ -115,14 +124,21 @@ class Kernel {
 
   // Parks `t` until any queue wakes it, the deadline passes, or (if interruptible) a
   // signal arrives. `on_wake` runs exactly once with the reason.
-  void BlockThread(Thread* t, const std::vector<WaitQueue*>& queues, TimeNs deadline,
-                   bool interruptible, std::function<void(WakeReason)> on_wake);
+  void BlockThread(Thread* t, std::span<WaitQueue* const> queues, TimeNs deadline,
+                   bool interruptible, WakeFn on_wake);
+  void BlockThread(Thread* t, std::initializer_list<WaitQueue*> queues, TimeNs deadline,
+                   bool interruptible, WakeFn on_wake) {
+    BlockThread(t, std::span<WaitQueue* const>(queues.begin(), queues.size()), deadline,
+                interruptible, std::move(on_wake));
+  }
   void CancelWait(Thread* t);
 
-  // Retries `attempt` until it stops returning -EAGAIN, blocking on `queue_provider`'s
-  // queues in between. Deadline semantics: on timeout, completes with `timeout_result`.
-  void BlockingRetry(Thread* t, std::function<int64_t()> attempt,
-                     std::function<std::vector<WaitQueue*>()> queue_provider,
+  // Retries `attempt` until it stops returning -EAGAIN, blocking on the queues
+  // `queue_provider` fills in between. Deadline semantics: on timeout, completes with
+  // `timeout_result`. The retry state (attempt/provider/done plus the queue vector)
+  // is moved once into a pooled RetryCtx; retries re-dispatch through it instead of
+  // re-capturing per cycle.
+  void BlockingRetry(Thread* t, AttemptFn attempt, QueueFn queue_provider,
                      TimeNs deadline, int64_t timeout_result, Done done);
 
   // --- ptrace ---------------------------------------------------------------------
@@ -142,7 +158,10 @@ class Kernel {
 
   // Runs an auxiliary coroutine on the thread's timeline (IP-MON handler bodies,
   // signal handlers); `on_done` fires after it completes (skipped if the thread died).
-  void StartAuxCoroutine(Thread* t, GuestTask<void> task, std::function<void()> on_done);
+  // The completion context is embedded in the coroutine's own promise (task.h
+  // AuxFrame) and the frame is linked into t->aux_list — no side allocations.
+  void StartAuxCoroutine(Thread* t, GuestTask<void> task,
+                         InlineFunction<void(), 64> on_done);
 
   // The Guest facade bound to a thread.
   Guest* GuestFor(Thread* t);
@@ -183,8 +202,9 @@ class Kernel {
   // Default path after the gate declined: ptrace stops when traced, else direct.
   void DefaultSyscallPath(Thread* t);
   void FinishTracedSyscall(Thread* t, int64_t result);
-  void PtraceStop(Thread* t, PtraceEvent::Kind kind, int sig,
-                  std::function<void(const PtraceAction&)> on_resume);
+  void PtraceStop(Thread* t, PtraceEvent::Kind kind, int sig, ResumeFn on_resume);
+  // CompleteSyscall tail once signal delivery (if any) has been handled.
+  void FinishCompleteSyscall(Thread* t, int64_t result);
 
   // Thread/process teardown.
   void OnRootFinished(Thread* t);
@@ -193,6 +213,11 @@ class Kernel {
 
   void FinishWait(Thread* t, WakeReason reason);
   void ArmItimer(Process* p, DurationNs value, DurationNs interval);
+
+  // BlockingRetry internals: one blocking cycle over a pooled context.
+  void RetryBlock(RetryCtx* c);
+  RetryCtx* AcquireRetryCtx();
+  void ReleaseRetryCtx(RetryCtx* c);
 
   // Signal helpers.
   void RunSignalHandler(Thread* t, int sig, std::function<void()> then);
@@ -236,10 +261,14 @@ class Kernel {
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::unique_ptr<Thread>> threads_;
   std::vector<std::unique_ptr<Guest>> guests_;
-  // Completion contexts for live aux coroutines, keyed by frame address. Owned here
-  // so a frame torn down early (dead thread, kernel destruction) cannot strand its
-  // context: whoever destroys the frame erases the entry.
-  std::unordered_map<void*, std::unique_ptr<AuxDoneCtx>> aux_ctxs_;
+
+  // Pooled BlockingRetry contexts (arena + free list; see RetryCtx in kernel.cc).
+  std::vector<std::unique_ptr<RetryCtx>> retry_arena_;
+  RetryCtx* retry_free_ = nullptr;
+
+  // Bounce buffer for guest<->VFS copies (DoReadInto/DoWriteFrom). Reused across
+  // calls — resize() keeps capacity — and never held across a suspension point.
+  std::vector<uint8_t> io_scratch_;
 };
 
 }  // namespace remon

@@ -34,21 +34,8 @@ struct PtraceEvent {
   int signal = 0;
 };
 
-// How the tracer resumes a stopped tracee.
-struct PtraceAction {
-  // Syscall-entry: skip executing the call and use `injected_result` instead
-  // (GHUMVEE aborts slave calls this way).
-  bool skip_syscall = false;
-  int64_t injected_result = 0;
-  // Syscall-entry: replace the request (argument rewriting).
-  bool rewrite = false;
-  SyscallRequest new_req;
-  // Syscall-exit: override the return value.
-  bool override_result = false;
-  int64_t result_override = 0;
-  // Signal stop: deliver the signal (false discards it; GHUMVEE defers delivery).
-  bool deliver_signal = false;
-};
+// PtraceAction (how the tracer resumes a stopped tracee) lives in thread.h so the
+// Thread can embed the pending action for an in-flight resume event.
 
 class Kernel;
 

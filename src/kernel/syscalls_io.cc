@@ -97,13 +97,15 @@ void Kernel::ExecuteSyscall(Thread* t, const SyscallRequest& req, Done done) {
 
 int64_t Kernel::DoReadInto(Thread* t, FileDescription* desc, GuestAddr buf, uint64_t len,
                            std::optional<uint64_t> pofs) {
-  std::vector<uint8_t> tmp(len);
+  // io_scratch_ is safe to reuse: nothing below suspends or re-enters a copy.
+  io_scratch_.resize(len);
+  uint8_t* tmp = io_scratch_.data();
   uint64_t offset = pofs.value_or(desc->offset());
-  int64_t n = desc->file()->Read(tmp.data(), len, offset);
+  int64_t n = desc->file()->Read(tmp, len, offset);
   if (n < 0) {
     return n;
   }
-  if (n > 0 && CopyOut(t->process(), buf, tmp.data(), static_cast<uint64_t>(n)) != 0) {
+  if (n > 0 && CopyOut(t->process(), buf, tmp, static_cast<uint64_t>(n)) != 0) {
     return -kEFAULT;
   }
   if (!pofs && desc->file()->Size() >= 0) {
@@ -114,15 +116,16 @@ int64_t Kernel::DoReadInto(Thread* t, FileDescription* desc, GuestAddr buf, uint
 
 int64_t Kernel::DoWriteFrom(Thread* t, FileDescription* desc, GuestAddr buf, uint64_t len,
                             std::optional<uint64_t> pofs) {
-  std::vector<uint8_t> tmp(len);
-  if (CopyIn(t->process(), tmp.data(), buf, len) != 0) {
+  io_scratch_.resize(len);
+  uint8_t* tmp = io_scratch_.data();
+  if (CopyIn(t->process(), tmp, buf, len) != 0) {
     return -kEFAULT;
   }
   uint64_t offset = pofs.value_or(desc->offset());
   if ((desc->status_flags() & kO_APPEND) != 0 && desc->file()->Size() >= 0) {
     offset = static_cast<uint64_t>(desc->file()->Size());
   }
-  int64_t n = desc->file()->Write(tmp.data(), len, offset);
+  int64_t n = desc->file()->Write(tmp, len, offset);
   if (n < 0) {
     return n;
   }
@@ -193,8 +196,9 @@ void Kernel::SysRead(Thread* t, const SyscallRequest& req, bool vectored, bool p
   }
   File* file = desc->file();
   BlockingRetry(
-      t, attempt, [file] { return std::vector<WaitQueue*>{&file->poll_queue()}; }, kTimeNever,
-      -kEAGAIN, std::move(done));
+      t, attempt,
+      [file](std::vector<WaitQueue*>& qs) { qs.push_back(&file->poll_queue()); },
+      kTimeNever, -kEAGAIN, std::move(done));
 }
 
 void Kernel::SysWrite(Thread* t, const SyscallRequest& req, bool vectored, bool positional,
@@ -244,8 +248,9 @@ void Kernel::SysWrite(Thread* t, const SyscallRequest& req, bool vectored, bool 
   }
   File* file = desc->file();
   BlockingRetry(
-      t, attempt, [file] { return std::vector<WaitQueue*>{&file->poll_queue()}; }, kTimeNever,
-      -kEAGAIN, std::move(done));
+      t, attempt,
+      [file](std::vector<WaitQueue*>& qs) { qs.push_back(&file->poll_queue()); },
+      kTimeNever, -kEAGAIN, std::move(done));
 }
 
 void Kernel::SysRecv(Thread* t, const SyscallRequest& req, bool msg, Done done) {
@@ -356,7 +361,8 @@ void Kernel::SysSendfile(Thread* t, const SyscallRequest& req, Done done) {
   }
   File* out_file = out_desc->file();
   BlockingRetry(
-      t, attempt, [out_file] { return std::vector<WaitQueue*>{&out_file->poll_queue()}; },
+      t, attempt,
+      [out_file](std::vector<WaitQueue*>& qs) { qs.push_back(&out_file->poll_queue()); },
       kTimeNever, -kEAGAIN, std::move(done));
 }
 
@@ -398,7 +404,8 @@ void Kernel::SysAccept(Thread* t, const SyscallRequest& req, bool accept4, Done 
     return done(attempt());
   }
   BlockingRetry(
-      t, attempt, [listener] { return std::vector<WaitQueue*>{&listener->poll_queue()}; },
+      t, attempt,
+      [listener](std::vector<WaitQueue*>& qs) { qs.push_back(&listener->poll_queue()); },
       kTimeNever, -kEAGAIN, std::move(done));
 }
 
@@ -433,8 +440,9 @@ void Kernel::SysConnect(Thread* t, const SyscallRequest& req, Done done) {
     }
   };
   BlockingRetry(
-      t, attempt, [sock] { return std::vector<WaitQueue*>{&sock->poll_queue()}; }, kTimeNever,
-      -kETIMEDOUT, std::move(done));
+      t, attempt,
+      [sock](std::vector<WaitQueue*>& qs) { qs.push_back(&sock->poll_queue()); },
+      kTimeNever, -kETIMEDOUT, std::move(done));
 }
 
 void Kernel::SysPoll(Thread* t, const SyscallRequest& req, Done done) {
@@ -481,8 +489,7 @@ void Kernel::SysPoll(Thread* t, const SyscallRequest& req, Done done) {
     return ready;
   };
 
-  auto queues = [this, t, fds]() {
-    std::vector<WaitQueue*> qs;
+  auto queues = [this, t, fds](std::vector<WaitQueue*>& qs) {
     for (const GuestPollfd& pf : *fds) {
       if (pf.fd >= 0) {
         auto d = Fd(t, pf.fd);
@@ -491,7 +498,6 @@ void Kernel::SysPoll(Thread* t, const SyscallRequest& req, Done done) {
         }
       }
     }
-    return qs;
   };
   BlockingRetry(t, attempt, queues, deadline, 0, std::move(done));
 }
@@ -569,8 +575,7 @@ void Kernel::SysSelect(Thread* t, const SyscallRequest& req, Done done) {
     return ready;
   };
 
-  auto queues = [this, t, sets, nfds, rd_addr, wr_addr, is_set]() {
-    std::vector<WaitQueue*> qs;
+  auto queues = [this, t, sets, nfds, rd_addr, wr_addr, is_set](std::vector<WaitQueue*>& qs) {
     for (int fd = 0; fd < nfds; ++fd) {
       bool interested = (rd_addr != 0 && is_set(sets->rd, fd)) ||
                         (wr_addr != 0 && is_set(sets->wr, fd));
@@ -581,7 +586,6 @@ void Kernel::SysSelect(Thread* t, const SyscallRequest& req, Done done) {
         }
       }
     }
-    return qs;
   };
   BlockingRetry(t, attempt, queues, deadline, 0, std::move(done));
 }
@@ -620,7 +624,8 @@ void Kernel::SysEpollWait(Thread* t, const SyscallRequest& req, Done done) {
   };
 
   BlockingRetry(
-      t, attempt, [ep] { return std::vector<WaitQueue*>{&ep->poll_queue()}; }, deadline, 0,
+      t, attempt,
+      [ep](std::vector<WaitQueue*>& qs) { qs.push_back(&ep->poll_queue()); }, deadline, 0,
       std::move(done));
 }
 

@@ -16,6 +16,8 @@
 
 #include "src/kernel/sysno.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/inline_fn.h"
+#include "src/sim/task.h"
 #include "src/sim/time.h"
 #include "src/vfs/wait_queue.h"
 
@@ -30,6 +32,23 @@ struct SyscallRequest {
   std::array<uint64_t, 6> args{};
 
   uint64_t arg(int i) const { return args[static_cast<size_t>(i)]; }
+};
+
+// How the tracer resumes a stopped tracee. Defined here (not ptrace.h) because
+// Thread embeds the pending action for the in-flight resume event.
+struct PtraceAction {
+  // Syscall-entry: skip executing the call and use `injected_result` instead
+  // (GHUMVEE aborts slave calls this way).
+  bool skip_syscall = false;
+  int64_t injected_result = 0;
+  // Syscall-entry: replace the request (argument rewriting).
+  bool rewrite = false;
+  SyscallRequest new_req;
+  // Syscall-exit: override the return value.
+  bool override_result = false;
+  int64_t result_override = 0;
+  // Signal stop: deliver the signal (false discards it; GHUMVEE defers delivery).
+  bool deliver_signal = false;
 };
 
 enum class ThreadState { kNew, kRunnable, kBlocked, kPtraceStopped, kExited };
@@ -68,8 +87,10 @@ class Thread {
   std::function<void()> program_anchor;
   // Root guest coroutine (released from GuestTask; owned here).
   std::coroutine_handle<> root_frame;
-  // Live auxiliary root coroutines (IP-MON handler instances, signal handlers).
-  std::vector<std::coroutine_handle<>> aux_frames;
+  // Live auxiliary root coroutines (IP-MON handler instances, signal handlers):
+  // an intrusive list threaded through the promises themselves (task.h AuxFrame),
+  // so start/finish never touch a map or an erase-remove scan.
+  AuxList aux_list;
   bool root_finished = false;
 
   // In-flight system call (valid while in_syscall).
@@ -86,12 +107,20 @@ class Thread {
     bool interruptible = true;
     std::vector<std::pair<WaitQueue*, uint64_t>> waiters;
     EventQueue::EventId timeout_event = 0;
-    std::function<void(WakeReason)> on_wake;
+    // Inline capacity sized for the fattest wake closure (SysNanosleep captures a
+    // whole Kernel::Done).
+    InlineFunction<void(WakeReason), 96> on_wake;
+    // Set while the wait belongs to a Kernel::BlockingRetry cycle; CancelWait
+    // releases the pooled context back to the kernel when the wake never fires.
+    struct RetryCtx* retry_ctx = nullptr;
   };
   WaitRecord wait;
 
-  // ptrace.
-  std::function<void(const struct PtraceAction&)> on_ptrace_resume;
+  // ptrace. The resume continuation stays parked here until the scheduled resume
+  // event fires (the action rides alongside rather than in the event closure, so
+  // the event callback is just a thread pointer).
+  InlineFunction<void(const PtraceAction&), 128> on_ptrace_resume;
+  PtraceAction pending_ptrace_action;
 
   // Signals.
   uint64_t sig_blocked = 0;

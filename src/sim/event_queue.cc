@@ -1,15 +1,143 @@
 #include "src/sim/event_queue.h"
 
-#include <algorithm>
-
 namespace remon {
+
+// --- EventIdSet -----------------------------------------------------------------------
+
+namespace {
+inline uint64_t HashId(uint64_t id) {
+  // Fibonacci multiplicative hash; ids are sequential, this spreads them.
+  return id * 0x9e3779b97f4a7c15ULL;
+}
+}  // namespace
+
+void EventIdSet::Grow() {
+  size_t new_cap = slots_.empty() ? 64 : slots_.size() * 2;
+  std::vector<uint64_t> old = std::move(slots_);
+  slots_.assign(new_cap, 0);
+  size_ = 0;
+  for (uint64_t id : old) {
+    if (id != 0) {
+      Insert(id);
+    }
+  }
+}
+
+bool EventIdSet::Insert(uint64_t id) {
+  REMON_CHECK(id != 0);
+  if (slots_.empty() || size_ * 4 >= slots_.size() * 3) {
+    Grow();
+  }
+  uint64_t mask = slots_.size() - 1;
+  uint64_t i = HashId(id) & mask;
+  while (slots_[i] != 0) {
+    if (slots_[i] == id) {
+      return false;
+    }
+    i = (i + 1) & mask;
+  }
+  slots_[i] = id;
+  ++size_;
+  return true;
+}
+
+bool EventIdSet::Contains(uint64_t id) const {
+  if (slots_.empty()) {
+    return false;
+  }
+  uint64_t mask = slots_.size() - 1;
+  uint64_t i = HashId(id) & mask;
+  while (slots_[i] != 0) {
+    if (slots_[i] == id) {
+      return true;
+    }
+    i = (i + 1) & mask;
+  }
+  return false;
+}
+
+bool EventIdSet::Erase(uint64_t id) {
+  if (slots_.empty()) {
+    return false;
+  }
+  uint64_t mask = slots_.size() - 1;
+  uint64_t i = HashId(id) & mask;
+  while (slots_[i] != id) {
+    if (slots_[i] == 0) {
+      return false;
+    }
+    i = (i + 1) & mask;
+  }
+  // Backward-shift deletion keeps probe chains intact without tombstones.
+  uint64_t hole = i;
+  slots_[hole] = 0;
+  uint64_t j = (hole + 1) & mask;
+  while (slots_[j] != 0) {
+    uint64_t home = HashId(slots_[j]) & mask;
+    // Move slots_[j] into the hole if its home position does not lie strictly
+    // after the hole on the probe path from home to j.
+    bool movable = ((j - home) & mask) >= ((j - hole) & mask);
+    if (movable) {
+      slots_[hole] = slots_[j];
+      slots_[j] = 0;
+      hole = j;
+    }
+    j = (j + 1) & mask;
+  }
+  --size_;
+  return true;
+}
+
+// --- EventQueue -----------------------------------------------------------------------
+
+EventQueue::~EventQueue() = default;
+
+EventQueue::Node* EventQueue::AcquireNode() {
+  if (free_nodes_ == nullptr) {
+    constexpr size_t kChunk = 256;
+    node_chunks_storage_.push_back(std::make_unique<Node[]>(kChunk));
+    Node* arr = node_chunks_storage_.back().get();
+    for (size_t i = 0; i < kChunk; ++i) {
+      arr[i].next = free_nodes_;
+      free_nodes_ = &arr[i];
+    }
+    ++node_chunks_;
+  }
+  Node* n = free_nodes_;
+  free_nodes_ = n->next;
+  n->next = nullptr;
+  return n;
+}
+
+void EventQueue::RecycleNode(Node* n) {
+  n->cb = nullptr;  // Drop captured state now, not at the next reuse.
+  n->id = 0;
+  n->next = free_nodes_;
+  free_nodes_ = n;
+}
 
 EventQueue::EventId EventQueue::ScheduleAt(TimeNs when, Callback cb) {
   REMON_CHECK(when >= now_);
   EventId id = next_seq_;
-  heap_.push(Entry{when, next_seq_, id, std::move(cb)});
   ++next_seq_;
   ++live_events_;
+  Node* n = AcquireNode();
+  n->cb = std::move(cb);
+  n->id = id;
+  if (lane_enabled_ && when == now_) {
+    // Ready lane. Appending preserves (when, seq) order: seq is monotonic and
+    // time cannot advance while the lane is non-empty (see RunOne).
+    if (lane_tail_ == nullptr) {
+      lane_head_ = lane_tail_ = n;
+    } else {
+      lane_tail_->next = n;
+      lane_tail_ = n;
+    }
+    ++lane_scheduled_;
+  } else {
+    heap_.push(HeapEntry{when, id, n});
+    ++heap_scheduled_;
+  }
   return id;
 }
 
@@ -18,52 +146,96 @@ bool EventQueue::Cancel(EventId id) {
     return false;
   }
   // An id can only be cancelled once and only if it has not run. We cannot cheaply
-  // check heap membership, so callers are trusted (and DCHECKed at pop time) not to
-  // cancel already-executed events.
-  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) {
+  // check queue membership, so callers are trusted (and the node is reclaimed at
+  // pop time) not to cancel already-executed events.
+  if (!cancelled_.Insert(id)) {
     return false;
   }
-  cancelled_.push_back(id);
   REMON_CHECK(live_events_ > 0);
   --live_events_;
   return true;
 }
 
-bool EventQueue::RunOne() {
-  while (!heap_.empty()) {
-    Entry e = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), e.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;  // Skip cancelled event without advancing the clock.
+void EventQueue::PopLaneFront() {
+  Node* n = lane_head_;
+  lane_head_ = n->next;
+  if (lane_head_ == nullptr) {
+    lane_tail_ = nullptr;
+  }
+  n->next = nullptr;
+}
+
+bool EventQueue::PeekNextLive(TimeNs* when, bool* from_lane) {
+  for (;;) {
+    // Skip cancelled lane fronts (lane entries are due at now_).
+    while (lane_head_ != nullptr && cancelled_.Contains(lane_head_->id)) {
+      cancelled_.Erase(lane_head_->id);
+      Node* n = lane_head_;
+      PopLaneFront();
+      RecycleNode(n);
     }
-    REMON_CHECK(e.when >= now_);
-    now_ = e.when;
-    REMON_CHECK(live_events_ > 0);
-    --live_events_;
-    ++executed_count_;
-    REMON_CHECK_MSG(e.cb != nullptr, "empty event callback");
-    e.cb();
+    // Skip cancelled heap tops.
+    while (!heap_.empty() && cancelled_.Contains(heap_.top().seq)) {
+      HeapEntry e = heap_.top();
+      heap_.pop();
+      cancelled_.Erase(e.seq);
+      RecycleNode(e.node);
+    }
+    if (lane_head_ == nullptr && heap_.empty()) {
+      return false;
+    }
+    if (lane_head_ != nullptr &&
+        (heap_.empty() || heap_.top().when > now_ ||
+         (heap_.top().when == now_ && heap_.top().seq > lane_head_->id))) {
+      *when = now_;
+      *from_lane = true;
+    } else {
+      *when = heap_.top().when;
+      *from_lane = false;
+    }
     return true;
   }
-  return false;
+}
+
+bool EventQueue::RunOne() {
+  TimeNs when = 0;
+  bool from_lane = false;
+  if (!PeekNextLive(&when, &from_lane)) {
+    return false;
+  }
+  Node* n;
+  if (from_lane) {
+    n = lane_head_;
+    PopLaneFront();
+  } else {
+    n = heap_.top().node;
+    heap_.pop();
+    REMON_CHECK(when >= now_);
+    now_ = when;
+  }
+  REMON_CHECK(live_events_ > 0);
+  --live_events_;
+  ++executed_count_;
+  REMON_CHECK_MSG(n->cb != nullptr, "empty event callback");
+  Callback cb = std::move(n->cb);
+  RecycleNode(n);
+  cb();
+  return true;
 }
 
 uint64_t EventQueue::RunUntil(TimeNs deadline) {
-  uint64_t n = 0;
-  while (!heap_.empty()) {
-    // Peek past cancelled entries to find the next live event time.
-    const Entry& top = heap_.top();
-    if (std::find(cancelled_.begin(), cancelled_.end(), top.id) == cancelled_.end() &&
-        top.when > deadline) {
+  uint64_t count = 0;
+  TimeNs when = 0;
+  bool from_lane = false;
+  while (PeekNextLive(&when, &from_lane)) {
+    if (when > deadline) {
       break;
     }
     if (RunOne()) {
-      ++n;
+      ++count;
     }
   }
-  return n;
+  return count;
 }
 
 }  // namespace remon

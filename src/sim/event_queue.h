@@ -3,23 +3,59 @@
 // The Simulator owns one EventQueue. Everything that "happens later" in the simulated
 // world — a compute burst finishing, a packet arriving, a futex timeout — is an event.
 // Ties are broken by insertion order so runs are deterministic.
+//
+// Steady-state operation is allocation-free (see docs/ARCHITECTURE.md, "Coroutine
+// runtime & scheduler fast path"):
+//  * callbacks are InlineFunction (inline storage, no heap fallback), held in pooled
+//    nodes recycled through a free list; the time heap orders lightweight
+//    {when, seq, node*} entries so heap sifts never move a callback;
+//  * zero-delay events (the resume bounces behind every syscall) go to an intrusive
+//    FIFO *ready lane* instead of the heap. The lane is drained in (when, seq) merge
+//    order against the heap top, which reproduces the heap's FIFO-among-same-time
+//    tie-break exactly — lane entries are appended with when == now() and seq is
+//    globally monotonic, so the lane is always (when, seq)-sorted and time cannot
+//    advance past a pending lane entry;
+//  * cancellation is lazy via an open-addressed flat id set (O(1) per Cancel/pop,
+//    no per-node lookup structure).
 
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "src/sim/check.h"
+#include "src/sim/inline_fn.h"
 #include "src/sim/time.h"
 
 namespace remon {
 
+// Open-addressed flat hash set of EventIds (linear probing, backward-shift
+// deletion). Ids start at 1, so 0 doubles as the empty-slot sentinel. Reaches a
+// steady state with no allocation once grown to the run's working set.
+class EventIdSet {
+ public:
+  bool Insert(uint64_t id);   // False if already present.
+  bool Erase(uint64_t id);    // False if absent.
+  bool Contains(uint64_t id) const;
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  void Grow();
+  std::vector<uint64_t> slots_;  // Power-of-two capacity; 0 = empty.
+  uint64_t size_ = 0;
+};
+
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  // Inline capacity sized for the fattest hot callback (PtraceResume's
+  // continuation: thread + resume closure). Oversized closures fail to compile;
+  // box cold-path state instead of raising this casually — every queued node
+  // carries the full capacity.
+  using Callback = InlineFunction<void(), 152>;
 
   // Opaque handle that can be used to cancel a scheduled event.
   using EventId = uint64_t;
@@ -28,6 +64,7 @@ class EventQueue {
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
+  ~EventQueue();
 
   TimeNs now() const { return now_; }
 
@@ -57,15 +94,31 @@ class EventQueue {
   bool empty() const { return live_events_ == 0; }
   uint64_t executed_count() const { return executed_count_; }
 
+  // Determinism escape hatch for tests: with the lane disabled, events scheduled
+  // at `now` take the heap path (the pre-lane code shape). Ordering must be
+  // identical either way — tests/property_test.cc asserts exactly that.
+  void set_ready_lane_enabled(bool on) { lane_enabled_ = on; }
+
+  // Introspection for benches/tests.
+  uint64_t lane_scheduled() const { return lane_scheduled_; }
+  uint64_t heap_scheduled() const { return heap_scheduled_; }
+  uint64_t node_chunks_allocated() const { return node_chunks_; }
+
  private:
-  struct Entry {
-    TimeNs when;
-    uint64_t seq;  // Tie-break: FIFO among same-time events.
-    EventId id;
+  // One scheduled callback. Pooled: popped/cancelled nodes return to free_nodes_.
+  // `next` chains the ready lane (live) or the free list (recycled).
+  struct Node {
     Callback cb;
+    EventId id = 0;
+    Node* next = nullptr;
+  };
+  struct HeapEntry {
+    TimeNs when;
+    uint64_t seq;  // Tie-break: FIFO among same-time events (== the node's id).
+    Node* node;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) {
         return a.when > b.when;
       }
@@ -73,13 +126,34 @@ class EventQueue {
     }
   };
 
+  Node* AcquireNode();
+  void RecycleNode(Node* n);
+  void PopLaneFront();
+  // Drops cancelled entries at the lane front / heap top. Returns true if any
+  // live event remains; fills the (when, seq) of the next live one.
+  bool PeekNextLive(TimeNs* when, bool* from_lane);
+
   TimeNs now_ = 0;
   uint64_t next_seq_ = 1;
   uint64_t live_events_ = 0;
   uint64_t executed_count_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  // Cancellation is lazy: cancelled ids are recorded and skipped when popped.
-  std::vector<EventId> cancelled_;
+  bool lane_enabled_ = true;
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  // Ready lane: FIFO of events scheduled for the current instant.
+  Node* lane_head_ = nullptr;
+  Node* lane_tail_ = nullptr;
+
+  // Node pool.
+  Node* free_nodes_ = nullptr;
+  std::vector<std::unique_ptr<Node[]>> node_chunks_storage_;
+  uint64_t node_chunks_ = 0;
+
+  // Lazy cancellation: cancelled ids are recorded and skipped when reached.
+  EventIdSet cancelled_;
+
+  uint64_t lane_scheduled_ = 0;
+  uint64_t heap_scheduled_ = 0;
 };
 
 }  // namespace remon

@@ -1,0 +1,68 @@
+#include "src/sim/frame_pool.h"
+
+#include <new>
+
+namespace remon {
+
+FramePool& FramePool::Instance() {
+  // Intentionally leaked: frames owned by static-storage objects (a test's
+  // global Remon, say) are destroyed during exit teardown, after function-local
+  // statics — a destructed pool would leave those frames pointing into freed
+  // slabs. The pool stays reachable through this pointer, so leak checkers
+  // don't flag it.
+  static FramePool* pool = new FramePool();
+  return *pool;
+}
+
+int FramePool::ClassFor(std::size_t n) {
+  for (std::size_t i = 0; i < kNumClasses; ++i) {
+    if (n <= kClassSizes[i]) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void* FramePool::Allocate(std::size_t n) {
+  ++stats_.allocs;
+  ++stats_.live;
+  int cls = ClassFor(n);
+  if (cls < 0) {
+    ++stats_.oversize;
+    return ::operator new(n);
+  }
+  if (FreeNode* head = free_lists_[cls]) {
+    free_lists_[cls] = head->next;
+    ++stats_.pool_hits;
+    return head;
+  }
+  std::size_t want = kClassSizes[static_cast<std::size_t>(cls)];
+  if (slab_left_ < want) {
+    slabs_.push_back(std::make_unique<std::byte[]>(kSlabBytes));
+    slab_cursor_ = slabs_.back().get();
+    slab_left_ = kSlabBytes;
+    ++stats_.slab_refills;
+  }
+  void* p = slab_cursor_;
+  slab_cursor_ += want;
+  slab_left_ -= want;
+  return p;
+}
+
+void FramePool::Deallocate(void* p, std::size_t n) {
+  if (p == nullptr) {
+    return;
+  }
+  ++stats_.frees;
+  --stats_.live;
+  int cls = ClassFor(n);
+  if (cls < 0) {
+    ::operator delete(p);
+    return;
+  }
+  FreeNode* node = static_cast<FreeNode*>(p);
+  node->next = free_lists_[cls];
+  free_lists_[cls] = node;
+}
+
+}  // namespace remon

@@ -1,0 +1,85 @@
+// Size-classed slab pool for coroutine frames.
+//
+// Every GuestTask promise allocates its frame here (task.h wires the promise's
+// operator new/delete to this pool), so the per-syscall coroutine frames of the
+// IP-MON fast path recycle instead of hitting global new. Frames are bucketed
+// into size classes; freed frames go on a per-class free list and the next
+// same-class allocation pops it. Fresh capacity is carved from slab chunks, so
+// even cold allocations amortize to one global allocation per ~64 KiB.
+//
+// The pool is a process-wide singleton rather than Simulator-owned state: a
+// coroutine promise's operator new runs before any promise field exists, so it
+// has no Simulator context to reach — and frames routinely outlive the kernel
+// that created them only by microseconds, never across Simulator lifetimes, so
+// sharing one pool across sequential simulated worlds is safe (the simulation
+// is single-threaded by design; this pool is NOT thread-safe). Tests reach it
+// through Simulator::frame_pool() and assert on stats().
+// See docs/ARCHITECTURE.md, "Coroutine runtime & scheduler fast path".
+
+#ifndef SRC_SIM_FRAME_POOL_H_
+#define SRC_SIM_FRAME_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace remon {
+
+class FramePool {
+ public:
+  struct Stats {
+    uint64_t allocs = 0;        // Total Allocate calls.
+    uint64_t pool_hits = 0;     // Served from a free list (no global allocation).
+    uint64_t slab_refills = 0;  // Slab chunks carved from global new.
+    uint64_t oversize = 0;      // Larger than the biggest class; global new.
+    uint64_t frees = 0;         // Total Deallocate calls.
+    uint64_t live = 0;          // Currently outstanding frames.
+
+    double hit_rate() const {
+      return allocs == 0 ? 0.0 : static_cast<double>(pool_hits) /
+                                     static_cast<double>(allocs);
+    }
+  };
+
+  static FramePool& Instance();
+
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  void* Allocate(std::size_t n);
+  void Deallocate(void* p, std::size_t n);
+
+  const Stats& stats() const { return stats_; }
+  // Zeroes the counters (free lists and slabs stay warm). Tests call this to
+  // measure one phase of a run in isolation.
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  FramePool() = default;
+
+  // Size classes cover the frame sizes the task graph actually produces (small
+  // helper tasks through the fat IP-MON handler frames); anything above the last
+  // class is rare enough to leave to global new.
+  static constexpr std::size_t kClassSizes[] = {64,  96,   128,  192,  256,  384, 512,
+                                                768, 1024, 1536, 2048, 3072, 4096};
+  static constexpr std::size_t kNumClasses = sizeof(kClassSizes) / sizeof(kClassSizes[0]);
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  static int ClassFor(std::size_t n);
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  FreeNode* free_lists_[kNumClasses] = {};
+  // Bump cursor into the current slab, per class-agnostic arena.
+  std::byte* slab_cursor_ = nullptr;
+  std::size_t slab_left_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  Stats stats_;
+};
+
+}  // namespace remon
+
+#endif  // SRC_SIM_FRAME_POOL_H_

@@ -12,6 +12,7 @@
 #include "src/sim/cost_model.h"
 #include "src/sim/cpu.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/frame_pool.h"
 #include "src/sim/rng.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
@@ -33,6 +34,10 @@ class Simulator {
   const CostModel& costs() const { return costs_; }
   SimStats& stats() { return stats_; }
   const SimStats& stats() const { return stats_; }
+  // The coroutine-frame slab pool. Process-wide (a promise's operator new has no
+  // Simulator context — see frame_pool.h), surfaced here so tests and benches
+  // reach pool stats through the simulation context they already hold.
+  FramePool& frame_pool() { return FramePool::Instance(); }
 
   // Drains the event queue (or runs until `deadline`). Returns executed event count.
   uint64_t Run(TimeNs deadline = kTimeNever) { return queue_.RunUntil(deadline); }

@@ -9,6 +9,12 @@
 // Suspension points come from awaitables defined by the kernel (system calls, compute
 // bursts, ptrace event waits). Those awaitables capture the *leaf* coroutine handle;
 // resuming it unwinds naturally through any nested GuestTask frames.
+//
+// Frames allocate through the FramePool (the promise declares operator new/delete),
+// so steady-state task creation recycles recently-freed frames instead of touching
+// the global allocator. GuestTask<void> promises additionally embed the auxiliary
+// coroutine registry node (AuxFrame) the kernel links into each thread's intrusive
+// aux list — see docs/ARCHITECTURE.md, "Coroutine runtime & scheduler fast path".
 
 #ifndef SRC_SIM_TASK_H_
 #define SRC_SIM_TASK_H_
@@ -18,11 +24,22 @@
 #include <utility>
 
 #include "src/sim/check.h"
+#include "src/sim/frame_pool.h"
+#include "src/sim/inline_fn.h"
 
 namespace remon {
 
+class Kernel;
+class Thread;
+
 class GuestPromiseBase {
  public:
+  // Frames come from the slab pool; sized delete returns them to the right class.
+  static void* operator new(std::size_t n) { return FramePool::Instance().Allocate(n); }
+  static void operator delete(void* p, std::size_t n) {
+    FramePool::Instance().Deallocate(p, n);
+  }
+
   // Awaiter waiting on this task (nullptr for a root task).
   std::coroutine_handle<> continuation;
   // Completion hook for root tasks.
@@ -122,13 +139,37 @@ class [[nodiscard]] GuestTask {
 template <>
 class [[nodiscard]] GuestTask<void> {
  public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  // Auxiliary-root registry state, embedded in every GuestTask<void> promise.
+  // When the kernel runs a GuestTask<void> as an auxiliary root (IP-MON handler
+  // bodies, signal handlers), it links the promise into the owning Thread's
+  // intrusive aux list and parks the completion context here — no side map, no
+  // per-start allocation. Ownership rule: a linked frame is destroyed by exactly
+  // one of (a) its own deferred completion event or (b) the thread/kernel
+  // teardown walk, which cancels (a) via done_event first. Unused (and zero
+  // cost beyond space) for ordinary nested tasks.
+  struct AuxFrame {
+    promise_type* prev = nullptr;
+    promise_type* next = nullptr;
+    Kernel* kernel = nullptr;
+    Thread* thread = nullptr;
+    // Deferred completion event id (pending between final-suspend and teardown).
+    uint64_t done_event = 0;
+    // Completion hook; sized for the kernel's signal-handler continuation.
+    InlineFunction<void(), 64> then;
+    bool linked = false;
+  };
+
   struct promise_type : GuestPromiseBase {
+    AuxFrame aux;
     GuestTask get_return_object() {
       return GuestTask(std::coroutine_handle<promise_type>::from_promise(*this));
     }
     void return_void() {}
+    Handle frame() { return Handle::from_promise(*this); }
   };
-  using Handle = std::coroutine_handle<promise_type>;
 
   GuestTask() = default;
   explicit GuestTask(Handle h) : handle_(h) {}
@@ -176,6 +217,50 @@ class [[nodiscard]] GuestTask<void> {
     }
   }
   Handle handle_ = nullptr;
+};
+
+// Intrusive doubly-linked list of live auxiliary root promises, one per Thread.
+// Nodes live inside the promises (AuxFrame); the list owns the frames in the
+// sense that teardown walks it and destroys whatever is still linked.
+class AuxList {
+ public:
+  using Promise = GuestTask<void>::promise_type;
+
+  void PushBack(Promise* p) {
+    REMON_CHECK(!p->aux.linked);
+    p->aux.linked = true;
+    p->aux.prev = tail_;
+    p->aux.next = nullptr;
+    if (tail_ != nullptr) {
+      tail_->aux.next = p;
+    } else {
+      head_ = p;
+    }
+    tail_ = p;
+  }
+
+  void Remove(Promise* p) {
+    REMON_CHECK(p->aux.linked);
+    if (p->aux.prev != nullptr) {
+      p->aux.prev->aux.next = p->aux.next;
+    } else {
+      head_ = p->aux.next;
+    }
+    if (p->aux.next != nullptr) {
+      p->aux.next->aux.prev = p->aux.prev;
+    } else {
+      tail_ = p->aux.prev;
+    }
+    p->aux.prev = p->aux.next = nullptr;
+    p->aux.linked = false;
+  }
+
+  Promise* head() const { return head_; }
+  bool empty() const { return head_ == nullptr; }
+
+ private:
+  Promise* head_ = nullptr;
+  Promise* tail_ = nullptr;
 };
 
 }  // namespace remon

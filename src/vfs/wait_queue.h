@@ -52,23 +52,42 @@ class WaitQueue {
 
   // Wakes all one-shot waiters (removing them first) and notifies all observers.
   void Wake() {
-    std::vector<std::pair<uint64_t, Callback>> to_run;
-    to_run.swap(waiters_);
-    for (auto& [id, cb] : to_run) {
-      cb();
-    }
-    // Observers may unsubscribe during notification; iterate over a snapshot.
-    std::vector<std::pair<uint64_t, Callback>> snapshot = observers_;
-    for (auto& [id, cb] : snapshot) {
-      bool still_registered = false;
-      for (const auto& [oid, ocb] : observers_) {
-        if (oid == id) {
-          still_registered = true;
-          break;
+    if (!waiters_.empty()) {
+      if (wake_depth_ == 0) {
+        // Ping-pong with the scratch buffer so neither vector's capacity is lost
+        // to a swap-with-empty (the hot Wake path stays allocation-free).
+        ++wake_depth_;
+        scratch_.swap(waiters_);
+        for (auto& [id, cb] : scratch_) {
+          cb();
+        }
+        scratch_.clear();
+        --wake_depth_;
+      } else {
+        // Reentrant wake (a waiter re-armed and re-woke this queue): scratch is in
+        // use above us, fall back to a local drain.
+        std::vector<std::pair<uint64_t, Callback>> to_run;
+        to_run.swap(waiters_);
+        for (auto& [id, cb] : to_run) {
+          cb();
         }
       }
-      if (still_registered) {
-        cb();
+    }
+    if (!observers_.empty()) {
+      // Observers may unsubscribe during notification; iterate over a snapshot
+      // (cold: only epoll-style registrations populate observers_).
+      std::vector<std::pair<uint64_t, Callback>> snapshot = observers_;
+      for (auto& [id, cb] : snapshot) {
+        bool still_registered = false;
+        for (const auto& [oid, ocb] : observers_) {
+          if (oid == id) {
+            still_registered = true;
+            break;
+          }
+        }
+        if (still_registered) {
+          cb();
+        }
       }
     }
   }
@@ -93,6 +112,9 @@ class WaitQueue {
   uint64_t next_id_ = 1;
   std::vector<std::pair<uint64_t, Callback>> waiters_;
   std::vector<std::pair<uint64_t, Callback>> observers_;
+  // Wake() drain buffer, ping-ponged with waiters_ to preserve both capacities.
+  std::vector<std::pair<uint64_t, Callback>> scratch_;
+  int wake_depth_ = 0;
 };
 
 }  // namespace remon

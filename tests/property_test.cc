@@ -319,12 +319,18 @@ struct FuzzOutcome {
   uint64_t rejoins = 0;        // Snapshot joins completed (re-seed observed).
   uint64_t join_lockstep_cursor = 0;  // Checkpointed GHUMVEE cursor at last join.
   uint64_t lockstep_rounds = 0;       // Monitored rounds over the whole run.
+  TimeNs end_time = 0;                // Virtual time at quiescence.
 };
 
 FuzzOutcome RunFuzz(uint64_t seed, FuzzShape shape, int replicas, int batch_max,
                     RbBatchPolicy policy, bool remote_last_replica = false,
-                    TimeNs kill_remote_at = 0) {
+                    TimeNs kill_remote_at = 0, bool disable_ready_lane = false) {
   SimWorld w(seed);
+  if (disable_ready_lane) {
+    // Forces zero-delay events onto the time heap (the pre-lane code shape); see
+    // the ReadyLane determinism test below.
+    w.sim.queue().set_ready_lane_enabled(false);
+  }
   RemonOptions opts;
   opts.mode = MveeMode::kRemon;
   opts.replicas = replicas;
@@ -379,6 +385,7 @@ FuzzOutcome RunFuzz(uint64_t seed, FuzzShape shape, int replicas, int batch_max,
   if (mvee.ghumvee() != nullptr) {
     out.lockstep_rounds = mvee.ghumvee()->lockstep_rounds();
   }
+  out.end_time = w.sim.now();
   return out;
 }
 
@@ -445,6 +452,35 @@ TEST(RandomizedLockstepTest, RemoteRankMatchesShmUnderFuzzedInterleavings) {
     ASSERT_TRUE(eager.ok) << "seed " << seed;
     ASSERT_EQ(shm.transcript, eager.transcript) << "seed " << seed;
     ASSERT_EQ(shm.rb_entries, eager.rb_entries) << "seed " << seed;
+  }
+}
+
+// Scheduler fast-path determinism: the event queue's zero-delay ready lane is a
+// pure mechanism change. Draining ready-lane events merge-popped against the time
+// heap must reproduce the exact (when, seq) tie-break order the pure-heap path
+// produces — so a fuzzed multi-rank lockstep run (zero-delay events everywhere:
+// wake bounces, root-finish deferral, RB publication hops) must be byte-identical
+// with the lane disabled, down to the virtual clock at quiescence.
+// event_queue.h points at this test by name; keep it in sync.
+TEST(RandomizedLockstepTest, ReadyLaneMatchesPureHeapUnderFuzzedInterleavings) {
+  for (uint64_t seed : {2, 7, 13, 29, 58, 101, 222, 350, 480, 640, 808, 997}) {
+    FuzzShape shape = ShapeFor(seed);
+    int replicas = ReplicasFor(seed);
+
+    FuzzOutcome lane = RunFuzz(seed, shape, replicas, 8, RbBatchPolicy::kAdaptive);
+    ASSERT_TRUE(lane.ok) << "seed " << seed;
+    ASSERT_EQ(lane.transcript.find("<missing>"), std::string::npos)
+        << "seed " << seed;
+
+    FuzzOutcome heap = RunFuzz(seed, shape, replicas, 8, RbBatchPolicy::kAdaptive,
+                               /*remote_last_replica=*/false, /*kill_remote_at=*/0,
+                               /*disable_ready_lane=*/true);
+    ASSERT_TRUE(heap.ok) << "seed " << seed;
+    ASSERT_EQ(lane.transcript, heap.transcript) << "seed " << seed;
+    ASSERT_EQ(lane.rb_entries, heap.rb_entries) << "seed " << seed;
+    ASSERT_EQ(lane.rb_bytes, heap.rb_bytes) << "seed " << seed;
+    ASSERT_EQ(lane.lockstep_rounds, heap.lockstep_rounds) << "seed " << seed;
+    ASSERT_EQ(lane.end_time, heap.end_time) << "seed " << seed;
   }
 }
 
