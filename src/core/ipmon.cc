@@ -335,15 +335,19 @@ void IpMon::EmitToTransport(int rank,
   transport_->SendEntries(rank, entries);
 }
 
+void IpMon::ObserveTransportBackpressure(int rank) {
+  if (config_.rb_batch_policy == RbBatchPolicy::kAdaptive &&
+      static_cast<size_t>(rank) < batch_.size() &&
+      batch_[static_cast<size_t>(rank)].ObserveBackpressure(config_.rb_batch_max) > 0) {
+    ++kernel_->stats().rb_batch_window_grows;
+  }
+}
+
 GuestTask<void> IpMon::StallOnTransport(Thread* t, int rank) {
   SimStats& stats = kernel_->stats();
   while (transport_ != nullptr && transport_->Stalled()) {
     ++stats.rb_transport_stalls;
-    if (config_.rb_batch_policy == RbBatchPolicy::kAdaptive &&
-        static_cast<size_t>(rank) < batch_.size() &&
-        batch_[static_cast<size_t>(rank)].ObserveBackpressure(config_.rb_batch_max) > 0) {
-      ++stats.rb_batch_window_grows;
-    }
+    ObserveTransportBackpressure(rank);
     // The rank's batch must be empty before parking on the stall queue. Parking
     // runs the kernel park hook, and a non-empty batch would flush right there —
     // pumping the socket, consuming acks, and firing the stall-queue wake *before*

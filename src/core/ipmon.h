@@ -113,6 +113,12 @@ class IpMon {
     return w > 1 ? w : 1;
   }
 
+  // One observed transport stall for `rank`: under the adaptive policy the rank's
+  // batch window grows (AIMD) so a slow link amortizes into larger frames. Fed by
+  // this monitor's own flush-point stalls and by the sync agent's append-time
+  // backpressure gate.
+  void ObserveTransportBackpressure(int rank);
+
   // Guest-side initialization prologue: creates/attaches the RB segment (System V
   // IPC, arbitrated by GHUMVEE), maps the file map read-only, and registers with the
   // kernel via the dedicated system call (paper §3.5).

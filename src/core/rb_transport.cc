@@ -61,13 +61,19 @@ void RbTransport::AddRemote(int replica_index, uint32_t machine, uint16_t port) 
   remote->replica_index = replica_index;
   remote->sock = kernel_->net()->CreateStream(leader_machine_);
   remote->sock->ConnectTo(SockAddr{machine, port});
+  // Plain-CRC streams need no handshake; authenticated streams hold all data
+  // until the peer's join attestation verifies.
+  remote->attested = options_.auth == nullptr;
+  if (options_.auth != nullptr) {
+    remote->parser.set_auth(options_.auth, RbAuthDirection::kReplicaToLeader);
+  }
   Remote* r = remote.get();
   remote->observer_id = remote->sock->poll_queue().AddObserver([this, r] { Pump(*r); });
   remotes_.push_back(std::move(remote));
 }
 
-void RbTransport::AddReplacement(int replica_index, uint32_t machine, uint16_t port,
-                                 const SnapshotPayloads& snapshot) {
+RbTransport::Remote* RbTransport::ReviveSlot(int replica_index, uint32_t machine,
+                                             uint16_t port) {
   Remote* slot = nullptr;
   for (auto& r : remotes_) {
     if (r->replica_index == replica_index) {
@@ -80,7 +86,9 @@ void RbTransport::AddReplacement(int replica_index, uint32_t machine, uint16_t p
 
   // Fresh connection, fresh per-connection sequence space. The old socket's
   // observer must go first: a zombie callback on a torn socket could otherwise
-  // pump the revived slot's state.
+  // pump the revived slot's state. The latched sync_cursor survives on purpose:
+  // until the replacement attests or acks a newer cursor, the dead replica's
+  // last acknowledged position still gates sync-log overwrites.
   if (slot->sock != nullptr && slot->observer_id != 0) {
     slot->sock->poll_queue().Remove(slot->observer_id);
   }
@@ -91,10 +99,19 @@ void RbTransport::AddReplacement(int replica_index, uint32_t machine, uint16_t p
   slot->frames_sent = 0;
   slot->frames_acked = 0;
   slot->parser = RbFrameParser{};
+  if (options_.auth != nullptr) {
+    slot->parser.set_auth(options_.auth, RbAuthDirection::kReplicaToLeader);
+  }
   slot->dead = false;
+  slot->attested = options_.auth == nullptr;
+  slot->awaiting_snapshot = false;
+  slot->max_peer_epoch = 0;
   Remote* r = slot;
   slot->observer_id = slot->sock->poll_queue().AddObserver([this, r] { Pump(*r); });
+  return slot;
+}
 
+void RbTransport::EnqueueSnapshotFrames(Remote& r, const SnapshotPayloads& snapshot) {
   // The checkpoint leads the stream: every data frame published from here on
   // queues behind it, so the mirror the replacement reconstructs is the leader's
   // RB at the capture point plus, in order, everything after it. Snapshot frames
@@ -102,9 +119,10 @@ void RbTransport::AddReplacement(int replica_index, uint32_t machine, uint16_t p
   // throttle checkpoint transfer exactly like entry traffic.
   SimStats& stats = kernel_->stats();
   auto enqueue = [&](RbFrameType type, const std::vector<uint8_t>& payload) {
-    uint64_t seq = ++slot->frames_sent;
+    uint64_t seq = ++r.frames_sent;
     std::vector<uint8_t> frame = RbWireCodec::EncodeSnapshotFrame(
-        type, epoch_, static_cast<uint32_t>(replica_index), seq, payload);
+        type, epoch_, static_cast<uint32_t>(r.replica_index), seq, payload);
+    Seal(&frame);
     ++stats.rb_frames_sent;
     ++stats.rb_snapshot_frames_sent;
     stats.rb_frame_bytes_sent += frame.size();
@@ -112,15 +130,46 @@ void RbTransport::AddReplacement(int replica_index, uint32_t machine, uint16_t p
     RbEpochStats& row = stats.EpochRow(epoch_);
     ++row.frames_sent;
     ++row.snapshot_frames;
-    slot->sendq.push_back(std::move(frame));
+    r.sendq.push_back(std::move(frame));
   };
   enqueue(RbFrameType::kSnapshotBegin, snapshot.begin);
   for (const std::vector<uint8_t>& chunk : snapshot.chunks) {
     enqueue(RbFrameType::kSnapshotChunk, chunk);
   }
   enqueue(RbFrameType::kSnapshotEnd, snapshot.end);
-  ++stats.rb_replica_respawns;
+}
+
+void RbTransport::AddReplacement(int replica_index, uint32_t machine, uint16_t port,
+                                 const SnapshotPayloads& snapshot) {
+  Remote* slot = ReviveSlot(replica_index, machine, port);
+  EnqueueSnapshotFrames(*slot, snapshot);
+  ++kernel_->stats().rb_replica_respawns;
   Pump(*slot);
+}
+
+void RbTransport::AddReplacementAwaitingAttest(int replica_index, uint32_t machine,
+                                               uint16_t port) {
+  REMON_CHECK_MSG(options_.auth != nullptr,
+                  "AddReplacementAwaitingAttest needs an authenticated transport");
+  Remote* slot = ReviveSlot(replica_index, machine, port);
+  slot->awaiting_snapshot = true;
+  ++kernel_->stats().rb_replica_respawns;
+  Pump(*slot);
+}
+
+void RbTransport::EnqueueSnapshot(int replica_index, const SnapshotPayloads& snapshot) {
+  for (auto& r : remotes_) {
+    if (r->replica_index != replica_index) {
+      continue;
+    }
+    if (r->dead || !r->attested || !r->awaiting_snapshot) {
+      return;  // The link died (or re-attested) between attest and checkpoint.
+    }
+    r->awaiting_snapshot = false;
+    EnqueueSnapshotFrames(*r, snapshot);
+    Pump(*r);
+    return;
+  }
 }
 
 void RbTransport::SendEntries(int rank, const std::vector<RbWireEntry>& entries) {
@@ -132,13 +181,14 @@ void RbTransport::SendEntries(int rank, const std::vector<RbWireEntry>& entries)
   // per-connection header (frame_seq) and CRC differ per remote.
   std::vector<uint8_t> payload = RbWireCodec::EncodeEntriesPayload(entries);
   for (auto& r : remotes_) {
-    if (r->dead) {
-      continue;
+    if (r->dead || r->awaiting_snapshot) {
+      continue;  // A replacement's stream starts with its checkpoint, never data.
     }
     uint64_t seq = ++r->frames_sent;
     std::vector<uint8_t> frame = RbWireCodec::EntriesFrameFromPayload(
         epoch_, static_cast<uint32_t>(rank), seq,
         static_cast<uint32_t>(entries.size()), payload);
+    Seal(&frame);
     ++stats.rb_frames_sent;
     stats.rb_frame_bytes_sent += frame.size();
     ++stats.EpochRow(epoch_).frames_sent;
@@ -158,12 +208,13 @@ void RbTransport::SendSyncLog(uint64_t start_index,
   // header (frame_seq) and CRC differ per remote.
   std::vector<uint8_t> payload = RbWireCodec::EncodeSyncLogPayload(start_index, records);
   for (auto& r : remotes_) {
-    if (r->dead) {
-      continue;
+    if (r->dead || r->awaiting_snapshot) {
+      continue;  // A replacement's stream starts with its checkpoint, never data.
     }
     uint64_t seq = ++r->frames_sent;
     std::vector<uint8_t> frame = RbWireCodec::SyncLogFrameFromPayload(
         epoch_, seq, static_cast<uint32_t>(records.size()), payload);
+    Seal(&frame);
     ++stats.rb_frames_sent;
     ++stats.sync_log_frames_sent;
     stats.rb_frame_bytes_sent += frame.size();
@@ -180,6 +231,31 @@ bool RbTransport::Stalled() const {
     }
   }
   return false;
+}
+
+bool RbTransport::IsRemote(int replica_index) const {
+  for (const auto& r : remotes_) {
+    if (r->replica_index == replica_index) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t RbTransport::SyncCursorFor(int replica_index) const {
+  for (const auto& r : remotes_) {
+    if (r->replica_index == replica_index) {
+      return r->sync_cursor;
+    }
+  }
+  return 0;
+}
+
+void RbTransport::Seal(std::vector<uint8_t>* frame) {
+  if (options_.auth != nullptr) {
+    options_.auth->SealFrame(frame, RbAuthDirection::kLeaderToReplica);
+    ++kernel_->stats().rb_auth_frames_sealed;
+  }
 }
 
 int RbTransport::live_remotes() const {
@@ -221,9 +297,13 @@ void RbTransport::Pump(Remote& r) {
     return;
   }
 
-  if (!DrainSendQueue(r.sock.get(), &r.sendq, &r.sendq_head_off)) {
-    MarkDead(r, "write failed");
-    return;
+  // Authenticated streams write nothing before the join attestation verifies —
+  // frames queue locally and the in-flight bound throttles the leader meanwhile.
+  if (r.attested) {
+    if (!DrainSendQueue(r.sock.get(), &r.sendq, &r.sendq_head_off)) {
+      MarkDead(r, "write failed");
+      return;
+    }
   }
 
   // Ack stream.
@@ -244,30 +324,101 @@ void RbTransport::Pump(Remote& r) {
     r.parser.Feed(buf, static_cast<size_t>(n));
   }
   bool was_stalled = RemoteStalled(r);
+  SimStats& stats = kernel_->stats();
   RbWireFrame frame;
   for (;;) {
     RbFrameParser::Status st = r.parser.Next(&frame);
     if (st == RbFrameParser::Status::kCorrupt) {
-      MarkDead(r, "corrupt ack stream");
+      if (options_.auth != nullptr) {
+        ++stats.rb_auth_frames_rejected;
+      }
+      MarkDead(r, r.parser.corrupt_reason());
       return;
     }
     if (st != RbFrameParser::Status::kFrame) {
       break;
     }
+    // Epoch monotonicity holds on every frame type: a replayed frame of a torn
+    // stream (CRC- or even MAC-valid within its own epoch) identifies itself by
+    // its stale epoch, and the only safe response is to tear the link.
+    if (frame.epoch == 0 || frame.epoch < r.max_peer_epoch) {
+      ++stats.rb_epoch_regressions;
+      MarkDead(r, "peer epoch regressed");
+      return;
+    }
+    if (frame.type == RbFrameType::kJoinAttest) {
+      if (!HandleAttest(r, frame)) {
+        return;
+      }
+      continue;
+    }
     if (frame.type != RbFrameType::kAck) {
-      continue;  // Unexpected frame types are ignored, not fatal.
+      // The replica-to-leader flow carries acks and attestations, nothing else; a
+      // data frame here is an injected or reflected one.
+      MarkDead(r, "unexpected frame type on the ack stream");
+      return;
+    }
+    r.max_peer_epoch = std::max(r.max_peer_epoch, frame.epoch);
+    if (frame.ack_seq > r.frames_sent) {
+      MarkDead(r, "ack for a frame never sent");
+      return;
     }
     // Acks are per-connection state: a dead connection's acks can never arrive
     // (the socket is gone), and an epoch bump caused by *another* remote's death
     // must not invalidate this live link's in-flight acks — that would leave it
     // stalled forever. The echoed epoch identifies the stream, nothing more.
     r.frames_acked = std::max(r.frames_acked, frame.ack_seq);
-    ++kernel_->stats().rb_frames_acked;
-    ++kernel_->stats().EpochRow(frame.epoch).frames_acked;
+    ++stats.rb_frames_acked;
+    ++stats.EpochRow(frame.epoch).frames_acked;
+    // v4: acks piggyback the replica's sync-log replay cursor; the latched
+    // maximum is what the master's wraparound gate runs on.
+    if (frame.ack_cursor > r.sync_cursor) {
+      r.sync_cursor = frame.ack_cursor;
+      ++stats.sync_cursor_acks;
+      if (on_sync_cursor_) {
+        on_sync_cursor_(r.replica_index);
+      }
+    }
   }
   if (was_stalled && !RemoteStalled(r)) {
     stall_queue_.Wake();
   }
+}
+
+bool RbTransport::HandleAttest(Remote& r, const RbWireFrame& frame) {
+  SimStats& stats = kernel_->stats();
+  if (options_.auth == nullptr) {
+    MarkDead(r, "unexpected join attestation on an unauthenticated stream");
+    return false;
+  }
+  if (r.attested) {
+    MarkDead(r, "duplicate join attestation");
+    return false;
+  }
+  if (frame.attest_replica != static_cast<uint32_t>(r.replica_index) ||
+      frame.attest_digest != options_.config_digest) {
+    ++stats.rb_auth_join_rejects;
+    MarkDead(r, "join attestation refused (identity/config digest mismatch)");
+    return false;
+  }
+  r.attested = true;
+  r.max_peer_epoch = std::max(r.max_peer_epoch, frame.epoch);
+  r.sync_cursor = std::max(r.sync_cursor, frame.attest_cursor);
+  ++stats.rb_auth_joins;
+  if (r.awaiting_snapshot && on_attested_join_) {
+    // A replacement: the front end captures the leader checkpoint (deferred to
+    // its own event — we are inside the pump) and hands it to EnqueueSnapshot.
+    on_attested_join_(r.replica_index, frame.attest_cursor);
+  } else if (!r.sendq.empty()) {
+    // Frames enqueued while the attestation was in flight were held by this
+    // pump's drain pass (it runs before the read loop); release them now, or the
+    // link goes idle with the leader stalled on acks that can never come.
+    if (!DrainSendQueue(r.sock.get(), &r.sendq, &r.sendq_head_off)) {
+      MarkDead(r, "write failed");
+      return false;
+    }
+  }
+  return true;
 }
 
 // --- RemoteSyncAgent (remote side) ------------------------------------------------
@@ -283,6 +434,12 @@ RemoteSyncAgent::~RemoteSyncAgent() {
   if (conn_ && conn_observer_ != 0) {
     conn_->poll_queue().Remove(conn_observer_);
   }
+}
+
+void RemoteSyncAgent::set_auth(const RbAuthContext* auth, uint64_t config_digest) {
+  auth_ = auth;
+  config_digest_ = config_digest;
+  parser_.set_auth(auth, RbAuthDirection::kLeaderToReplica);
 }
 
 void RemoteSyncAgent::Start() {
@@ -303,6 +460,20 @@ void RemoteSyncAgent::OnListenerPoll() {
   }
   conn_ = std::move(c);
   conn_observer_ = conn_->poll_queue().AddObserver([this] { OnConnPoll(); });
+  if (auth_ != nullptr) {
+    // Attested join: identity + config digest as the connection's very first
+    // frame — the leader ships nothing (data or checkpoint) until it verifies.
+    // The epoch is this agent's best knowledge (1 before any join); the sealed
+    // tag binds it, and the leader only checks it for monotonicity.
+    std::vector<uint8_t> attest = RbWireCodec::EncodeJoinAttest(
+        join_epoch_ > 0 ? join_epoch_ : 1,
+        static_cast<uint32_t>(mon_->config().replica_index), config_digest_,
+        sync_agent_ != nullptr ? sync_agent_->read_cursor() : 0);
+    auth_->SealFrame(&attest, RbAuthDirection::kReplicaToLeader);
+    ++kernel_->stats().rb_auth_frames_sealed;
+    ackq_.push_back(std::move(attest));
+    FlushAckQueue();
+  }
   DrainConn();
 }
 
@@ -324,13 +495,23 @@ void RemoteSyncAgent::DrainConn() {
     }
     parser_.Feed(buf, static_cast<size_t>(n));
   }
+  ProcessParsedFrames();
+}
+
+void RemoteSyncAgent::ProcessParsedFrames() {
   RbWireFrame frame;
   for (;;) {
     RbFrameParser::Status st = parser_.Next(&frame);
     if (st == RbFrameParser::Status::kCorrupt) {
-      // A reliable in-order stream does not corrupt silently; treat it as a torn
-      // link: reject, close, and let the leader's transport report the death.
+      // A reliable in-order stream does not corrupt silently; a bad MAC means an
+      // active adversary. Either way: treat it as a torn link — reject, close,
+      // and let the leader's transport report the death.
       ++frames_rejected_;
+      if (auth_ != nullptr) {
+        ++kernel_->stats().rb_auth_frames_rejected;
+      }
+      std::fprintf(stderr, "[rb-agent] replica %d: %s; tearing link\n",
+                   mon_->config().replica_index, parser_.corrupt_reason());
       Shutdown();
       return;
     }
@@ -344,7 +525,56 @@ void RemoteSyncAgent::DrainConn() {
   }
 }
 
+void RemoteSyncAgent::InjectRawBytesForTest(const uint8_t* data, size_t len) {
+  parser_.Feed(data, len);
+  ProcessParsedFrames();
+}
+
+void RemoteSyncAgent::SendRawAckForTest(std::vector<uint8_t> frame) {
+  ackq_.push_back(std::move(frame));
+  FlushAckQueue();
+}
+
 void RemoteSyncAgent::HandleFrame(RbWireFrame frame) {
+  if (shutdown_) {
+    return;  // A torn link applies nothing more.
+  }
+  SimStats& stats = kernel_->stats();
+  // Epoch monotonicity holds on every frame type: a replayed frame of an earlier
+  // stream identifies itself by its stale epoch even when its CRC — or its MAC,
+  // valid under that epoch's key — checks out. The only safe response is to tear
+  // the link; dropping and continuing would let an adversary probe freely.
+  if (frame.epoch == 0 || frame.epoch < max_epoch_seen_) {
+    ++frames_rejected_;
+    ++stats.rb_epoch_regressions;
+    std::fprintf(stderr,
+                 "[rb-agent] replica %d: stale epoch %u on the stream (at %u); "
+                 "tearing link\n",
+                 mon_->config().replica_index, frame.epoch, max_epoch_seen_);
+    Shutdown();
+    return;
+  }
+  max_epoch_seen_ = frame.epoch;
+  // Within-connection replay gate: the leader's frame_seq is strictly increasing
+  // per connection (across epoch bumps too), so a repeated sequence number is a
+  // captured frame re-sent. Test-built frames use seq 0 and bypass the gate.
+  if (frame.frame_seq != 0) {
+    if (frame.frame_seq <= max_data_seq_) {
+      ++frames_rejected_;
+      if (auth_ != nullptr) {
+        ++stats.rb_auth_frames_rejected;
+      }
+      std::fprintf(stderr,
+                   "[rb-agent] replica %d: replayed frame seq=%llu (stream at %llu); "
+                   "tearing link\n",
+                   mon_->config().replica_index,
+                   static_cast<unsigned long long>(frame.frame_seq),
+                   static_cast<unsigned long long>(max_data_seq_));
+      Shutdown();
+      return;
+    }
+    max_data_seq_ = frame.frame_seq;
+  }
   if (IsSnapshotFrameType(frame.type)) {
     HandleSnapshotFrame(frame);
     return;
@@ -520,9 +750,28 @@ bool RemoteSyncAgent::ApplyEntry(uint32_t rank, const RbWireEntry& e) {
 
 void RemoteSyncAgent::SendAck(uint32_t epoch, uint64_t frame_seq) {
   // The agent does not originate epochs; it echoes the applied frame's epoch so the
-  // leader can discard acknowledgments that straddle an epoch bump.
-  ackq_.push_back(RbWireCodec::EncodeAck(epoch, frame_seq));
+  // leader can discard acknowledgments that straddle an epoch bump. v4: every ack
+  // piggybacks this replica's sync-log replay cursor — the only channel the
+  // master's wraparound gate has to a remote replica's consumption progress.
+  last_ack_epoch_ = epoch;
+  last_ack_seq_ = frame_seq;
+  std::vector<uint8_t> ack = RbWireCodec::EncodeAck(
+      epoch, frame_seq, sync_agent_ != nullptr ? sync_agent_->read_cursor() : 0);
+  if (auth_ != nullptr) {
+    auth_->SealFrame(&ack, RbAuthDirection::kReplicaToLeader);
+    ++kernel_->stats().rb_auth_frames_sealed;
+  }
+  ackq_.push_back(std::move(ack));
   FlushAckQueue();
+}
+
+void RemoteSyncAgent::SendCursorUpdate() {
+  // Re-announce the newest applied frame with the advanced cursor. Before any
+  // frame applied there is no consumption the master could be parked on.
+  if (conn_ == nullptr || shutdown_ || last_ack_epoch_ == 0) {
+    return;
+  }
+  SendAck(last_ack_epoch_, last_ack_seq_);
 }
 
 void RemoteSyncAgent::FlushAckQueue() {

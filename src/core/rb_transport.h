@@ -56,6 +56,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/core/rb_auth.h"
 #include "src/core/rb_wire.h"
 #include "src/core/snapshot.h"
 #include "src/net/network.h"
@@ -75,6 +76,12 @@ class RbTransport {
   struct Options {
     // Unacked data frames allowed per remote before flush points stall.
     int max_inflight_frames = 8;
+    // Wire v4 authentication (nullptr = plain CRC streams). When set, every frame
+    // is sealed/verified with per-epoch session keys, and no data flows to a
+    // remote until its join attestation (identity + config digest) verifies.
+    const RbAuthContext* auth = nullptr;
+    // The config digest every attesting replica must present (RbConfigDigest).
+    uint64_t config_digest = 0;
   };
 
   RbTransport(Kernel* kernel, uint32_t leader_machine, Options options);
@@ -90,6 +97,23 @@ class RbTransport {
   // the serialized leader checkpoint enqueued ahead of all future data frames.
   void AddReplacement(int replica_index, uint32_t machine, uint16_t port,
                       const SnapshotPayloads& snapshot);
+
+  // Authenticated replacement (requires Options::auth): revives the slot but
+  // ships nothing until the replacement presents a verified join attestation.
+  // On verification on_attested_join fires; the front end then captures the
+  // leader checkpoint and hands it to EnqueueSnapshot.
+  void AddReplacementAwaitingAttest(int replica_index, uint32_t machine, uint16_t port);
+
+  // Enqueues the leader checkpoint for an attested replacement (clears its
+  // awaiting-snapshot gate; data frames published afterwards queue behind it).
+  void EnqueueSnapshot(int replica_index, const SnapshotPayloads& snapshot);
+
+  // Invoked from inside the pump when a replacement's attestation verifies, with
+  // the replica index and the sync-log replay cursor it attested. Implementations
+  // must defer heavy work (e.g. checkpointing) to a scheduled event.
+  void set_on_attested_join(std::function<void(int, uint64_t)> cb) {
+    on_attested_join_ = std::move(cb);
+  }
 
   // Broadcasts one publication — one frame — to every live remote. Never blocks:
   // frames queue locally; the in-flight bound is enforced at the leader's flush
@@ -114,6 +138,17 @@ class RbTransport {
   // Invoked once per remote death with the replica index (after the epoch bump).
   void set_on_remote_death(std::function<void(int)> cb) { on_remote_death_ = std::move(cb); }
 
+  // True when `replica_index` is served by this transport (its replica is remote).
+  bool IsRemote(int replica_index) const;
+  // v4 wrap-gate channel: the highest sync-log replay cursor `replica_index` has
+  // piggybacked on its acks (0 before any cursor arrived; frozen across death —
+  // a dead replica's last acknowledged cursor still gates overwrites until its
+  // replacement attests a fresh one).
+  uint64_t SyncCursorFor(int replica_index) const;
+  // Invoked (with the replica index) whenever an ack advances a replay cursor —
+  // wired to the master sync agent's wraparound gate.
+  void set_on_sync_cursor(std::function<void(int)> cb) { on_sync_cursor_ = std::move(cb); }
+
  private:
   struct Remote {
     int replica_index = -1;
@@ -125,10 +160,26 @@ class RbTransport {
     RbFrameParser parser;                    // For the ack stream.
     uint64_t observer_id = 0;
     bool dead = false;
+    // v4 state: nothing is written until `attested` (auth off => attested at
+    // creation); a replacement additionally holds data until its checkpoint is
+    // enqueued. max_peer_epoch enforces epoch monotonicity on received frames;
+    // sync_cursor latches the ack-piggybacked replay cursor (monotonic max).
+    bool attested = false;
+    bool awaiting_snapshot = false;
+    uint32_t max_peer_epoch = 0;
+    uint64_t sync_cursor = 0;
   };
 
   void Pump(Remote& r);       // Drain sendq into the socket; read acks.
   void MarkDead(Remote& r, const char* why);
+  // Tears down the dead slot's socket and revives it on a fresh connection with a
+  // fresh per-connection sequence space (shared by both replacement flavors).
+  Remote* ReviveSlot(int replica_index, uint32_t machine, uint16_t port);
+  void EnqueueSnapshotFrames(Remote& r, const SnapshotPayloads& snapshot);
+  // Seals `frame` when authentication is on (no-op otherwise).
+  void Seal(std::vector<uint8_t>* frame);
+  // Verifies a join attestation; returns false when the link was torn.
+  bool HandleAttest(Remote& r, const RbWireFrame& frame);
   bool RemoteStalled(const Remote& r) const {
     return !r.dead &&
            r.frames_sent - r.frames_acked >=
@@ -141,6 +192,8 @@ class RbTransport {
   uint32_t epoch_ = 1;
   uint64_t deaths_ = 0;
   std::function<void(int)> on_remote_death_;
+  std::function<void(int)> on_sync_cursor_;
+  std::function<void(int, uint64_t)> on_attested_join_;
   WaitQueue stall_queue_;
   std::vector<std::unique_ptr<Remote>> remotes_;
 };
@@ -161,6 +214,11 @@ class RemoteSyncAgent {
   // machine-local log mirror. Unset for single-threaded (agent-less) workloads —
   // receiving a sync frame without one is a configuration divergence.
   void set_sync_agent(SyncAgent* agent) { sync_agent_ = agent; }
+
+  // Wire v4 authentication: verify/open leader frames, seal acks, and present a
+  // sealed join attestation carrying `config_digest` as the connection's first
+  // frame. Call before Start().
+  void set_auth(const RbAuthContext* auth, uint64_t config_digest);
 
   // Binds + listens; call before the leader's RbTransport connects.
   void Start();
@@ -183,15 +241,34 @@ class RemoteSyncAgent {
   // The epoch floor this agent enforces on data frames (0 before any join).
   uint32_t join_epoch() const { return join_epoch_; }
 
+  // v4 wrap gate: a cursor-bearing ack re-announcing the last applied frame, sent
+  // when the local replica's replay cursor advances with the log full from its
+  // perspective — the master parked on the wraparound gate unblocks on it.
+  void SendCursorUpdate();
+
+  // True once this agent tore its link down (corrupt/forged/stale frame, refused
+  // join, or a deliberate Shutdown).
+  bool link_torn() const { return shutdown_; }
+
   // Test seam: runs one decoded frame through the same dispatch DrainConn uses
   // (join-epoch floor, readiness pending, apply + ack). Returns true when the
   // frame was applied; the floor and divergence tests assert the false cases.
   bool InjectFrameForTest(RbWireFrame frame);
+  // Test seam for active-adversary scenarios: raw bytes through the full receive
+  // pipeline (parser + MAC verification + dispatch), as if read off the socket.
+  void InjectRawBytesForTest(const uint8_t* data, size_t len);
+  // Test seam: enqueue pre-built (possibly tampered) ack-stream bytes to the
+  // leader, bypassing sealing — the compromised-replica simulation.
+  void SendRawAckForTest(std::vector<uint8_t> frame);
+  // Test seam: attest a different digest than the genuine one (mismatched-config
+  // joiner).
+  void OverrideAttestDigestForTest(uint64_t digest) { config_digest_ = digest; }
 
  private:
   void OnListenerPoll();
   void OnConnPoll();
   void DrainConn();
+  void ProcessParsedFrames();
   // One decoded frame through the receive pipeline: snapshot handshake, data-type
   // filter, join-epoch floor, readiness pending, apply + ack.
   void HandleFrame(RbWireFrame frame);
@@ -229,6 +306,16 @@ class RemoteSyncAgent {
   uint32_t join_epoch_ = 0;
   uint64_t joins_ = 0;
   uint64_t last_join_lockstep_cursor_ = 0;
+  // Wire v4: authentication context, the digest attested at accept, and the
+  // replay gates — epoch must never regress across any frame type, and data
+  // frame_seq is strictly increasing per connection. last_ack_* lets cursor
+  // updates re-announce the newest applied frame.
+  const RbAuthContext* auth_ = nullptr;
+  uint64_t config_digest_ = 0;
+  uint32_t max_epoch_seen_ = 0;
+  uint64_t max_data_seq_ = 0;
+  uint32_t last_ack_epoch_ = 0;
+  uint64_t last_ack_seq_ = 0;
 };
 
 }  // namespace remon

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 
+#include "src/core/rb_auth.h"
+
 namespace remon {
 
 namespace {
@@ -111,9 +113,25 @@ std::vector<uint8_t> RbWireCodec::EncodeEntries(uint32_t epoch, uint32_t rank,
                                  EncodeEntriesPayload(entries));
 }
 
-std::vector<uint8_t> RbWireCodec::EncodeAck(uint32_t epoch, uint64_t ack_seq) {
+std::vector<uint8_t> RbWireCodec::EncodeAck(uint32_t epoch, uint64_t ack_seq,
+                                            uint64_t sync_cursor) {
+  // v4: the frame_seq field (meaningless for acks, always 0 before v4) carries the
+  // replica's sync-log replay cursor so the leader's wrap gate runs on
+  // acknowledged state only.
   return BuildFrame(RbFrameType::kAck, epoch, /*rank=*/0, /*entry_count=*/0,
-                    /*frame_seq=*/0, ack_seq, {});
+                    /*frame_seq=*/sync_cursor, ack_seq, {});
+}
+
+std::vector<uint8_t> RbWireCodec::EncodeJoinAttest(uint32_t epoch,
+                                                   uint32_t replica_index,
+                                                   uint64_t config_digest,
+                                                   uint64_t sync_cursor) {
+  std::vector<uint8_t> payload(kRbWireAttestPayloadSize, 0);
+  PutU32(&payload, 0, replica_index);
+  PutU64(&payload, 8, config_digest);
+  PutU64(&payload, 16, sync_cursor);
+  return BuildFrame(RbFrameType::kJoinAttest, epoch, /*rank=*/replica_index,
+                    /*entry_count=*/0, /*frame_seq=*/0, /*ack_seq=*/0, payload);
 }
 
 std::vector<uint8_t> RbWireCodec::EncodeSyncLogPayload(
@@ -192,33 +210,37 @@ RbFrameParser::Status RbFrameParser::Next(RbWireFrame* out) {
   // Validate everything checkable from the header before waiting for the payload,
   // so garbage cannot demand 16 MiB of buffering first.
   if (PeekU32(kOffMagic) != kRbWireMagic || PeekU16(kOffVersion) != kRbWireVersion) {
-    corrupt_ = true;
-    return Status::kCorrupt;
+    return Corrupt("bad magic/version");
   }
   uint16_t type = PeekU16(kOffType);
   if (type < static_cast<uint16_t>(RbFrameType::kEntries) ||
-      type > static_cast<uint16_t>(RbFrameType::kSyncLog)) {
-    corrupt_ = true;
-    return Status::kCorrupt;
+      type > static_cast<uint16_t>(RbFrameType::kJoinAttest)) {
+    return Corrupt("unknown frame type");
   }
   uint32_t payload_len = PeekU32(kOffPayloadLen);
   if (payload_len > kRbWireMaxPayload) {
-    corrupt_ = true;
-    return Status::kCorrupt;
+    return Corrupt("oversized payload");
   }
   size_t frame_len = kRbWireHeaderSize + payload_len;
   if (!HaveBytes(frame_len)) {
     return Status::kNeedMore;
   }
 
-  // Contiguous copy for CRC + payload decoding (the deque is chunk-fragmented).
+  // Contiguous copy for CRC/MAC + payload decoding (the deque is chunk-fragmented).
   std::vector<uint8_t> frame(buf_.begin(),
                              buf_.begin() + static_cast<long>(frame_len));
-  uint32_t wire_crc = PeekU32(kOffCrc);
-  frame[kOffCrc] = frame[kOffCrc + 1] = frame[kOffCrc + 2] = frame[kOffCrc + 3] = 0;
-  if (Crc32(frame.data(), frame.size()) != wire_crc) {
-    corrupt_ = true;
-    return Status::kCorrupt;
+  if (auth_ != nullptr) {
+    // Authenticated stream: verify the MAC trailer and decrypt the payload before
+    // any structural parsing (the CRC check is replaced by the tag).
+    if (!auth_->VerifyAndOpen(&frame, auth_dir_)) {
+      return Corrupt("MAC verification failed");
+    }
+  } else {
+    uint32_t wire_crc = PeekU32(kOffCrc);
+    frame[kOffCrc] = frame[kOffCrc + 1] = frame[kOffCrc + 2] = frame[kOffCrc + 3] = 0;
+    if (Crc32(frame.data(), frame.size()) != wire_crc) {
+      return Corrupt("CRC mismatch");
+    }
   }
 
   RbWireFrame f;
@@ -235,8 +257,7 @@ RbFrameParser::Status RbFrameParser::Next(RbWireFrame* out) {
     f.entries.reserve(entry_count);
     for (uint32_t i = 0; i < entry_count; ++i) {
       if (pos + kRbWireEntryHeaderSize > frame_len) {
-        corrupt_ = true;
-        return Status::kCorrupt;
+        return Corrupt("entry record overruns payload");
       }
       RbWireEntry e;
       std::memcpy(&e.entry_off, frame.data() + pos, 8);
@@ -245,16 +266,14 @@ RbFrameParser::Status RbFrameParser::Next(RbWireFrame* out) {
       std::memcpy(&image_len, frame.data() + pos + 12, 4);
       pos += kRbWireEntryHeaderSize;
       if (pos + image_len > frame_len) {
-        corrupt_ = true;
-        return Status::kCorrupt;
+        return Corrupt("entry image overruns payload");
       }
       e.image.assign(frame.data() + pos, frame.data() + pos + image_len);
       pos += image_len;
       f.entries.push_back(std::move(e));
     }
     if (pos != frame_len) {
-      corrupt_ = true;  // Trailing payload bytes no entry record claims.
-      return Status::kCorrupt;
+      return Corrupt("trailing entry payload bytes");
     }
   } else if (f.type == RbFrameType::kSyncLog) {
     // The payload must be exactly the announced records — a count/length mismatch
@@ -262,8 +281,7 @@ RbFrameParser::Status RbFrameParser::Next(RbWireFrame* out) {
     if (entry_count == 0 ||
         payload_len != kRbWireSyncHeaderSize +
                            static_cast<uint64_t>(entry_count) * kRbWireSyncRecordSize) {
-      corrupt_ = true;
-      return Status::kCorrupt;
+      return Corrupt("sync-log count/length mismatch");
     }
     std::memcpy(&f.sync_start, frame.data() + kRbWireHeaderSize, 8);
     f.sync_records.reserve(entry_count);
@@ -277,13 +295,23 @@ RbFrameParser::Status RbFrameParser::Next(RbWireFrame* out) {
     }
   } else if (IsSnapshotFrameType(f.type)) {
     if (entry_count != 0) {
-      corrupt_ = true;  // Snapshot frames carry an opaque payload, never entries.
-      return Status::kCorrupt;
+      return Corrupt("snapshot frame carries entries");
     }
     f.payload.assign(frame.begin() + static_cast<long>(kRbWireHeaderSize), frame.end());
+  } else if (f.type == RbFrameType::kJoinAttest) {
+    if (entry_count != 0 || payload_len != kRbWireAttestPayloadSize) {
+      return Corrupt("malformed join attestation");
+    }
+    std::memcpy(&f.attest_replica, frame.data() + kRbWireHeaderSize, 4);
+    std::memcpy(&f.attest_digest, frame.data() + kRbWireHeaderSize + 8, 8);
+    std::memcpy(&f.attest_cursor, frame.data() + kRbWireHeaderSize + 16, 8);
   } else if (entry_count != 0 || payload_len != 0) {
-    corrupt_ = true;  // Acks carry no payload.
-    return Status::kCorrupt;
+    return Corrupt("ack frame carries payload");
+  } else {
+    // v4 acks carry the sender's sync-log replay cursor in the frame_seq field;
+    // surface it separately and keep frame_seq's data-frame meaning clean.
+    f.ack_cursor = f.frame_seq;
+    f.frame_seq = 0;
   }
 
   buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(frame_len));

@@ -15,15 +15,24 @@
 //   offset  size  field
 //        0     4  magic        "RBWF" (0x46574252 as a little-endian u32)
 //        4     2  version      kRbWireVersion (receiver rejects mismatches)
-//        6     2  type         RbFrameType (kEntries | kAck | kSnapshot* | kSyncLog)
+//        6     2  type         RbFrameType (kEntries | kAck | kSnapshot* | kSyncLog
+//                              | kJoinAttest)
 //        8     4  epoch        stream epoch (bumped when a remote rank dies)
-//       12     4  rank         RB sub-buffer (thread rank) the frame belongs to
+//       12     4  rank         RB sub-buffer (thread rank) the frame belongs to;
+//                              kJoinAttest: the joining replica's index
 //       16     4  entry_count  number of entry records in the payload
 //       20     4  payload_len  payload bytes following the header
-//       24     8  frame_seq    per-connection sequence number of data frames
+//       24     8  frame_seq    per-connection sequence number of data frames;
+//                              kAck (since v4): the replica's sync-log replay
+//                              cursor, piggybacked for the leader's wrap gate
 //       32     8  ack_seq      kAck: highest frame_seq applied (cumulative)
 //       40     4  crc32        IEEE CRC-32 over header (crc field zeroed) + payload
 //       44     4  reserved     zero
+//
+// On authenticated streams (--rb-auth, src/core/rb_auth.h) bytes 40-47 carry a
+// 64-bit SipHash-2-4 MAC tag instead of crc32+reserved, computed over the whole
+// frame with those bytes zeroed, and the payload is keystream-encrypted before
+// the tag; the CRC check is skipped. The layout is otherwise unchanged.
 //
 // kEntries payload: entry_count records, each
 //
@@ -42,6 +51,19 @@
 // like kEntries, so snapshot traffic interleaves with bounded in-flight data
 // frames instead of monopolizing the link. Their payloads are opaque at this
 // layer (the snapshot codec owns them); entry_count is 0.
+//
+// kJoinAttest (agent -> leader, since v4) opens an authenticated connection: the
+// replica presents its index, its configuration digest (RB geometry, sync-log
+// geometry, descriptor-registry hash — RbConfigDigest in src/core/rb_auth.h),
+// and its sync-log replay cursor. The leader verifies index + digest before any
+// frame is sent to the replica; on a replacement connection the checkpoint is
+// captured only after the attestation verifies. Payload (32 bytes):
+//
+//   u32 replica_index   echoes the header rank field
+//   u32 reserved        zero
+//   u64 config_digest   must equal the leader's own digest
+//   u64 sync_cursor     the replica's replay cursor (seeds the wrap gate / re-seed)
+//   u64 reserved2       zero
 //
 // kSyncLog streams the master's sync-agent log (src/core/sync_agent.h) so
 // multi-threaded replicas can run on remote machines. Payload: a u64 start_index
@@ -70,8 +92,9 @@ namespace remon {
 inline constexpr uint32_t kRbWireMagic = 0x46574252;  // "RBWF" little-endian.
 // Version 2 added the snapshot frame types (replica re-seed after an epoch bump);
 // version 3 added kSyncLog frames and the snapshot sync-log section (cross-machine
-// multi-threaded replicas).
-inline constexpr uint16_t kRbWireVersion = 3;
+// multi-threaded replicas); version 4 added kJoinAttest, the ack-piggybacked
+// sync-log replay cursor, and the authenticated-stream MAC trailer.
+inline constexpr uint16_t kRbWireVersion = 4;
 inline constexpr uint64_t kRbWireHeaderSize = 48;
 inline constexpr uint64_t kRbWireEntryHeaderSize = 16;
 inline constexpr uint64_t kRbWireSyncRecordSize = 8;
@@ -90,7 +113,12 @@ enum class RbFrameType : uint16_t {
   kSnapshotEnd = 5,
   // Leader -> remote agent: appended sync-agent log records (src/core/sync_agent.h).
   kSyncLog = 6,
+  // Remote agent -> leader: authenticated-join attestation (identity + config
+  // digest + replay cursor), the first frame of an authenticated connection.
+  kJoinAttest = 7,
 };
+
+inline constexpr uint64_t kRbWireAttestPayloadSize = 32;
 
 // True for the frame types that carry a snapshot payload opaque to this layer.
 inline constexpr bool IsSnapshotFrameType(RbFrameType t) {
@@ -126,6 +154,13 @@ struct RbWireFrame {
   uint32_t rank = 0;
   uint64_t frame_seq = 0;
   uint64_t ack_seq = 0;
+  // kAck only (v4): the sender's sync-log replay cursor, carried in the header's
+  // frame_seq field (always 0 for pre-v4 acks). 0 when the replica runs no agent.
+  uint64_t ack_cursor = 0;
+  // kJoinAttest only: decoded attestation payload.
+  uint32_t attest_replica = 0;
+  uint64_t attest_digest = 0;
+  uint64_t attest_cursor = 0;
   std::vector<RbWireEntry> entries;
   // kSyncLog only: absolute log index of sync_records[0], then the records.
   uint64_t sync_start = 0;
@@ -150,8 +185,18 @@ class RbWireCodec {
                                                       uint32_t entry_count,
                                                       const std::vector<uint8_t>& payload);
 
-  // Serializes a cumulative acknowledgment.
-  static std::vector<uint8_t> EncodeAck(uint32_t epoch, uint64_t ack_seq);
+  // Serializes a cumulative acknowledgment. Since v4 the otherwise-unused
+  // frame_seq header field carries the replica's sync-log replay cursor
+  // (sync_cursor; 0 when no record/replay agent runs), so the leader's wrap gate
+  // sees acknowledged replay state without host-side peer reads.
+  static std::vector<uint8_t> EncodeAck(uint32_t epoch, uint64_t ack_seq,
+                                        uint64_t sync_cursor = 0);
+
+  // Serializes the attested-join handshake frame (agent -> leader): the joining
+  // replica's index, its config digest, and its sync-log replay cursor.
+  static std::vector<uint8_t> EncodeJoinAttest(uint32_t epoch, uint32_t replica_index,
+                                               uint64_t config_digest,
+                                               uint64_t sync_cursor);
 
   // Serializes one sync-log publication (records appended since the last flush)
   // into one kSyncLog frame; the two-step variant mirrors the entries broadcast
@@ -178,6 +223,9 @@ class RbWireCodec {
 // CRC, malformed payload) is unrecoverable for a reliable in-order stream: the
 // parser latches into the corrupt state and Next() keeps returning kCorrupt so the
 // connection owner can tear the link down (docs/RB_WIRE_FORMAT.md, "CRC policy").
+class RbAuthContext;
+enum class RbAuthDirection : uint64_t;
+
 class RbFrameParser {
  public:
   enum class Status { kNeedMore, kFrame, kCorrupt };
@@ -187,18 +235,39 @@ class RbFrameParser {
   // Attempts to decode the next complete frame into `out`.
   Status Next(RbWireFrame* out);
 
+  // Switches the parser to the authenticated stream discipline (wire v4 + MAC):
+  // every frame's tag is verified and its payload decrypted before structural
+  // parsing, and the CRC check is skipped. A bad tag latches corrupt exactly like
+  // a bad CRC. `auth` must outlive the parser; `dir` is the flow this parser
+  // reads (the direction the *sender* sealed with).
+  void set_auth(const RbAuthContext* auth, RbAuthDirection dir) {
+    auth_ = auth;
+    auth_dir_ = dir;
+  }
+
   bool corrupt() const { return corrupt_; }
+  // Why the parser latched (static string; "" while healthy). Lets connection
+  // owners attribute teardowns: CRC vs MAC vs structural corruption.
+  const char* corrupt_reason() const { return corrupt_reason_; }
   uint64_t frames_decoded() const { return frames_decoded_; }
 
  private:
   bool HaveBytes(size_t n) const { return buf_.size() >= n; }
+  Status Corrupt(const char* why) {
+    corrupt_ = true;
+    corrupt_reason_ = why;
+    return Status::kCorrupt;
+  }
   uint32_t PeekU32(size_t off) const;
   uint64_t PeekU64(size_t off) const;
   uint16_t PeekU16(size_t off) const;
 
   std::deque<uint8_t> buf_;
   bool corrupt_ = false;
+  const char* corrupt_reason_ = "";
   uint64_t frames_decoded_ = 0;
+  const RbAuthContext* auth_ = nullptr;
+  RbAuthDirection auth_dir_{};
 };
 
 }  // namespace remon

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/snapshot.h"
+#include "src/kernel/syscall_meta.h"
 #include "src/sim/check.h"
 
 namespace remon {
@@ -182,8 +183,21 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
   // Cross-machine replica sets: one RemoteSyncAgent per remote replica (listening
   // on that machine), one leader-side RbTransport pumping frames to all of them.
   if (any_remote) {
+    // Authenticated wire (v4): one key schedule shared by the leader-side
+    // transport and every remote agent, plus the config digest an attested join
+    // must present — RB geometry, sync-log geometry, and the syscall descriptor
+    // registry a well-formed peer would be built from.
+    if (options_.rb_auth) {
+      auth_ = std::make_unique<RbAuthContext>(options_.rb_auth_secret);
+      config_digest_ = RbConfigDigest(
+          options_.rb_size, static_cast<uint32_t>(options_.max_ranks),
+          options_.use_sync_agent ? options_.sync_log_size : 0,
+          DescriptorRegistryDigest());
+    }
     RbTransport::Options topts;
     topts.max_inflight_frames = options_.rb_max_inflight_frames;
+    topts.auth = auth_.get();
+    topts.config_digest = config_digest_;
     transport_ = std::make_unique<RbTransport>(kernel_, options_.machine, topts);
     remote_agents_.resize(static_cast<size_t>(n));
     for (int i = 1; i < n; ++i) {
@@ -194,10 +208,19 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
       IpMon* mon = ipmons_[static_cast<size_t>(i)].get();
       auto agent =
           std::make_unique<RemoteSyncAgent>(kernel_, mon, machine_for(i), port);
+      if (auth_ != nullptr) {
+        agent->set_auth(auth_.get(), config_digest_);
+      }
       agent->Start();  // Listener up before the transport's SYN can arrive.
       mon->set_rb_private_mirror(true);
       if (sync_agent(i) != nullptr) {
         agent->set_sync_agent(sync_agent(i));  // kSyncLog replays into its mirror.
+        // The replay cursor travels back piggybacked on acks; a cursor advance a
+        // wrapped master could be parked on additionally triggers a dedicated
+        // cursor-bearing ack so the gate never waits for unrelated data traffic.
+        RemoteSyncAgent* cursor_agent = agent.get();
+        sync_agent(i)->set_on_consumed(
+            [cursor_agent] { cursor_agent->SendCursorUpdate(); });
       }
       RemoteSyncAgent* agent_ptr = agent.get();
       mon->set_on_initialized([agent_ptr] { agent_ptr->OnReplicaRbReady(); });
@@ -215,6 +238,15 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
       master_agent->set_coalesce_window(
           [master_mon](int rank) { return master_mon->SyncCoalesceWindow(rank); });
       master_mon->set_sync_log_flush([master_agent] { master_agent->FlushLogStream(); });
+      // Wrap gate wakeups: a remote cursor advance arrives as an ack, not a
+      // host-side read, so the transport pokes the parked master explicitly.
+      transport_->set_on_sync_cursor(
+          [master_agent](int) { master_agent->OnRemoteCursorAck(); });
+      // Append-time transport stalls feed the same AIMD the flush-point stalls
+      // do: a saturated link grows the coalescing window instead of letting the
+      // pending stream grow without bound.
+      master_agent->set_on_backpressure(
+          [master_mon](int rank) { master_mon->ObserveTransportBackpressure(rank); });
     }
     respawn_attempts_.assign(static_cast<size_t>(n), 0);
     join_generation_.assign(static_cast<size_t>(n), 0);
@@ -251,6 +283,27 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
       ghumvee_->Divergence(/*rank=*/-1, Sys::kInvalid,
                            "remote replica " + std::to_string(idx) +
                                " link down (stream epoch bumped)");
+    });
+    // Attested join (rb_auth): the leader checkpoints *after* the replacement
+    // proved its identity + config digest, never before. The callback fires from
+    // inside the transport's Pump; defer the (heavy) checkpoint one event so the
+    // capture runs outside the frame-processing path. Uses the same cancellable
+    // id_cell bookkeeping as the respawn events.
+    transport_->set_on_attested_join([this](int idx, uint64_t attest_cursor) {
+      auto id_cell = std::make_shared<EventQueue::EventId>(0);
+      *id_cell = kernel_->sim()->queue().ScheduleAfter(
+          0, [this, idx, attest_cursor, id_cell] {
+            pending_respawns_.erase(std::remove(pending_respawns_.begin(),
+                                                pending_respawns_.end(), *id_cell),
+                                    pending_respawns_.end());
+            if (ghumvee_ == nullptr || ghumvee_->shutdown_requested() || finished()) {
+              return;
+            }
+            ReplicaSnapshot snap = CaptureLeaderSnapshot(
+                ipmons_[0].get(), ghumvee_.get(), sync_agent(0), attest_cursor);
+            transport_->EnqueueSnapshot(idx, SerializeSnapshot(snap));
+          });
+      pending_respawns_.push_back(*id_cell);
     });
   }
 
@@ -295,20 +348,37 @@ bool Remon::SpawnReplacement(int replica_index) {
                                         512 * generation);
   remote_agents_[static_cast<size_t>(replica_index)]->Shutdown();
   auto agent = std::make_unique<RemoteSyncAgent>(kernel_, mon, machine, port);
+  if (auth_ != nullptr) {
+    agent->set_auth(auth_.get(), config_digest_);
+  }
   agent->Start();  // Listener up before the transport's SYN can arrive.
   if (sync_agent(replica_index) != nullptr) {
     agent->set_sync_agent(sync_agent(replica_index));
+    // Re-point the cursor-update channel at the replacement agent; the old
+    // agent is shut down and must never carry another ack.
+    RemoteSyncAgent* cursor_agent = agent.get();
+    sync_agent(replica_index)
+        ->set_on_consumed([cursor_agent] { cursor_agent->SendCursorUpdate(); });
   }
 
-  // Checkpoint and enqueue within one event: no publication can slip between the
-  // captured image and the first data frame behind it on the new connection. The
-  // capture's quiescent flush also drains the sync-log stream, so the checkpoint's
-  // sync image ends exactly where the first post-snapshot kSyncLog frame begins.
-  SyncAgent* replica_agent = sync_agent(replica_index);
-  ReplicaSnapshot snap = CaptureLeaderSnapshot(
-      ipmons_[0].get(), ghumvee_.get(), sync_agent(0),
-      replica_agent != nullptr ? replica_agent->read_cursor() : 0);
-  transport_->AddReplacement(replica_index, machine, port, SerializeSnapshot(snap));
+  if (auth_ != nullptr) {
+    // Authenticated join: the leader holds the checkpoint until the replacement
+    // presents a valid attestation (identity + config digest) as the first frame
+    // on the new connection. The snapshot is captured by the on_attested_join
+    // deferral, against the cursor the attestation itself carries.
+    transport_->AddReplacementAwaitingAttest(replica_index, machine, port);
+  } else {
+    // Checkpoint and enqueue within one event: no publication can slip between
+    // the captured image and the first data frame behind it on the new
+    // connection. The capture's quiescent flush also drains the sync-log stream,
+    // so the checkpoint's sync image ends exactly where the first post-snapshot
+    // kSyncLog frame begins.
+    SyncAgent* replica_agent = sync_agent(replica_index);
+    ReplicaSnapshot snap = CaptureLeaderSnapshot(
+        ipmons_[0].get(), ghumvee_.get(), sync_agent(0),
+        replica_agent != nullptr ? replica_agent->read_cursor() : 0);
+    transport_->AddReplacement(replica_index, machine, port, SerializeSnapshot(snap));
+  }
   remote_agents_[static_cast<size_t>(replica_index)] = std::move(agent);
   ++respawns_;
   return true;

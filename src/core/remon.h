@@ -86,6 +86,15 @@ struct RemonOptions {
   RbBatchPolicy rb_batch_policy = RbBatchPolicy::kFixed;
   // §4 extension: periodically migrate the RB to fresh addresses at flush points.
   bool rb_migration = false;
+  // Authenticated RB transport (wire v4): seal every cross-machine frame with a
+  // keyed MAC + stream encryption, require an attested join before a replacement
+  // replica is seeded, and rotate session keys at every epoch bump. Local-only
+  // replica sets ignore the flag (there is no wire to protect).
+  bool rb_auth = false;
+  // Pre-shared key material both ends derive their session keys from. The
+  // simulation models distribution as out-of-band (a deployment would provision
+  // it per replica-set).
+  std::string rb_auth_secret = "remon-rb-transport-secret";
 };
 
 // Gate for the VARAN-like mode: routes every system call of a registered replica to
@@ -167,6 +176,11 @@ class Remon {
   // Cross-machine replica sets: the leader-side frame pump and the per-replica
   // remote agents (slots for local replicas stay null). Declared after ipmons_ so
   // they are destroyed first — agents hold raw IpMon pointers.
+  // Authenticated transport (rb_auth): shared key schedule + the config digest
+  // every attested join must present. Transport and agents hold non-owning
+  // pointers; declared before them so it outlives their destruction.
+  std::unique_ptr<RbAuthContext> auth_;
+  uint64_t config_digest_ = 0;
   std::unique_ptr<RbTransport> transport_;
   std::vector<std::unique_ptr<RemoteSyncAgent>> remote_agents_;
   // Replica re-seed bookkeeping: per-replica respawn attempts (capped), the join

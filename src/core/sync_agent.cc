@@ -11,6 +11,8 @@ namespace remon {
 
 GuestTask<void> SyncAgent::Initialize(Guest& g) {
   REMON_CHECK_MSG(capacity() > 0, "sync agent: log too small for any entry");
+  REMON_CHECK_MSG(config_.num_replicas <= kSyncLogMaxReplicas,
+                  "sync agent: more replicas than header cursor words");
   int64_t shmid = co_await g.Shmget(kSyncShmKey, config_.log_size, kIpcCreat);
   REMON_CHECK_MSG(shmid >= 0, "sync agent: shmget failed");
   int64_t addr = co_await g.Shmat(static_cast<int>(shmid));
@@ -32,16 +34,20 @@ WaitQueue* SyncAgent::LogQueue() {
 uint64_t SyncAgent::tail() const { return log_.ReadU64(kSyncLogOffTail); }
 
 uint64_t SyncAgent::MinPeerReadCursor() const {
-  // The master gates wraparound on the slowest replica's replay cursor. In-process
-  // this is a direct peer read; it stands in for the cursor updates a distributed
-  // deployment would piggyback on the transport's acknowledgment stream.
+  // The master gates wraparound on the slowest replica's replay cursor, using
+  // only acknowledged state: co-located slaves publish their cursor into the
+  // shared segment's header words, remote replicas' cursors arrive piggybacked
+  // on the transport's acks. A dead remote's cursor stays frozen at its last
+  // acknowledged value — overwriting what a to-be-re-seeded replica never
+  // consumed would corrupt the replacement's replay.
   uint64_t min_cursor = ~uint64_t{0};
   bool any = false;
-  for (const SyncAgent* peer : peers_) {
-    if (peer == nullptr || peer == this) {
-      continue;
-    }
-    min_cursor = std::min(min_cursor, peer->read_cursor());
+  for (int i = 1; i < config_.num_replicas; ++i) {
+    uint64_t cursor = transport_ != nullptr && transport_->IsRemote(i)
+                          ? transport_->SyncCursorFor(i)
+                          : log_.ReadU64(kSyncLogOffCursors +
+                                         8 * static_cast<uint64_t>(i - 1));
+    min_cursor = std::min(min_cursor, cursor);
     any = true;
   }
   return any ? min_cursor : tail();
@@ -66,6 +72,20 @@ GuestTask<void> SyncAgent::BeforeAcquire(Guest& g, uint32_t object_id) {
   co_await ThreadCost{t, 120};
 
   if (is_master()) {
+    // Transport backpressure gates the append itself, not only the flush points:
+    // a master must not run the sync stream arbitrarily far ahead of what a slow
+    // link has acknowledged. Flush before parking — the frame that fills the
+    // in-flight window is also the one whose ack will wake us — and feed the
+    // stall into the adaptive batch window's AIMD exactly like entry frames do.
+    while (transport_ != nullptr && transport_->Stalled()) {
+      FlushLogStream();
+      ++kernel_->stats().sync_log_append_stalls;
+      if (on_backpressure_) {
+        on_backpressure_(static_cast<int>(rank));
+      }
+      co_await WaitOn{t, transport_->stall_queue()};
+    }
+
     // Wraparound gate: op `seq` reuses the slot op `seq - cap` occupied, so the
     // append must wait until every replica has replayed past that occupant. The
     // pending stream flushes first — a remote replica cannot drain the log this
@@ -121,7 +141,21 @@ GuestTask<void> SyncAgent::BeforeAcquire(Guest& g, uint32_t object_id) {
         ++read_cursor_;
         ++ops_replayed_;
         ++kernel_->stats().sync_ops_replayed;
-        if (!peers_.empty() && peers_[0] != nullptr && peers_[0] != this) {
+        // Publish the advanced cursor into the segment header — the only place a
+        // co-located master's wraparound gate reads it from.
+        log_.WriteU64(kSyncLogOffCursors +
+                          8 * static_cast<uint64_t>(config_.replica_index - 1),
+                      read_cursor_);
+        if (on_consumed_ != nullptr) {
+          // Remote replica: the cursor travels to the master piggybacked on acks.
+          // An unsolicited cursor ack is only worth its frame when the master
+          // could actually be parked on this replica — the log full up to (or
+          // past) the slot just freed; otherwise the next applied frame's ack
+          // carries the cursor for free.
+          if (log_tail >= cap + read_cursor_ - 1) {
+            on_consumed_();
+          }
+        } else if (!peers_.empty() && peers_[0] != nullptr && peers_[0] != this) {
           peers_[0]->OnSlaveConsumed();  // A master parked on a full log re-checks.
         }
         LogQueue()->Wake();  // Another slave thread may now be at the head.

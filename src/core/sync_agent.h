@@ -11,16 +11,20 @@
 // Log layout (one System V segment per machine, mirrored like the RB):
 //
 //   offset 0   u64 tail      absolute op count; the publication word (stored last)
+//   offset 8   u64 cursors   per-slave replay cursors (8 bytes each, slave i at
+//                            offset 8 + 8*(i-1)); published by the consuming slave
 //   offset 64  entry slots   16 bytes each: {u32 object, u32 rank, u64 seq}
 //
 // The log is circular: op `seq` lives in slot `seq % capacity`. The embedded seq
 // both makes wraparound safe (a consumer can tell a stale previous-lap slot from
 // its own op) and gives the post-run stale-slot scan something to check. The
 // master may only overwrite a slot once every replica has consumed its previous
-// occupant: it gates on the minimum peer read cursor and parks on wrap_queue_
-// until a consumer catches up (slaves report consumption through OnSlaveConsumed —
-// the simulator shortcut for the cursor piggyback a real system would put on the
-// transport's acks).
+// occupant: it gates on the minimum peer replay cursor and parks on wrap_queue_
+// until a consumer catches up. Co-located slaves publish their cursor into the
+// shared segment's header words (and wake the master through OnSlaveConsumed);
+// remote replicas' cursors arrive piggybacked on the transport's acks
+// (RbTransport::SyncCursorFor) — the master never reads a peer agent's host-side
+// state.
 //
 // Cross-machine replica sets: the master's appends additionally stream to remote
 // replicas as kSyncLog frames over the RB transport (src/core/rb_wire.h). Appends
@@ -47,8 +51,12 @@ class RbTransport;
 
 // Offsets within the sync log segment (see the layout comment above).
 inline constexpr uint64_t kSyncLogOffTail = 0;
+inline constexpr uint64_t kSyncLogOffCursors = 8;
 inline constexpr uint64_t kSyncLogOffEntries = 64;
 inline constexpr uint64_t kSyncLogEntrySize = 16;
+// The 64-byte header holds the tail word plus one cursor word per slave: at most
+// 7 slaves (8 replicas) fit; Initialize enforces the bound.
+inline constexpr int kSyncLogMaxReplicas = 8;
 
 class SyncAgent {
  public:
@@ -81,16 +89,34 @@ class SyncAgent {
   // Slave-side: next log index this replica will replay.
   uint64_t read_cursor() const { return read_cursor_; }
 
-  // Fellow replicas' agents in replica order (set by the front end). The master
-  // consults the slaves' read cursors to gate wraparound overwrites; slaves use
-  // entry 0 to wake a master parked on a full log.
+  // Fellow replicas' agents in replica order (set by the front end). Co-located
+  // slaves use entry 0 as the wake channel for a master parked on a full log (the
+  // cursor itself travels through the shared segment's header words, never a
+  // host-side peer read).
   void set_peers(std::vector<SyncAgent*> peers) { peers_ = std::move(peers); }
 
   // --- Cross-machine replica sets (src/core/rb_transport.h) -----------------------
 
   // Master of a cross-machine set: appends additionally stream to the remote
-  // agents as kSyncLog frames.
+  // agents as kSyncLog frames, and the wraparound gate reads remote replicas'
+  // replay cursors from the transport's ack-piggybacked state.
   void set_transport(RbTransport* transport) { transport_ = transport; }
+
+  // Remote slave: invoked after a replay advance that a full log could be parked
+  // on — wired to RemoteSyncAgent::SendCursorUpdate so the new cursor reaches the
+  // master's gate as a fresh ack. Setting this marks the replica remote: the
+  // co-located OnSlaveConsumed wake to peer 0 is suppressed.
+  void set_on_consumed(std::function<void()> fn) { on_consumed_ = std::move(fn); }
+
+  // Master: invoked when a cursor-bearing ack advanced a remote replay cursor
+  // (wired to RbTransport::set_on_sync_cursor) — re-checks the wraparound gate.
+  void OnRemoteCursorAck() { wrap_queue_.Wake(); }
+
+  // Master: invoked once per append-time transport stall with the appending rank
+  // (feeds the adaptive batch window's AIMD, like flush-point stalls do).
+  void set_on_backpressure(std::function<void(int)> fn) {
+    on_backpressure_ = std::move(fn);
+  }
 
   // Coalescing window for the sync-log stream, per appending rank (wired to the
   // master IP-MON's adaptive batch window). Unset or <= 1: one frame per append.
@@ -133,8 +159,8 @@ class SyncAgent {
 
  private:
   WaitQueue* LogQueue();
-  // Slaves report consumption so a master parked on a full log re-checks the
-  // minimum cursor (host-side: models the ack-piggybacked cursor channel).
+  // Co-located slaves wake a master parked on a full log (the shared-segment
+  // analog of a futex wake; the cursor value lives in the segment header).
   void OnSlaveConsumed();
   uint64_t MinPeerReadCursor() const;
 
@@ -152,8 +178,12 @@ class SyncAgent {
   // Cross-machine streaming state (master only).
   RbTransport* transport_ = nullptr;
   std::function<int(int)> window_fn_;
+  std::function<void(int)> on_backpressure_;
   uint64_t pending_start_ = 0;  // Absolute index of pending_[0].
   std::vector<RbSyncLogRecord> pending_;
+  // Remote slave: cursor-update channel to this replica's RemoteSyncAgent
+  // (non-null marks the replica remote).
+  std::function<void()> on_consumed_;
 };
 
 }  // namespace remon

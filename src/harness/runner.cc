@@ -47,6 +47,7 @@ RemonOptions OptionsFor(const RunConfig& config, double mem_intensity,
   opts.use_sync_agent = config.use_sync_agent && multithreaded;
   opts.sync_log_size = config.sync_log_size;
   opts.respawn_dead_replicas = config.respawn_dead_replicas;
+  opts.rb_auth = config.rb_auth;
   return opts;
 }
 

@@ -54,6 +54,10 @@ struct RunConfig {
   bool use_sync_agent = false;
   // Sync-agent log segment size (wraps circularly when exceeded).
   uint64_t sync_log_size = 1024 * 1024;
+  // Authenticated RB transport (wire v4): per-frame MAC + stream encryption on
+  // every cross-machine frame, attested join before re-seed. No effect on
+  // all-local placements.
+  bool rb_auth = false;
 };
 
 struct SuiteResult {

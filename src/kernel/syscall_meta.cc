@@ -4,6 +4,7 @@
 #include <array>
 #include <cstring>
 
+#include "src/core/rb_auth.h"
 #include "src/kernel/abi.h"
 #include "src/sim/check.h"
 
@@ -326,6 +327,50 @@ void SerializeGuestRange(Process* p, std::vector<uint8_t>* out, GuestAddr addr, 
 const SyscallDesc& DescOf(Sys nr) {
   REMON_CHECK(static_cast<uint32_t>(nr) < kNumSyscalls);
   return Table().table[static_cast<size_t>(nr)];
+}
+
+uint64_t DescriptorRegistryDigest() {
+  // Field-by-field serialization (never raw struct bytes: padding is not part of
+  // the contract), each field widened to a fixed-width integer, rows in syscall
+  // number order. Any table change — a new row, a reclassified argument, a policy
+  // default — moves the digest and fails the attested join's config check.
+  std::vector<uint8_t> buf;
+  buf.reserve(static_cast<size_t>(kNumSyscalls) * 96);
+  auto u32 = [&buf](uint32_t v) { AppendBytes(&buf, &v, 4); };
+  auto i32 = [&u32](int v) { u32(static_cast<uint32_t>(v)); };
+  auto u8 = [&buf](uint8_t v) { AppendBytes(&buf, &v, 1); };
+  for (uint32_t nr = 0; nr < kNumSyscalls; ++nr) {
+    const SyscallDesc& d = Table().table[nr];
+    u32(nr);
+    for (const InArg& a : d.in) {
+      u8(static_cast<uint8_t>(a.kind));
+      i32(a.size_arg);
+      u32(a.fixed);
+    }
+    for (const OutArg& o : d.outs) {
+      u8(static_cast<uint8_t>(o.kind));
+      i32(o.arg);
+      i32(o.size_arg);
+      u32(o.fixed);
+    }
+    i32(d.fd_arg);
+    i32(d.timeout_arg);
+    u8(static_cast<uint8_t>(d.block));
+    u8(static_cast<uint8_t>(d.fd_scan));
+    u8(static_cast<uint8_t>(d.fd_effect));
+    u8(static_cast<uint8_t>(d.ctl_gate));
+    u8(static_cast<uint8_t>(d.exec));
+    u8(d.exec_flags);
+    u8(static_cast<uint8_t>(d.uncond));
+    u8(static_cast<uint8_t>(d.cond_nonsock));
+    u8(static_cast<uint8_t>(d.cond_sock));
+    u8(d.local ? 1 : 0);
+    u8(d.forced_cp ? 1 : 0);
+    u8(d.registered ? 1 : 0);
+  }
+  return SipHash24(/*k0=*/0x5359534d45544144ull /* "SYSMETAD" */,
+                   /*k1=*/0x4947455354563031ull /* "IGESTV01" */, buf.data(),
+                   buf.size());
 }
 
 FdType EffectiveFdType(Process* p, const SyscallRequest& req, const FdInfoSource& fds) {

@@ -183,6 +183,14 @@ struct SyscallDesc {
 // Descriptor for `nr`; every valid syscall has one.
 const SyscallDesc& DescOf(Sys nr);
 
+// Keyed digest over the entire descriptor table, field by field in syscall-number
+// order. Part of the config digest an attested transport join presents (wire v4,
+// src/core/rb_auth.h): two monitors that would classify even one call differently
+// — different argument classes, policy defaults, FD semantics — must not form a
+// replica set, because every downstream equivalence check assumes the registry is
+// the shared single source of truth.
+uint64_t DescriptorRegistryDigest();
+
 // Index of the pathname (kCStr) argument, or -1. Lets path-based handlers share one
 // marshalling body across the plain and the *at variants (open/openat, ...).
 inline int PathArg(const SyscallDesc& d) {

@@ -80,6 +80,13 @@ struct SimStats {
   uint64_t rb_snapshot_entries_restored = 0;  // Entries re-published by restores.
   uint64_t rb_snapshot_epoll_lag = 0;     // Leader shadow keys the joiner lacked.
 
+  // RB transport authentication (wire v4, --rb-auth; src/core/rb_auth.h).
+  uint64_t rb_auth_frames_sealed = 0;    // Frames MAC-sealed before send (both flows).
+  uint64_t rb_auth_frames_rejected = 0;  // Sealed frames refused (bad MAC / forged).
+  uint64_t rb_epoch_regressions = 0;     // Stale-epoch frames that tore a link.
+  uint64_t rb_auth_joins = 0;            // Join attestations the leader accepted.
+  uint64_t rb_auth_join_rejects = 0;     // Attestations refused (digest mismatch).
+
   // Per-epoch transport breakdown (see RbEpochStats).
   std::vector<RbEpochStats> rb_epochs;
 
@@ -105,6 +112,8 @@ struct SimStats {
   uint64_t sync_log_frames_applied = 0;   // kSyncLog frames replayed into mirrors.
   uint64_t sync_log_records_applied = 0;  // Records replayed into mirrors.
   uint64_t sync_log_wrap_stalls = 0;      // Master appends parked on a full log.
+  uint64_t sync_log_append_stalls = 0;    // Master appends parked on transport backpressure.
+  uint64_t sync_cursor_acks = 0;          // Acks that advanced a remote replay cursor.
 
   // Signals.
   uint64_t signals_raised = 0;

@@ -324,7 +324,8 @@ struct FuzzOutcome {
 
 FuzzOutcome RunFuzz(uint64_t seed, FuzzShape shape, int replicas, int batch_max,
                     RbBatchPolicy policy, bool remote_last_replica = false,
-                    TimeNs kill_remote_at = 0, bool disable_ready_lane = false) {
+                    TimeNs kill_remote_at = 0, bool disable_ready_lane = false,
+                    bool rb_auth = false) {
   SimWorld w(seed);
   if (disable_ready_lane) {
     // Forces zero-delay events onto the time heap (the pre-lane code shape); see
@@ -335,6 +336,7 @@ FuzzOutcome RunFuzz(uint64_t seed, FuzzShape shape, int replicas, int batch_max,
   opts.mode = MveeMode::kRemon;
   opts.replicas = replicas;
   opts.level = PolicyLevel::kNonsocketRw;
+  opts.rb_auth = rb_auth;
   // A small RB (vs. the 16 MiB default) keeps 3000 hermetic worlds affordable and
   // lets long op streams wrap, folding reset rounds into the fuzzed interleavings.
   opts.rb_size = 256 * 1024;
@@ -453,6 +455,51 @@ TEST(RandomizedLockstepTest, RemoteRankMatchesShmUnderFuzzedInterleavings) {
     ASSERT_EQ(shm.transcript, eager.transcript) << "seed " << seed;
     ASSERT_EQ(shm.rb_entries, eager.rb_entries) << "seed " << seed;
   }
+}
+
+// Wire-v4 authentication is a pure transport-layer change: MAC trailers and
+// stream encryption may only alter the bytes on the simulated socket, never what
+// the replicas compute. Every auth run must be byte-identical to its
+// unauthenticated twin — transcripts and the RB stream shape — including through
+// a mid-run kill + attested re-seed.
+TEST(RandomizedLockstepTest, AuthenticatedRemoteMatchesUnauthenticated) {
+  for (uint64_t seed : {3, 25, 77, 200, 404, 700}) {
+    FuzzShape shape = ShapeFor(seed);
+
+    FuzzOutcome plain = RunFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                /*remote_last_replica=*/true);
+    ASSERT_TRUE(plain.ok) << "seed " << seed;
+    ASSERT_EQ(plain.transcript.find("<missing>"), std::string::npos) << "seed " << seed;
+
+    FuzzOutcome auth = RunFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                               /*remote_last_replica=*/true, /*kill_remote_at=*/0,
+                               /*disable_ready_lane=*/false, /*rb_auth=*/true);
+    ASSERT_TRUE(auth.ok) << "seed " << seed;
+    ASSERT_EQ(plain.transcript, auth.transcript) << "seed " << seed;
+    ASSERT_EQ(plain.rb_entries, auth.rb_entries) << "seed " << seed;
+    ASSERT_EQ(plain.rb_bytes, auth.rb_bytes) << "seed " << seed;
+  }
+  // Kill + attested re-seed: epoch bump rotates the session keys mid-run and the
+  // replacement joins through the attest handshake — still byte-identical.
+  int exercised = 0;
+  for (uint64_t seed : {19, 131, 333}) {
+    FuzzShape shape = ShapeFor(seed);
+    shape.ops += 24;
+    FuzzOutcome plain = RunFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                /*remote_last_replica=*/true);
+    ASSERT_TRUE(plain.ok) << "seed " << seed;
+    FuzzOutcome auth = RunFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                               /*remote_last_replica=*/true,
+                               /*kill_remote_at=*/Micros(120),
+                               /*disable_ready_lane=*/false, /*rb_auth=*/true);
+    ASSERT_TRUE(auth.ok) << "seed " << seed;
+    ASSERT_EQ(plain.transcript, auth.transcript) << "seed " << seed;
+    ASSERT_EQ(plain.rb_entries, auth.rb_entries) << "seed " << seed;
+    if (auth.remote_deaths > 0 && auth.rejoins > 0) {
+      ++exercised;
+    }
+  }
+  EXPECT_GE(exercised, 2);  // The attested re-seed path must actually run.
 }
 
 // Scheduler fast-path determinism: the event queue's zero-delay ready lane is a
@@ -695,12 +742,14 @@ SyncFuzzOutcome RunSyncFuzz(
     uint64_t seed, FuzzShape shape, int replicas, int batch_max, RbBatchPolicy policy,
     bool remote_last_replica = false, TimeNs kill_remote_at = 0,
     const std::function<void(Remon&, SimWorld&)>& post_run = nullptr,
-    DurationNs link_latency = 50 * kMicrosecond, int max_inflight_frames = 8) {
+    DurationNs link_latency = 50 * kMicrosecond, int max_inflight_frames = 8,
+    bool rb_auth = false) {
   SimWorld w(seed);
   RemonOptions opts;
   opts.mode = MveeMode::kRemon;
   opts.replicas = replicas;
   opts.level = PolicyLevel::kNonsocketRw;
+  opts.rb_auth = rb_auth;
   opts.rb_size = 256 * 1024;
   opts.max_ranks = 4;
   opts.rb_batch_max = batch_max;
@@ -862,6 +911,77 @@ TEST(SyncLockstepTest, SlowLinkForcesWrapGateWithoutCorruption) {
   EXPECT_EQ(throttled.remote_log, throttled.master_log);
 }
 
+// Authenticated multi-threaded cross-machine runs: the sealed kSyncLog/kEntries
+// streams and MAC-verified acks must reproduce the unauthenticated results
+// byte-for-byte — transcripts, sync log, mirror — and the wraparound gate (which
+// now runs purely on ack-piggybacked replay cursors) must still park-and-release
+// correctly when the slow link pushes the replay lag past a full log lap.
+TEST(SyncLockstepTest, AuthenticatedSyncStreamMatchesUnauthenticated) {
+  for (uint64_t seed : {11, 77, 305, 999}) {
+    FuzzShape shape = ShapeFor(seed);
+
+    SyncFuzzOutcome plain = RunSyncFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                        /*remote_last_replica=*/true);
+    ASSERT_TRUE(plain.ok) << "seed " << seed;
+    ASSERT_EQ(plain.transcript.find("<missing>"), std::string::npos) << "seed " << seed;
+
+    SyncFuzzOutcome auth = RunSyncFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                       /*remote_last_replica=*/true,
+                                       /*kill_remote_at=*/0, /*post_run=*/nullptr,
+                                       /*link_latency=*/50 * kMicrosecond,
+                                       /*max_inflight_frames=*/8, /*rb_auth=*/true);
+    ASSERT_TRUE(auth.ok) << "seed " << seed;
+    ASSERT_EQ(plain.transcript, auth.transcript) << "seed " << seed;
+    ASSERT_EQ(plain.rb_entries, auth.rb_entries) << "seed " << seed;
+    ASSERT_EQ(plain.master_log, auth.master_log) << "seed " << seed;
+    ASSERT_EQ(auth.remote_tail, auth.master_tail) << "seed " << seed;
+    ASSERT_EQ(auth.remote_log, auth.master_log) << "seed " << seed;
+  }
+
+  // Slow link, deep in-flight budget: the wrap gate must bind under auth too.
+  uint64_t seed = 77;
+  FuzzShape shape = ShapeFor(seed);
+  shape.ops += 20;
+  SyncFuzzOutcome local = RunSyncFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive);
+  ASSERT_TRUE(local.ok);
+  SyncFuzzOutcome slow = RunSyncFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                     /*remote_last_replica=*/true,
+                                     /*kill_remote_at=*/0, /*post_run=*/nullptr,
+                                     /*link_latency=*/Millis(2),
+                                     /*max_inflight_frames=*/256, /*rb_auth=*/true);
+  ASSERT_TRUE(slow.ok);
+  EXPECT_GT(slow.wrap_stalls, 0u);
+  EXPECT_EQ(local.transcript, slow.transcript);
+  EXPECT_EQ(slow.remote_log, slow.master_log);
+  EXPECT_EQ(slow.remote_tail, slow.master_tail);
+
+  // Authenticated kill + attested re-seed with the sync-log image in the
+  // snapshot: still byte-identical to the never-died unauthenticated run.
+  int exercised = 0;
+  for (uint64_t rs : {19ull, 131ull, 333ull}) {
+    FuzzShape rshape = ShapeFor(rs);
+    rshape.ops += 12;
+    SyncFuzzOutcome base = RunSyncFuzz(rs, rshape, 3, 8, RbBatchPolicy::kAdaptive,
+                                       /*remote_last_replica=*/true);
+    ASSERT_TRUE(base.ok) << "seed " << rs;
+    SyncFuzzOutcome reseeded = RunSyncFuzz(rs, rshape, 3, 8, RbBatchPolicy::kAdaptive,
+                                           /*remote_last_replica=*/true,
+                                           /*kill_remote_at=*/Micros(200),
+                                           /*post_run=*/nullptr,
+                                           /*link_latency=*/50 * kMicrosecond,
+                                           /*max_inflight_frames=*/8,
+                                           /*rb_auth=*/true);
+    ASSERT_TRUE(reseeded.ok) << "seed " << rs;
+    ASSERT_EQ(base.transcript, reseeded.transcript) << "seed " << rs;
+    ASSERT_EQ(base.master_log, reseeded.master_log) << "seed " << rs;
+    ASSERT_EQ(reseeded.remote_log, reseeded.master_log) << "seed " << rs;
+    if (reseeded.remote_deaths > 0 && reseeded.rejoins > 0) {
+      ++exercised;
+    }
+  }
+  EXPECT_GE(exercised, 2);
+}
+
 // Kill-one-replica-mid-fuzz re-seed variant: tearing the remote multi-threaded
 // replica's link down mid-run and checkpoint-seeding a replacement (snapshot now
 // carrying the sync-log image + replay cursor) must be invisible — transcripts,
@@ -895,39 +1015,33 @@ TEST(SyncLockstepTest, ReseedMidFuzzCarriesSyncLog) {
   EXPECT_GE(exercised, 10);
 }
 
-// Join-epoch floor on sync-log frames: after a re-seed, a data frame stamped with
-// a pre-join epoch is stale by definition and must be dropped (counted, mirror
-// untouched); a current-epoch frame starting anywhere but the mirror tail means
-// the streams diverged and tears the link down.
-TEST(SyncLockstepTest, SyncLogFramesBelowJoinEpochFloorRejected) {
-  bool exercised = false;
+// Epoch regression on data frames: after a re-seed, a frame stamped with a
+// pre-join epoch is a replay by definition — it is rejected, the mirror stays
+// untouched, and the link is torn down (a peer re-sending old epochs is
+// compromised or hopelessly diverged, never merely slow). Post-tear frames are
+// no-ops. A current-epoch frame starting anywhere but the mirror tail is a
+// diverged stream and also tears the link.
+TEST(SyncLockstepTest, SyncLogEpochRegressionTearsLink) {
+  bool exercised_stale = false;
+  bool exercised_gap = false;
   for (uint64_t seed : {19, 131, 333}) {
     FuzzShape shape = ShapeFor(seed);
     shape.ops += 12;
+    bool gap_probe = seed == 131;
     RunSyncFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
                 /*remote_last_replica=*/true, /*kill_remote_at=*/Micros(200),
-                [&exercised](Remon& mvee, SimWorld& w) {
-                  (void)w;
+                [&exercised_stale, &exercised_gap, gap_probe](Remon& mvee,
+                                                              SimWorld& w) {
                   RemoteSyncAgent* agent = mvee.remote_agent(2);
                   SyncAgent* mirror = mvee.sync_agent(2);
                   ASSERT_TRUE(agent != nullptr && mirror != nullptr);
                   if (agent->join_epoch() < 2) {
                     return;  // The kill landed after the run; nothing to probe.
                   }
-                  exercised = true;
                   uint64_t tail = mirror->tail();
                   uint64_t rejects = agent->frames_rejected();
 
-                  RbWireFrame stale;
-                  stale.type = RbFrameType::kSyncLog;
-                  stale.epoch = agent->join_epoch() - 1;
-                  stale.sync_start = tail;
-                  stale.sync_records = {RbSyncLogRecord{99, 0}};
-                  EXPECT_FALSE(agent->InjectFrameForTest(stale));
-                  EXPECT_EQ(agent->frames_rejected(), rejects + 1);
-                  EXPECT_EQ(mirror->tail(), tail);  // The mirror never saw it.
-
-                  // At the join epoch with the correct start the frame applies.
+                  // At the current epoch with the correct start a frame applies.
                   RbWireFrame live;
                   live.type = RbFrameType::kSyncLog;
                   live.epoch = agent->join_epoch();
@@ -935,18 +1049,48 @@ TEST(SyncLockstepTest, SyncLogFramesBelowJoinEpochFloorRejected) {
                   live.sync_records = {RbSyncLogRecord{99, 0}};
                   EXPECT_TRUE(agent->InjectFrameForTest(live));
                   EXPECT_EQ(mirror->tail(), tail + 1);
+                  ASSERT_FALSE(agent->link_torn());
 
-                  // A gap after the tail is a diverged stream: rejected, link torn.
-                  RbWireFrame gap;
-                  gap.type = RbFrameType::kSyncLog;
-                  gap.epoch = agent->join_epoch();
-                  gap.sync_start = tail + 5;
-                  gap.sync_records = {RbSyncLogRecord{7, 1}};
-                  EXPECT_FALSE(agent->InjectFrameForTest(gap));
+                  if (gap_probe) {
+                    // A gap after the tail is a diverged stream: rejected, torn.
+                    exercised_gap = true;
+                    RbWireFrame gap;
+                    gap.type = RbFrameType::kSyncLog;
+                    gap.epoch = agent->join_epoch();
+                    gap.sync_start = tail + 5;
+                    gap.sync_records = {RbSyncLogRecord{7, 1}};
+                    EXPECT_FALSE(agent->InjectFrameForTest(gap));
+                    EXPECT_EQ(mirror->tail(), tail + 1);
+                    EXPECT_TRUE(agent->link_torn());
+                    return;
+                  }
+                  exercised_stale = true;
+                  uint64_t regressions = w.sim.stats().rb_epoch_regressions;
+
+                  RbWireFrame stale;
+                  stale.type = RbFrameType::kSyncLog;
+                  stale.epoch = agent->join_epoch() - 1;
+                  stale.sync_start = tail + 1;
+                  stale.sync_records = {RbSyncLogRecord{99, 0}};
+                  EXPECT_FALSE(agent->InjectFrameForTest(stale));
+                  EXPECT_EQ(agent->frames_rejected(), rejects + 1);
+                  EXPECT_EQ(mirror->tail(), tail + 1);  // The mirror never saw it.
+                  EXPECT_TRUE(agent->link_torn());
+                  EXPECT_EQ(w.sim.stats().rb_epoch_regressions, regressions + 1);
+
+                  // The torn link is dead, not wedged: further frames — even
+                  // well-formed current-epoch ones — are ignored outright.
+                  RbWireFrame after;
+                  after.type = RbFrameType::kSyncLog;
+                  after.epoch = agent->join_epoch();
+                  after.sync_start = tail + 1;
+                  after.sync_records = {RbSyncLogRecord{42, 1}};
+                  EXPECT_FALSE(agent->InjectFrameForTest(after));
                   EXPECT_EQ(mirror->tail(), tail + 1);
                 });
   }
-  EXPECT_TRUE(exercised);
+  EXPECT_TRUE(exercised_stale);
+  EXPECT_TRUE(exercised_gap);
 }
 
 TEST(PropertyTest, MonitoredPlusUnmonitoredCoversEverything) {

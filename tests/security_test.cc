@@ -3,7 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
+#include "src/core/rb_auth.h"
+#include "src/core/rb_wire.h"
 #include "src/core/remon.h"
+#include "src/core/replication_buffer.h"
 #include "tests/test_util.h"
 
 namespace remon {
@@ -305,6 +310,245 @@ TEST(SecurityTest, RbMigrationMovesBufferTransparently) {
   EXPECT_NE(base_after_init, 0u);
   EXPECT_NE(mvee.ipmon(0)->rb().base(), base_after_init);
   EXPECT_EQ(w.fs.ReadWholeFile("/tmp/mig.txt")->size(), 120u * 2048u);
+}
+
+// --- Authenticated RB transport (wire v4): active network adversaries --------------
+
+// 3 replicas with the last one behind the RB transport, per-frame authentication on.
+RemonOptions RemoteAuthOptions(SimWorld* w, int replicas = 3) {
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = replicas;
+  opts.level = PolicyLevel::kNonsocketRw;
+  opts.rb_size = 256 * 1024;
+  opts.max_ranks = 4;
+  opts.rb_auth = true;
+  uint32_t host = w->net.AddMachine("replica-host-1");
+  w->net.SetLink(w->server_machine, host, LinkParams{50 * kMicrosecond, 0.125});
+  opts.machine = w->server_machine;
+  opts.replica_machines.assign(static_cast<size_t>(replicas), w->server_machine);
+  opts.replica_machines.back() = host;
+  return opts;
+}
+
+ProgramFn WriterWorkload(int writes) {
+  return [writes](Guest& g) -> GuestTask<void> {
+    int64_t fd = co_await g.Open("/tmp/auth.dat", kO_CREAT | kO_RDWR);
+    GuestAddr buf = g.Alloc(512);
+    for (int i = 0; i < writes; ++i) {
+      co_await g.Write(static_cast<int>(fd), buf, 512);
+    }
+    co_await g.Close(static_cast<int>(fd));
+  };
+}
+
+TEST(SecurityTest, AuthenticatedRemoteRunCompletesUntampered) {
+  // Baseline sanity: with --rb-auth every frame is sealed, nothing is rejected,
+  // and the run is indistinguishable from an unauthenticated one in outcome.
+  SimWorld w(120);
+  Remon mvee(&w.kernel, RemoteAuthOptions(&w));
+  mvee.Launch(WriterWorkload(60), "auth");
+  w.Run();
+  EXPECT_TRUE(mvee.finished());
+  EXPECT_FALSE(mvee.divergence_detected());
+  EXPECT_EQ(w.fs.ReadWholeFile("/tmp/auth.dat")->size(), 60u * 512u);
+  const SimStats& stats = w.sim.stats();
+  EXPECT_GT(stats.rb_auth_frames_sealed, 0u);
+  EXPECT_EQ(stats.rb_auth_frames_rejected, 0u);
+  EXPECT_GE(stats.rb_auth_joins, 1u);  // The initial connection attested.
+  EXPECT_EQ(stats.rb_auth_join_rejects, 0u);
+  EXPECT_EQ(stats.rb_epoch_regressions, 0u);
+}
+
+TEST(SecurityTest, ForgedFrameRejectedAndLinkTorn) {
+  // An on-path attacker without the secret forges a structurally perfect frame
+  // (valid header, valid CRC under the v3 reading, plausible entry records). The
+  // MAC check rejects it and the link is torn — never applied, never a hang.
+  SimWorld w(121);
+  Remon mvee(&w.kernel, RemoteAuthOptions(&w));
+  mvee.Launch(WriterWorkload(40), "forge");
+  w.Run();
+  ASSERT_TRUE(mvee.finished());
+  RemoteSyncAgent* agent = mvee.remote_agent(2);
+  ASSERT_NE(agent, nullptr);
+  ASSERT_FALSE(agent->link_torn());
+  uint64_t rejects = agent->frames_rejected();
+  uint64_t applied = agent->frames_applied();
+  uint64_t auth_rejects = w.sim.stats().rb_auth_frames_rejected;
+
+  RbWireEntry e;
+  e.entry_off = kRbGlobalHeaderSize + kRbRankHeaderSize;
+  e.final_state = kRbResultsReady;
+  e.image.assign(kRbEntryHeaderSize, 0xa5);
+  std::vector<uint8_t> forged =
+      RbWireCodec::EncodeEntries(/*epoch=*/1, /*rank=*/0, /*frame_seq=*/0, {e});
+  // Sealed under the attacker's own key — the best a secret-less forger can do.
+  RbAuthContext attacker("not-the-real-secret");
+  attacker.SealFrame(&forged, RbAuthDirection::kLeaderToReplica);
+  agent->InjectRawBytesForTest(forged.data(), forged.size());
+
+  EXPECT_TRUE(agent->link_torn());
+  EXPECT_EQ(agent->frames_rejected(), rejects + 1);
+  EXPECT_EQ(agent->frames_applied(), applied);  // Nothing reached the mirror.
+  EXPECT_EQ(w.sim.stats().rb_auth_frames_rejected, auth_rejects + 1);
+
+  // The torn link is latched: even a genuinely sealed frame is dead on arrival.
+  std::vector<uint8_t> late =
+      RbWireCodec::EncodeEntries(/*epoch=*/1, /*rank=*/0, /*frame_seq=*/0, {e});
+  RbAuthContext real(mvee.options().rb_auth_secret);
+  real.SealFrame(&late, RbAuthDirection::kLeaderToReplica);
+  agent->InjectRawBytesForTest(late.data(), late.size());
+  EXPECT_EQ(agent->frames_applied(), applied);
+}
+
+TEST(SecurityTest, CrossEpochReplayRejectedAfterReseed) {
+  // Replay across a key rotation: a frame captured before the epoch bump carries a
+  // valid MAC under the *old* session key. Decryption succeeds (the old key is
+  // derivable) but the epoch monotonicity gate tears the link — a peer re-sending
+  // retired epochs is an adversary, not a straggler.
+  SimWorld w(122);
+  RemonOptions opts = RemoteAuthOptions(&w);
+  opts.respawn_dead_replicas = true;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch(WriterWorkload(400), "replay");
+  w.sim.queue().ScheduleAt(Micros(300), [&mvee] {
+    RemoteSyncAgent* agent = mvee.remote_agent(2);
+    if (agent != nullptr) {
+      agent->Shutdown();  // Kill the link mid-run; respawn re-seeds at epoch 2.
+    }
+  });
+  w.Run();
+  ASSERT_TRUE(mvee.finished());
+  ASSERT_FALSE(mvee.divergence_detected());
+  RemoteSyncAgent* agent = mvee.remote_agent(2);
+  ASSERT_NE(agent, nullptr);
+  ASSERT_GE(agent->join_epoch(), 2u) << "kill did not land mid-run";
+  ASSERT_GE(w.sim.stats().rb_auth_joins, 2u);  // Initial + attested re-join.
+  ASSERT_FALSE(agent->link_torn());
+  uint64_t regressions = w.sim.stats().rb_epoch_regressions;
+  uint64_t applied = agent->frames_applied();
+
+  RbWireEntry e;
+  e.entry_off = kRbGlobalHeaderSize + kRbRankHeaderSize;
+  e.final_state = kRbResultsReady;
+  e.image.assign(kRbEntryHeaderSize, 0x11);
+  std::vector<uint8_t> replayed = RbWireCodec::EncodeEntries(
+      agent->join_epoch() - 1, /*rank=*/0, /*frame_seq=*/0, {e});
+  RbAuthContext real(mvee.options().rb_auth_secret);
+  real.SealFrame(&replayed, RbAuthDirection::kLeaderToReplica);
+  agent->InjectRawBytesForTest(replayed.data(), replayed.size());
+
+  EXPECT_TRUE(agent->link_torn());
+  EXPECT_EQ(agent->frames_applied(), applied);
+  EXPECT_EQ(w.sim.stats().rb_epoch_regressions, regressions + 1);
+}
+
+TEST(SecurityTest, TamperedAckFromCompromisedReplicaTearsLeaderLink) {
+  // Compromised-replica scenario: the replica end of the link sends an ack that
+  // was never sealed (or re-sealed wrong). The leader's MAC check rejects it and
+  // marks the remote dead instead of trusting its cursor/ack state.
+  SimWorld w(123);
+  Remon mvee(&w.kernel, RemoteAuthOptions(&w));
+  mvee.Launch(WriterWorkload(40), "tamper-ack");
+  w.Run();
+  ASSERT_TRUE(mvee.finished());
+  RemoteSyncAgent* agent = mvee.remote_agent(2);
+  ASSERT_NE(agent, nullptr);
+  ASSERT_FALSE(agent->link_torn());
+  uint64_t auth_rejects = w.sim.stats().rb_auth_frames_rejected;
+  uint64_t deaths = w.sim.stats().rb_remote_deaths;
+
+  // A plausible unsealed ack claiming everything was acknowledged.
+  agent->SendRawAckForTest(RbWireCodec::EncodeAck(/*epoch=*/1, /*ack_seq=*/1,
+                                                  /*sync_cursor=*/0));
+  w.Run();  // Deliver the bytes; the leader's poll observer pumps them.
+
+  EXPECT_GT(w.sim.stats().rb_auth_frames_rejected, auth_rejects);
+  EXPECT_GT(w.sim.stats().rb_remote_deaths, deaths);
+}
+
+TEST(SecurityTest, MismatchedConfigDigestJoinRefused) {
+  // Attested join, identity half: a joiner presenting a different config digest
+  // (wrong build, wrong geometry, wrong descriptor registry — or an impostor) is
+  // refused before any leader state is shipped, and the dead link surfaces as a
+  // divergence report rather than a hang.
+  SimWorld w(124);
+  Remon mvee(&w.kernel, RemoteAuthOptions(&w));
+  mvee.Launch(WriterWorkload(40), "bad-digest");
+  RemoteSyncAgent* agent = mvee.remote_agent(2);
+  ASSERT_NE(agent, nullptr);
+  agent->OverrideAttestDigestForTest(0xbadc0ffee0ddf00dull);
+  w.Run();
+  EXPECT_GE(w.sim.stats().rb_auth_join_rejects, 1u);
+  EXPECT_EQ(w.sim.stats().rb_auth_joins, 0u);
+  EXPECT_EQ(agent->frames_applied(), 0u);  // The leader never started streaming.
+  EXPECT_TRUE(mvee.divergence_detected());
+}
+
+TEST(SecurityTest, ReplacementSnapshotHeldUntilAttestSucceeds) {
+  // Attested join, re-seed half: while every replacement join keeps presenting a
+  // bad digest, the leader must never ship a checkpoint. The capped respawns then
+  // surface as divergence (a joiner that keeps failing its attestation IS the
+  // divergence), with zero snapshot frames on the wire.
+  SimWorld w(125);
+  RemonOptions opts = RemoteAuthOptions(&w);
+  opts.respawn_dead_replicas = true;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch(WriterWorkload(400), "held-snapshot");
+  w.sim.queue().ScheduleAt(Micros(300), [&mvee] {
+    RemoteSyncAgent* agent = mvee.remote_agent(2);
+    if (agent != nullptr) {
+      agent->Shutdown();
+    }
+  });
+  // Poison every agent generation's attestation for the rest of the run: ticks
+  // cover each respawn window, so each replacement joins with the wrong digest.
+  for (int i = 0; i < 200; ++i) {
+    w.sim.queue().ScheduleAt(Micros(300 + 20 * i), [&mvee] {
+      RemoteSyncAgent* agent = mvee.remote_agent(2);
+      if (agent != nullptr) {
+        agent->OverrideAttestDigestForTest(0xbadc0ffee0ddf00dull);
+      }
+    });
+  }
+  w.Run();
+  EXPECT_GE(w.sim.stats().rb_auth_join_rejects, 1u);
+  EXPECT_EQ(w.sim.stats().rb_snapshot_frames_sent, 0u);  // No checkpoint left home.
+  EXPECT_EQ(w.sim.stats().rb_replica_joins, 0u);
+  EXPECT_TRUE(mvee.divergence_detected());
+}
+
+TEST(SecurityTest, AuthInjectedInputNeverSilentlyCorrupts) {
+  // Divergence-triggering injection: mid-run, an attacker who somehow *does* get a
+  // frame onto the stream (here: validly sealed, so only lockstep can catch it)
+  // poisons an RB entry in the remote mirror. Acceptable outcomes are a torn link
+  // (the injection broke stream framing mid-frame) or lockstep divergence; what
+  // must never happen is a finished run with corrupted output.
+  SimWorld w(126);
+  Remon mvee(&w.kernel, RemoteAuthOptions(&w));
+  mvee.Launch(WriterWorkload(200), "inject");
+  bool injected = false;
+  w.sim.queue().ScheduleAt(Micros(400), [&mvee, &injected] {
+    RemoteSyncAgent* agent = mvee.remote_agent(2);
+    if (agent == nullptr || agent->link_torn()) {
+      return;
+    }
+    injected = true;
+    RbWireEntry e;
+    e.entry_off = kRbGlobalHeaderSize + kRbRankHeaderSize;
+    e.final_state = kRbResultsReady;
+    e.image.assign(kRbEntryHeaderSize + 64, 0x5a);  // Garbage args/results.
+    std::vector<uint8_t> frame =
+        RbWireCodec::EncodeEntries(/*epoch=*/1, /*rank=*/0, /*frame_seq=*/0, {e});
+    RbAuthContext real(mvee.options().rb_auth_secret);
+    real.SealFrame(&frame, RbAuthDirection::kLeaderToReplica);
+    agent->InjectRawBytesForTest(frame.data(), frame.size());
+  });
+  w.Run();
+  ASSERT_TRUE(injected);
+  if (mvee.finished() && !mvee.divergence_detected()) {
+    EXPECT_EQ(w.fs.ReadWholeFile("/tmp/auth.dat")->size(), 200u * 512u);
+  }
 }
 
 // --- Signal-based attacks ---------------------------------------------------------

@@ -363,6 +363,59 @@ TEST(RemotePlacementTest, MultithreadedPoolServerReseedsWithSyncLog) {
   EXPECT_EQ(reseeded.stats.sync_ops_replayed, 2 * reseeded.stats.sync_ops_recorded);
 }
 
+TEST(RemotePlacementTest, AuthenticatedPlacementServesIdenticalTranscript) {
+  // Wire-v4 authentication at the server level: with --rb-auth the cross-machine
+  // multi-threaded benchmark must serve the exact transcript of the
+  // unauthenticated run — MAC trailers and stream encryption change only the
+  // bytes on the link — and the attested-join re-seed must stay transparent too.
+  ServerSpec server = ServerByName("memcached");
+  server.log_writes = 2;
+  ClientSpec client;
+  client.connections = 8;
+  client.total_requests = 120;
+  client.request_bytes = 512;
+  LinkParams link{60 * kMicrosecond, 0.125};
+
+  RunConfig config;
+  config.mode = MveeMode::kRemon;
+  config.replicas = 3;
+  config.level = PolicyLevel::kSocketRw;
+  config.rb_batch_max = 16;
+  config.rb_batch_policy = RbBatchPolicy::kAdaptive;
+  config.placement = {0, 1};  // Replica 2 on its own machine.
+  config.use_sync_agent = true;
+  ServerResult plain = RunServerBench(server, client, config, link);
+  ASSERT_FALSE(plain.diverged);
+  ASSERT_EQ(plain.requests, 120);
+  EXPECT_EQ(plain.stats.rb_auth_frames_sealed, 0u);
+
+  RunConfig authed = config;
+  authed.rb_auth = true;
+  ServerResult auth = RunServerBench(server, client, authed, link);
+  ASSERT_FALSE(auth.diverged);
+  EXPECT_EQ(auth.requests, plain.requests);
+  EXPECT_EQ(auth.bytes_received, plain.bytes_received);
+  // Every frame on the link was sealed (leader data + replica acks), the initial
+  // join ran through the attest handshake, and nothing was rejected.
+  EXPECT_GT(auth.stats.rb_auth_frames_sealed, auth.stats.rb_frames_sent);
+  EXPECT_EQ(auth.stats.rb_auth_frames_rejected, 0u);
+  EXPECT_GE(auth.stats.rb_auth_joins, 1u);
+  EXPECT_EQ(auth.stats.rb_auth_join_rejects, 0u);
+
+  RunConfig faulted = authed;
+  faulted.respawn_dead_replicas = true;
+  faulted.kill_remote_replica_at = Millis(3);
+  ServerResult reseeded = RunServerBench(server, client, faulted, link);
+  EXPECT_FALSE(reseeded.diverged);
+  EXPECT_EQ(reseeded.requests, plain.requests);
+  EXPECT_EQ(reseeded.bytes_received, plain.bytes_received);
+  EXPECT_GE(reseeded.stats.rb_remote_deaths, 1u);
+  EXPECT_GE(reseeded.stats.rb_replica_joins, 1u);
+  // Initial join + replacement join, each attested under its epoch's keys.
+  EXPECT_GE(reseeded.stats.rb_auth_joins, 2u);
+  EXPECT_EQ(reseeded.stats.rb_snapshot_rejects, 0u);
+}
+
 TEST(RemotePlacementTest, RemoteLinkDownReportsDivergenceNotHang) {
   // Tearing the remote agent's link mid-run must end the run with a divergence
   // report (epoch bump included), never a hang on unacked frames or RB waits.

@@ -7,7 +7,7 @@
 //             [--rb-batch=N|adaptive|adaptive:MAX] [--rb-migration]
 //             [--placement=local|machine:N,...] [--rb-link-latency-us=N]
 //             [--rb-link-gbps=F] [--respawn-on-death] [--kill-replica-at-ms=N]
-//             [--sync-agent] [--sync-log-kb=N] [--list]
+//             [--sync-agent] [--sync-log-kb=N] [--rb-auth] [--list]
 //
 // Runs one workload (a suite benchmark by name, or a server benchmark driven by a
 // closed-loop client) under the chosen MVEE configuration and prints a run report.
@@ -47,6 +47,7 @@ struct CliArgs {
   int kill_replica_at_ms = 0;
   bool sync_agent = false;
   uint64_t sync_log_kb = 1024;
+  bool rb_auth = false;
   bool list = false;
   bool ok = true;
 };
@@ -186,6 +187,10 @@ CliArgs Parse(int argc, char** argv) {
       } else {
         args.sync_log_kb = static_cast<uint64_t>(kb);
       }
+    } else if (std::strcmp(argv[i], "--rb-auth") == 0) {
+      // Authenticated RB transport (wire v4): MAC + stream encryption on every
+      // cross-machine frame, attested join before a replacement is re-seeded.
+      args.rb_auth = true;
     } else if (std::strcmp(argv[i], "--rb-migration") == 0) {
       args.rb_migration = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -273,6 +278,15 @@ void PrintStats(const SimStats& stats) {
     }
     std::printf("\n");
   }
+  if (stats.rb_auth_frames_sealed > 0 || stats.rb_auth_frames_rejected > 0) {
+    std::printf("  rb auth: sealed=%llu rejected=%llu epoch-regressions=%llu "
+                "joins=%llu join-rejects=%llu\n",
+                static_cast<unsigned long long>(stats.rb_auth_frames_sealed),
+                static_cast<unsigned long long>(stats.rb_auth_frames_rejected),
+                static_cast<unsigned long long>(stats.rb_epoch_regressions),
+                static_cast<unsigned long long>(stats.rb_auth_joins),
+                static_cast<unsigned long long>(stats.rb_auth_join_rejects));
+  }
   if (stats.rb_replica_respawns > 0) {
     std::printf("  rb re-seed: respawns=%llu joins=%llu snapshot-frames=%llu "
                 "snapshot-KiB=%llu entries-restored=%llu rejects=%llu\n",
@@ -301,6 +315,7 @@ int Run(const CliArgs& args) {
   config.kill_remote_replica_at = Millis(args.kill_replica_at_ms);
   config.use_sync_agent = args.sync_agent;
   config.sync_log_size = args.sync_log_kb * 1024;
+  config.rb_auth = args.rb_auth;
   if (args.temporal_p > 0) {
     config.temporal.enabled = true;
     config.temporal.exempt_probability = args.temporal_p;
@@ -367,7 +382,7 @@ int main(int argc, char** argv) {
                          "[--placement=local|machine:N,...] [--rb-link-latency-us=N] "
                          "[--rb-link-gbps=F] [--respawn-on-death] "
                          "[--kill-replica-at-ms=N] [--sync-agent] [--sync-log-kb=N] "
-                         "[--list]  (full reference: docs/CLI.md)\n");
+                         "[--rb-auth] [--list]  (full reference: docs/CLI.md)\n");
     return 1;
   }
   if (args.list) {
