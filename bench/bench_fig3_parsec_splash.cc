@@ -1,64 +1,75 @@
 // Figure 3: normalized execution time of the PARSEC 2.1 and SPLASH-2x suites under
 // GHUMVEE-only monitoring and under ReMon with IP-MON at NONSOCKET_RW_LEVEL
-// (2 replicas, 4 worker threads), versus the paper's bars.
+// (2 replicas, 4 worker threads), versus the paper's bars — plus two
+// beyond-the-paper columns running the barrier-rotated sync variant of every
+// benchmark with the record/replay agent, all-local and with one replica behind
+// the RB transport (the sync-agent log streamed as kSyncLog frames).
+//
+// Tracked: --json=PATH emits remon-bench-v1 metrics (BENCH_fig3.json baseline,
+// gated in CI). Namespaces `parsec/...` and `splash/...`.
 
-#include <cstdio>
-
-#include "src/harness/runner.h"
-#include "src/harness/table.h"
+#include "src/harness/bench_main.h"
 
 namespace remon {
 namespace {
 
-void RunSuite(const char* title, const std::vector<WorkloadSpec>& suite) {
-  std::printf("== Figure 3: %s (2 replicas, 4 worker threads) ==\n", title);
-  Table table({"benchmark", "no IP-MON", "paper", "IP-MON/NSRW", "paper", "syscalls/s"});
-  std::vector<double> cp_values;
-  std::vector<double> ip_values;
-  std::vector<double> paper_cp;
-  std::vector<double> paper_ip;
+double PaperGhumvee(const WorkloadSpec& s) { return s.paper_ghumvee; }
+double PaperRemon(const WorkloadSpec& s) { return s.paper_remon; }
 
-  for (const WorkloadSpec& spec : suite) {
-    RunConfig cp;
-    cp.mode = MveeMode::kGhumveeOnly;
-    cp.replicas = 2;
-    RunConfig ip;
-    ip.mode = MveeMode::kRemon;
-    ip.replicas = 2;
-    ip.level = PolicyLevel::kNonsocketRw;
+// Sync-column shape: the 4-thread barrier rotation, two agent-ordered
+// acquisitions per iteration. With the 64-slot log below, every benchmark
+// wraps the circular sync log several laps per run.
+WorkloadSpec SyncShape(const WorkloadSpec& s) { return SyncVariant(s, 2, 80); }
 
-    double cp_norm = NormalizedSuiteTime(spec, cp);
-    double ip_norm = NormalizedSuiteTime(spec, ip);
-    RunConfig native;
-    native.mode = MveeMode::kNative;
-    SuiteResult base = RunSuiteWorkload(spec, native);
-    double rate = base.seconds > 0
-                      ? static_cast<double>(base.stats.syscalls_total) / base.seconds
-                      : 0;
+std::vector<SuiteColumn> Columns() {
+  RunConfig cp;
+  cp.mode = MveeMode::kGhumveeOnly;
+  cp.replicas = 2;
 
-    table.AddRow({spec.name, Table::Num(cp_norm), Table::Num(spec.paper_ghumvee),
-                  Table::Num(ip_norm), Table::Num(spec.paper_remon),
-                  Table::Num(rate, 0)});
-    if (cp_norm > 0) {
-      cp_values.push_back(cp_norm);
-      paper_cp.push_back(spec.paper_ghumvee);
-    }
-    if (ip_norm > 0) {
-      ip_values.push_back(ip_norm);
-      paper_ip.push_back(spec.paper_remon);
-    }
-  }
-  table.AddRow({"GEOMEAN", Table::Num(GeoMean(cp_values)), Table::Num(GeoMean(paper_cp)),
-                Table::Num(GeoMean(ip_values)), Table::Num(GeoMean(paper_ip)), ""});
-  table.Print();
-  std::printf("\n");
+  RunConfig ip;
+  ip.mode = MveeMode::kRemon;
+  ip.replicas = 2;
+  ip.level = PolicyLevel::kNonsocketRw;
+
+  RunConfig sync_local = ip;
+  sync_local.rb_batch_max = 16;
+  sync_local.rb_batch_policy = RbBatchPolicy::kAdaptive;
+  sync_local.use_sync_agent = true;
+  // A 64-slot circular log: barrier/lock-dominated compute must lap it, so the
+  // wraparound gate and the coalescing window are both on the measured path.
+  sync_local.sync_log_size = kSyncLogOffEntries + 64 * kSyncLogEntrySize;
+
+  RunConfig sync_remote = sync_local;
+  sync_remote.placement = {1};  // Replica 1 on its own machine, RB-transport-fed.
+  // The rotation flushes a tiny frame at nearly every liveness point; under the
+  // default 8-frame budget the master spends the run parked on ack round-trips
+  // (sync_log_append_stalls) instead of streaming. A deep window leaves the
+  // remote column bandwidth-bound, not window-bound (remon_test.cc locks the
+  // knob's effect in).
+  sync_remote.rb_max_inflight_frames = 64;
+
+  return {
+      {"ghumvee2", cp, nullptr, PaperGhumvee},
+      {"remon2_nsrw", ip, nullptr, PaperRemon},
+      {"sync_local2", sync_local, SyncShape, nullptr},
+      {"sync_remote2", sync_remote, SyncShape, nullptr},
+  };
 }
 
 }  // namespace
 }  // namespace remon
 
-int main() {
-  remon::RunSuite("PARSEC 2.1", remon::ParsecSuite());
-  remon::RunSuite("SPLASH-2x", remon::SplashSuite());
-  return 0;
+int main(int argc, char** argv) {
+  remon::BenchMain bench("fig3", argc, argv);
+  remon::RunSuiteGrid("parsec",
+                      "Figure 3: PARSEC 2.1 (2 replicas, 4 worker threads)",
+                      remon::ParsecSuite(), remon::Columns(), &bench);
+  remon::RunSuiteGrid("splash",
+                      "Figure 3: SPLASH-2x (2 replicas, 4 worker threads)",
+                      remon::SplashSuite(), remon::Columns(), &bench);
+  std::printf(
+      "sync_local2/sync_remote2: barrier-rotated sync variant (4 threads, 2\n"
+      "agent-ordered acquisitions/iter, 64-slot log) under the record/replay\n"
+      "agent, all-local vs. one replica fed over the RB transport.\n");
+  return bench.Finish();
 }

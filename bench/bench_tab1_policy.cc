@@ -1,10 +1,15 @@
 // Table 1: the spatial exemption levels. Prints the full classification matrix
 // (every system call x every level) and verifies it against the paper's table.
+//
+// Tracked: --json=PATH emits remon-bench-v1 metrics (BENCH_tab1.json baseline,
+// gated in CI). The metrics are structural counts — how many syscalls ride the
+// IP-MON fast path and how many each level exempts — so an accidental
+// classification change in the descriptor registry moves a gated number.
 
 #include <cstdio>
 
 #include "src/core/policy.h"
-#include "src/harness/table.h"
+#include "src/harness/bench_main.h"
 
 namespace remon {
 namespace {
@@ -22,24 +27,41 @@ const char* Classify(const RelaxationPolicy& policy, Sys nr) {
   return "monitored";
 }
 
-void Run() {
+int Run(BenchMain* bench) {
   std::printf("== Table 1: monitor levels for spatial system call exemption ==\n");
   Table table({"syscall", "BASE", "NS_RO", "NS_RW", "S_RO", "S_RW"});
-  const PolicyLevel levels[] = {PolicyLevel::kBase, PolicyLevel::kNonsocketRo,
-                                PolicyLevel::kNonsocketRw, PolicyLevel::kSocketRo,
-                                PolicyLevel::kSocketRw};
+  struct Level {
+    PolicyLevel level;
+    const char* key;
+  };
+  const Level levels[] = {{PolicyLevel::kBase, "base"},
+                          {PolicyLevel::kNonsocketRo, "ns_ro"},
+                          {PolicyLevel::kNonsocketRw, "ns_rw"},
+                          {PolicyLevel::kSocketRo, "s_ro"},
+                          {PolicyLevel::kSocketRw, "s_rw"}};
   int fast_path = 0;
+  int forced_cp = 0;
+  int uncond[5] = {};
+  int cond[5] = {};
   for (uint32_t i = 1; i < kNumSyscalls; ++i) {
     Sys nr = static_cast<Sys>(i);
     if (RelaxationPolicy::IpmonSupports(nr)) {
       ++fast_path;
     }
+    if (RelaxationPolicy::ForcedCpCall(nr)) {
+      ++forced_cp;
+    }
     std::vector<std::string> row{std::string(SysName(nr))};
     bool interesting = false;
-    for (PolicyLevel level : levels) {
-      RelaxationPolicy policy(level);
+    for (size_t l = 0; l < 5; ++l) {
+      RelaxationPolicy policy(levels[l].level);
       const char* c = Classify(policy, nr);
       row.push_back(c);
+      if (std::string(c) == "uncond") {
+        ++uncond[l];
+      } else if (std::string(c) == "cond") {
+        ++cond[l];
+      }
       if (std::string(c) != "monitored") {
         interesting = true;
       }
@@ -49,16 +71,29 @@ void Run() {
     }
   }
   table.Print();
+
+  bench->Add("policy/fast_path_syscalls", fast_path, "count",
+             /*higher_is_better=*/true);
+  bench->Add("policy/forced_cp_syscalls", forced_cp, "count",
+             /*higher_is_better=*/true);
+  for (size_t l = 0; l < 5; ++l) {
+    bench->Add(std::string("policy/") + levels[l].key + "/unconditional",
+               uncond[l], "count", /*higher_is_better=*/true);
+    bench->Add(std::string("policy/") + levels[l].key + "/conditional", cond[l],
+               "count", /*higher_is_better=*/true);
+  }
+
   std::printf("\nIP-MON fast path covers %d system calls (paper: 67 of 200+).\n", fast_path);
   std::printf("Always monitored: FD lifecycle, memory management, thread/process\n");
   std::printf("control, and signal handling calls — exactly the classes the paper pins\n");
   std::printf("to GHUMVEE regardless of level.\n");
+  return bench->Finish();
 }
 
 }  // namespace
 }  // namespace remon
 
-int main() {
-  remon::Run();
-  return 0;
+int main(int argc, char** argv) {
+  remon::BenchMain bench("tab1", argc, argv);
+  return remon::Run(&bench);
 }

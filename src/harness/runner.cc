@@ -46,6 +46,7 @@ RemonOptions OptionsFor(const RunConfig& config, double mem_intensity,
   // agent). Single-threaded programs never consult the agent.
   opts.use_sync_agent = config.use_sync_agent && multithreaded;
   opts.sync_log_size = config.sync_log_size;
+  opts.rb_max_inflight_frames = config.rb_max_inflight_frames;
   opts.respawn_dead_replicas = config.respawn_dead_replicas;
   opts.rb_auth = config.rb_auth;
   return opts;
@@ -183,21 +184,6 @@ double NormalizedServerTime(const ServerSpec& server, const ClientSpec& client,
     return -1.0;
   }
   return run.seconds / base.seconds;
-}
-
-double GeoMean(const std::vector<double>& xs) {
-  if (xs.empty()) {
-    return 0;
-  }
-  double log_sum = 0;
-  int n = 0;
-  for (double x : xs) {
-    if (x > 0) {
-      log_sum += std::log(x);
-      ++n;
-    }
-  }
-  return n > 0 ? std::exp(log_sum / n) : 0;
 }
 
 }  // namespace remon

@@ -41,6 +41,12 @@ struct RunConfig {
   // Leader <-> replica-host link (the RB transport rides on it).
   DurationNs rb_link_latency = 60 * kMicrosecond;
   double rb_link_bytes_per_ns = 0.125;  // 1 Gbit/s.
+  // Transport in-flight frame budget (RemonOptions::rb_max_inflight_frames).
+  // Barrier/lock-dominated compute flushes tiny frames at every liveness point,
+  // so the shallow default throttles a remote placement to the ack round-trip;
+  // the compute-suite benches raise it (and let the sync-log wrap gate, sized
+  // by sync_log_size, provide the replay-lag bound instead).
+  int rb_max_inflight_frames = 8;
   // Replica re-seed: checkpoint the leader and attach a replacement when a remote
   // replica's link dies, instead of reporting divergence (RemonOptions::
   // respawn_dead_replicas).
@@ -93,9 +99,6 @@ ServerResult RunServerBench(const ServerSpec& server, const ClientSpec& client,
 // Normalized runtime of the server benchmark (client completion time vs native).
 double NormalizedServerTime(const ServerSpec& server, const ClientSpec& client,
                             const RunConfig& config, LinkParams link);
-
-// Geometric mean helper.
-double GeoMean(const std::vector<double>& xs);
 
 }  // namespace remon
 

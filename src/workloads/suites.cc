@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/core/sync_agent.h"
 #include "src/kernel/abi.h"
 #include "src/sim/check.h"
 
@@ -131,6 +132,26 @@ WorkloadSpec FromBars(const std::string& name, const std::string& suite, int thr
 }
 
 }  // namespace
+
+double GeoMean(const std::vector<double>& xs) {
+  double log_sum = 0;
+  int n = 0;
+  for (double x : xs) {
+    if (x > 0) {
+      log_sum += std::log(x);
+      ++n;
+    }
+  }
+  return n > 0 ? std::exp(log_sum / n) : 0;
+}
+
+WorkloadSpec SyncVariant(WorkloadSpec spec, int sync_ops, int max_iterations,
+                         int min_threads) {
+  spec.sync_ops = sync_ops;
+  spec.threads = std::max(spec.threads, min_threads);
+  spec.iterations = std::min(spec.iterations, max_iterations);
+  return spec;
+}
 
 std::vector<WorkloadSpec> ParsecSuite() {
   // Paper bars (no-IPMON, IPMON @ NONSOCKET_RW), Fig. 3 left, 4 worker threads.
@@ -278,9 +299,21 @@ ProgramFn SuiteProgram(const WorkloadSpec& spec) {
       }
     }
 
+    // Shared words for the sync rotation (see WorkloadSpec::sync_ops): `turn`
+    // carries the next global acquisition slot, `pool` the racy shared counter
+    // whose pops the rotation (and, when present, the sync agent) orders.
+    GuestAddr turn = 0;
+    GuestAddr pool = 0;
+    if (spec.sync_ops > 0) {
+      turn = g.Alloc(4);
+      pool = g.Alloc(4);
+      g.PokeU32(turn, 0);
+      g.PokeU32(pool, 0);
+    }
+
     // --- Workers ------------------------------------------------------------------
-    auto worker_body = [spec, join_wr, port](int worker_id) -> ProgramFn {
-      return [spec, join_wr, port, worker_id](Guest& wg) -> GuestTask<void> {
+    auto worker_body = [spec, join_wr, port, turn, pool](int worker_id) -> ProgramFn {
+      return [spec, join_wr, port, turn, pool, worker_id](Guest& wg) -> GuestTask<void> {
         GuestAddr buf = wg.Alloc(spec.io_size);
         GuestAddr tv = wg.Alloc(sizeof(GuestTimeval));
         GuestAddr st = wg.Alloc(sizeof(GuestStat));
@@ -290,6 +323,20 @@ ProgramFn SuiteProgram(const WorkloadSpec& spec) {
         REMON_CHECK(fd >= 0);
         // Seed the file so reads have data.
         co_await wg.Pwrite(static_cast<int>(fd), buf, spec.io_size, 0);
+
+        // Sync-rotation transcript: one append per iteration recording the
+        // acquisition order this worker observed (byte-comparable across
+        // replica placements).
+        int sync_fd = -1;
+        GuestAddr sync_buf = 0;
+        if (spec.sync_ops > 0) {
+          int64_t sfd = co_await wg.Open(
+              "/tmp/suite-sync-" + spec.name + "-t" + std::to_string(worker_id),
+              kO_CREAT | kO_RDWR);
+          REMON_CHECK(sfd >= 0);
+          sync_fd = static_cast<int>(sfd);
+          sync_buf = wg.Alloc(64 * static_cast<uint64_t>(spec.sync_ops));
+        }
 
         int sock = -1;
         if (spec.sock_echoes > 0) {
@@ -341,8 +388,45 @@ ProgramFn SuiteProgram(const WorkloadSpec& spec) {
           for (int i = 0; i < spec.futex_pairs; ++i) {
             co_await wg.Futex(futex_word, kFutexWake, 1);
           }
+          if (spec.sync_ops > 0) {
+            // Barrier rotation: global slot k = round * threads + worker_id.
+            // The turn gate pins the acquisition order (so the popped value —
+            // and with it the transcript bytes — cannot depend on replica or
+            // placement timing); BeforeAcquire additionally records/replays
+            // the order through the sync agent when the replica set has one.
+            SyncAgent* agent = wg.process()->sync_agent;
+            std::string lines;
+            for (int s = 0; s < spec.sync_ops; ++s) {
+              uint64_t round =
+                  static_cast<uint64_t>(iter) * static_cast<uint64_t>(spec.sync_ops) +
+                  static_cast<uint64_t>(s);
+              uint32_t slot = static_cast<uint32_t>(
+                  round * static_cast<uint64_t>(spec.threads) +
+                  static_cast<uint64_t>(worker_id));
+              while (wg.PeekU32(turn) != slot) {
+                co_await wg.SleepNs(Micros(3));
+              }
+              uint32_t object = static_cast<uint32_t>(
+                  1 + (round + static_cast<uint64_t>(worker_id)) % spec.sync_objects);
+              if (agent != nullptr) {
+                co_await agent->BeforeAcquire(wg, object);
+              }
+              uint32_t v = wg.PeekU32(pool);  // The racy shared pop.
+              wg.PokeU32(pool, v + 1);
+              REMON_CHECK(v == slot);
+              wg.PokeU32(turn, slot + 1);
+              lines += "s" + std::to_string(slot) + "o" + std::to_string(object) +
+                       "v" + std::to_string(v) + ";";
+            }
+            REMON_CHECK(lines.size() <= 64 * static_cast<uint64_t>(spec.sync_ops));
+            wg.Poke(sync_buf, lines.data(), lines.size());
+            co_await wg.Write(sync_fd, sync_buf, lines.size());
+          }
         }
 
+        if (sync_fd >= 0) {
+          co_await wg.Close(sync_fd);
+        }
         if (sock >= 0) {
           co_await wg.Close(sock);
         }

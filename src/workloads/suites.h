@@ -38,6 +38,23 @@ struct WorkloadSpec {
   int futex_pairs = 0;     // futex wake/wait-style ops (NONSOCKET_RO conditional).
   uint64_t io_size = 1024; // Bytes per read/write.
 
+  // Agent-ordered synchronization (the paper's §2.3 barrier/lock profile).
+  // When nonzero, each iteration ends with `sync_ops` acquisitions of a shared
+  // pool counter, rotated across all workers in a pinned round-robin order (a
+  // barrier rotation: global slot k = round * threads + worker_id, gated on a
+  // shared turn word). Replica sets carrying a sync agent
+  // (RunConfig::use_sync_agent) order every acquisition through
+  // SyncAgent::BeforeAcquire, so the master's sync log sees
+  // threads * sync_ops * iterations entries; without an agent the rotation
+  // still runs, keeping the native baseline the same shape. Each worker logs
+  // its acquisitions ("s<slot>o<object>v<value>;") to
+  // /tmp/suite-sync-<name>-t<worker>, so transcripts across replica
+  // placements can be compared byte-for-byte. The turn gate spin uses
+  // nanosleep, which is replica-local: sync specs are meant for kRemon
+  // configurations (any level), not kGhumveeOnly lockstep.
+  int sync_ops = 0;
+  uint32_t sync_objects = 8;  // Distinct lock objects the rotation cycles over.
+
   // Paper targets for EXPERIMENTS.md (normalized runtime, 2 replicas).
   double paper_ghumvee = 0.0;
   double paper_remon = 0.0;
@@ -51,6 +68,17 @@ struct WorkloadSpec {
 
 // A runnable suite workload: the program plus everything the harness must know.
 ProgramFn SuiteProgram(const WorkloadSpec& spec);
+
+// Barrier/lock-shaped variant of `spec` for the sync-agent bench columns and
+// tests: at least `min_threads` workers, `sync_ops` agent-ordered acquisitions
+// per iteration, and the iteration count capped at `max_iterations` (the
+// rotation serializes workers, so full-length runs add nothing).
+WorkloadSpec SyncVariant(WorkloadSpec spec, int sync_ops, int max_iterations,
+                         int min_threads = 4);
+
+// Geometric mean over the positive entries of `xs` (0 when none) — the suite
+// summary statistic of Figures 3/4 and the CI-gated per-column metric.
+double GeoMean(const std::vector<double>& xs);
 
 // Suite tables for the figures.
 std::vector<WorkloadSpec> ParsecSuite();   // Fig. 3, left.

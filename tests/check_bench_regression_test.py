@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Self-test for tools/check_bench_regression.py — the CI gate that guards the
+committed BENCH_*.json baselines. The gate's failure modes are exactly what this
+locks down: a pass that should fail lets a perf regression merge silently, and a
+fail that should pass wedges every PR.
+
+Run directly or via ctest (registered in CMakeLists.txt)."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir,
+                    "tools", "check_bench_regression.py")
+
+
+def doc(metrics):
+    return {
+        "schema": "remon-bench-v1",
+        "bench": "selftest",
+        "metrics": [
+            {"name": n, "value": v, "unit": "x", "higher_is_better": h}
+            for (n, v, h) in metrics
+        ],
+    }
+
+
+def run_gate(current, baseline, threshold=None):
+    """Writes the two docs to temp files and runs the gate; returns (rc, output)."""
+    with tempfile.TemporaryDirectory() as td:
+        cur_path = os.path.join(td, "current.json")
+        base_path = os.path.join(td, "baseline.json")
+        for path, payload in ((cur_path, current), (base_path, baseline)):
+            with open(path, "w") as f:
+                if isinstance(payload, str):
+                    f.write(payload)  # Raw (possibly malformed) content.
+                else:
+                    json.dump(payload, f)
+        cmd = [sys.executable, TOOL, cur_path, base_path]
+        if threshold is not None:
+            cmd += ["--threshold", str(threshold)]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+class GateTest(unittest.TestCase):
+    def test_identical_files_pass(self):
+        d = doc([("suite/a/normalized_time", 1.23, False),
+                 ("suite/rate", 800.0, True)])
+        rc, out = run_gate(d, d)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("OK", out)
+
+    def test_regression_fails(self):
+        base = doc([("suite/a/normalized_time", 1.0, False)])
+        cur = doc([("suite/a/normalized_time", 2.0, False)])
+        rc, out = run_gate(cur, base)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("REGRESSED", out)
+
+    def test_threshold_edge(self):
+        # 15% gate on base 100: 114.9 is inside, 115.1 is outside. (Values chosen
+        # off the exact 1.15 ratio — the boundary itself is float-equality
+        # territory and intentionally not asserted.)
+        base = doc([("suite/a/normalized_time", 100.0, False)])
+        rc, out = run_gate(doc([("suite/a/normalized_time", 114.9, False)]), base)
+        self.assertEqual(rc, 0, out)
+        rc, out = run_gate(doc([("suite/a/normalized_time", 115.1, False)]), base)
+        self.assertEqual(rc, 1, out)
+
+    def test_custom_threshold(self):
+        base = doc([("suite/a/normalized_time", 100.0, False)])
+        cur = doc([("suite/a/normalized_time", 114.9, False)])
+        rc, out = run_gate(cur, base, threshold=0.10)
+        self.assertEqual(rc, 1, out)  # 14.9% > 10%.
+
+    def test_higher_is_better_direction(self):
+        # For a throughput-style metric, a *drop* is the regression; a rise of any
+        # size passes.
+        base = doc([("suite/rate", 1000.0, True)])
+        rc, out = run_gate(doc([("suite/rate", 700.0, True)]), base)
+        self.assertEqual(rc, 1, out)
+        rc, out = run_gate(doc([("suite/rate", 2000.0, True)]), base)
+        self.assertEqual(rc, 0, out)
+
+    def test_new_key_passes(self):
+        # Adding a sweep point must not require touching the baseline.
+        base = doc([("suite/a/normalized_time", 1.0, False)])
+        cur = doc([("suite/a/normalized_time", 1.0, False),
+                   ("suite/b/normalized_time", 99.0, False)])
+        rc, out = run_gate(cur, base)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("[new]", out)
+
+    def test_missing_key_passes(self):
+        # A removed sweep point is reported but never wedges CI.
+        base = doc([("suite/a/normalized_time", 1.0, False),
+                    ("suite/gone/normalized_time", 1.0, False)])
+        cur = doc([("suite/a/normalized_time", 1.0, False)])
+        rc, out = run_gate(cur, base)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("[removed]", out)
+
+    def test_nonpositive_baseline_skipped(self):
+        # base <= 0 cannot be ratioed; the failed-cell sentinel must not divide.
+        base = doc([("suite/a/normalized_time", -1.0, False),
+                    ("suite/z/normalized_time", 0.0, False)])
+        cur = doc([("suite/a/normalized_time", 5.0, False),
+                   ("suite/z/normalized_time", 5.0, False)])
+        rc, out = run_gate(cur, base)
+        self.assertEqual(rc, 0, out)
+
+    def test_malformed_json_fails(self):
+        good = doc([("suite/a/normalized_time", 1.0, False)])
+        rc, _ = run_gate("{not json", good)
+        self.assertNotEqual(rc, 0)
+        rc, _ = run_gate(good, "{not json")
+        self.assertNotEqual(rc, 0)
+
+    def test_wrong_schema_fails(self):
+        good = doc([("suite/a/normalized_time", 1.0, False)])
+        bad = dict(good)
+        bad["schema"] = "remon-bench-v0"
+        rc, out = run_gate(bad, good)
+        self.assertNotEqual(rc, 0, out)
+        self.assertIn("unknown schema", out)
+
+    def test_improvement_reported_not_failed(self):
+        base = doc([("suite/a/normalized_time", 2.0, False)])
+        cur = doc([("suite/a/normalized_time", 1.0, False)])
+        rc, out = run_gate(cur, base)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("[better]", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

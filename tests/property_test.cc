@@ -1093,6 +1093,178 @@ TEST(SyncLockstepTest, SyncLogEpochRegressionTearsLink) {
   EXPECT_TRUE(exercised_gap);
 }
 
+// --- Compute-shaped lockstep fuzz: PARSEC-style barrier/lock suite programs --------
+//
+// The SyncFuzz workloads above are adversarially shaped (bursts, fuzzed filler);
+// this section runs the *actual* Figure-3 suite programs — barrier-rotated
+// SyncVariant specs straight off the PARSEC/SPLASH rosters, 4–8 worker threads —
+// through the same cross-placement byte-equality bar: per-worker data and
+// acquisition transcripts, sync-log image, and mirror must be identical whether
+// the replica set is all-local or split across the RB transport, with a tiny
+// log forcing many wrap laps.
+
+struct SuiteSyncOutcome {
+  bool ok = false;
+  std::string transcript;       // /tmp/suite-<name>-t<k>, all workers, in order.
+  std::string sync_transcript;  // /tmp/suite-sync-<name>-t<k>, all workers.
+  uint64_t ops_recorded = 0;
+  uint64_t ops_replayed = 0;
+  uint64_t wrap_stalls = 0;
+  uint64_t sync_frames_applied = 0;
+  uint64_t remote_deaths = 0;
+  uint64_t rejoins = 0;
+  uint64_t master_tail = 0;
+  uint64_t remote_tail = 0;
+  std::vector<uint8_t> master_log;
+  std::vector<uint8_t> remote_log;
+};
+
+// An 8-slot log: every suite schedule laps it dozens of times.
+constexpr uint64_t kSuiteSyncLogSize = kSyncLogOffEntries + 8 * kSyncLogEntrySize;
+
+SuiteSyncOutcome RunSuiteSync(const WorkloadSpec& spec, uint64_t seed,
+                              bool remote_last_replica, TimeNs kill_remote_at = 0) {
+  constexpr int kReplicas = 3;  // Master + one local slave + one (maybe remote) slave.
+  SimWorld w(seed);
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = kReplicas;
+  opts.level = PolicyLevel::kNonsocketRw;
+  opts.rb_batch_max = 16;
+  opts.rb_batch_policy = RbBatchPolicy::kAdaptive;
+  opts.use_sync_agent = true;
+  opts.sync_log_size = kSuiteSyncLogSize;
+  opts.machine = w.server_machine;
+  if (remote_last_replica) {
+    uint32_t host = w.net.AddMachine("replica-host-1");
+    w.net.SetLink(w.server_machine, host, LinkParams{60 * kMicrosecond, 0.125});
+    opts.replica_machines.assign(kReplicas, w.server_machine);
+    opts.replica_machines.back() = host;
+  }
+  if (kill_remote_at > 0) {
+    opts.respawn_dead_replicas = true;
+  }
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch(SuiteProgram(spec), spec.name);
+  if (kill_remote_at > 0) {
+    w.sim.queue().ScheduleAt(kill_remote_at, [&mvee] {
+      RemoteSyncAgent* agent = mvee.remote_agent(kReplicas - 1);
+      if (agent != nullptr) {
+        agent->Shutdown();
+      }
+    });
+  }
+  w.Run();
+  SuiteSyncOutcome out;
+  out.ok = mvee.finished() && !mvee.divergence_detected();
+  for (int t = 0; t < spec.threads; ++t) {
+    out.transcript +=
+        w.fs.ReadWholeFile("/tmp/suite-" + spec.name + "-t" + std::to_string(t))
+            .value_or("<missing>") +
+        "|";
+    out.sync_transcript +=
+        w.fs.ReadWholeFile("/tmp/suite-sync-" + spec.name + "-t" + std::to_string(t))
+            .value_or("<missing>") +
+        "|";
+  }
+  const SimStats& stats = w.sim.stats();
+  out.ops_recorded = stats.sync_ops_recorded;
+  out.ops_replayed = stats.sync_ops_replayed;
+  out.wrap_stalls = stats.sync_log_wrap_stalls;
+  out.sync_frames_applied = stats.sync_log_frames_applied;
+  out.remote_deaths = stats.rb_remote_deaths;
+  out.rejoins = stats.rb_replica_joins;
+  if (mvee.sync_agent(0) != nullptr && mvee.sync_agent(0)->log_valid()) {
+    out.master_tail = mvee.sync_agent(0)->tail();
+    out.master_log = mvee.sync_agent(0)->CaptureLogImage();
+  }
+  if (remote_last_replica) {
+    SyncAgent* remote = mvee.sync_agent(kReplicas - 1);
+    if (remote != nullptr && remote->log_valid()) {
+      out.remote_tail = remote->tail();
+      out.remote_log = remote->CaptureLogImage();
+    }
+  }
+  return out;
+}
+
+// The fuzzed roster: real Figure-3 specs as barrier-rotated sync variants at 4,
+// 6, and 8 worker threads. dedup is the paper's syscall-dense PARSEC outlier,
+// fluidanimate its lock-heaviest member; fmm and water_spatial are the SPLASH
+// specs whose sync_remote bench columns this section backstops.
+std::vector<WorkloadSpec> SuiteSyncRoster() {
+  std::vector<WorkloadSpec> roster;
+  auto pick = [&roster](const std::vector<WorkloadSpec>& suite,
+                        const std::string& name, int threads) {
+    for (const WorkloadSpec& s : suite) {
+      if (s.name == name) {
+        roster.push_back(SyncVariant(s, /*sync_ops=*/2, /*max_iterations=*/30,
+                                     /*min_threads=*/threads));
+      }
+    }
+  };
+  pick(ParsecSuite(), "dedup", 4);
+  pick(ParsecSuite(), "fluidanimate", 6);
+  pick(SplashSuite(), "fmm", 8);
+  pick(SplashSuite(), "water_spatial", 4);
+  REMON_CHECK(roster.size() == 4);
+  return roster;
+}
+
+TEST(SuiteSyncLockstepTest, RemotePlacementMatchesShmOnParsecShapedPrograms) {
+  for (const WorkloadSpec& spec : SuiteSyncRoster()) {
+    uint64_t expected_records = static_cast<uint64_t>(spec.threads) *
+                                static_cast<uint64_t>(spec.sync_ops) *
+                                static_cast<uint64_t>(spec.iterations);
+    ASSERT_GT(expected_records, 8u * 20) << spec.name;  // Many laps of the 8-slot log.
+
+    SuiteSyncOutcome local = RunSuiteSync(spec, /*seed=*/spec.threads, false);
+    ASSERT_TRUE(local.ok) << spec.name;
+    ASSERT_EQ(local.transcript.find("<missing>"), std::string::npos) << spec.name;
+    ASSERT_EQ(local.ops_recorded, expected_records) << spec.name;
+    ASSERT_EQ(local.ops_replayed, 2 * expected_records) << spec.name;
+    ASSERT_GT(local.master_tail, 8u) << spec.name;  // The circular log wrapped.
+
+    SuiteSyncOutcome remote = RunSuiteSync(spec, /*seed=*/spec.threads, true);
+    ASSERT_TRUE(remote.ok) << spec.name;
+    // Byte-equality across placements: worker data files, acquisition
+    // transcripts, the master's log image, and the remote's mirror of it.
+    ASSERT_EQ(local.transcript, remote.transcript) << spec.name;
+    ASSERT_EQ(local.sync_transcript, remote.sync_transcript) << spec.name;
+    ASSERT_EQ(local.master_tail, remote.master_tail) << spec.name;
+    ASSERT_EQ(local.master_log, remote.master_log) << spec.name;
+    ASSERT_EQ(remote.remote_tail, remote.master_tail) << spec.name;
+    ASSERT_EQ(remote.remote_log, remote.master_log) << spec.name;
+    ASSERT_GT(remote.sync_frames_applied, 0u) << spec.name;
+    ASSERT_EQ(remote.ops_replayed, 2 * expected_records) << spec.name;
+  }
+}
+
+TEST(SuiteSyncLockstepTest, ReseedMidSuiteRunCarriesSyncLog) {
+  // Kill-one-replica variant on the compute shape: tearing the remote replica's
+  // link mid-rotation and checkpoint-seeding a replacement must leave every
+  // transcript and the sync log byte-identical to the never-died run.
+  int exercised = 0;
+  for (const WorkloadSpec& spec : SuiteSyncRoster()) {
+    SuiteSyncOutcome base = RunSuiteSync(spec, /*seed=*/7, true);
+    ASSERT_TRUE(base.ok) << spec.name;
+
+    SuiteSyncOutcome reseeded =
+        RunSuiteSync(spec, /*seed=*/7, true, /*kill_remote_at=*/Millis(2));
+    ASSERT_TRUE(reseeded.ok) << spec.name;
+    ASSERT_EQ(base.transcript, reseeded.transcript) << spec.name;
+    ASSERT_EQ(base.sync_transcript, reseeded.sync_transcript) << spec.name;
+    ASSERT_EQ(base.master_log, reseeded.master_log) << spec.name;
+    ASSERT_EQ(reseeded.remote_tail, reseeded.master_tail) << spec.name;
+    ASSERT_EQ(reseeded.remote_log, reseeded.master_log) << spec.name;
+    if (reseeded.remote_deaths > 0) {
+      ++exercised;
+      ASSERT_GE(reseeded.rejoins, 1u) << spec.name;
+    }
+  }
+  EXPECT_GE(exercised, 3);  // The kill must land mid-run on most rosters.
+}
+
 TEST(PropertyTest, MonitoredPlusUnmonitoredCoversEverything) {
   // Under ReMon, every replica system call is either monitored or unmonitored;
   // none bypass both monitors.

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/core/sync_agent.h"
 #include "src/harness/runner.h"
 #include "tests/test_util.h"
@@ -485,6 +487,171 @@ TEST(SuiteSpecTest, SuiteProgramIsDeterministicAcrossRuns) {
   SuiteResult b = RunSuiteWorkload(spec, config);
   EXPECT_EQ(a.seconds, b.seconds);
   EXPECT_EQ(a.stats.syscalls_total, b.stats.syscalls_total);
+}
+
+// --- Suite tables under monitoring (the Figure 3/4 bench surface) ------------------
+
+// Every spec of every tracked suite must run to completion — finished, not
+// diverged, really issuing syscalls — under both the GHUMVEE-only baseline and
+// ReMon, with a sane normalized time. This is the cheap structural guarantee
+// behind the committed BENCH_fig{3,4}.json baselines: a spec that hangs, trips
+// divergence, or goes off the rails by 100x shows up here before it poisons a
+// baseline refresh.
+class SuiteTableTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static std::vector<WorkloadSpec> SuiteByName(const std::string& name) {
+    if (name == "parsec") return ParsecSuite();
+    if (name == "splash") return SplashSuite();
+    if (name == "phoronix") return PhoronixSuite();
+    return SpecCpuSuite();
+  }
+};
+
+TEST_P(SuiteTableTest, RunsToCompletionUnderGhumveeAndRemon) {
+  for (WorkloadSpec spec : SuiteByName(GetParam())) {
+    spec.iterations = std::min(spec.iterations, 30);  // Shape, not duration.
+    RunConfig native;
+    native.mode = MveeMode::kNative;
+    SuiteResult base = RunSuiteWorkload(spec, native);
+    ASSERT_TRUE(base.finished) << spec.name;
+    ASSERT_FALSE(base.diverged) << spec.name;
+    ASSERT_GT(base.seconds, 0.0) << spec.name;
+    ASSERT_GT(base.stats.syscalls_total, 0u) << spec.name;
+
+    for (MveeMode mode : {MveeMode::kGhumveeOnly, MveeMode::kRemon}) {
+      RunConfig config;
+      config.mode = mode;
+      config.replicas = 2;
+      config.level = PolicyLevel::kNonsocketRw;
+      SuiteResult run = RunSuiteWorkload(spec, config);
+      const char* label = mode == MveeMode::kRemon ? "remon" : "ghumvee";
+      EXPECT_TRUE(run.finished) << spec.name << " " << label;
+      EXPECT_FALSE(run.diverged) << spec.name << " " << label;
+      EXPECT_GT(run.stats.syscalls_total, base.stats.syscalls_total)
+          << spec.name << " " << label;  // Two replicas: more calls than native.
+      double norm = run.seconds / base.seconds;
+      // Monitoring never speeds a workload up, and even the syscall-saturated
+      // outliers (network-loopback under lockstep) stay well inside 64x.
+      EXPECT_GE(norm, 1.0) << spec.name << " " << label;
+      EXPECT_LT(norm, 64.0) << spec.name << " " << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSuites, SuiteTableTest,
+                         ::testing::Values("parsec", "splash", "phoronix", "spec"));
+
+// --- Sync suite columns (fig3/fig4 sync_local/sync_remote) -------------------------
+
+RunConfig SyncColumnConfig() {
+  RunConfig config;
+  config.mode = MveeMode::kRemon;
+  config.replicas = 2;
+  config.level = PolicyLevel::kNonsocketRw;
+  config.rb_batch_max = 16;
+  config.rb_batch_policy = RbBatchPolicy::kAdaptive;
+  config.use_sync_agent = true;
+  config.sync_log_size = kSyncLogOffEntries + 64 * kSyncLogEntrySize;
+  return config;
+}
+
+TEST(SyncSuiteTest, DeepInflightWindowUnthrottlesRemoteSyncColumn) {
+  // Regression lock for the fig3/fig4 remote sync columns. The barrier rotation
+  // emits a sync-log record and then immediately hits a liveness flush point, so
+  // the stream travels as near-singleton frames. Under the default 8-frame
+  // in-flight budget the master spends the run parked on ack round-trips —
+  // sync_log_append_stalls in the hundreds, several-x overhead versus the
+  // all-local placement. A deep window must remove every window-bound stall and
+  // bring the remote run back to parity with local (the residual cost is wire
+  // bandwidth, which fmm's duty cycle absorbs).
+  WorkloadSpec spec;
+  for (const WorkloadSpec& s : SplashSuite()) {
+    if (s.name == "fmm") spec = s;
+  }
+  ASSERT_EQ(spec.name, "fmm");
+  spec = SyncVariant(spec, /*sync_ops=*/2, /*max_iterations=*/80);
+
+  SuiteResult local = RunSuiteWorkload(spec, SyncColumnConfig());
+  ASSERT_TRUE(local.finished);
+  ASSERT_FALSE(local.diverged);
+  EXPECT_EQ(local.stats.sync_log_append_stalls, 0u);
+
+  RunConfig shallow = SyncColumnConfig();
+  shallow.placement = {1};
+  ASSERT_EQ(shallow.rb_max_inflight_frames, 8);  // The default being documented.
+  SuiteResult throttled = RunSuiteWorkload(spec, shallow);
+  ASSERT_TRUE(throttled.finished);
+  ASSERT_FALSE(throttled.diverged);
+  EXPECT_GT(throttled.stats.sync_log_append_stalls, 100u);
+  EXPECT_GT(throttled.stats.rb_transport_stalls, 100u);
+
+  RunConfig deep = shallow;
+  deep.rb_max_inflight_frames = 64;  // What the bench columns run with.
+  SuiteResult fast = RunSuiteWorkload(spec, deep);
+  ASSERT_TRUE(fast.finished);
+  ASSERT_FALSE(fast.diverged);
+  EXPECT_EQ(fast.stats.sync_log_append_stalls, 0u);
+  EXPECT_EQ(fast.stats.rb_transport_stalls, 0u);
+  EXPECT_LT(fast.seconds, throttled.seconds);
+  // Parity with the all-local placement (deterministic: margin covers only the
+  // stream's residual wire time, measured at ~1% of the run).
+  EXPECT_LT(fast.seconds, local.seconds * 1.10);
+  // The sync stream really traveled and was fully replayed.
+  EXPECT_GT(fast.stats.sync_log_frames_sent, 0u);
+  EXPECT_EQ(fast.stats.sync_log_records_applied,
+            fast.stats.sync_log_records_streamed);
+  EXPECT_EQ(fast.stats.sync_ops_replayed, fast.stats.sync_ops_recorded);
+}
+
+TEST(SyncSuiteTest, SyncVariantTranscriptsIdenticalAcrossPlacements) {
+  // The per-worker acquisition transcripts (/tmp/suite-sync-<name>-t<k>) must be
+  // byte-identical whether the slave replica shares the leader's machine or sits
+  // behind the RB transport — the rotation's turn gate pins the global order, and
+  // the agent replays it, so placement timing must never leak into the bytes.
+  WorkloadSpec spec;
+  for (const WorkloadSpec& s : ParsecSuite()) {
+    if (s.name == "dedup") spec = s;
+  }
+  ASSERT_EQ(spec.name, "dedup");
+  spec = SyncVariant(spec, /*sync_ops=*/2, /*max_iterations=*/40);
+
+  std::vector<std::string> local_logs;
+  std::vector<std::string> remote_logs;
+  for (int remote = 0; remote <= 1; ++remote) {
+    SimWorld w(7);
+    RunConfig config = SyncColumnConfig();
+    RemonOptions opts;
+    opts.mode = config.mode;
+    opts.replicas = config.replicas;
+    opts.level = config.level;
+    opts.rb_batch_max = config.rb_batch_max;
+    opts.rb_batch_policy = config.rb_batch_policy;
+    opts.use_sync_agent = true;
+    opts.sync_log_size = config.sync_log_size;
+    opts.rb_max_inflight_frames = 64;
+    opts.machine = w.server_machine;
+    if (remote != 0) {
+      uint32_t host = w.net.AddMachine("replica-host-1");
+      w.net.SetLink(w.server_machine, host, LinkParams{60 * kMicrosecond, 0.125});
+      opts.replica_machines = {w.server_machine, host};
+    }
+    Remon mvee(&w.kernel, opts);
+    mvee.Launch(SuiteProgram(spec), spec.name);
+    w.Run();
+    ASSERT_TRUE(mvee.finished()) << "remote=" << remote;
+    ASSERT_FALSE(mvee.divergence_detected()) << "remote=" << remote;
+    for (int t = 0; t < spec.threads; ++t) {
+      auto log = w.fs.ReadWholeFile("/tmp/suite-sync-" + spec.name + "-t" +
+                                    std::to_string(t));
+      ASSERT_TRUE(log.has_value()) << "remote=" << remote << " t" << t;
+      ASSERT_FALSE(log->empty()) << "remote=" << remote << " t" << t;
+      (remote != 0 ? remote_logs : local_logs).push_back(*log);
+    }
+  }
+  ASSERT_EQ(local_logs.size(), remote_logs.size());
+  for (size_t i = 0; i < local_logs.size(); ++i) {
+    EXPECT_EQ(local_logs[i], remote_logs[i]) << "worker " << i;
+  }
 }
 
 // --- Sync agent (paper §2.3) -----------------------------------------------------
