@@ -12,6 +12,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/kernel/syscall_meta.h"
 #include "src/mem/page.h"
@@ -22,33 +25,57 @@ namespace remon {
 
 // The file map doubles as the FdInfoSource behind the descriptor registry's
 // classification helpers (EffectiveFdType / PredictBlocking).
+//
+// One byte per FD. The map spans a configurable whole number of pages so
+// high-connection-count servers (a fleet shard under a 10^4-connection swarm)
+// can track descriptors past the first 4096; all pages are mapped read-only
+// into every replica as one contiguous region.
 class FileMap : public FdInfoSource {
  public:
-  // One byte per FD; a single page covers every descriptor a replica can hold.
+  // Default capacity: a single page, enough for the classic one-process runs.
   static constexpr int kMaxFds = static_cast<int>(kPageSize);
 
   static constexpr uint8_t kValidBit = 0x80;
   static constexpr uint8_t kNonblockBit = 0x40;
   static constexpr uint8_t kTypeMask = 0x0f;
 
-  FileMap() : page_(NewPage()) {}
+  FileMap() { Configure(1, ""); }
 
-  // The backing frame, mapped read-only into every replica.
-  const PageRef& page() const { return page_; }
+  // Resizes to `pages` pages and tags warnings with `label` (the fleet passes
+  // the shard name). Must run before replicas map the region — IP-MON maps the
+  // page list at attach time, so a later resize would go unseen.
+  void Configure(int pages, std::string label) {
+    REMON_CHECK(pages >= 1 && pages <= 1024);
+    pages_.clear();
+    for (int i = 0; i < pages; ++i) {
+      pages_.push_back(NewPage());
+    }
+    label_ = std::move(label);
+    out_of_range_sets_ = 0;
+    warned_out_of_range_ = false;
+  }
+
+  // The backing frames, mapped read-only into every replica, in order.
+  const std::vector<PageRef>& pages() const { return pages_; }
+  uint64_t size_bytes() const { return pages_.size() * kPageSize; }
+  int max_fds() const { return static_cast<int>(pages_.size() * kPageSize); }
 
   void Set(int fd, FdType type, bool nonblocking) {
     if (!InRange(fd)) {
-      // An FD beyond the one-page map would be tracked nowhere: every later policy
-      // and blocking-prediction lookup on it silently degrades to "unknown". Count
-      // it and warn once so a workload outgrowing the map (the sharded-file-map
-      // item on the ROADMAP) is visible instead of masked.
+      // An FD beyond the map would be tracked nowhere: every later policy and
+      // blocking-prediction lookup on it silently degrades to "unknown". Count
+      // it and warn once — naming the owner — so a workload outgrowing the map
+      // is visible instead of masked, and points at the --fd-map-pages knob.
       ++out_of_range_sets_;
       if (!warned_out_of_range_) {
         warned_out_of_range_ = true;
         std::fprintf(stderr,
-                     "FileMap: fd %d outside the one-page map [0, %d); metadata "
-                     "dropped (further drops counted, not logged)\n",
-                     fd, kMaxFds);
+                     "FileMap%s%s%s: fd %d outside the %d-page map [0, %d); "
+                     "metadata dropped (further drops counted, not logged) — "
+                     "raise file_map_pages / --fd-map-pages\n",
+                     label_.empty() ? "" : " [", label_.c_str(),
+                     label_.empty() ? "" : "]", fd,
+                     static_cast<int>(pages_.size()), max_fds());
       }
       return;
     }
@@ -56,36 +83,36 @@ class FileMap : public FdInfoSource {
     if (nonblocking) {
       byte |= kNonblockBit;
     }
-    page_->bytes[static_cast<size_t>(fd)] = byte;
+    ByteAt(fd) = byte;
   }
 
   void SetNonblocking(int fd, bool nonblocking) {
     if (!InRange(fd) || !IsValid(fd)) {
       return;
     }
-    uint8_t& byte = page_->bytes[static_cast<size_t>(fd)];
+    uint8_t& byte = ByteAt(fd);
     byte = nonblocking ? (byte | kNonblockBit) : (byte & ~kNonblockBit);
   }
 
   void Clear(int fd) {
     if (InRange(fd)) {
-      page_->bytes[static_cast<size_t>(fd)] = 0;
+      ByteAt(fd) = 0;
     }
   }
 
   bool IsValid(int fd) const {
-    return InRange(fd) && (page_->bytes[static_cast<size_t>(fd)] & kValidBit) != 0;
+    return InRange(fd) && (ByteAt(fd) & kValidBit) != 0;
   }
 
   FdType TypeOf(int fd) const {
     if (!IsValid(fd)) {
       return FdType::kFree;
     }
-    return static_cast<FdType>(page_->bytes[static_cast<size_t>(fd)] & kTypeMask);
+    return static_cast<FdType>(ByteAt(fd) & kTypeMask);
   }
 
   bool IsNonblocking(int fd) const {
-    return IsValid(fd) && (page_->bytes[static_cast<size_t>(fd)] & kNonblockBit) != 0;
+    return IsValid(fd) && (ByteAt(fd) & kNonblockBit) != 0;
   }
 
   // FdInfoSource:
@@ -97,9 +124,19 @@ class FileMap : public FdInfoSource {
   uint64_t out_of_range_sets() const { return out_of_range_sets_; }
 
  private:
-  static bool InRange(int fd) { return fd >= 0 && fd < kMaxFds; }
+  bool InRange(int fd) const { return fd >= 0 && fd < max_fds(); }
 
-  PageRef page_;
+  uint8_t& ByteAt(int fd) {
+    return pages_[static_cast<size_t>(fd) / kPageSize]
+        ->bytes[static_cast<size_t>(fd) % kPageSize];
+  }
+  const uint8_t& ByteAt(int fd) const {
+    return pages_[static_cast<size_t>(fd) / kPageSize]
+        ->bytes[static_cast<size_t>(fd) % kPageSize];
+  }
+
+  std::vector<PageRef> pages_;
+  std::string label_;
   uint64_t out_of_range_sets_ = 0;
   bool warned_out_of_range_ = false;
 };

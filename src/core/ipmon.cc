@@ -63,12 +63,13 @@ GuestTask<void> IpMon::Initialize(Guest& g) {
     cursor_[static_cast<size_t>(r)] = rb_.RankDataStart(r);
   }
 
-  // Map the (GHUMVEE-maintained) file map read-only.
-  GuestAddr fm_addr =
-      process_->mem().FindFreeRange(process_->layout.mmap_hint, kPageSize);
+  // Map the (GHUMVEE-maintained) file map read-only — all pages, contiguously.
+  GuestAddr fm_addr = process_->mem().FindFreeRange(process_->layout.mmap_hint,
+                                                    file_map_->size_bytes());
   REMON_CHECK(fm_addr != 0);
-  REMON_CHECK(process_->mem().MapFixedBacked(fm_addr, kPageSize, kProtRead, true,
-                                             "ipmon-filemap", {file_map_->page()}));
+  REMON_CHECK(process_->mem().MapFixedBacked(fm_addr, file_map_->size_bytes(),
+                                             kProtRead, true, "ipmon-filemap",
+                                             file_map_->pages()));
 
   // Register with the kernel (paper §3.5): the set of calls IP-MON may handle, the
   // RB pointer, and the entry-point cookie. The call is always monitored, so GHUMVEE

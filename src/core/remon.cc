@@ -108,6 +108,13 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
   if (options_.mode == MveeMode::kVaranLike) {
     varan_file_map_ = std::make_unique<FileMap>();
   }
+  // Size the FD metadata map before any replica maps it (swarm-scale shards
+  // outgrow the classic single page); tag drop warnings with the set's name.
+  if (ghumvee_ != nullptr) {
+    ghumvee_->file_map()->Configure(options_.file_map_pages, name);
+  } else if (varan_file_map_ != nullptr) {
+    varan_file_map_->Configure(options_.file_map_pages, name);
+  }
 
   // Shared body anchor: every replica's prologue wrapper references the same callable.
   auto shared_body = std::make_shared<ProgramFn>(std::move(body));
@@ -118,6 +125,11 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
                                         plan);
     p->replica_index = options_.mode == MveeMode::kNative ? -1 : i;
     p->mem_intensity = options_.mem_intensity;
+    // A multi-page file map signals a high-connection-count workload: raise the
+    // FD table to match, so the map's extra pages are actually reachable.
+    if (options_.file_map_pages > 1) {
+      p->fds().RaiseMaxFds(options_.file_map_pages * static_cast<int>(kPageSize));
+    }
     // The IP-MON "shared library" text region (hidden from /proc/maps by GHUMVEE).
     if (options_.mode == MveeMode::kRemon || options_.mode == MveeMode::kVaranLike) {
       REMON_CHECK(p->mem().MapFixedLazy(plan.ipmon_base, plan.ipmon_size,

@@ -95,6 +95,10 @@ struct RemonOptions {
   // simulation models distribution as out-of-band (a deployment would provision
   // it per replica-set).
   std::string rb_auth_secret = "remon-rb-transport-secret";
+  // FD metadata map capacity in pages (one byte per FD, 4096 FDs per page).
+  // High-connection-count shards need more than the classic single page; the
+  // map is sized before launch and mapped read-only into every replica.
+  int file_map_pages = 1;
 };
 
 // Gate for the VARAN-like mode: routes every system call of a registered replica to

@@ -155,8 +155,11 @@ ReplicaSnapshot CaptureLeaderSnapshot(IpMon* master, const Ghumvee* ghumvee,
     snap.seqs.push_back(master->rb_seq(r));
   }
   snap.lockstep_cursor = ghumvee != nullptr ? ghumvee->lockstep_rounds() : 0;
-  const PageRef& fm_page = master->file_map()->page();
-  snap.file_map.assign(fm_page->bytes.begin(), fm_page->bytes.end());
+  snap.file_map.reserve(master->file_map()->size_bytes());
+  for (const PageRef& fm_page : master->file_map()->pages()) {
+    snap.file_map.insert(snap.file_map.end(), fm_page->bytes.begin(),
+                         fm_page->bytes.end());
+  }
   master->epoll_shadow().ForEach([&snap](int epfd, int fd, uint64_t data) {
     snap.epoll.push_back(EpollShadowTriple{epfd, fd, data});
   });
@@ -268,7 +271,10 @@ bool SnapshotAssembler::Begin(const std::vector<uint8_t>& payload) {
   uint32_t epoll_count = GetU32(payload, kBeginOffEpollCount);
   if (rb_size == 0 || rb_size > kMaxSnapshotRbSize || (rb_size & kPageMask) != 0 ||
       max_ranks == 0 || max_ranks > kMaxSnapshotRanks || rank_count != max_ranks ||
-      file_map_len != kPageSize ||
+      // The file map spans a whole number of pages (multi-page since the fleet
+      // work raised the FD ceiling); bound it like the RB.
+      file_map_len == 0 || file_map_len > kMaxSnapshotRbSize ||
+      (file_map_len & kPageMask) != 0 ||
       // The spec says MUST-be-zero; tolerating garbage here would make the field
       // unusable for a future revision.
       GetU32(payload, kBeginOffReserved) != 0) {
@@ -421,10 +427,16 @@ SnapshotApplyResult ApplySnapshotToMirror(Kernel* kernel, IpMon* mon,
   // File-map cross-check: the FD metadata is monitor control-plane state every
   // replica derives from the same monitored history; a byte diverging means this
   // replica's stream is not the leader's and the join must be refused.
-  const PageRef& fm_page = mon->file_map()->page();
-  if (snap.file_map.size() != fm_page->bytes.size() ||
-      !std::equal(snap.file_map.begin(), snap.file_map.end(), fm_page->bytes.begin())) {
+  if (snap.file_map.size() != mon->file_map()->size_bytes()) {
     return ApplyFail("file map diverged from the leader checkpoint");
+  }
+  size_t fm_off = 0;
+  for (const PageRef& fm_page : mon->file_map()->pages()) {
+    if (!std::equal(fm_page->bytes.begin(), fm_page->bytes.end(),
+                    snap.file_map.begin() + static_cast<long>(fm_off))) {
+      return ApplyFail("file map diverged from the leader checkpoint");
+    }
+    fm_off += fm_page->bytes.size();
   }
   // Sync-agent log (v3): the checkpoint and the replica must agree on whether a
   // record/replay agent runs at all, and the log restore's own validation

@@ -99,7 +99,7 @@ struct ReplicaSnapshot {
   std::vector<uint64_t> cursors;   // Per rank: leader's next-entry offset.
   std::vector<uint64_t> seqs;      // Per rank: leader's next sequence number.
   uint64_t lockstep_cursor = 0;    // GHUMVEE lockstep rounds completed at capture.
-  std::vector<uint8_t> file_map;   // The one-page FD metadata map.
+  std::vector<uint8_t> file_map;   // The FD metadata map (whole pages).
   std::vector<EpollShadowTriple> epoll;  // Leader (epfd, fd) -> data shadow.
   // Sync-agent log section (wire v3); all zero when the workload runs no agent.
   uint64_t sync_log_size = 0;      // Log segment geometry (validated by the joiner).

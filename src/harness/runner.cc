@@ -1,8 +1,11 @@
 #include "src/harness/runner.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/kernel/kernel.h"
 #include "src/mem/shm.h"
@@ -49,6 +52,7 @@ RemonOptions OptionsFor(const RunConfig& config, double mem_intensity,
   opts.rb_max_inflight_frames = config.rb_max_inflight_frames;
   opts.respawn_dead_replicas = config.respawn_dead_replicas;
   opts.rb_auth = config.rb_auth;
+  opts.file_map_pages = config.file_map_pages;
   return opts;
 }
 
@@ -184,6 +188,145 @@ double NormalizedServerTime(const ServerSpec& server, const ClientSpec& client,
     return -1.0;
   }
   return run.seconds / base.seconds;
+}
+
+ScaleoutResult RunScaleout(const ScaleoutSpec& spec, const RunConfig& config) {
+  REMON_CHECK_MSG(!spec.tiers.empty(), "scale-out needs at least one tier");
+  World w(config);
+
+  double mem = spec.tiers[0].server.mem_intensity;
+  bool multithreaded = false;
+  for (const ScaleoutTierSpec& t : spec.tiers) {
+    multithreaded |= t.server.workers > 1;
+  }
+  RemonOptions opts = OptionsFor(config, mem, multithreaded);
+  // Per-shard machines are the fleet's job; the cross-machine placement spec
+  // applies to single-set runs only.
+  opts.replica_machines.clear();
+
+  std::vector<FleetTierSpec> tiers;
+  for (const ScaleoutTierSpec& t : spec.tiers) {
+    FleetTierSpec ft;
+    ft.name = t.name;
+    ft.port = t.port;
+    ft.initial_shards = t.initial_shards;
+    ft.min_shards = t.min_shards;
+    ft.max_shards = t.max_shards;
+    ft.policy = t.policy;
+    tiers.push_back(ft);
+  }
+  // Shard body factory: stamp the tier's server template with per-shard name
+  // (unique access-log paths on the shared filesystem) and the upstream VIP.
+  auto tier_specs = spec.tiers;
+  ShardBodyFn body = [tier_specs](const ShardContext& ctx) -> ProgramFn {
+    const ScaleoutTierSpec& t = tier_specs[static_cast<size_t>(ctx.tier)];
+    ServerSpec s = t.server;
+    s.name = ctx.name;
+    s.port = ctx.listen_port;
+    if (ctx.upstream_vip.port != 0) {
+      s.upstream_machine = ctx.upstream_vip.machine;
+      s.upstream_port = ctx.upstream_vip.port;
+      s.upstream_bytes = t.upstream_bytes;
+      s.upstream_hit_ratio = t.hit_ratio;
+    }
+    return ServerProgram(s);
+  };
+
+  FleetManager fleet(&w.kernel, opts, std::move(tiers), std::move(body),
+                     spec.autoscale);
+  fleet.Start();
+
+  // The swarm: split across client processes on dedicated machines, each with
+  // its own deterministic arrival stream, all aimed at the front tier's VIP.
+  int procs = std::max(1, spec.client_processes);
+  std::vector<SwarmSpec> swarm_specs(static_cast<size_t>(procs), spec.swarm);
+  std::vector<SwarmStats> swarm_stats(static_cast<size_t>(procs));
+  auto swarms_left = std::make_shared<int>(procs);
+  int per_proc = spec.swarm.connections / procs;
+  LayoutPlanner planner(&w.sim.rng());
+  for (int i = 0; i < procs; ++i) {
+    SwarmSpec& ss = swarm_specs[static_cast<size_t>(i)];
+    ss.server_machine = fleet.vip(0).machine;
+    ss.port = fleet.vip(0).port;
+    ss.connections = per_proc + (i == 0 ? spec.swarm.connections % procs : 0);
+    ss.seed = spec.swarm.seed + static_cast<uint64_t>(i) * 7919;
+    // The spec's rates are the fleet-wide offered load; each process runs an
+    // independent Poisson stream at its share (superposing them recovers the
+    // full rate).
+    ss.arrival_rate = spec.swarm.arrival_rate / procs;
+    for (SwarmPhase& phase : ss.phases) {
+      phase.rate /= procs;
+    }
+    uint32_t machine = w.net.AddMachine("swarm-c" + std::to_string(i));
+    Process* proc = w.kernel.CreateProcess("swarm-" + std::to_string(i), machine,
+                                           planner.PlanFor(8));
+    SwarmStats* st = &swarm_stats[static_cast<size_t>(i)];
+    // Once the last swarm drains, stop the autoscale timer so the queue drains
+    // too (servers alone never wake again).
+    auto on_done = [swarms_left, &fleet] {
+      if (--*swarms_left == 0) {
+        fleet.StopAutoscale();
+      }
+    };
+    w.kernel.SpawnThread(proc,
+                         [&ss, st, on_done](Guest& g) -> GuestTask<void> {
+                           // Head start for the fleet to reach its accept loops.
+                           co_await g.SleepNs(Millis(2));
+                           ProgramFn body = SwarmProgram(ss, st, on_done);
+                           co_await body(g);
+                         });
+  }
+
+  w.sim.Run();
+
+  SwarmStats total;
+  for (const SwarmStats& st : swarm_stats) {
+    total.Merge(st);
+  }
+  ScaleoutResult result;
+  result.seconds = total.Seconds();
+  result.arrived = total.arrived;
+  result.completed = total.completed;
+  result.requests = total.requests;
+  result.errors = total.errors;
+  result.stalled = total.stalled;
+  result.bytes_received = total.bytes_received;
+  result.throughput = total.Throughput();
+  result.p50_ms = static_cast<double>(total.Percentile(50)) / 1e6;
+  result.p99_ms = static_cast<double>(total.Percentile(99)) / 1e6;
+  result.diverged = fleet.divergence_detected();
+  result.finished =
+      total.arrived > 0 && total.completed + total.errors == total.arrived;
+  result.shards_spawned = fleet.shards_spawned();
+  result.shards_retired = fleet.shards_retired();
+  result.total_launched = fleet.total_launched();
+  for (int t = 0; t < fleet.tier_count(); ++t) {
+    result.final_in_rotation.push_back(fleet.in_rotation(t));
+    result.shard_counts.push_back(fleet.shard_count(t));
+    result.route_digests.push_back(fleet.balancer(t)->route_digest());
+    std::vector<uint64_t> per_shard;
+    for (int s = 0; s < fleet.shard_count(t); ++s) {
+      per_shard.push_back(fleet.balancer(t)->routed_to(static_cast<uint64_t>(s)));
+    }
+    result.routed.push_back(std::move(per_shard));
+  }
+  if (spec.collect_transcripts) {
+    for (int t = 0; t < fleet.tier_count(); ++t) {
+      const ScaleoutTierSpec& ts = spec.tiers[static_cast<size_t>(t)];
+      for (int s = 0; s < fleet.shard_count(t); ++s) {
+        std::string shard_name = ts.name + "-s" + std::to_string(s);
+        for (int rank = 0; rank <= ts.server.workers; ++rank) {
+          std::string path =
+              "/var/" + shard_name + "-access-" + std::to_string(rank) + ".log";
+          if (auto content = w.fs.ReadWholeFile(path)) {
+            result.transcripts[path] = *content;
+          }
+        }
+      }
+    }
+  }
+  result.stats = w.sim.stats();
+  return result;
 }
 
 }  // namespace remon

@@ -9,8 +9,10 @@
 #ifndef SRC_HARNESS_RUNNER_H_
 #define SRC_HARNESS_RUNNER_H_
 
+#include <map>
 #include <string>
 
+#include "src/core/fleet.h"
 #include "src/core/remon.h"
 #include "src/net/network.h"
 #include "src/sim/simulator.h"
@@ -64,6 +66,9 @@ struct RunConfig {
   // every cross-machine frame, attested join before re-seed. No effect on
   // all-local placements.
   bool rb_auth = false;
+  // FD metadata map pages per replica set (RemonOptions::file_map_pages).
+  // Swarm-scale server runs outgrow the classic single 4096-FD page.
+  int file_map_pages = 1;
 };
 
 struct SuiteResult {
@@ -99,6 +104,63 @@ ServerResult RunServerBench(const ServerSpec& server, const ClientSpec& client,
 // Normalized runtime of the server benchmark (client completion time vs native).
 double NormalizedServerTime(const ServerSpec& server, const ClientSpec& client,
                             const RunConfig& config, LinkParams link);
+
+// --- Scale-out fleets ----------------------------------------------------------------
+
+// One tier of the fleet: a server template stamped out per shard (the fleet
+// overrides name/port/upstream per shard) plus the tier's scaling bounds.
+struct ScaleoutTierSpec {
+  std::string name;        // "fe", "cache", "be", ... (shards become "<name>-s<i>").
+  ServerSpec server;       // Template; name, port, upstream_* are overridden.
+  uint16_t port = 80;      // Tier VIP port == every shard's listen port.
+  int initial_shards = 1;
+  int min_shards = 1;
+  int max_shards = 8;
+  // Fraction of requests served without consulting the next tier (ignored for
+  // the last tier, which has no upstream).
+  double hit_ratio = 0.0;
+  uint64_t upstream_bytes = 512;  // Sub-request size sent to the next tier.
+  LoadBalancer::Policy policy = LoadBalancer::Policy::kConsistentHash;
+};
+
+struct ScaleoutSpec {
+  std::vector<ScaleoutTierSpec> tiers;  // Front first; requests chain rightward.
+  // The open-loop swarm aimed at tier 0's VIP (server_machine/port are filled by
+  // the runner; connections/seed are split across client processes).
+  SwarmSpec swarm;
+  int client_processes = 4;  // Swarm split across this many client machines.
+  AutoscaleConfig autoscale;
+  // When set, per-shard access-log transcripts are read back into
+  // ScaleoutResult::transcripts after the run (determinism tests).
+  bool collect_transcripts = false;
+};
+
+struct ScaleoutResult {
+  double seconds = 0;       // Swarm-observed run time.
+  int arrived = 0;
+  int completed = 0;        // Connections that finished cleanly.
+  int requests = 0;
+  int errors = 0;
+  int stalled = 0;
+  uint64_t bytes_received = 0;
+  double throughput = 0;    // Completed connections per virtual second.
+  double p50_ms = 0;        // Connection-latency percentiles (arrival to close).
+  double p99_ms = 0;
+  bool diverged = false;
+  bool finished = false;
+  uint64_t shards_spawned = 0;  // By autoscale (beyond the initial topology).
+  uint64_t shards_retired = 0;
+  uint64_t total_launched = 0;
+  std::vector<int> final_in_rotation;       // Per tier.
+  std::vector<int> shard_counts;            // Per tier, ever launched.
+  std::vector<uint64_t> route_digests;      // Per tier (LoadBalancer::route_digest).
+  std::vector<std::vector<uint64_t>> routed;  // Per tier, per shard (0 if retired).
+  std::map<std::string, std::string> transcripts;  // Path -> bytes (opt-in).
+  SimStats stats;
+};
+
+// Runs an open-loop swarm against a multi-tier fleet under `config`.
+ScaleoutResult RunScaleout(const ScaleoutSpec& spec, const RunConfig& config);
 
 }  // namespace remon
 

@@ -1,0 +1,92 @@
+#include "src/net/load_balancer.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace remon {
+
+namespace {
+
+constexpr int kVnodesPerBackend = 128;
+
+uint64_t Mix64(uint64_t x) {
+  // splitmix64 finalizer — well-distributed ring points from small ids.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+LoadBalancer::LoadBalancer(Network* net, SockAddr vip, Policy policy)
+    : net_(net), vip_(vip), policy_(policy) {
+  net_->BindVirtual(vip_, [this](const SockAddr& v, const SockAddr& client) {
+    return Route(v, client);
+  });
+}
+
+LoadBalancer::~LoadBalancer() { net_->UnbindVirtual(vip_); }
+
+void LoadBalancer::AddBackend(uint64_t id, SockAddr addr) {
+  backends_[id] = Backend{addr, 0};
+  RebuildRing();
+}
+
+void LoadBalancer::RemoveBackend(uint64_t id) {
+  backends_.erase(id);
+  RebuildRing();
+}
+
+uint64_t LoadBalancer::routed_to(uint64_t id) const {
+  auto it = backends_.find(id);
+  return it == backends_.end() ? 0 : it->second.routed;
+}
+
+uint64_t LoadBalancer::TakeArrivals() {
+  uint64_t n = window_arrivals_;
+  window_arrivals_ = 0;
+  return n;
+}
+
+void LoadBalancer::RebuildRing() {
+  ring_.clear();
+  ring_.reserve(backends_.size() * kVnodesPerBackend);
+  for (const auto& [id, b] : backends_) {
+    for (int v = 0; v < kVnodesPerBackend; ++v) {
+      ring_.emplace_back(Mix64(id * 0x10001ull + static_cast<uint64_t>(v)), id);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+SockAddr LoadBalancer::Route(const SockAddr& vip, const SockAddr& client) {
+  ++window_arrivals_;
+  if (backends_.empty()) {
+    return vip;  // No backend: the connect fails like any unserved address.
+  }
+  uint64_t id = 0;
+  if (policy_ == Policy::kRoundRobin) {
+    uint64_t k = rr_cursor_++ % backends_.size();
+    auto it = backends_.begin();
+    std::advance(it, static_cast<long>(k));
+    id = it->first;
+  } else {
+    uint64_t key =
+        Mix64((static_cast<uint64_t>(client.machine) << 16) | client.port);
+    auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                               std::make_pair(key, uint64_t{0}));
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    id = it->second;
+  }
+  Backend& b = backends_.at(id);
+  ++b.routed;
+  ++total_routed_;
+  route_digest_ = (route_digest_ ^ id) * 1099511628211ull;  // FNV-1a prime.
+  return b.addr;
+}
+
+}  // namespace remon

@@ -1,0 +1,83 @@
+// L4 load balancer over Network virtual endpoints.
+//
+// A LoadBalancer owns one virtual address (the tier VIP) and routes each
+// inbound connect to one of its registered backends. Two policies:
+//
+//  - kRoundRobin: strict rotation over live backends in registration order.
+//  - kConsistentHash: a vnode ring (128 vnodes per backend, splitmix64-mixed
+//    points) keyed by the client address, so adding or removing one backend
+//    remaps only ~1/N of clients — the property autoscaling leans on.
+//
+// Both are pure functions of (registration history, connect order, client
+// address): no wall clock, no global RNG. The fleet's determinism tests replay
+// the exact routed sequence via route_digest().
+
+#ifndef SRC_NET_LOAD_BALANCER_H_
+#define SRC_NET_LOAD_BALANCER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+
+namespace remon {
+
+class LoadBalancer {
+ public:
+  enum class Policy { kRoundRobin, kConsistentHash };
+
+  // Binds `vip` on `net`; the balancer unbinds itself on destruction.
+  LoadBalancer(Network* net, SockAddr vip, Policy policy);
+  ~LoadBalancer();
+
+  LoadBalancer(const LoadBalancer&) = delete;
+  LoadBalancer& operator=(const LoadBalancer&) = delete;
+
+  // Registers a backend under a stable id (the fleet uses the shard index).
+  // Ids may be re-added after removal; the ring points depend only on the id.
+  void AddBackend(uint64_t id, SockAddr addr);
+  // Drains a backend: no new connections route to it. Established streams are
+  // untouched (direct-server-return — the balancer is not on the data path).
+  void RemoveBackend(uint64_t id);
+
+  int backend_count() const { return static_cast<int>(backends_.size()); }
+  bool has_backend(uint64_t id) const { return backends_.count(id) != 0; }
+
+  // Connections routed to `id` since it was (last) added.
+  uint64_t routed_to(uint64_t id) const;
+  uint64_t total_routed() const { return total_routed_; }
+
+  // Arrivals since the last call — the autoscaler's load window.
+  uint64_t TakeArrivals();
+
+  // FNV-1a over the sequence of routed backend ids; two runs that made the
+  // same routing decisions in the same order agree on this.
+  uint64_t route_digest() const { return route_digest_; }
+
+  const SockAddr& vip() const { return vip_; }
+
+ private:
+  SockAddr Route(const SockAddr& vip, const SockAddr& client);
+  void RebuildRing();
+
+  struct Backend {
+    SockAddr addr;
+    uint64_t routed = 0;
+  };
+
+  Network* net_;
+  SockAddr vip_;
+  Policy policy_;
+  std::map<uint64_t, Backend> backends_;
+  std::vector<std::pair<uint64_t, uint64_t>> ring_;  // (point, backend id), sorted.
+  uint64_t rr_cursor_ = 0;
+  uint64_t total_routed_ = 0;
+  uint64_t window_arrivals_ = 0;
+  uint64_t route_digest_ = 14695981039346656037ull;  // FNV-1a offset basis.
+};
+
+}  // namespace remon
+
+#endif  // SRC_NET_LOAD_BALANCER_H_

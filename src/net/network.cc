@@ -40,6 +40,24 @@ StreamSocket* Network::FindListener(const SockAddr& addr) const {
   return it == listeners_.end() ? nullptr : it->second;
 }
 
+void Network::BindVirtual(const SockAddr& vip, VirtualRouter router) {
+  REMON_CHECK_MSG(listeners_.count(vip) == 0,
+                  "virtual endpoint shadows a real listener");
+  virtuals_[vip] = std::move(router);
+}
+
+void Network::UnbindVirtual(const SockAddr& vip) { virtuals_.erase(vip); }
+
+bool Network::ResolveVirtual(const SockAddr& dst, const SockAddr& client,
+                             SockAddr* out) const {
+  auto it = virtuals_.find(dst);
+  if (it == virtuals_.end()) {
+    return false;
+  }
+  *out = it->second(dst, client);
+  return true;
+}
+
 Network::LinkState& Network::LinkFor(uint32_t a, uint32_t b) {
   if (a == b) {
     return loopback_state_;
@@ -113,11 +131,16 @@ int StreamSocket::ConnectTo(const SockAddr& peer) {
   remote_ = peer;
   state_ = State::kConnecting;
 
+  // Virtual endpoints resolve before the SYN leaves; the client keeps observing
+  // the VIP as its peer while the stream lands on the routed backend.
+  SockAddr target = peer;
+  net_->ResolveVirtual(peer, local_, &target);
+
   // SYN flight: after one-way latency the listener either queues a new connection or
   // refuses; the SYN-ACK takes another one-way trip.
   auto self = shared_from_this();
-  TimeNs syn_arrival = net_->DeliveryTime(machine_, peer.machine, 64);
-  net_->sim()->queue().ScheduleAt(syn_arrival, [this, self, peer] {
+  TimeNs syn_arrival = net_->DeliveryTime(machine_, target.machine, 64);
+  net_->sim()->queue().ScheduleAt(syn_arrival, [this, self, peer = target] {
     StreamSocket* listener = net_->FindListener(peer);
     if (listener == nullptr || listener->state_ != State::kListening ||
         static_cast<int>(listener->accept_queue_.size()) >= listener->backlog_) {

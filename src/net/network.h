@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -61,6 +62,24 @@ class Network {
 
   std::shared_ptr<StreamSocket> CreateStream(uint32_t machine);
 
+  // --- Virtual endpoints (L4 load balancing) ------------------------------------
+  //
+  // A virtual endpoint is an address with no listener of its own: a connect aimed
+  // at it is resolved through the bound router *before the SYN leaves*, and the
+  // stream is then established directly to the backend the router picked (the
+  // direct-server-return shape — reply traffic never crosses a middlebox). The
+  // client still observes the virtual address as its peer, like DNAT. Routers must
+  // be deterministic in (connect order, client address) — the fleet's transcripts
+  // are replayed byte-for-byte across reruns.
+  using VirtualRouter =
+      std::function<SockAddr(const SockAddr& vip, const SockAddr& client)>;
+  void BindVirtual(const SockAddr& vip, VirtualRouter router);
+  void UnbindVirtual(const SockAddr& vip);
+  // Resolves `dst` if a router is bound there; returns false (out untouched) when
+  // `dst` is a plain address. A router returning `dst` itself means "no backend":
+  // the connect then fails like any unserved address.
+  bool ResolveVirtual(const SockAddr& dst, const SockAddr& client, SockAddr* out) const;
+
   // --- Internal plumbing used by StreamSocket -----------------------------------
 
   Simulator* sim() const { return sim_; }
@@ -90,6 +109,7 @@ class Network {
   LinkParams loopback_{kMicrosecond, 10.0};
   LinkState loopback_state_;
   std::map<SockAddr, StreamSocket*> listeners_;
+  std::map<SockAddr, VirtualRouter> virtuals_;
   std::map<uint32_t, uint16_t> next_ephemeral_;
 };
 

@@ -137,6 +137,15 @@ class FdTable {
 
   int max_fds() const { return static_cast<int>(slots_.size()); }
 
+  // Raises the table's capacity (RLIMIT_NOFILE analog; never shrinks — slots
+  // above a lower limit may already be occupied). High-connection-count shards
+  // pair this with a multi-page FileMap so FD metadata keeps up.
+  void RaiseMaxFds(int max_fds) {
+    if (static_cast<size_t>(max_fds) > slots_.size()) {
+      slots_.resize(static_cast<size_t>(max_fds));
+    }
+  }
+
   // Snapshot of live fds (for file-map publishing and close-on-exit sweeps).
   std::vector<int> LiveFds() const {
     std::vector<int> out;

@@ -10,6 +10,7 @@
 #define SRC_WORKLOADS_CLIENTS_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/kernel/guest.h"
@@ -58,6 +59,68 @@ struct ClientStats {
 
 // The client program; `stats` must outlive the run.
 ProgramFn ClientProgram(const ClientSpec& spec, ClientStats* stats);
+
+// --- Open-loop swarms (scale-out load generation) ----------------------------------
+//
+// Unlike the closed-loop clients above, a swarm decouples arrival from service:
+// connections arrive on a Poisson process at a configured rate whether or not
+// earlier ones finished, which is what exposes tail latency under overload.
+// Each arrival is one short-lived connection (connect, a few request/response
+// rounds, close). Rates can step through phases to model spikes.
+
+struct SwarmPhase {
+  double rate = 0.0;        // Arrivals per second while this phase is active.
+  DurationNs duration = 0;  // Phase length.
+};
+
+struct SwarmSpec {
+  int connections = 10000;       // Total arrivals this program generates.
+  double arrival_rate = 50000;   // Poisson rate (conn/s) when `phases` is empty.
+  std::vector<SwarmPhase> phases;  // Piecewise-constant rate schedule (optional);
+                                   // arrivals stop at the end of the last phase.
+  int requests_per_connection = 1;
+  uint64_t request_bytes = 512;  // Response size each request asks for.
+  uint32_t server_machine = 0;   // Target (typically a tier VIP).
+  uint16_t port = 80;
+  uint64_t seed = 1;             // Arrival-process RNG seed (host-side, client-only).
+  // FD-table guard: the spawner reaps finished connections before exceeding this
+  // many in flight. Arrivals forced to wait are counted as `stalled` — a pure
+  // open-loop run keeps this above the offered concurrency.
+  int max_concurrent = 512;
+};
+
+// Filled in while the swarm runs (host-side measurement state).
+struct SwarmStats {
+  int arrived = 0;
+  int completed = 0;   // Connections that finished every request cleanly.
+  int requests = 0;    // Individual request/response rounds completed.
+  int errors = 0;
+  int stalled = 0;     // Arrivals delayed by the max_concurrent guard.
+  uint64_t bytes_received = 0;
+  TimeNs started = -1;
+  TimeNs finished = -1;
+  std::vector<DurationNs> latencies;  // Arrival-to-close per connection.
+
+  double Seconds() const {
+    return started < 0 || finished < started
+               ? 0.0
+               : static_cast<double>(finished - started) / 1e9;
+  }
+  double Throughput() const {  // Completed connections per second.
+    double s = Seconds();
+    return s > 0 ? completed / s : 0.0;
+  }
+  // p in [0, 100]; returns 0 on an empty sample.
+  DurationNs Percentile(double p) const;
+  // Folds another program's sample into this one (multi-process swarms).
+  void Merge(const SwarmStats& o);
+};
+
+// The swarm program for one client process; `stats` must outlive the run.
+// `on_done` (optional) fires on the host after the last connection closed —
+// the scale-out runner uses it to stop autoscale timers so the simulation drains.
+ProgramFn SwarmProgram(const SwarmSpec& spec, SwarmStats* stats,
+                       std::function<void()> on_done = nullptr);
 
 }  // namespace remon
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <vector>
 
 #include "src/core/sync_agent.h"
@@ -33,13 +34,18 @@ uint64_t ParseRequest(Guest& g, GuestAddr buf) {
   return n;
 }
 
-// Per-worker request-serving state (log fd, scratch buffers).
+// Per-worker request-serving state (log fd, scratch buffers, upstream link).
 struct WorkerState {
   GuestAddr in_buf = 0;
   GuestAddr out_buf = 0;
   GuestAddr tv = 0;
   GuestAddr opt = 0;
+  GuestAddr up_buf = 0;
   int log_fd = -1;
+  // Multi-tier plumbing: one persistent connection to the next tier per worker
+  // (opened lazily on the first miss), plus the deterministic hit accumulator.
+  int upstream_fd = -1;
+  double hit_accum = 0.0;
 };
 
 // Opens the worker's scratch state (and access log when configured).
@@ -49,6 +55,7 @@ GuestTask<WorkerState> InitWorker(Guest& g, const ServerSpec& spec) {
   ws.out_buf = g.Alloc(16 * 1024);
   ws.tv = g.Alloc(sizeof(GuestTimeval));
   ws.opt = g.Alloc(4);
+  ws.up_buf = g.Alloc(64);
   if (spec.log_requests) {
     std::string path = "/var/" + spec.name + "-access-" +
                        std::to_string(g.thread()->rank()) + ".log";
@@ -56,6 +63,83 @@ GuestTask<WorkerState> InitWorker(Guest& g, const ServerSpec& spec) {
     ws.log_fd = static_cast<int>(fd);
   }
   co_return ws;
+}
+
+// Connects the worker's persistent upstream link, retrying briefly: tiers start
+// concurrently, so the next tier's listeners may come up a few virtual
+// milliseconds after ours.
+GuestTask<int> EnsureUpstream(Guest& g, const ServerSpec& spec, WorkerState& ws) {
+  if (ws.upstream_fd >= 0) {
+    co_return ws.upstream_fd;
+  }
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    int64_t fd = co_await g.Socket(kAfInet, kSockStream);
+    REMON_CHECK(fd >= 0);
+    GuestSockaddrIn addr;
+    addr.sin_addr = spec.upstream_machine;
+    addr.sin_port = spec.upstream_port;
+    g.Poke(ws.up_buf, &addr, sizeof(addr));
+    int64_t rc = co_await g.Connect(static_cast<int>(fd), ws.up_buf, sizeof(addr));
+    if (rc == 0) {
+      // Non-blocking from here on: the fetch path polls with a bounded wait, so
+      // an upstream that accepted our SYN into its backlog but never services
+      // the connection (e.g. a pool tier out of workers) degrades this worker
+      // to local serving instead of wedging it — and every client pinned to its
+      // event loop — forever.
+      co_await g.Fcntl(static_cast<int>(fd), kF_SETFL, kO_NONBLOCK);
+      ws.upstream_fd = static_cast<int>(fd);
+      co_return ws.upstream_fd;
+    }
+    co_await g.Close(static_cast<int>(fd));
+    co_await g.SleepNs(Millis(1));
+  }
+  co_return -1;
+}
+
+// Issues one synchronous sub-request to the next tier and drains the response.
+// Failure (no upstream reachable, link torn) degrades to serving locally — a
+// fleet losing its backend should shed accuracy, not crash the frontend.
+GuestTask<void> UpstreamFetch(Guest& g, const ServerSpec& spec, WorkerState& ws) {
+  int fd = co_await EnsureUpstream(g, spec, ws);
+  if (fd < 0) {
+    co_return;
+  }
+  char line[kRequestBytes + 2];
+  std::snprintf(line, sizeof(line), "R%08llu\n",
+                static_cast<unsigned long long>(spec.upstream_bytes));
+  g.Poke(ws.up_buf, line, kRequestBytes);
+  // ~40 ms of 100 us polls. Plenty for a healthy tier (one service time + two
+  // link crossings), short enough that a wedged one costs a bounded stall.
+  int patience = 400;
+  uint64_t put = 0;
+  while (put < kRequestBytes) {
+    int64_t n = co_await g.Write(fd, ws.up_buf + put, kRequestBytes - put);
+    if (n == -kEAGAIN && --patience > 0) {
+      co_await g.SleepNs(Micros(100));
+      continue;
+    }
+    if (n <= 0) {
+      co_await g.Close(fd);
+      ws.upstream_fd = -1;
+      co_return;
+    }
+    put += static_cast<uint64_t>(n);
+  }
+  uint64_t got = 0;
+  while (got < spec.upstream_bytes) {
+    uint64_t chunk = std::min<uint64_t>(16 * 1024, spec.upstream_bytes - got);
+    int64_t n = co_await g.Read(fd, ws.out_buf, chunk);
+    if (n == -kEAGAIN && --patience > 0) {
+      co_await g.SleepNs(Micros(100));
+      continue;
+    }
+    if (n <= 0) {
+      co_await g.Close(fd);
+      ws.upstream_fd = -1;
+      co_return;
+    }
+    got += static_cast<uint64_t>(n);
+  }
 }
 
 // Serves one parsed request on `fd`: housekeeping + compute + response, mirroring a
@@ -66,6 +150,17 @@ GuestTask<void> ServeRequest(Guest& g, int fd, uint64_t response_bytes,
   co_await g.Gettimeofday(ws.tv);
   if (spec.sockopts_per_request > 0) {
     co_await g.Setsockopt(fd, 6, 3 /*TCP_CORK*/, ws.opt, 4);
+  }
+  if (spec.upstream_port != 0) {
+    // Tier miss/hit decision: a credit accumulator, so a hit ratio of 0.75
+    // serves exactly 3 of every 4 requests locally — identically in every
+    // replica (no randomness may leak into replicated control flow).
+    ws.hit_accum += spec.upstream_hit_ratio;
+    if (ws.hit_accum >= 1.0) {
+      ws.hit_accum -= 1.0;
+    } else {
+      co_await UpstreamFetch(g, spec, ws);
+    }
   }
   co_await g.Compute(spec.service_compute);
   uint64_t sent = 0;

@@ -43,6 +43,15 @@ struct ServerSpec {
   // the worker's own rank). >1 models chatty request accounting — error log,
   // stats counters — and is what the per-rank batch-tuning sweeps crank up.
   int log_writes = 1;
+  // Multi-tier chains: when upstream_port != 0, requests that miss the local
+  // tier are forwarded as a synchronous sub-request to (upstream_machine,
+  // upstream_port) — typically the next tier's VIP — before the response goes
+  // out. Hits are decided by a per-worker deterministic accumulator, never by
+  // randomness: replicated workers must make identical decisions.
+  uint32_t upstream_machine = 0;
+  uint16_t upstream_port = 0;
+  uint64_t upstream_bytes = 512;    // Sub-request response size.
+  double upstream_hit_ratio = 0.0;  // Fraction served locally without forwarding.
 };
 
 ProgramFn ServerProgram(const ServerSpec& spec);

@@ -28,8 +28,9 @@ def doc(metrics):
     }
 
 
-def run_gate(current, baseline, threshold=None):
-    """Writes the two docs to temp files and runs the gate; returns (rc, output)."""
+def run_gate(current, baseline, threshold=None, summary=False):
+    """Writes the two docs to temp files and runs the gate; returns
+    (rc, output) — or (rc, output, summary_text) when summary is set."""
     with tempfile.TemporaryDirectory() as td:
         cur_path = os.path.join(td, "current.json")
         base_path = os.path.join(td, "baseline.json")
@@ -42,8 +43,17 @@ def run_gate(current, baseline, threshold=None):
         cmd = [sys.executable, TOOL, cur_path, base_path]
         if threshold is not None:
             cmd += ["--threshold", str(threshold)]
+        summary_path = os.path.join(td, "summary.md")
+        if summary:
+            cmd += ["--summary", summary_path]
         proc = subprocess.run(cmd, capture_output=True, text=True)
-        return proc.returncode, proc.stdout + proc.stderr
+        if not summary:
+            return proc.returncode, proc.stdout + proc.stderr
+        text = ""
+        if os.path.exists(summary_path):
+            with open(summary_path) as f:
+                text = f.read()
+        return proc.returncode, proc.stdout + proc.stderr, text
 
 
 class GateTest(unittest.TestCase):
@@ -134,6 +144,61 @@ class GateTest(unittest.TestCase):
         rc, out = run_gate(cur, base)
         self.assertEqual(rc, 0, out)
         self.assertIn("[better]", out)
+
+
+class SummaryTest(unittest.TestCase):
+    """--summary: the markdown delta table piped into $GITHUB_STEP_SUMMARY."""
+
+    def test_table_covers_every_metric_with_status(self):
+        base = doc([("suite/ok", 1.0, False),
+                    ("suite/worse", 1.0, False),
+                    ("suite/better", 2.0, False),
+                    ("suite/gone", 1.0, False)])
+        cur = doc([("suite/ok", 1.01, False),
+                   ("suite/worse", 9.0, False),
+                   ("suite/better", 1.0, False),
+                   ("suite/fresh", 5.0, False)])
+        rc, out, summary = run_gate(cur, base, summary=True)
+        self.assertEqual(rc, 1, out)  # suite/worse regressed — and the table
+        self.assertIn("bench gate: `selftest`", summary)  # is still written.
+        self.assertIn("1 regression(s)", summary)
+        self.assertIn("| `suite/ok` | 1.0000 | 1.0100 | +1.00% | ok |", summary)
+        self.assertIn("| `suite/worse` | 1.0000 | 9.0000 | +800.00% | "
+                      "**REGRESSED** |", summary)
+        self.assertIn("| `suite/better` | 2.0000 | 1.0000 | -50.00% | improved |",
+                      summary)
+        self.assertIn("| `suite/fresh` | — | 5.0000 | — | new |", summary)
+        self.assertIn("| `suite/gone` | 1.0000 | — | — | removed |", summary)
+
+    def test_pass_verdict_line(self):
+        d = doc([("suite/a", 1.0, False)])
+        rc, out, summary = run_gate(d, d, summary=True)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("all deltas within 15%", summary)
+
+    def test_appends_across_invocations(self):
+        # The CI loop reuses one $GITHUB_STEP_SUMMARY file for all nine suites;
+        # a truncating open would keep only the last table.
+        d = doc([("suite/a", 1.0, False)])
+        with tempfile.TemporaryDirectory() as td:
+            for path, payload in (("c.json", d), ("b.json", d)):
+                with open(os.path.join(td, path), "w") as f:
+                    json.dump(payload, f)
+            summary_path = os.path.join(td, "summary.md")
+            for _ in range(2):
+                proc = subprocess.run(
+                    [sys.executable, TOOL, os.path.join(td, "c.json"),
+                     os.path.join(td, "b.json"), "--summary", summary_path],
+                    capture_output=True, text=True)
+                self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+            with open(summary_path) as f:
+                text = f.read()
+        self.assertEqual(text.count("bench gate: `selftest`"), 2)
+
+    def test_no_summary_flag_writes_nothing(self):
+        d = doc([("suite/a", 1.0, False)])
+        rc, out = run_gate(d, d)
+        self.assertEqual(rc, 0, out)
 
 
 if __name__ == "__main__":

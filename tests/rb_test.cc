@@ -484,8 +484,11 @@ TEST(FileMapTest, OutOfRangeIsSafe) {
 
 TEST(FileMapTest, IsOnePageAsInPaper) {
   // "We maintain exactly one byte of metadata per FD, resulting in a page-sized
-  // file map."
+  // file map." (The default; fleet shards opt into more pages.)
   EXPECT_EQ(static_cast<uint64_t>(FileMap::kMaxFds), kPageSize);
+  FileMap fm;
+  EXPECT_EQ(fm.size_bytes(), kPageSize);
+  EXPECT_EQ(fm.max_fds(), FileMap::kMaxFds);
 }
 
 TEST(FileMapTest, SharedPageVisibleThroughGuestMapping) {
@@ -493,7 +496,7 @@ TEST(FileMapTest, SharedPageVisibleThroughGuestMapping) {
   Process* p = w.NewProcess("fm");
   FileMap fm;
   ASSERT_TRUE(p->mem().MapFixedBacked(0x7e00'0000'0000ULL, kPageSize, kProtRead, true,
-                                      "ipmon-filemap", {fm.page()}));
+                                      "ipmon-filemap", fm.pages()));
   fm.Set(9, FdType::kSocket, true);
   uint8_t byte = 0;
   ASSERT_TRUE(p->mem().Read(0x7e00'0000'0000ULL + 9, &byte, 1).ok);

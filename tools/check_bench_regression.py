@@ -2,6 +2,7 @@
 """Gate on benchmark regressions against a checked-in baseline.
 
 Usage: check_bench_regression.py CURRENT.json BASELINE.json [--threshold 0.15]
+                                 [--summary FILE]
 
 Both files follow the remon-bench-v1 schema (docs/BENCH_SCHEMA.md): a flat list
 of named metrics, each marked higher_is_better or not. The gate fails (exit 1)
@@ -14,6 +15,10 @@ The simulation is deterministic (pinned seeds, virtual time), so identical code
 produces identical numbers — the threshold only absorbs intended perf-relevant
 changes, not machine noise. A legitimate change that moves a metric is recorded
 by regenerating the committed BENCH_*.json baselines in the same PR.
+
+--summary FILE appends a per-metric markdown delta table to FILE (append, not
+truncate: the CI gate loop runs once per suite and they all land in the same
+$GITHUB_STEP_SUMMARY). The table is written whether the gate passes or fails.
 """
 
 import argparse
@@ -29,7 +34,25 @@ def load_metrics(path):
     out = {}
     for m in doc.get("metrics", []):
         out[m["name"]] = (float(m["value"]), bool(m.get("higher_is_better", False)))
-    return out
+    return doc.get("bench", "?"), out
+
+
+def write_summary(path, bench, threshold, rows, regressed_count):
+    """Appends one suite's markdown delta table. rows: (name, base, cur, status)
+    where base/cur may be None for one-sided metrics."""
+    verdict = (f"{regressed_count} regression(s) beyond {threshold:.0%}"
+               if regressed_count else f"all deltas within {threshold:.0%}")
+    with open(path, "a") as f:
+        f.write(f"### bench gate: `{bench}` — {verdict}\n\n")
+        f.write("| metric | baseline | current | delta | status |\n")
+        f.write("|---|---|---|---|---|\n")
+        for name, base, cur, status in rows:
+            base_s = f"{base:.4f}" if base is not None else "—"
+            cur_s = f"{cur:.4f}" if cur is not None else "—"
+            delta_s = (f"{cur / base - 1:+.2%}"
+                       if base is not None and cur is not None and base > 0 else "—")
+            f.write(f"| `{name}` | {base_s} | {cur_s} | {delta_s} | {status} |\n")
+        f.write("\n")
 
 
 def main():
@@ -38,19 +61,25 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="allowed fractional move in the bad direction (default 0.15)")
+    ap.add_argument("--summary", metavar="FILE",
+                    help="append a markdown per-metric delta table to FILE "
+                         "(for $GITHUB_STEP_SUMMARY)")
     args = ap.parse_args()
 
-    current = load_metrics(args.current)
-    baseline = load_metrics(args.baseline)
+    bench, current = load_metrics(args.current)
+    _, baseline = load_metrics(args.baseline)
 
     regressions = []
     improvements = []
+    rows = []
     for name, (cur, higher_better) in sorted(current.items()):
         if name not in baseline:
             print(f"  [new]      {name} = {cur:.4f} (no baseline)")
+            rows.append((name, None, cur, "new"))
             continue
         base, _ = baseline[name]
         if base <= 0:
+            rows.append((name, base, cur, "skipped (baseline <= 0)"))
             continue
         ratio = cur / base
         moved_worse = ratio > 1 + args.threshold if not higher_better \
@@ -59,10 +88,18 @@ def main():
             else ratio > 1 + args.threshold
         if moved_worse:
             regressions.append((name, base, cur, ratio))
+            rows.append((name, base, cur, "**REGRESSED**"))
         elif moved_better:
             improvements.append((name, base, cur, ratio))
+            rows.append((name, base, cur, "improved"))
+        else:
+            rows.append((name, base, cur, "ok"))
     for name in sorted(set(baseline) - set(current)):
         print(f"  [removed]  {name} (was {baseline[name][0]:.4f})")
+        rows.append((name, baseline[name][0], None, "removed"))
+
+    if args.summary:
+        write_summary(args.summary, bench, args.threshold, rows, len(regressions))
 
     for name, base, cur, ratio in improvements:
         print(f"  [better]   {name}: {base:.4f} -> {cur:.4f} ({ratio:.2%} of baseline)")
@@ -73,8 +110,8 @@ def main():
             print(f"  [REGRESSED] {name}: {base:.4f} -> {cur:.4f} "
                   f"({ratio:.2%} of baseline)")
         print("\nIf this movement is intended, regenerate the committed baseline "
-              "in this PR:\n  ./build/bench_abl_rb --json=BENCH_abl_rb.json\n"
-              "  ./build/bench_fig5_servers --json=BENCH_fig5.json")
+              "in this PR:\n  ./build/bench_<suite> --json=BENCH_<suite>.json\n"
+              "(the tracked suite list lives in .github/workflows/ci.yml)")
         return 1
     print(f"\nOK: {len(current)} metrics within {args.threshold:.0%} of baseline "
           f"({len(improvements)} improved)")

@@ -8,9 +8,13 @@
 //             [--placement=local|machine:N,...] [--rb-link-latency-us=N]
 //             [--rb-link-gbps=F] [--respawn-on-death] [--kill-replica-at-ms=N]
 //             [--sync-agent] [--sync-log-kb=N] [--rb-auth] [--list]
+//   scale-out (fleet of replica sets behind a load balancer):
+//             [--shards=N] [--tiers=SERVER:SHARDS,...] [--autoscale]
+//             [--clients=N] [--arrival-rate=F] [--fd-map-pages=N]
 //
-// Runs one workload (a suite benchmark by name, or a server benchmark driven by a
-// closed-loop client) under the chosen MVEE configuration and prints a run report.
+// Runs one workload (a suite benchmark by name, a server benchmark driven by a
+// closed-loop client, or — with --shards/--tiers — a multi-tier fleet under an
+// open-loop swarm) under the chosen MVEE configuration and prints a run report.
 // docs/CLI.md is the full flag reference with copy-pasteable examples.
 
 #include <cstdio>
@@ -49,6 +53,13 @@ struct CliArgs {
   uint64_t sync_log_kb = 1024;
   bool rb_auth = false;
   bool list = false;
+  // Scale-out: a fleet run replaces the single-set server benchmark.
+  int shards = 0;                    // >0: single-tier fleet of this many shards.
+  std::vector<std::pair<std::string, int>> tiers;  // (server template, shards).
+  bool autoscale = false;
+  int clients = 10000;               // Open-loop swarm arrivals.
+  double arrival_rate = 50000.0;     // Poisson rate, connections/second.
+  int fd_map_pages = 4;              // FileMap pages per shard in fleet runs.
   bool ok = true;
 };
 
@@ -193,6 +204,60 @@ CliArgs Parse(int argc, char** argv) {
       args.rb_auth = true;
     } else if (std::strcmp(argv[i], "--rb-migration") == 0) {
       args.rb_migration = true;
+    } else if (StartsWith(argv[i], "--shards=", &v)) {
+      args.shards = std::atoi(v);
+      if (args.shards <= 0) {
+        args.ok = false;
+      }
+    } else if (StartsWith(argv[i], "--tiers=", &v)) {
+      // "SERVER:SHARDS[,SERVER:SHARDS...]" front tier first, e.g.
+      // --tiers=nginx:2,memcached:2,redis:1. Each tier is a fleet of full
+      // replica sets behind its own load-balanced virtual endpoint; tier k
+      // treats tier k+1 as its upstream.
+      const char* s = v;
+      while (args.ok && *s != '\0') {
+        const char* colon = std::strchr(s, ':');
+        if (colon == nullptr || colon == s) {
+          args.ok = false;
+          break;
+        }
+        char* end = nullptr;
+        long n = std::strtol(colon + 1, &end, 10);
+        if (end == colon + 1 || n <= 0) {
+          args.ok = false;
+          break;
+        }
+        args.tiers.emplace_back(std::string(s, colon), static_cast<int>(n));
+        s = end;
+        if (*s == ',') {
+          ++s;
+          if (*s == '\0') {
+            args.ok = false;  // Trailing comma: reject, don't guess.
+          }
+        } else if (*s != '\0') {
+          args.ok = false;
+        }
+      }
+      if (args.tiers.empty()) {
+        args.ok = false;
+      }
+    } else if (std::strcmp(argv[i], "--autoscale") == 0) {
+      args.autoscale = true;
+    } else if (StartsWith(argv[i], "--clients=", &v)) {
+      args.clients = std::atoi(v);
+      if (args.clients <= 0) {
+        args.ok = false;
+      }
+    } else if (StartsWith(argv[i], "--arrival-rate=", &v)) {
+      args.arrival_rate = std::atof(v);
+      if (args.arrival_rate <= 0) {
+        args.ok = false;
+      }
+    } else if (StartsWith(argv[i], "--fd-map-pages=", &v)) {
+      args.fd_map_pages = std::atoi(v);
+      if (args.fd_map_pages < 1 || args.fd_map_pages > 1024) {
+        args.ok = false;
+      }
     } else if (std::strcmp(argv[i], "--list") == 0) {
       args.list = true;
     } else {
@@ -321,6 +386,61 @@ int Run(const CliArgs& args) {
     config.temporal.exempt_probability = args.temporal_p;
   }
 
+  if (args.shards > 0 || !args.tiers.empty()) {
+    // Fleet run: N replica-set shards (per tier) behind a load balancer, driven
+    // by an open-loop Poisson swarm instead of the closed-loop client.
+    config.file_map_pages = args.fd_map_pages;
+    ScaleoutSpec spec;
+    std::vector<std::pair<std::string, int>> tiers = args.tiers;
+    if (tiers.empty()) {
+      tiers.emplace_back(args.server.empty() ? "nginx" : args.server, args.shards);
+    }
+    for (size_t t = 0; t < tiers.size(); ++t) {
+      ScaleoutTierSpec tier;
+      tier.server = ServerByName(tiers[t].first);
+      tier.name = "t" + std::to_string(t) + "-" + tier.server.name;
+      tier.port = static_cast<uint16_t>(9000 + t);
+      tier.initial_shards = tiers[t].second;
+      tier.min_shards = tiers[t].second;
+      tier.max_shards = args.autoscale ? tiers[t].second + 4 : tiers[t].second;
+      tier.hit_ratio = 0.75;  // Non-front tiers: 1 miss in 4 goes upstream.
+      if (t > 0) {
+        // Internal tiers serve a handful of persistent upstream connections,
+        // not a swarm: round-robin spreads them where a hash would skew.
+        tier.policy = LoadBalancer::Policy::kRoundRobin;
+      }
+      spec.tiers.push_back(tier);
+    }
+    spec.swarm.connections = args.clients;
+    spec.swarm.arrival_rate = args.arrival_rate;
+    spec.autoscale.enabled = args.autoscale;
+    ScaleoutResult run = RunScaleout(spec, config);
+    std::printf("fleet under %s (%d replicas, %s): %d clients at %.0f conn/s\n",
+                std::string(MveeModeName(args.mode)).c_str(), args.replicas,
+                std::string(PolicyLevelName(args.level)).c_str(), args.clients,
+                args.arrival_rate);
+    for (size_t t = 0; t < spec.tiers.size(); ++t) {
+      std::printf("  tier %s: shards=%d in-rotation=%d port=%u\n",
+                  spec.tiers[t].name.c_str(), run.shard_counts[t],
+                  run.final_in_rotation[t], spec.tiers[t].port);
+    }
+    std::printf("  arrived=%d completed=%d errors=%d stalled=%d\n",
+                run.arrived, run.completed, run.errors, run.stalled);
+    std::printf("  throughput: %.0f conn/s | p50 %.3f ms | p99 %.3f ms\n",
+                run.throughput, run.p50_ms, run.p99_ms);
+    if (args.autoscale) {
+      std::printf("  autoscale: spawned=%llu retired=%llu launched=%llu\n",
+                  static_cast<unsigned long long>(run.shards_spawned),
+                  static_cast<unsigned long long>(run.shards_retired),
+                  static_cast<unsigned long long>(run.total_launched));
+    }
+    if (run.diverged) {
+      std::printf("  [DIVERGED]\n");
+    }
+    PrintStats(run.stats);
+    return run.diverged ? 2 : (run.finished ? 0 : 3);
+  }
+
   if (!args.server.empty()) {
     ServerSpec server = ServerByName(args.server);
     ClientSpec client;
@@ -382,7 +502,9 @@ int main(int argc, char** argv) {
                          "[--placement=local|machine:N,...] [--rb-link-latency-us=N] "
                          "[--rb-link-gbps=F] [--respawn-on-death] "
                          "[--kill-replica-at-ms=N] [--sync-agent] [--sync-log-kb=N] "
-                         "[--rb-auth] [--list]  (full reference: docs/CLI.md)\n");
+                         "[--rb-auth] [--shards=N] [--tiers=SERVER:SHARDS,...] "
+                         "[--autoscale] [--clients=N] [--arrival-rate=F] "
+                         "[--fd-map-pages=N] [--list]  (full reference: docs/CLI.md)\n");
     return 1;
   }
   if (args.list) {
