@@ -241,6 +241,99 @@ void RunReseedSweep(BenchJson* json) {
       "            --rb-batch=adaptive --respawn-on-death --kill-replica-at-ms=2\n");
 }
 
+void RunReseedDeltaSweep(BenchJson* json) {
+  std::printf("\n== Ablation: O(delta) vs full re-seed bytes across RB sizes ==\n");
+  // The recovery scale cliff: a full checkpoint ships the whole RB image, so
+  // re-seed bytes grow linearly with --rb-size even when the replacement only
+  // missed a few milliseconds of entries. The delta path resumes from the ack-
+  // latched basis (max acked entry offset per rank) and ships only entries past
+  // it plus dirty file-map pages and the un-replayed sync-log slice — the bytes
+  // track the outage window, not the buffer size.
+  // The write-heavy suite workload pushes ~128 MiB through the RB, so at every
+  // size in the sweep the buffer is fully touched by kill time — a full image
+  // must ship the whole RB, while the delta only covers the outage window.
+  WorkloadSpec spec;
+  spec.name = "rb-reseed-delta";
+  spec.suite = "ablation";
+  spec.threads = 1;
+  spec.iterations = 9000;
+  spec.compute_per_iter = Micros(30);
+  spec.file_writes = 1;
+  spec.io_size = 256;
+
+  Table table({"RB size", "mode", "KiB/re-seed", "delta caps", "full fallbacks",
+               "joins"});
+  for (uint64_t kb : {256, 1024, 4096, 16384}) {
+    for (ReseedMode mode : {ReseedMode::kDelta, ReseedMode::kFull}) {
+      RunConfig config;
+      config.mode = MveeMode::kRemon;
+      config.replicas = 2;
+      config.level = PolicyLevel::kNonsocketRw;
+      config.rb_batch_max = 16;
+      config.rb_batch_policy = RbBatchPolicy::kAdaptive;
+      config.placement = {1};
+      config.rb_link_latency = 50 * kMicrosecond;
+      config.rb_size = kb * 1024;
+      config.reseed_mode = mode;
+      config.respawn_dead_replicas = true;
+      // Kill the remote replica repeatedly and average snapshot bytes per
+      // re-seed: a single kill samples one backlog instant, which is
+      // reset-phase noise on a handful of 4 KiB pages. The cadence must outlast
+      // a recovery or the replacement dies mid-transfer and never joins: a
+      // delta re-seed completes in well under a millisecond at every size, but
+      // a full 16 MiB-point image needs several ms on the 50 us link — that
+      // asymmetry IS the scale cliff this sweep prices. Kills only start once
+      // even the 16 MiB point's rank sub-buffer is fully touched (~75 ms in),
+      // so a full image always prices the whole RB.
+      config.kill_remote_replica_at = Millis(80);
+      config.kill_remote_replica_every =
+          mode == ReseedMode::kDelta ? Millis(3) : Millis(13);
+      config.respawn_budget_decay =
+          mode == ReseedMode::kDelta ? Millis(2) : Millis(10);
+      SuiteResult run = RunSuiteWorkload(spec, config);
+      const char* mode_label = mode == ReseedMode::kDelta ? "delta" : "full";
+      char label[32];
+      std::snprintf(label, sizeof(label), "%llu KiB",
+                    static_cast<unsigned long long>(kb));
+      uint64_t joins = run.stats.rb_replica_joins;
+      uint64_t delta_caps = run.stats.rb_snapshot_delta_captures;
+      // Price what each mode's re-seed actually ships: in delta mode the payload
+      // of delta captures alone (fallbacks are full-priced by construction and
+      // reported in their own column), in full mode every checkpoint.
+      double kib_per_reseed = -1;
+      if (mode == ReseedMode::kDelta && delta_caps > 0) {
+        kib_per_reseed = static_cast<double>(run.stats.rb_snapshot_delta_bytes_sent) /
+                         static_cast<double>(delta_caps) / 1024.0;
+      } else if (mode == ReseedMode::kFull && joins > 0) {
+        kib_per_reseed = static_cast<double>(run.stats.rb_snapshot_bytes_sent) /
+                         static_cast<double>(joins) / 1024.0;
+      }
+      table.AddRow(
+          {label, run.diverged ? "DIVERGED" : mode_label, Table::Num(kib_per_reseed, 1),
+           Table::Num(static_cast<double>(delta_caps), 0),
+           Table::Num(static_cast<double>(run.stats.rb_snapshot_full_fallbacks), 0),
+           Table::Num(static_cast<double>(joins), 0)});
+      if (!run.diverged && kib_per_reseed >= 0) {
+        json->Add("reseed_delta/" + std::to_string(kb) + "KiB/" + mode_label +
+                      "/kib_per_reseed",
+                  kib_per_reseed, "KiB");
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nThe full column grows linearly with the RB (it ships the live image), the\n"
+      "delta column is flat: the replacement re-seeds in O(missed work), so growing\n"
+      "--rb-size to push resets toward zero no longer inflates recovery cost. At\n"
+      "256 KiB the whole rank sub-buffer is smaller than the steady-state outage\n"
+      "window, so deltas sit BELOW the flat line (a delta never costs more than the\n"
+      "buffer) and most attempts fall back to full — the reset generation laps the\n"
+      "basis between ack and capture, which is exactly the wrapped-past guard doing\n"
+      "its job. Reproduce one point:\n"
+      "  remon_cli --server=nginx --replicas=3 --placement=machine:1 --reseed=delta \\\n"
+      "            --rb-mb=16 --respawn-on-death --kill-replica-at-ms=2\n");
+}
+
 void Run(BenchJson* json) {
   std::printf("== Ablation: RB size sweep (write-heavy workload, 2 replicas) ==\n");
   WorkloadSpec spec;
@@ -282,6 +375,7 @@ void Run(BenchJson* json) {
   RunServerBatchSweep(json);
   RunRemoteLinkSweep(json);
   RunReseedSweep(json);
+  RunReseedDeltaSweep(json);
 }
 
 }  // namespace

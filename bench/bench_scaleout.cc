@@ -156,6 +156,54 @@ void RunAutoscale(BenchJson* json) {
               run.final_in_rotation[0], run.throughput, run.p99_ms);
 }
 
+// Live rebalance: a 2-shard remote-replica tier drains-and-migrates every
+// shard's remote replica onto fresh machines mid-swarm (respawn-as-migration:
+// the replacement attests its new placement and re-seeds off the ack-latched
+// delta basis). The interesting numbers are the migration count, the bytes the
+// delta re-seed shipped, and the throughput/tail cost vs the same run that
+// never moved.
+void RunRebalance(BenchJson* json) {
+  std::printf("== Scale-out: mid-run replica migration (drain-and-rebalance) ==\n");
+  ScaleoutSpec spec;
+  ScaleoutTierSpec tier = Tier("nginx", 2, 9000);
+  tier.remote_replicas = true;
+  spec.tiers.push_back(tier);
+  spec.swarm.connections = 4000;
+  spec.swarm.arrival_rate = 50000;
+  spec.swarm.seed = 11;
+
+  ScaleoutResult steady = RunScaleout(spec, RemonConfig());
+  spec.rebalance_at = Millis(30);
+  ScaleoutResult moved = RunScaleout(spec, RemonConfig());
+
+  AddMetrics(json, "rebalance/steady/remon2", steady);
+  AddMetrics(json, "rebalance/migrated/remon2", moved);
+  json->Add("rebalance/migrated/migrations",
+            static_cast<double>(moved.stats.rb_replica_migrations), "replicas");
+  if (!moved.diverged && moved.stats.rb_replica_migrations > 0) {
+    json->Add("rebalance/migrated/snapshot_kib",
+              static_cast<double>(moved.stats.rb_snapshot_bytes_sent) / 1024.0,
+              "KiB");
+  }
+  double norm = (steady.seconds > 0 && moved.seconds > 0 && !moved.diverged)
+                    ? moved.seconds / steady.seconds
+                    : -1.0;
+  json->Add("rebalance/migrated/normalized_time", norm, "x");
+
+  Table table({"config", "conn/s", "p99 ms", "migrations", "delta caps",
+               "snapshot KiB"});
+  table.AddRow({"steady", Table::Num(steady.throughput), Table::Num(steady.p99_ms),
+                "0", "0", "0"});
+  table.AddRow(
+      {"rebalance @30ms", Table::Num(moved.throughput), Table::Num(moved.p99_ms),
+       std::to_string(moved.stats.rb_replica_migrations),
+       std::to_string(moved.stats.rb_snapshot_delta_captures),
+       Table::Num(static_cast<double>(moved.stats.rb_snapshot_bytes_sent) / 1024.0,
+                  1)});
+  table.Print();
+  std::printf("  normalized runtime vs steady: %.2f\n\n", norm);
+}
+
 // LB policy face-off on a 4-shard tier: round-robin (perfect spread, no
 // affinity) vs consistent hashing (per-client affinity, survives shard churn).
 void RunPolicyComparison(BenchJson* json) {
@@ -194,6 +242,7 @@ int main(int argc, char** argv) {
   remon::RunShardSweep(&json);
   remon::RunMultiTier(&json);
   remon::RunAutoscale(&json);
+  remon::RunRebalance(&json);
   remon::RunPolicyComparison(&json);
   std::printf(
       "beyond the paper: ReMon's per-set overhead composes with deployment scale —\n"

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -45,15 +46,45 @@ class FileMap : public FdInfoSource {
   // the shard name). Must run before replicas map the region — IP-MON maps the
   // page list at attach time, so a later resize would go unseen.
   void Configure(int pages, std::string label) {
-    REMON_CHECK(pages >= 1 && pages <= 1024);
+    REMON_CHECK(pages >= 1 && pages <= kMaxPages);
     pages_.clear();
+    page_versions_.clear();
     for (int i = 0; i < pages; ++i) {
       pages_.push_back(NewPage());
+      page_versions_.push_back(0);
     }
     label_ = std::move(label);
     out_of_range_sets_ = 0;
     warned_out_of_range_ = false;
+    version_ = 0;
+    grows_ = 0;
   }
+
+  // Appends pages at runtime, preserving the existing frames (attached replicas
+  // keep valid mappings of the old prefix; the owner re-publishes the new
+  // geometry to them — Remon routes that through the normal epoch-bump path).
+  // New pages start dirty (version = current) so delta checkpoints ship them.
+  void Grow(int new_page_count) {
+    REMON_CHECK(new_page_count > static_cast<int>(pages_.size()) &&
+                new_page_count <= kMaxPages);
+    ++version_;
+    while (static_cast<int>(pages_.size()) < new_page_count) {
+      pages_.push_back(NewPage());
+      page_versions_.push_back(version_);
+    }
+    ++grows_;
+    if (on_grow_) {
+      on_grow_(new_page_count);
+    }
+  }
+
+  // Opt-in: Set() on an FD past the map grows the map to cover it (up to
+  // kMaxPages) instead of warn-once dropping. Off by default — bare maps keep
+  // the counted-drop contract; Remon turns it on when it can re-publish the
+  // geometry to attached replicas (see satellite: live FileMap growth).
+  void set_auto_grow(bool enabled) { auto_grow_ = enabled; }
+  // Runs after Grow() appends pages, with the new page count.
+  void set_on_grow(std::function<void(int)> fn) { on_grow_ = std::move(fn); }
 
   // The backing frames, mapped read-only into every replica, in order.
   const std::vector<PageRef>& pages() const { return pages_; }
@@ -61,6 +92,10 @@ class FileMap : public FdInfoSource {
   int max_fds() const { return static_cast<int>(pages_.size() * kPageSize); }
 
   void Set(int fd, FdType type, bool nonblocking) {
+    if (!InRange(fd) && auto_grow_ && fd >= 0 &&
+        fd / static_cast<int>(kPageSize) < kMaxPages) {
+      Grow(fd / static_cast<int>(kPageSize) + 1);
+    }
     if (!InRange(fd)) {
       // An FD beyond the map would be tracked nowhere: every later policy and
       // blocking-prediction lookup on it silently degrades to "unknown". Count
@@ -84,6 +119,7 @@ class FileMap : public FdInfoSource {
       byte |= kNonblockBit;
     }
     ByteAt(fd) = byte;
+    Touch(fd);
   }
 
   void SetNonblocking(int fd, bool nonblocking) {
@@ -92,11 +128,13 @@ class FileMap : public FdInfoSource {
     }
     uint8_t& byte = ByteAt(fd);
     byte = nonblocking ? (byte | kNonblockBit) : (byte & ~kNonblockBit);
+    Touch(fd);
   }
 
   void Clear(int fd) {
     if (InRange(fd)) {
       ByteAt(fd) = 0;
+      Touch(fd);
     }
   }
 
@@ -122,9 +160,23 @@ class FileMap : public FdInfoSource {
 
   // Number of Set() calls dropped because the FD fell outside the map.
   uint64_t out_of_range_sets() const { return out_of_range_sets_; }
+  // Number of runtime Grow() calls since Configure().
+  uint64_t grows() const { return grows_; }
+
+  // Monotone mutation clock: bumped on every Set/SetNonblocking/Clear/Grow, with
+  // the touched page latching the new value. A delta checkpoint against a basis
+  // version ships exactly the pages with page_version > basis.
+  uint64_t version() const { return version_; }
+  uint64_t page_version(size_t page) const { return page_versions_[page]; }
 
  private:
+  static constexpr int kMaxPages = 1024;
+
   bool InRange(int fd) const { return fd >= 0 && fd < max_fds(); }
+
+  void Touch(int fd) {
+    page_versions_[static_cast<size_t>(fd) / kPageSize] = ++version_;
+  }
 
   uint8_t& ByteAt(int fd) {
     return pages_[static_cast<size_t>(fd) / kPageSize]
@@ -136,9 +188,14 @@ class FileMap : public FdInfoSource {
   }
 
   std::vector<PageRef> pages_;
+  std::vector<uint64_t> page_versions_;
   std::string label_;
   uint64_t out_of_range_sets_ = 0;
   bool warned_out_of_range_ = false;
+  uint64_t version_ = 0;
+  uint64_t grows_ = 0;
+  bool auto_grow_ = false;
+  std::function<void(int)> on_grow_;
 };
 
 }  // namespace remon

@@ -137,6 +137,15 @@ void FleetManager::SpawnShard(int tier, bool immediate_rotation) {
 
   RemonOptions opts = base_;
   opts.machine = ctx.machine;
+  if (spec.remote_replicas && opts.replicas > 1) {
+    REMON_CHECK_MSG(opts.mode == MveeMode::kRemon,
+                    "remote_replicas shards need the RB transport (mode=remon)");
+    opts.replica_machines.assign(static_cast<size_t>(opts.replicas), ctx.machine);
+    for (int r = 1; r < opts.replicas; ++r) {
+      opts.replica_machines[static_cast<size_t>(r)] =
+          kernel_->net()->AddMachine(ctx.name + "-r" + std::to_string(r));
+    }
+  }
   Shard shard;
   shard.machine = ctx.machine;
   shard.name = ctx.name;
@@ -170,6 +179,37 @@ void FleetManager::SpawnShard(int tier, bool immediate_rotation) {
     pending_events_.push_back(*id_cell);
   }
   tier_shards.push_back(std::move(shard));
+}
+
+int FleetManager::RebalanceShard(int tier, int shard_idx, DurationNs stagger) {
+  Shard& sh = shards_[static_cast<size_t>(tier)][static_cast<size_t>(shard_idx)];
+  Remon* remon = sh.remon.get();
+  if (remon->transport() == nullptr) {
+    return 0;  // All-local shard: nothing runs behind a migratable link.
+  }
+  ++sh.rebalance_gen;
+  int scheduled = 0;
+  for (int r = 1; r < remon->options().replicas; ++r) {
+    if (remon->remote_agent(r) == nullptr) {
+      continue;
+    }
+    // Fresh machines are named up front (spec-order determinism); the staggered
+    // schedule is what serializes the actual moves under load.
+    uint32_t target = kernel_->net()->AddMachine(
+        sh.name + "-r" + std::to_string(r) + "-m" + std::to_string(sh.rebalance_gen));
+    auto id_cell = std::make_shared<EventQueue::EventId>();
+    *id_cell = kernel_->sim()->queue().ScheduleAfter(
+        stagger * scheduled, [this, tier, shard_idx, r, target, id_cell] {
+          pending_events_.erase(std::remove(pending_events_.begin(),
+                                            pending_events_.end(), *id_cell),
+                                pending_events_.end());
+          shards_[static_cast<size_t>(tier)][static_cast<size_t>(shard_idx)]
+              .remon->SpawnReplacement(r, static_cast<int>(target));
+        });
+    pending_events_.push_back(*id_cell);
+    ++scheduled;
+  }
+  return scheduled;
 }
 
 void FleetManager::RetireShard(int tier) {

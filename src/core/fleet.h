@@ -40,6 +40,10 @@ struct FleetTierSpec {
   int min_shards = 1;   // Autoscale floor.
   int max_shards = 8;   // Autoscale ceiling.
   LoadBalancer::Policy policy = LoadBalancer::Policy::kConsistentHash;
+  // Cross-machine shards: place each non-leader replica on its own machine
+  // ("<shard name>-r<i>") behind the RB transport instead of sharing the shard
+  // machine. Requires mode=remon; this is the layout RebalanceShard migrates.
+  bool remote_replicas = false;
 };
 
 struct AutoscaleConfig {
@@ -113,6 +117,16 @@ class FleetManager {
   // Called by the runner when the client swarm finishes.
   void StopAutoscale();
 
+  // Drain-and-migrate: moves every remote replica of one shard onto a fresh
+  // machine, one replica at a time spaced by `stagger`, while the shard keeps
+  // serving — the leader never moves, each replacement re-seeds (O(delta) under
+  // reseed_mode=kDelta) and rejoins before the next replica's turn arrives, so
+  // the set never loses more than one replica of redundancy. `stagger` must
+  // outlast a join (provisioning + re-seed) for that to hold. Returns the number
+  // of migrations scheduled (0 for an all-local shard).
+  int RebalanceShard(int tier, int shard_idx,
+                     DurationNs stagger = 500 * kMicrosecond);
+
   int tier_count() const { return static_cast<int>(tiers_.size()); }
   SockAddr vip(int tier) const { return vips_[static_cast<size_t>(tier)]; }
   LoadBalancer* balancer(int tier) {
@@ -141,6 +155,7 @@ class FleetManager {
     uint32_t machine = 0;
     std::string name;
     bool in_rotation = false;
+    int rebalance_gen = 0;  // Names the fresh machines of each rebalance pass.
   };
 
   void SpawnShard(int tier, bool immediate_rotation);

@@ -259,6 +259,19 @@ GuestTask<void> Ghumvee::RunLockstep(int rank, RankState& rs) {
     co_return;
   }
   if (nr == Sys::kRemonRbFlush) {
+    // A replacement checkpoint in flight pins the current reset generation: its
+    // image was cut against the live sub-buffer offsets, and scrubbing them
+    // before the replacement acks the End frame dooms the join (the agent
+    // refuses a checkpoint from a stale generation, which tears the link and
+    // charges the respawn budget for the leader's own reset). Park the round
+    // until the transfer is acked or the link dies — both bounded, by the
+    // in-flight frame cap and the connect watchdog respectively.
+    if (rb_flush_gate_ && rb_flush_gate_()) {
+      ++stats.rb_reset_join_stalls;
+      while (rb_flush_gate_() && !shutdown_ && divergences_.empty()) {
+        co_await Work(10 * kMicrosecond);
+      }
+    }
     HandleRbFlush(static_cast<int>(rs.req.arg(0)), rs);
     co_return;
   }

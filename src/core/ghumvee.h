@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -62,6 +63,11 @@ class Ghumvee {
   // Enables the §4 extension: migrate the RB to fresh addresses at flush points
   // (applied when the replicas are single-threaded and fully stopped).
   void set_rb_migration(bool on) { rb_migration_ = on; }
+  // RB flush/reset gate: while it returns true the flush round parks instead of
+  // scrubbing. Wired to RbTransport::SnapshotInflight — a reset between a
+  // replacement checkpoint's capture and its apply would rebase every offset
+  // the in-flight image was cut against, dooming the join.
+  void set_rb_flush_gate(std::function<bool()> gate) { rb_flush_gate_ = std::move(gate); }
   FileMap* file_map() { return &file_map_; }
 
   // Starts the monitor event loop.
@@ -157,6 +163,7 @@ class Ghumvee {
   std::vector<EpollShadowMap> epoll_shadow_;
 
   std::vector<DivergenceRecord> divergences_;
+  std::function<bool()> rb_flush_gate_;
   bool rb_migration_ = false;
   bool running_ = false;
   bool shutdown_ = false;

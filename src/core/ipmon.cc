@@ -64,12 +64,13 @@ GuestTask<void> IpMon::Initialize(Guest& g) {
   }
 
   // Map the (GHUMVEE-maintained) file map read-only — all pages, contiguously.
-  GuestAddr fm_addr = process_->mem().FindFreeRange(process_->layout.mmap_hint,
-                                                    file_map_->size_bytes());
-  REMON_CHECK(fm_addr != 0);
-  REMON_CHECK(process_->mem().MapFixedBacked(fm_addr, file_map_->size_bytes(),
+  fm_addr_ = process_->mem().FindFreeRange(process_->layout.mmap_hint,
+                                           file_map_->size_bytes());
+  REMON_CHECK(fm_addr_ != 0);
+  REMON_CHECK(process_->mem().MapFixedBacked(fm_addr_, file_map_->size_bytes(),
                                              kProtRead, true, "ipmon-filemap",
                                              file_map_->pages()));
+  fm_mapped_bytes_ = file_map_->size_bytes();
 
   // Register with the kernel (paper §3.5): the set of calls IP-MON may handle, the
   // RB pointer, and the entry-point cookie. The call is always monitored, so GHUMVEE
@@ -776,6 +777,26 @@ GuestAddr IpMon::MigrateRb() {
   // Cursors are offsets, not addresses: they survive the move unchanged.
   ++rb_migrations_;
   return fresh;
+}
+
+bool IpMon::RemapFileMap() {
+  if (process_ == nullptr || fm_addr_ == 0) {
+    return false;  // Initialize has not mapped yet; it will map the grown geometry.
+  }
+  AddressSpace& mem = process_->mem();
+  GuestAddr fresh = mem.FindFreeRange(process_->layout.mmap_hint,
+                                      file_map_->size_bytes());
+  if (fresh == 0) {
+    return false;
+  }
+  if (!mem.MapFixedBacked(fresh, file_map_->size_bytes(), kProtRead, true,
+                          "ipmon-filemap", file_map_->pages())) {
+    return false;
+  }
+  mem.Unmap(fm_addr_, fm_mapped_bytes_);
+  fm_addr_ = fresh;
+  fm_mapped_bytes_ = file_map_->size_bytes();
+  return true;
 }
 
 WaitQueue* IpMon::RankHeaderQueue(int rank) {

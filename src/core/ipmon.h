@@ -146,6 +146,13 @@ class IpMon {
   GuestAddr MigrateRb();
   uint64_t rb_migrations() const { return rb_migrations_; }
 
+  // Live FileMap growth (FileMap::Grow): remaps the grown map into this replica
+  // at a fresh range with the same page-table epoch-bump idiom MigrateRb uses, so
+  // every page of the new geometry is reachable read-only. Returns false before
+  // Initialize (the initial mapping then covers the grown geometry already) or
+  // when no free range fits.
+  bool RemapFileMap();
+
   // Shadow-map lookups for GHUMVEE: when an occasionally-forwarded epoll_wait is
   // replicated by the CP monitor, the authoritative mapping may live in IP-MON.
   bool LookupEpollFd(int epfd, uint64_t data, int* fd_out) const;
@@ -250,6 +257,10 @@ class IpMon {
   Config config_;
   Process* process_ = nullptr;
   RbView rb_;
+  // Where (and how much of) the file map is mapped in this replica; RemapFileMap
+  // moves it when the map grows live.
+  GuestAddr fm_addr_ = 0;
+  uint64_t fm_mapped_bytes_ = 0;
   std::vector<IpMon*> peers_;
   RbTransport* transport_ = nullptr;  // Master of a cross-machine set; not owned.
   bool rb_private_mirror_ = false;    // Remote slave: RB is a machine-local mirror.

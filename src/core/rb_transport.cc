@@ -50,6 +50,7 @@ RbTransport::RbTransport(Kernel* kernel, uint32_t leader_machine, Options option
 
 RbTransport::~RbTransport() {
   for (auto& r : remotes_) {
+    DisarmConnectTimer(*r);
     if (r->sock && r->observer_id != 0) {
       r->sock->poll_queue().Remove(r->observer_id);
     }
@@ -59,6 +60,7 @@ RbTransport::~RbTransport() {
 void RbTransport::AddRemote(int replica_index, uint32_t machine, uint16_t port) {
   auto remote = std::make_unique<Remote>();
   remote->replica_index = replica_index;
+  remote->machine = machine;
   remote->sock = kernel_->net()->CreateStream(leader_machine_);
   remote->sock->ConnectTo(SockAddr{machine, port});
   // Plain-CRC streams need no handshake; authenticated streams hold all data
@@ -67,8 +69,13 @@ void RbTransport::AddRemote(int replica_index, uint32_t machine, uint16_t port) 
   if (options_.auth != nullptr) {
     remote->parser.set_auth(options_.auth, RbAuthDirection::kReplicaToLeader);
   }
+  // A first-generation remote starts from the set's shared initial state — an
+  // all-zero mirror at reset generation 0 — so its delta basis is valid from the
+  // first ack (empty offsets degrade each rank to its data start).
+  remote->basis.valid = true;
   Remote* r = remote.get();
   remote->observer_id = remote->sock->poll_queue().AddObserver([this, r] { Pump(*r); });
+  ArmConnectTimer(*r);
   remotes_.push_back(std::move(remote));
 }
 
@@ -89,15 +96,19 @@ RbTransport::Remote* RbTransport::ReviveSlot(int replica_index, uint32_t machine
   // pump the revived slot's state. The latched sync_cursor survives on purpose:
   // until the replacement attests or acks a newer cursor, the dead replica's
   // last acknowledged position still gates sync-log overwrites.
+  DisarmConnectTimer(*slot);
   if (slot->sock != nullptr && slot->observer_id != 0) {
     slot->sock->poll_queue().Remove(slot->observer_id);
   }
   slot->sock = kernel_->net()->CreateStream(leader_machine_);
   slot->sock->ConnectTo(SockAddr{machine, port});
+  slot->machine = machine;
   slot->sendq.clear();
   slot->sendq_head_off = 0;
   slot->frames_sent = 0;
   slot->frames_acked = 0;
+  slot->unacked.clear();
+  slot->snapshot_last_seq = 0;
   slot->parser = RbFrameParser{};
   if (options_.auth != nullptr) {
     slot->parser.set_auth(options_.auth, RbAuthDirection::kReplicaToLeader);
@@ -108,6 +119,7 @@ RbTransport::Remote* RbTransport::ReviveSlot(int replica_index, uint32_t machine
   slot->max_peer_epoch = 0;
   Remote* r = slot;
   slot->observer_id = slot->sock->poll_queue().AddObserver([this, r] { Pump(*r); });
+  ArmConnectTimer(*slot);
   return slot;
 }
 
@@ -127,16 +139,30 @@ void RbTransport::EnqueueSnapshotFrames(Remote& r, const SnapshotPayloads& snaps
     ++stats.rb_snapshot_frames_sent;
     stats.rb_frame_bytes_sent += frame.size();
     stats.rb_snapshot_bytes_sent += frame.size();
+    if (snapshot.delta) {
+      stats.rb_snapshot_delta_bytes_sent += frame.size();
+    }
     RbEpochStats& row = stats.EpochRow(epoch_);
     ++row.frames_sent;
     ++row.snapshot_frames;
     r.sendq.push_back(std::move(frame));
   };
-  enqueue(RbFrameType::kSnapshotBegin, snapshot.begin);
+  enqueue(snapshot.delta ? RbFrameType::kSnapshotDelta : RbFrameType::kSnapshotBegin,
+          snapshot.begin);
   for (const std::vector<uint8_t>& chunk : snapshot.chunks) {
     enqueue(RbFrameType::kSnapshotChunk, chunk);
   }
   enqueue(RbFrameType::kSnapshotEnd, snapshot.end);
+  r.snapshot_last_seq = r.frames_sent;
+}
+
+bool RbTransport::SnapshotInflight() const {
+  for (const auto& r : remotes_) {
+    if (!r->dead && r->frames_acked < r->snapshot_last_seq) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void RbTransport::AddReplacement(int replica_index, uint32_t machine, uint16_t port,
@@ -180,6 +206,13 @@ void RbTransport::SendEntries(int rank, const std::vector<RbWireEntry>& entries)
   // Broadcast: the payload (entry records + images) is serialized once; only the
   // per-connection header (frame_seq) and CRC differ per remote.
   std::vector<uint8_t> payload = RbWireCodec::EncodeEntriesPayload(entries);
+  // Ack-horizon metadata: entries within a rank publish in offset order, so one
+  // acked frame advances the rank's delta horizon to its highest entry offset.
+  uint64_t max_off = 0;
+  for (const RbWireEntry& e : entries) {
+    max_off = std::max(max_off, e.entry_off);
+  }
+  RbLeaderClock clock = leader_clock_ ? leader_clock_() : RbLeaderClock{};
   for (auto& r : remotes_) {
     if (r->dead || r->awaiting_snapshot) {
       continue;  // A replacement's stream starts with its checkpoint, never data.
@@ -192,6 +225,7 @@ void RbTransport::SendEntries(int rank, const std::vector<RbWireEntry>& entries)
     ++stats.rb_frames_sent;
     stats.rb_frame_bytes_sent += frame.size();
     ++stats.EpochRow(epoch_).frames_sent;
+    r->unacked.push_back(FrameMeta{seq, static_cast<uint32_t>(rank), max_off, clock});
     r->sendq.push_back(std::move(frame));
     Pump(*r);
   }
@@ -242,6 +276,15 @@ bool RbTransport::IsRemote(int replica_index) const {
   return false;
 }
 
+bool RbTransport::RemoteLinkDead(int replica_index) const {
+  for (const auto& r : remotes_) {
+    if (r->replica_index == replica_index) {
+      return r->dead;
+    }
+  }
+  return true;  // Never served: there is no live link to retire.
+}
+
 uint64_t RbTransport::SyncCursorFor(int replica_index) const {
   for (const auto& r : remotes_) {
     if (r->replica_index == replica_index) {
@@ -271,6 +314,15 @@ void RbTransport::MarkDead(Remote& r, const char* why) {
     return;
   }
   r.dead = true;
+  DisarmConnectTimer(r);
+  // Nothing queued for a dead link can ever be written. Dropping the queue here
+  // (not at revival) is what frees a replacement's held checkpoint when its
+  // connection fails or times out instead of leaking it for the run's remainder;
+  // unacked metadata goes with it — those frames may never have arrived, so they
+  // must not fold into the delta basis.
+  r.sendq.clear();
+  r.sendq_head_off = 0;
+  r.unacked.clear();
   ++deaths_;
   ++kernel_->stats().EpochRow(epoch_).deaths;  // Attributed to the epoch that ended.
   ++epoch_;  // Frames of the torn stream can never be mistaken for a future one.
@@ -281,6 +333,91 @@ void RbTransport::MarkDead(Remote& r, const char* why) {
   stall_queue_.Wake();
   if (on_remote_death_) {
     on_remote_death_(r.replica_index);
+  }
+}
+
+void RbTransport::DetachForMigration(int replica_index) {
+  for (auto& r : remotes_) {
+    if (r->replica_index != replica_index) {
+      continue;
+    }
+    REMON_CHECK_MSG(!r->dead, "DetachForMigration: link already dead");
+    DisarmConnectTimer(*r);
+    if (r->sock != nullptr && r->observer_id != 0) {
+      r->sock->poll_queue().Remove(r->observer_id);
+      r->observer_id = 0;
+    }
+    if (r->sock != nullptr) {
+      r->sock->Shutdown(kShutRdWr);
+    }
+    r->dead = true;
+    r->sendq.clear();
+    r->sendq_head_off = 0;
+    r->unacked.clear();
+    ++epoch_;  // Frames of the retired stream can never be mistaken for the next.
+    std::fprintf(stderr,
+                 "[rb-transport] remote replica %d detached for migration; epoch -> %u\n",
+                 replica_index, epoch_);
+    // A leader stalled on this remote's acks must not hang across the move.
+    stall_queue_.Wake();
+    return;
+  }
+  REMON_CHECK_MSG(false, "DetachForMigration: replica was never remote");
+}
+
+RbDeltaBasis RbTransport::DeltaBasisFor(int replica_index) const {
+  for (const auto& r : remotes_) {
+    if (r->replica_index == replica_index) {
+      return r->basis;
+    }
+  }
+  return RbDeltaBasis{};
+}
+
+void RbTransport::FoldAckedMeta(Remote& r) {
+  while (!r.unacked.empty() && r.unacked.front().frame_seq <= r.frames_acked) {
+    const FrameMeta& m = r.unacked.front();
+    RbDeltaBasis& b = r.basis;
+    if (!b.valid || b.reset_generation != m.clock.reset_generation) {
+      // An RB reset rewrote every offset wholesale. The acked frame is the first
+      // proof of what the mirror holds in the new generation: every rank restarts
+      // at its data start (offset 0 in basis terms) except what folds from here.
+      b.valid = true;
+      b.reset_generation = m.clock.reset_generation;
+      b.from_off.clear();
+    }
+    if (b.from_off.size() <= m.rank) {
+      b.from_off.resize(static_cast<size_t>(m.rank) + 1, 0);
+    }
+    b.from_off[m.rank] = std::max(b.from_off[m.rank], m.max_entry_off);
+    b.fm_version = std::max(b.fm_version, m.clock.fm_version);
+    b.epoll_version = std::max(b.epoll_version, m.clock.epoll_version);
+    r.unacked.pop_front();
+  }
+}
+
+void RbTransport::ArmConnectTimer(Remote& r) {
+  if (options_.connect_timeout <= 0) {
+    return;
+  }
+  Remote* rp = &r;  // Slots are pooled in unique_ptrs and never erased.
+  r.connect_timer =
+      kernel_->sim()->queue().ScheduleAfter(options_.connect_timeout, [this, rp] {
+        rp->connect_timer = 0;
+        if (rp->dead || rp->sock == nullptr) {
+          return;
+        }
+        if (rp->sock->state() == StreamSocket::State::kConnecting ||
+            rp->sock->state() == StreamSocket::State::kCreated) {
+          MarkDead(*rp, "connect timed out");
+        }
+      });
+}
+
+void RbTransport::DisarmConnectTimer(Remote& r) {
+  if (r.connect_timer != 0) {
+    kernel_->sim()->queue().Cancel(r.connect_timer);
+    r.connect_timer = 0;
   }
 }
 
@@ -296,6 +433,8 @@ void RbTransport::Pump(Remote& r) {
     MarkDead(r, r.sock->connect_failed() ? "connect refused" : "connection closed");
     return;
   }
+  // Established: the pending-connect watchdog has nothing left to watch.
+  DisarmConnectTimer(r);
 
   // Authenticated streams write nothing before the join attestation verifies —
   // frames queue locally and the in-flight bound throttles the leader meanwhile.
@@ -368,6 +507,7 @@ void RbTransport::Pump(Remote& r) {
     // must not invalidate this live link's in-flight acks — that would leave it
     // stalled forever. The echoed epoch identifies the stream, nothing more.
     r.frames_acked = std::max(r.frames_acked, frame.ack_seq);
+    FoldAckedMeta(r);
     ++stats.rb_frames_acked;
     ++stats.EpochRow(frame.epoch).frames_acked;
     // v4: acks piggyback the replica's sync-log replay cursor; the latched
@@ -399,6 +539,14 @@ bool RbTransport::HandleAttest(Remote& r, const RbWireFrame& frame) {
       frame.attest_digest != options_.config_digest) {
     ++stats.rb_auth_join_rejects;
     MarkDead(r, "join attestation refused (identity/config digest mismatch)");
+    return false;
+  }
+  // v5: the attested placement must be the machine this slot was commanded to
+  // connect to. Respawn-as-migration changes the commanded placement; a peer
+  // claiming any other machine is answering a different (or stale) command.
+  if (frame.attest_machine != r.machine) {
+    ++stats.rb_auth_join_rejects;
+    MarkDead(r, "join attestation refused (placement mismatch)");
     return false;
   }
   r.attested = true;
@@ -468,7 +616,8 @@ void RemoteSyncAgent::OnListenerPoll() {
     std::vector<uint8_t> attest = RbWireCodec::EncodeJoinAttest(
         join_epoch_ > 0 ? join_epoch_ : 1,
         static_cast<uint32_t>(mon_->config().replica_index), config_digest_,
-        sync_agent_ != nullptr ? sync_agent_->read_cursor() : 0);
+        sync_agent_ != nullptr ? sync_agent_->read_cursor() : 0,
+        machine_);  // v5: the placement this agent actually serves.
     auth_->SealFrame(&attest, RbAuthDirection::kReplicaToLeader);
     ++kernel_->stats().rb_auth_frames_sealed;
     ackq_.push_back(std::move(attest));
@@ -619,6 +768,11 @@ void RemoteSyncAgent::HandleSnapshotFrame(const RbWireFrame& frame) {
     case RbFrameType::kSnapshotBegin:
       assembler_.Reset();
       ok = assembler_.Begin(frame.payload);
+      why = assembler_.error();
+      break;
+    case RbFrameType::kSnapshotDelta:
+      assembler_.Reset();
+      ok = assembler_.BeginDelta(frame.payload);
       why = assembler_.error();
       break;
     case RbFrameType::kSnapshotChunk:

@@ -46,6 +46,18 @@
 // exactly the leader's RB at every point it observes. Snapshot frames obey the
 // same in-flight bound and cumulative acks as entry frames — a large checkpoint
 // throttles the leader's flush points instead of ballooning the send queue.
+//
+// O(delta) re-seed (wire v5): the transport additionally folds every remote's
+// cumulative acks into a per-slot RbDeltaBasis — per rank, the highest entry
+// offset the replica provably applied, plus the send-time file-map/epoll version
+// horizons. A replacement for a replica whose basis is still usable gets a
+// kSnapshotDelta checkpoint that resumes at those offsets instead of re-shipping
+// the whole RB, which is what keeps recovery cost flat as buffers grow.
+//
+// Respawn-as-migration: DetachForMigration retires a live remote's link without
+// the death side effects, so the front end can re-attach the same replica on a
+// different machine; under authentication the join attestation carries the
+// placement and the leader verifies it against the machine it commanded.
 
 #ifndef SRC_CORE_RB_TRANSPORT_H_
 #define SRC_CORE_RB_TRANSPORT_H_
@@ -60,6 +72,8 @@
 #include "src/core/rb_wire.h"
 #include "src/core/snapshot.h"
 #include "src/net/network.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
 #include "src/vfs/wait_queue.h"
 
 namespace remon {
@@ -69,6 +83,16 @@ class Kernel;
 
 // Well-known base port remote sync agents listen on (port = base + replica index).
 inline constexpr uint16_t kRbTransportPortBase = 47000;
+
+// The leader's mutable checkpoint state, sampled when a data frame is enqueued.
+// When the frame's cumulative ack arrives, the sample folds into that remote's
+// delta basis (RbDeltaBasis): the replica provably applied everything the leader
+// had published up to this clock, so an O(delta) re-seed may resume past it.
+struct RbLeaderClock {
+  uint64_t reset_generation = 0;  // IpMon::rb_resets() at send.
+  uint64_t fm_version = 0;        // FileMap::version() at send.
+  uint64_t epoll_version = 0;     // EpollShadowMap::version() at send.
+};
 
 // Leader-side frame pump: one connection per remote replica.
 class RbTransport {
@@ -82,6 +106,11 @@ class RbTransport {
     const RbAuthContext* auth = nullptr;
     // The config digest every attesting replica must present (RbConfigDigest).
     uint64_t config_digest = 0;
+    // A connect that sits in SYN past this bound is a dead placement: the slot is
+    // marked dead (freeing any held checkpoint frames — an unreachable
+    // replacement must not pin a full snapshot in its send queue forever) and
+    // on_remote_death decides what happens next. <= 0 disables the watchdog.
+    DurationNs connect_timeout = 50 * kMillisecond;
   };
 
   RbTransport(Kernel* kernel, uint32_t leader_machine, Options options);
@@ -140,6 +169,10 @@ class RbTransport {
 
   // True when `replica_index` is served by this transport (its replica is remote).
   bool IsRemote(int replica_index) const;
+  // True when `replica_index`'s link is down (or was never served here): the
+  // respawn path uses this to tell a migration of a live replica (detach first)
+  // from a replacement for a dead one.
+  bool RemoteLinkDead(int replica_index) const;
   // v4 wrap-gate channel: the highest sync-log replay cursor `replica_index` has
   // piggybacked on its acks (0 before any cursor arrived; frozen across death —
   // a dead replica's last acknowledged cursor still gates overwrites until its
@@ -149,7 +182,46 @@ class RbTransport {
   // wired to the master sync agent's wraparound gate.
   void set_on_sync_cursor(std::function<void(int)> cb) { on_sync_cursor_ = std::move(cb); }
 
+  // Leader clock sampled at every entry-frame enqueue; folded into the sender
+  // slot's delta basis when the frame's cumulative ack arrives. Unset, acks still
+  // advance the per-rank offsets but the version horizons stay 0 (a delta then
+  // ships every dirty file-map page and epoll row — correct, just larger).
+  void set_leader_clock(std::function<RbLeaderClock()> fn) {
+    leader_clock_ = std::move(fn);
+  }
+
+  // What the leader knows `replica_index`'s mirror already holds, folded from its
+  // cumulative acks: the horizon Remon::MakeReseedPayloads cuts an O(delta)
+  // checkpoint against. Survives death on purpose — it describes the mirror the
+  // dead replica leaves behind, which is exactly what its replacement resumes
+  // from. Invalid (default) for a replica this transport never served.
+  RbDeltaBasis DeltaBasisFor(int replica_index) const;
+
+  // Respawn-as-migration: quietly retires a *live* remote's link so a replacement
+  // can be attached on a different machine. Bumps the epoch and clears the slot's
+  // queues like a death, but fires no on_remote_death (the caller is the one
+  // respawning) and counts no rb_remote_deaths — the replica is moving, not lost.
+  // The latched sync cursor and the delta basis survive, like they do for deaths.
+  void DetachForMigration(int replica_index);
+
+  // True while a replacement checkpoint is in flight on a live link: enqueued
+  // but not yet cumulatively acked through its End frame (the End ack doubles as
+  // apply confirmation). GHUMVEE's RB flush gate parks the reset round on this —
+  // a reset between capture and apply rebases every offset under the image.
+  bool SnapshotInflight() const;
+
  private:
+  // Send-time metadata for one unacked entry frame: when the cumulative ack
+  // covers frame_seq, the remote provably holds every entry of the frame, so the
+  // rank's delta horizon advances to its highest entry offset and the version
+  // horizons to the send-time leader clock.
+  struct FrameMeta {
+    uint64_t frame_seq = 0;
+    uint32_t rank = 0;
+    uint64_t max_entry_off = 0;
+    RbLeaderClock clock;
+  };
+
   struct Remote {
     int replica_index = -1;
     std::shared_ptr<StreamSocket> sock;
@@ -168,10 +240,30 @@ class RbTransport {
     bool awaiting_snapshot = false;
     uint32_t max_peer_epoch = 0;
     uint64_t sync_cursor = 0;
+    // The placement this slot was told to connect to; an authenticated join must
+    // attest exactly it (a replacement cannot claim a machine it was not given).
+    uint32_t machine = 0;
+    // Pending-connect watchdog (Options::connect_timeout); cancelled the moment
+    // the socket leaves the SYN state or the slot dies/revives.
+    EventQueue::EventId connect_timer = 0;
+    // O(delta) re-seed state: per-frame send metadata awaiting its cumulative
+    // ack, and the basis those acks fold into. Both cleared on death/detach
+    // except the basis itself — unacked frames may never have arrived, but
+    // everything already folded is mirror content the replica provably holds.
+    std::deque<FrameMeta> unacked;
+    RbDeltaBasis basis;
+    // Sequence of the last checkpoint frame enqueued on this connection; the
+    // join is in flight until frames_acked covers it (0 = no checkpoint sent).
+    uint64_t snapshot_last_seq = 0;
   };
 
   void Pump(Remote& r);       // Drain sendq into the socket; read acks.
   void MarkDead(Remote& r, const char* why);
+  // Folds newly acked entry frames' metadata into the slot's delta basis.
+  void FoldAckedMeta(Remote& r);
+  // Arms / cancels the pending-connect watchdog for a slot.
+  void ArmConnectTimer(Remote& r);
+  void DisarmConnectTimer(Remote& r);
   // Tears down the dead slot's socket and revives it on a fresh connection with a
   // fresh per-connection sequence space (shared by both replacement flavors).
   Remote* ReviveSlot(int replica_index, uint32_t machine, uint16_t port);
@@ -194,6 +286,7 @@ class RbTransport {
   std::function<void(int)> on_remote_death_;
   std::function<void(int)> on_sync_cursor_;
   std::function<void(int, uint64_t)> on_attested_join_;
+  std::function<RbLeaderClock()> leader_clock_;
   WaitQueue stall_queue_;
   std::vector<std::unique_ptr<Remote>> remotes_;
 };

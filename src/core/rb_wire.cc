@@ -125,11 +125,13 @@ std::vector<uint8_t> RbWireCodec::EncodeAck(uint32_t epoch, uint64_t ack_seq,
 std::vector<uint8_t> RbWireCodec::EncodeJoinAttest(uint32_t epoch,
                                                    uint32_t replica_index,
                                                    uint64_t config_digest,
-                                                   uint64_t sync_cursor) {
+                                                   uint64_t sync_cursor,
+                                                   uint32_t machine) {
   std::vector<uint8_t> payload(kRbWireAttestPayloadSize, 0);
   PutU32(&payload, 0, replica_index);
   PutU64(&payload, 8, config_digest);
   PutU64(&payload, 16, sync_cursor);
+  PutU32(&payload, 24, machine);
   return BuildFrame(RbFrameType::kJoinAttest, epoch, /*rank=*/replica_index,
                     /*entry_count=*/0, /*frame_seq=*/0, /*ack_seq=*/0, payload);
 }
@@ -214,7 +216,7 @@ RbFrameParser::Status RbFrameParser::Next(RbWireFrame* out) {
   }
   uint16_t type = PeekU16(kOffType);
   if (type < static_cast<uint16_t>(RbFrameType::kEntries) ||
-      type > static_cast<uint16_t>(RbFrameType::kJoinAttest)) {
+      type > static_cast<uint16_t>(RbFrameType::kSnapshotDelta)) {
     return Corrupt("unknown frame type");
   }
   uint32_t payload_len = PeekU32(kOffPayloadLen);
@@ -305,6 +307,7 @@ RbFrameParser::Status RbFrameParser::Next(RbWireFrame* out) {
     std::memcpy(&f.attest_replica, frame.data() + kRbWireHeaderSize, 4);
     std::memcpy(&f.attest_digest, frame.data() + kRbWireHeaderSize + 8, 8);
     std::memcpy(&f.attest_cursor, frame.data() + kRbWireHeaderSize + 16, 8);
+    std::memcpy(&f.attest_machine, frame.data() + kRbWireHeaderSize + 24, 4);
   } else if (entry_count != 0 || payload_len != 0) {
     return Corrupt("ack frame carries payload");
   } else {

@@ -52,6 +52,14 @@
 // frames instead of monopolizing the link. Their payloads are opaque at this
 // layer (the snapshot codec owns them); entry_count is 0.
 //
+// kSnapshotDelta (since v5) replaces kSnapshotBegin when the leader cuts an
+// O(delta) checkpoint against the replacement's acknowledged replay state: the
+// payload announces per-rank resume offsets, the leader's RB reset generation
+// (the lap guard), dirty file-map pages, dirty epoll-shadow rows, and the
+// sync-log slots past the replica's replay cursor. The chunk/end framing and
+// the chained CRC are identical to the full path; docs/RB_WIRE_FORMAT.md
+// ("SNAPSHOT_DELTA") is the normative payload layout.
+//
 // kJoinAttest (agent -> leader, since v4) opens an authenticated connection: the
 // replica presents its index, its configuration digest (RB geometry, sync-log
 // geometry, descriptor-registry hash — RbConfigDigest in src/core/rb_auth.h),
@@ -63,7 +71,11 @@
 //   u32 reserved        zero
 //   u64 config_digest   must equal the leader's own digest
 //   u64 sync_cursor     the replica's replay cursor (seeds the wrap gate / re-seed)
-//   u64 reserved2       zero
+//   u32 machine         since v5: the machine id the replica is placed on — a
+//                       replacement attesting from a machine other than the one
+//                       the dead replica occupied makes respawn a migration; the
+//                       leader verifies it against the placement it assigned
+//   u32 reserved2       zero
 //
 // kSyncLog streams the master's sync-agent log (src/core/sync_agent.h) so
 // multi-threaded replicas can run on remote machines. Payload: a u64 start_index
@@ -93,8 +105,10 @@ inline constexpr uint32_t kRbWireMagic = 0x46574252;  // "RBWF" little-endian.
 // Version 2 added the snapshot frame types (replica re-seed after an epoch bump);
 // version 3 added kSyncLog frames and the snapshot sync-log section (cross-machine
 // multi-threaded replicas); version 4 added kJoinAttest, the ack-piggybacked
-// sync-log replay cursor, and the authenticated-stream MAC trailer.
-inline constexpr uint16_t kRbWireVersion = 4;
+// sync-log replay cursor, and the authenticated-stream MAC trailer; version 5
+// added kSnapshotDelta (O(delta) re-seed) and the attested placement field
+// (respawn-as-migration).
+inline constexpr uint16_t kRbWireVersion = 5;
 inline constexpr uint64_t kRbWireHeaderSize = 48;
 inline constexpr uint64_t kRbWireEntryHeaderSize = 16;
 inline constexpr uint64_t kRbWireSyncRecordSize = 8;
@@ -116,6 +130,10 @@ enum class RbFrameType : uint16_t {
   // Remote agent -> leader: authenticated-join attestation (identity + config
   // digest + replay cursor), the first frame of an authenticated connection.
   kJoinAttest = 7,
+  // Leader -> replacement agent (since v5): opens an O(delta) re-seed instead of
+  // kSnapshotBegin — per-rank resume offsets, reset-generation lap guard, dirty
+  // file-map/epoll rows, and sync-log slots past the replica's acked cursor.
+  kSnapshotDelta = 8,
 };
 
 inline constexpr uint64_t kRbWireAttestPayloadSize = 32;
@@ -123,7 +141,7 @@ inline constexpr uint64_t kRbWireAttestPayloadSize = 32;
 // True for the frame types that carry a snapshot payload opaque to this layer.
 inline constexpr bool IsSnapshotFrameType(RbFrameType t) {
   return t == RbFrameType::kSnapshotBegin || t == RbFrameType::kSnapshotChunk ||
-         t == RbFrameType::kSnapshotEnd;
+         t == RbFrameType::kSnapshotEnd || t == RbFrameType::kSnapshotDelta;
 }
 
 // IEEE 802.3 CRC-32 (reflected, init/xorout 0xffffffff), software table.
@@ -161,6 +179,8 @@ struct RbWireFrame {
   uint32_t attest_replica = 0;
   uint64_t attest_digest = 0;
   uint64_t attest_cursor = 0;
+  // kJoinAttest only (v5): the machine id the attesting replica is placed on.
+  uint32_t attest_machine = 0;
   std::vector<RbWireEntry> entries;
   // kSyncLog only: absolute log index of sync_records[0], then the records.
   uint64_t sync_start = 0;
@@ -193,10 +213,12 @@ class RbWireCodec {
                                         uint64_t sync_cursor = 0);
 
   // Serializes the attested-join handshake frame (agent -> leader): the joining
-  // replica's index, its config digest, and its sync-log replay cursor.
+  // replica's index, its config digest, its sync-log replay cursor, and (v5) the
+  // machine it is placed on.
   static std::vector<uint8_t> EncodeJoinAttest(uint32_t epoch, uint32_t replica_index,
                                                uint64_t config_digest,
-                                               uint64_t sync_cursor);
+                                               uint64_t sync_cursor,
+                                               uint32_t machine = 0);
 
   // Serializes one sync-log publication (records appended since the last flush)
   // into one kSyncLog frame; the two-step variant mirrors the entries broadcast

@@ -115,6 +115,20 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
   } else if (varan_file_map_ != nullptr) {
     varan_file_map_->Configure(options_.file_map_pages, name);
   }
+  // Live growth: a workload that outgrows the configured map grows it instead of
+  // silently dropping FD metadata past the boundary. Every replica re-publishes
+  // the new geometry through the same fresh-range remap path RB migration uses,
+  // so the larger map is visible at the next monitored call.
+  if (FileMap* live_map = ghumvee_ != nullptr ? ghumvee_->file_map()
+                                              : varan_file_map_.get()) {
+    live_map->set_auto_grow(true);
+    live_map->set_on_grow([this](int) {
+      ++kernel_->stats().file_map_grows;
+      for (auto& m : ipmons_) {
+        m->RemapFileMap();
+      }
+    });
+  }
 
   // Shared body anchor: every replica's prologue wrapper references the same callable.
   auto shared_body = std::make_shared<ProgramFn>(std::move(body));
@@ -240,6 +254,14 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
       remote_agents_[static_cast<size_t>(i)] = std::move(agent);
     }
     ipmons_[0]->set_transport(transport_.get());
+    // Leader clock for the ack-horizon fold: every kEntries frame is stamped with
+    // the leader's reset generation and file-map/epoll version counters at send
+    // time, so a remote's acked horizon doubles as a delta-capture basis.
+    IpMon* clock_mon = ipmons_[0].get();
+    transport_->set_leader_clock([clock_mon] {
+      return RbLeaderClock{clock_mon->rb_resets(), clock_mon->file_map()->version(),
+                           clock_mon->epoll_shadow().version()};
+    });
     if (!agents_.empty()) {
       // Master sync agent streams its appends over the transport; the coalescing
       // window borrows the master IP-MON's (adaptive) batch window, and IP-MON's
@@ -262,6 +284,7 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
     }
     respawn_attempts_.assign(static_cast<size_t>(n), 0);
     join_generation_.assign(static_cast<size_t>(n), 0);
+    last_respawn_ns_.assign(static_cast<size_t>(n), 0);
     // A torn link ends the run with a divergence report — never a hang. Under
     // respawn_dead_replicas it instead schedules a replacement join (capped per
     // replica: a join that keeps failing *is* divergence). A link that dies during
@@ -270,11 +293,18 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
       if (ghumvee_ == nullptr || ghumvee_->shutdown_requested() || finished()) {
         return;
       }
+      bool budget_ok = false;
       if (options_.respawn_dead_replicas && idx >= 0 &&
-          static_cast<size_t>(idx) < respawn_attempts_.size() &&
-          respawn_attempts_[static_cast<size_t>(idx)] <
-              options_.max_respawns_per_replica) {
+          static_cast<size_t>(idx) < respawn_attempts_.size()) {
+        // Healthy time since the last charge refunds attempts first: the cap is a
+        // rate limit on deaths in quick succession, not a lifetime budget.
+        DecayRespawnBudget(idx);
+        budget_ok = respawn_attempts_[static_cast<size_t>(idx)] <
+                    options_.max_respawns_per_replica;
+      }
+      if (budget_ok) {
         ++respawn_attempts_[static_cast<size_t>(idx)];
+        last_respawn_ns_[static_cast<size_t>(idx)] = kernel_->sim()->queue().now();
         // The event unregisters itself when it fires: ~Remon may only Cancel ids
         // that never ran (EventQueue trusts callers on that).
         auto id_cell = std::make_shared<EventQueue::EventId>(0);
@@ -287,7 +317,9 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
                   finished()) {
                 return;
               }
-              SpawnReplacement(idx);
+              // Respawn-as-migration policy: replacements optionally land on a
+              // configured target machine instead of the one the replica died on.
+              SpawnReplacement(idx, options_.respawn_target_machine);
             });
         pending_respawns_.push_back(*id_cell);
         return;
@@ -311,12 +343,18 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
             if (ghumvee_ == nullptr || ghumvee_->shutdown_requested() || finished()) {
               return;
             }
-            ReplicaSnapshot snap = CaptureLeaderSnapshot(
-                ipmons_[0].get(), ghumvee_.get(), sync_agent(0), attest_cursor);
-            transport_->EnqueueSnapshot(idx, SerializeSnapshot(snap));
+            transport_->EnqueueSnapshot(idx,
+                                        MakeReseedPayloads(idx, attest_cursor));
           });
       pending_respawns_.push_back(*id_cell);
     });
+    if (ghumvee_ != nullptr) {
+      // Reset/re-seed interlock: the RB flush round parks while a replacement
+      // checkpoint is in flight, so a reset can never rebase the offsets an
+      // in-flight image was cut against (it would doom the join on apply).
+      ghumvee_->set_rb_flush_gate(
+          [this] { return transport_ != nullptr && transport_->SnapshotInflight(); });
+    }
   }
 
   // Spawn each replica's main thread: MVEE prologue, then the workload body.
@@ -340,7 +378,7 @@ void Remon::Launch(ProgramFn body, const std::string& name) {
   }
 }
 
-bool Remon::SpawnReplacement(int replica_index) {
+bool Remon::SpawnReplacement(int replica_index, int target_machine) {
   if (transport_ == nullptr || ghumvee_ == nullptr || ghumvee_->shutdown_requested() ||
       finished()) {
     return false;
@@ -352,6 +390,24 @@ bool Remon::SpawnReplacement(int replica_index) {
   }
   IpMon* mon = ipmons_[static_cast<size_t>(replica_index)].get();
   uint32_t machine = options_.replica_machines[static_cast<size_t>(replica_index)];
+  if (target_machine >= 0) {
+    uint32_t target = static_cast<uint32_t>(target_machine);
+    if (target == options_.machine ||
+        target >= kernel_->net()->machine_count()) {
+      return false;  // The leader's machine (and unknown ones) can't host a mirror.
+    }
+    machine = target;
+  }
+  // Respawn-as-migration: a still-live link is retired quietly — no death event,
+  // no respawn-budget charge — before the replacement is placed. The delta basis
+  // survives the detach, so a migrated replacement still re-seeds in O(delta).
+  if (!transport_->RemoteLinkDead(replica_index)) {
+    transport_->DetachForMigration(replica_index);
+  }
+  if (machine != options_.replica_machines[static_cast<size_t>(replica_index)]) {
+    options_.replica_machines[static_cast<size_t>(replica_index)] = machine;
+    ++kernel_->stats().rb_replica_migrations;
+  }
 
   // Generation-distinct port: a half-dead predecessor agent can never shadow the
   // replacement's listener, and the leader's SYN cannot land on a stale socket.
@@ -386,14 +442,61 @@ bool Remon::SpawnReplacement(int replica_index) {
     // so the checkpoint's sync image ends exactly where the first post-snapshot
     // kSyncLog frame begins.
     SyncAgent* replica_agent = sync_agent(replica_index);
-    ReplicaSnapshot snap = CaptureLeaderSnapshot(
-        ipmons_[0].get(), ghumvee_.get(), sync_agent(0),
-        replica_agent != nullptr ? replica_agent->read_cursor() : 0);
-    transport_->AddReplacement(replica_index, machine, port, SerializeSnapshot(snap));
+    transport_->AddReplacement(
+        replica_index, machine, port,
+        MakeReseedPayloads(replica_index,
+                           replica_agent != nullptr ? replica_agent->read_cursor()
+                                                    : 0));
   }
   remote_agents_[static_cast<size_t>(replica_index)] = std::move(agent);
   ++respawns_;
   return true;
+}
+
+SnapshotPayloads Remon::MakeReseedPayloads(int replica_index,
+                                           uint64_t sync_read_cursor) {
+  IpMon* master = ipmons_[0].get();
+  const SyncAgent* sync_master = sync_agent(0);
+  if (options_.reseed_mode == ReseedMode::kDelta && transport_ != nullptr) {
+    RbDeltaBasis basis = transport_->DeltaBasisFor(replica_index);
+    // Usable means the acked horizon still describes the leader's current RB: the
+    // reset generation must match (a reset in between rebased every offset), and
+    // the sync-log slice [cursor, tail) must still fit one lap of the circular
+    // log (wrapped past means slots the replacement never replayed are gone).
+    bool usable = basis.valid && basis.reset_generation == master->rb_resets();
+    if (usable && sync_master != nullptr && sync_master->log_valid()) {
+      uint64_t tail = sync_master->tail();
+      usable = sync_read_cursor <= tail &&
+               tail - sync_read_cursor <= sync_master->capacity();
+    }
+    if (usable) {
+      ++kernel_->stats().rb_snapshot_delta_captures;
+      return SerializeSnapshot(CaptureLeaderDelta(master, ghumvee_.get(),
+                                                  sync_master, sync_read_cursor,
+                                                  basis));
+    }
+    ++kernel_->stats().rb_snapshot_full_fallbacks;
+  }
+  return SerializeSnapshot(CaptureLeaderSnapshot(master, ghumvee_.get(), sync_master,
+                                                 sync_read_cursor));
+}
+
+void Remon::DecayRespawnBudget(int replica_index) {
+  int& attempts = respawn_attempts_[static_cast<size_t>(replica_index)];
+  if (options_.respawn_budget_decay <= 0 || attempts <= 0) {
+    return;
+  }
+  TimeNs& anchor = last_respawn_ns_[static_cast<size_t>(replica_index)];
+  int64_t refunds = static_cast<int64_t>(
+      (kernel_->sim()->queue().now() - anchor) / options_.respawn_budget_decay);
+  if (refunds <= 0) {
+    return;
+  }
+  int refunded = refunds < attempts ? static_cast<int>(refunds) : attempts;
+  attempts -= refunded;
+  // Advance the anchor by whole intervals only: partial healthy time keeps
+  // accruing toward the next refund instead of being forfeited.
+  anchor += static_cast<TimeNs>(refunded) * options_.respawn_budget_decay;
 }
 
 }  // namespace remon

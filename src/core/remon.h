@@ -35,6 +35,12 @@ enum class MveeMode { kNative, kGhumveeOnly, kRemon, kVaranLike };
 
 std::string_view MveeModeName(MveeMode mode);
 
+// How a replacement replica's checkpoint is cut (Remon::MakeReseedPayloads):
+// kDelta resumes from the dead replica's ack-folded horizon when that basis is
+// usable and falls back to full otherwise; kFull always ships the whole leader
+// state (--reseed=full, the ablation baseline the delta sweep compares against).
+enum class ReseedMode { kDelta, kFull };
+
 struct RemonOptions {
   MveeMode mode = MveeMode::kRemon;
   int replicas = 2;
@@ -66,6 +72,20 @@ struct RemonOptions {
   // A replica that keeps failing its join is divergent, not unlucky: attempts
   // beyond this cap fall back to the divergence report.
   int max_respawns_per_replica = 3;
+  // Respawn-budget decay: every full interval a replica stays healthy refunds one
+  // spent respawn attempt. Without it the cap above is a lifetime cap, and any
+  // long-running replica set eventually exhausts it on sporadic recoverable
+  // deaths; with it only deaths in quick succession — a genuinely sick replica —
+  // hit the cap. <= 0 restores the lifetime-cap behavior.
+  DurationNs respawn_budget_decay = 10 * kMillisecond;
+  // How replacement checkpoints are cut: kDelta serializes only what the dead
+  // replica had not acked (O(delta), flat in RB size); kFull always ships the
+  // whole leader state (O(RB size), the pre-delta behavior). --reseed=delta|full.
+  ReseedMode reseed_mode = ReseedMode::kDelta;
+  // Respawn-as-migration: respawn replacements onto this machine instead of the
+  // machine the replica died on (-1 keeps the placement). The replacement's join
+  // attestation carries the new placement. --respawn-target=N.
+  int respawn_target_machine = -1;
   // Memory pressure of the workload in [0, 1] (drives the replica-contention
   // dilation of compute bursts; see CostModel).
   double mem_intensity = 0.2;
@@ -130,10 +150,27 @@ class Remon {
   // snapshot frames leading the new connection's stream. Returns false when there
   // is nothing to replace (not remote, link still live, MVEE shutting down).
   // Invoked automatically on remote death under respawn_dead_replicas.
-  bool SpawnReplacement(int replica_index);
+  // `target_machine` >= 0 places the replacement there instead of the machine the
+  // replica ran on (respawn-as-migration): a still-live link is retired quietly
+  // first (no death event, no respawn-budget charge), and the join attestation
+  // must present the new placement. -1 keeps the current placement.
+  bool SpawnReplacement(int replica_index, int target_machine = -1);
+  // The checkpoint payloads for `replica_index`'s replacement: an O(delta)
+  // capture against the transport's ack-folded basis when reseed_mode allows and
+  // the basis is usable (same RB reset generation, sync-log slice not wrapped
+  // past the replica's replay cursor), else a full capture. Exposed so tests and
+  // benches can exercise the decision directly.
+  SnapshotPayloads MakeReseedPayloads(int replica_index, uint64_t sync_read_cursor);
   // Replacement attempts launched so far (joins completed are per-agent: see
   // RemoteSyncAgent::joins()).
   uint64_t respawns() const { return respawns_; }
+  // Respawn attempts currently charged against the replica, after budget decay.
+  int respawn_attempts(int replica_index) const {
+    return replica_index >= 0 &&
+                   replica_index < static_cast<int>(respawn_attempts_.size())
+               ? respawn_attempts_[static_cast<size_t>(replica_index)]
+               : 0;
+  }
 
   const RemonOptions& options() const { return options_; }
   Ghumvee* ghumvee() const { return ghumvee_.get(); }
@@ -193,7 +230,14 @@ class Remon {
   std::vector<int> respawn_attempts_;
   std::vector<int> join_generation_;
   std::vector<EventQueue::EventId> pending_respawns_;
+  // When each replica last charged a respawn attempt — the decay anchor that
+  // turns max_respawns_per_replica from a lifetime cap into a rate cap.
+  std::vector<TimeNs> last_respawn_ns_;
   uint64_t respawns_ = 0;
+
+  // Refunds respawn attempts earned by healthy time since the last charge
+  // (respawn_budget_decay per attempt). Called before every cap check.
+  void DecayRespawnBudget(int replica_index);
 };
 
 }  // namespace remon

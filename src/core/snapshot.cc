@@ -38,6 +38,35 @@ constexpr size_t kBeginOffSyncCursor = 72;
 constexpr size_t kBeginOffSyncImageLen = 80;
 constexpr size_t kBeginHeaderSize = 88;
 
+// kSnapshotDelta payload header (fixed 104 bytes, wire v5): the O(delta) analog
+// of kSnapshotBegin. The variable sections that follow: rank records (cursor,
+// seq, delta_from — 24 bytes each), dirty file-map pages (u32 page index + one
+// page of bytes each), epoll shadow rows (dirty only), and the sync-log slice
+// [sync_from, sync_tail) in seq order.
+constexpr size_t kDeltaOffRbSize = 0;
+constexpr size_t kDeltaOffMaxRanks = 8;
+constexpr size_t kDeltaOffRankCount = 12;
+constexpr size_t kDeltaOffImageBytes = 16;
+constexpr size_t kDeltaOffImageCrc = 24;
+constexpr size_t kDeltaOffChunkCount = 28;
+constexpr size_t kDeltaOffLockstep = 32;
+constexpr size_t kDeltaOffResetGen = 40;
+constexpr size_t kDeltaOffFmPageCount = 48;
+constexpr size_t kDeltaOffFmDirtyCount = 52;
+constexpr size_t kDeltaOffFmCrc = 56;
+constexpr size_t kDeltaOffEpollCount = 60;
+constexpr size_t kDeltaOffSyncLogSize = 64;
+constexpr size_t kDeltaOffSyncTail = 72;
+constexpr size_t kDeltaOffSyncCursor = 80;
+constexpr size_t kDeltaOffSyncFrom = 88;
+constexpr size_t kDeltaOffSyncImageLen = 96;
+constexpr size_t kDeltaHeaderSize = 104;
+constexpr size_t kDeltaRankRecordSize = 24;
+constexpr size_t kDeltaFmPageRecordSize = 4 + kPageSize;
+// FileMap::Configure/Grow cap the map at 1024 pages; a delta claiming more is
+// corrupt regardless of the replica's own geometry.
+constexpr uint32_t kMaxSnapshotFileMapPages = 1024;
+
 // kSnapshotChunk payload header.
 constexpr size_t kChunkOffOffset = 0;
 constexpr size_t kChunkOffLen = 8;
@@ -178,6 +207,134 @@ ReplicaSnapshot CaptureLeaderSnapshot(IpMon* master, const Ghumvee* ghumvee,
   return snap;
 }
 
+namespace {
+
+// Captures only the pages a delta apply will read: the global header, each
+// rank's header, and each rank's [from, cursor) entry window — with the same
+// materialization probe, zero-page elision, and run coalescing as the full
+// capture. Offsets stay absolute into the flat RB image, so the chunk codec
+// and assembler are shared with the full path unchanged.
+VmaImage CaptureDeltaImage(const AddressSpace& mem, const RbView& rb,
+                           const std::vector<uint64_t>& from,
+                           const std::vector<uint64_t>& cursors) {
+  VmaImage image;
+  image.length = PageAlignUp(rb.size());
+  std::vector<bool> pick(image.length / kPageSize, false);
+  auto mark = [&pick](uint64_t lo, uint64_t hi) {  // Byte range [lo, hi).
+    for (uint64_t p = (lo & ~kPageMask) / kPageSize;
+         p < pick.size() && p * kPageSize < hi; ++p) {
+      pick[p] = true;
+    }
+  };
+  mark(0, kRbGlobalHeaderSize);
+  for (int r = 0; r < rb.max_ranks(); ++r) {
+    size_t i = static_cast<size_t>(r);
+    mark(rb.RankStart(r), rb.RankStart(r) + kRbRankHeaderSize);
+    mark(from[i], cursors[i]);
+  }
+  uint8_t page[kPageSize];
+  GuestAddr start = rb.base();
+  for (uint64_t off = 0; off < image.length; off += kPageSize) {
+    if (!pick[off / kPageSize] || !mem.PageMaterialized(start + off) ||
+        !mem.ReadUnchecked(start + off, page, kPageSize).ok) {
+      continue;
+    }
+    if (PageIsZero(page)) {
+      continue;
+    }
+    if (!image.runs.empty()) {
+      PageRun& last = image.runs.back();
+      if (last.offset + last.bytes.size() == off) {
+        last.bytes.insert(last.bytes.end(), page, page + kPageSize);
+        continue;
+      }
+    }
+    image.runs.push_back(PageRun{off, std::vector<uint8_t>(page, page + kPageSize)});
+  }
+  return image;
+}
+
+}  // namespace
+
+ReplicaSnapshot CaptureLeaderDelta(IpMon* master, const Ghumvee* ghumvee,
+                                   const SyncAgent* sync_master,
+                                   uint64_t sync_read_cursor,
+                                   const RbDeltaBasis& basis) {
+  REMON_CHECK(master != nullptr && master->is_master());
+  REMON_CHECK_MSG(master->rb().valid(), "cannot checkpoint before IP-MON initialized");
+  // The caller (Remon::MakeReseedPayloads) decides delta-vs-full; a basis from a
+  // different reset generation would make every offset in it meaningless.
+  REMON_CHECK_MSG(basis.valid && basis.reset_generation == master->rb_resets(),
+                  "delta capture needs a basis from the current reset generation");
+  master->FlushRbBatches();
+
+  const RbView& rb = master->rb();
+  ReplicaSnapshot snap;
+  snap.is_delta = true;
+  snap.reset_generation = master->rb_resets();
+  snap.rb_size = rb.size();
+  snap.max_ranks = rb.max_ranks();
+  snap.cursors.reserve(static_cast<size_t>(snap.max_ranks));
+  snap.seqs.reserve(static_cast<size_t>(snap.max_ranks));
+  snap.delta_from.reserve(static_cast<size_t>(snap.max_ranks));
+  for (int r = 0; r < snap.max_ranks; ++r) {
+    size_t i = static_cast<size_t>(r);
+    uint64_t cursor = master->rb_cursor(r);
+    snap.cursors.push_back(cursor);
+    snap.seqs.push_back(master->rb_seq(r));
+    // Resume at the replacement's highest acked entry (one entry of idempotent
+    // overlap); an empty or implausible horizon degrades that rank to full.
+    uint64_t from = i < basis.from_off.size() ? basis.from_off[i] : 0;
+    if (from < rb.RankDataStart(r) || from > cursor) {
+      from = rb.RankDataStart(r);
+    }
+    snap.delta_from.push_back(from);
+  }
+  snap.rb_image =
+      CaptureDeltaImage(master->process()->mem(), rb, snap.delta_from, snap.cursors);
+  snap.lockstep_cursor = ghumvee != nullptr ? ghumvee->lockstep_rounds() : 0;
+
+  // File map: dirty pages since the basis, plus a whole-map CRC so the pages the
+  // delta does NOT carry are still covered by the join's divergence check.
+  const FileMap* fm = master->file_map();
+  snap.file_map_page_count = static_cast<uint32_t>(fm->pages().size());
+  uint32_t fm_crc = 0;
+  for (const PageRef& fm_page : fm->pages()) {
+    fm_crc = Crc32(fm_page->bytes.data(), kPageSize, fm_crc);
+  }
+  snap.file_map_crc = fm_crc;
+  for (size_t p = 0; p < fm->pages().size(); ++p) {
+    if (fm->page_version(p) > basis.fm_version) {
+      snap.file_map_pages.push_back(static_cast<uint32_t>(p));
+      snap.file_map.insert(snap.file_map.end(), fm->pages()[p]->bytes.begin(),
+                           fm->pages()[p]->bytes.end());
+    }
+  }
+
+  master->epoll_shadow().ForEachSince(
+      basis.epoll_version, [&snap](int epfd, int fd, uint64_t data) {
+        snap.epoll.push_back(EpollShadowTriple{epfd, fd, data});
+      });
+  std::sort(snap.epoll.begin(), snap.epoll.end(),
+            [](const EpollShadowTriple& a, const EpollShadowTriple& b) {
+              return a.epfd != b.epfd ? a.epfd < b.epfd : a.fd < b.fd;
+            });
+
+  if (sync_master != nullptr && sync_master->log_valid()) {
+    snap.sync_log_size = sync_master->config().log_size;
+    snap.sync_tail = sync_master->tail();
+    snap.sync_read_cursor = sync_read_cursor;
+    snap.sync_from = sync_read_cursor;
+    // The wrap gate froze this replica's cursor at death, so the un-replayed
+    // suffix still fits the circular log; the caller verified it.
+    REMON_CHECK_MSG(snap.sync_from <= snap.sync_tail &&
+                        snap.sync_tail - snap.sync_from <= sync_master->capacity(),
+                    "delta capture after the sync log wrapped past the cursor");
+    snap.sync_image = sync_master->CaptureLogDelta(snap.sync_from);
+  }
+  return snap;
+}
+
 // --- Wire payloads -----------------------------------------------------------------
 
 SnapshotPayloads SerializeSnapshot(const ReplicaSnapshot& snap) {
@@ -198,8 +355,62 @@ SnapshotPayloads SerializeSnapshot(const ReplicaSnapshot& snap) {
   }
   uint64_t image_bytes = snap.rb_image.run_bytes();
   uint32_t chunk_count = static_cast<uint32_t>(out.chunks.size());
-
   size_t rank_count = snap.cursors.size();
+
+  if (snap.is_delta) {
+    out.delta = true;
+    size_t fm_dirty = snap.file_map_pages.size();
+    out.begin.assign(kDeltaHeaderSize + rank_count * kDeltaRankRecordSize +
+                         fm_dirty * kDeltaFmPageRecordSize + snap.epoll.size() * 16 +
+                         snap.sync_image.size(),
+                     0);
+    PutU64(&out.begin, kDeltaOffRbSize, snap.rb_size);
+    PutU32(&out.begin, kDeltaOffMaxRanks, static_cast<uint32_t>(snap.max_ranks));
+    PutU32(&out.begin, kDeltaOffRankCount, static_cast<uint32_t>(rank_count));
+    PutU64(&out.begin, kDeltaOffImageBytes, image_bytes);
+    PutU32(&out.begin, kDeltaOffImageCrc, crc);
+    PutU32(&out.begin, kDeltaOffChunkCount, chunk_count);
+    PutU64(&out.begin, kDeltaOffLockstep, snap.lockstep_cursor);
+    PutU64(&out.begin, kDeltaOffResetGen, snap.reset_generation);
+    PutU32(&out.begin, kDeltaOffFmPageCount, snap.file_map_page_count);
+    PutU32(&out.begin, kDeltaOffFmDirtyCount, static_cast<uint32_t>(fm_dirty));
+    PutU32(&out.begin, kDeltaOffFmCrc, snap.file_map_crc);
+    PutU32(&out.begin, kDeltaOffEpollCount, static_cast<uint32_t>(snap.epoll.size()));
+    PutU64(&out.begin, kDeltaOffSyncLogSize, snap.sync_log_size);
+    PutU64(&out.begin, kDeltaOffSyncTail, snap.sync_tail);
+    PutU64(&out.begin, kDeltaOffSyncCursor, snap.sync_read_cursor);
+    PutU64(&out.begin, kDeltaOffSyncFrom, snap.sync_from);
+    PutU64(&out.begin, kDeltaOffSyncImageLen, snap.sync_image.size());
+    size_t dpos = kDeltaHeaderSize;
+    for (size_t r = 0; r < rank_count; ++r) {
+      PutU64(&out.begin, dpos, snap.cursors[r]);
+      PutU64(&out.begin, dpos + 8, snap.seqs[r]);
+      PutU64(&out.begin, dpos + 16, snap.delta_from[r]);
+      dpos += kDeltaRankRecordSize;
+    }
+    for (size_t i = 0; i < fm_dirty; ++i) {
+      PutU32(&out.begin, dpos, snap.file_map_pages[i]);
+      std::memcpy(out.begin.data() + dpos + 4, snap.file_map.data() + i * kPageSize,
+                  kPageSize);
+      dpos += kDeltaFmPageRecordSize;
+    }
+    for (const EpollShadowTriple& t : snap.epoll) {
+      PutU32(&out.begin, dpos, static_cast<uint32_t>(t.epfd));
+      PutU32(&out.begin, dpos + 4, static_cast<uint32_t>(t.fd));
+      PutU64(&out.begin, dpos + 8, t.data);
+      dpos += 16;
+    }
+    if (!snap.sync_image.empty()) {
+      std::memcpy(out.begin.data() + dpos, snap.sync_image.data(),
+                  snap.sync_image.size());
+    }
+    out.end.assign(kEndSize, 0);
+    PutU64(&out.end, kEndOffImageBytes, image_bytes);
+    PutU32(&out.end, kEndOffImageCrc, crc);
+    PutU32(&out.end, kEndOffChunkCount, chunk_count);
+    return out;
+  }
+
   out.begin.assign(kBeginHeaderSize + rank_count * 16 + snap.file_map.size() +
                        snap.epoll.size() * 16 + snap.sync_image.size(),
                    0);
@@ -343,6 +554,112 @@ bool SnapshotAssembler::Begin(const std::vector<uint8_t>& payload) {
   return true;
 }
 
+bool SnapshotAssembler::BeginDelta(const std::vector<uint8_t>& payload) {
+  if (state_ != State::kIdle) {
+    return Fail("snapshot begin out of protocol");
+  }
+  if (payload.size() < kDeltaHeaderSize) {
+    return Fail("snapshot delta payload truncated");
+  }
+  uint64_t rb_size = GetU64(payload, kDeltaOffRbSize);
+  uint32_t max_ranks = GetU32(payload, kDeltaOffMaxRanks);
+  uint32_t rank_count = GetU32(payload, kDeltaOffRankCount);
+  uint32_t fm_page_count = GetU32(payload, kDeltaOffFmPageCount);
+  uint32_t fm_dirty_count = GetU32(payload, kDeltaOffFmDirtyCount);
+  uint32_t epoll_count = GetU32(payload, kDeltaOffEpollCount);
+  if (rb_size == 0 || rb_size > kMaxSnapshotRbSize || (rb_size & kPageMask) != 0 ||
+      max_ranks == 0 || max_ranks > kMaxSnapshotRanks || rank_count != max_ranks ||
+      fm_page_count == 0 || fm_page_count > kMaxSnapshotFileMapPages ||
+      fm_dirty_count > fm_page_count) {
+    return Fail("snapshot delta metadata out of bounds");
+  }
+  uint64_t sync_log_size = GetU64(payload, kDeltaOffSyncLogSize);
+  uint64_t sync_tail = GetU64(payload, kDeltaOffSyncTail);
+  uint64_t sync_cursor = GetU64(payload, kDeltaOffSyncCursor);
+  uint64_t sync_from = GetU64(payload, kDeltaOffSyncFrom);
+  uint64_t sync_image_len = GetU64(payload, kDeltaOffSyncImageLen);
+  if (sync_log_size == 0) {
+    if (sync_tail != 0 || sync_cursor != 0 || sync_from != 0 || sync_image_len != 0) {
+      return Fail("snapshot sync section inconsistent with zero log size");
+    }
+  } else {
+    if (sync_log_size <= kSyncLogOffEntries || sync_log_size > kMaxSnapshotRbSize) {
+      return Fail("snapshot sync log size out of bounds");
+    }
+    uint64_t cap = (sync_log_size - kSyncLogOffEntries) / kSyncLogEntrySize;
+    if (cap == 0 || sync_from > sync_cursor || sync_cursor > sync_tail) {
+      return Fail("snapshot sync section out of bounds");
+    }
+    // The lap guard: a slice longer than the log means the leader wrapped past
+    // the replica's cursor after cutting the basis — the delta is stale and the
+    // join must be refused (the leader falls back to a full checkpoint).
+    if (sync_tail - sync_from > cap) {
+      return Fail("snapshot delta sync slice wrapped past the replica cursor");
+    }
+    if (sync_image_len != (sync_tail - sync_from) * kSyncLogEntrySize) {
+      return Fail("snapshot sync section out of bounds");
+    }
+  }
+  uint64_t variable = static_cast<uint64_t>(rank_count) * kDeltaRankRecordSize +
+                      static_cast<uint64_t>(fm_dirty_count) * kDeltaFmPageRecordSize +
+                      static_cast<uint64_t>(epoll_count) * 16 + sync_image_len;
+  if (payload.size() != kDeltaHeaderSize + variable) {
+    return Fail("snapshot delta payload size mismatch");
+  }
+
+  snap_.is_delta = true;
+  snap_.rb_size = rb_size;
+  snap_.max_ranks = static_cast<int>(max_ranks);
+  snap_.lockstep_cursor = GetU64(payload, kDeltaOffLockstep);
+  snap_.reset_generation = GetU64(payload, kDeltaOffResetGen);
+  snap_.file_map_page_count = fm_page_count;
+  snap_.file_map_crc = GetU32(payload, kDeltaOffFmCrc);
+  snap_.sync_log_size = sync_log_size;
+  snap_.sync_tail = sync_tail;
+  snap_.sync_read_cursor = sync_cursor;
+  snap_.sync_from = sync_from;
+  expect_bytes_ = GetU64(payload, kDeltaOffImageBytes);
+  expect_crc_ = GetU32(payload, kDeltaOffImageCrc);
+  expect_chunks_ = GetU32(payload, kDeltaOffChunkCount);
+  if (expect_bytes_ > rb_size) {
+    return Fail("snapshot image larger than the RB it describes");
+  }
+  size_t pos = kDeltaHeaderSize;
+  for (uint32_t r = 0; r < rank_count; ++r) {
+    snap_.cursors.push_back(GetU64(payload, pos));
+    snap_.seqs.push_back(GetU64(payload, pos + 8));
+    snap_.delta_from.push_back(GetU64(payload, pos + 16));
+    pos += kDeltaRankRecordSize;
+  }
+  for (uint32_t i = 0; i < fm_dirty_count; ++i) {
+    uint32_t page_idx = GetU32(payload, pos);
+    // Strictly increasing indices inside the map: deterministic wire bytes and
+    // no double-written page under a valid CRC.
+    if (page_idx >= fm_page_count ||
+        (!snap_.file_map_pages.empty() && page_idx <= snap_.file_map_pages.back())) {
+      return Fail("snapshot delta file-map page index out of order");
+    }
+    snap_.file_map_pages.push_back(page_idx);
+    snap_.file_map.insert(snap_.file_map.end(),
+                          payload.begin() + static_cast<long>(pos + 4),
+                          payload.begin() + static_cast<long>(pos + 4 + kPageSize));
+    pos += kDeltaFmPageRecordSize;
+  }
+  for (uint32_t i = 0; i < epoll_count; ++i) {
+    EpollShadowTriple t;
+    t.epfd = static_cast<int32_t>(GetU32(payload, pos));
+    t.fd = static_cast<int32_t>(GetU32(payload, pos + 4));
+    t.data = GetU64(payload, pos + 8);
+    snap_.epoll.push_back(t);
+    pos += 16;
+  }
+  snap_.sync_image.assign(payload.begin() + static_cast<long>(pos),
+                          payload.begin() + static_cast<long>(pos + sync_image_len));
+  image_.assign(rb_size, 0);
+  state_ = State::kAssembling;
+  return true;
+}
+
 bool SnapshotAssembler::AddChunk(const std::vector<uint8_t>& payload) {
   if (state_ != State::kAssembling) {
     return Fail("snapshot chunk out of protocol");
@@ -421,22 +738,56 @@ SnapshotApplyResult ApplySnapshotToMirror(Kernel* kernel, IpMon* mon,
   }
   if (snap.rb_size != rb.size() || snap.max_ranks != rb.max_ranks() ||
       image.size() != rb.size() ||
-      snap.cursors.size() != static_cast<size_t>(snap.max_ranks)) {
+      snap.cursors.size() != static_cast<size_t>(snap.max_ranks) ||
+      (snap.is_delta &&
+       snap.delta_from.size() != static_cast<size_t>(snap.max_ranks))) {
     return ApplyFail("snapshot geometry does not match the replica RB");
+  }
+  // Delta lap guard: every offset in the delta is relative to one RB reset
+  // generation. A reset between the basis acks and this join rewrote the
+  // sub-buffers wholesale, so the slice no longer describes this mirror.
+  if (snap.is_delta && snap.reset_generation != mon->rb_resets()) {
+    return ApplyFail("delta basis from a different RB reset generation");
   }
   // File-map cross-check: the FD metadata is monitor control-plane state every
   // replica derives from the same monitored history; a byte diverging means this
   // replica's stream is not the leader's and the join must be refused.
-  if (snap.file_map.size() != mon->file_map()->size_bytes()) {
-    return ApplyFail("file map diverged from the leader checkpoint");
-  }
-  size_t fm_off = 0;
-  for (const PageRef& fm_page : mon->file_map()->pages()) {
-    if (!std::equal(fm_page->bytes.begin(), fm_page->bytes.end(),
-                    snap.file_map.begin() + static_cast<long>(fm_off))) {
+  if (snap.is_delta) {
+    // Delta mode carries only the dirty pages; the whole-map CRC extends the
+    // divergence check over the pages the slice omitted.
+    const FileMap* fm = mon->file_map();
+    if (snap.file_map_page_count != fm->pages().size()) {
+      return ApplyFail("file map geometry diverged from the leader checkpoint");
+    }
+    if (snap.file_map.size() != snap.file_map_pages.size() * kPageSize) {
       return ApplyFail("file map diverged from the leader checkpoint");
     }
-    fm_off += fm_page->bytes.size();
+    for (size_t i = 0; i < snap.file_map_pages.size(); ++i) {
+      const PageRef& fm_page = fm->pages()[snap.file_map_pages[i]];
+      if (!std::equal(fm_page->bytes.begin(), fm_page->bytes.end(),
+                      snap.file_map.begin() + static_cast<long>(i * kPageSize))) {
+        return ApplyFail("file map diverged from the leader checkpoint");
+      }
+    }
+    uint32_t fm_crc = 0;
+    for (const PageRef& fm_page : fm->pages()) {
+      fm_crc = Crc32(fm_page->bytes.data(), kPageSize, fm_crc);
+    }
+    if (fm_crc != snap.file_map_crc) {
+      return ApplyFail("file map diverged from the leader checkpoint");
+    }
+  } else {
+    if (snap.file_map.size() != mon->file_map()->size_bytes()) {
+      return ApplyFail("file map diverged from the leader checkpoint");
+    }
+    size_t fm_off = 0;
+    for (const PageRef& fm_page : mon->file_map()->pages()) {
+      if (!std::equal(fm_page->bytes.begin(), fm_page->bytes.end(),
+                      snap.file_map.begin() + static_cast<long>(fm_off))) {
+        return ApplyFail("file map diverged from the leader checkpoint");
+      }
+      fm_off += fm_page->bytes.size();
+    }
   }
   // Sync-agent log (v3): the checkpoint and the replica must agree on whether a
   // record/replay agent runs at all, and the log restore's own validation
@@ -453,8 +804,13 @@ SnapshotApplyResult ApplySnapshotToMirror(Kernel* kernel, IpMon* mon,
   SnapshotApplyResult result;
   result.ok = true;
   if (replica_has_sync) {
-    const char* sync_err = sync_agent->ApplyLogSnapshot(
-        snap.sync_log_size, snap.sync_tail, snap.sync_read_cursor, snap.sync_image);
+    const char* sync_err =
+        snap.is_delta
+            ? sync_agent->ApplyLogDelta(snap.sync_log_size, snap.sync_tail,
+                                        snap.sync_from, snap.sync_read_cursor,
+                                        snap.sync_image)
+            : sync_agent->ApplyLogSnapshot(snap.sync_log_size, snap.sync_tail,
+                                           snap.sync_read_cursor, snap.sync_image);
     if (sync_err != nullptr) {
       return ApplyFail(sync_err);
     }
@@ -484,8 +840,20 @@ SnapshotApplyResult ApplySnapshotToMirror(Kernel* kernel, IpMon* mon,
 
     // Replay the published prefix with the live-path discipline: body first (the
     // mirror's own state and waiter words preserved), state word flipped last and
-    // only forward, one wake per entry.
+    // only forward, one wake per entry. A delta resumes the walk at the
+    // replacement's highest acked entry instead of the rank data start — one
+    // entry of overlap, idempotent under the forward-only flip.
     uint64_t off = data_start;
+    if (snap.is_delta) {
+      uint64_t df = snap.delta_from[static_cast<size_t>(r)];
+      if (df == 0) {
+        df = data_start;
+      }
+      if (df < data_start || df > cursor) {
+        return ApplyFail("delta resume offset outside the published prefix");
+      }
+      off = df;
+    }
     while (off + kRbEntryHeaderSize <= cursor) {
       uint32_t state = ImageU32(image, off + kRbOffState);
       if (state == kRbEmpty) {
@@ -504,6 +872,17 @@ SnapshotApplyResult ApplySnapshotToMirror(Kernel* kernel, IpMon* mon,
       WakeEntryQueue(kernel, mon, rb, off);
       ++result.entries_restored;
       off += total;
+    }
+
+    // Delta: within one reset generation the mirror's bytes past the leader
+    // cursor are already the leader's zeros (both sides were scrubbed by the
+    // same reset round), so re-zeroing would only race a consumer parked on the
+    // resume entry. Just wake it so it re-examines the restored world.
+    if (snap.is_delta) {
+      if (off + kRbEntryHeaderSize <= data_end) {
+        WakeEntryQueue(kernel, mon, rb, off);
+      }
+      continue;
     }
 
     // The stale tail: everything beyond the leader's published prefix must read

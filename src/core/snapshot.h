@@ -106,6 +106,38 @@ struct ReplicaSnapshot {
   uint64_t sync_tail = 0;          // Absolute op count at capture.
   uint64_t sync_read_cursor = 0;   // The target replica's replay cursor at capture.
   std::vector<uint8_t> sync_image;  // Occupied circular slots, slot order.
+
+  // --- O(delta) checkpoints (wire v5, kSnapshotDelta) -----------------------------
+  // A delta checkpoint ships only what the replacement provably lacks: per rank,
+  // entries from its highest acknowledged entry offset to the leader cursor; only
+  // file-map pages and epoll rows written after the ack horizon; only sync-log
+  // slots past its replay cursor (seq order, embedded seqs). In delta mode
+  // `file_map` holds the concatenated dirty pages (indices in `file_map_pages`),
+  // `sync_image` holds slots [sync_from, sync_tail) in seq order, and `epoll` the
+  // dirty rows only.
+  bool is_delta = false;
+  uint64_t reset_generation = 0;   // Leader rb_resets() at capture: the lap guard.
+  std::vector<uint64_t> delta_from;  // Per rank: offset the image resumes at
+                                     // (0 = rank data start; always <= cursor).
+  uint64_t sync_from = 0;            // First op in sync_image.
+  uint32_t file_map_page_count = 0;  // Leader map geometry (delta only).
+  uint32_t file_map_crc = 0;         // CRC-32 over the whole leader map: the
+                                     // cross-check covering undirtied pages.
+  std::vector<uint32_t> file_map_pages;  // Dirty page indices, strictly increasing.
+};
+
+// What the leader knows a dead replica already holds, folded from cumulative
+// acks by the transport (RbTransport::DeltaBasisFor): the horizon a kSnapshotDelta
+// capture resumes from. Only usable while the leader's RB reset generation still
+// matches — a reset rewrites offsets wholesale — and while the sync log has not
+// wrapped past the replica's cursor; otherwise the caller falls back to a full
+// checkpoint.
+struct RbDeltaBasis {
+  bool valid = false;
+  uint64_t reset_generation = 0;   // IpMon::rb_resets() the offsets belong to.
+  std::vector<uint64_t> from_off;  // Per rank: highest acked entry offset (0 = none).
+  uint64_t fm_version = 0;         // FileMap::version() horizon.
+  uint64_t epoll_version = 0;      // EpollShadowMap::version() horizon.
 };
 
 // Checkpoints the leader at a quiescent flush point: publishes every deferred
@@ -120,6 +152,18 @@ ReplicaSnapshot CaptureLeaderSnapshot(IpMon* master, const Ghumvee* ghumvee,
                                       const SyncAgent* sync_master = nullptr,
                                       uint64_t sync_read_cursor = 0);
 
+// Checkpoints the leader as an O(delta) snapshot against `basis` (the replacement's
+// ack horizon). Same quiescent flush point as the full capture; the image covers
+// the global/rank headers plus each rank's [basis offset, cursor) window — one
+// acked entry of overlap, idempotent under the forward-only apply discipline.
+// The caller must have verified the basis is usable (valid, current reset
+// generation, sync log not wrapped past the cursor); Remon::MakeReseedPayloads
+// owns that decision and the full-snapshot fallback.
+ReplicaSnapshot CaptureLeaderDelta(IpMon* master, const Ghumvee* ghumvee,
+                                   const SyncAgent* sync_master,
+                                   uint64_t sync_read_cursor,
+                                   const RbDeltaBasis& basis);
+
 // --- Wire payloads -----------------------------------------------------------------
 
 // Image bytes per kSnapshotChunk frame. Small enough that snapshot frames obey the
@@ -127,7 +171,8 @@ ReplicaSnapshot CaptureLeaderSnapshot(IpMon* master, const Ghumvee* ghumvee,
 inline constexpr uint64_t kSnapshotChunkBytes = 64 * 1024;
 
 struct SnapshotPayloads {
-  std::vector<uint8_t> begin;                // kSnapshotBegin payload.
+  bool delta = false;                        // begin is a kSnapshotDelta payload.
+  std::vector<uint8_t> begin;                // kSnapshotBegin/kSnapshotDelta payload.
   std::vector<std::vector<uint8_t>> chunks;  // One kSnapshotChunk payload each.
   std::vector<uint8_t> end;                  // kSnapshotEnd payload.
 };
@@ -150,6 +195,9 @@ class SnapshotAssembler {
   const std::string& error() const { return error_; }
 
   bool Begin(const std::vector<uint8_t>& payload);
+  // Opens assembly from a kSnapshotDelta payload instead of kSnapshotBegin; the
+  // chunk/end discipline (bounds, counts, chained CRC) is identical.
+  bool BeginDelta(const std::vector<uint8_t>& payload);
   bool AddChunk(const std::vector<uint8_t>& payload);
   bool End(const std::vector<uint8_t>& payload);
 
@@ -197,6 +245,15 @@ struct SnapshotApplyResult {
 // section restores into `sync_agent`'s log mirror (SyncAgent::ApplyLogSnapshot:
 // geometry, cursor, and per-slot divergence checks; tail word last) — carrying
 // one while the replica runs no agent, or vice versa, refuses the join.
+//
+// A delta checkpoint (snap.is_delta) applies the same discipline to its slice:
+// the reset generation must match the replica's (a reset between the basis acks
+// and this join invalidates every offset — the join is refused and the leader
+// retries full), the per-rank walk resumes at delta_from instead of the rank
+// data start, the stale tail is NOT re-zeroed (the mirror's bytes past the
+// leader cursor are already the leader's zeros within one reset generation),
+// the file map is cross-checked via the dirty pages plus a whole-map CRC, and
+// the sync slice lands through SyncAgent::ApplyLogDelta.
 SnapshotApplyResult ApplySnapshotToMirror(Kernel* kernel, IpMon* mon,
                                           SyncAgent* sync_agent,
                                           const ReplicaSnapshot& snap,

@@ -222,6 +222,22 @@ std::vector<uint8_t> SyncAgent::CaptureLogImage() const {
   return image;
 }
 
+std::vector<uint8_t> SyncAgent::CaptureLogDelta(uint64_t from) const {
+  REMON_CHECK(log_.valid());
+  uint64_t cap = capacity();
+  uint64_t log_tail = tail();
+  REMON_CHECK_MSG(from <= log_tail && log_tail - from <= cap,
+                  "sync delta capture outside the live lap");
+  std::vector<uint8_t> image((log_tail - from) * kSyncLogEntrySize);
+  for (uint64_t k = 0; from + k < log_tail; ++k) {
+    uint64_t entry_off =
+        kSyncLogOffEntries + ((from + k) % cap) * kSyncLogEntrySize;
+    log_.ReadBytes(entry_off, image.data() + k * kSyncLogEntrySize,
+                   kSyncLogEntrySize);
+  }
+  return image;
+}
+
 const char* SyncAgent::ApplyLogSnapshot(uint64_t log_size, uint64_t snap_tail,
                                         uint64_t snap_read_cursor,
                                         const std::vector<uint8_t>& image) {
@@ -285,6 +301,79 @@ const char* SyncAgent::ApplyLogSnapshot(uint64_t log_size, uint64_t snap_tail,
   }
   // A mirror already past the checkpoint needs no writes — the verification
   // above confirmed the checkpoint is a prefix of what the mirror holds.
+  LogQueue()->Wake();
+  return nullptr;
+}
+
+const char* SyncAgent::ApplyLogDelta(uint64_t log_size, uint64_t snap_tail,
+                                     uint64_t sync_from, uint64_t snap_read_cursor,
+                                     const std::vector<uint8_t>& image) {
+  if (!log_.valid()) {
+    return "sync log mirror not initialized";
+  }
+  if (log_size != config_.log_size) {
+    return "sync log geometry does not match the replica";
+  }
+  uint64_t cap = capacity();
+  if (sync_from > snap_tail || snap_tail - sync_from > cap) {
+    return "sync delta slice wrapped past the replica cursor";
+  }
+  if (image.size() != (snap_tail - sync_from) * kSyncLogEntrySize) {
+    return "sync delta image size disagrees with its slice";
+  }
+  if (snap_read_cursor != read_cursor_) {
+    return "sync read cursor diverged from the leader checkpoint";
+  }
+  if (snap_read_cursor > snap_tail) {
+    return "sync read cursor past the leader tail";
+  }
+  if (sync_from > read_cursor_) {
+    // Ops in (read_cursor_, sync_from) would never reach this replica: the slice
+    // must start at or before what it still has to replay.
+    return "sync delta starts past the replica replay cursor";
+  }
+  uint64_t local_tail = tail();
+  // Validation before any mutation: every slice record must name the op its
+  // position claims (embedded seq), and wherever the mirror already holds an op
+  // for the same slot the two must agree byte for byte or differ by whole laps
+  // (the lap-congruence rule ApplyRemoteLog and ApplyLogSnapshot use).
+  uint8_t local_slot[kSyncLogEntrySize];
+  for (uint64_t k = 0; k < snap_tail - sync_from; ++k) {
+    uint64_t seq = sync_from + k;
+    const uint8_t* image_slot = image.data() + k * kSyncLogEntrySize;
+    uint64_t image_seq = 0;
+    std::memcpy(&image_seq, image_slot + 8, 8);
+    if (image_seq != seq) {
+      return "sync delta slot names the wrong op";
+    }
+    if (seq < local_tail) {
+      uint64_t off = kSyncLogOffEntries + (seq % cap) * kSyncLogEntrySize;
+      log_.ReadBytes(off, local_slot, kSyncLogEntrySize);
+      uint64_t local_seq = 0;
+      std::memcpy(&local_seq, local_slot + 8, 8);
+      if (local_seq == seq) {
+        if (std::memcmp(local_slot, image_slot, kSyncLogEntrySize) != 0) {
+          return "sync log diverged from the leader checkpoint";
+        }
+      } else if (local_seq < seq || (local_seq - seq) % cap != 0) {
+        return "sync log slot sequence diverged from the leader checkpoint";
+      }
+    }
+  }
+  // Restore with the live publication discipline: slots first (skipping ops the
+  // mirror already published — a co-located agent may have applied newer frames
+  // since the capture), tail word last (forward-only), wake parked consumers.
+  for (uint64_t k = 0; k < snap_tail - sync_from; ++k) {
+    uint64_t seq = sync_from + k;
+    if (seq < local_tail) {
+      continue;
+    }
+    uint64_t off = kSyncLogOffEntries + (seq % cap) * kSyncLogEntrySize;
+    log_.WriteBytes(off, image.data() + k * kSyncLogEntrySize, kSyncLogEntrySize);
+  }
+  if (snap_tail > local_tail) {
+    log_.WriteU64(kSyncLogOffTail, snap_tail);
+  }
   LogQueue()->Wake();
   return nullptr;
 }

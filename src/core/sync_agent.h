@@ -145,6 +145,11 @@ class SyncAgent {
   // Captures the occupied slot region (slot order, min(tail, capacity) slots) for
   // the leader checkpoint. Valid on any replica with an initialized log.
   std::vector<uint8_t> CaptureLogImage() const;
+  // Captures the slots [from, tail) in seq order (op `from + k` at record k, its
+  // seq embedded in the slot bytes) for an O(delta) checkpoint. `from` must be
+  // within one lap of the tail — the wrap gate freezes a dead replica's cursor,
+  // so its un-replayed suffix always fits.
+  std::vector<uint8_t> CaptureLogDelta(uint64_t from) const;
   // The absolute tail as published in this replica's log view.
   uint64_t tail() const;
 
@@ -156,6 +161,16 @@ class SyncAgent {
   const char* ApplyLogSnapshot(uint64_t log_size, uint64_t snap_tail,
                                uint64_t snap_read_cursor,
                                const std::vector<uint8_t>& image);
+
+  // Delta restore: applies the seq-ordered slice [sync_from, snap_tail) cut by
+  // CaptureLogDelta into this replica's mirror with the same validation
+  // discipline — geometry, the carried read cursor, embedded-seq self-check, and
+  // lap-congruent divergence checks against every slot the mirror already holds
+  // — then slots first, tail word last (forward-only), futex wake. Returns
+  // nullptr on success or a static reason string on refusal.
+  const char* ApplyLogDelta(uint64_t log_size, uint64_t snap_tail,
+                            uint64_t sync_from, uint64_t snap_read_cursor,
+                            const std::vector<uint8_t>& image);
 
  private:
   WaitQueue* LogQueue();

@@ -51,6 +51,8 @@ RemonOptions OptionsFor(const RunConfig& config, double mem_intensity,
   opts.sync_log_size = config.sync_log_size;
   opts.rb_max_inflight_frames = config.rb_max_inflight_frames;
   opts.respawn_dead_replicas = config.respawn_dead_replicas;
+  opts.respawn_budget_decay = config.respawn_budget_decay;
+  opts.reseed_mode = config.reseed_mode;
   opts.rb_auth = config.rb_auth;
   opts.file_map_pages = config.file_map_pages;
   return opts;
@@ -60,20 +62,31 @@ RemonOptions OptionsFor(const RunConfig& config, double mem_intensity,
 // highest-index replica with a remote sync agent loses its link at the given
 // virtual time). With respawn_dead_replicas set, the run then exercises the
 // checkpoint/re-seed recovery path end to end.
-void ArmRemoteKill(World* w, const RunConfig& config, Remon* mvee) {
-  if (config.kill_remote_replica_at <= 0) {
-    return;
-  }
-  w->sim.queue().ScheduleAt(config.kill_remote_replica_at, [mvee, replicas =
-                                                                     config.replicas] {
+void ScheduleRemoteKill(World* w, Remon* mvee, int replicas, DurationNs every,
+                        TimeNs at) {
+  w->sim.queue().ScheduleAt(at, [w, mvee, replicas, every] {
+    if (mvee->finished()) {
+      return;  // Workload done: let the kill loop drain instead of re-arming.
+    }
     for (int i = replicas - 1; i >= 1; --i) {
       RemoteSyncAgent* agent = mvee->remote_agent(i);
       if (agent != nullptr) {
         agent->Shutdown();
-        return;
+        break;
       }
     }
+    if (every > 0) {
+      ScheduleRemoteKill(w, mvee, replicas, every, w->sim.queue().now() + every);
+    }
   });
+}
+
+void ArmRemoteKill(World* w, const RunConfig& config, Remon* mvee) {
+  if (config.kill_remote_replica_at <= 0) {
+    return;
+  }
+  ScheduleRemoteKill(w, mvee, config.replicas, config.kill_remote_replica_every,
+                     config.kill_remote_replica_at);
 }
 
 // Materializes the RunConfig placement spec: adds one machine per distinct
@@ -86,6 +99,15 @@ void ApplyPlacement(World* w, const RunConfig& config, RemonOptions* opts) {
     return;
   }
   std::map<int, uint32_t> hosts;
+  auto host_machine = [w, &config, opts, &hosts](int host) {
+    auto [it, inserted] = hosts.try_emplace(host, 0);
+    if (inserted) {
+      it->second = w->net.AddMachine("replica-host-" + std::to_string(host));
+      w->net.SetLink(opts->machine, it->second,
+                     LinkParams{config.rb_link_latency, config.rb_link_bytes_per_ns});
+    }
+    return it->second;
+  };
   opts->replica_machines.assign(static_cast<size_t>(config.replicas),
                                 opts->machine);
   for (size_t k = 0; k < config.placement.size(); ++k) {
@@ -96,13 +118,13 @@ void ApplyPlacement(World* w, const RunConfig& config, RemonOptions* opts) {
     if (host <= 0) {
       continue;  // 0 = leader-local.
     }
-    auto [it, inserted] = hosts.try_emplace(host, 0);
-    if (inserted) {
-      it->second = w->net.AddMachine("replica-host-" + std::to_string(host));
-      w->net.SetLink(opts->machine, it->second,
-                     LinkParams{config.rb_link_latency, config.rb_link_bytes_per_ns});
-    }
-    opts->replica_machines[k + 1] = it->second;
+    opts->replica_machines[k + 1] = host_machine(host);
+  }
+  // Respawn-as-migration target: the named replica-host machine exists (and is
+  // linked) up front, whether or not a placement entry already lives there.
+  if (config.respawn_target > 0) {
+    opts->respawn_target_machine =
+        static_cast<int>(host_machine(config.respawn_target));
   }
 }
 
@@ -213,6 +235,7 @@ ScaleoutResult RunScaleout(const ScaleoutSpec& spec, const RunConfig& config) {
     ft.min_shards = t.min_shards;
     ft.max_shards = t.max_shards;
     ft.policy = t.policy;
+    ft.remote_replicas = t.remote_replicas;
     tiers.push_back(ft);
   }
   // Shard body factory: stamp the tier's server template with per-shard name
@@ -235,6 +258,19 @@ ScaleoutResult RunScaleout(const ScaleoutSpec& spec, const RunConfig& config) {
   FleetManager fleet(&w.kernel, opts, std::move(tiers), std::move(body),
                      spec.autoscale);
   fleet.Start();
+
+  // Mid-run drain-and-migrate: every shard launched by then moves its remote
+  // replicas to fresh machines one at a time, under whatever load the swarm is
+  // offering at that moment.
+  if (spec.rebalance_at > 0) {
+    w.sim.queue().ScheduleAt(spec.rebalance_at, [&fleet, &spec] {
+      for (int t = 0; t < fleet.tier_count(); ++t) {
+        for (int s = 0; s < fleet.shard_count(t); ++s) {
+          fleet.RebalanceShard(t, s, spec.rebalance_stagger);
+        }
+      }
+    });
+  }
 
   // The swarm: split across client processes on dedicated machines, each with
   // its own deterministic arrival stream, all aimed at the front tier's VIP.

@@ -53,9 +53,28 @@ struct RunConfig {
   // replica's link dies, instead of reporting divergence (RemonOptions::
   // respawn_dead_replicas).
   bool respawn_dead_replicas = false;
+  // Healthy-interval refund rate for the respawn budget (RemonOptions::
+  // respawn_budget_decay): fault-injection loops that kill faster than the
+  // default 10 ms refund would otherwise exhaust the cap after 3 deaths.
+  DurationNs respawn_budget_decay = 10 * kMillisecond;
+  // How replacement checkpoints are cut: kDelta resumes from the dead replica's
+  // acked horizon (O(delta)); kFull re-ships the whole leader state (the
+  // ablation baseline). --reseed=delta|full.
+  ReseedMode reseed_mode = ReseedMode::kDelta;
+  // Respawn-as-migration: 0 respawns replacements in place; m > 0 places them on
+  // the m-th dedicated replica-host machine (created and linked on demand, same
+  // namespace as `placement` entries). --respawn-target=M.
+  int respawn_target = 0;
   // Fault injection: at this virtual time, tear down the highest-index remote
   // replica's sync agent (the remote-machine-death experiment). 0 disables.
   TimeNs kill_remote_replica_at = 0;
+  // With respawn enabled, repeat the kill at this interval after the first one
+  // (each respawned replacement dies in turn) until the workload finishes — the
+  // re-seed benches average snapshot bytes over several recovery episodes
+  // instead of sampling one backlog instant. 0 kills once. Note the last armed
+  // kill can fire up to one interval past workload completion, so wall-clock
+  // comparisons should come from runs without a kill loop.
+  DurationNs kill_remote_replica_every = 0;
   // Record/replay agent for multi-threaded workloads (paper §2.3): thread-pool
   // servers wrap their racy accept-side bookkeeping in BeforeAcquire when set.
   // With a cross-machine placement the master's log streams as kSyncLog frames.
@@ -121,6 +140,10 @@ struct ScaleoutTierSpec {
   double hit_ratio = 0.0;
   uint64_t upstream_bytes = 512;  // Sub-request size sent to the next tier.
   LoadBalancer::Policy policy = LoadBalancer::Policy::kConsistentHash;
+  // Cross-machine shards (FleetTierSpec::remote_replicas): each non-leader
+  // replica on its own machine behind the RB transport — the layout a
+  // mid-run rebalance migrates.
+  bool remote_replicas = false;
 };
 
 struct ScaleoutSpec {
@@ -133,6 +156,12 @@ struct ScaleoutSpec {
   // When set, per-shard access-log transcripts are read back into
   // ScaleoutResult::transcripts after the run (determinism tests).
   bool collect_transcripts = false;
+  // Mid-run rebalance: at this virtual time, drain-and-migrate every remote
+  // replica of every shard launched so far onto fresh machines, one replica at a
+  // time per shard (FleetManager::RebalanceShard). 0 disables; only
+  // remote_replicas tiers have anything to move.
+  TimeNs rebalance_at = 0;
+  DurationNs rebalance_stagger = 500 * kMicrosecond;
 };
 
 struct ScaleoutResult {

@@ -105,14 +105,27 @@ class GateTest(unittest.TestCase):
         self.assertEqual(rc, 0, out)
         self.assertIn("[new]", out)
 
-    def test_missing_key_passes(self):
-        # A removed sweep point is reported but never wedges CI.
+    def test_missing_key_fails(self):
+        # A baseline metric absent from the suite output is a gate failure: a
+        # diverged or aborted run drops its metrics silently, and that must not
+        # read as a pass. Intended removals regenerate the baseline in the PR.
         base = doc([("suite/a/normalized_time", 1.0, False),
                     ("suite/gone/normalized_time", 1.0, False)])
         cur = doc([("suite/a/normalized_time", 1.0, False)])
         rc, out = run_gate(cur, base)
-        self.assertEqual(rc, 0, out)
-        self.assertIn("[removed]", out)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("[MISSING]", out)
+        self.assertIn("suite/gone/normalized_time", out)
+
+    def test_missing_key_fails_even_without_regressions(self):
+        # The missing check is independent of the delta check: identical values
+        # on the shared metrics still fail when a baseline metric vanished.
+        base = doc([("suite/a/normalized_time", 1.0, False),
+                    ("suite/rate", 800.0, True)])
+        cur = doc([("suite/a/normalized_time", 1.0, False)])
+        rc, out = run_gate(cur, base)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("1 baseline metric(s) missing", out)
 
     def test_nonpositive_baseline_skipped(self):
         # base <= 0 cannot be ratioed; the failed-cell sentinel must not divide.
@@ -162,13 +175,14 @@ class SummaryTest(unittest.TestCase):
         self.assertEqual(rc, 1, out)  # suite/worse regressed — and the table
         self.assertIn("bench gate: `selftest`", summary)  # is still written.
         self.assertIn("1 regression(s)", summary)
+        self.assertIn("1 baseline metric(s) missing", summary)
         self.assertIn("| `suite/ok` | 1.0000 | 1.0100 | +1.00% | ok |", summary)
         self.assertIn("| `suite/worse` | 1.0000 | 9.0000 | +800.00% | "
                       "**REGRESSED** |", summary)
         self.assertIn("| `suite/better` | 2.0000 | 1.0000 | -50.00% | improved |",
                       summary)
         self.assertIn("| `suite/fresh` | — | 5.0000 | — | new |", summary)
-        self.assertIn("| `suite/gone` | 1.0000 | — | — | removed |", summary)
+        self.assertIn("| `suite/gone` | 1.0000 | — | — | **MISSING** |", summary)
 
     def test_pass_verdict_line(self):
         d = doc([("suite/a", 1.0, False)])

@@ -236,6 +236,28 @@ TEST(FleetFileMapTest, ReconfigureResetsDropAccounting) {
   EXPECT_TRUE(fm.IsValid(FileMap::kMaxFds + 5));
 }
 
+TEST(FleetFileMapTest, AutoGrowCoversFdInsteadOfDropping) {
+  FileMap fm;
+  fm.Configure(1, "grow-test");
+  int grown_to = 0;
+  fm.set_auto_grow(true);
+  fm.set_on_grow([&grown_to](int pages) { grown_to = pages; });
+  uint64_t v0 = fm.version();
+  int fd = 2 * FileMap::kMaxFds + 5;
+  fm.Set(fd, FdType::kSocket, true);
+  // The map grew to cover the FD instead of warn-once dropping it.
+  EXPECT_EQ(fm.out_of_range_sets(), 0u);
+  EXPECT_TRUE(fm.IsValid(fd));
+  EXPECT_EQ(fm.TypeOf(fd), FdType::kSocket);
+  EXPECT_TRUE(fm.IsNonblocking(fd));
+  EXPECT_EQ(grown_to, 3);
+  EXPECT_GE(fm.max_fds(), fd + 1);
+  EXPECT_EQ(fm.grows(), 1u);
+  // Growth bumps the geometry version: attached replicas re-publish through the
+  // same epoch-bump path a reconfigure takes, never against stale frames.
+  EXPECT_GT(fm.version(), v0);
+}
+
 TEST(FleetFileMapTest, FdTableCapacityRaiseIsGrowOnly) {
   FdTable fds;
   EXPECT_EQ(fds.max_fds(), 1024);
@@ -427,6 +449,42 @@ TEST(ScaleoutTest, AutoscaleSpikeSpawnsThenIdleRetires) {
   EXPECT_EQ(r1.shards_retired, r2.shards_retired);
   EXPECT_EQ(r1.route_digests, r2.route_digests);
   EXPECT_EQ(r1.transcripts, r2.transcripts);
+}
+
+TEST(ScaleoutTest, RebalanceMigratesRemoteReplicasUnderLoad) {
+  // Drain-and-migrate every shard's remote replica onto a fresh machine mid-run
+  // (respawn-as-migration). Service must not notice: same per-shard request
+  // stream and log volume as the run that never rebalanced, no divergence.
+  ScaleoutSpec spec = SmallFleetSpec(2, 200);
+  spec.tiers[0].remote_replicas = true;
+  RunConfig remon;
+  remon.mode = MveeMode::kRemon;
+  remon.replicas = 2;
+  remon.level = PolicyLevel::kSocketRw;
+
+  ScaleoutResult steady = RunScaleout(spec, remon);
+  ASSERT_TRUE(steady.finished);
+  ASSERT_FALSE(steady.diverged);
+  EXPECT_EQ(steady.stats.rb_replica_migrations, 0u);
+
+  spec.rebalance_at = Millis(2);  // Mid-arrival: 200 conns at 50k/s span ~4ms.
+  ScaleoutResult moved = RunScaleout(spec, remon);
+  EXPECT_TRUE(moved.finished);
+  EXPECT_FALSE(moved.diverged);
+  // One remote replica per shard actually moved, re-seeded off the ack-latched
+  // delta basis rather than a full checkpoint.
+  EXPECT_GE(moved.stats.rb_replica_migrations, 2u);
+  EXPECT_GE(moved.stats.rb_snapshot_delta_captures +
+                moved.stats.rb_snapshot_full_fallbacks,
+            2u);
+  EXPECT_EQ(moved.completed, steady.completed);
+  EXPECT_EQ(moved.routed, steady.routed);
+  EXPECT_EQ(ShardLogBytes(moved.transcripts), ShardLogBytes(steady.transcripts));
+
+  // And the migration episode itself is deterministic.
+  ScaleoutResult again = RunScaleout(spec, remon);
+  EXPECT_EQ(again.stats.rb_replica_migrations, moved.stats.rb_replica_migrations);
+  EXPECT_EQ(again.transcripts, moved.transcripts);
 }
 
 }  // namespace

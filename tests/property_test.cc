@@ -319,13 +319,19 @@ struct FuzzOutcome {
   uint64_t rejoins = 0;        // Snapshot joins completed (re-seed observed).
   uint64_t join_lockstep_cursor = 0;  // Checkpointed GHUMVEE cursor at last join.
   uint64_t lockstep_rounds = 0;       // Monitored rounds over the whole run.
+  uint64_t delta_captures = 0;        // Re-seeds cut as O(delta) checkpoints.
+  uint64_t full_fallbacks = 0;        // Delta requested but basis unusable.
+  uint64_t migrations = 0;            // Replacements placed on a new machine.
+  uint64_t snapshot_bytes = 0;        // Checkpoint bytes shipped over the wire.
   TimeNs end_time = 0;                // Virtual time at quiescence.
 };
 
 FuzzOutcome RunFuzz(uint64_t seed, FuzzShape shape, int replicas, int batch_max,
                     RbBatchPolicy policy, bool remote_last_replica = false,
                     TimeNs kill_remote_at = 0, bool disable_ready_lane = false,
-                    bool rb_auth = false) {
+                    bool rb_auth = false,
+                    ReseedMode reseed_mode = ReseedMode::kDelta,
+                    bool migrate_respawn = false) {
   SimWorld w(seed);
   if (disable_ready_lane) {
     // Forces zero-delay events onto the time heap (the pre-lane code shape); see
@@ -356,6 +362,14 @@ FuzzOutcome RunFuzz(uint64_t seed, FuzzShape shape, int replicas, int batch_max,
     // Kill-one-replica-mid-fuzz: the remote replica's link dies at the given
     // virtual time and a replacement is checkpoint-seeded back into the set.
     opts.respawn_dead_replicas = true;
+    opts.reseed_mode = reseed_mode;
+    if (migrate_respawn) {
+      // Respawn-as-migration: the replacement lands on a fresh machine and its
+      // join carries the new placement.
+      uint32_t target = w.net.AddMachine("replica-host-2");
+      w.net.SetLink(w.server_machine, target, LinkParams{50 * kMicrosecond, 0.125});
+      opts.respawn_target_machine = static_cast<int>(target);
+    }
   }
   Remon mvee(&w.kernel, opts);
   mvee.Launch(FuzzWorkload(seed, shape), "fuzz");
@@ -380,6 +394,10 @@ FuzzOutcome RunFuzz(uint64_t seed, FuzzShape shape, int replicas, int batch_max,
   out.rb_bytes = w.sim.stats().rb_bytes;
   out.remote_deaths = w.sim.stats().rb_remote_deaths;
   out.rejoins = w.sim.stats().rb_replica_joins;
+  out.delta_captures = w.sim.stats().rb_snapshot_delta_captures;
+  out.full_fallbacks = w.sim.stats().rb_snapshot_full_fallbacks;
+  out.migrations = w.sim.stats().rb_replica_migrations;
+  out.snapshot_bytes = w.sim.stats().rb_snapshot_bytes_sent;
   if (remote_last_replica && mvee.remote_agent(replicas - 1) != nullptr) {
     out.join_lockstep_cursor =
         mvee.remote_agent(replicas - 1)->last_join_lockstep_cursor();
@@ -585,6 +603,267 @@ TEST(RandomizedLockstepTest, ReseedWorksUnbatched) {
     ASSERT_EQ(base.transcript, reseeded.transcript) << "seed " << seed;
     ASSERT_EQ(base.rb_entries, reseeded.rb_entries) << "seed " << seed;
   }
+}
+
+// Re-seed mode matrix: the same kill-one fuzz run under --reseed=delta,
+// --reseed=full, and delta with the replacement migrated to a brand-new machine.
+// The mode (and the placement) may only change what travels in the checkpoint —
+// every variant's transcript and RB stream must be byte-identical to the
+// never-died run.
+TEST(RandomizedLockstepTest, ReseedDeltaFullAndMigrationMatchUninterrupted) {
+  int exercised = 0;
+  uint64_t delta_used = 0;
+  for (uint64_t seed : {5, 47, 131, 333, 777, 901}) {
+    FuzzShape shape = ShapeFor(seed);
+    shape.ops += 24;
+
+    FuzzOutcome uninterrupted = RunFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                        /*remote_last_replica=*/true);
+    ASSERT_TRUE(uninterrupted.ok) << "seed " << seed;
+    ASSERT_EQ(uninterrupted.transcript.find("<missing>"), std::string::npos)
+        << "seed " << seed;
+
+    FuzzOutcome delta = RunFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                /*remote_last_replica=*/true,
+                                /*kill_remote_at=*/Micros(120),
+                                /*disable_ready_lane=*/false, /*rb_auth=*/false,
+                                ReseedMode::kDelta);
+    ASSERT_TRUE(delta.ok) << "seed " << seed;
+    ASSERT_EQ(uninterrupted.transcript, delta.transcript) << "seed " << seed;
+    ASSERT_EQ(uninterrupted.rb_entries, delta.rb_entries) << "seed " << seed;
+
+    FuzzOutcome full = RunFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                               /*remote_last_replica=*/true,
+                               /*kill_remote_at=*/Micros(120),
+                               /*disable_ready_lane=*/false, /*rb_auth=*/false,
+                               ReseedMode::kFull);
+    ASSERT_TRUE(full.ok) << "seed " << seed;
+    ASSERT_EQ(uninterrupted.transcript, full.transcript) << "seed " << seed;
+    ASSERT_EQ(uninterrupted.rb_entries, full.rb_entries) << "seed " << seed;
+    // kFull must never take the delta path (that's the ablation contract).
+    ASSERT_EQ(full.delta_captures, 0u) << "seed " << seed;
+
+    FuzzOutcome migrated = RunFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                   /*remote_last_replica=*/true,
+                                   /*kill_remote_at=*/Micros(120),
+                                   /*disable_ready_lane=*/false, /*rb_auth=*/false,
+                                   ReseedMode::kDelta, /*migrate_respawn=*/true);
+    ASSERT_TRUE(migrated.ok) << "seed " << seed;
+    ASSERT_EQ(uninterrupted.transcript, migrated.transcript) << "seed " << seed;
+    ASSERT_EQ(uninterrupted.rb_entries, migrated.rb_entries) << "seed " << seed;
+
+    if (delta.remote_deaths > 0 && delta.rejoins > 0) {
+      ++exercised;
+      // Every re-seed decided delta-vs-fallback explicitly.
+      ASSERT_GE(delta.delta_captures + delta.full_fallbacks, 1u) << "seed " << seed;
+      delta_used += delta.delta_captures;
+      // A delta checkpoint never costs meaningfully more wire than the full
+      // re-ship: in the worst case (nothing acked yet) it degenerates to the
+      // full window plus its per-rank resume records. The flat-vs-linear curve
+      // across RB sizes is the bench suite's claim (bench_abl_rb reseed_delta).
+      if (delta.delta_captures > 0 && delta.full_fallbacks == 0) {
+        EXPECT_LE(delta.snapshot_bytes, full.snapshot_bytes + 1024)
+            << "seed " << seed;
+      }
+    }
+    if (migrated.remote_deaths > 0 && migrated.rejoins > 0) {
+      // The replacement landed on the new machine, counted as a migration.
+      ASSERT_GE(migrated.migrations, 1u) << "seed " << seed;
+    }
+  }
+  EXPECT_GE(exercised, 5);    // The kill must land mid-run for most seeds.
+  EXPECT_GE(delta_used, 1u);  // And the O(delta) path must actually run.
+}
+
+// Attested variant: migration under rb_auth — the replacement's kJoinAttest
+// carries the new placement, and the leader only seeds it after verifying the
+// attested machine against the one it commanded.
+TEST(RandomizedLockstepTest, AttestedMigrationMatchesUninterrupted) {
+  int exercised = 0;
+  for (uint64_t seed : {19, 131, 333}) {
+    FuzzShape shape = ShapeFor(seed);
+    shape.ops += 24;
+    FuzzOutcome plain = RunFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                /*remote_last_replica=*/true);
+    ASSERT_TRUE(plain.ok) << "seed " << seed;
+    FuzzOutcome migrated = RunFuzz(seed, shape, 3, 8, RbBatchPolicy::kAdaptive,
+                                   /*remote_last_replica=*/true,
+                                   /*kill_remote_at=*/Micros(120),
+                                   /*disable_ready_lane=*/false, /*rb_auth=*/true,
+                                   ReseedMode::kDelta, /*migrate_respawn=*/true);
+    ASSERT_TRUE(migrated.ok) << "seed " << seed;
+    ASSERT_EQ(plain.transcript, migrated.transcript) << "seed " << seed;
+    ASSERT_EQ(plain.rb_entries, migrated.rb_entries) << "seed " << seed;
+    if (migrated.remote_deaths > 0 && migrated.rejoins > 0) {
+      ++exercised;
+      ASSERT_GE(migrated.migrations, 1u) << "seed " << seed;
+    }
+  }
+  EXPECT_GE(exercised, 2);
+}
+
+// Respawn-budget decay: deaths spaced farther apart than the decay interval
+// refund their attempts, so a long-lived set survives any number of sporadic
+// recoverable deaths; with decay disabled the same kill schedule exhausts the
+// lifetime cap and ends in a divergence report. This is the regression test for
+// the lifetime-cap bug.
+struct BudgetOutcome {
+  bool finished = false;
+  bool diverged = false;
+  uint64_t deaths = 0;
+  uint64_t respawns = 0;
+};
+
+BudgetOutcome RunRespawnBudget(uint64_t seed, DurationNs decay,
+                               const std::vector<TimeNs>& kill_times) {
+  SimWorld w(seed);
+  FuzzShape shape = ShapeFor(seed);
+  shape.ops += 150;  // Long enough that every scheduled kill lands mid-run.
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 3;
+  opts.level = PolicyLevel::kNonsocketRw;
+  opts.rb_size = 256 * 1024;
+  opts.max_ranks = 4;
+  opts.rb_batch_max = 8;
+  opts.rb_batch_policy = RbBatchPolicy::kAdaptive;
+  uint32_t host = w.net.AddMachine("replica-host-1");
+  w.net.SetLink(w.server_machine, host, LinkParams{50 * kMicrosecond, 0.125});
+  opts.machine = w.server_machine;
+  opts.replica_machines.assign(3, w.server_machine);
+  opts.replica_machines.back() = host;
+  opts.respawn_dead_replicas = true;
+  opts.max_respawns_per_replica = 1;  // One death per decay interval allowed.
+  opts.respawn_budget_decay = decay;
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch(FuzzWorkload(seed, shape), "fuzz");
+  for (TimeNs t : kill_times) {
+    w.sim.queue().ScheduleAt(t, [&mvee] {
+      RemoteSyncAgent* agent = mvee.remote_agent(2);
+      if (agent != nullptr) {
+        agent->Shutdown();
+      }
+    });
+  }
+  w.Run();
+  BudgetOutcome out;
+  out.finished = mvee.finished();
+  out.diverged = mvee.divergence_detected();
+  out.deaths = w.sim.stats().rb_remote_deaths;
+  out.respawns = mvee.respawns();
+  return out;
+}
+
+TEST(RandomizedLockstepTest, RespawnBudgetDecaysOverHealthyIntervals) {
+  // Three kills, each spaced well past the decay interval: every attempt has
+  // been refunded by the time the next death arrives, so a cap of 1 survives
+  // all three.
+  const std::vector<TimeNs> kills = {Micros(120), Micros(620), Micros(1120)};
+  BudgetOutcome decayed = RunRespawnBudget(5, /*decay=*/Micros(300), kills);
+  EXPECT_TRUE(decayed.finished);
+  EXPECT_FALSE(decayed.diverged);
+  ASSERT_GE(decayed.deaths, 3u);  // All kills must land while the set is live.
+  EXPECT_GE(decayed.respawns, 3u);
+
+  // Same schedule with decay disabled: the cap is a lifetime cap again, the
+  // second death exceeds it, and the run ends in a divergence report.
+  BudgetOutcome capped = RunRespawnBudget(5, /*decay=*/0, kills);
+  EXPECT_TRUE(capped.diverged);
+  EXPECT_LE(capped.respawns, 1u);
+}
+
+// Reset/re-seed interlock: an RB reset round that fires while a replacement
+// checkpoint is still in flight would rebase every offset the image was cut
+// against — the replacement then refuses the stale-generation checkpoint, the
+// link tears, and the leader's own reset ends up charged to the respawn budget
+// (the 1 MiB divergence cliff). GHUMVEE now parks the flush round until the
+// checkpoint acks, so a kill loop riding across reset rounds must recover every
+// time with a byte-identical transcript.
+struct ResetRaceOutcome {
+  bool finished = false;
+  bool diverged = false;
+  std::string transcript;
+  uint64_t deaths = 0;
+  uint64_t rejoins = 0;
+  uint64_t stalls = 0;  // Flush rounds the gate parked (rb_reset_join_stalls).
+};
+
+ResetRaceOutcome RunResetJoinRace(uint64_t seed,
+                                  const std::vector<TimeNs>& kill_times) {
+  SimWorld w(seed);
+  FuzzShape shape = ShapeFor(seed);
+  shape.ops += 300;  // Long op streams wrap the RB: reset rounds under the kills.
+  RemonOptions opts;
+  opts.mode = MveeMode::kRemon;
+  opts.replicas = 3;
+  opts.level = PolicyLevel::kNonsocketRw;
+  // A quarter of the fuzz default: sub-buffers wrap every few hundred ops, so
+  // reset rounds land inside the checkpoint-transfer windows the kills open.
+  opts.rb_size = 64 * 1024;
+  opts.max_ranks = 4;
+  opts.rb_batch_max = 8;
+  opts.rb_batch_policy = RbBatchPolicy::kAdaptive;
+  uint32_t host = w.net.AddMachine("replica-host-1");
+  w.net.SetLink(w.server_machine, host, LinkParams{50 * kMicrosecond, 0.125});
+  opts.machine = w.server_machine;
+  opts.replica_machines.assign(3, w.server_machine);
+  opts.replica_machines.back() = host;
+  opts.respawn_dead_replicas = true;
+  opts.reseed_mode = ReseedMode::kDelta;
+  // Deaths arrive faster than recoveries complete; a fast refund keeps the
+  // budget solvent so every divergence the test could see is a join failure.
+  opts.respawn_budget_decay = Micros(100);
+  Remon mvee(&w.kernel, opts);
+  mvee.Launch(FuzzWorkload(seed, shape), "fuzz");
+  for (TimeNs t : kill_times) {
+    w.sim.queue().ScheduleAt(t, [&mvee] {
+      RemoteSyncAgent* agent = mvee.remote_agent(2);
+      if (agent != nullptr) {
+        agent->Shutdown();
+      }
+    });
+  }
+  w.Run();
+  ResetRaceOutcome out;
+  out.finished = mvee.finished();
+  out.diverged = mvee.divergence_detected();
+  for (int rank = 0; rank < shape.ranks; ++rank) {
+    out.transcript +=
+        w.fs.ReadWholeFile("/tmp/fuzz-" + std::to_string(rank)).value_or("<missing>");
+    out.transcript += "|";
+  }
+  out.deaths = w.sim.stats().rb_remote_deaths;
+  out.rejoins = w.sim.stats().rb_replica_joins;
+  out.stalls = w.sim.stats().rb_reset_join_stalls;
+  return out;
+}
+
+TEST(RandomizedLockstepTest, ResetRoundParksOnInflightReseed) {
+  uint64_t total_stalls = 0;
+  int exercised = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    ResetRaceOutcome plain = RunResetJoinRace(seed, {});
+    ASSERT_TRUE(plain.finished) << "seed " << seed;
+    ASSERT_FALSE(plain.diverged) << "seed " << seed;
+    // Spaced so each join completes before the next kill (recovery is ~300 us),
+    // and dense across the run so transfer windows ride over reset rounds.
+    std::vector<TimeNs> kills;
+    for (int k = 0; k < 16; ++k) {
+      kills.push_back(Micros(100) + k * Micros(750));
+    }
+    ResetRaceOutcome raced = RunResetJoinRace(seed, kills);
+    EXPECT_TRUE(raced.finished) << "seed " << seed;
+    EXPECT_FALSE(raced.diverged) << "seed " << seed;
+    EXPECT_EQ(plain.transcript, raced.transcript) << "seed " << seed;
+    total_stalls += raced.stalls;
+    if (raced.deaths > 0 && raced.rejoins > 0) {
+      ++exercised;
+    }
+  }
+  EXPECT_GE(exercised, 3);
+  // The race itself must have been exercised: at least one flush round parked
+  // on an in-flight checkpoint somewhere across the seed sweep.
+  EXPECT_GE(total_stalls, 1u);
 }
 
 // --- Cross-machine multi-threaded lockstep: sync-agent log transport ----------------

@@ -500,6 +500,45 @@ TEST(RbWireTest, JoinAttestRoundTrip) {
   EXPECT_EQ(out.attest_replica, 5u);
   EXPECT_EQ(out.attest_digest, 0xfeedfacecafebeefull);
   EXPECT_EQ(out.attest_cursor, 321u);
+  // Default placement: in-place respawn attests machine 0.
+  EXPECT_EQ(out.attest_machine, 0u);
+}
+
+TEST(RbWireTest, JoinAttestCarriesPlacementMachine) {
+  // v5: a migrating replacement attests the machine it actually landed on, so
+  // the leader can verify respawn-as-migration placement before serving it.
+  std::vector<uint8_t> frame = RbWireCodec::EncodeJoinAttest(
+      /*epoch=*/4, /*replica_index=*/2, /*config_digest=*/0x1122334455667788ull,
+      /*sync_cursor=*/99, /*machine=*/7);
+  RbFrameParser parser;
+  parser.Feed(frame.data(), frame.size());
+  RbWireFrame out;
+  ASSERT_EQ(parser.Next(&out), RbFrameParser::Status::kFrame);
+  EXPECT_EQ(out.type, RbFrameType::kJoinAttest);
+  EXPECT_EQ(out.attest_replica, 2u);
+  EXPECT_EQ(out.attest_digest, 0x1122334455667788ull);
+  EXPECT_EQ(out.attest_cursor, 99u);
+  EXPECT_EQ(out.attest_machine, 7u);
+}
+
+TEST(RbWireTest, SnapshotDeltaFrameRoundTrip) {
+  // kSnapshotDelta opens a delta re-seed stream; the payload is opaque to the
+  // framing layer, exactly like kSnapshotBegin.
+  std::vector<uint8_t> payload(257);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 13);
+  }
+  std::vector<uint8_t> frame = RbWireCodec::EncodeSnapshotFrame(
+      RbFrameType::kSnapshotDelta, /*epoch=*/6, /*rank=*/1, /*frame_seq=*/42, payload);
+  RbFrameParser parser;
+  parser.Feed(frame.data(), frame.size());
+  RbWireFrame out;
+  ASSERT_EQ(parser.Next(&out), RbFrameParser::Status::kFrame);
+  EXPECT_EQ(out.type, RbFrameType::kSnapshotDelta);
+  EXPECT_EQ(out.epoch, 6u);
+  EXPECT_EQ(out.rank, 1u);
+  EXPECT_EQ(out.frame_seq, 42u);
+  EXPECT_EQ(out.payload, payload);
 }
 
 TEST(RbWireTest, TruncatedJoinAttestPayloadRejected) {

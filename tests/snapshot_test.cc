@@ -329,5 +329,146 @@ TEST(SnapshotCodecTest, ChunkBeforeBeginIsProtocolViolation) {
   EXPECT_TRUE(asm_.Begin(payloads.begin));
 }
 
+// --- kSnapshotDelta (wire v5) round-trip and rejection vectors ----------------------
+
+// Marks a synthetic checkpoint as an O(delta) one: per-rank resume offsets, a
+// dirty-page file-map section (3 of 4 pages) with a whole-map CRC, and a reset
+// generation for the lap guard.
+ReplicaSnapshot MakeDeltaSnapshot(Rng* rng, uint64_t rb_size, int max_ranks) {
+  ReplicaSnapshot snap = MakeSnapshot(rng, rb_size, max_ranks);
+  snap.is_delta = true;
+  snap.reset_generation = rng->NextBelow(5);
+  for (int r = 0; r < max_ranks; ++r) {
+    snap.delta_from.push_back(rng->NextBelow(snap.cursors[static_cast<size_t>(r)] + 1));
+  }
+  snap.file_map_page_count = 4;
+  snap.file_map_crc = static_cast<uint32_t>(rng->NextBelow(1u << 31));
+  snap.file_map_pages = {0, 2, 3};
+  snap.file_map.assign(3 * kPageSize, 0);
+  for (auto& b : snap.file_map) {
+    b = static_cast<uint8_t>(rng->NextBelow(256));
+  }
+  return snap;
+}
+
+// Adds a delta sync section: slots [from, tail) in seq order, the replay cursor
+// somewhere inside the slice, slice length within one lap of a `cap`-slot log.
+void AddSyncDeltaSection(ReplicaSnapshot* snap, Rng* rng, uint64_t cap,
+                         uint64_t from, uint64_t tail) {
+  snap->sync_log_size = kSyncLogOffEntries + cap * kSyncLogEntrySize;
+  snap->sync_from = from;
+  snap->sync_tail = tail;
+  snap->sync_read_cursor = from + rng->NextBelow(tail - from + 1);
+  snap->sync_image.assign((tail - from) * kSyncLogEntrySize, 0);
+  for (uint64_t i = 0; i < tail - from; ++i) {
+    uint32_t obj = static_cast<uint32_t>(rng->NextBelow(1000));
+    uint32_t rank = static_cast<uint32_t>(rng->NextBelow(4));
+    uint64_t seq = from + i;  // Seq order, embedded seqs.
+    uint8_t* slot = snap->sync_image.data() + i * kSyncLogEntrySize;
+    std::memcpy(slot, &obj, 4);
+    std::memcpy(slot + 4, &rank, 4);
+    std::memcpy(slot + 8, &seq, 8);
+  }
+}
+
+TEST(SnapshotCodecTest, DeltaSerializeAssembleRoundTrip) {
+  Rng rng(101);
+  for (int iter = 0; iter < 20; ++iter) {
+    uint64_t rb_size = (64 + rng.NextBelow(128)) * kPageSize;
+    int ranks = 1 + static_cast<int>(rng.NextBelow(8));
+    ReplicaSnapshot snap = MakeDeltaSnapshot(&rng, rb_size, ranks);
+    if (iter % 2 == 0) {
+      uint64_t cap = 8 + rng.NextBelow(64);
+      uint64_t from = rng.NextBelow(100);
+      uint64_t tail = from + rng.NextBelow(cap + 1);
+      AddSyncDeltaSection(&snap, &rng, cap, from, tail);
+    }
+    SnapshotPayloads payloads = SerializeSnapshot(snap);
+    ASSERT_TRUE(payloads.delta);
+
+    SnapshotAssembler asm_;
+    ASSERT_TRUE(asm_.BeginDelta(payloads.begin)) << asm_.error();
+    for (const auto& chunk : payloads.chunks) {
+      ASSERT_TRUE(asm_.AddChunk(chunk)) << asm_.error();
+    }
+    ASSERT_TRUE(asm_.End(payloads.end)) << asm_.error();
+    ASSERT_EQ(asm_.state(), SnapshotAssembler::State::kComplete);
+
+    const ReplicaSnapshot& out = asm_.snapshot();
+    EXPECT_TRUE(out.is_delta);
+    EXPECT_EQ(out.rb_size, snap.rb_size);
+    EXPECT_EQ(out.max_ranks, snap.max_ranks);
+    EXPECT_EQ(out.cursors, snap.cursors);
+    EXPECT_EQ(out.seqs, snap.seqs);
+    EXPECT_EQ(out.delta_from, snap.delta_from);
+    EXPECT_EQ(out.lockstep_cursor, snap.lockstep_cursor);
+    EXPECT_EQ(out.reset_generation, snap.reset_generation);
+    EXPECT_EQ(out.file_map_page_count, snap.file_map_page_count);
+    EXPECT_EQ(out.file_map_crc, snap.file_map_crc);
+    EXPECT_EQ(out.file_map_pages, snap.file_map_pages);
+    EXPECT_EQ(out.file_map, snap.file_map);
+    ASSERT_EQ(out.epoll.size(), snap.epoll.size());
+    for (size_t i = 0; i < out.epoll.size(); ++i) {
+      EXPECT_EQ(out.epoll[i].epfd, snap.epoll[i].epfd);
+      EXPECT_EQ(out.epoll[i].fd, snap.epoll[i].fd);
+      EXPECT_EQ(out.epoll[i].data, snap.epoll[i].data);
+    }
+    EXPECT_EQ(out.sync_log_size, snap.sync_log_size);
+    EXPECT_EQ(out.sync_from, snap.sync_from);
+    EXPECT_EQ(out.sync_tail, snap.sync_tail);
+    EXPECT_EQ(out.sync_read_cursor, snap.sync_read_cursor);
+    EXPECT_EQ(out.sync_image, snap.sync_image) << "iter " << iter;
+    EXPECT_EQ(asm_.image(), FlattenImage(snap)) << "iter " << iter;
+  }
+}
+
+TEST(SnapshotCodecTest, TruncatedDeltaPayloadRejected) {
+  Rng rng(103);
+  ReplicaSnapshot snap = MakeDeltaSnapshot(&rng, 64 * kPageSize, 2);
+  SnapshotPayloads payloads = SerializeSnapshot(snap);
+
+  // One byte short: the variable-section arithmetic no longer adds up.
+  std::vector<uint8_t> short_one = payloads.begin;
+  short_one.pop_back();
+  SnapshotAssembler asm_;
+  EXPECT_FALSE(asm_.BeginDelta(short_one));
+  EXPECT_EQ(asm_.state(), SnapshotAssembler::State::kFailed);
+
+  // Shorter than the fixed header: rejected before any field is read.
+  std::vector<uint8_t> short_hdr(payloads.begin.begin(), payloads.begin.begin() + 40);
+  asm_.Reset();
+  EXPECT_FALSE(asm_.BeginDelta(short_hdr));
+  EXPECT_EQ(asm_.state(), SnapshotAssembler::State::kFailed);
+
+  // The untruncated payload still opens fine after Reset.
+  asm_.Reset();
+  EXPECT_TRUE(asm_.BeginDelta(payloads.begin)) << asm_.error();
+}
+
+TEST(SnapshotCodecTest, LapStaleDeltaSyncSliceRejected) {
+  Rng rng(107);
+  ReplicaSnapshot snap = MakeDeltaSnapshot(&rng, 64 * kPageSize, 2);
+  // A 16-slot log with a 20-op slice: the leader wrapped past the replica's
+  // cursor after cutting the basis, so slots [from, tail-cap) are gone and the
+  // delta is stale. The joiner must refuse it (the leader then retries full).
+  uint64_t cap = 16;
+  AddSyncDeltaSection(&snap, &rng, cap, /*from=*/10, /*tail=*/10 + cap + 4);
+  SnapshotPayloads payloads = SerializeSnapshot(snap);
+  SnapshotAssembler asm_;
+  EXPECT_FALSE(asm_.BeginDelta(payloads.begin));
+  EXPECT_EQ(asm_.state(), SnapshotAssembler::State::kFailed);
+  EXPECT_NE(asm_.error().find("wrapped past"), std::string::npos) << asm_.error();
+}
+
+TEST(SnapshotCodecTest, DeltaFileMapPagesOutOfOrderRejected) {
+  Rng rng(109);
+  ReplicaSnapshot snap = MakeDeltaSnapshot(&rng, 64 * kPageSize, 2);
+  snap.file_map_pages = {2, 1, 3};  // Not strictly increasing.
+  SnapshotPayloads payloads = SerializeSnapshot(snap);
+  SnapshotAssembler asm_;
+  EXPECT_FALSE(asm_.BeginDelta(payloads.begin));
+  EXPECT_EQ(asm_.state(), SnapshotAssembler::State::kFailed);
+}
+
 }  // namespace
 }  // namespace remon

@@ -7,9 +7,12 @@ Usage: check_bench_regression.py CURRENT.json BASELINE.json [--threshold 0.15]
 Both files follow the remon-bench-v1 schema (docs/BENCH_SCHEMA.md): a flat list
 of named metrics, each marked higher_is_better or not. The gate fails (exit 1)
 when any metric present in both files moved more than the threshold in its bad
-direction. Metrics only present on one side are reported but never fail the
-gate: adding a sweep point must not require touching the baseline in the same
-commit, and a removed sweep point must not wedge CI.
+direction, and when any baseline metric is missing from the suite output: a
+diverged or aborted bench run drops its metrics silently, which would otherwise
+read as a pass. Metrics only present in the current output never fail the gate —
+adding a sweep point must not require touching the baseline in the same commit.
+Removing a sweep point on purpose is recorded the same way as a perf movement:
+regenerate the committed baseline in the same PR.
 
 The simulation is deterministic (pinned seeds, virtual time), so identical code
 produces identical numbers — the threshold only absorbs intended perf-relevant
@@ -37,11 +40,15 @@ def load_metrics(path):
     return doc.get("bench", "?"), out
 
 
-def write_summary(path, bench, threshold, rows, regressed_count):
+def write_summary(path, bench, threshold, rows, regressed_count, missing_count):
     """Appends one suite's markdown delta table. rows: (name, base, cur, status)
     where base/cur may be None for one-sided metrics."""
-    verdict = (f"{regressed_count} regression(s) beyond {threshold:.0%}"
-               if regressed_count else f"all deltas within {threshold:.0%}")
+    problems = []
+    if regressed_count:
+        problems.append(f"{regressed_count} regression(s) beyond {threshold:.0%}")
+    if missing_count:
+        problems.append(f"{missing_count} baseline metric(s) missing from output")
+    verdict = "; ".join(problems) if problems else f"all deltas within {threshold:.0%}"
     with open(path, "a") as f:
         f.write(f"### bench gate: `{bench}` — {verdict}\n\n")
         f.write("| metric | baseline | current | delta | status |\n")
@@ -94,23 +101,31 @@ def main():
             rows.append((name, base, cur, "improved"))
         else:
             rows.append((name, base, cur, "ok"))
-    for name in sorted(set(baseline) - set(current)):
-        print(f"  [removed]  {name} (was {baseline[name][0]:.4f})")
-        rows.append((name, baseline[name][0], None, "removed"))
+    missing = sorted(set(baseline) - set(current))
+    for name in missing:
+        print(f"  [MISSING]  {name} (baseline {baseline[name][0]:.4f}, "
+              "absent from suite output)")
+        rows.append((name, baseline[name][0], None, "**MISSING**"))
 
     if args.summary:
-        write_summary(args.summary, bench, args.threshold, rows, len(regressions))
+        write_summary(args.summary, bench, args.threshold, rows, len(regressions),
+                      len(missing))
 
     for name, base, cur, ratio in improvements:
         print(f"  [better]   {name}: {base:.4f} -> {cur:.4f} ({ratio:.2%} of baseline)")
-    if regressions:
+    if regressions or missing:
         print(f"\nFAIL: {len(regressions)} metric(s) regressed more than "
-              f"{args.threshold:.0%} vs {args.baseline}:")
+              f"{args.threshold:.0%}, {len(missing)} baseline metric(s) missing "
+              f"vs {args.baseline}:")
         for name, base, cur, ratio in regressions:
             print(f"  [REGRESSED] {name}: {base:.4f} -> {cur:.4f} "
                   f"({ratio:.2%} of baseline)")
-        print("\nIf this movement is intended, regenerate the committed baseline "
-              "in this PR:\n  ./build/bench_<suite> --json=BENCH_<suite>.json\n"
+        for name in missing:
+            print(f"  [MISSING]   {name}: the suite no longer reports it — a "
+                  "diverged or aborted run drops its metrics silently")
+        print("\nIf this movement (or removal) is intended, regenerate the "
+              "committed baseline in this PR:\n"
+              "  ./build/bench_<suite> --json=BENCH_<suite>.json\n"
               "(the tracked suite list lives in .github/workflows/ci.yml)")
         return 1
     print(f"\nOK: {len(current)} metrics within {args.threshold:.0%} of baseline "

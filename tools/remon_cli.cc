@@ -6,7 +6,8 @@
 //             [--connections=N] [--requests=N] [--temporal-p=F] [--rb-mb=N]
 //             [--rb-batch=N|adaptive|adaptive:MAX] [--rb-migration]
 //             [--placement=local|machine:N,...] [--rb-link-latency-us=N]
-//             [--rb-link-gbps=F] [--respawn-on-death] [--kill-replica-at-ms=N]
+//             [--rb-link-gbps=F] [--respawn-on-death] [--reseed=delta|full]
+//             [--respawn-target=M] [--kill-replica-at-ms=N]
 //             [--sync-agent] [--sync-log-kb=N] [--rb-auth] [--list]
 //   scale-out (fleet of replica sets behind a load balancer):
 //             [--shards=N] [--tiers=SERVER:SHARDS,...] [--autoscale]
@@ -48,6 +49,8 @@ struct CliArgs {
   int rb_link_latency_us = 60;
   double rb_link_gbps = 1.0;
   bool respawn_on_death = false;
+  ReseedMode reseed_mode = ReseedMode::kDelta;
+  int respawn_target = 0;
   int kill_replica_at_ms = 0;
   bool sync_agent = false;
   uint64_t sync_log_kb = 1024;
@@ -179,6 +182,21 @@ CliArgs Parse(int argc, char** argv) {
       // Replica re-seed: a dead remote replica is replaced via a leader checkpoint
       // over the RB transport instead of ending the run with a divergence report.
       args.respawn_on_death = true;
+    } else if (StartsWith(argv[i], "--reseed=", &v)) {
+      // delta (default): replacement checkpoints resume from the dead replica's
+      // acked horizon — O(delta), flat in RB size. full: always re-ship the whole
+      // leader state (the ablation baseline).
+      if (std::strcmp(v, "delta") == 0) args.reseed_mode = ReseedMode::kDelta;
+      else if (std::strcmp(v, "full") == 0) args.reseed_mode = ReseedMode::kFull;
+      else args.ok = false;
+    } else if (StartsWith(argv[i], "--respawn-target=", &v)) {
+      // Respawn-as-migration: replacements land on replica-host M (same host
+      // namespace as --placement=machine:...) instead of the machine the replica
+      // died on. The replacement's join attestation carries the new placement.
+      args.respawn_target = std::atoi(v);
+      if (args.respawn_target <= 0) {
+        args.ok = false;
+      }
     } else if (StartsWith(argv[i], "--kill-replica-at-ms=", &v)) {
       // Fault injection: tear the highest-index remote replica's link down at this
       // virtual time (pair with --respawn-on-death to watch the recovery).
@@ -362,6 +380,18 @@ void PrintStats(const SimStats& stats) {
                 static_cast<unsigned long long>(stats.rb_snapshot_entries_restored),
                 static_cast<unsigned long long>(stats.rb_snapshot_rejects));
   }
+  if (stats.rb_snapshot_delta_captures > 0 || stats.rb_snapshot_full_fallbacks > 0 ||
+      stats.rb_replica_migrations > 0) {
+    std::printf("  rb re-seed mode: delta-captures=%llu full-fallbacks=%llu "
+                "migrations=%llu\n",
+                static_cast<unsigned long long>(stats.rb_snapshot_delta_captures),
+                static_cast<unsigned long long>(stats.rb_snapshot_full_fallbacks),
+                static_cast<unsigned long long>(stats.rb_replica_migrations));
+  }
+  if (stats.file_map_grows > 0) {
+    std::printf("  file map: live grows=%llu\n",
+                static_cast<unsigned long long>(stats.file_map_grows));
+  }
 }
 
 int Run(const CliArgs& args) {
@@ -377,6 +407,8 @@ int Run(const CliArgs& args) {
   config.rb_link_latency = static_cast<DurationNs>(args.rb_link_latency_us) * kMicrosecond;
   config.rb_link_bytes_per_ns = args.rb_link_gbps * 0.125;
   config.respawn_dead_replicas = args.respawn_on_death;
+  config.reseed_mode = args.reseed_mode;
+  config.respawn_target = args.respawn_target;
   config.kill_remote_replica_at = Millis(args.kill_replica_at_ms);
   config.use_sync_agent = args.sync_agent;
   config.sync_log_size = args.sync_log_kb * 1024;
@@ -500,7 +532,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: remon_cli [--mode=..] [--replicas=N] [--level=..] "
                          "[--workload=NAME|--server=NAME] [--rb-batch=N|adaptive] "
                          "[--placement=local|machine:N,...] [--rb-link-latency-us=N] "
-                         "[--rb-link-gbps=F] [--respawn-on-death] "
+                         "[--rb-link-gbps=F] [--respawn-on-death] [--reseed=delta|full] "
+                         "[--respawn-target=M] "
                          "[--kill-replica-at-ms=N] [--sync-agent] [--sync-log-kb=N] "
                          "[--rb-auth] [--shards=N] [--tiers=SERVER:SHARDS,...] "
                          "[--autoscale] [--clients=N] [--arrival-rate=F] "
